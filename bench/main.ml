@@ -1,0 +1,435 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   section plus the ablation studies DESIGN.md calls out, and runs
+   Bechamel micro-benchmarks of the synthesis kernels.
+
+   Usage:
+     dune exec bench/main.exe                         # everything
+     dune exec bench/main.exe -- table1               # one experiment
+     dune exec bench/main.exe -- table2 --runs 5
+     dune exec bench/main.exe -- --quick              # smaller GA budget
+
+   Experiments (see DESIGN.md §4 and EXPERIMENTS.md):
+     table1   Tab. 1 — probabilities vs baseline, no DVS, mul1..mul12
+     table2   Tab. 2 — same with DVS (SW processors and HW rails)
+     table3   Tab. 3 — smart phone, w/o and with DVS
+     ablation improvement operators / HW-rail DVS / population size
+     kernels  Bechamel timings of the inner kernels *)
+
+module Table = Mm_util.Table
+module Stats = Mm_util.Stats
+module Prng = Mm_util.Prng
+module Engine = Mm_ga.Engine
+module Fitness = Mm_cosynth.Fitness
+module Synthesis = Mm_cosynth.Synthesis
+module Experiment = Mm_cosynth.Experiment
+module Spec = Mm_cosynth.Spec
+module Mapping = Mm_cosynth.Mapping
+module Core_alloc = Mm_cosynth.Core_alloc
+module Random_system = Mm_benchgen.Random_system
+module Smartphone = Mm_benchgen.Smartphone
+module Scaling = Mm_dvs.Scaling
+module Omsm = Mm_omsm.Omsm
+module Mode = Mm_omsm.Mode
+
+type options = { runs : int option; quick : bool }
+
+let ga_config options =
+  if options.quick then
+    { Engine.default_config with population_size = 24; max_generations = 50 }
+  else Engine.default_config
+
+let milliwatt w = w *. 1e3
+
+let power_cell (s : Stats.summary) =
+  Printf.sprintf "%.3f ±%.2f" (milliwatt s.Stats.mean) (milliwatt s.Stats.std)
+
+let cpu_cell (s : Stats.summary) = Printf.sprintf "%.1f" s.Stats.mean
+
+let comparison_row label (c : Experiment.comparison) =
+  [
+    label;
+    power_cell c.Experiment.without_probabilities.Experiment.power;
+    cpu_cell c.Experiment.without_probabilities.Experiment.cpu_seconds;
+    power_cell c.Experiment.with_probabilities.Experiment.power;
+    cpu_cell c.Experiment.with_probabilities.Experiment.cpu_seconds;
+    Table.cell_percent c.Experiment.reduction_percent;
+  ]
+
+let comparison_columns =
+  [
+    "Example (modes)";
+    "w/o prob. p̄ (mW)";
+    "CPU (s)";
+    "with prob. p̄ (mW)";
+    "CPU (s)";
+    "Reduc. (%)";
+  ]
+
+let mul_comparisons ~options ~dvs ~runs_default =
+  let runs = Option.value ~default:runs_default options.runs in
+  let ga = ga_config options in
+  List.init 12 (fun k ->
+      let i = k + 1 in
+      let spec = Random_system.mul i in
+      let label = Printf.sprintf "mul%d (%d)" i (Random_system.mul_mode_count i) in
+      let comparison = Experiment.compare ~ga ~dvs ~spec ~runs ~seed:(1000 * i) () in
+      Format.printf "  %s done@?@." label;
+      (label, comparison))
+
+let print_reduction_summary comparisons =
+  let reductions = List.map (fun (_, c) -> c.Experiment.reduction_percent) comparisons in
+  let s = Stats.summarize reductions in
+  Format.printf "reduction over %d benchmarks: mean %.2f%%, min %.2f%%, max %.2f%%@.@."
+    s.Stats.n s.Stats.mean s.Stats.min s.Stats.max
+
+let table1 options =
+  Format.printf "@.== Table 1: considering execution probabilities (w/o DVS) ==@.";
+  let comparisons = mul_comparisons ~options ~dvs:Fitness.No_dvs ~runs_default:5 in
+  let t = Table.create ~title:"Table 1 (paper: reductions 4.17-62.18 %)" ~columns:comparison_columns in
+  List.iter (fun (label, c) -> Table.add_row t (comparison_row label c)) comparisons;
+  Table.print t;
+  print_reduction_summary comparisons
+
+let table2 options =
+  Format.printf "@.== Table 2: execution probabilities together with DVS ==@.";
+  let dvs = Fitness.Dvs Scaling.default_config in
+  let comparisons = mul_comparisons ~options ~dvs ~runs_default:3 in
+  let t = Table.create ~title:"Table 2 (paper: reductions 5.68-64.02 %)" ~columns:comparison_columns in
+  List.iter (fun (label, c) -> Table.add_row t (comparison_row label c)) comparisons;
+  Table.print t;
+  print_reduction_summary comparisons
+
+let table3 options =
+  Format.printf "@.== Table 3: smart phone real-life example ==@.";
+  let runs = Option.value ~default:3 options.runs in
+  (* The smart phone's 162-position genome needs a larger GA than the mul
+     benchmarks to converge reliably. *)
+  let ga =
+    if options.quick then ga_config options
+    else
+      {
+        Engine.default_config with
+        population_size = 60;
+        max_generations = 250;
+        stagnation_limit = 40;
+        tournament_size = 3;
+      }
+  in
+  let spec = Smartphone.spec () in
+  let no_dvs = Experiment.compare ~ga ~dvs:Fitness.No_dvs ~spec ~runs ~seed:42 () in
+  Format.printf "  w/o DVS done@?@.";
+  let with_dvs =
+    Experiment.compare ~ga ~dvs:(Fitness.Dvs Scaling.default_config) ~spec ~runs ~seed:42 ()
+  in
+  Format.printf "  with DVS done@?@.";
+  let t =
+    Table.create ~title:"Table 3 (paper: 30.76 % w/o DVS, 29.41 % with DVS, ~67 % overall)"
+      ~columns:
+        ("Smart phone"
+        :: List.tl comparison_columns)
+  in
+  Table.add_row t (comparison_row "w/o DVS" no_dvs);
+  Table.add_row t (comparison_row "with DVS" with_dvs);
+  Table.print t;
+  let overall =
+    Stats.percent_reduction
+      ~from:no_dvs.Experiment.without_probabilities.Experiment.power.Stats.mean
+      ~to_:with_dvs.Experiment.with_probabilities.Experiment.power.Stats.mean
+  in
+  Format.printf "overall reduction (w/o DVS baseline -> DVS+probabilities): %.2f%% (paper: ~67%%)@.@."
+    overall
+
+(* --- Ablations ------------------------------------------------------------ *)
+
+let proposed_power ~ga ~dvs ~use_improvements ~spec ~seeds =
+  let config =
+    {
+      Synthesis.fitness =
+        { Fitness.default_config with weighting = Fitness.True_probabilities; dvs };
+      ga;
+      use_improvements;
+      restarts = Synthesis.default_config.Synthesis.restarts;
+    }
+  in
+  let powers =
+    List.map (fun seed -> Synthesis.average_power (Synthesis.run ~config ~spec ~seed ()))
+      seeds
+  in
+  Stats.summarize powers
+
+let ablation_improvements options =
+  Format.printf "@.-- Ablation A: the four improvement operators (§4.1) --@.";
+  let ga = ga_config options in
+  let seeds = [ 1; 2; 3 ] in
+  let t =
+    Table.create ~title:"GA with vs without improvement operators (proposed arm, no DVS)"
+      ~columns:[ "Benchmark"; "with ops p̄ (mW)"; "without ops p̄ (mW)"; "penalty (%)" ]
+  in
+  List.iter
+    (fun i ->
+      let spec = Random_system.mul i in
+      let with_ops = proposed_power ~ga ~dvs:Fitness.No_dvs ~use_improvements:true ~spec ~seeds in
+      let without_ops =
+        proposed_power ~ga ~dvs:Fitness.No_dvs ~use_improvements:false ~spec ~seeds
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "mul%d" i;
+          power_cell with_ops;
+          power_cell without_ops;
+          Table.cell_percent
+            (Stats.percent_reduction ~from:without_ops.Stats.mean ~to_:with_ops.Stats.mean);
+        ])
+    [ 1; 2; 6 ];
+  Table.print t
+
+let ablation_hw_rail options =
+  Format.printf "@.-- Ablation B: DVS on hardware rails (Fig. 5 transform, §4.2) --@.";
+  let ga = ga_config options in
+  let seeds = [ 1; 2; 3 ] in
+  let t =
+    Table.create ~title:"Proposed arm under different DVS scopes"
+      ~columns:[ "Benchmark"; "no DVS (mW)"; "SW-only DVS (mW)"; "SW+HW DVS (mW)" ]
+  in
+  let specs = [ ("mul2", Random_system.mul 2); ("mul7", Random_system.mul 7) ] in
+  List.iter
+    (fun (label, spec) ->
+      let none = proposed_power ~ga ~dvs:Fitness.No_dvs ~use_improvements:true ~spec ~seeds in
+      let sw_only =
+        proposed_power ~ga
+          ~dvs:(Fitness.Dvs { Scaling.default_config with Scaling.scale_hardware = false })
+          ~use_improvements:true ~spec ~seeds
+      in
+      let both =
+        proposed_power ~ga ~dvs:(Fitness.Dvs Scaling.default_config) ~use_improvements:true
+          ~spec ~seeds
+      in
+      Table.add_row t [ label; power_cell none; power_cell sw_only; power_cell both ])
+    specs;
+  Table.print t
+
+let ablation_population options =
+  Format.printf "@.-- Ablation C: GA population size --@.";
+  let seeds = [ 1; 2 ] in
+  let spec = Random_system.mul 1 in
+  let t =
+    Table.create ~title:"mul1, proposed arm, no DVS"
+      ~columns:[ "population"; "p̄ (mW)"; "note" ]
+  in
+  List.iter
+    (fun population_size ->
+      let ga = { (ga_config options) with Engine.population_size } in
+      let s = proposed_power ~ga ~dvs:Fitness.No_dvs ~use_improvements:true ~spec ~seeds in
+      Table.add_row t
+        [ string_of_int population_size; power_cell s;
+          (if population_size = (ga_config options).Engine.population_size then "default" else "") ])
+    [ 16; 40; 80 ];
+  Table.print t
+
+let ablation_ga_vs_sa options =
+  Format.printf "@.-- Ablation D: GA vs simulated-annealing baseline mapper --@.";
+  let ga = ga_config options in
+  let seeds = [ 1; 2; 3 ] in
+  (* Match the optimisation budgets: the GA sees roughly population ×
+     generations × restarts evaluations per run. *)
+  let sa_steps =
+    ga.Engine.population_size * ga.Engine.max_generations
+    * Synthesis.default_config.Synthesis.restarts
+  in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "proposed arm, no DVS; SA budget %d evaluations" sa_steps)
+      ~columns:[ "Benchmark"; "GA p̄ (mW)"; "SA p̄ (mW)"; "GA advantage (%)" ]
+  in
+  List.iter
+    (fun i ->
+      let spec = Random_system.mul i in
+      let ga_power = proposed_power ~ga ~dvs:Fitness.No_dvs ~use_improvements:true ~spec ~seeds in
+      let sa_powers =
+        List.map
+          (fun seed ->
+            let result =
+              Mm_cosynth.Annealing.run
+                ~config:{ Mm_cosynth.Annealing.default_config with Mm_cosynth.Annealing.steps = sa_steps }
+                ~spec ~seed ()
+            in
+            result.Mm_cosynth.Annealing.eval.Fitness.true_power)
+          seeds
+      in
+      let sa_power = Stats.summarize sa_powers in
+      Table.add_row t
+        [
+          Printf.sprintf "mul%d" i;
+          power_cell ga_power;
+          power_cell sa_power;
+          Table.cell_percent
+            (Stats.percent_reduction ~from:sa_power.Stats.mean ~to_:ga_power.Stats.mean);
+        ])
+    [ 1; 2; 6 ];
+  Table.print t
+
+let ablation_scheduler_policy options =
+  Format.printf "@.-- Ablation E: inner-loop scheduler policy --@.";
+  (* Both experiment arms share the inner loop, so the baseline-vs-
+     proposed comparison should survive any reasonable policy (the
+     substitution argument of DESIGN.md §3). *)
+  let ga = ga_config options in
+  let t =
+    Table.create ~title:"mul2 comparison under different list-scheduler priorities"
+      ~columns:[ "policy"; "w/o prob. (mW)"; "with prob. (mW)"; "Reduc. (%)" ]
+  in
+  List.iter
+    (fun (name, scheduler_policy) ->
+      let spec = Random_system.mul 2 in
+      let arm weighting =
+        let config =
+          {
+            Synthesis.fitness = { Fitness.default_config with weighting; scheduler_policy };
+            ga;
+            use_improvements = true;
+            restarts = Synthesis.default_config.Synthesis.restarts;
+          }
+        in
+        let powers =
+          List.map
+            (fun seed -> Synthesis.average_power (Synthesis.run ~config ~spec ~seed ()))
+            [ 1; 2; 3 ]
+        in
+        Stats.summarize powers
+      in
+      let base = arm Fitness.Uniform in
+      let prop = arm Fitness.True_probabilities in
+      Table.add_row t
+        [
+          name;
+          power_cell base;
+          power_cell prop;
+          Table.cell_percent (Stats.percent_reduction ~from:base.Stats.mean ~to_:prop.Stats.mean);
+        ])
+    [
+      ("mobility", Mm_sched.List_scheduler.Mobility_first);
+      ("critical-path", Mm_sched.List_scheduler.Critical_path_first);
+      ("topological", Mm_sched.List_scheduler.Topological);
+    ];
+  Table.print t
+
+let ablation_dvs_strategy _options =
+  Format.printf "@.-- Ablation F: DVS slack-distribution strategy --@.";
+  (* Fixed mapping (the greedy anchor) so this isolates the voltage
+     scaler: per-unit greedy gradient (PV-DVS style) vs the uniform EVEN
+     baseline it was measured against. *)
+  let t =
+    Table.create ~title:"dynamic energy of the anchor mapping under each scaler"
+      ~columns:[ "Benchmark"; "no DVS p̄ (mW)"; "EVEN p̄ (mW)"; "greedy p̄ (mW)" ]
+  in
+  List.iter
+    (fun i ->
+      let spec = Random_system.mul i in
+      match Synthesis.greedy_timing_anchor spec with
+      | None -> ()
+      | Some genome ->
+        let power dvs =
+          (Fitness.evaluate { Fitness.default_config with Fitness.dvs } spec genome)
+            .Fitness.true_power
+        in
+        let nominal = power Fitness.No_dvs in
+        let even =
+          power (Fitness.Dvs { Scaling.default_config with Scaling.strategy = Scaling.Even_slack })
+        in
+        let greedy = power (Fitness.Dvs Scaling.default_config) in
+        Table.add_row t
+          [
+            Printf.sprintf "mul%d" i;
+            Printf.sprintf "%.3f" (milliwatt nominal);
+            Printf.sprintf "%.3f" (milliwatt even);
+            Printf.sprintf "%.3f" (milliwatt greedy);
+          ])
+    [ 1; 2; 3; 7; 12 ];
+  Table.print t
+
+let ablation options =
+  ablation_improvements options;
+  ablation_hw_rail options;
+  ablation_population options;
+  ablation_ga_vs_sa options;
+  ablation_scheduler_policy options;
+  ablation_dvs_strategy options
+
+(* --- Bechamel kernels -------------------------------------------------------- *)
+
+let kernels _options =
+  Format.printf "@.== Bechamel kernel timings ==@.";
+  let open Bechamel in
+  let spec = Random_system.mul 1 in
+  let rng = Prng.create ~seed:1 in
+  let genome = Mm_ga.Genome.random rng ~counts:(Spec.gene_counts spec) in
+  let nominal_config = Fitness.default_config in
+  let dvs_config = { Fitness.default_config with dvs = Fitness.Dvs Scaling.default_config } in
+  let phone = Smartphone.spec () in
+  let phone_genome = Mm_ga.Genome.random rng ~counts:(Spec.gene_counts phone) in
+  let tests =
+    [
+      Test.make ~name:"fitness/mul1/no-dvs"
+        (Staged.stage (fun () -> ignore (Fitness.evaluate nominal_config spec genome)));
+      Test.make ~name:"fitness/mul1/dvs"
+        (Staged.stage (fun () -> ignore (Fitness.evaluate dvs_config spec genome)));
+      Test.make ~name:"fitness/smartphone/no-dvs"
+        (Staged.stage (fun () -> ignore (Fitness.evaluate nominal_config phone phone_genome)));
+      Test.make ~name:"fitness/smartphone/dvs"
+        (Staged.stage (fun () -> ignore (Fitness.evaluate dvs_config phone phone_genome)));
+      Test.make ~name:"benchgen/mul-generate"
+        (Staged.stage (fun () -> ignore (Random_system.generate ~seed:3 ())));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let measure = Toolkit.Instance.monotonic_clock in
+  let analysis = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let t = Table.create ~title:"kernel execution times" ~columns:[ "kernel"; "time/run"; "r²" ] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ measure ] elt in
+          let ols = Analyze.one analysis measure raw in
+          let nanoseconds =
+            match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+          let time_cell =
+            if nanoseconds > 1e6 then Printf.sprintf "%.3f ms" (nanoseconds /. 1e6)
+            else Printf.sprintf "%.1f µs" (nanoseconds /. 1e3)
+          in
+          Table.add_row t [ Test.Elt.name elt; time_cell; Printf.sprintf "%.4f" r2 ])
+        (Test.elements test))
+    tests;
+  Table.print t
+
+(* --- Driver -------------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse options selected = function
+    | [] -> (options, List.rev selected)
+    | "--quick" :: rest -> parse { options with quick = true } selected rest
+    | "--runs" :: n :: rest ->
+      parse { options with runs = Some (int_of_string n) } selected rest
+    | name :: rest -> parse options (name :: selected) rest
+  in
+  let options, selected = parse { runs = None; quick = false } [] args in
+  let selected = if selected = [] then [ "table1"; "table2"; "table3"; "ablation"; "kernels" ] else selected in
+  let total_start = Sys.time () in
+  List.iter
+    (fun name ->
+      match name with
+      | "table1" -> table1 options
+      | "table2" -> table2 options
+      | "table3" -> table3 options
+      | "ablation" -> ablation options
+      | "ablation-f" -> ablation_dvs_strategy options
+      | "kernels" -> kernels options
+      | other ->
+        Format.printf "unknown experiment %S (expected table1|table2|table3|ablation|kernels)@."
+          other;
+        exit 1)
+    selected;
+  Format.printf "total bench CPU time: %.1f s@." (Sys.time () -. total_start)

@@ -1,0 +1,511 @@
+(* mmsynth — command-line front end of the multi-mode co-synthesis
+   library.
+
+     mmsynth show <benchmark>                inspect a benchmark
+     mmsynth synth <benchmark> [options]     synthesise one implementation
+     mmsynth compare <benchmark> [options]   baseline vs proposed comparison
+     mmsynth anneal <benchmark> [options]    simulated-annealing baseline
+     mmsynth pareto <benchmark> [options]    power/area trade-off sweep
+     mmsynth gantt <benchmark> [options]     synthesise and chart a mode
+     mmsynth export <benchmark>              print the spec as S-expressions
+     mmsynth dot <benchmark> --mode N        dump a mode's task graph
+
+   Benchmarks: "smartphone", "mul1".."mul12", "random:<seed>", or
+   "file:<path>" for a spec exported with `mmsynth export`. *)
+
+module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Mode = Mm_omsm.Mode
+module Omsm = Mm_omsm.Omsm
+module Graph = Mm_taskgraph.Graph
+module Spec = Mm_cosynth.Spec
+module Fitness = Mm_cosynth.Fitness
+module Synthesis = Mm_cosynth.Synthesis
+module Experiment = Mm_cosynth.Experiment
+module Report = Mm_cosynth.Report
+module Engine = Mm_ga.Engine
+module Stats = Mm_util.Stats
+open Cmdliner
+
+let spec_of_benchmark name =
+  let prefixed prefix =
+    if
+      String.length name > String.length prefix
+      && String.sub name 0 (String.length prefix) = prefix
+    then Some (String.sub name (String.length prefix) (String.length name - String.length prefix))
+    else None
+  in
+  match name with
+  | "smartphone" -> Ok (Mm_benchgen.Smartphone.spec ())
+  | _ -> (
+    match prefixed "mul" with
+    | Some digits -> (
+      match int_of_string_opt digits with
+      | Some i when i >= 1 && i <= 12 -> Ok (Mm_benchgen.Random_system.mul i)
+      | Some _ | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name)))
+    | None -> (
+      match prefixed "random:" with
+      | Some digits -> (
+        match int_of_string_opt digits with
+        | Some seed -> Ok (Mm_benchgen.Random_system.generate ~seed ())
+        | None -> Error (`Msg "random:<seed> needs an integer seed"))
+      | None -> (
+        match prefixed "file:" with
+        | Some path -> (
+          match Mm_io.Codec.load_spec ~path with
+          | spec -> Ok spec
+          | exception Mm_io.Codec.Decode_error message ->
+            Error (`Msg (Printf.sprintf "cannot load %s: %s" path message))
+          | exception Sys_error message -> Error (`Msg message))
+        | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name)))))
+
+let benchmark_arg =
+  let parse name = spec_of_benchmark name in
+  let print ppf _ = Format.pp_print_string ppf "<benchmark>" in
+  Arg.(
+    required
+    & pos 0 (some (conv (parse, print))) None
+    & info [] ~docv:"BENCHMARK"
+        ~doc:"Benchmark to operate on: smartphone, mul1..mul12, or random:<seed>.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Synthesis random seed.")
+
+let dvs_arg =
+  Arg.(value & flag & info [ "dvs" ] ~doc:"Enable dynamic voltage scaling.")
+
+let runs_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "runs" ] ~docv:"N" ~doc:"Repeated synthesis runs per arm (paper: 40).")
+
+let uniform_arg =
+  Arg.(
+    value & flag
+    & info [ "neglect-probabilities" ]
+        ~doc:"Optimise with uniform mode weights (the paper's baseline).")
+
+let generations_arg =
+  Arg.(
+    value
+    & opt int Engine.default_config.Engine.max_generations
+    & info [ "generations" ] ~docv:"N" ~doc:"GA generation limit.")
+
+let population_arg =
+  Arg.(
+    value
+    & opt int Engine.default_config.Engine.population_size
+    & info [ "population" ] ~docv:"N" ~doc:"GA population size.")
+
+let config_of ~dvs ~uniform ~generations ~population =
+  {
+    Synthesis.default_config with
+    fitness =
+      {
+        Fitness.default_config with
+        weighting = (if uniform then Fitness.Uniform else Fitness.True_probabilities);
+        dvs =
+          (if dvs then Fitness.Dvs Mm_dvs.Scaling.default_config else Fitness.No_dvs);
+      };
+    ga =
+      {
+        Engine.default_config with
+        max_generations = generations;
+        population_size = population;
+      };
+  }
+
+(* --- show ------------------------------------------------------------------- *)
+
+let show spec =
+  let omsm = Spec.omsm spec in
+  let arch = Spec.arch spec in
+  Format.printf "%a@." Omsm.pp omsm;
+  Format.printf "probability entropy: %.3f nats@." (Omsm.probability_entropy omsm);
+  Format.printf "@.modes:@.";
+  List.iter
+    (fun mode ->
+      let metrics = Mm_taskgraph.Metrics.compute (Mode.graph mode) in
+      Format.printf
+        "  %-34s Ψ=%-6.3f φ=%-8gms %3d tasks %3d edges depth %2d width %2d par %.2f@."
+        (Mode.name mode) (Mode.probability mode)
+        (Mode.period mode *. 1e3)
+        metrics.Mm_taskgraph.Metrics.n_tasks metrics.Mm_taskgraph.Metrics.n_edges
+        metrics.Mm_taskgraph.Metrics.depth metrics.Mm_taskgraph.Metrics.width
+        metrics.Mm_taskgraph.Metrics.parallelism)
+    (Omsm.modes omsm);
+  Format.printf "@.architecture:@.";
+  List.iter (fun pe -> Format.printf "  %a@." Pe.pp pe) (Arch.pes arch);
+  List.iter (fun cl -> Format.printf "  %a@." Cl.pp cl) (Arch.cls arch);
+  let shared = Omsm.shared_task_types omsm in
+  Format.printf "@.%d task types, %d shared across modes: %s@."
+    (Mm_taskgraph.Task_type.Set.cardinal (Omsm.all_task_types omsm))
+    (Mm_taskgraph.Task_type.Set.cardinal shared)
+    (String.concat ", "
+       (List.map Mm_taskgraph.Task_type.name
+          (Mm_taskgraph.Task_type.Set.elements shared)));
+  Ok ()
+
+let show_cmd =
+  let term = Term.(term_result (const show $ benchmark_arg)) in
+  Cmd.v (Cmd.info "show" ~doc:"Inspect a benchmark's OMSM and architecture.") term
+
+(* --- synth ------------------------------------------------------------------- *)
+
+let synth spec seed dvs uniform generations population =
+  let config = config_of ~dvs ~uniform ~generations ~population in
+  let result = Synthesis.run ~config ~spec ~seed () in
+  Report.print_result spec result;
+  Ok ()
+
+let synth_cmd =
+  let term =
+    Term.(
+      term_result
+        (const synth $ benchmark_arg $ seed_arg $ dvs_arg $ uniform_arg
+       $ generations_arg $ population_arg))
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesise one implementation and print the mapping and power report.")
+    term
+
+(* --- compare ------------------------------------------------------------------ *)
+
+let compare_cmd_impl spec seed dvs runs generations population =
+  let ga =
+    {
+      Engine.default_config with
+      max_generations = generations;
+      population_size = population;
+    }
+  in
+  let dvs = if dvs then Fitness.Dvs Mm_dvs.Scaling.default_config else Fitness.No_dvs in
+  let c = Experiment.compare ~ga ~dvs ~spec ~runs ~seed () in
+  let pp_arm name (arm : Experiment.arm) =
+    Format.printf "%s: %.4g mW (std %.2g, %d runs, %.1fs CPU/run)@." name
+      (arm.Experiment.power.Stats.mean *. 1e3)
+      (arm.Experiment.power.Stats.std *. 1e3)
+      arm.Experiment.power.Stats.n arm.Experiment.cpu_seconds.Stats.mean
+  in
+  pp_arm "without probabilities (baseline)" c.Experiment.without_probabilities;
+  pp_arm "with probabilities    (proposed)" c.Experiment.with_probabilities;
+  Format.printf "reduction: %.2f%%@." c.Experiment.reduction_percent;
+  Ok ()
+
+let compare_cmd =
+  let term =
+    Term.(
+      term_result
+        (const compare_cmd_impl $ benchmark_arg $ seed_arg $ dvs_arg $ runs_arg
+       $ generations_arg $ population_arg))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Run the paper's experiment: synthesis with vs without mode execution \
+          probabilities.")
+    term
+
+(* --- dot ------------------------------------------------------------------------ *)
+
+let dot spec mode =
+  let omsm = Spec.omsm spec in
+  if mode < 0 || mode >= Omsm.n_modes omsm then
+    Error (`Msg (Printf.sprintf "mode %d out of range" mode))
+  else begin
+    print_string (Graph.to_dot (Mode.graph (Omsm.mode omsm mode)));
+    Ok ()
+  end
+
+let mode_arg =
+  Arg.(value & opt int 0 & info [ "mode" ] ~docv:"N" ~doc:"Mode id to dump.")
+
+let dot_cmd =
+  let term = Term.(term_result (const dot $ benchmark_arg $ mode_arg)) in
+  Cmd.v (Cmd.info "dot" ~doc:"Print a mode's task graph in Graphviz format.") term
+
+(* --- export ---------------------------------------------------------------- *)
+
+let export spec =
+  print_string (Mm_io.Codec.spec_to_string spec);
+  Ok ()
+
+let export_cmd =
+  let term = Term.(term_result (const export $ benchmark_arg)) in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Print the benchmark's full specification as S-expressions (reload \
+             with file:<path>).")
+    term
+
+(* --- gantt ----------------------------------------------------------------- *)
+
+let gantt spec seed dvs mode =
+  let omsm = Spec.omsm spec in
+  if mode < 0 || mode >= Omsm.n_modes omsm then
+    Error (`Msg (Printf.sprintf "mode %d out of range" mode))
+  else begin
+    let config =
+      config_of ~dvs ~uniform:false
+        ~generations:Engine.default_config.Engine.max_generations
+        ~population:Engine.default_config.Engine.population_size
+    in
+    let result = Synthesis.run ~config ~spec ~seed () in
+    let eval = result.Synthesis.eval in
+    let sched = eval.Fitness.schedules.(mode) in
+    if dvs then
+      print_string
+        (Mm_sched.Gantt.render_scaled sched
+           ~stretched_finish:eval.Fitness.scalings.(mode).Mm_dvs.Scaling.stretched_finish)
+    else print_string (Mm_sched.Gantt.render sched);
+    Ok ()
+  end
+
+let gantt_cmd =
+  let term =
+    Term.(term_result (const gantt $ benchmark_arg $ seed_arg $ dvs_arg $ mode_arg))
+  in
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"Synthesise, then chart one mode's schedule as ASCII Gantt.")
+    term
+
+(* --- anneal ---------------------------------------------------------------- *)
+
+let steps_arg =
+  Arg.(
+    value
+    & opt int Mm_cosynth.Annealing.default_config.Mm_cosynth.Annealing.steps
+    & info [ "steps" ] ~docv:"N" ~doc:"Simulated-annealing move budget.")
+
+let anneal spec seed dvs steps =
+  let fitness =
+    {
+      Fitness.default_config with
+      dvs = (if dvs then Fitness.Dvs Mm_dvs.Scaling.default_config else Fitness.No_dvs);
+    }
+  in
+  let config = { Mm_cosynth.Annealing.default_config with Mm_cosynth.Annealing.steps } in
+  let result = Mm_cosynth.Annealing.run ~config ~fitness ~spec ~seed () in
+  Format.printf "simulated annealing: %.4g mW (feasible %b, %d/%d moves accepted, %.1fs)@."
+    (result.Mm_cosynth.Annealing.eval.Fitness.true_power *. 1e3)
+    (Fitness.feasible result.Mm_cosynth.Annealing.eval)
+    result.Mm_cosynth.Annealing.accepted steps result.Mm_cosynth.Annealing.cpu_seconds;
+  Report.print_result spec
+    {
+      Synthesis.genome = result.Mm_cosynth.Annealing.genome;
+      eval = result.Mm_cosynth.Annealing.eval;
+      generations = 0;
+      evaluations = result.Mm_cosynth.Annealing.evaluations;
+      cpu_seconds = result.Mm_cosynth.Annealing.cpu_seconds;
+      history = [];
+    };
+  Ok ()
+
+let anneal_cmd =
+  let term =
+    Term.(term_result (const anneal $ benchmark_arg $ seed_arg $ dvs_arg $ steps_arg))
+  in
+  Cmd.v
+    (Cmd.info "anneal"
+       ~doc:"Map with the simulated-annealing baseline instead of the GA.")
+    term
+
+(* --- pareto ---------------------------------------------------------------- *)
+
+let scales_arg =
+  Arg.(
+    value
+    & opt (list float) [ 0.25; 0.5; 0.75; 1.0; 1.5; 2.0 ]
+    & info [ "scales" ] ~docv:"S1,S2,…" ~doc:"Hardware-area scale factors to sweep.")
+
+let pareto spec seed scales =
+  let points = Mm_cosynth.Pareto.sweep ~spec ~scales ~seed () in
+  let t =
+    Mm_util.Table.create ~title:"power/area trade-off"
+      ~columns:[ "area scale"; "HW capacity"; "HW used"; "p̄ (mW)"; "feasible"; "frontier" ]
+  in
+  let frontier = Mm_cosynth.Pareto.frontier points in
+  List.iter
+    (fun (p : Mm_cosynth.Pareto.point) ->
+      Mm_util.Table.add_row t
+        [
+          Printf.sprintf "%.2f" p.Mm_cosynth.Pareto.area_scale;
+          Printf.sprintf "%.0f" p.Mm_cosynth.Pareto.hw_area_capacity;
+          Printf.sprintf "%.0f" p.Mm_cosynth.Pareto.hw_area_used;
+          Printf.sprintf "%.3f" (p.Mm_cosynth.Pareto.power *. 1e3);
+          string_of_bool p.Mm_cosynth.Pareto.feasible;
+          (if List.memq p frontier then "*" else "");
+        ])
+    points;
+  Mm_util.Table.print t;
+  Ok ()
+
+let pareto_cmd =
+  let term = Term.(term_result (const pareto $ benchmark_arg $ seed_arg $ scales_arg)) in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"Sweep hardware-area budgets and report the trade-off curve.")
+    term
+
+(* --- robustness -------------------------------------------------------------- *)
+
+let strength_arg =
+  Arg.(
+    value & opt float 0.3
+    & info [ "strength" ] ~docv:"S"
+        ~doc:"Log-normal σ of the per-mode probability perturbation.")
+
+let samples_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "samples" ] ~docv:"N" ~doc:"Perturbed usage profiles to sample.")
+
+let robustness spec seed dvs samples strength =
+  (* Synthesise both arms, then stress them under the same perturbed
+     usage profiles. *)
+  let run uniform =
+    let config =
+      config_of ~dvs ~uniform
+        ~generations:Engine.default_config.Engine.max_generations
+        ~population:Engine.default_config.Engine.population_size
+    in
+    Synthesis.run ~config ~spec ~seed ()
+  in
+  let baseline = run true and proposed = run false in
+  let c =
+    Mm_cosynth.Sensitivity.compare_mappings ~samples ~strength ~spec
+      ~baseline:baseline.Synthesis.eval.Fitness.mapping
+      ~proposed:proposed.Synthesis.eval.Fitness.mapping ~seed:(seed + 1) ()
+  in
+  let pp name (r : Mm_cosynth.Sensitivity.report) =
+    Format.printf
+      "%s: nominal %.4g mW; under drift mean %.4g ±%.2g, range [%.4g, %.4g] mW@." name
+      (r.Mm_cosynth.Sensitivity.nominal *. 1e3)
+      (r.Mm_cosynth.Sensitivity.mean *. 1e3)
+      (r.Mm_cosynth.Sensitivity.std *. 1e3)
+      (r.Mm_cosynth.Sensitivity.best *. 1e3)
+      (r.Mm_cosynth.Sensitivity.worst *. 1e3)
+  in
+  Format.printf "usage-profile drift: %d samples, strength %.2f@." samples strength;
+  pp "baseline (probabilities neglected)" c.Mm_cosynth.Sensitivity.baseline;
+  pp "proposed (probabilities considered)" c.Mm_cosynth.Sensitivity.proposed;
+  Format.printf "proposed wins under %d of %d perturbed profiles (%.1f%%)@."
+    c.Mm_cosynth.Sensitivity.wins samples
+    (100.0 *. float_of_int c.Mm_cosynth.Sensitivity.wins /. float_of_int samples);
+  Ok ()
+
+let robustness_cmd =
+  let term =
+    Term.(
+      term_result
+        (const robustness $ benchmark_arg $ seed_arg $ dvs_arg $ samples_arg
+       $ strength_arg))
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:
+         "Stress both experiment arms under perturbed usage profiles: does the \
+          probability-aware design survive user-to-user variation?")
+    term
+
+(* --- frontier --------------------------------------------------------------- *)
+
+let frontier spec seed dvs generations =
+  let fitness =
+    {
+      Fitness.default_config with
+      dvs = (if dvs then Fitness.Dvs Mm_dvs.Scaling.default_config else Fitness.No_dvs);
+    }
+  in
+  let config =
+    { Mm_ga.Nsga2.default_config with Mm_ga.Nsga2.max_generations = generations }
+  in
+  let result = Mm_cosynth.Multi_objective.optimise ~config ~fitness ~spec ~seed () in
+  Format.printf "NSGA-II: %d generations, %d evaluations, %d trade-off points@."
+    result.Mm_cosynth.Multi_objective.generations
+    result.Mm_cosynth.Multi_objective.evaluations
+    (List.length result.Mm_cosynth.Multi_objective.front);
+  let t =
+    Mm_util.Table.create ~title:"power / hardware-area trade-off front"
+      ~columns:[ "HW area used (cells)"; "p̄ (mW)" ]
+  in
+  List.iter
+    (fun (p : Mm_cosynth.Multi_objective.point) ->
+      Mm_util.Table.add_row t
+        [
+          Printf.sprintf "%.0f" p.Mm_cosynth.Multi_objective.area;
+          Printf.sprintf "%.4f" (p.Mm_cosynth.Multi_objective.power *. 1e3);
+        ])
+    result.Mm_cosynth.Multi_objective.front;
+  Mm_util.Table.print t;
+  Ok ()
+
+let frontier_cmd =
+  let term =
+    Term.(
+      term_result (const frontier $ benchmark_arg $ seed_arg $ dvs_arg $ generations_arg))
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Multi-objective synthesis (NSGA-II): the power/area trade-off in one run.")
+    term
+
+(* --- simulate --------------------------------------------------------------- *)
+
+let horizon_arg =
+  Arg.(
+    value & opt float 10_000.0
+    & info [ "horizon" ] ~docv:"T" ~doc:"Simulated operational time (seconds).")
+
+let simulate spec seed dvs horizon =
+  let config =
+    config_of ~dvs ~uniform:false
+      ~generations:Engine.default_config.Engine.max_generations
+      ~population:Engine.default_config.Engine.population_size
+  in
+  let result = Synthesis.run ~config ~spec ~seed () in
+  let omsm = Spec.omsm spec in
+  let mode_powers = result.Synthesis.eval.Fitness.mode_powers in
+  let rng = Mm_util.Prng.create ~seed:(seed + 1) in
+  let sim = Mm_energy.Trace_sim.simulate ~omsm ~mode_powers ~horizon rng in
+  Format.printf "synthesised implementation, then simulated %.4g s of usage:@." horizon;
+  List.iter
+    (fun mode ->
+      let id = Mode.id mode in
+      Format.printf "  %-34s published Ψ=%-6.3f simulated Ψ=%-6.3f@." (Mode.name mode)
+        (Mode.probability mode)
+        sim.Mm_energy.Trace_sim.empirical_probability.(id))
+    (Omsm.modes omsm);
+  Format.printf "mode changes: %d@." sim.Mm_energy.Trace_sim.n_transitions;
+  Format.printf "analytic average power (Eq. 1): %.4g mW@."
+    (Synthesis.average_power result *. 1e3);
+  Format.printf "empirical average power:        %.4g mW@."
+    (sim.Mm_energy.Trace_sim.empirical_power *. 1e3);
+  Ok ()
+
+let simulate_cmd =
+  let term =
+    Term.(
+      term_result (const simulate $ benchmark_arg $ seed_arg $ dvs_arg $ horizon_arg))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Synthesise, then validate the analytic power figure against a simulated \
+          usage trace.")
+    term
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "mmsynth" ~version:"1.0.0"
+      ~doc:"Energy-efficient multi-mode co-synthesis (Schmitz et al., DATE 2003)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            show_cmd; synth_cmd; compare_cmd; anneal_cmd; pareto_cmd; frontier_cmd;
+            robustness_cmd; gantt_cmd; simulate_cmd; export_cmd; dot_cmd;
+          ]))

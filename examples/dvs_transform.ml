@@ -1,0 +1,64 @@
+(* Walk-through of the paper's Fig. 5: serialising the parallel core
+   schedule of one hardware component into sequential segments so a
+   single shared voltage rail can be scaled.
+
+   The figure's scenario: five hardware tasks on two cores (core 0 runs
+   τ0, τ2, τ4; core 1 runs τ1, τ3 in parallel), transformed into
+   equivalent sequential segments whose powers are the sums of the
+   concurrently active cores.
+
+   Run with:  dune exec examples/dvs_transform.exe *)
+
+module Schedule = Mm_sched.Schedule
+module Resource = Mm_sched.Resource
+module Hw = Mm_dvs.Hw_transform
+
+let slot ~task ~instance ~start ~duration =
+  ( {
+      Schedule.task;
+      resource = Resource.Hw_core { pe = 1; ty = task; instance };
+      start;
+      duration;
+    },
+    (* nominal dynamic power of the task's core (W) *)
+    0.010 +. (0.002 *. float_of_int task) )
+
+let () =
+  (* Two cores, five tasks; τ1 and τ3 overlap τ0/τ2/τ4. *)
+  let slots =
+    [
+      slot ~task:0 ~instance:0 ~start:0.0 ~duration:2.0;
+      slot ~task:1 ~instance:1 ~start:0.0 ~duration:3.0;
+      slot ~task:2 ~instance:0 ~start:2.0 ~duration:2.5;
+      slot ~task:3 ~instance:1 ~start:3.0 ~duration:2.0;
+      slot ~task:4 ~instance:0 ~start:4.5 ~duration:1.5;
+    ]
+  in
+  let segments = Hw.segments ~slots in
+  Format.printf "%d task slots on 2 cores -> %d sequential segments:@."
+    (List.length slots) (List.length segments);
+  List.iter
+    (fun (s : Hw.segment) ->
+      Format.printf
+        "  segment %d: [%.1f, %.1f) duration %.1f, power %.4gW, running {%s}%s@."
+        s.Hw.index s.Hw.start (s.Hw.start +. s.Hw.duration) s.Hw.duration s.Hw.power
+        (String.concat "," (List.map string_of_int s.Hw.running))
+        (match s.Hw.finishing with
+        | [] -> ""
+        | f -> Printf.sprintf "  (finishes %s)" (String.concat "," (List.map string_of_int f))))
+    segments;
+  (* Energy is preserved by the transformation. *)
+  let task_energy =
+    List.fold_left
+      (fun acc ((s : Schedule.task_slot), power) -> acc +. (power *. s.Schedule.duration))
+      0.0 slots
+  in
+  Format.printf "Σ task energy = %.6g J; Σ segment energy = %.6g J@." task_energy
+    (Hw.total_energy_nominal segments);
+  Format.printf "per-task segment spans:@.";
+  List.iter
+    (fun ((s : Schedule.task_slot), _) ->
+      Format.printf "  τ%d: segments %d..%d@." s.Schedule.task
+        (Hw.first_segment_of segments s.Schedule.task)
+        (Hw.last_segment_of segments s.Schedule.task))
+    slots

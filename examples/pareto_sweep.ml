@@ -1,0 +1,44 @@
+(* Exploring the power/area trade-off: how much hardware area does the
+   smart phone's power budget actually need?
+
+   Sweeps scaled copies of the architecture (ASIC capacities x0.05 ... x2)
+   and prints the attainable average power per budget, marking the Pareto
+   frontier.
+
+   Run with:  dune exec examples/pareto_sweep.exe *)
+
+module Pareto = Mm_cosynth.Pareto
+module Synthesis = Mm_cosynth.Synthesis
+module Engine = Mm_ga.Engine
+
+let () =
+  let spec = Mm_benchgen.Smartphone.spec () in
+  let config =
+    {
+      Synthesis.default_config with
+      ga = { Engine.default_config with max_generations = 60; population_size = 30 };
+      restarts = 1;
+    }
+  in
+  let scales = [ 0.05; 0.15; 0.3; 0.5; 1.0; 2.0 ] in
+  Format.printf "sweeping %d area budgets (this runs %d GA syntheses)...@."
+    (List.length scales) (List.length scales);
+  let points = Pareto.sweep ~config ~spec ~scales ~seed:9 () in
+  let frontier = Pareto.frontier points in
+  let t =
+    Mm_util.Table.create ~title:"smart phone: attainable power vs hardware area budget"
+      ~columns:[ "scale"; "HW capacity (cells)"; "HW used"; "power (mW)"; "feasible"; "Pareto" ]
+  in
+  List.iter
+    (fun (p : Pareto.point) ->
+      Mm_util.Table.add_row t
+        [
+          Printf.sprintf "%.2f" p.Pareto.area_scale;
+          Printf.sprintf "%.0f" p.Pareto.hw_area_capacity;
+          Printf.sprintf "%.0f" p.Pareto.hw_area_used;
+          Printf.sprintf "%.3f" (p.Pareto.power *. 1e3);
+          string_of_bool p.Pareto.feasible;
+          (if List.memq p frontier then "*" else "");
+        ])
+    points;
+  Mm_util.Table.print t

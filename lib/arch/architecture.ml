@@ -1,0 +1,52 @@
+type t = { name : string; pes : Pe.t array; cls : Cl.t array }
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let make ~name ~pes ~cls =
+  let pes = Array.of_list pes in
+  let cls = Array.of_list cls in
+  if Array.length pes = 0 then invalid "architecture %s has no PEs" name;
+  Array.iteri
+    (fun i p ->
+      if Pe.id p <> i then invalid "architecture %s: pes.(%d) has id %d" name i (Pe.id p))
+    pes;
+  Array.iteri
+    (fun i c ->
+      if Cl.id c <> i then invalid "architecture %s: cls.(%d) has id %d" name i (Cl.id c);
+      List.iter
+        (fun p ->
+          if p >= Array.length pes then
+            invalid "architecture %s: link %d attaches unknown PE %d" name i p)
+        (Cl.connects c))
+    cls;
+  { name; pes; cls }
+
+let name t = t.name
+let n_pes t = Array.length t.pes
+let n_cls t = Array.length t.cls
+let pe t i = t.pes.(i)
+let cl t i = t.cls.(i)
+let pes t = Array.to_list t.pes
+let cls t = Array.to_list t.cls
+let software_pes t = List.filter Pe.is_software (pes t)
+let hardware_pes t = List.filter Pe.is_hardware (pes t)
+let dvs_pes t = List.filter Pe.is_dvs_enabled (pes t)
+
+let links_between t p q =
+  if p = q then []
+  else List.filter (fun c -> Cl.links_pes c p q) (cls t)
+
+let fully_connected t =
+  let n = n_pes t in
+  let ok = ref true in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      if links_between t p q = [] then ok := false
+    done
+  done;
+  !ok
+
+let pp ppf t =
+  Format.fprintf ppf "arch %s: %d PEs, %d CLs" t.name (n_pes t) (n_cls t)

@@ -1,0 +1,30 @@
+(** The architecture graph G_A(P, L): PEs plus communication links. *)
+
+type t
+
+exception Invalid of string
+
+val make : name:string -> pes:Pe.t list -> cls:Cl.t list -> t
+(** Validates: PE/CL ids contiguous from 0 (matching list positions), CL
+    attachments reference existing PEs.  Raises {!Invalid} otherwise. *)
+
+val name : t -> string
+val n_pes : t -> int
+val n_cls : t -> int
+val pe : t -> int -> Pe.t
+val cl : t -> int -> Cl.t
+val pes : t -> Pe.t list
+val cls : t -> Cl.t list
+val software_pes : t -> Pe.t list
+val hardware_pes : t -> Pe.t list
+val dvs_pes : t -> Pe.t list
+
+val links_between : t -> int -> int -> Cl.t list
+(** All links attaching both PEs (empty when the PEs cannot
+    communicate directly).  [links_between t p p] is by convention [[]]:
+    intra-PE communication needs no link. *)
+
+val fully_connected : t -> bool
+(** Whether every PE pair can communicate over some link. *)
+
+val pp : Format.formatter -> t -> unit

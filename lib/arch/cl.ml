@@ -1,0 +1,38 @@
+type t = {
+  id : int;
+  name : string;
+  connects : int list;
+  time_per_data : float;
+  transfer_power : float;
+  static_power : float;
+}
+
+let make ~id ~name ~connects ~time_per_data ~transfer_power ~static_power =
+  if id < 0 then invalid_arg "Cl.make: negative id";
+  if time_per_data <= 0.0 then invalid_arg "Cl.make: non-positive time_per_data";
+  if transfer_power < 0.0 then invalid_arg "Cl.make: negative transfer power";
+  if static_power < 0.0 then invalid_arg "Cl.make: negative static power";
+  let distinct = List.sort_uniq Int.compare connects in
+  if List.length distinct < 2 then
+    invalid_arg "Cl.make: a link must attach at least two distinct PEs";
+  if List.length distinct <> List.length connects then
+    invalid_arg "Cl.make: duplicate PE attachment";
+  List.iter (fun p -> if p < 0 then invalid_arg "Cl.make: negative PE id") distinct;
+  { id; name; connects = distinct; time_per_data; transfer_power; static_power }
+
+let id t = t.id
+let name t = t.name
+let connects t = t.connects
+let time_per_data t = t.time_per_data
+let transfer_power t = t.transfer_power
+let static_power t = t.static_power
+let links_pes t p q = List.mem p t.connects && List.mem q t.connects
+let transfer_time t ~data = data *. t.time_per_data
+let transfer_energy t ~data = t.transfer_power *. transfer_time t ~data
+
+let pp ppf t =
+  Format.fprintf ppf "%s#%d(pes=%a)" t.name t.id
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    t.connects

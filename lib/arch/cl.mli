@@ -1,0 +1,41 @@
+(** Communication links λ (buses, point-to-point links) connecting PEs. *)
+
+type t = private {
+  id : int;
+  name : string;
+  connects : int list;  (** Ids of the PEs attached to this link (>= 2). *)
+  time_per_data : float;
+      (** Seconds to transfer one data unit (inverse bandwidth). *)
+  transfer_power : float;  (** P_C: dynamic power while transferring (W). *)
+  static_power : float;  (** Static power while the link is powered (W). *)
+}
+
+val make :
+  id:int ->
+  name:string ->
+  connects:int list ->
+  time_per_data:float ->
+  transfer_power:float ->
+  static_power:float ->
+  t
+(** Raises [Invalid_argument] for a negative id/power, a non-positive
+    [time_per_data], fewer than two distinct attached PEs, or duplicate
+    attachments. *)
+
+val id : t -> int
+val name : t -> string
+val connects : t -> int list
+val time_per_data : t -> float
+val transfer_power : t -> float
+val static_power : t -> float
+
+val links_pes : t -> int -> int -> bool
+(** [links_pes cl p q] iff both PE ids are attached. *)
+
+val transfer_time : t -> data:float -> float
+(** [data *. time_per_data]. *)
+
+val transfer_energy : t -> data:float -> float
+(** [transfer_power *. transfer_time], the paper's P_C(ε) · t_C(ε). *)
+
+val pp : Format.formatter -> t -> unit

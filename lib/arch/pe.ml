@@ -1,0 +1,57 @@
+type kind = Gpp | Asip | Asic | Fpga
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  static_power : float;
+  rail : Voltage.t option;
+  area_capacity : float;
+  reconfig_time_per_area : float;
+}
+
+let kind_to_string = function
+  | Gpp -> "GPP"
+  | Asip -> "ASIP"
+  | Asic -> "ASIC"
+  | Fpga -> "FPGA"
+
+let make ~id ~name ~kind ~static_power ?rail ?(area_capacity = 0.0)
+    ?(reconfig_time_per_area = 0.0) () =
+  if id < 0 then invalid_arg "Pe.make: negative id";
+  if static_power < 0.0 then invalid_arg "Pe.make: negative static power";
+  if area_capacity < 0.0 then invalid_arg "Pe.make: negative area";
+  if reconfig_time_per_area < 0.0 then invalid_arg "Pe.make: negative reconfig time";
+  (match kind with
+  | Gpp | Asip ->
+    if area_capacity > 0.0 then
+      invalid_arg "Pe.make: software PE cannot have core area";
+    if reconfig_time_per_area > 0.0 then
+      invalid_arg "Pe.make: software PE cannot have reconfiguration cost"
+  | Asic ->
+    if area_capacity <= 0.0 then
+      invalid_arg "Pe.make: hardware PE needs positive area";
+    if reconfig_time_per_area > 0.0 then
+      invalid_arg "Pe.make: ASIC cores are static (no reconfiguration)"
+  | Fpga ->
+    if area_capacity <= 0.0 then
+      invalid_arg "Pe.make: hardware PE needs positive area");
+  { id; name; kind; static_power; rail; area_capacity; reconfig_time_per_area }
+
+let id t = t.id
+let name t = t.name
+let kind t = t.kind
+let static_power t = t.static_power
+let rail t = t.rail
+let area_capacity t = t.area_capacity
+let reconfig_time_per_area t = t.reconfig_time_per_area
+
+let is_hardware t = match t.kind with Asic | Fpga -> true | Gpp | Asip -> false
+let is_software t = not (is_hardware t)
+let is_dvs_enabled t = Option.is_some t.rail
+let is_reconfigurable t = t.kind = Fpga
+
+let pp ppf t =
+  Format.fprintf ppf "%s#%d(%s%s%s)" t.name t.id (kind_to_string t.kind)
+    (if is_dvs_enabled t then ",DVS" else "")
+    (if is_hardware t then Printf.sprintf ",area=%g" t.area_capacity else "")

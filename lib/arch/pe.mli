@@ -1,0 +1,54 @@
+(** Processing elements π: general-purpose processors, ASIPs, ASICs and
+    FPGAs. *)
+
+type kind = Gpp | Asip | Asic | Fpga
+
+type t = private {
+  id : int;
+  name : string;
+  kind : kind;
+  static_power : float;  (** P̄stat while the component is powered (W). *)
+  rail : Voltage.t option;  (** [Some _] iff the PE is DVS-enabled. *)
+  area_capacity : float;
+      (** Available core area (cells) for hardware PEs; 0 for software
+          PEs. *)
+  reconfig_time_per_area : float;
+      (** FPGA only: seconds needed to (re)configure one area unit during
+          a mode change; 0 for every other kind. *)
+}
+
+val make :
+  id:int ->
+  name:string ->
+  kind:kind ->
+  static_power:float ->
+  ?rail:Voltage.t ->
+  ?area_capacity:float ->
+  ?reconfig_time_per_area:float ->
+  unit ->
+  t
+(** Raises [Invalid_argument] when: id or a power/area/time value is
+    negative; a software PE is given area or reconfiguration cost; a
+    hardware PE has no positive area; reconfiguration cost is given for a
+    non-FPGA. *)
+
+val id : t -> int
+val name : t -> string
+val kind : t -> kind
+val static_power : t -> float
+val rail : t -> Voltage.t option
+val area_capacity : t -> float
+val reconfig_time_per_area : t -> float
+val is_hardware : t -> bool
+(** ASIC or FPGA: tasks run on allocated cores and may execute in
+    parallel. *)
+
+val is_software : t -> bool
+(** GPP or ASIP: tasks are sequentialised. *)
+
+val is_dvs_enabled : t -> bool
+val is_reconfigurable : t -> bool
+(** FPGA: allocated cores can be exchanged at mode changes. *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

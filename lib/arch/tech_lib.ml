@@ -1,0 +1,41 @@
+module Task_type = Mm_taskgraph.Task_type
+
+type impl = { exec_time : float; dyn_power : float; area : float }
+
+module Key = struct
+  type t = int * int (* task type id, PE id *)
+
+  let compare = compare
+end
+
+module Key_map = Map.Make (Key)
+
+type t = impl Key_map.t
+
+let impl ~exec_time ~dyn_power ?(area = 0.0) () =
+  if exec_time <= 0.0 then invalid_arg "Tech_lib.impl: non-positive exec_time";
+  if dyn_power < 0.0 then invalid_arg "Tech_lib.impl: negative dyn_power";
+  if area < 0.0 then invalid_arg "Tech_lib.impl: negative area";
+  { exec_time; dyn_power; area }
+
+let empty = Key_map.empty
+
+let add t ~ty ~pe point =
+  if Pe.is_software pe && point.area > 0.0 then
+    invalid_arg "Tech_lib.add: software implementation cannot occupy core area";
+  let key = (Task_type.id ty, Pe.id pe) in
+  if Key_map.mem key t then invalid_arg "Tech_lib.add: duplicate entry";
+  Key_map.add key point t
+
+let find t ~ty ~pe = Key_map.find_opt (Task_type.id ty, Pe.id pe) t
+let find_exn t ~ty ~pe = Key_map.find (Task_type.id ty, Pe.id pe) t
+let supports t ~ty ~pe = Key_map.mem (Task_type.id ty, Pe.id pe) t
+
+let supported_pes t ~ty arch =
+  List.filter (fun pe -> supports t ~ty ~pe) (Architecture.pes arch)
+
+let energy point = point.dyn_power *. point.exec_time
+let n_entries t = Key_map.cardinal t
+
+let iter f t =
+  Key_map.iter (fun (ty_id, pe_id) point -> f ~ty_id ~pe_id point) t

@@ -1,0 +1,40 @@
+(** The technology library: implementation alternatives per task type.
+
+    For every (task type, PE) pair it may hold an implementation point —
+    execution time at nominal voltage, dynamic power at nominal voltage,
+    and (for hardware PEs) the core area the type occupies.  A missing
+    entry means the type cannot execute on that PE, which constrains the
+    mapping GA's gene alphabets. *)
+
+type impl = private {
+  exec_time : float;  (** t_min at Vmax (s); must be positive. *)
+  dyn_power : float;  (** P_max at Vmax (W); must be non-negative. *)
+  area : float;  (** Core area (cells); must be 0 for software PEs. *)
+}
+
+type t
+
+val impl : exec_time:float -> dyn_power:float -> ?area:float -> unit -> impl
+val empty : t
+
+val add : t -> ty:Mm_taskgraph.Task_type.t -> pe:Pe.t -> impl -> t
+(** Functional update; raises [Invalid_argument] when a software PE is
+    given a positive [area] or when an entry for the pair already
+    exists. *)
+
+val find : t -> ty:Mm_taskgraph.Task_type.t -> pe:Pe.t -> impl option
+val find_exn : t -> ty:Mm_taskgraph.Task_type.t -> pe:Pe.t -> impl
+(** Raises [Not_found]. *)
+
+val supports : t -> ty:Mm_taskgraph.Task_type.t -> pe:Pe.t -> bool
+
+val supported_pes : t -> ty:Mm_taskgraph.Task_type.t -> Architecture.t -> Pe.t list
+(** PEs (in id order) offering an implementation of [ty]. *)
+
+val energy : impl -> float
+(** Nominal dynamic energy [dyn_power *. exec_time] (J). *)
+
+val n_entries : t -> int
+
+val iter :
+  (ty_id:int -> pe_id:int -> impl -> unit) -> t -> unit

@@ -1,0 +1,52 @@
+type t = { levels : float array; threshold : float }
+
+let make ~levels ~threshold =
+  if threshold < 0.0 then invalid_arg "Voltage.make: negative threshold";
+  let distinct = List.sort_uniq (fun a b -> compare b a) levels in
+  if distinct = [] then invalid_arg "Voltage.make: no levels";
+  List.iter
+    (fun v ->
+      if v <= threshold then
+        invalid_arg "Voltage.make: level must exceed threshold")
+    distinct;
+  { levels = Array.of_list distinct; threshold }
+
+let vmax t = t.levels.(0)
+let vmin t = t.levels.(Array.length t.levels - 1)
+let levels t = Array.to_list t.levels
+let n_levels t = Array.length t.levels
+
+let speed t v = ((v -. t.threshold) ** 2.0) /. v
+
+let delay_factor t v =
+  if v <= t.threshold then invalid_arg "Voltage.delay_factor: v <= threshold";
+  speed t (vmax t) /. speed t v
+
+let energy_factor t v = (v /. vmax t) ** 2.0
+let scaled_time t ~tmin v = tmin *. delay_factor t v
+let scaled_energy t ~pmax ~tmin v = pmax *. tmin *. energy_factor t v
+
+let slowest_feasible t ~tmin ~budget =
+  let fits v = scaled_time t ~tmin v <= budget +. 1e-12 in
+  (* Levels are descending, so the last fitting one is the slowest. *)
+  let rec scan best i =
+    if i >= Array.length t.levels then best
+    else if fits t.levels.(i) then scan (Some t.levels.(i)) (i + 1)
+    else best
+  in
+  scan None 0
+
+let next_lower t v =
+  let rec scan i =
+    if i >= Array.length t.levels then None
+    else if t.levels.(i) < v -. 1e-12 then Some t.levels.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let pp ppf t =
+  Format.fprintf ppf "rail[Vt=%g; %a]" t.threshold
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       (fun ppf v -> Format.fprintf ppf "%g" v))
+    (levels t)

@@ -1,0 +1,47 @@
+(** Discrete supply-voltage rails for DVS-enabled processing elements.
+
+    Delay follows the classic alpha-power law with alpha = 2:
+    gate speed is proportional to (V - Vt)^2 / V, so slowing from the
+    nominal voltage Vmax to V multiplies execution time by
+    [delay_factor].  Dynamic energy of a fixed workload scales with
+    (V / Vmax)^2, exactly the paper's E = Pmax * tmin * (Vdd/Vmax)^2. *)
+
+type t = private {
+  levels : float array;  (** Distinct levels, strictly descending; [levels.(0)] is Vmax. *)
+  threshold : float;  (** Threshold voltage Vt; all levels must exceed it. *)
+}
+
+val make : levels:float list -> threshold:float -> t
+(** Sorts and deduplicates [levels].  Raises [Invalid_argument] when the
+    list is empty, a level does not exceed [threshold], or [threshold] is
+    negative. *)
+
+val vmax : t -> float
+val vmin : t -> float
+val levels : t -> float list
+(** Descending. *)
+
+val n_levels : t -> int
+
+val delay_factor : t -> float -> float
+(** [delay_factor rail v]: execution-time multiplier at supply [v]
+    relative to Vmax (>= 1 for v <= Vmax). *)
+
+val energy_factor : t -> float -> float
+(** [(v /. vmax)^2]: dynamic-energy multiplier relative to Vmax. *)
+
+val scaled_time : t -> tmin:float -> float -> float
+(** [scaled_time rail ~tmin v = tmin *. delay_factor rail v]. *)
+
+val scaled_energy : t -> pmax:float -> tmin:float -> float -> float
+(** Dynamic energy of a task with nominal power [pmax] and nominal
+    duration [tmin] executed at supply [v]. *)
+
+val slowest_feasible : t -> tmin:float -> budget:float -> float option
+(** The lowest level whose scaled execution time still fits in [budget];
+    [None] when even Vmax does not fit. *)
+
+val next_lower : t -> float -> float option
+(** The next level strictly below the given one, if any. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+module Task = Mm_taskgraph.Task
+module Graph = Mm_taskgraph.Graph
+
+type t = {
+  mutable tasks : Task.t list;  (** Reversed. *)
+  mutable edges : Graph.edge list;
+  mutable next_id : int;
+}
+
+let create () = { tasks = []; edges = []; next_id = 0 }
+
+let add b ~name ~ty ?deadline () =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  b.tasks <- Task.make ~id ~name ~ty ?deadline () :: b.tasks;
+  id
+
+let link b ?(data = 1.0) src dst =
+  b.edges <- { Graph.src; dst; data } :: b.edges
+
+let chain b ?data ids =
+  let rec loop = function
+    | a :: (c :: _ as rest) ->
+      link b ?data a c;
+      loop rest
+    | [ _ ] | [] -> ()
+  in
+  loop ids
+
+let build b ~name =
+  Graph.make ~name ~tasks:(Array.of_list (List.rev b.tasks)) ~edges:b.edges
+
+let n_tasks b = b.next_id

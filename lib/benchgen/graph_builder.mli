@@ -1,0 +1,19 @@
+(** Small imperative helper for hand-authoring task graphs (used by the
+    smart phone model and by tests). *)
+
+type t
+
+val create : unit -> t
+
+val add :
+  t -> name:string -> ty:Mm_taskgraph.Task_type.t -> ?deadline:float -> unit -> int
+(** Appends a task; returns its id. *)
+
+val link : t -> ?data:float -> int -> int -> unit
+(** [link b src dst] adds a precedence edge ([data] defaults to 1.0). *)
+
+val chain : t -> ?data:float -> int list -> unit
+(** Links consecutive ids. *)
+
+val build : t -> name:string -> Mm_taskgraph.Graph.t
+val n_tasks : t -> int

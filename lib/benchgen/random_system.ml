@@ -1,0 +1,329 @@
+module Prng = Mm_util.Prng
+module Task_type = Mm_taskgraph.Task_type
+module Task = Mm_taskgraph.Task
+module Graph = Mm_taskgraph.Graph
+module Voltage = Mm_arch.Voltage
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Arch = Mm_arch.Architecture
+module Tech_lib = Mm_arch.Tech_lib
+module Mode = Mm_omsm.Mode
+module Transition = Mm_omsm.Transition
+module Omsm = Mm_omsm.Omsm
+module Spec = Mm_cosynth.Spec
+
+type params = {
+  n_modes : int;
+  tasks_per_mode : int * int;
+  n_pes : int * int;
+  n_cls : int * int;
+  n_task_types : int * int;
+  hw_speedup : float * float;
+  hw_power_ratio : float * float;
+  probability_skew : float;
+  period_tightness : float * float;
+  dvs_pe_fraction : float;
+}
+
+let default_params =
+  {
+    n_modes = 4;
+    tasks_per_mode = (8, 32);
+    n_pes = (2, 4);
+    n_cls = (1, 3);
+    n_task_types = (10, 18);
+    hw_speedup = (5.0, 100.0);
+    hw_power_ratio = (0.005, 0.05);
+    probability_skew = 3.0;
+    period_tightness = (0.8, 1.3);
+    dvs_pe_fraction = 0.5;
+  }
+
+let in_range rng (lo, hi) = Prng.int_in rng lo hi
+let in_frange rng (lo, hi) = Prng.float_in rng lo hi
+
+let standard_rails =
+  [
+    Voltage.make ~levels:[ 3.3; 2.7; 2.1; 1.5 ] ~threshold:0.5;
+    Voltage.make ~levels:[ 2.5; 1.8; 1.2 ] ~threshold:0.4;
+    Voltage.make ~levels:[ 1.8; 1.35; 0.9 ] ~threshold:0.3;
+  ]
+
+let random_architecture rng params =
+  let n_pes = in_range rng params.n_pes in
+  let random_rail () =
+    if Prng.chance rng params.dvs_pe_fraction then Some (Prng.pick rng standard_rails)
+    else None
+  in
+  let make_pe id =
+    (* PE0 is always a GPP so that every task type has a software
+       fallback implementation; PE1 is always a hardware component so
+       that the mapping decisions the paper studies (SW vs HW, sharing
+       vs duplication) exist in every generated system. *)
+    let kind =
+      if id = 0 then Pe.Gpp
+      else if id = 1 then (if Prng.chance rng 0.7 then Pe.Asic else Pe.Fpga)
+      else
+        let r = Prng.float rng 1.0 in
+        if r < 0.2 then Pe.Gpp
+        else if r < 0.4 then Pe.Asip
+        else if r < 0.8 then Pe.Asic
+        else Pe.Fpga
+    in
+    match kind with
+    | Pe.Gpp | Pe.Asip ->
+      (* PE0 is always DVS-enabled: the paper's DVS experiments rely on at
+         least one voltage-scalable processor (cf. the smart phone's DVS
+         GPP). *)
+      let rail =
+        if id = 0 then Some (Prng.pick rng standard_rails) else random_rail ()
+      in
+      Pe.make ~id
+        ~name:(Printf.sprintf "%s%d" (Pe.kind_to_string kind) id)
+        ~kind
+        ~static_power:(in_frange rng (2e-4, 8e-4))
+        ?rail ()
+    | Pe.Asic ->
+      let rail = random_rail () in
+      Pe.make ~id
+        ~name:(Printf.sprintf "ASIC%d" id)
+        ~kind:Pe.Asic
+        ~static_power:(in_frange rng (1e-4, 4e-4))
+        ?rail
+        ~area_capacity:(in_frange rng (400.0, 900.0))
+        ()
+    | Pe.Fpga ->
+      let rail = random_rail () in
+      Pe.make ~id
+        ~name:(Printf.sprintf "FPGA%d" id)
+        ~kind:Pe.Fpga
+        ~static_power:(in_frange rng (2e-4, 6e-4))
+        ?rail
+        ~area_capacity:(in_frange rng (400.0, 900.0))
+        ~reconfig_time_per_area:(in_frange rng (2e-5, 8e-5))
+        ()
+  in
+  let pes = List.init n_pes make_pe in
+  let all_pe_ids = List.init n_pes Fun.id in
+  let n_cls = in_range rng params.n_cls in
+  let make_cl id =
+    let connects =
+      if id = 0 || n_pes = 2 then all_pe_ids (* the system bus reaches every PE *)
+      else
+        let size = Prng.int_in rng 2 n_pes in
+        Prng.sample_without_replacement rng size all_pe_ids
+    in
+    Cl.make ~id
+      ~name:(Printf.sprintf "CL%d" id)
+      ~connects
+      ~time_per_data:(in_frange rng (2e-4, 8e-4))
+      ~transfer_power:(in_frange rng (0.02, 0.08))
+      ~static_power:(in_frange rng (2e-5, 1e-4))
+  in
+  let cls = List.init n_cls make_cl in
+  Arch.make ~name:"random" ~pes ~cls
+
+(* Per type: a software baseline profile plus derived per-PE
+   implementation points; hardware is [hw_speedup] faster at
+   [hw_power_ratio] of the power (the paper's stated assumption). *)
+let random_tech_lib rng params arch types =
+  let add_type tech ty =
+    let base_time = in_frange rng (2e-3, 2e-2) in
+    let base_power = in_frange rng (0.1, 0.5) in
+    List.fold_left
+      (fun tech pe ->
+        if Pe.is_software pe then
+          let impl =
+            Tech_lib.impl
+              ~exec_time:(base_time *. in_frange rng (0.8, 1.3))
+              ~dyn_power:(base_power *. in_frange rng (0.8, 1.2))
+              ()
+          in
+          Tech_lib.add tech ~ty ~pe impl
+        else if Prng.chance rng 0.85 then
+          let impl =
+            Tech_lib.impl
+              ~exec_time:(base_time /. in_frange rng params.hw_speedup)
+              ~dyn_power:(base_power *. in_frange rng params.hw_power_ratio)
+              ~area:(in_frange rng (60.0, 200.0))
+              ()
+          in
+          Tech_lib.add tech ~ty ~pe impl
+        else tech)
+      tech (Arch.pes arch)
+  in
+  List.fold_left add_type Tech_lib.empty types
+
+(* Layered DAG in topological id order: task ids ascend with layers, so
+   edges always point from smaller to larger ids. *)
+let random_graph rng params ~mode_id ~types ~mean_sw_time =
+  let n = in_range rng params.tasks_per_mode in
+  let depth =
+    max 2 (int_of_float (sqrt (float_of_int n) *. Prng.float_in rng 1.0 1.8))
+  in
+  let depth = min depth n in
+  (* Distribute n tasks over [depth] layers, each non-empty. *)
+  let layer_of = Array.make n 0 in
+  for i = 0 to n - 1 do
+    layer_of.(i) <- (if i < depth then i else Prng.int rng depth)
+  done;
+  Array.sort compare layer_of;
+  let task_types = Array.init n (fun _ -> Prng.pick rng types) in
+  let tasks =
+    Array.init n (fun i ->
+        Task.make ~id:i
+          ~name:(Printf.sprintf "m%dt%d" mode_id i)
+          ~ty:task_types.(i) ())
+  in
+  let edges = ref [] in
+  for j = 0 to n - 1 do
+    if layer_of.(j) > 0 then begin
+      let earlier = List.filter (fun i -> layer_of.(i) < layer_of.(j)) (List.init n Fun.id) in
+      let previous_layer = List.filter (fun i -> layer_of.(i) = layer_of.(j) - 1) earlier in
+      let n_preds = Prng.int_in rng 1 (min 3 (List.length earlier)) in
+      let chosen = ref [] in
+      for _ = 1 to n_preds do
+        let pool =
+          if previous_layer <> [] && Prng.chance rng 0.7 then previous_layer else earlier
+        in
+        let candidate = Prng.pick rng pool in
+        if not (List.mem candidate !chosen) then chosen := candidate :: !chosen
+      done;
+      List.iter
+        (fun i ->
+          edges :=
+            { Graph.src = i; dst = j; data = Prng.float_in rng 1.0 8.0 } :: !edges)
+        !chosen
+    end
+  done;
+  let serial_sw_time =
+    Array.fold_left (fun acc ty -> acc +. mean_sw_time ty) 0.0 task_types
+  in
+  let period = serial_sw_time *. in_frange rng params.period_tightness in
+  (* Some sinks get explicit deadlines tighter than the period. *)
+  let graph_no_deadline =
+    Graph.make ~name:(Printf.sprintf "mode%d" mode_id) ~tasks ~edges:!edges
+  in
+  let sinks = Graph.sinks graph_no_deadline in
+  let tasks_with_deadlines =
+    Array.map
+      (fun task ->
+        if List.mem (Task.id task) sinks && Prng.chance rng 0.3 then
+          Task.make ~id:(Task.id task) ~name:(Task.name task) ~ty:(Task.ty task)
+            ~deadline:(period *. Prng.float_in rng 0.75 1.0)
+            ()
+        else task)
+      tasks
+  in
+  let graph =
+    Graph.make ~name:(Printf.sprintf "mode%d" mode_id) ~tasks:tasks_with_deadlines
+      ~edges:!edges
+  in
+  (graph, period)
+
+let random_transitions rng n_modes =
+  (* A ring guarantees every mode is enterable; extra chords make the
+     FSM denser, like the smart phone's OMSM. *)
+  let ring =
+    List.init n_modes (fun i ->
+        Transition.make ~src:i ~dst:((i + 1) mod n_modes)
+          ~max_time:(Prng.float_in rng 0.05 0.15))
+  in
+  let extra = ref [] in
+  let n_extra = Prng.int rng (n_modes + 1) in
+  for _ = 1 to n_extra do
+    let src = Prng.int rng n_modes and dst = Prng.int rng n_modes in
+    let duplicate t = Transition.src t = src && Transition.dst t = dst in
+    if src <> dst && not (List.exists duplicate (ring @ !extra)) then
+      extra :=
+        Transition.make ~src ~dst ~max_time:(Prng.float_in rng 0.05 0.15) :: !extra
+  done;
+  ring @ !extra
+
+(* A generated system must admit at least one implementation that is
+   feasible without any hardware core (zero area, zero reconfiguration):
+   then infeasibility can only ever be a search failure, never a property
+   of the benchmark, and hardware scarcity shapes the energy trade-off
+   exactly as in the paper's motivational example.  An instance is
+   accepted when scheduling all tasks on software PEs — either all on PE0
+   or round-robin across the software PEs — meets every deadline. *)
+let all_software_feasible spec =
+  let arch = Spec.arch spec in
+  let tech = Spec.tech spec in
+  let sw_ids = List.map Pe.id (Arch.software_pes arch) in
+  let feasible_with assign =
+    List.for_all
+      (fun mode ->
+        let graph = Mode.graph mode in
+        let mapping = Array.init (Graph.n_tasks graph) assign in
+        let sched =
+          Mm_sched.List_scheduler.run
+            {
+              Mm_sched.List_scheduler.mode_id = Mode.id mode;
+              graph;
+              arch;
+              tech;
+              mapping;
+              instances = (fun ~pe:_ ~ty:_ -> 1);
+              period = Mode.period mode;
+            }
+        in
+        Mm_sched.Schedule.lateness sched ~graph = [])
+      (Omsm.modes (Spec.omsm spec))
+  in
+  match sw_ids with
+  | [] -> false
+  | first :: _ ->
+    feasible_with (fun _ -> first)
+    || feasible_with (fun i -> List.nth sw_ids (i mod List.length sw_ids))
+
+let generate_once ~params ~seed () =
+  let rng = Prng.create ~seed in
+  let n_types = in_range rng params.n_task_types in
+  let types = List.init n_types (fun i -> Task_type.make ~id:i ~name:(Printf.sprintf "T%d" i)) in
+  let arch = random_architecture rng params in
+  let tech = random_tech_lib rng params arch types in
+  let sw_pes = Arch.software_pes arch in
+  let mean_sw_time ty =
+    let times =
+      List.filter_map
+        (fun pe ->
+          Option.map (fun impl -> impl.Tech_lib.exec_time) (Tech_lib.find tech ~ty ~pe))
+        sw_pes
+    in
+    match times with
+    | [] -> 0.01
+    | _ -> List.fold_left ( +. ) 0.0 times /. float_of_int (List.length times)
+  in
+  let probabilities = Prng.dirichlet_like rng params.n_modes ~skew:params.probability_skew in
+  let modes =
+    List.init params.n_modes (fun mode_id ->
+        let graph, period = random_graph rng params ~mode_id ~types ~mean_sw_time in
+        Mode.make ~id:mode_id
+          ~name:(Printf.sprintf "O%d" mode_id)
+          ~graph ~period ~probability:probabilities.(mode_id))
+  in
+  let transitions = random_transitions rng params.n_modes in
+  let omsm = Omsm.make ~name:(Printf.sprintf "random-%d" seed) ~modes ~transitions in
+  Spec.make ~omsm ~arch ~tech
+
+let generate ?(params = default_params) ~seed () =
+  let max_attempts = 64 in
+  let rec attempt k =
+    (* Derive per-attempt seeds deterministically from the user's seed. *)
+    let spec = generate_once ~params ~seed:(seed + (1_000_003 * k)) () in
+    if all_software_feasible spec || k + 1 >= max_attempts then spec
+    else attempt (k + 1)
+  in
+  attempt 0
+
+let mul_mode_counts = [| 4; 4; 5; 5; 3; 4; 4; 4; 4; 5; 3; 4 |]
+
+let mul_mode_count i =
+  if i < 1 || i > 12 then invalid_arg "Random_system.mul_mode_count: index in 1..12";
+  mul_mode_counts.(i - 1)
+
+let mul i =
+  if i < 1 || i > 12 then invalid_arg "Random_system.mul: index in 1..12";
+  let params = { default_params with n_modes = mul_mode_counts.(i - 1) } in
+  generate ~params ~seed:(1000 + i) ()

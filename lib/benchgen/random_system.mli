@@ -1,0 +1,47 @@
+(** TGFF-style random multi-mode benchmark generator.
+
+    Reproduces the paper's experimental set-up (§5): each generated
+    example has 3–5 operational modes of 8–32 tasks, a target architecture
+    of 2–4 heterogeneous PEs (some DVS-enabled) connected by 1–3 CLs, a
+    technology library in which hardware implementations are 5–100×
+    faster than software ones, and an uneven mode-usage profile.
+    Generation is fully deterministic in the seed. *)
+
+type params = {
+  n_modes : int;
+  tasks_per_mode : int * int;  (** Inclusive range; paper: 8–32. *)
+  n_pes : int * int;  (** Paper: 2–4. *)
+  n_cls : int * int;  (** Paper: 1–3. *)
+  n_task_types : int * int;
+      (** Size of the shared type pool; drawing mode tasks from one pool
+          creates the cross-mode type intersections of §2.1.2. *)
+  hw_speedup : float * float;  (** Paper assumption: 5–100×. *)
+  hw_power_ratio : float * float;  (** HW dynamic power relative to SW. *)
+  probability_skew : float;
+      (** Skew of the mode-probability draw (see
+          {!Mm_util.Prng.dirichlet_like}). *)
+  period_tightness : float * float;
+      (** Mode period as a fraction of the all-software serial execution
+          time: < 1 forces either parallelism or hardware offload. *)
+  dvs_pe_fraction : float;  (** Probability that a PE is DVS-enabled. *)
+}
+
+val default_params : params
+(** The paper's published ranges ([n_modes] = 4). *)
+
+val generate : ?params:params -> seed:int -> unit -> Mm_cosynth.Spec.t
+(** A fresh random co-synthesis problem. *)
+
+val mul : int -> Mm_cosynth.Spec.t
+(** [mul i] for i in 1..12: the repository's stand-ins for the paper's
+    benchmarks mul1–mul12, with the paper's published mode counts
+    (4,4,5,5,3,4,4,4,4,5,3,4) and fixed seeds. *)
+
+val mul_mode_count : int -> int
+(** The paper's mode count for benchmark [i] (1-based). *)
+
+val all_software_feasible : Mm_cosynth.Spec.t -> bool
+(** Whether the specification admits a deadline-feasible schedule with
+    every task on software PEs (all on PE0, or round-robin).  {!generate}
+    redraws until this holds, so infeasibility of a synthesis result can
+    only ever be a search failure, never a property of the benchmark. *)

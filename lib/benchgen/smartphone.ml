@@ -1,0 +1,284 @@
+module Prng = Mm_util.Prng
+module Task_type = Mm_taskgraph.Task_type
+module Voltage = Mm_arch.Voltage
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Arch = Mm_arch.Architecture
+module Tech_lib = Mm_arch.Tech_lib
+module Mode = Mm_omsm.Mode
+module Transition = Mm_omsm.Transition
+module Omsm = Mm_omsm.Omsm
+module Spec = Mm_cosynth.Spec
+module B = Graph_builder
+
+(* Task types.  The first seven are the cores named in Fig. 1c; the rest
+   cover the GSM radio stack, the MP3 decoder chain, network search and
+   photo display.  [hw] marks signal-processing types that may also be
+   implemented as ASIC cores; control-dominated types stay software-only. *)
+let type_table =
+  [|
+    (* name, sw exec time (s), sw dyn power (W), hardware-capable *)
+    ("FFT", 1.8e-3, 0.35, true);
+    ("HD", 1.2e-3, 0.30, true);
+    ("IDCT", 1.6e-3, 0.38, true);
+    ("ColorTr", 0.9e-3, 0.28, true);
+    ("DeQ", 0.5e-3, 0.22, true);
+    ("STP", 1.4e-3, 0.33, true);
+    ("LTP", 1.7e-3, 0.36, true);
+    ("RPE", 1.5e-3, 0.34, true);
+    ("LPC", 1.3e-3, 0.31, true);
+    ("Preproc", 0.6e-3, 0.20, false);
+    ("Postproc", 0.5e-3, 0.20, false);
+    ("ChanEst", 1.1e-3, 0.30, true);
+    ("Equalize", 1.9e-3, 0.40, true);
+    ("Deintl", 0.4e-3, 0.18, false);
+    ("Viterbi", 2.4e-3, 0.45, true);
+    ("TxMod", 0.8e-3, 0.25, false);
+    ("RfCtrl", 0.5e-3, 0.20, false);
+    ("Handover", 0.7e-3, 0.22, false);
+    ("PowerCtrl", 0.4e-3, 0.18, false);
+    ("SyncParse", 0.5e-3, 0.20, false);
+    ("Stereo", 0.6e-3, 0.22, true);
+    ("AntiAlias", 0.8e-3, 0.26, true);
+    ("FreqInv", 0.5e-3, 0.20, true);
+    ("SynthFB", 2.2e-3, 0.42, true);
+    ("ScanRF", 1.0e-3, 0.30, false);
+    ("Correlate", 1.6e-3, 0.36, true);
+    ("DecodeBCCH", 0.9e-3, 0.28, false);
+    ("ReadImg", 1.2e-3, 0.25, false);
+    ("Scale", 1.5e-3, 0.30, true);
+    ("Dither", 1.1e-3, 0.28, true);
+    ("LcdWrite", 0.8e-3, 0.24, false);
+    ("ParseHdr", 0.6e-3, 0.20, false);
+    ("Pack", 0.4e-3, 0.18, false);
+  |]
+
+let ty =
+  let types =
+    Array.mapi (fun id (name, _, _, _) -> Task_type.make ~id ~name) type_table
+  in
+  fun name ->
+    match Array.find_opt (fun t -> Task_type.name t = name) types with
+    | Some t -> t
+    | None -> invalid_arg ("Smartphone.ty: unknown type " ^ name)
+
+(* --- Application sub-graphs ------------------------------------------- *)
+
+(* GSM radio link control: receive chain, control fan-out, transmit. *)
+let add_rlc b =
+  let chan_est = B.add b ~name:"rlc_chan_est" ~ty:(ty "ChanEst") () in
+  let equalize = B.add b ~name:"rlc_equalize" ~ty:(ty "Equalize") () in
+  let deintl = B.add b ~name:"rlc_deintl" ~ty:(ty "Deintl") () in
+  let viterbi = B.add b ~name:"rlc_viterbi" ~ty:(ty "Viterbi") () in
+  let rf_ctrl = B.add b ~name:"rlc_rf_ctrl" ~ty:(ty "RfCtrl") () in
+  let handover = B.add b ~name:"rlc_handover" ~ty:(ty "Handover") () in
+  let power_ctrl = B.add b ~name:"rlc_power_ctrl" ~ty:(ty "PowerCtrl") () in
+  let tx_mod = B.add b ~name:"rlc_tx_mod" ~ty:(ty "TxMod") () in
+  B.chain b [ chan_est; equalize; deintl; viterbi ];
+  B.link b viterbi rf_ctrl;
+  B.link b viterbi handover;
+  B.link b viterbi power_ctrl;
+  B.link b power_ctrl tx_mod;
+  ()
+
+(* GSM 06.10 full-rate codec: encoder and decoder chains per frame. *)
+let add_gsm_codec b =
+  let pre = B.add b ~name:"enc_preproc" ~ty:(ty "Preproc") () in
+  let lpc = B.add b ~name:"enc_lpc" ~ty:(ty "LPC") () in
+  let stp_e = B.add b ~name:"enc_stp" ~ty:(ty "STP") () in
+  let ltp_e = B.add b ~name:"enc_ltp" ~ty:(ty "LTP") () in
+  let rpe_e = B.add b ~name:"enc_rpe" ~ty:(ty "RPE") () in
+  let pack = B.add b ~name:"enc_pack" ~ty:(ty "Pack") () in
+  B.chain b [ pre; lpc; stp_e; ltp_e; rpe_e; pack ];
+  let unpack = B.add b ~name:"dec_unpack" ~ty:(ty "Pack") () in
+  let rpe_d = B.add b ~name:"dec_rpe" ~ty:(ty "RPE") () in
+  let ltp_d = B.add b ~name:"dec_ltp" ~ty:(ty "LTP") () in
+  let stp_d = B.add b ~name:"dec_stp" ~ty:(ty "STP") () in
+  let post = B.add b ~name:"dec_postproc" ~ty:(ty "Postproc") () in
+  B.chain b [ unpack; rpe_d; ltp_d; stp_d; post ];
+  ()
+
+(* mpeg3play-style MP3 decoder: shared front end, two granules of two
+   channels each through the filter bank. *)
+let add_mp3 b =
+  let sync = B.add b ~name:"mp3_sync" ~ty:(ty "SyncParse") () in
+  let hd = B.add b ~name:"mp3_huffman" ~ty:(ty "HD") () in
+  let deq = B.add b ~name:"mp3_dequant" ~ty:(ty "DeQ") () in
+  let stereo = B.add b ~name:"mp3_stereo" ~ty:(ty "Stereo") () in
+  B.chain b [ sync; hd; deq; stereo ];
+  let mix = B.add b ~name:"mp3_mix" ~ty:(ty "Postproc") () in
+  for granule = 0 to 1 do
+    for channel = 0 to 1 do
+      let tag = Printf.sprintf "g%dc%d" granule channel in
+      let anti = B.add b ~name:("mp3_alias_" ^ tag) ~ty:(ty "AntiAlias") () in
+      let imdct = B.add b ~name:("mp3_imdct_" ^ tag) ~ty:(ty "IDCT") () in
+      let freq = B.add b ~name:("mp3_freqinv_" ^ tag) ~ty:(ty "FreqInv") () in
+      let synth = B.add b ~name:("mp3_synth_" ^ tag) ~ty:(ty "SynthFB") () in
+      B.link b stereo anti;
+      B.chain b [ anti; imdct; freq; synth ];
+      B.link b synth mix
+    done
+  done;
+  ()
+
+(* jpeg-6b-style baseline decoder: serial entropy decoding feeding
+   [stripes] parallel dequantise→IDCT→colour pipelines. *)
+let add_jpeg b ~stripes =
+  let hdr = B.add b ~name:"jpg_parse" ~ty:(ty "ParseHdr") () in
+  let hd = B.add b ~name:"jpg_huffman" ~ty:(ty "HD") () in
+  let merge = B.add b ~name:"jpg_merge" ~ty:(ty "Postproc") () in
+  B.link b hdr hd;
+  for stripe = 0 to stripes - 1 do
+    let tag = string_of_int stripe in
+    let deq = B.add b ~name:("jpg_deq_" ^ tag) ~ty:(ty "DeQ") () in
+    let idct = B.add b ~name:("jpg_idct_" ^ tag) ~ty:(ty "IDCT") () in
+    let color = B.add b ~name:("jpg_color_" ^ tag) ~ty:(ty "ColorTr") () in
+    B.link b hd deq ~data:2.0;
+    B.chain b [ deq; idct; color ];
+    B.link b color merge
+  done;
+  ()
+
+(* Cell search: RF scan feeding two FFT windows correlated against the
+   synchronisation sequence. *)
+let add_net_search b =
+  let scan = B.add b ~name:"ns_scan" ~ty:(ty "ScanRF") () in
+  let fft_a = B.add b ~name:"ns_fft_a" ~ty:(ty "FFT") () in
+  let fft_b = B.add b ~name:"ns_fft_b" ~ty:(ty "FFT") () in
+  let corr_a = B.add b ~name:"ns_corr_a" ~ty:(ty "Correlate") () in
+  let corr_b = B.add b ~name:"ns_corr_b" ~ty:(ty "Correlate") () in
+  let bcch = B.add b ~name:"ns_bcch" ~ty:(ty "DecodeBCCH") () in
+  B.link b scan fft_a;
+  B.link b scan fft_b;
+  B.link b fft_a corr_a;
+  B.link b fft_b corr_b;
+  B.link b corr_a bcch;
+  B.link b corr_b bcch;
+  ()
+
+(* 256-colour photo display pipeline (Fig. 1b's Show Photo side). *)
+let add_photo_show b =
+  let read = B.add b ~name:"ph_read" ~ty:(ty "ReadImg") () in
+  let color = B.add b ~name:"ph_colortr" ~ty:(ty "ColorTr") () in
+  let scale = B.add b ~name:"ph_scale" ~ty:(ty "Scale") () in
+  let dither = B.add b ~name:"ph_dither" ~ty:(ty "Dither") () in
+  let lcd = B.add b ~name:"ph_lcd" ~ty:(ty "LcdWrite") () in
+  B.chain b [ read; color; scale; dither; lcd ];
+  ()
+
+(* --- Modes (Fig. 1a) --------------------------------------------------- *)
+
+let mode_names =
+  [|
+    "GSM codec + RLC";
+    "Radio Link Control";
+    "Network Search";
+    "decode Photo + RLC";
+    "Show Photo";
+    "MP3 play + RLC";
+    "MP3 play + Network Search";
+    "decode Photo + Network Search";
+  |]
+
+let probabilities = [| 0.09; 0.74; 0.01; 0.02; 0.02; 0.10; 0.01; 0.01 |]
+
+let periods = [| 0.020; 0.025; 0.050; 0.050; 0.040; 0.025; 0.025; 0.050 |]
+
+let build_mode id =
+  let b = B.create () in
+  (match id with
+  | 0 ->
+    add_gsm_codec b;
+    add_rlc b
+  | 1 -> add_rlc b
+  | 2 -> add_net_search b
+  | 3 ->
+    add_jpeg b ~stripes:8;
+    add_rlc b
+  | 4 -> add_photo_show b
+  | 5 ->
+    add_mp3 b;
+    add_rlc b
+  | 6 ->
+    add_mp3 b;
+    add_net_search b
+  | 7 ->
+    add_jpeg b ~stripes:8;
+    add_net_search b
+  | _ -> invalid_arg "Smartphone.build_mode");
+  let graph = B.build b ~name:mode_names.(id) in
+  Mode.make ~id ~name:mode_names.(id) ~graph ~period:periods.(id)
+    ~probability:probabilities.(id)
+
+let transitions =
+  (* (src, dst): the mode-change events of Fig. 1a. *)
+  [
+    (0, 1); (1, 0);  (* terminate call / incoming call            *)
+    (1, 2); (2, 1);  (* network lost / network found              *)
+    (1, 5); (5, 1);  (* play audio / terminate audio              *)
+    (1, 3);          (* take photo                                *)
+    (3, 4);          (* photo decoded, show it                    *)
+    (4, 1); (4, 2);  (* terminate photo                           *)
+    (5, 6); (6, 5);  (* network lost / found while playing        *)
+    (2, 6); (6, 2);  (* play audio / terminate audio (no network) *)
+    (2, 7);          (* take photo (no network)                   *)
+    (7, 4);          (* photo decoded, show it                    *)
+  ]
+  |> List.map (fun (src, dst) -> Transition.make ~src ~dst ~max_time:0.030)
+
+(* --- Architecture (Fig. 1c): one DVS GPP + two ASICs on a bus. -------- *)
+
+let architecture () =
+  let rail = Voltage.make ~levels:[ 3.3; 2.7; 2.1; 1.5 ] ~threshold:0.5 in
+  let gpp =
+    Pe.make ~id:0 ~name:"CPU" ~kind:Pe.Gpp ~static_power:5e-4 ~rail ()
+  in
+  let asic1 =
+    Pe.make ~id:1 ~name:"ASIC1" ~kind:Pe.Asic ~static_power:2e-4
+      ~area_capacity:900.0 ()
+  in
+  let asic2 =
+    Pe.make ~id:2 ~name:"ASIC2" ~kind:Pe.Asic ~static_power:2e-4
+      ~area_capacity:900.0 ()
+  in
+  let bus =
+    Cl.make ~id:0 ~name:"BUS" ~connects:[ 0; 1; 2 ] ~time_per_data:1e-4
+      ~transfer_power:0.05 ~static_power:5e-5
+  in
+  Arch.make ~name:"smartphone" ~pes:[ gpp; asic1; asic2 ] ~cls:[ bus ]
+
+(* Hardware implementation points follow the paper's stated assumption —
+   "hardware tasks typically executed 5 to 100 times faster than their
+   software counterparts" — drawn from a fixed-seed generator so the
+   benchmark is identical on every build. *)
+let technology_library arch =
+  let rng = Prng.create ~seed:20030307 in
+  let pes = Arch.pes arch in
+  Array.to_list type_table
+  |> List.fold_left
+       (fun tech (name, sw_time, sw_power, hw_capable) ->
+         let t = ty name in
+         List.fold_left
+           (fun tech pe ->
+             if Pe.is_software pe then
+               Tech_lib.add tech ~ty:t ~pe
+                 (Tech_lib.impl ~exec_time:sw_time ~dyn_power:sw_power ())
+             else if hw_capable then
+               let speedup = Prng.float_in rng 5.0 100.0 in
+               let power_ratio = Prng.float_in rng 0.005 0.03 in
+               let area = Prng.float_in rng 80.0 220.0 in
+               Tech_lib.add tech ~ty:t ~pe
+                 (Tech_lib.impl
+                    ~exec_time:(sw_time /. speedup)
+                    ~dyn_power:(sw_power *. power_ratio)
+                    ~area ())
+             else tech)
+           tech pes)
+       Tech_lib.empty
+
+let spec () =
+  let arch = architecture () in
+  let tech = technology_library arch in
+  let modes = List.init 8 build_mode in
+  let omsm = Omsm.make ~name:"smartphone" ~modes ~transitions in
+  Spec.make ~omsm ~arch ~tech

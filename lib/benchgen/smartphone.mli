@@ -1,0 +1,25 @@
+(** The paper's real-life smart phone benchmark (Fig. 1, Table 3).
+
+    Eight operational modes combining GSM telephony, MP3 playback and
+    digital-camera JPEG decoding, with the published usage profile
+    (74 % Radio Link Control, 9 % GSM codec + RLC, 10 % MP3 + RLC, …) and
+    the published architecture: one DVS-enabled GPP and two ASICs on a
+    single bus.
+
+    The task graphs are synthetic stand-ins with the structure of the
+    referenced applications (GSM 06.10 codec, mpeg3play, jpeg-6b):
+    per-mode node counts range from 5 to ~40, task types such as FFT, HD,
+    IDCT, ColorTr, DeQ, STP, LTP are shared across modes (Fig. 1c), and
+    hardware implementations are 5–100× faster than software, drawn
+    deterministically from a fixed seed — see DESIGN.md §3 for why this
+    substitution preserves the experiment. *)
+
+val spec : unit -> Mm_cosynth.Spec.t
+(** The full co-synthesis problem.  Deterministic: every call builds an
+    identical specification. *)
+
+val mode_names : string array
+(** The eight mode names, by mode id. *)
+
+val probabilities : float array
+(** The published usage profile, by mode id. *)

@@ -1,0 +1,165 @@
+module Omsm = Mm_omsm.Omsm
+module Mode = Mm_omsm.Mode
+module Graph = Mm_taskgraph.Graph
+module Task = Mm_taskgraph.Task
+module Task_type = Mm_taskgraph.Task_type
+module Mobility = Mm_taskgraph.Mobility
+module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
+module Tech_lib = Mm_arch.Tech_lib
+
+module Int_map = Map.Make (Int)
+
+type t = {
+  arch : Arch.t;
+  (* per mode, per PE: type id -> instance count actually loaded. *)
+  loaded : int Int_map.t array array;
+  area_used : float array;
+  area_excess : float array;
+}
+
+let type_area spec ~pe ~ty_id = Spec.core_area spec ~pe ~ty_id
+
+(* Maximum number of simultaneously executable tasks among the given
+   tasks, from their ASAP..(ALAP+exec) windows: sweep the window
+   endpoints. *)
+let max_window_overlap mobility tasks =
+  let events =
+    List.concat_map
+      (fun task ->
+        let start = mobility.Mobility.asap.(task) in
+        let finish = mobility.Mobility.alap.(task) +. mobility.Mobility.exec.(task) in
+        [ (start, 1); (finish, -1) ])
+      tasks
+  in
+  let sorted = List.sort compare events in
+  let best = ref 0 and current = ref 0 in
+  List.iter
+    (fun (_, delta) ->
+      current := !current + delta;
+      best := max !best !current)
+    sorted;
+  !best
+
+let allocate spec mapping ~mobilities =
+  let omsm = Spec.omsm spec in
+  let arch = Spec.arch spec in
+  let n_modes = Omsm.n_modes omsm in
+  let n_pes = Arch.n_pes arch in
+  (* Base allocation: one instance per (mode, hw PE, used type); wishes
+     for extra instances collected alongside. *)
+  let loaded = Array.init n_modes (fun _ -> Array.make n_pes Int_map.empty) in
+  let wishes = ref [] in
+  for mode = 0 to n_modes - 1 do
+    let graph = Mode.graph (Omsm.mode omsm mode) in
+    for pe = 0 to n_pes - 1 do
+      if Pe.is_hardware (Arch.pe arch pe) then begin
+        let tasks = Mapping.tasks_on_pe mapping ~mode ~pe in
+        let by_type =
+          List.fold_left
+            (fun acc task ->
+              let ty_id = Task_type.id (Task.ty (Graph.task graph task)) in
+              let existing = Option.value ~default:[] (Int_map.find_opt ty_id acc) in
+              Int_map.add ty_id (task :: existing) acc)
+            Int_map.empty tasks
+        in
+        Int_map.iter
+          (fun ty_id ty_tasks ->
+            loaded.(mode).(pe) <- Int_map.add ty_id 1 loaded.(mode).(pe);
+            let desired = max_window_overlap mobilities.(mode) ty_tasks in
+            if desired > 1 then begin
+              let avg_mobility =
+                List.fold_left
+                  (fun acc task -> acc +. Mobility.mobility mobilities.(mode) task)
+                  0.0 ty_tasks
+                /. float_of_int (List.length ty_tasks)
+              in
+              wishes := (avg_mobility, mode, pe, ty_id, desired) :: !wishes
+            end)
+          by_type
+      end
+    done
+  done;
+  (* ASIC cores are static: replicate the union of per-mode working sets
+     into every mode (a type mapped to an ASIC anywhere exists always). *)
+  for pe = 0 to n_pes - 1 do
+    let pe_rec = Arch.pe arch pe in
+    if Pe.kind pe_rec = Pe.Asic then begin
+      let union =
+        Array.fold_left
+          (fun acc per_pe ->
+            Int_map.union (fun _ a b -> Some (max a b)) acc per_pe.(pe))
+          Int_map.empty loaded
+      in
+      Array.iter (fun per_pe -> per_pe.(pe) <- union) loaded
+    end
+  done;
+  let area_of_map pe m =
+    Int_map.fold
+      (fun ty_id count acc -> acc +. (float_of_int count *. type_area spec ~pe ~ty_id))
+      m 0.0
+  in
+  let pe_area_used pe =
+    let pe_rec = Arch.pe arch pe in
+    if not (Pe.is_hardware pe_rec) then 0.0
+    else
+      Array.fold_left
+        (fun acc per_pe -> Float.max acc (area_of_map pe per_pe.(pe)))
+        0.0 loaded
+  in
+  (* Grant extra instances lowest-mobility wishes first while the area
+     constraint holds. *)
+  let sorted_wishes = List.sort compare !wishes in
+  List.iter
+    (fun (_, mode, pe, ty_id, desired) ->
+      let pe_rec = Arch.pe arch pe in
+      let capacity = Pe.area_capacity pe_rec in
+      let unit_area = type_area spec ~pe ~ty_id in
+      let raise_count per_pe =
+        per_pe.(pe) <-
+          Int_map.update ty_id
+            (function Some c -> Some (c + 1) | None -> Some 1)
+            per_pe.(pe)
+      in
+      let current () = Option.value ~default:0 (Int_map.find_opt ty_id loaded.(mode).(pe)) in
+      let fits_after_raise () =
+        if unit_area <= 0.0 then true
+        else if Pe.kind pe_rec = Pe.Asic then pe_area_used pe +. unit_area <= capacity +. 1e-9
+        else area_of_map pe loaded.(mode).(pe) +. unit_area <= capacity +. 1e-9
+      in
+      let rec grow () =
+        if current () < desired && fits_after_raise () then begin
+          if Pe.kind pe_rec = Pe.Asic then Array.iter raise_count loaded
+          else raise_count loaded.(mode);
+          grow ()
+        end
+      in
+      grow ())
+    sorted_wishes;
+  let area_used = Array.init n_pes pe_area_used in
+  let area_excess =
+    Array.init n_pes (fun pe ->
+        let pe_rec = Arch.pe arch pe in
+        if Pe.is_hardware pe_rec then
+          Float.max 0.0 (area_used.(pe) -. Pe.area_capacity pe_rec)
+        else 0.0)
+  in
+  { arch; loaded; area_used; area_excess }
+
+let instances t ~mode ~pe ~ty =
+  Option.value ~default:0 (Int_map.find_opt ty t.loaded.(mode).(pe))
+
+let area_used t ~pe = t.area_used.(pe)
+let area_excess t ~pe = t.area_excess.(pe)
+
+let excess_ratio_sum t =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun pe excess ->
+      if excess > 0.0 then
+        acc := !acc +. (excess /. Pe.area_capacity (Arch.pe t.arch pe)))
+    t.area_excess;
+  !acc
+
+let loaded_types t ~mode ~pe = Int_map.bindings t.loaded.(mode).(pe)
+let area_feasible t = Array.for_all (fun e -> e <= 1e-9) t.area_excess

@@ -1,0 +1,45 @@
+(** Hardware core allocation (paper §4.1, lines 4–6).
+
+    Every task type mapped to a hardware PE needs a core of that type.
+    ASIC cores are static: once a type is implemented on an ASIC it
+    occupies area in {e every} mode.  FPGA cores can be exchanged at mode
+    changes, so their area constraint applies per mode and swapping them
+    costs reconfiguration time (handled by {!Transition_time}).
+
+    On top of the one-core-per-type baseline, additional core instances
+    are allocated to types whose tasks can run in parallel (overlapping
+    ASAP–ALAP execution windows), lowest-mobility types first, as long as
+    the area constraint allows — increasing exploitable parallelism and,
+    under DVS, the slack available for voltage scaling. *)
+
+type t
+
+val allocate :
+  Spec.t ->
+  Mapping.t ->
+  mobilities:Mm_taskgraph.Mobility.t array ->
+  t
+(** [mobilities.(mode)] must be the mode's analysis under the same
+    mapping. *)
+
+val instances : t -> mode:int -> pe:int -> ty:int -> int
+(** Allocated core instances usable by the mode (0 when the type is not
+    loaded).  For ASICs this is the static global count. *)
+
+val area_used : t -> pe:int -> float
+(** ASIC: total static core area.  FPGA: worst mode's loaded area.
+    Software PEs: 0. *)
+
+val area_excess : t -> pe:int -> float
+(** max(0, used − capacity). *)
+
+val excess_ratio_sum : t -> float
+(** Σ_π excess/capacity over violating hardware PEs — the area penalty's
+    raw magnitude. *)
+
+val loaded_types : t -> mode:int -> pe:int -> (int * int) list
+(** [(type id, instance count)] loaded on the PE during the mode
+    (FPGA: the mode's working set; ASIC: the static set), ascending by
+    type id. *)
+
+val area_feasible : t -> bool

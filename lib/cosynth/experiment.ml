@@ -1,0 +1,55 @@
+module Stats = Mm_util.Stats
+
+type arm = {
+  power : Stats.summary;
+  cpu_seconds : Stats.summary;
+  best : Synthesis.result;
+}
+
+type comparison = {
+  without_probabilities : arm;
+  with_probabilities : arm;
+  reduction_percent : float;
+}
+
+let run_arm ~ga ~dvs ~use_improvements ~restarts ~weighting ~spec ~runs ~seed =
+  if runs <= 0 then invalid_arg "Experiment.compare: runs must be positive";
+  let config =
+    {
+      Synthesis.fitness = { Fitness.default_config with Fitness.weighting; dvs };
+      ga;
+      use_improvements;
+      restarts;
+    }
+  in
+  let results =
+    List.init runs (fun r -> Synthesis.run ~config ~spec ~seed:(seed + r) ())
+  in
+  let powers = List.map Synthesis.average_power results in
+  let cpu = List.map (fun r -> r.Synthesis.cpu_seconds) results in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        if Synthesis.average_power r < Synthesis.average_power acc then r else acc)
+      (List.hd results) (List.tl results)
+  in
+  { power = Stats.summarize powers; cpu_seconds = Stats.summarize cpu; best }
+
+let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
+    ?(use_improvements = true) ?(restarts = Synthesis.default_config.Synthesis.restarts)
+    ~spec ~runs ~seed () =
+  let without_probabilities =
+    run_arm ~ga ~dvs ~use_improvements ~restarts ~weighting:Fitness.Uniform ~spec ~runs
+      ~seed
+  in
+  let with_probabilities =
+    run_arm ~ga ~dvs ~use_improvements ~restarts ~weighting:Fitness.True_probabilities
+      ~spec ~runs ~seed
+  in
+  {
+    without_probabilities;
+    with_probabilities;
+    reduction_percent =
+      Stats.percent_reduction ~from:without_probabilities.power.Stats.mean
+        ~to_:with_probabilities.power.Stats.mean;
+  }

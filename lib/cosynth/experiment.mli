@@ -1,0 +1,33 @@
+(** The paper's experimental protocol: synthesise each benchmark twice —
+    once neglecting mode execution probabilities (uniform weighting, the
+    baseline of every table) and once with the proposed
+    probability-weighted fitness — over several repeated GA runs, and
+    report averaged powers, CPU times and the percentage reduction. *)
+
+type arm = {
+  power : Mm_util.Stats.summary;  (** True average power over the runs (W). *)
+  cpu_seconds : Mm_util.Stats.summary;
+  best : Synthesis.result;  (** The run with the lowest true average power. *)
+}
+
+type comparison = {
+  without_probabilities : arm;  (** Weighting = Uniform. *)
+  with_probabilities : arm;  (** Weighting = True_probabilities (proposed). *)
+  reduction_percent : float;
+      (** 100·(baseline − proposed)/baseline on mean powers; the
+          "Reduc. (%)" column. *)
+}
+
+val compare :
+  ?ga:Mm_ga.Engine.config ->
+  ?dvs:Fitness.dvs ->
+  ?use_improvements:bool ->
+  ?restarts:int ->
+  spec:Spec.t ->
+  runs:int ->
+  seed:int ->
+  unit ->
+  comparison
+(** [runs] repeated synthesis runs per arm (the paper used 40), seeded
+    [seed], [seed+1], …; both arms share seeds so the comparison is
+    paired. *)

@@ -1,0 +1,202 @@
+module Omsm = Mm_omsm.Omsm
+module Mode = Mm_omsm.Mode
+module Graph = Mm_taskgraph.Graph
+module Task = Mm_taskgraph.Task
+module Task_type = Mm_taskgraph.Task_type
+module Mobility = Mm_taskgraph.Mobility
+module Arch = Mm_arch.Architecture
+module Tech_lib = Mm_arch.Tech_lib
+module Schedule = Mm_sched.Schedule
+module List_scheduler = Mm_sched.List_scheduler
+module Comm_mapping = Mm_sched.Comm_mapping
+module Scaling = Mm_dvs.Scaling
+module Power = Mm_energy.Power
+
+type weighting = True_probabilities | Uniform
+
+type dvs = No_dvs | Dvs of Scaling.config
+
+type penalties = {
+  timing : float;
+  area : float;
+  transition : float;
+  unroutable : float;
+}
+
+let default_penalties = { timing = 20.0; area = 20.0; transition = 20.0; unroutable = 100.0 }
+
+type config = {
+  weighting : weighting;
+  dvs : dvs;
+  penalties : penalties;
+  scheduler_policy : List_scheduler.policy;
+}
+
+let default_config =
+  {
+    weighting = True_probabilities;
+    dvs = No_dvs;
+    penalties = default_penalties;
+    scheduler_policy = List_scheduler.Mobility_first;
+  }
+
+type eval = {
+  fitness : float;
+  eval_power : float;
+  true_power : float;
+  timing_factor : float;
+  area_factor : float;
+  transition_factor : float;
+  routability_factor : float;
+  timing_feasible : bool;
+  area_feasible : bool;
+  transition_feasible : bool;
+  routable : bool;
+  mode_powers : Power.mode_power array;
+  schedules : Schedule.t array;
+  scalings : Scaling.t array;
+  alloc : Core_alloc.t;
+  transition_times : Transition_time.entry list;
+  mapping : Mapping.t;
+}
+
+let feasible e = e.timing_feasible && e.area_feasible && e.transition_feasible && e.routable
+
+let mode_mobility spec mapping mode =
+  let omsm = Spec.omsm spec in
+  let arch = Spec.arch spec in
+  let tech = Spec.tech spec in
+  let mode_rec = Omsm.mode omsm mode in
+  let graph = Mode.graph mode_rec in
+  let per_task = (mapping : Mapping.t :> int array array).(mode) in
+  let exec_time task =
+    let pe = Arch.pe arch per_task.(Task.id task) in
+    (Tech_lib.find_exn tech ~ty:(Task.ty task) ~pe).Tech_lib.exec_time
+  in
+  let comm_time (e : Graph.edge) =
+    match
+      Comm_mapping.route arch ~src_pe:per_task.(e.src) ~dst_pe:per_task.(e.dst)
+        ~data:e.data
+    with
+    | Comm_mapping.Local | Comm_mapping.Unroutable -> 0.0
+    | Comm_mapping.Via { time; _ } -> time
+  in
+  Mobility.compute graph ~exec_time ~comm_time ~horizon:(Mode.period mode_rec)
+
+let evaluate_mapping config spec mapping =
+  let omsm = Spec.omsm spec in
+  let arch = Spec.arch spec in
+  let tech = Spec.tech spec in
+  let n_modes = Omsm.n_modes omsm in
+  let mobilities = Array.init n_modes (mode_mobility spec mapping) in
+  let alloc = Core_alloc.allocate spec mapping ~mobilities in
+  let schedules =
+    Array.init n_modes (fun mode ->
+        let mode_rec = Omsm.mode omsm mode in
+        List_scheduler.run ~policy:config.scheduler_policy
+          {
+            List_scheduler.mode_id = mode;
+            graph = Mode.graph mode_rec;
+            arch;
+            tech;
+            mapping = (mapping : Mapping.t :> int array array).(mode);
+            instances = (fun ~pe ~ty -> max 1 (Core_alloc.instances alloc ~mode ~pe ~ty));
+            period = Mode.period mode_rec;
+          })
+  in
+  let scalings =
+    Array.init n_modes (fun mode ->
+        let graph = Mode.graph (Omsm.mode omsm mode) in
+        match config.dvs with
+        | No_dvs -> Scaling.nominal ~graph ~arch ~tech ~schedule:schedules.(mode) ()
+        | Dvs scaling_config ->
+          Scaling.run ~config:scaling_config ~graph ~arch ~tech
+            ~schedule:schedules.(mode) ())
+  in
+  (* Timing: post-compaction / post-scaling finish times against
+     min(deadline, period), normalised by the period. *)
+  let timing_violation = ref 0.0 in
+  for mode = 0 to n_modes - 1 do
+    let mode_rec = Omsm.mode omsm mode in
+    let graph = Mode.graph mode_rec in
+    let period = Mode.period mode_rec in
+    Array.iteri
+      (fun task finish ->
+        let bound =
+          match Task.deadline (Graph.task graph task) with
+          | None -> period
+          | Some d -> Float.min d period
+        in
+        let excess = finish -. bound in
+        if excess > 1e-9 then timing_violation := !timing_violation +. (excess /. period))
+      scalings.(mode).Scaling.stretched_finish
+  done;
+  let mode_powers =
+    Array.init n_modes (fun mode ->
+        Power.mode_power ~arch ~schedule:schedules.(mode)
+          ~dyn_energy:scalings.(mode).Scaling.total_dyn_energy)
+  in
+  let true_probabilities =
+    Array.init n_modes (fun mode -> Mode.probability (Omsm.mode omsm mode))
+  in
+  let eval_probabilities =
+    match config.weighting with
+    | True_probabilities -> true_probabilities
+    | Uniform -> Array.make n_modes (1.0 /. float_of_int n_modes)
+  in
+  let true_power = Power.average ~probabilities:true_probabilities mode_powers in
+  let eval_power = Power.average ~probabilities:eval_probabilities mode_powers in
+  let transition_times = Transition_time.compute spec alloc in
+  let unroutable_count =
+    Array.fold_left
+      (fun acc s -> acc + List.length s.Schedule.unroutable)
+      0 schedules
+  in
+  let timing_factor = 1.0 +. (config.penalties.timing *. !timing_violation) in
+  let area_factor = 1.0 +. (config.penalties.area *. Core_alloc.excess_ratio_sum alloc) in
+  let transition_factor =
+    1.0 +. (config.penalties.transition *. Transition_time.violation_sum transition_times)
+  in
+  let routability_factor =
+    1.0 +. (config.penalties.unroutable *. float_of_int unroutable_count)
+  in
+  let timing_feasible = !timing_violation <= 1e-12 in
+  let area_feasible = Core_alloc.area_feasible alloc in
+  let transition_feasible = Transition_time.feasible transition_times in
+  let routable = unroutable_count = 0 in
+  let raw_fitness =
+    eval_power *. timing_factor *. area_factor *. transition_factor
+    *. routability_factor
+  in
+  (* Infeasible candidates must never outrank feasible ones, however small
+     their power (hardware energies can undercut software ones by three
+     orders of magnitude, which multiplicative penalties alone cannot
+     bridge); the factors still grade infeasible candidates against each
+     other so the GA can climb back into the feasible region. *)
+  let fitness =
+    if timing_feasible && area_feasible && transition_feasible && routable then
+      raw_fitness
+    else raw_fitness *. 1e6
+  in
+  {
+    fitness;
+    eval_power;
+    true_power;
+    timing_factor;
+    area_factor;
+    transition_factor;
+    routability_factor;
+    timing_feasible;
+    area_feasible;
+    transition_feasible;
+    routable;
+    mode_powers;
+    schedules;
+    scalings;
+    alloc;
+    transition_times;
+    mapping;
+  }
+
+let evaluate config spec genome =
+  evaluate_mapping config spec (Mapping.of_genome spec genome)

@@ -1,0 +1,76 @@
+(** Fitness evaluation of multi-mode mapping candidates (paper Fig. 4,
+    lines 03–14).
+
+    Pipeline per candidate: decode genome → per-mode mobility analysis →
+    core allocation (+ area penalty) → per-mode communication mapping and
+    list scheduling → optional voltage scaling → dynamic and static power
+    → transition times → fitness
+
+    F_M = p̄ · timing_factor · area_factor · transition_factor ·
+          routability_factor,
+
+    every factor >= 1, so a fully feasible candidate's fitness is exactly
+    its average power under the configured weighting.
+
+    The {e weighting} distinguishes the paper's two compared approaches:
+    [True_probabilities] optimises Eq. (1) with the real mode execution
+    probabilities; [Uniform] neglects them (every mode weighted 1/|Ω|),
+    exactly reproducing the baseline columns of Tables 1–3.  Reported
+    [true_power] is always evaluated under the real probabilities. *)
+
+type weighting = True_probabilities | Uniform
+
+type dvs = No_dvs | Dvs of Mm_dvs.Scaling.config
+
+type penalties = {
+  timing : float;
+  area : float;
+  transition : float;
+  unroutable : float;
+}
+
+val default_penalties : penalties
+
+type config = {
+  weighting : weighting;
+  dvs : dvs;
+  penalties : penalties;
+  scheduler_policy : Mm_sched.List_scheduler.policy;
+      (** Priority policy of the inner-loop list scheduler (default
+          [Mobility_first]); the ablation bench uses this to show the
+          baseline-vs-proposed comparison is insensitive to the inner
+          loop, supporting DESIGN.md §3's substitution argument. *)
+}
+
+val default_config : config
+(** True probabilities, no DVS, default penalties, mobility-first
+    scheduling. *)
+
+type eval = {
+  fitness : float;
+  eval_power : float;  (** Average power under [config.weighting] (W). *)
+  true_power : float;  (** Average power under the OMSM probabilities (W). *)
+  timing_factor : float;
+  area_factor : float;
+  transition_factor : float;
+  routability_factor : float;
+  timing_feasible : bool;
+  area_feasible : bool;
+  transition_feasible : bool;
+  routable : bool;
+  mode_powers : Mm_energy.Power.mode_power array;
+  schedules : Mm_sched.Schedule.t array;
+  scalings : Mm_dvs.Scaling.t array;
+  alloc : Core_alloc.t;
+  transition_times : Transition_time.entry list;
+  mapping : Mapping.t;
+}
+
+val feasible : eval -> bool
+(** All four feasibility flags. *)
+
+val evaluate : config -> Spec.t -> int array -> eval
+(** Full evaluation of a genome. *)
+
+val evaluate_mapping : config -> Spec.t -> Mapping.t -> eval
+(** Evaluate an explicit mapping (used by examples and tests). *)

@@ -1,0 +1,125 @@
+module Prng = Mm_util.Prng
+module Engine = Mm_ga.Engine
+module Omsm = Mm_omsm.Omsm
+module Transition = Mm_omsm.Transition
+module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
+
+let mode_positions spec mode =
+  let count = Spec.mode_task_count spec mode in
+  List.init count (fun task -> Spec.index_of spec ~mode ~task)
+
+let pe_of_gene spec position gene = Pe.id (Spec.candidates spec position).(gene)
+
+(* Re-map the gene to a uniformly chosen candidate satisfying [accept];
+   false when no alternative exists. *)
+let remap_to rng spec position genome ~accept =
+  let cands = Spec.candidates spec position in
+  let options = ref [] in
+  Array.iteri (fun g pe -> if g <> genome.(position) && accept pe then options := g :: !options) cands;
+  match !options with
+  | [] -> false
+  | options ->
+    genome.(position) <- Prng.pick rng options;
+    true
+
+let shutdown spec =
+  let apply rng ~snapshot:_ ~info:_ genome =
+    let omsm = Spec.omsm spec in
+    let mode = Prng.int rng (Omsm.n_modes omsm) in
+    let positions = mode_positions spec mode in
+    (* PEs used by the mode under this genome. *)
+    let used =
+      List.map (fun i -> pe_of_gene spec i genome.(i)) positions
+      |> List.sort_uniq Int.compare
+    in
+    match used with
+    | [] | [ _ ] -> false (* nothing to free: zero or one PE in use *)
+    | _ ->
+      (* Non-essential: every task of the mode on this PE has an
+         alternative implementation elsewhere. *)
+      let non_essential pe =
+        List.for_all
+          (fun i ->
+            pe_of_gene spec i genome.(i) <> pe
+            || Array.exists (fun cand -> Pe.id cand <> pe) (Spec.candidates spec i))
+          positions
+      in
+      (match List.filter non_essential used with
+      | [] -> false
+      | candidates ->
+        let victim = Prng.pick rng candidates in
+        let changed = ref false in
+        List.iter
+          (fun i ->
+            if pe_of_gene spec i genome.(i) = victim then
+              if remap_to rng spec i genome ~accept:(fun pe -> Pe.id pe <> victim) then
+                changed := true)
+          positions;
+        !changed)
+  in
+  { Engine.name = "shutdown-improvement"; rate = 0.02; apply }
+
+(* Positions currently mapped onto PEs selected by [select]. *)
+let positions_on spec genome ~select =
+  List.filter
+    (fun i -> select (Arch.pe (Spec.arch spec) (pe_of_gene spec i genome.(i))))
+    (List.init (Spec.n_positions spec) Fun.id)
+
+let remap_some rng spec genome ~from ~to_ =
+  match positions_on spec genome ~select:from with
+  | [] -> false
+  | positions ->
+    let k = 1 + Prng.int rng (max 1 (List.length positions / 4)) in
+    let chosen = Prng.sample_without_replacement rng k positions in
+    List.fold_left
+      (fun changed i -> remap_to rng spec i genome ~accept:to_ || changed)
+      false chosen
+
+let area spec =
+  let apply rng ~snapshot:_ ~info genome =
+    if info.Fitness.area_feasible then false
+    else remap_some rng spec genome ~from:Pe.is_hardware ~to_:Pe.is_software
+  in
+  { Engine.name = "area-improvement"; rate = 0.25; apply }
+
+let timing spec =
+  let apply rng ~snapshot:_ ~info genome =
+    if info.Fitness.timing_feasible then false
+    else remap_some rng spec genome ~from:Pe.is_software ~to_:Pe.is_hardware
+  in
+  { Engine.name = "timing-improvement"; rate = 0.25; apply }
+
+let transition spec =
+  let apply rng ~snapshot:_ ~info genome =
+    if info.Fitness.transition_feasible then false
+    else begin
+      (* Modes entered through violating transitions: pull their tasks
+         off the FPGAs responsible for the reconfiguration overhead. *)
+      let violating_modes =
+        List.filter_map
+          (fun (e : Transition_time.entry) ->
+            if e.violation > 0.0 then Some (Transition.dst e.transition) else None)
+          info.Fitness.transition_times
+        |> List.sort_uniq Int.compare
+      in
+      let in_violating_mode i =
+        List.mem (Spec.position spec i).Spec.mode violating_modes
+      in
+      let changed = ref false in
+      List.iter
+        (fun i ->
+          if
+            in_violating_mode i
+            && Pe.is_reconfigurable (Arch.pe (Spec.arch spec) (pe_of_gene spec i genome.(i)))
+            && Prng.chance rng 0.5
+          then
+            if remap_to rng spec i genome ~accept:(fun pe -> not (Pe.is_reconfigurable pe))
+            then changed := true)
+        (List.init (Spec.n_positions spec) Fun.id);
+      !changed
+    end
+  in
+  { Engine.name = "transition-improvement"; rate = 0.25; apply }
+
+let all spec = [ shutdown spec; area spec; timing spec; transition spec ]

@@ -1,0 +1,23 @@
+(** The paper's four genetic improvement operators (Fig. 4, lines 19–22).
+
+    Each is packaged as an {!Mm_ga.Engine.improvement} over genomes whose
+    evaluation feedback is a {!Fitness.eval}:
+
+    - {e shutdown}: free a randomly chosen non-essential PE from one mode
+      so it can be powered down during that mode (applied to 2 % of
+      offspring, the rate the paper found effective);
+    - {e area}: when the candidate violates area constraints, re-map
+      random hardware tasks onto software PEs;
+    - {e timing}: when it violates deadlines, re-map random software
+      tasks onto faster hardware implementations;
+    - {e transition}: when it violates maximal mode-transition times,
+      re-map tasks away from the FPGAs causing the reconfiguration
+      overhead. *)
+
+val shutdown : Spec.t -> Fitness.eval Mm_ga.Engine.improvement
+val area : Spec.t -> Fitness.eval Mm_ga.Engine.improvement
+val timing : Spec.t -> Fitness.eval Mm_ga.Engine.improvement
+val transition : Spec.t -> Fitness.eval Mm_ga.Engine.improvement
+
+val all : Spec.t -> Fitness.eval Mm_ga.Engine.improvement list
+(** The four operators in the paper's order. *)

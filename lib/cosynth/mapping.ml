@@ -1,0 +1,65 @@
+module Omsm = Mm_omsm.Omsm
+module Pe = Mm_arch.Pe
+
+type t = int array array
+
+let of_genome spec genome =
+  if Array.length genome <> Spec.n_positions spec then
+    invalid_arg "Mapping.of_genome: genome length mismatch";
+  let n_modes = Omsm.n_modes (Spec.omsm spec) in
+  let mapping =
+    Array.init n_modes (fun mode -> Array.make (Spec.mode_task_count spec mode) (-1))
+  in
+  Array.iteri
+    (fun i gene ->
+      let { Spec.mode; task } = Spec.position spec i in
+      let cands = Spec.candidates spec i in
+      if gene < 0 || gene >= Array.length cands then
+        invalid_arg "Mapping.of_genome: gene out of range";
+      mapping.(mode).(task) <- Pe.id cands.(gene))
+    genome;
+  mapping
+
+let of_arrays spec arrays =
+  let omsm = Spec.omsm spec in
+  if Array.length arrays <> Omsm.n_modes omsm then
+    invalid_arg "Mapping.of_arrays: mode count mismatch";
+  Array.iteri
+    (fun mode per_task ->
+      if Array.length per_task <> Spec.mode_task_count spec mode then
+        invalid_arg "Mapping.of_arrays: task count mismatch";
+      Array.iteri
+        (fun task pe ->
+          let i = Spec.index_of spec ~mode ~task in
+          match Spec.candidate_index spec i ~pe_id:pe with
+          | Some _ -> ()
+          | None -> invalid_arg "Mapping.of_arrays: task mapped to unsupported PE")
+        per_task)
+    arrays;
+  Array.map Array.copy arrays
+
+let to_genome spec mapping =
+  Array.init (Spec.n_positions spec) (fun i ->
+      let { Spec.mode; task } = Spec.position spec i in
+      match Spec.candidate_index spec i ~pe_id:mapping.(mode).(task) with
+      | Some g -> g
+      | None -> invalid_arg "Mapping.to_genome: task mapped to unsupported PE")
+
+let pe_of t ~mode ~task = t.(mode).(task)
+
+let tasks_on_pe t ~mode ~pe =
+  let tasks = ref [] in
+  Array.iteri (fun task p -> if p = pe then tasks := task :: !tasks) t.(mode);
+  List.rev !tasks
+
+let pes_used t ~mode =
+  Array.to_list t.(mode) |> List.sort_uniq Int.compare
+
+let pp spec ppf t =
+  let omsm = Spec.omsm spec in
+  Array.iteri
+    (fun mode per_task ->
+      Format.fprintf ppf "%s:@ " (Mm_omsm.Mode.name (Omsm.mode omsm mode));
+      Array.iteri (fun task pe -> Format.fprintf ppf "τ%d->PE%d@ " task pe) per_task;
+      Format.fprintf ppf "@.")
+    t

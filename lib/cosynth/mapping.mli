@@ -1,0 +1,27 @@
+(** The multi-mode mapping string M_τ: a decoded genome giving, for every
+    mode, the PE each task executes on (paper Fig. 2b/2c). *)
+
+type t = private int array array
+(** [t.(mode).(task)] = PE id. *)
+
+val of_genome : Spec.t -> int array -> t
+(** Decodes gene values (candidate indices) into PE ids.  Raises
+    [Invalid_argument] on a malformed genome. *)
+
+val of_arrays : Spec.t -> int array array -> t
+(** Build an explicit mapping ([result.(mode).(task)] = PE id),
+    validating shape and that every task's PE supports its type. *)
+
+val to_genome : Spec.t -> t -> int array
+(** Re-encode; raises [Invalid_argument] if a task is mapped to a PE that
+    does not support it. *)
+
+val pe_of : t -> mode:int -> task:int -> int
+
+val tasks_on_pe : t -> mode:int -> pe:int -> int list
+(** Task ids of the mode mapped to the PE. *)
+
+val pes_used : t -> mode:int -> int list
+(** Distinct PE ids used by the mode, ascending. *)
+
+val pp : Spec.t -> Format.formatter -> t -> unit

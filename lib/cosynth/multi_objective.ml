@@ -1,0 +1,64 @@
+module Prng = Mm_util.Prng
+module Nsga2 = Mm_ga.Nsga2
+module Pe = Mm_arch.Pe
+module Arch = Mm_arch.Architecture
+
+type point = {
+  genome : int array;
+  power : float;
+  area : float;
+  eval : Fitness.eval;
+}
+
+type result = {
+  front : point list;
+  generations : int;
+  evaluations : int;
+}
+
+let area_used_of spec (eval : Fitness.eval) =
+  List.fold_left
+    (fun acc pe -> acc +. Core_alloc.area_used eval.Fitness.alloc ~pe:(Pe.id pe))
+    0.0
+    (Arch.hardware_pes (Spec.arch spec))
+
+let optimise ?(config = Nsga2.default_config) ?(fitness = Fitness.default_config) ~spec
+    ~seed () =
+  let fitness = { fitness with Fitness.weighting = Fitness.True_probabilities } in
+  let evaluate genome =
+    let eval = Fitness.evaluate fitness spec genome in
+    let boost = if Fitness.feasible eval then 1.0 else 1e6 in
+    let area = area_used_of spec eval in
+    ( [|
+        eval.Fitness.true_power *. eval.Fitness.timing_factor *. eval.Fitness.area_factor
+        *. eval.Fitness.transition_factor *. eval.Fitness.routability_factor *. boost;
+        (area +. 1.0) *. boost;
+      |],
+      eval )
+  in
+  let problem =
+    {
+      Nsga2.gene_counts = Spec.gene_counts spec;
+      n_objectives = 2;
+      evaluate;
+      initial = Synthesis.software_anchors spec;
+    }
+  in
+  let rng = Prng.create ~seed in
+  let nsga = Nsga2.run ~config ~rng problem in
+  let front =
+    List.filter_map
+      (fun (ind : Fitness.eval Nsga2.individual) ->
+        if Fitness.feasible ind.Nsga2.info then
+          Some
+            {
+              genome = ind.Nsga2.genome;
+              power = ind.Nsga2.info.Fitness.true_power;
+              area = area_used_of spec ind.Nsga2.info;
+              eval = ind.Nsga2.info;
+            }
+        else None)
+      nsga.Nsga2.front
+    |> List.sort (fun a b -> compare (a.area, a.power) (b.area, b.power))
+  in
+  { front; generations = nsga.Nsga2.generations; evaluations = nsga.Nsga2.evaluations }

@@ -1,0 +1,36 @@
+(** Multi-objective co-synthesis: the power/area trade-off in one run.
+
+    {!Pareto} explores the trade-off extrinsically (re-synthesising
+    against scaled architectures); this module explores it intrinsically,
+    running NSGA-II over the multi-mode mapping string with two minimised
+    objectives:
+
+    + average power under the true mode execution probabilities,
+    + total hardware core area actually used,
+
+    both multiplied by the same infeasibility boost as the
+    single-objective fitness so infeasible candidates never enter the
+    returned front while the search can still traverse them. *)
+
+type point = {
+  genome : int array;
+  power : float;  (** True average power (W). *)
+  area : float;  (** Σ hardware core area used (cells). *)
+  eval : Fitness.eval;
+}
+
+type result = {
+  front : point list;  (** Feasible non-dominated points, ascending area. *)
+  generations : int;
+  evaluations : int;
+}
+
+val optimise :
+  ?config:Mm_ga.Nsga2.config ->
+  ?fitness:Fitness.config ->
+  spec:Spec.t ->
+  seed:int ->
+  unit ->
+  result
+(** [fitness] controls DVS and the scheduler policy; its weighting is
+    forced to [True_probabilities] (the power objective). *)

@@ -1,0 +1,72 @@
+module Pe = Mm_arch.Pe
+module Arch = Mm_arch.Architecture
+
+type point = {
+  area_scale : float;
+  hw_area_capacity : float;
+  hw_area_used : float;
+  power : float;
+  feasible : bool;
+  result : Synthesis.result;
+}
+
+let scale_architecture spec factor =
+  if factor <= 0.0 then invalid_arg "Pareto.scale_architecture: non-positive factor";
+  let arch = Spec.arch spec in
+  let scaled_pe pe =
+    if Pe.is_hardware pe then
+      Pe.make ~id:(Pe.id pe) ~name:(Pe.name pe) ~kind:(Pe.kind pe)
+        ~static_power:(Pe.static_power pe)
+        ?rail:(Pe.rail pe)
+        ~area_capacity:(Pe.area_capacity pe *. factor)
+        ~reconfig_time_per_area:(Pe.reconfig_time_per_area pe)
+        ()
+    else pe
+  in
+  let scaled_arch =
+    Arch.make ~name:(Arch.name arch) ~pes:(List.map scaled_pe (Arch.pes arch))
+      ~cls:(Arch.cls arch)
+  in
+  Spec.make ~omsm:(Spec.omsm spec) ~arch:scaled_arch ~tech:(Spec.tech spec)
+
+let total_hw_capacity spec =
+  List.fold_left
+    (fun acc pe -> acc +. Pe.area_capacity pe)
+    0.0
+    (Arch.hardware_pes (Spec.arch spec))
+
+let sweep ?(config = Synthesis.default_config) ~spec ~scales ~seed () =
+  List.map
+    (fun area_scale ->
+      let scaled_spec = scale_architecture spec area_scale in
+      let result = Synthesis.run ~config ~spec:scaled_spec ~seed () in
+      let alloc = result.Synthesis.eval.Fitness.alloc in
+      let hw_area_used =
+        List.fold_left
+          (fun acc pe -> acc +. Core_alloc.area_used alloc ~pe:(Pe.id pe))
+          0.0
+          (Arch.hardware_pes (Spec.arch scaled_spec))
+      in
+      {
+        area_scale;
+        hw_area_capacity = total_hw_capacity scaled_spec;
+        hw_area_used;
+        power = Synthesis.average_power result;
+        feasible = Fitness.feasible result.Synthesis.eval;
+        result;
+      })
+    scales
+
+let frontier points =
+  let feasible = List.filter (fun p -> p.feasible) points in
+  let dominated p =
+    List.exists
+      (fun q ->
+        q != p
+        && q.hw_area_capacity <= p.hw_area_capacity
+        && q.power <= p.power
+        && (q.hw_area_capacity < p.hw_area_capacity || q.power < p.power))
+      feasible
+  in
+  List.filter (fun p -> not (dominated p)) feasible
+  |> List.sort (fun a b -> compare a.hw_area_capacity b.hw_area_capacity)

@@ -1,0 +1,35 @@
+(** Power/area trade-off exploration.
+
+    The paper notes its reductions come "without a modification of the
+    underlying hardware architectures, i.e. the system costs are not
+    increased".  This module explores the complementary question — how
+    does attainable average power change as the hardware area budget
+    shrinks or grows?  It re-synthesises the same OMSM against scaled
+    copies of the architecture and extracts the non-dominated
+    (area, power) points. *)
+
+type point = {
+  area_scale : float;  (** Multiplier applied to every hardware PE's capacity. *)
+  hw_area_capacity : float;  (** Total scaled capacity (cells). *)
+  hw_area_used : float;  (** Area used by the best implementation found. *)
+  power : float;  (** Its true average power (W). *)
+  feasible : bool;
+  result : Synthesis.result;
+}
+
+val scale_architecture : Spec.t -> float -> Spec.t
+(** A copy of the specification whose hardware PEs have their area
+    capacities multiplied by the factor (> 0); everything else shared. *)
+
+val sweep :
+  ?config:Synthesis.config ->
+  spec:Spec.t ->
+  scales:float list ->
+  seed:int ->
+  unit ->
+  point list
+(** One synthesis per scale, in the given order. *)
+
+val frontier : point list -> point list
+(** Feasible points not dominated in (capacity, power), sorted by
+    capacity: smaller area and lower power is better. *)

@@ -1,0 +1,11 @@
+(** Human-readable reporting of synthesis results. *)
+
+val pp_eval : Spec.t -> Format.formatter -> Fitness.eval -> unit
+(** Mapping, per-mode power breakdown (with shut-down components),
+    penalty factors and transition times. *)
+
+val pp_result : Spec.t -> Format.formatter -> Synthesis.result -> unit
+(** {!pp_eval} plus GA run statistics. *)
+
+val print_result : Spec.t -> Synthesis.result -> unit
+(** [pp_result] to stdout. *)

@@ -1,0 +1,84 @@
+module Prng = Mm_util.Prng
+module Stats = Mm_util.Stats
+module Power = Mm_energy.Power
+module Omsm = Mm_omsm.Omsm
+module Mode = Mm_omsm.Mode
+
+type report = {
+  nominal : float;
+  mean : float;
+  std : float;
+  worst : float;
+  best : float;
+  samples : int;
+}
+
+type comparison = {
+  baseline : report;
+  proposed : report;
+  wins : int;
+}
+
+let published_profile spec =
+  let omsm = Spec.omsm spec in
+  Array.init (Omsm.n_modes omsm) (fun i -> Mode.probability (Omsm.mode omsm i))
+
+(* One perturbed profile: log-normal factors on each probability,
+   renormalised. *)
+let perturb rng ~strength psi =
+  let weights = Array.map (fun p -> p *. exp (strength *. Prng.gaussian rng)) psi in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then Array.copy psi else Array.map (fun w -> w /. total) weights
+
+let mode_totals ~fitness ~spec mapping =
+  let eval = Fitness.evaluate_mapping fitness spec mapping in
+  Array.map Power.total eval.Fitness.mode_powers
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let report_of ~nominal powers =
+  let s = Stats.summarize powers in
+  {
+    nominal;
+    mean = s.Stats.mean;
+    std = s.Stats.std;
+    worst = s.Stats.max;
+    best = s.Stats.min;
+    samples = s.Stats.n;
+  }
+
+let analyse ?(samples = 1000) ?(strength = 0.3) ?(fitness = Fitness.default_config)
+    ~spec ~mapping ~seed () =
+  if samples <= 0 then invalid_arg "Sensitivity.analyse: samples must be positive";
+  if strength < 0.0 then invalid_arg "Sensitivity.analyse: negative strength";
+  let psi = published_profile spec in
+  let totals = mode_totals ~fitness ~spec mapping in
+  let rng = Prng.create ~seed in
+  let powers =
+    List.init samples (fun _ -> dot (perturb rng ~strength psi) totals)
+  in
+  report_of ~nominal:(dot psi totals) powers
+
+let compare_mappings ?(samples = 1000) ?(strength = 0.3)
+    ?(fitness = Fitness.default_config) ~spec ~baseline ~proposed ~seed () =
+  if samples <= 0 then invalid_arg "Sensitivity.compare_mappings: samples must be positive";
+  let psi = published_profile spec in
+  let totals_baseline = mode_totals ~fitness ~spec baseline in
+  let totals_proposed = mode_totals ~fitness ~spec proposed in
+  let rng = Prng.create ~seed in
+  let baseline_powers = ref [] and proposed_powers = ref [] and wins = ref 0 in
+  for _ = 1 to samples do
+    let profile = perturb rng ~strength psi in
+    let pb = dot profile totals_baseline and pp = dot profile totals_proposed in
+    baseline_powers := pb :: !baseline_powers;
+    proposed_powers := pp :: !proposed_powers;
+    if pp < pb then incr wins
+  done;
+  {
+    baseline = report_of ~nominal:(dot psi totals_baseline) !baseline_powers;
+    proposed = report_of ~nominal:(dot psi totals_proposed) !proposed_powers;
+    wins = !wins;
+  }

@@ -1,0 +1,55 @@
+(** Robustness of an implementation to usage-profile drift.
+
+    The paper concedes that "in reality the mode probabilities vary from
+    user to user" and relies on an average profile (§2.1.1).  This module
+    quantifies the exposure: it perturbs the published probability vector
+    (log-normal noise, renormalised) and re-weights the implementation's
+    fixed per-mode powers under each sample — the per-mode powers of a
+    given mapping do not depend on Ψ, so the analysis needs exactly one
+    fitness evaluation regardless of sample count.
+
+    The interesting comparison is {!compare_mappings}: a
+    probability-aware implementation is tuned to the average profile, so
+    how much of its advantage over the probability-neglecting baseline
+    survives when real users deviate from that average? *)
+
+type report = {
+  nominal : float;  (** Power under the published profile (W). *)
+  mean : float;  (** Mean over perturbed profiles. *)
+  std : float;
+  worst : float;
+  best : float;
+  samples : int;
+}
+
+val analyse :
+  ?samples:int ->
+  ?strength:float ->
+  ?fitness:Fitness.config ->
+  spec:Spec.t ->
+  mapping:Mapping.t ->
+  seed:int ->
+  unit ->
+  report
+(** [samples] defaults to 1000; [strength] (the σ of the log-normal
+    factor on each Ψ_i) to 0.3.  Raises [Invalid_argument] on a
+    non-positive sample count or negative strength. *)
+
+type comparison = {
+  baseline : report;
+  proposed : report;
+  wins : int;  (** Perturbed profiles under which the proposed mapping uses less power. *)
+}
+
+val compare_mappings :
+  ?samples:int ->
+  ?strength:float ->
+  ?fitness:Fitness.config ->
+  spec:Spec.t ->
+  baseline:Mapping.t ->
+  proposed:Mapping.t ->
+  seed:int ->
+  unit ->
+  comparison
+(** Both mappings are evaluated under the {e same} perturbed profiles
+    (paired sampling). *)

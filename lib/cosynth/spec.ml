@@ -1,0 +1,91 @@
+module Omsm = Mm_omsm.Omsm
+module Mode = Mm_omsm.Mode
+module Graph = Mm_taskgraph.Graph
+module Task = Mm_taskgraph.Task
+module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
+module Tech_lib = Mm_arch.Tech_lib
+
+type position = { mode : int; task : int }
+
+module Int_map = Map.Make (Int)
+
+type t = {
+  omsm : Omsm.t;
+  arch : Arch.t;
+  tech : Tech_lib.t;
+  positions : position array;
+  offsets : int array;  (** offsets.(mode) = first position index of the mode. *)
+  candidates : Pe.t array array;  (** Per position, in PE id order. *)
+  types_by_id : Mm_taskgraph.Task_type.t Int_map.t;
+}
+
+exception Invalid of string
+
+let make ~omsm ~arch ~tech =
+  let positions =
+    List.concat_map
+      (fun mode ->
+        List.init (Mode.n_tasks mode) (fun task -> { mode = Mode.id mode; task }))
+      (Omsm.modes omsm)
+    |> Array.of_list
+  in
+  let offsets = Array.make (Omsm.n_modes omsm) 0 in
+  Array.iteri
+    (fun i pos -> if pos.task = 0 then offsets.(pos.mode) <- i)
+    positions;
+  let candidates =
+    Array.map
+      (fun pos ->
+        let graph = Mode.graph (Omsm.mode omsm pos.mode) in
+        let ty = Task.ty (Graph.task graph pos.task) in
+        let pes = Tech_lib.supported_pes tech ~ty arch in
+        if pes = [] then
+          raise
+            (Invalid
+               (Printf.sprintf "task %d of mode %d (type %s) has no candidate PE"
+                  pos.task pos.mode
+                  (Mm_taskgraph.Task_type.name ty)));
+        Array.of_list pes)
+      positions
+  in
+  let types_by_id =
+    Mm_taskgraph.Task_type.Set.fold
+      (fun ty acc -> Int_map.add (Mm_taskgraph.Task_type.id ty) ty acc)
+      (Omsm.all_task_types omsm) Int_map.empty
+  in
+  { omsm; arch; tech; positions; offsets; candidates; types_by_id }
+
+let omsm t = t.omsm
+let arch t = t.arch
+let tech t = t.tech
+let n_positions t = Array.length t.positions
+let position t i = t.positions.(i)
+let index_of t ~mode ~task = t.offsets.(mode) + task
+let candidates t i = t.candidates.(i)
+let gene_counts t = Array.map Array.length t.candidates
+
+let candidate_index t i ~pe_id =
+  let cands = t.candidates.(i) in
+  let rec scan k =
+    if k >= Array.length cands then None
+    else if Pe.id cands.(k) = pe_id then Some k
+    else scan (k + 1)
+  in
+  scan 0
+
+let mode_task_count t mode = Mode.n_tasks (Omsm.mode t.omsm mode)
+
+let task_at t i =
+  let pos = t.positions.(i) in
+  Graph.task (Mode.graph (Omsm.mode t.omsm pos.mode)) pos.task
+
+let type_of_id t ty_id = Int_map.find_opt ty_id t.types_by_id
+
+let core_area t ~pe ~ty_id =
+  match type_of_id t ty_id with
+  | None -> 0.0
+  | Some ty -> (
+    match Tech_lib.find t.tech ~ty ~pe:(Arch.pe t.arch pe) with
+    | Some impl -> impl.Tech_lib.area
+    | None -> 0.0)

@@ -1,0 +1,48 @@
+(** A co-synthesis problem: OMSM specification + allocated architecture +
+    technology library, with the gene/position bookkeeping shared by the
+    mapping GA, the fitness evaluation and the improvement operators. *)
+
+type t
+
+type position = { mode : int; task : int }
+(** One slot of the multi-mode mapping string. *)
+
+exception Invalid of string
+
+val make :
+  omsm:Mm_omsm.Omsm.t ->
+  arch:Mm_arch.Architecture.t ->
+  tech:Mm_arch.Tech_lib.t ->
+  t
+(** Validates that every task of every mode has at least one candidate PE
+    in the technology library; raises {!Invalid} otherwise. *)
+
+val omsm : t -> Mm_omsm.Omsm.t
+val arch : t -> Mm_arch.Architecture.t
+val tech : t -> Mm_arch.Tech_lib.t
+
+val n_positions : t -> int
+(** Genome length: Σ_O |T_O|. *)
+
+val position : t -> int -> position
+val index_of : t -> mode:int -> task:int -> int
+(** Inverse of {!position}. *)
+
+val candidates : t -> int -> Mm_arch.Pe.t array
+(** Candidate PEs of a position (PEs implementing the task's type), in id
+    order.  Gene value [g] at position [i] selects [(candidates t i).(g)]. *)
+
+val gene_counts : t -> int array
+val candidate_index : t -> int -> pe_id:int -> int option
+(** Gene value mapping the position onto the given PE, when supported. *)
+
+val mode_task_count : t -> int -> int
+val task_at : t -> int -> Mm_taskgraph.Task.t
+(** The task behind a position. *)
+
+val type_of_id : t -> int -> Mm_taskgraph.Task_type.t option
+(** Look a task type up by its id (types appearing in the OMSM only). *)
+
+val core_area : t -> pe:int -> ty_id:int -> float
+(** Core area the type occupies on the PE; 0 when the pair has no
+    implementation (or the PE is software). *)

@@ -1,0 +1,175 @@
+module Prng = Mm_util.Prng
+module Engine = Mm_ga.Engine
+
+type config = {
+  fitness : Fitness.config;
+  ga : Engine.config;
+  use_improvements : bool;
+  restarts : int;
+}
+
+let default_config =
+  {
+    fitness = Fitness.default_config;
+    ga = Engine.default_config;
+    use_improvements = true;
+    restarts = 2;
+  }
+
+type result = {
+  genome : int array;
+  eval : Fitness.eval;
+  generations : int;
+  evaluations : int;
+  cpu_seconds : float;
+  history : float list;
+}
+
+(* Known-good anchors injected into the initial population: all-software
+   mappings use no core area and no reconfiguration, so whenever the
+   specification admits a software-only schedule the GA's best-ever
+   individual is feasible from generation zero and the search can only
+   improve on it. *)
+let software_anchors spec =
+  let arch = Spec.arch spec in
+  let sw_ids = List.map Mm_arch.Pe.id (Mm_arch.Architecture.software_pes arch) in
+  match sw_ids with
+  | [] -> []
+  | first :: _ ->
+    let genome_with assign =
+      Array.init (Spec.n_positions spec) (fun i ->
+          match Spec.candidate_index spec i ~pe_id:(assign i) with
+          | Some gene -> gene
+          | None -> 0)
+    in
+    let serial = genome_with (fun _ -> first) in
+    let round_robin = genome_with (fun i -> List.nth sw_ids (i mod List.length sw_ids)) in
+    if serial = round_robin then [ serial ] else [ serial; round_robin ]
+
+let greedy_timing_anchor spec =
+  match software_anchors spec with
+  | [] -> None
+  | base :: _ ->
+    let genome = Array.copy base in
+    let arch = Spec.arch spec in
+    let tech = Spec.tech spec in
+    let omsm = Spec.omsm spec in
+    let repair_config = { Fitness.default_config with Fitness.dvs = Fitness.No_dvs } in
+    let exec_time_on position pe_id =
+      let task = Spec.task_at spec position in
+      match
+        Mm_arch.Tech_lib.find tech
+          ~ty:(Mm_taskgraph.Task.ty task)
+          ~pe:(Mm_arch.Architecture.pe arch pe_id)
+      with
+      | Some impl -> impl.Mm_arch.Tech_lib.exec_time
+      | None -> infinity
+    in
+    (* Gene value of the fastest hardware candidate at a position. *)
+    let fastest_hw position =
+      let cands = Spec.candidates spec position in
+      let best = ref None in
+      Array.iteri
+        (fun gene pe ->
+          if Mm_arch.Pe.is_hardware pe then
+            let time = exec_time_on position (Mm_arch.Pe.id pe) in
+            match !best with
+            | Some (_, t) when t <= time -> ()
+            | Some _ | None -> best := Some (gene, time))
+        cands;
+      Option.map fst !best
+    in
+    let late_modes eval =
+      List.filteri
+        (fun mode _ ->
+          let mode_rec = Mm_omsm.Omsm.mode omsm mode in
+          let graph = Mm_omsm.Mode.graph mode_rec in
+          let period = Mm_omsm.Mode.period mode_rec in
+          Array.exists
+            (fun (finish, task) ->
+              let bound =
+                match Mm_taskgraph.Task.deadline (Mm_taskgraph.Graph.task graph task) with
+                | None -> period
+                | Some d -> Float.min d period
+              in
+              finish > bound +. 1e-9)
+            (Array.mapi
+               (fun task finish -> (finish, task))
+               eval.Fitness.scalings.(mode).Mm_dvs.Scaling.stretched_finish))
+        (List.init (Mm_omsm.Omsm.n_modes omsm) Fun.id)
+    in
+    let rec repair budget =
+      if budget > 0 then begin
+        let eval = Fitness.evaluate repair_config spec genome in
+        if not eval.Fitness.timing_feasible then begin
+          let late = late_modes eval in
+          (* The longest-running software task of a late mode that has a
+             hardware alternative removes the most load per move. *)
+          let best = ref None in
+          for position = 0 to Spec.n_positions spec - 1 do
+            let { Spec.mode; _ } = Spec.position spec position in
+            if List.mem mode late then begin
+              let current_pe = (Spec.candidates spec position).(genome.(position)) in
+              if Mm_arch.Pe.is_software current_pe then
+                match fastest_hw position with
+                | None -> ()
+                | Some gene ->
+                  let load = exec_time_on position (Mm_arch.Pe.id current_pe) in
+                  (match !best with
+                  | Some (_, _, heaviest) when heaviest >= load -> ()
+                  | Some _ | None -> best := Some (position, gene, load))
+            end
+          done;
+          match !best with
+          | None -> () (* nothing left to move *)
+          | Some (position, gene, _) ->
+            genome.(position) <- gene;
+            repair (budget - 1)
+        end
+      end
+    in
+    repair 64;
+    Some genome
+
+let anchors spec =
+  let base = software_anchors spec in
+  let all = match greedy_timing_anchor spec with Some g -> base @ [ g ] | None -> base in
+  List.sort_uniq compare all
+
+let run ?(config = default_config) ~spec ~seed () =
+  let rng = Prng.create ~seed in
+  let problem =
+    {
+      Engine.gene_counts = Spec.gene_counts spec;
+      evaluate =
+        (fun genome ->
+          let eval = Fitness.evaluate config.fitness spec genome in
+          (eval.Fitness.fitness, eval));
+      improvements = (if config.use_improvements then Improvement.all spec else []);
+      initial = anchors spec;
+    }
+  in
+  let restarts = max 1 config.restarts in
+  let started = Sys.time () in
+  let runs =
+    List.init restarts (fun _ -> Engine.run ~config:config.ga ~rng:(Prng.split rng) problem)
+  in
+  let cpu_seconds = Sys.time () -. started in
+  let best =
+    match runs with
+    | [] -> assert false (* restarts >= 1 *)
+    | first :: rest ->
+      List.fold_left
+        (fun acc r -> if r.Engine.best_fitness < acc.Engine.best_fitness then r else acc)
+        first rest
+  in
+  {
+    genome = best.Engine.best_genome;
+    eval = best.Engine.best_info;
+    generations = List.fold_left (fun acc r -> acc + r.Engine.generations) 0 runs;
+    evaluations = List.fold_left (fun acc r -> acc + r.Engine.evaluations) 0 runs;
+    cpu_seconds;
+    history = best.Engine.history;
+  }
+
+let average_power result = result.eval.Fitness.true_power

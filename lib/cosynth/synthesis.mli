@@ -1,0 +1,53 @@
+(** The outer optimisation loop: the mapping/core-allocation GA driving
+    the inner scheduling loop (paper §4).
+
+    A single [run] synthesises one implementation candidate set and
+    returns the best mapping found, its full evaluation and run
+    statistics.  Determinism: equal [seed]s give equal results. *)
+
+type config = {
+  fitness : Fitness.config;
+  ga : Mm_ga.Engine.config;
+  use_improvements : bool;
+      (** Disable to ablate the paper's four improvement operators. *)
+  restarts : int;
+      (** Independent GA restarts per run; the best final fitness wins.
+          Restarting is the standard defence against the multi-modal
+          mapping landscape (default 2). *)
+}
+
+val default_config : config
+
+type result = {
+  genome : int array;
+  eval : Fitness.eval;
+  generations : int;
+  evaluations : int;
+  cpu_seconds : float;  (** Process CPU time of the run (the paper's "CPU time" column). *)
+  history : float list;  (** Best fitness trajectory. *)
+}
+
+val software_anchors : Spec.t -> int array list
+(** Known-good genomes mapping every task onto software PEs (all on the
+    first software PE, and round-robin across them); injected into the
+    GA's initial population so the search starts from a zero-area,
+    zero-reconfiguration candidate.  Empty when the architecture has no
+    software PE. *)
+
+val greedy_timing_anchor : Spec.t -> int array option
+(** A constructively repaired anchor for specifications whose
+    all-software mapping misses deadlines (e.g. the smart phone's MP3
+    mode): starting from the serial software mapping, repeatedly move the
+    longest-running software task of a deadline-missing mode onto its
+    fastest hardware implementation until the candidate is
+    timing-feasible (or no move remains).  [None] when there is no
+    software anchor to start from. *)
+
+val anchors : Spec.t -> int array list
+(** {!software_anchors} plus {!greedy_timing_anchor}, deduplicated — the
+    initial genomes every synthesis run is seeded with. *)
+
+val run : ?config:config -> spec:Spec.t -> seed:int -> unit -> result
+
+val average_power : result -> float
+(** The result's average power under the true mode probabilities. *)

@@ -1,0 +1,46 @@
+module Omsm = Mm_omsm.Omsm
+module Transition = Mm_omsm.Transition
+module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
+
+type entry = {
+  transition : Transition.t;
+  time : float;
+  violation : float;
+}
+
+let reconfig_time spec alloc ~src ~dst =
+  let arch = Spec.arch spec in
+  List.fold_left
+    (fun acc pe_rec ->
+      if not (Pe.is_reconfigurable pe_rec) then acc
+      else
+        let pe = Pe.id pe_rec in
+        let src_loaded = Core_alloc.loaded_types alloc ~mode:src ~pe in
+        let dst_loaded = Core_alloc.loaded_types alloc ~mode:dst ~pe in
+        let count_in l ty = Option.value ~default:0 (List.assoc_opt ty l) in
+        let area_to_load =
+          List.fold_left
+            (fun acc (ty, dst_count) ->
+              let missing = max 0 (dst_count - count_in src_loaded ty) in
+              acc +. (float_of_int missing *. Spec.core_area spec ~pe ~ty_id:ty))
+            0.0 dst_loaded
+        in
+        acc +. (area_to_load *. Pe.reconfig_time_per_area pe_rec))
+    0.0 (Arch.pes arch)
+
+let compute spec alloc =
+  List.map
+    (fun transition ->
+      let time =
+        reconfig_time spec alloc ~src:(Transition.src transition)
+          ~dst:(Transition.dst transition)
+      in
+      let violation = Float.max 0.0 ((time /. Transition.max_time transition) -. 1.0) in
+      { transition; time; violation })
+    (Omsm.transitions (Spec.omsm spec))
+
+let violation_sum entries =
+  List.fold_left (fun acc e -> acc +. e.violation) 0.0 entries
+
+let feasible entries = List.for_all (fun e -> e.violation <= 0.0) entries

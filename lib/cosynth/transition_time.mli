@@ -1,0 +1,19 @@
+(** Mode-change reconfiguration times t_T.
+
+    Entering a mode may require loading cores onto FPGAs that the source
+    mode did not have loaded; reconfiguring one area unit costs the
+    FPGA's [reconfig_time_per_area].  ASIC cores are static and free.
+    The OMSM's transition edges impose maximal times t_T^max; exceeding
+    one makes the implementation infeasible (paper §3, requirement c). *)
+
+type entry = {
+  transition : Mm_omsm.Transition.t;
+  time : float;  (** Reconfiguration time of this mode change. *)
+  violation : float;  (** max(0, time / max_time − 1). *)
+}
+
+val compute : Spec.t -> Core_alloc.t -> entry list
+(** One entry per OMSM transition. *)
+
+val violation_sum : entry list -> float
+val feasible : entry list -> bool

@@ -1,0 +1,92 @@
+module Schedule = Mm_sched.Schedule
+
+type segment = {
+  index : int;
+  start : float;
+  duration : float;
+  power : float;
+  running : int list;
+  finishing : int list;
+  starting : int list;
+}
+
+let eps = 1e-9
+
+(* Distinct event times (task starts and finishes), merged within eps so
+   that floating-point near-coincidences do not create sliver segments. *)
+let event_times slots =
+  let raw =
+    List.concat_map
+      (fun ((s : Schedule.task_slot), _power) -> [ s.start; Schedule.finish s ])
+      slots
+    |> List.sort compare
+  in
+  let rec dedupe acc = function
+    | [] -> List.rev acc
+    | t :: rest -> (
+      match acc with
+      | prev :: _ when t -. prev < eps -> dedupe acc rest
+      | _ -> dedupe (t :: acc) rest)
+  in
+  dedupe [] raw
+
+let segments ~slots =
+  List.iter
+    (fun ((s : Schedule.task_slot), _) ->
+      if s.duration <= 0.0 then
+        invalid_arg "Hw_transform.segments: non-positive slot duration")
+    slots;
+  let times = event_times slots in
+  let rec build index acc = function
+    | t1 :: (t2 :: _ as rest) ->
+      let running =
+        List.filter_map
+          (fun ((s : Schedule.task_slot), _) ->
+            if s.start <= t1 +. eps && Schedule.finish s >= t2 -. eps then Some s.task
+            else None)
+          slots
+      in
+      if running = [] then build index acc rest (* idle gap *)
+      else
+        let power =
+          List.fold_left
+            (fun acc ((s : Schedule.task_slot), p) ->
+              if List.mem s.task running then acc +. p else acc)
+            0.0 slots
+        in
+        let finishing =
+          List.filter_map
+            (fun ((s : Schedule.task_slot), _) ->
+              if Float.abs (Schedule.finish s -. t2) < eps then Some s.task else None)
+            slots
+        in
+        let starting =
+          List.filter_map
+            (fun ((s : Schedule.task_slot), _) ->
+              if Float.abs (s.start -. t1) < eps then Some s.task else None)
+            slots
+        in
+        let seg =
+          { index; start = t1; duration = t2 -. t1; power; running; finishing; starting }
+        in
+        build (index + 1) (seg :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  build 0 [] times
+
+let first_segment_of segs task =
+  match List.find_opt (fun seg -> List.mem task seg.running) segs with
+  | Some seg -> seg.index
+  | None -> raise Not_found
+
+let last_segment_of segs task =
+  match
+    List.fold_left
+      (fun acc seg -> if List.mem task seg.running then Some seg.index else acc)
+      None segs
+  with
+  | Some index -> index
+  | None -> raise Not_found
+
+let total_energy_nominal segs =
+  List.fold_left (fun acc seg -> acc +. (seg.power *. seg.duration)) 0.0 segs

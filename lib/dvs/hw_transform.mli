@@ -1,0 +1,38 @@
+(** The paper's Fig. 5 transformation: serialising the parallel core
+    schedule of one hardware component into an equivalent sequence of
+    segments.
+
+    All cores on one hardware component are fed by a single supply rail,
+    so the rail voltage affects every core simultaneously.  Cutting the
+    component's timeline at every task start/finish yields segments during
+    which the set of running tasks — and hence the component's total
+    dynamic power — is constant.  These segments behave like sequentially
+    executing software tasks and can be voltage-scaled with the same
+    algorithm.  The transformation is virtual: it only determines the
+    voltage schedule, not the real (parallel) implementation. *)
+
+type segment = {
+  index : int;  (** Position in the component's segment chain. *)
+  start : float;  (** Segment start in the input schedule. *)
+  duration : float;  (** Positive. *)
+  power : float;  (** Sum of nominal dynamic powers of the running tasks. *)
+  running : int list;  (** Task ids executing during the segment. *)
+  finishing : int list;  (** Tasks whose execution ends with this segment. *)
+  starting : int list;  (** Tasks whose execution begins with this segment. *)
+}
+
+val segments :
+  slots:(Mm_sched.Schedule.task_slot * float) list -> segment list
+(** [segments ~slots] serialises the given task slots (each paired with
+    its nominal dynamic power).  Slots must all belong to one component
+    and must have positive durations.  Idle gaps produce no segment.
+    Event times closer than 1e-9 are merged. *)
+
+val first_segment_of : segment list -> int -> int
+(** Index of the first segment in which the task runs.  Raises
+    [Not_found] when the task appears in no segment. *)
+
+val last_segment_of : segment list -> int -> int
+
+val total_energy_nominal : segment list -> float
+(** Σ power·duration — equals the summed nominal task energies. *)

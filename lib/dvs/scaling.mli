@@ -1,0 +1,91 @@
+(** Voltage scaling of a scheduled mode (extension of the PV-DVS scheme
+    of [10] to multi-mode systems and to hardware components, paper §4.2).
+
+    The fixed execution order produced by the list scheduler is kept; the
+    algorithm only stretches activities into available slack by lowering
+    discrete supply voltages.  Scalable units are:
+
+    - task slots on DVS-enabled {e software} PEs, scaled individually;
+    - Fig. 5 {e segments} of DVS-enabled {e hardware} PEs, because all
+      cores of a component share one rail (see {!Hw_transform}).
+
+    The greedy loop repeatedly lowers the voltage of the unit with the
+    best energy-gain-per-added-delay ratio among all units whose added
+    delay fits into their slack, recomputing slacks after every step.
+    Slack is computed on the unit DAG (resource chains + data edges) by a
+    backward pass from deadlines, so every accepted step keeps the whole
+    mode schedule feasible. *)
+
+type strategy =
+  | Greedy_gradient
+      (** The PV-DVS-style heuristic: repeatedly lower the voltage of the
+          unit with the best energy-gain/added-delay ratio (default). *)
+  | Even_slack
+      (** The naive baseline PV-DVS was measured against: one uniform
+          slowdown factor for every scalable unit, the largest that still
+          meets all deadlines (found by bisection), then the slowest
+          discrete level within that factor per unit.  Ignores power
+          variation between tasks — the ablation bench quantifies what
+          the gradient heuristic buys. *)
+
+type config = {
+  scale_software : bool;  (** Scale tasks on DVS software PEs. *)
+  scale_hardware : bool;
+      (** Apply the Fig. 5 transform and scale DVS hardware components;
+          disabling this reproduces the software-only DVS of earlier work
+          (used by the ablation bench). *)
+  strategy : strategy;
+}
+
+val default_config : config
+(** Both enabled, greedy gradient. *)
+
+type hw_segment = {
+  pe : int;
+  segment : Hw_transform.segment;
+  voltage : float;
+  scaled_duration : float;
+  energy : float;  (** power · duration · (v/vmax)² *)
+}
+
+type t = {
+  feasible : bool;
+      (** Whether the input schedule met all deadlines; when [false] no
+          scaling is attempted and all voltages stay nominal. *)
+  task_voltages : float array;
+      (** Per task: assigned supply voltage; nominal voltage of the PE's
+          rail when the task was not scaled (or the PE has no rail, in
+          which case the value is [nan] and unused). *)
+  task_energy : float array;
+      (** Per task dynamic energy after scaling.  Tasks on DVS hardware
+          PEs carry their power-proportional share of their segments'
+          energy so the array totals correctly. *)
+  hw_segments : hw_segment list;  (** Scaled segments of DVS hardware PEs. *)
+  comm_energy : float;  (** Total communication energy (never scaled). *)
+  total_dyn_energy : float;
+      (** Σ task_energy + comm_energy: dynamic energy of one mode
+          activation. *)
+  stretched_finish : float array;
+      (** Per-task finish times after scaling (equals segment-chain
+          finishes for tasks on DVS hardware PEs). *)
+}
+
+val run :
+  ?config:config ->
+  graph:Mm_taskgraph.Graph.t ->
+  arch:Mm_arch.Architecture.t ->
+  tech:Mm_arch.Tech_lib.t ->
+  schedule:Mm_sched.Schedule.t ->
+  unit ->
+  t
+
+val nominal :
+  graph:Mm_taskgraph.Graph.t ->
+  arch:Mm_arch.Architecture.t ->
+  tech:Mm_arch.Tech_lib.t ->
+  schedule:Mm_sched.Schedule.t ->
+  unit ->
+  t
+(** The no-DVS evaluation: every activity at nominal voltage.  Shares the
+    energy-accounting code with {!run} so DVS and non-DVS experiments are
+    directly comparable. *)

@@ -1,0 +1,30 @@
+type t = {
+  capacity_ah : float;
+  voltage : float;
+  peukert : float;
+  rated_hours : float;
+}
+
+let make ~capacity_ah ~voltage ?(peukert = 1.2) ?(rated_hours = 20.0) () =
+  if capacity_ah <= 0.0 then invalid_arg "Battery.make: non-positive capacity";
+  if voltage <= 0.0 then invalid_arg "Battery.make: non-positive voltage";
+  if peukert < 1.0 then invalid_arg "Battery.make: peukert < 1";
+  if rated_hours <= 0.0 then invalid_arg "Battery.make: non-positive rated_hours";
+  { capacity_ah; voltage; peukert; rated_hours }
+
+let phone_cell = make ~capacity_ah:0.65 ~voltage:3.7 ~peukert:1.05 ~rated_hours:5.0 ()
+
+let current t ~average_power =
+  if average_power <= 0.0 then invalid_arg "Battery.current: non-positive power";
+  average_power /. t.voltage
+
+let lifetime_hours t ~average_power =
+  let i = current t ~average_power in
+  t.rated_hours *. ((t.capacity_ah /. (i *. t.rated_hours)) ** t.peukert)
+
+let lifetime_days t ~average_power = lifetime_hours t ~average_power /. 24.0
+
+let extension_percent t ~from_power ~to_power =
+  let before = lifetime_hours t ~average_power:from_power in
+  let after = lifetime_hours t ~average_power:to_power in
+  100.0 *. (after -. before) /. before

@@ -1,0 +1,39 @@
+(** Battery lifetime estimation.
+
+    The paper motivates probability-aware synthesis with "designing
+    systems with a prolonged battery life-time" (§2.1.1); this module
+    turns average-power figures into lifetime estimates so results can be
+    reported in the unit end users care about.  Discharge follows
+    Peukert's law: a battery rated [capacity_ah] at discharge time
+    [rated_hours] lasts
+
+    t = rated_hours · (capacity_ah / (I · rated_hours))^k
+
+    at current I, with exponent k >= 1 (k = 1 is the ideal linear
+    battery). *)
+
+type t = private {
+  capacity_ah : float;  (** Rated capacity (ampere-hours). *)
+  voltage : float;  (** Nominal terminal voltage (V). *)
+  peukert : float;  (** Peukert exponent k (>= 1; typically 1.1–1.3). *)
+  rated_hours : float;  (** Discharge time of the rating (h). *)
+}
+
+val make :
+  capacity_ah:float -> voltage:float -> ?peukert:float -> ?rated_hours:float -> unit -> t
+(** [peukert] defaults to 1.2, [rated_hours] to 20.  Raises
+    [Invalid_argument] on non-positive parameters or [peukert < 1]. *)
+
+val phone_cell : t
+(** A 2003-era phone battery: 650 mAh at 3.7 V, k = 1.05. *)
+
+val current : t -> average_power:float -> float
+(** Mean discharge current I = P / V (A); [average_power] must be
+    positive. *)
+
+val lifetime_hours : t -> average_power:float -> float
+val lifetime_days : t -> average_power:float -> float
+
+val extension_percent : t -> from_power:float -> to_power:float -> float
+(** How much longer the battery lasts after a power reduction:
+    100·(t_to − t_from)/t_from. *)

@@ -1,0 +1,69 @@
+module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Schedule = Mm_sched.Schedule
+
+type mode_power = {
+  mode_id : int;
+  dyn_power : float;
+  static_power : float;
+  active_pes : int list;
+  active_cls : int list;
+  shut_down_pes : int list;
+  shut_down_cls : int list;
+}
+
+let total mp = mp.dyn_power +. mp.static_power
+
+let mode_power ~arch ~schedule ~dyn_energy =
+  let active_pes = Schedule.active_pes schedule in
+  let active_cls = Schedule.active_cls schedule in
+  let shut_down_pes =
+    List.filter
+      (fun p -> not (List.mem (Pe.id p) active_pes))
+      (Arch.pes arch)
+    |> List.map Pe.id
+  in
+  let shut_down_cls =
+    List.filter (fun c -> not (List.mem (Cl.id c) active_cls)) (Arch.cls arch)
+    |> List.map Cl.id
+  in
+  let static_power =
+    List.fold_left (fun acc p -> acc +. Pe.static_power (Arch.pe arch p)) 0.0 active_pes
+    +. List.fold_left (fun acc c -> acc +. Cl.static_power (Arch.cl arch c)) 0.0 active_cls
+  in
+  {
+    mode_id = schedule.Schedule.mode_id;
+    dyn_power = dyn_energy /. schedule.Schedule.period;
+    static_power;
+    active_pes;
+    active_cls;
+    shut_down_pes;
+    shut_down_cls;
+  }
+
+let average ~probabilities mode_powers =
+  if Array.length probabilities <> Array.length mode_powers then
+    invalid_arg "Power.average: length mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i mp -> acc := !acc +. (total mp *. probabilities.(i))) mode_powers;
+  !acc
+
+let average_of_omsm ~omsm mode_powers =
+  let probabilities =
+    Array.of_list (List.map Mm_omsm.Mode.probability (Mm_omsm.Omsm.modes omsm))
+  in
+  average ~probabilities mode_powers
+
+let pp_mode_power ppf mp =
+  Format.fprintf ppf
+    "mode %d: p̄dyn=%.6gW p̄stat=%.6gW (active PEs: %a; shut down: %a)" mp.mode_id
+    mp.dyn_power mp.static_power
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    mp.active_pes
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    mp.shut_down_pes

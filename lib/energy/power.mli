@@ -1,0 +1,39 @@
+(** The paper's power model (§3, Eq. 1).
+
+    Per mode O:  p̄_O = p̄_dyn,O + p̄_stat,O, where the dynamic part is the
+    mode's activation energy divided by its hyper-period and the static
+    part sums the static power of the components {e active} in the mode —
+    a component with no activity mapped to it is shut down (§2.3).
+
+    Overall:     p̄ = Σ_O (p̄_dyn,O + p̄_stat,O) · Ψ_O. *)
+
+type mode_power = {
+  mode_id : int;
+  dyn_power : float;  (** E_activation / hyper-period (W). *)
+  static_power : float;  (** Σ static power of active PEs and CLs (W). *)
+  active_pes : int list;
+  active_cls : int list;
+  shut_down_pes : int list;  (** PEs powered off during this mode. *)
+  shut_down_cls : int list;
+}
+
+val total : mode_power -> float
+(** [dyn_power +. static_power]. *)
+
+val mode_power :
+  arch:Mm_arch.Architecture.t ->
+  schedule:Mm_sched.Schedule.t ->
+  dyn_energy:float ->
+  mode_power
+(** [dyn_energy] is the mode's dynamic energy per activation (tasks plus
+    communications, after any voltage scaling); activity is read off the
+    schedule. *)
+
+val average : probabilities:float array -> mode_power array -> float
+(** Eq. (1).  [probabilities.(i)] must correspond to
+    [mode_powers.(i).mode_id = i]; lengths must match. *)
+
+val average_of_omsm : omsm:Mm_omsm.Omsm.t -> mode_power array -> float
+(** {!average} with the probabilities of the OMSM's modes. *)
+
+val pp_mode_power : Format.formatter -> mode_power -> unit

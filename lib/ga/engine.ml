@@ -1,0 +1,193 @@
+module Prng = Mm_util.Prng
+
+type config = {
+  population_size : int;
+  tournament_size : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  elite_count : int;
+  max_generations : int;
+  stagnation_limit : int;
+  diversity_threshold : float;
+  selection_pressure : float;
+}
+
+let default_config =
+  {
+    population_size = 40;
+    tournament_size = 2;
+    crossover_rate = 0.9;
+    mutation_rate = 0.02;
+    elite_count = 2;
+    max_generations = 150;
+    stagnation_limit = 25;
+    diversity_threshold = 0.01;
+    selection_pressure = 1.8;
+  }
+
+type 'info snapshot = {
+  generation : int;
+  fitnesses : float array;
+  infos : 'info array;
+}
+
+type 'info improvement = {
+  name : string;
+  rate : float;
+  apply :
+    Prng.t -> snapshot:'info snapshot -> info:'info -> int array -> bool;
+}
+
+type 'info problem = {
+  gene_counts : int array;
+  evaluate : int array -> float * 'info;
+  improvements : 'info improvement list;
+  initial : int array list;
+}
+
+type 'info result = {
+  best_genome : int array;
+  best_fitness : float;
+  best_info : 'info;
+  generations : int;
+  evaluations : int;
+  history : float list;
+}
+
+type 'info member = { genome : int array; fitness : float; info : 'info }
+
+(* Linear-ranking weights: best rank gets [pressure], worst gets
+   [2 - pressure]; tournament selection then picks by weight. *)
+let ranking_weights n pressure =
+  if n = 1 then [| 1.0 |]
+  else
+    Array.init n (fun rank ->
+        pressure
+        -. ((2.0 *. (pressure -. 1.0)) *. float_of_int rank /. float_of_int (n - 1)))
+
+let run ?(config = default_config) ~rng problem =
+  if Array.length problem.gene_counts = 0 then invalid_arg "Engine.run: empty genome";
+  if config.population_size <= 0 then invalid_arg "Engine.run: non-positive population";
+  Array.iter
+    (fun c -> if c <= 0 then invalid_arg "Engine.run: empty gene alphabet")
+    problem.gene_counts;
+  let evaluations = ref 0 in
+  let eval genome =
+    incr evaluations;
+    let fitness, info = problem.evaluate genome in
+    { genome; fitness; info }
+  in
+  List.iter
+    (fun genome ->
+      if not (Genome.validate ~counts:problem.gene_counts genome) then
+        invalid_arg "Engine.run: invalid initial genome")
+    problem.initial;
+  let seeded = Array.of_list problem.initial in
+  let population =
+    ref
+      (Array.init config.population_size (fun i ->
+           if i < Array.length seeded then eval (Array.copy seeded.(i))
+           else eval (Genome.random rng ~counts:problem.gene_counts)))
+  in
+  let by_fitness a b = compare a.fitness b.fitness in
+  Array.sort by_fitness !population;
+  let best = ref !population.(0) in
+  let history = ref [ !best.fitness ] in
+  let stagnation = ref 0 in
+  let generation = ref 0 in
+  let weights = ranking_weights config.population_size config.selection_pressure in
+  (* Mean normalised Hamming distance of the population to its best
+     member — a cheap proxy for population diversity. *)
+  let diversity () =
+    let members = !population in
+    let best_genome = members.(0).genome in
+    let len = Array.length best_genome in
+    let total =
+      Array.fold_left
+        (fun acc m -> acc + Genome.hamming best_genome m.genome)
+        0 members
+    in
+    float_of_int total /. float_of_int (Array.length members * len)
+  in
+  let converged () =
+    !stagnation >= config.stagnation_limit
+    || (config.diversity_threshold > 0.0
+       && !stagnation >= (config.stagnation_limit + 1) / 2
+       && diversity () < config.diversity_threshold)
+  in
+  (* Tournament over rank positions: smaller weighted draw wins. *)
+  let select () =
+    let draw () = Prng.int rng config.population_size in
+    let rec tournament best_rank k =
+      if k = 0 then best_rank
+      else
+        let candidate = draw () in
+        (* Higher linear-ranking weight wins the tournament. *)
+        let winner = if weights.(candidate) > weights.(best_rank) then candidate else best_rank in
+        tournament winner (k - 1)
+    in
+    !population.(tournament (draw ()) (config.tournament_size - 1))
+  in
+  while !generation < config.max_generations && not (converged ()) do
+    incr generation;
+    let snapshot =
+      {
+        generation = !generation;
+        fitnesses = Array.map (fun m -> m.fitness) !population;
+        infos = Array.map (fun m -> m.info) !population;
+      }
+    in
+    let offspring = ref [] in
+    let emit genome parent_info =
+      (* Improvement operators (paper lines 19-22) act on offspring with
+         their configured rates, guided by parent evaluation feedback. *)
+      List.iter
+        (fun op ->
+          if Prng.chance rng op.rate then
+            ignore (op.apply rng ~snapshot ~info:parent_info genome))
+        problem.improvements;
+      offspring := eval genome :: !offspring
+    in
+    let n_elite = min config.elite_count config.population_size in
+    for i = 0 to n_elite - 1 do
+      offspring := !population.(i) :: !offspring
+    done;
+    while List.length !offspring < config.population_size do
+      let parent_a = select () and parent_b = select () in
+      if Prng.chance rng config.crossover_rate then begin
+        let child_a, child_b =
+          Genome.two_point_crossover rng parent_a.genome parent_b.genome
+        in
+        Genome.point_mutate rng ~counts:problem.gene_counts ~rate:config.mutation_rate
+          child_a;
+        Genome.point_mutate rng ~counts:problem.gene_counts ~rate:config.mutation_rate
+          child_b;
+        emit child_a parent_a.info;
+        if List.length !offspring < config.population_size then
+          emit child_b parent_b.info
+      end
+      else begin
+        let child = Array.copy parent_a.genome in
+        Genome.point_mutate rng ~counts:problem.gene_counts ~rate:config.mutation_rate
+          child;
+        emit child parent_a.info
+      end
+    done;
+    let next = Array.of_list !offspring in
+    Array.sort by_fitness next;
+    population := next;
+    if next.(0).fitness < !best.fitness -. 1e-15 then begin
+      best := next.(0);
+      stagnation := 0
+    end
+    else incr stagnation;
+    history := !best.fitness :: !history
+  done;
+  {
+    best_genome = Array.copy !best.genome;
+    best_fitness = !best.fitness;
+    best_info = !best.info;
+    generations = !generation;
+    evaluations = !evaluations;
+    history = List.rev !history;
+  }

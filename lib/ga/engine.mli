@@ -1,0 +1,81 @@
+(** A generational genetic algorithm minimising a fitness function over
+    integer-string genomes (paper §4.1, Fig. 4).
+
+    Per generation: individuals are ranked by fitness and assigned
+    linearly scaled selection weights; tournament selection picks mating
+    pairs; two-point crossover and per-gene mutation produce offspring;
+    problem-specific {e improvement operators} (the paper's lines 19–22)
+    then rewrite randomly chosen offspring using evaluation feedback; the
+    best individuals survive unchanged (elitism).  The run converges when
+    the best fitness has stagnated for a configured number of
+    generations.
+
+    The engine is polymorphic in ['info], the side information the
+    evaluator attaches to each candidate (the mapping GA uses it to expose
+    area / timing / transition feasibility to the improvement
+    operators). *)
+
+type config = {
+  population_size : int;
+  tournament_size : int;
+  crossover_rate : float;  (** Probability that a selected pair mates. *)
+  mutation_rate : float;  (** Per-gene reset probability. *)
+  elite_count : int;
+  max_generations : int;
+  stagnation_limit : int;
+      (** Convergence: stop after this many generations without
+          improvement of the best-ever fitness. *)
+  diversity_threshold : float;
+      (** Convergence (paper §4.1: "based on the diversity in the current
+          population and the number of elapsed iterations without any
+          improved individual"): additionally stop once the population's
+          mean normalised Hamming distance to the best individual falls
+          below this threshold while the search has stagnated for at
+          least half the stagnation limit.  0 disables the criterion. *)
+  selection_pressure : float;
+      (** Linear-ranking slope in [\[1, 2\]]: expected offspring count of
+          the best-ranked individual. *)
+}
+
+val default_config : config
+
+type 'info snapshot = {
+  generation : int;
+  fitnesses : float array;
+  infos : 'info array;
+}
+(** What improvement operators can see of the current population. *)
+
+type 'info improvement = {
+  name : string;
+  rate : float;  (** Probability of applying to each offspring. *)
+  apply :
+    Mm_util.Prng.t -> snapshot:'info snapshot -> info:'info -> int array -> bool;
+      (** Rewrite the genome in place; return [false] to signal that no
+          change was made.  [info] is the evaluation feedback of the
+          genome's {e parent generation} incarnation when available. *)
+}
+
+type 'info problem = {
+  gene_counts : int array;
+  evaluate : int array -> float * 'info;
+  improvements : 'info improvement list;
+  initial : int array list;
+      (** Genomes injected into the initial population (e.g. known-
+          feasible anchors such as an all-software mapping); the rest of
+          the population is random.  Must satisfy [gene_counts]; at most
+          [population_size] are used. *)
+}
+
+type 'info result = {
+  best_genome : int array;
+  best_fitness : float;
+  best_info : 'info;
+  generations : int;
+  evaluations : int;
+  history : float list;  (** Best-ever fitness after each generation, oldest first. *)
+}
+
+val run : ?config:config -> rng:Mm_util.Prng.t -> 'info problem -> 'info result
+(** Raises [Invalid_argument] on an empty genome or a non-positive
+    population. *)

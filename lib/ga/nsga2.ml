@@ -1,0 +1,192 @@
+module Prng = Mm_util.Prng
+
+type config = {
+  population_size : int;
+  max_generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+}
+
+let default_config =
+  { population_size = 60; max_generations = 80; crossover_rate = 0.9; mutation_rate = 0.02 }
+
+type 'info individual = {
+  genome : int array;
+  objectives : float array;
+  info : 'info;
+}
+
+type 'info problem = {
+  gene_counts : int array;
+  n_objectives : int;
+  evaluate : int array -> float array * 'info;
+  initial : int array list;
+}
+
+type 'info result = {
+  front : 'info individual list;
+  generations : int;
+  evaluations : int;
+}
+
+let dominates a b =
+  let n = Array.length a in
+  let rec scan i strictly =
+    if i >= n then strictly
+    else if a.(i) > b.(i) then false
+    else scan (i + 1) (strictly || a.(i) < b.(i))
+  in
+  Array.length b = n && scan 0 false
+
+(* Fast non-dominated sort (Deb et al.): O(M·N²). *)
+let non_dominated_sort objectives =
+  let n = Array.length objectives in
+  let rank = Array.make n (-1) in
+  let dominated_by = Array.make n [] in
+  let domination_count = Array.make n 0 in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if p <> q then
+        if dominates objectives.(p) objectives.(q) then
+          dominated_by.(p) <- q :: dominated_by.(p)
+        else if dominates objectives.(q) objectives.(p) then
+          domination_count.(p) <- domination_count.(p) + 1
+    done
+  done;
+  let current = ref [] in
+  for p = 0 to n - 1 do
+    if domination_count.(p) = 0 then begin
+      rank.(p) <- 0;
+      current := p :: !current
+    end
+  done;
+  let front_index = ref 0 in
+  while !current <> [] do
+    let next = ref [] in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun q ->
+            domination_count.(q) <- domination_count.(q) - 1;
+            if domination_count.(q) = 0 then begin
+              rank.(q) <- !front_index + 1;
+              next := q :: !next
+            end)
+          dominated_by.(p))
+      !current;
+    incr front_index;
+    current := !next
+  done;
+  rank
+
+let crowding_distances objectives front =
+  let members = Array.of_list front in
+  let m = Array.length members in
+  let distance = Array.make m 0.0 in
+  if m > 0 then begin
+    let n_objectives = Array.length objectives.(members.(0)) in
+    for objective = 0 to n_objectives - 1 do
+      let order = Array.init m Fun.id in
+      Array.sort
+        (fun a b -> compare objectives.(members.(a)).(objective) objectives.(members.(b)).(objective))
+        order;
+      let lo = objectives.(members.(order.(0))).(objective) in
+      let hi = objectives.(members.(order.(m - 1))).(objective) in
+      distance.(order.(0)) <- infinity;
+      distance.(order.(m - 1)) <- infinity;
+      let span = hi -. lo in
+      if span > 0.0 then
+        for k = 1 to m - 2 do
+          let prev = objectives.(members.(order.(k - 1))).(objective) in
+          let next = objectives.(members.(order.(k + 1))).(objective) in
+          distance.(order.(k)) <- distance.(order.(k)) +. ((next -. prev) /. span)
+        done
+    done
+  end;
+  distance
+
+let run ?(config = default_config) ~rng problem =
+  if Array.length problem.gene_counts = 0 then invalid_arg "Nsga2.run: empty genome";
+  if problem.n_objectives <= 0 then invalid_arg "Nsga2.run: need objectives";
+  if config.population_size < 4 then invalid_arg "Nsga2.run: population too small";
+  let evaluations = ref 0 in
+  let eval genome =
+    incr evaluations;
+    let objectives, info = problem.evaluate genome in
+    if Array.length objectives <> problem.n_objectives then
+      invalid_arg "Nsga2.run: objective arity mismatch";
+    { genome; objectives; info }
+  in
+  let seeded = Array.of_list problem.initial in
+  let population =
+    ref
+      (Array.init config.population_size (fun i ->
+           if i < Array.length seeded then eval (Array.copy seeded.(i))
+           else eval (Genome.random rng ~counts:problem.gene_counts)))
+  in
+  (* Rank + crowding for the current population; returns a comparison
+     key per individual. *)
+  let keys_of members =
+    let objectives = Array.map (fun m -> m.objectives) members in
+    let rank = non_dominated_sort objectives in
+    let crowding = Array.make (Array.length members) 0.0 in
+    let by_front = Hashtbl.create 8 in
+    Array.iteri
+      (fun i r ->
+        Hashtbl.replace by_front r (i :: Option.value ~default:[] (Hashtbl.find_opt by_front r)))
+      rank;
+    Hashtbl.iter
+      (fun _ front ->
+        let distances = crowding_distances objectives front in
+        List.iteri (fun k i -> crowding.(i) <- distances.(k)) front)
+      by_front;
+    (rank, crowding)
+  in
+  let generation = ref 0 in
+  while !generation < config.max_generations do
+    incr generation;
+    let members = !population in
+    let rank, crowding = keys_of members in
+    let better a b =
+      rank.(a) < rank.(b) || (rank.(a) = rank.(b) && crowding.(a) > crowding.(b))
+    in
+    let select () =
+      let a = Prng.int rng (Array.length members) in
+      let b = Prng.int rng (Array.length members) in
+      members.(if better a b then a else b)
+    in
+    let offspring = ref [] in
+    while List.length !offspring < config.population_size do
+      let parent_a = select () and parent_b = select () in
+      let child_a, child_b =
+        if Prng.chance rng config.crossover_rate then
+          Genome.two_point_crossover rng parent_a.genome parent_b.genome
+        else (Array.copy parent_a.genome, Array.copy parent_b.genome)
+      in
+      Genome.point_mutate rng ~counts:problem.gene_counts ~rate:config.mutation_rate child_a;
+      Genome.point_mutate rng ~counts:problem.gene_counts ~rate:config.mutation_rate child_b;
+      offspring := eval child_a :: !offspring;
+      if List.length !offspring < config.population_size then
+        offspring := eval child_b :: !offspring
+    done;
+    (* (μ+λ) environmental selection. *)
+    let combined = Array.append members (Array.of_list !offspring) in
+    let rank, crowding = keys_of combined in
+    let order = Array.init (Array.length combined) Fun.id in
+    Array.sort
+      (fun a b ->
+        if rank.(a) <> rank.(b) then compare rank.(a) rank.(b)
+        else compare crowding.(b) crowding.(a))
+      order;
+    population :=
+      Array.init config.population_size (fun k -> combined.(order.(k)))
+  done;
+  (* First front of the final population, deduplicated by objectives. *)
+  let members = !population in
+  let rank, _ = keys_of members in
+  let front =
+    Array.to_list members
+    |> List.filteri (fun i _ -> rank.(i) = 0)
+    |> List.sort_uniq (fun a b -> compare a.objectives b.objectives)
+  in
+  { front; generations = !generation; evaluations = !evaluations }

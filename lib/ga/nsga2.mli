@@ -1,0 +1,56 @@
+(** NSGA-II: multi-objective genetic optimisation over integer-string
+    genomes (Deb et al., 2002).
+
+    The single-objective mapping GA answers "cheapest average power for
+    this architecture"; NSGA-II answers the designer's wider question —
+    the whole power/cost trade-off in one run.  (The authors' own
+    follow-up work on LOPOCOS moved to multi-objective co-synthesis.)
+
+    Standard algorithm: fast non-dominated sorting into fronts, crowding
+    distances within fronts, binary tournament on (rank, crowding),
+    two-point crossover + point mutation, and (μ+λ) environmental
+    selection.  All objectives are minimised. *)
+
+type config = {
+  population_size : int;
+  max_generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+}
+
+val default_config : config
+
+type 'info individual = {
+  genome : int array;
+  objectives : float array;
+  info : 'info;
+}
+
+type 'info problem = {
+  gene_counts : int array;
+  n_objectives : int;
+  evaluate : int array -> float array * 'info;
+      (** Must return exactly [n_objectives] values. *)
+  initial : int array list;
+}
+
+type 'info result = {
+  front : 'info individual list;
+      (** The final population's first non-dominated front, deduplicated
+          by objective vector. *)
+  generations : int;
+  evaluations : int;
+}
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: a is no worse in every objective and strictly better
+    in at least one (minimisation). *)
+
+val non_dominated_sort : float array array -> int array
+(** Per individual: its front rank (0 = non-dominated). *)
+
+val crowding_distances : float array array -> int list -> float array
+(** Crowding distance of each member of the given front (indices into
+    the objective table); boundary points get [infinity]. *)
+
+val run : ?config:config -> rng:Mm_util.Prng.t -> 'info problem -> 'info result

@@ -1,0 +1,348 @@
+module Task_type = Mm_taskgraph.Task_type
+module Task = Mm_taskgraph.Task
+module Graph = Mm_taskgraph.Graph
+module Voltage = Mm_arch.Voltage
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Arch = Mm_arch.Architecture
+module Tech_lib = Mm_arch.Tech_lib
+module Mode = Mm_omsm.Mode
+module Transition = Mm_omsm.Transition
+module Omsm = Mm_omsm.Omsm
+module Spec = Mm_cosynth.Spec
+module Mapping = Mm_cosynth.Mapping
+open Sexp
+
+exception Decode_error of string
+
+let decode_error fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+let guarded name f sexp =
+  try f sexp with
+  | Failure message -> decode_error "%s: %s" name message
+  | Invalid_argument message -> decode_error "%s: %s" name message
+  | Graph.Invalid message -> decode_error "%s: %s" name message
+  | Arch.Invalid message -> decode_error "%s: %s" name message
+  | Omsm.Invalid message -> decode_error "%s: %s" name message
+  | Spec.Invalid message -> decode_error "%s: %s" name message
+
+(* --- Types ------------------------------------------------------------- *)
+
+let type_to_sexp ty =
+  field "type" [ field "id" [ int (Task_type.id ty) ]; field "name" [ atom (Task_type.name ty) ] ]
+
+let type_of_fields fields =
+  Task_type.make
+    ~id:(as_int (List.hd (assoc "id" fields)))
+    ~name:(as_atom (List.hd (assoc "name" fields)))
+
+(* --- Architecture -------------------------------------------------------- *)
+
+let rail_to_sexp rail =
+  field "rail"
+    [
+      field "threshold" [ float rail.Voltage.threshold ];
+      field "levels" (List.map float (Voltage.levels rail));
+    ]
+
+let rail_of_fields fields =
+  Voltage.make
+    ~threshold:(as_float (List.hd (assoc "threshold" fields)))
+    ~levels:(List.map as_float (assoc "levels" fields))
+
+let pe_to_sexp pe =
+  let base =
+    [
+      field "id" [ int (Pe.id pe) ];
+      field "name" [ atom (Pe.name pe) ];
+      field "kind" [ atom (String.lowercase_ascii (Pe.kind_to_string pe.Pe.kind)) ];
+      field "static-power" [ float (Pe.static_power pe) ];
+    ]
+  in
+  let rail = match Pe.rail pe with Some r -> [ rail_to_sexp r ] | None -> [] in
+  let area =
+    if Pe.is_hardware pe then [ field "area" [ float (Pe.area_capacity pe) ] ] else []
+  in
+  let reconfig =
+    if Pe.reconfig_time_per_area pe > 0.0 then
+      [ field "reconfig-time-per-area" [ float (Pe.reconfig_time_per_area pe) ] ]
+    else []
+  in
+  field "pe" (base @ rail @ area @ reconfig)
+
+let kind_of_string = function
+  | "gpp" -> Pe.Gpp
+  | "asip" -> Pe.Asip
+  | "asic" -> Pe.Asic
+  | "fpga" -> Pe.Fpga
+  | other -> decode_error "unknown PE kind %S" other
+
+let pe_of_fields fields =
+  let rail = Option.map rail_of_fields (assoc_opt "rail" fields) in
+  let area = Option.map (fun a -> as_float (List.hd a)) (assoc_opt "area" fields) in
+  let reconfig =
+    Option.map (fun a -> as_float (List.hd a)) (assoc_opt "reconfig-time-per-area" fields)
+  in
+  Pe.make
+    ~id:(as_int (List.hd (assoc "id" fields)))
+    ~name:(as_atom (List.hd (assoc "name" fields)))
+    ~kind:(kind_of_string (as_atom (List.hd (assoc "kind" fields))))
+    ~static_power:(as_float (List.hd (assoc "static-power" fields)))
+    ?rail
+    ?area_capacity:area
+    ?reconfig_time_per_area:reconfig ()
+
+let cl_to_sexp cl =
+  field "cl"
+    [
+      field "id" [ int (Cl.id cl) ];
+      field "name" [ atom (Cl.name cl) ];
+      field "connects" (List.map int (Cl.connects cl));
+      field "time-per-data" [ float (Cl.time_per_data cl) ];
+      field "transfer-power" [ float (Cl.transfer_power cl) ];
+      field "static-power" [ float (Cl.static_power cl) ];
+    ]
+
+let cl_of_fields fields =
+  Cl.make
+    ~id:(as_int (List.hd (assoc "id" fields)))
+    ~name:(as_atom (List.hd (assoc "name" fields)))
+    ~connects:(List.map as_int (assoc "connects" fields))
+    ~time_per_data:(as_float (List.hd (assoc "time-per-data" fields)))
+    ~transfer_power:(as_float (List.hd (assoc "transfer-power" fields)))
+    ~static_power:(as_float (List.hd (assoc "static-power" fields)))
+
+let architecture_to_sexp arch =
+  field "architecture"
+    ((field "name" [ atom (Arch.name arch) ] :: List.map pe_to_sexp (Arch.pes arch))
+    @ List.map cl_to_sexp (Arch.cls arch))
+
+let architecture_of_fields fields =
+  Arch.make
+    ~name:(as_atom (List.hd (assoc "name" fields)))
+    ~pes:(List.map pe_of_fields (assoc_all "pe" fields))
+    ~cls:(List.map cl_of_fields (assoc_all "cl" fields))
+
+(* --- Technology library --------------------------------------------------- *)
+
+let tech_to_sexp tech =
+  let entries = ref [] in
+  Tech_lib.iter
+    (fun ~ty_id ~pe_id impl ->
+      let base =
+        [
+          field "type" [ int ty_id ];
+          field "pe" [ int pe_id ];
+          field "time" [ float impl.Tech_lib.exec_time ];
+          field "power" [ float impl.Tech_lib.dyn_power ];
+        ]
+      in
+      let area =
+        if impl.Tech_lib.area > 0.0 then [ field "area" [ float impl.Tech_lib.area ] ]
+        else []
+      in
+      entries := field "impl" (base @ area) :: !entries)
+    tech;
+  field "technology" (List.rev !entries)
+
+let tech_of_fields ~types_by_id ~arch fields =
+  List.fold_left
+    (fun tech entry ->
+      let ty_id = as_int (List.hd (assoc "type" entry)) in
+      let pe_id = as_int (List.hd (assoc "pe" entry)) in
+      let ty =
+        match Hashtbl.find_opt types_by_id ty_id with
+        | Some ty -> ty
+        | None -> decode_error "technology entry references unknown type %d" ty_id
+      in
+      if pe_id < 0 || pe_id >= Arch.n_pes arch then
+        decode_error "technology entry references unknown PE %d" pe_id;
+      let area = Option.map (fun a -> as_float (List.hd a)) (assoc_opt "area" entry) in
+      Tech_lib.add tech ~ty ~pe:(Arch.pe arch pe_id)
+        (Tech_lib.impl
+           ~exec_time:(as_float (List.hd (assoc "time" entry)))
+           ~dyn_power:(as_float (List.hd (assoc "power" entry)))
+           ?area ()))
+    Tech_lib.empty (assoc_all "impl" fields)
+
+(* --- Modes ------------------------------------------------------------------ *)
+
+let task_to_sexp task =
+  let base =
+    [
+      field "id" [ int (Task.id task) ];
+      field "name" [ atom (Task.name task) ];
+      field "type" [ int (Task_type.id (Task.ty task)) ];
+    ]
+  in
+  let deadline =
+    match Task.deadline task with
+    | Some d -> [ field "deadline" [ float d ] ]
+    | None -> []
+  in
+  field "task" (base @ deadline)
+
+let task_of_fields ~types_by_id fields =
+  let ty_id = as_int (List.hd (assoc "type" fields)) in
+  let ty =
+    match Hashtbl.find_opt types_by_id ty_id with
+    | Some ty -> ty
+    | None -> decode_error "task references unknown type %d" ty_id
+  in
+  let deadline = Option.map (fun a -> as_float (List.hd a)) (assoc_opt "deadline" fields) in
+  Task.make
+    ~id:(as_int (List.hd (assoc "id" fields)))
+    ~name:(as_atom (List.hd (assoc "name" fields)))
+    ~ty ?deadline ()
+
+let edge_to_sexp (e : Graph.edge) =
+  field "edge"
+    [ field "src" [ int e.src ]; field "dst" [ int e.dst ]; field "data" [ float e.data ] ]
+
+let edge_of_fields fields =
+  {
+    Graph.src = as_int (List.hd (assoc "src" fields));
+    dst = as_int (List.hd (assoc "dst" fields));
+    data = as_float (List.hd (assoc "data" fields));
+  }
+
+let mode_to_sexp mode =
+  let graph = Mode.graph mode in
+  field "mode"
+    [
+      field "id" [ int (Mode.id mode) ];
+      field "name" [ atom (Mode.name mode) ];
+      field "period" [ float (Mode.period mode) ];
+      field "probability" [ float (Mode.probability mode) ];
+      field "tasks" (Array.to_list (Array.map task_to_sexp (Graph.tasks graph)));
+      field "edges" (List.map edge_to_sexp (Graph.edges graph));
+    ]
+
+let mode_of_fields ~types_by_id fields =
+  let name = as_atom (List.hd (assoc "name" fields)) in
+  let tasks =
+    assoc "tasks" fields
+    |> List.map (fun t -> task_of_fields ~types_by_id (as_list t |> List.tl))
+    |> Array.of_list
+  in
+  let edges =
+    assoc "edges" fields |> List.map (fun e -> edge_of_fields (as_list e |> List.tl))
+  in
+  Mode.make
+    ~id:(as_int (List.hd (assoc "id" fields)))
+    ~name
+    ~graph:(Graph.make ~name ~tasks ~edges)
+    ~period:(as_float (List.hd (assoc "period" fields)))
+    ~probability:(as_float (List.hd (assoc "probability" fields)))
+
+let transition_to_sexp tr =
+  field "transition"
+    [
+      field "src" [ int (Transition.src tr) ];
+      field "dst" [ int (Transition.dst tr) ];
+      field "max-time" [ float (Transition.max_time tr) ];
+    ]
+
+let transition_of_fields fields =
+  Transition.make
+    ~src:(as_int (List.hd (assoc "src" fields)))
+    ~dst:(as_int (List.hd (assoc "dst" fields)))
+    ~max_time:(as_float (List.hd (assoc "max-time" fields)))
+
+(* --- Spec ---------------------------------------------------------------------- *)
+
+let spec_to_sexp spec =
+  let omsm = Spec.omsm spec in
+  let types =
+    Task_type.Set.elements (Omsm.all_task_types omsm) |> List.map type_to_sexp
+  in
+  field "spec"
+    ([
+       field "name" [ atom (Omsm.name omsm) ];
+       field "types" types;
+       architecture_to_sexp (Spec.arch spec);
+       tech_to_sexp (Spec.tech spec);
+     ]
+    @ List.map mode_to_sexp (Omsm.modes omsm)
+    @ List.map transition_to_sexp (Omsm.transitions omsm))
+
+let spec_of_sexp sexp =
+  let decode sexp =
+    let fields =
+      match sexp with
+      | List (Atom "spec" :: fields) -> fields
+      | _ -> decode_error "expected a (spec ...) expression"
+    in
+    let name = as_atom (List.hd (assoc "name" fields)) in
+    let types_by_id = Hashtbl.create 16 in
+    List.iter
+      (fun t ->
+        let ty = type_of_fields (as_list t |> List.tl) in
+        Hashtbl.replace types_by_id (Task_type.id ty) ty)
+      (assoc "types" fields);
+    let arch =
+      architecture_of_fields (assoc "architecture" fields)
+    in
+    let tech = tech_of_fields ~types_by_id ~arch (assoc "technology" fields) in
+    let modes = List.map (mode_of_fields ~types_by_id) (assoc_all "mode" fields) in
+    let transitions = List.map transition_of_fields (assoc_all "transition" fields) in
+    let omsm = Omsm.make ~name ~modes ~transitions in
+    Spec.make ~omsm ~arch ~tech
+  in
+  guarded "spec" decode sexp
+
+let spec_to_string spec = Sexp.to_string (spec_to_sexp spec) ^ "\n"
+
+let spec_of_string input =
+  match Sexp.parse_one input with
+  | sexp -> spec_of_sexp sexp
+  | exception Sexp.Parse_error { line; column; message } ->
+    decode_error "parse error at %d:%d: %s" line column message
+
+(* --- Mapping -------------------------------------------------------------------- *)
+
+let mapping_to_sexp mapping =
+  field "mapping"
+    (Array.to_list
+       (Array.mapi
+          (fun mode per_task ->
+            field "mode" (field "id" [ int mode ] :: Array.to_list (Array.map int per_task)))
+          (mapping : Mapping.t :> int array array)))
+
+let mapping_of_sexp ~spec sexp =
+  let decode sexp =
+    let fields =
+      match sexp with
+      | List (Atom "mapping" :: fields) -> fields
+      | _ -> decode_error "expected a (mapping ...) expression"
+    in
+    let modes = assoc_all "mode" fields in
+    let arrays = Array.make (List.length modes) [||] in
+    List.iter
+      (fun mode_fields ->
+        match mode_fields with
+        | List (Atom "id" :: [ id ]) :: genes ->
+          let mode = as_int id in
+          if mode < 0 || mode >= Array.length arrays then
+            decode_error "mapping references unknown mode %d" mode;
+          arrays.(mode) <- Array.of_list (List.map as_int genes)
+        | _ -> decode_error "malformed mapping mode entry")
+      modes;
+    Mapping.of_arrays spec arrays
+  in
+  guarded "mapping" decode sexp
+
+(* --- Files ------------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_spec ~path spec = write_file path (spec_to_string spec)
+let load_spec ~path = spec_of_string (read_file path)

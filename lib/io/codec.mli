@@ -1,0 +1,30 @@
+(** Serialising co-synthesis problems and mappings to S-expressions.
+
+    The textual format captures a complete {!Mm_cosynth.Spec.t} — task
+    types, architecture (PEs with rails, links), technology library, and
+    the OMSM (modes with task graphs, transitions) — plus multi-mode
+    mapping strings, so benchmarks and synthesis results can be stored,
+    versioned and exchanged.  [spec_of_sexp (spec_to_sexp s)] rebuilds a
+    structurally identical specification. *)
+
+exception Decode_error of string
+
+val spec_to_sexp : Mm_cosynth.Spec.t -> Sexp.t
+val spec_of_sexp : Sexp.t -> Mm_cosynth.Spec.t
+(** Raises {!Decode_error} with a descriptive message on malformed
+    input. *)
+
+val spec_to_string : Mm_cosynth.Spec.t -> string
+val spec_of_string : string -> Mm_cosynth.Spec.t
+
+val mapping_to_sexp : Mm_cosynth.Mapping.t -> Sexp.t
+val mapping_of_sexp : spec:Mm_cosynth.Spec.t -> Sexp.t -> Mm_cosynth.Mapping.t
+(** Validates against [spec] (mode/task counts, supported PEs). *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)
+
+val read_file : string -> string
+
+val save_spec : path:string -> Mm_cosynth.Spec.t -> unit
+val load_spec : path:string -> Mm_cosynth.Spec.t

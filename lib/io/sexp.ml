@@ -1,0 +1,227 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of { line : int; column : int; message : string }
+
+(* --- Parsing ---------------------------------------------------------- *)
+
+type lexer = {
+  input : string;
+  mutable position : int;
+  mutable line : int;
+  mutable column : int;
+}
+
+let error lx message = raise (Parse_error { line = lx.line; column = lx.column; message })
+
+let peek lx = if lx.position < String.length lx.input then Some lx.input.[lx.position] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.column <- 1
+  | Some _ -> lx.column <- lx.column + 1
+  | None -> ());
+  lx.position <- lx.position + 1
+
+let rec skip_blanks lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_blanks lx
+  | Some ';' ->
+    let rec to_eol () =
+      match peek lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_blanks lx
+  | Some _ | None -> ()
+
+let quoted_atom lx =
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek lx with
+    | None -> error lx "unterminated string"
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek lx with
+      | Some ('"' as c) | Some ('\\' as c) ->
+        Buffer.add_char buf c;
+        advance lx;
+        loop ()
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance lx;
+        loop ()
+      | Some c -> error lx (Printf.sprintf "bad escape \\%c" c)
+      | None -> error lx "unterminated escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      loop ()
+  in
+  loop ();
+  Atom (Buffer.contents buf)
+
+let bare_atom lx =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek lx with
+    | Some (' ' | '\t' | '\r' | '\n' | '(' | ')' | '"' | ';') | None -> ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      loop ()
+  in
+  loop ();
+  if Buffer.length buf = 0 then error lx "empty atom";
+  Atom (Buffer.contents buf)
+
+let rec expression lx =
+  skip_blanks lx;
+  match peek lx with
+  | None -> error lx "unexpected end of input"
+  | Some '(' ->
+    advance lx;
+    let rec elements acc =
+      skip_blanks lx;
+      match peek lx with
+      | Some ')' ->
+        advance lx;
+        List (List.rev acc)
+      | None -> error lx "unterminated list"
+      | Some _ -> elements (expression lx :: acc)
+    in
+    elements []
+  | Some ')' -> error lx "unexpected )"
+  | Some '"' -> quoted_atom lx
+  | Some _ -> bare_atom lx
+
+let parse input =
+  let lx = { input; position = 0; line = 1; column = 1 } in
+  let rec loop acc =
+    skip_blanks lx;
+    if lx.position >= String.length input then List.rev acc
+    else loop (expression lx :: acc)
+  in
+  loop []
+
+let parse_one input =
+  match parse input with
+  | [ e ] -> e
+  | [] -> raise (Parse_error { line = 1; column = 1; message = "empty input" })
+  | _ :: _ ->
+    raise (Parse_error { line = 1; column = 1; message = "expected a single expression" })
+
+(* --- Printing ---------------------------------------------------------- *)
+
+let atom_needs_quoting s =
+  s = ""
+  || String.exists
+       (function ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\' -> true | _ -> false)
+       s
+
+let escaped s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec flat_width = function
+  | Atom s -> String.length s + if atom_needs_quoting s then 2 else 0
+  | List xs -> 2 + List.fold_left (fun acc x -> acc + flat_width x + 1) 0 xs
+
+let to_string ?(indent = 2) expr =
+  let buf = Buffer.create 256 in
+  let rec emit level expr =
+    match expr with
+    | Atom s -> Buffer.add_string buf (if atom_needs_quoting s then escaped s else s)
+    | List xs ->
+      if flat_width expr <= 78 - (level * indent) then begin
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ' ';
+            emit level x)
+          xs;
+        Buffer.add_char buf ')'
+      end
+      else begin
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun i x ->
+            if i > 0 then begin
+              Buffer.add_char buf '\n';
+              Buffer.add_string buf (String.make ((level + 1) * indent) ' ')
+            end;
+            emit (level + 1) x)
+          xs;
+        Buffer.add_char buf ')'
+      end
+  in
+  emit 0 expr;
+  Buffer.contents buf
+
+(* --- Helpers ----------------------------------------------------------- *)
+
+let atom s = Atom s
+let int i = Atom (string_of_int i)
+
+let float f =
+  (* Shortest representation that round-trips exactly. *)
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then Atom s else Atom (Printf.sprintf "%.17g" f)
+
+let field name args = List (Atom name :: args)
+
+let shape_error expected got =
+  let describe = function
+    | Atom s -> Printf.sprintf "atom %S" s
+    | List _ as l -> Printf.sprintf "list %s" (to_string l)
+  in
+  failwith (Printf.sprintf "expected %s, got %s" expected (describe got))
+
+let as_atom = function Atom s -> s | List _ as l -> shape_error "atom" l
+
+let as_int expr =
+  match int_of_string_opt (as_atom expr) with
+  | Some i -> i
+  | None -> shape_error "integer" expr
+
+let as_float expr =
+  match float_of_string_opt (as_atom expr) with
+  | Some f -> f
+  | None -> shape_error "float" expr
+
+let as_list = function List xs -> xs | Atom _ as a -> shape_error "list" a
+
+let assoc_all name fields =
+  List.filter_map
+    (function
+      | List (Atom head :: args) when head = name -> Some args
+      | Atom _ | List _ -> None)
+    fields
+
+let assoc_opt name fields =
+  match assoc_all name fields with
+  | [ args ] -> Some args
+  | [] -> None
+  | _ :: _ -> failwith (Printf.sprintf "duplicate field %S" name)
+
+let assoc name fields =
+  match assoc_opt name fields with
+  | Some args -> args
+  | None -> failwith (Printf.sprintf "missing field %S" name)

@@ -1,0 +1,48 @@
+(** Minimal S-expressions: the on-disk syntax for specifications and
+    mappings (no external dependency).
+
+    Grammar: atoms are bare words or double-quoted strings with
+    backslash escapes for the quote, the backslash and newline; lists are
+    parenthesised; a semicolon starts a comment running to end of
+    line. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of { line : int; column : int; message : string }
+
+val parse : string -> t list
+(** All top-level expressions of the input.  Raises {!Parse_error}. *)
+
+val parse_one : string -> t
+(** Exactly one top-level expression.  Raises {!Parse_error} when the
+    input holds zero or several. *)
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-print with line breaks for nested lists ([indent] defaults to
+    2 spaces per level). *)
+
+(* Construction helpers. *)
+
+val atom : string -> t
+val int : int -> t
+val float : float -> t
+(** Round-trip safe ("%h"-free shortest representation via "%.17g"). *)
+
+val field : string -> t list -> t
+(** [field "name" args] is [List (Atom "name" :: args)]. *)
+
+(* Destructuring helpers; all raise [Failure] with a path-aware message
+   on shape mismatch. *)
+
+val as_atom : t -> string
+val as_int : t -> int
+val as_float : t -> float
+val as_list : t -> t list
+
+val assoc : string -> t list -> t list
+(** [assoc name fields] returns the arguments of the unique field
+    [(name …)] among [fields]; raises [Failure] when absent. *)
+
+val assoc_opt : string -> t list -> t list option
+val assoc_all : string -> t list -> t list list
+(** Arguments of every [(name …)] field, in order. *)

@@ -1,0 +1,25 @@
+type t = {
+  id : int;
+  name : string;
+  graph : Mm_taskgraph.Graph.t;
+  period : float;
+  probability : float;
+}
+
+let make ~id ~name ~graph ~period ~probability =
+  if id < 0 then invalid_arg "Mode.make: negative id";
+  if period <= 0.0 then invalid_arg "Mode.make: non-positive period";
+  if probability < 0.0 || probability > 1.0 then
+    invalid_arg "Mode.make: probability outside [0, 1]";
+  { id; name; graph; period; probability }
+
+let id t = t.id
+let name t = t.name
+let graph t = t.graph
+let period t = t.period
+let probability t = t.probability
+let n_tasks t = Mm_taskgraph.Graph.n_tasks t.graph
+
+let pp ppf t =
+  Format.fprintf ppf "mode %s#%d(Ψ=%g, φ=%g, %d tasks)" t.name t.id
+    t.probability t.period (n_tasks t)

@@ -1,0 +1,33 @@
+(** Operational modes O: one task graph, its repetition period and its
+    execution probability. *)
+
+type t = private {
+  id : int;
+  name : string;
+  graph : Mm_taskgraph.Graph.t;
+  period : float;
+      (** Task-graph repetition period φ (s); the hyper-period over which
+          per-mode power is averaged and the implicit deadline of every
+          task. *)
+  probability : float;
+      (** Execution probability Ψ: the fraction of operational time the
+          system spends in this mode. *)
+}
+
+val make :
+  id:int ->
+  name:string ->
+  graph:Mm_taskgraph.Graph.t ->
+  period:float ->
+  probability:float ->
+  t
+(** Raises [Invalid_argument] on a negative id, non-positive period, or a
+    probability outside [\[0, 1\]]. *)
+
+val id : t -> int
+val name : t -> string
+val graph : t -> Mm_taskgraph.Graph.t
+val period : t -> float
+val probability : t -> float
+val n_tasks : t -> int
+val pp : Format.formatter -> t -> unit

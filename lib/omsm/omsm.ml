@@ -1,0 +1,73 @@
+module Task_type = Mm_taskgraph.Task_type
+module Graph = Mm_taskgraph.Graph
+
+type t = {
+  name : string;
+  modes : Mode.t array;
+  transitions : Transition.t list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let make ~name ~modes ~transitions =
+  let modes = Array.of_list modes in
+  if Array.length modes = 0 then invalid "OMSM %s has no modes" name;
+  Array.iteri
+    (fun i m ->
+      if Mode.id m <> i then invalid "OMSM %s: modes.(%d) has id %d" name i (Mode.id m))
+    modes;
+  let total_probability =
+    Array.fold_left (fun acc m -> acc +. Mode.probability m) 0.0 modes
+  in
+  if Float.abs (total_probability -. 1.0) > 1e-6 then
+    invalid "OMSM %s: mode probabilities sum to %g, expected 1" name total_probability;
+  let n = Array.length modes in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun tr ->
+      if Transition.src tr >= n || Transition.dst tr >= n then
+        invalid "OMSM %s: transition %a references unknown mode" name Transition.pp tr;
+      let key = (Transition.src tr, Transition.dst tr) in
+      if Hashtbl.mem seen key then
+        invalid "OMSM %s: duplicate transition %a" name Transition.pp tr;
+      Hashtbl.add seen key ())
+    transitions;
+  { name; modes; transitions }
+
+let name t = t.name
+let n_modes t = Array.length t.modes
+let mode t i = t.modes.(i)
+let modes t = Array.to_list t.modes
+let transitions t = t.transitions
+let transitions_into t dst = List.filter (fun tr -> Transition.dst tr = dst) t.transitions
+
+let total_tasks t =
+  Array.fold_left (fun acc m -> acc + Mode.n_tasks m) 0 t.modes
+
+let all_task_types t =
+  Array.fold_left
+    (fun acc m -> Task_type.Set.union acc (Graph.task_types (Mode.graph m)))
+    Task_type.Set.empty t.modes
+
+let modes_using_type t ty =
+  List.filter
+    (fun i -> Task_type.Set.mem ty (Graph.task_types (Mode.graph t.modes.(i))))
+    (List.init (n_modes t) Fun.id)
+
+let shared_task_types t =
+  Task_type.Set.filter
+    (fun ty -> List.length (modes_using_type t ty) >= 2)
+    (all_task_types t)
+
+let probability_entropy t =
+  Array.fold_left
+    (fun acc m ->
+      let p = Mode.probability m in
+      if p > 0.0 then acc -. (p *. log p) else acc)
+    0.0 t.modes
+
+let pp ppf t =
+  Format.fprintf ppf "OMSM %s: %d modes, %d transitions, %d tasks" t.name
+    (n_modes t) (List.length t.transitions) (total_tasks t)

@@ -1,0 +1,41 @@
+(** The operational mode state machine ϒ(Ω, Θ): the paper's top-level
+    specification model combining a finite state machine over modes with
+    one task graph per mode. *)
+
+type t
+
+exception Invalid of string
+
+val make :
+  name:string -> modes:Mode.t list -> transitions:Transition.t list -> t
+(** Validates: mode ids contiguous and matching list positions, at least
+    one mode, probabilities summing to 1 (±1e-6), transition endpoints
+    valid with no duplicate (src, dst) pair.  Raises {!Invalid}
+    otherwise. *)
+
+val name : t -> string
+val n_modes : t -> int
+val mode : t -> int -> Mode.t
+val modes : t -> Mode.t list
+val transitions : t -> Transition.t list
+val transitions_into : t -> int -> Transition.t list
+(** All transitions whose destination is the given mode. *)
+
+val total_tasks : t -> int
+(** Σ_O |T_O|: the length of a multi-mode mapping string. *)
+
+val all_task_types : t -> Mm_taskgraph.Task_type.Set.t
+
+val shared_task_types : t -> Mm_taskgraph.Task_type.Set.t
+(** Types appearing in at least two different modes — the resource-sharing
+    opportunities that distinguish multi-mode from single-mode
+    synthesis. *)
+
+val modes_using_type : t -> Mm_taskgraph.Task_type.t -> int list
+
+val probability_entropy : t -> float
+(** Shannon entropy (nats) of the mode execution probability distribution;
+    low entropy = heavily skewed usage profile = more to gain from the
+    paper's technique. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type t = { src : int; dst : int; max_time : float }
+
+let make ~src ~dst ~max_time =
+  if src < 0 || dst < 0 then invalid_arg "Transition.make: negative mode id";
+  if src = dst then invalid_arg "Transition.make: self transition";
+  if max_time <= 0.0 then invalid_arg "Transition.make: non-positive max_time";
+  { src; dst; max_time }
+
+let src t = t.src
+let dst t = t.dst
+let max_time t = t.max_time
+let pp ppf t = Format.fprintf ppf "%d->%d(tmax=%g)" t.src t.dst t.max_time

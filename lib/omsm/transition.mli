@@ -1,0 +1,16 @@
+(** Mode transitions T = (Ox, Oy) with their maximal transition times. *)
+
+type t = private {
+  src : int;
+  dst : int;
+  max_time : float;  (** t_T^max: bound on the system reconfiguration time. *)
+}
+
+val make : src:int -> dst:int -> max_time:float -> t
+(** Raises [Invalid_argument] on negative mode ids, [src = dst], or a
+    non-positive bound. *)
+
+val src : t -> int
+val dst : t -> int
+val max_time : t -> float
+val pp : Format.formatter -> t -> unit

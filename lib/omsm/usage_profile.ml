@@ -1,0 +1,91 @@
+type observation = { src : int; dst : int; count : float }
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let embedded_chain ~n_modes observations =
+  if n_modes <= 0 then invalid "Usage_profile: no modes";
+  let totals = Array.make n_modes 0.0 in
+  List.iter
+    (fun { src; dst; count } ->
+      if src < 0 || src >= n_modes || dst < 0 || dst >= n_modes then
+        invalid "Usage_profile: observation %d->%d out of range" src dst;
+      if count <= 0.0 then invalid "Usage_profile: non-positive count on %d->%d" src dst;
+      totals.(src) <- totals.(src) +. count)
+    observations;
+  let matrix = Array.make_matrix n_modes n_modes 0.0 in
+  List.iter
+    (fun { src; dst; count } -> matrix.(src).(dst) <- matrix.(src).(dst) +. (count /. totals.(src)))
+    observations;
+  (* Absorbing rows (no observed departure) self-loop to stay
+     stochastic. *)
+  Array.iteri (fun i total -> if total = 0.0 then matrix.(i).(i) <- 1.0) totals;
+  matrix
+
+let check_stochastic matrix =
+  let n = Array.length matrix in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Usage_profile.stationary: non-square";
+      let total = Array.fold_left ( +. ) 0.0 row in
+      if Float.abs (total -. 1.0) > 1e-6 then
+        invalid_arg "Usage_profile.stationary: rows must sum to 1";
+      Array.iter
+        (fun p ->
+          if p < -.1e-12 then invalid_arg "Usage_profile.stationary: negative entry")
+        row)
+    matrix
+
+let stationary ?(max_iterations = 10_000) ?(tolerance = 1e-12) matrix =
+  check_stochastic matrix;
+  let n = Array.length matrix in
+  let damping = 0.95 in
+  let uniform = 1.0 /. float_of_int n in
+  let pi = Array.make n uniform in
+  let next = Array.make n 0.0 in
+  let rec iterate k =
+    Array.fill next 0 n 0.0;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        next.(j) <- next.(j) +. (pi.(i) *. matrix.(i).(j))
+      done
+    done;
+    (* Damping guarantees convergence on periodic chains and spreads a
+       little mass everywhere on reducible ones. *)
+    let delta = ref 0.0 in
+    for j = 0 to n - 1 do
+      let damped = (damping *. next.(j)) +. ((1.0 -. damping) *. uniform) in
+      delta := !delta +. Float.abs (damped -. pi.(j));
+      pi.(j) <- damped
+    done;
+    if !delta > tolerance && k < max_iterations then iterate (k + 1)
+  in
+  iterate 0;
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  Array.map (fun p -> p /. total) pi
+
+let probabilities ~n_modes ~holding_time observations =
+  let pi = stationary (embedded_chain ~n_modes observations) in
+  let weighted =
+    Array.mapi
+      (fun i p ->
+        let h = holding_time i in
+        if h <= 0.0 then invalid "Usage_profile: non-positive holding time for mode %d" i;
+        p *. h)
+      pi
+  in
+  let total = Array.fold_left ( +. ) 0.0 weighted in
+  Array.map (fun w -> w /. total) weighted
+
+let apply omsm ~holding_time observations =
+  let n_modes = Omsm.n_modes omsm in
+  let profile = probabilities ~n_modes ~holding_time observations in
+  let modes =
+    List.map
+      (fun mode ->
+        Mode.make ~id:(Mode.id mode) ~name:(Mode.name mode) ~graph:(Mode.graph mode)
+          ~period:(Mode.period mode) ~probability:profile.(Mode.id mode))
+      (Omsm.modes omsm)
+  in
+  Omsm.make ~name:(Omsm.name omsm) ~modes ~transitions:(Omsm.transitions omsm)

@@ -1,0 +1,47 @@
+(** Deriving mode execution probabilities from usage statistics.
+
+    The paper assumes the probabilities Ψ_O are given, noting they come
+    from "an average usage profile based on statistical information
+    collected from several different users" (§2.1.1).  This module
+    closes that gap: given observed {e transition frequencies} between
+    modes and the {e mean residence time} spent in a mode per visit, it
+    computes the long-run fraction of operational time per mode — the
+    stationary distribution of the semi-Markov usage process:
+
+    Ψ_i = π_i·h_i / Σ_j π_j·h_j,
+
+    where π is the stationary distribution of the embedded jump chain
+    (found by power iteration) and h the mean holding times. *)
+
+type observation = {
+  src : int;
+  dst : int;
+  count : float;  (** Observed number (or rate) of src→dst switches; > 0. *)
+}
+
+exception Invalid of string
+
+val embedded_chain : n_modes:int -> observation list -> float array array
+(** Row-stochastic jump matrix from the observations.  Rows without any
+    outgoing observation self-loop (an absorbing mode).  Raises
+    {!Invalid} on out-of-range mode ids or non-positive counts. *)
+
+val stationary :
+  ?max_iterations:int -> ?tolerance:float -> float array array -> float array
+(** Power iteration on a row-stochastic matrix.  To guarantee convergence
+    on periodic or reducible chains the iteration is damped (mixing with
+    the uniform distribution, factor 0.95 — the PageRank trick).  Raises
+    [Invalid_argument] on a non-square or non-stochastic matrix. *)
+
+val probabilities :
+  n_modes:int ->
+  holding_time:(int -> float) ->
+  observation list ->
+  float array
+(** The full pipeline: Ψ per mode, summing to 1.  [holding_time mode] is
+    the mean time spent in the mode per visit (> 0). *)
+
+val apply :
+  Omsm.t -> holding_time:(int -> float) -> observation list -> Omsm.t
+(** Rebuild an OMSM with probabilities replaced by the derived profile
+    (modes and transitions otherwise unchanged). *)

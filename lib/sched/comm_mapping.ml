@@ -1,0 +1,45 @@
+module Arch = Mm_arch.Architecture
+module Cl = Mm_arch.Cl
+
+type decision =
+  | Local
+  | Via of { cl : Cl.t; time : float; energy : float }
+  | Unroutable
+
+let route arch ~src_pe ~dst_pe ~data =
+  if src_pe = dst_pe then Local
+  else
+    let candidates = Arch.links_between arch src_pe dst_pe in
+    let better a b =
+      match (a, b) with
+      | Via a', Via b' ->
+        if a'.time < b'.time then a
+        else if a'.time > b'.time then b
+        else if a'.energy < b'.energy then a
+        else if a'.energy > b'.energy then b
+        else if Cl.id a'.cl <= Cl.id b'.cl then a
+        else b
+      | Via _, (Local | Unroutable) -> a
+      | (Local | Unroutable), Via _ -> b
+      | (Local | Unroutable), (Local | Unroutable) -> a
+    in
+    List.fold_left
+      (fun best cl ->
+        let candidate =
+          Via
+            {
+              cl;
+              time = Cl.transfer_time cl ~data;
+              energy = Cl.transfer_energy cl ~data;
+            }
+        in
+        better best candidate)
+      Unroutable candidates
+
+let best_case_time arch ~data =
+  match Arch.cls arch with
+  | [] -> 0.0
+  | cls ->
+    List.fold_left
+      (fun acc cl -> Float.min acc (Cl.transfer_time cl ~data))
+      Float.infinity cls

@@ -1,0 +1,23 @@
+(** Communication mapping M_γ: assigning data edges to communication
+    links.
+
+    The paper's inner loop optimises communication mapping together with
+    scheduling [12]; since both compared synthesis approaches share the
+    inner loop, we use a deterministic rule — route each inter-PE edge
+    over the attached link with the smallest transfer time, breaking ties
+    by transfer energy and then link id.  Deterministic routing makes
+    whole synthesis runs reproducible. *)
+
+type decision =
+  | Local  (** Producer and consumer share a PE: no link needed, no cost. *)
+  | Via of { cl : Mm_arch.Cl.t; time : float; energy : float }
+  | Unroutable  (** No link attaches both PEs: the mapping is infeasible. *)
+
+val route :
+  Mm_arch.Architecture.t -> src_pe:int -> dst_pe:int -> data:float -> decision
+
+val best_case_time :
+  Mm_arch.Architecture.t -> data:float -> float
+(** The smallest transfer time for [data] over any link of the
+    architecture — the optimistic estimate used for pre-mapping mobility
+    analysis.  0 when the architecture has no links. *)

@@ -1,0 +1,104 @@
+type options = { width : int; show_links : bool }
+
+let default_options = { width = 72; show_links = true }
+
+(* One chart row: a label and a set of [start, finish) intervals carrying
+   short tags. *)
+type row = { label : string; intervals : (float * float * string) list }
+
+let rows_of_schedule ~show_links (sched : Schedule.t) =
+  let task_rows = Hashtbl.create 8 in
+  Array.iter
+    (fun (slot : Schedule.task_slot) ->
+      let key = slot.Schedule.resource in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt task_rows key) in
+      Hashtbl.replace task_rows key
+        ((slot.Schedule.start, Schedule.finish slot, Printf.sprintf "t%d" slot.Schedule.task)
+        :: existing))
+    sched.Schedule.task_slots;
+  let resource_rows =
+    Hashtbl.fold
+      (fun resource intervals acc ->
+        let label = Format.asprintf "%a" Resource.pp resource in
+        { label; intervals = List.sort compare intervals } :: acc)
+      task_rows []
+    |> List.sort (fun a b -> compare a.label b.label)
+  in
+  if not show_links then resource_rows
+  else begin
+    let link_rows = Hashtbl.create 4 in
+    List.iter
+      (fun (c : Schedule.comm_slot) ->
+        let existing = Option.value ~default:[] (Hashtbl.find_opt link_rows c.Schedule.cl) in
+        Hashtbl.replace link_rows c.Schedule.cl
+          ((c.Schedule.start, Schedule.comm_finish c,
+            Printf.sprintf "%d>%d" c.Schedule.edge.Mm_taskgraph.Graph.src
+              c.Schedule.edge.Mm_taskgraph.Graph.dst)
+          :: existing))
+      sched.Schedule.comm_slots;
+    let links =
+      Hashtbl.fold
+        (fun cl intervals acc ->
+          { label = Printf.sprintf "cl%d" cl; intervals = List.sort compare intervals }
+          :: acc)
+        link_rows []
+      |> List.sort (fun a b -> compare a.label b.label)
+    in
+    resource_rows @ links
+  end
+
+let render_rows ~options ~horizon rows =
+  let width = options.width in
+  if width < 20 then invalid_arg "Gantt.render: width must be >= 20";
+  let label_width =
+    List.fold_left (fun acc row -> max acc (String.length row.label)) 8 rows
+  in
+  let column_of time = int_of_float (time /. horizon *. float_of_int (width - 1)) in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      let line = Bytes.make width '.' in
+      List.iter
+        (fun (start, finish, tag) ->
+          let first = max 0 (min (width - 1) (column_of start)) in
+          let last = max first (min (width - 1) (column_of finish - 1)) in
+          for col = first to last do
+            Bytes.set line col '='
+          done;
+          (* Write the tag starting at the bar; short bars let it spill
+             into the adjacent idle space so it stays readable. *)
+          String.iteri
+            (fun k ch ->
+              let col = first + k in
+              if col < width then Bytes.set line col ch)
+            tag)
+        row.intervals;
+      Buffer.add_string buf (Printf.sprintf "%-*s |%s|\n" label_width row.label (Bytes.to_string line)))
+    rows;
+  (* Time axis. *)
+  let axis = Printf.sprintf "%-*s 0%*s" label_width "" width (Printf.sprintf "%.4g s" horizon) in
+  Buffer.add_string buf axis;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render ?(options = default_options) sched =
+  let horizon = Float.max (Schedule.makespan sched) 1e-12 in
+  let rows = rows_of_schedule ~show_links:options.show_links sched in
+  Printf.sprintf "mode %d schedule (makespan %.4g s / period %.4g s)\n%s"
+    sched.Schedule.mode_id (Schedule.makespan sched) sched.Schedule.period
+    (render_rows ~options ~horizon rows)
+
+let render_scaled ?(options = default_options) sched ~stretched_finish =
+  let scaled_horizon = Array.fold_left Float.max 1e-12 stretched_finish in
+  let horizon = Float.max scaled_horizon (Schedule.makespan sched) in
+  let rows = rows_of_schedule ~show_links:options.show_links sched in
+  let annotations =
+    Array.to_list (Array.mapi (fun task finish -> Printf.sprintf "t%d→%.4gs" task finish) stretched_finish)
+  in
+  Printf.sprintf
+    "mode %d schedule (nominal makespan %.4g s, post-DVS completion %.4g s)\n%sscaled finishes: %s\n"
+    sched.Schedule.mode_id (Schedule.makespan sched) scaled_horizon
+    (render_rows ~options ~horizon rows)
+    (String.concat ", " annotations)
+
+let print ?options sched = print_string (render ?options sched)

@@ -1,0 +1,28 @@
+(** ASCII Gantt charts of per-mode schedules.
+
+    Renders one row per execution resource (software PEs, hardware core
+    instances, links), time flowing rightwards, with task/communication
+    ids inside their occupancy intervals — the textual equivalent of the
+    schedule figures in the paper (Fig. 2/3/5). *)
+
+type options = {
+  width : int;  (** Character columns for the time axis (>= 20). *)
+  show_links : bool;  (** Include communication-link rows. *)
+}
+
+val default_options : options
+(** 72 columns, links shown. *)
+
+val render : ?options:options -> Schedule.t -> string
+(** Raises [Invalid_argument] when [options.width < 20]. *)
+
+val render_scaled :
+  ?options:options ->
+  Schedule.t ->
+  stretched_finish:float array ->
+  string
+(** Like {!render} but annotates every task with its post-DVS finish time
+    (the schedule order stays the nominal one: voltage scaling never
+    reorders). *)
+
+val print : ?options:options -> Schedule.t -> unit

@@ -1,0 +1,43 @@
+(** Mobility-driven list scheduling of one mode onto a mapped
+    architecture (the deterministic inner loop; see DESIGN.md §3 for why
+    a deterministic stand-in for the GA-based inner loop of [12] is a
+    faithful substitution).
+
+    Tasks become ready when all predecessors are scheduled; among ready
+    tasks the one with the smallest mobility (most critical) is placed
+    first.  Incoming inter-PE communications are placed on their mapped
+    link immediately before the consumer, respecting link occupancy. *)
+
+type input = {
+  mode_id : int;
+  graph : Mm_taskgraph.Graph.t;
+  arch : Mm_arch.Architecture.t;
+  tech : Mm_arch.Tech_lib.t;
+  mapping : int array;  (** [mapping.(task)] = PE id. *)
+  instances : pe:int -> ty:int -> int;
+      (** Allocated core instances per (hardware PE, task type); must
+          return >= 1 for every pair actually used by [mapping].  Ignored
+          for software PEs. *)
+  period : float;
+}
+
+type policy =
+  | Mobility_first
+      (** Smallest ALAP−ASAP mobility first (the default; critical tasks
+          cannot wait). *)
+  | Critical_path_first
+      (** Largest bottom level first (HLFET): longest remaining
+          exec+comm path to a sink. *)
+  | Topological
+      (** Deterministic topological (FIFO-like) order — the naive
+          baseline for the scheduler-policy ablation. *)
+
+exception Unsupported_mapping of { task : int; pe : int }
+(** Raised when [mapping] sends a task to a PE with no implementation of
+    its type in the technology library. *)
+
+val run : ?policy:policy -> input -> Schedule.t
+
+val exec_times : input -> float array
+(** Nominal execution time of each task under the mapping (also used by
+    callers for mobility analysis). *)

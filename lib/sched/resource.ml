@@ -1,0 +1,26 @@
+type t =
+  | Sw_pe of int
+  | Hw_core of { pe : int; ty : int; instance : int }
+  | Link of int
+
+let compare = compare
+let equal a b = compare a b = 0
+
+let pe_id = function
+  | Sw_pe pe -> Some pe
+  | Hw_core { pe; _ } -> Some pe
+  | Link _ -> None
+
+let pp ppf = function
+  | Sw_pe pe -> Format.fprintf ppf "sw-pe%d" pe
+  | Hw_core { pe; ty; instance } -> Format.fprintf ppf "pe%d.core(ty%d,#%d)" pe ty instance
+  | Link cl -> Format.fprintf ppf "cl%d" cl
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

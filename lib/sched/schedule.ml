@@ -1,0 +1,179 @@
+module Graph = Mm_taskgraph.Graph
+module Task = Mm_taskgraph.Task
+
+type task_slot = {
+  task : int;
+  resource : Resource.t;
+  start : float;
+  duration : float;
+}
+
+type comm_slot = {
+  edge : Graph.edge;
+  cl : int;
+  start : float;
+  duration : float;
+  energy : float;
+}
+
+type t = {
+  mode_id : int;
+  period : float;
+  task_slots : task_slot array;
+  comm_slots : comm_slot list;
+  unroutable : Graph.edge list;
+}
+
+let finish (slot : task_slot) = slot.start +. slot.duration
+let comm_finish (slot : comm_slot) = slot.start +. slot.duration
+
+let makespan t =
+  let over_tasks = Array.fold_left (fun acc s -> Float.max acc (finish s)) 0.0 t.task_slots in
+  List.fold_left (fun acc c -> Float.max acc (comm_finish c)) over_tasks t.comm_slots
+
+let pe_of_slot slot =
+  match Resource.pe_id slot.resource with
+  | Some pe -> pe
+  | None -> assert false (* task slots never sit on links *)
+
+let slots_on_resource t resource =
+  Array.to_list t.task_slots
+  |> List.filter (fun (s : task_slot) -> Resource.equal s.resource resource)
+  |> List.sort (fun (a : task_slot) b -> compare a.start b.start)
+
+let resources_used t =
+  let from_tasks =
+    Array.fold_left (fun acc s -> Resource.Set.add s.resource acc) Resource.Set.empty
+      t.task_slots
+  in
+  List.fold_left (fun acc c -> Resource.Set.add (Resource.Link c.cl) acc) from_tasks
+    t.comm_slots
+
+let active_pes t =
+  Array.fold_left (fun acc s -> pe_of_slot s :: acc) [] t.task_slots
+  |> List.sort_uniq Int.compare
+
+let active_cls t =
+  List.map (fun c -> c.cl) t.comm_slots |> List.sort_uniq Int.compare
+
+let lateness t ~graph =
+  let violations = ref [] in
+  Array.iter
+    (fun slot ->
+      let bound =
+        match Task.deadline (Graph.task graph slot.task) with
+        | None -> t.period
+        | Some d -> Float.min d t.period
+      in
+      let excess = finish slot -. bound in
+      if excess > 1e-9 then violations := (slot.task, excess) :: !violations)
+    t.task_slots;
+  List.rev !violations
+
+let check_no_overlap slots =
+  let sorted = List.sort (fun (a : task_slot) b -> compare a.start b.start) slots in
+  let rec scan = function
+    | a :: (b :: _ as rest) ->
+      if finish a > b.start +. 1e-9 then
+        Error
+          (Printf.sprintf "tasks %d and %d overlap on a sequential resource" a.task
+             b.task)
+      else scan rest
+    | [ _ ] | [] -> Ok ()
+  in
+  scan sorted
+
+let validate t ~graph =
+  let ( let* ) = Result.bind in
+  let n = Graph.n_tasks graph in
+  if Array.length t.task_slots <> n then Error "slot count mismatch"
+  else
+    let* () =
+      Array.to_list t.task_slots
+      |> List.fold_left
+           (fun acc (s : task_slot) ->
+             let* () = acc in
+             if s.start < -1e-9 then Error (Printf.sprintf "task %d starts before 0" s.task)
+             else if s.duration <= 0.0 then
+               Error (Printf.sprintf "task %d has non-positive duration" s.task)
+             else Ok ())
+           (Ok ())
+    in
+    (* Group task slots by resource and check sequential execution. *)
+    let by_resource = Hashtbl.create 16 in
+    Array.iter
+      (fun s ->
+        let existing = Option.value ~default:[] (Hashtbl.find_opt by_resource s.resource) in
+        Hashtbl.replace by_resource s.resource (s :: existing))
+      t.task_slots;
+    let* () =
+      Hashtbl.fold
+        (fun _ slots acc ->
+          let* () = acc in
+          check_no_overlap slots)
+        by_resource (Ok ())
+    in
+    (* Link occupancy. *)
+    let comm_by_cl = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        let existing = Option.value ~default:[] (Hashtbl.find_opt comm_by_cl c.cl) in
+        Hashtbl.replace comm_by_cl c.cl (c :: existing))
+      t.comm_slots;
+    let* () =
+      Hashtbl.fold
+        (fun cl comms acc ->
+          let* () = acc in
+          let sorted = List.sort (fun (a : comm_slot) b -> compare a.start b.start) comms in
+          let rec scan = function
+            | a :: (b : comm_slot) :: _ when comm_finish a > b.start +. 1e-9 ->
+              Error (Printf.sprintf "communications overlap on link %d" cl)
+            | _ :: rest -> scan rest
+            | [] -> Ok ()
+          in
+          scan sorted)
+        comm_by_cl (Ok ())
+    in
+    (* Precedence: every edge's consumer starts after the producer's data
+       arrived (directly, or through its scheduled communication). *)
+    let comm_of_edge = Hashtbl.create 16 in
+    List.iter (fun c -> Hashtbl.replace comm_of_edge (c.edge.Graph.src, c.edge.Graph.dst) c) t.comm_slots;
+    List.fold_left
+      (fun acc (e : Graph.edge) ->
+        let* () = acc in
+        if List.memq e t.unroutable then Ok ()
+        else
+          let producer = t.task_slots.(e.src) in
+          let consumer = t.task_slots.(e.dst) in
+          let arrival =
+            match Hashtbl.find_opt comm_of_edge (e.src, e.dst) with
+            | Some c ->
+              if c.start +. 1e-9 < finish producer then
+                Float.infinity (* communication starts before data exists *)
+              else comm_finish c
+            | None ->
+              if pe_of_slot producer = pe_of_slot consumer then finish producer
+              else Float.infinity (* inter-PE edge without communication *)
+          in
+          if consumer.start +. 1e-9 < arrival then
+            Error (Printf.sprintf "edge %d->%d violated" e.src e.dst)
+          else Ok ())
+      (Ok ()) (Graph.edges graph)
+
+let pp ppf t =
+  Format.fprintf ppf "schedule of mode %d (makespan %.6g / period %.6g):@." t.mode_id
+    (makespan t) t.period;
+  let slots = Array.to_list t.task_slots in
+  let sorted =
+    List.sort (fun (a : task_slot) b -> compare (a.start, a.task) (b.start, b.task)) slots
+  in
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  τ%-3d %a [%.6g, %.6g)@." s.task Resource.pp s.resource s.start
+        (finish s))
+    sorted;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  comm %d->%d cl%d [%.6g, %.6g)@." c.edge.Graph.src
+        c.edge.Graph.dst c.cl c.start (comm_finish c))
+    t.comm_slots

@@ -1,0 +1,55 @@
+(** Static per-mode schedules produced by the list scheduler. *)
+
+type task_slot = {
+  task : int;
+  resource : Resource.t;  (** [Sw_pe _] or [Hw_core _]. *)
+  start : float;
+  duration : float;  (** Nominal (Vmax) execution time of the mapped implementation. *)
+}
+
+type comm_slot = {
+  edge : Mm_taskgraph.Graph.edge;
+  cl : int;
+  start : float;
+  duration : float;
+  energy : float;
+}
+
+type t = {
+  mode_id : int;
+  period : float;
+  task_slots : task_slot array;  (** Indexed by task id. *)
+  comm_slots : comm_slot list;  (** In scheduling order. *)
+  unroutable : Mm_taskgraph.Graph.edge list;
+      (** Inter-PE edges with no connecting link; non-empty marks the
+          mapping candidate infeasible. *)
+}
+
+val finish : task_slot -> float
+val comm_finish : comm_slot -> float
+val makespan : t -> float
+(** Latest finish over tasks and communications. *)
+
+val pe_of_slot : task_slot -> int
+val slots_on_resource : t -> Resource.t -> task_slot list
+(** Sorted by start time. *)
+
+val resources_used : t -> Resource.Set.t
+val active_pes : t -> int list
+(** PEs executing at least one task of the mode, ascending — every other
+    PE can be shut down during the mode (paper §2.3). *)
+
+val active_cls : t -> int list
+(** Links carrying at least one communication of the mode. *)
+
+val lateness : t -> graph:Mm_taskgraph.Graph.t -> (int * float) list
+(** [(task, amount)] for every task finishing after
+    [min (deadline, period)]; empty iff the schedule is timing-feasible. *)
+
+val validate : t -> graph:Mm_taskgraph.Graph.t -> (unit, string) result
+(** Structural checks used by tests and assertions: no overlap on any
+    sequential resource, every precedence edge respected including
+    communication latency, no negative times. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable timeline dump. *)

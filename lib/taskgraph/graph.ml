@@ -1,0 +1,128 @@
+type edge = { src : int; dst : int; data : float }
+
+type t = {
+  name : string;
+  tasks : Task.t array;
+  edges : edge list;
+  succ_edges : edge list array;
+  pred_edges : edge list array;
+  topo : int array;
+}
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+(* Kahn's algorithm with a smallest-id frontier so that the returned order
+   is deterministic and independent of edge insertion order. *)
+let kahn_topological name n pred_edges succ_edges =
+  let indegree = Array.init n (fun i -> List.length pred_edges.(i)) in
+  let frontier = ref [] in
+  for i = n - 1 downto 0 do
+    if indegree.(i) = 0 then frontier := i :: !frontier
+  done;
+  let order = Array.make n (-1) in
+  let rec loop k = function
+    | [] ->
+      if k < n then invalid "graph %s contains a cycle" name;
+      ()
+    | i :: rest ->
+      order.(k) <- i;
+      let released =
+        List.filter_map
+          (fun e ->
+            indegree.(e.dst) <- indegree.(e.dst) - 1;
+            if indegree.(e.dst) = 0 then Some e.dst else None)
+          succ_edges.(i)
+      in
+      loop (k + 1) (List.merge Int.compare (List.sort Int.compare released) rest)
+  in
+  loop 0 !frontier;
+  order
+
+let make ~name ~tasks ~edges =
+  let n = Array.length tasks in
+  if n = 0 then invalid "graph %s has no tasks" name;
+  Array.iteri
+    (fun i task ->
+      if Task.id task <> i then
+        invalid "graph %s: tasks.(%d) has id %d" name i (Task.id task))
+    tasks;
+  let succ_edges = Array.make n [] in
+  let pred_edges = Array.make n [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        invalid "graph %s: edge %d->%d out of range" name e.src e.dst;
+      if e.src = e.dst then invalid "graph %s: self-loop on %d" name e.src;
+      if e.data < 0.0 then invalid "graph %s: negative data on %d->%d" name e.src e.dst;
+      if Hashtbl.mem seen (e.src, e.dst) then
+        invalid "graph %s: duplicate edge %d->%d" name e.src e.dst;
+      Hashtbl.add seen (e.src, e.dst) ();
+      succ_edges.(e.src) <- e :: succ_edges.(e.src);
+      pred_edges.(e.dst) <- e :: pred_edges.(e.dst))
+    edges;
+  let topo = kahn_topological name n pred_edges succ_edges in
+  { name; tasks = Array.copy tasks; edges; succ_edges; pred_edges; topo }
+
+let name t = t.name
+let n_tasks t = Array.length t.tasks
+let n_edges t = List.length t.edges
+let task t i = t.tasks.(i)
+let tasks t = Array.copy t.tasks
+let edges t = t.edges
+let succ_edges t i = t.succ_edges.(i)
+let pred_edges t i = t.pred_edges.(i)
+let succs t i = List.map (fun e -> e.dst) t.succ_edges.(i)
+let preds t i = List.map (fun e -> e.src) t.pred_edges.(i)
+
+let sources t =
+  List.filter (fun i -> t.pred_edges.(i) = []) (List.init (n_tasks t) Fun.id)
+
+let sinks t =
+  List.filter (fun i -> t.succ_edges.(i) = []) (List.init (n_tasks t) Fun.id)
+
+let topological_order t = Array.copy t.topo
+
+let task_types t =
+  Array.fold_left (fun acc task -> Task_type.Set.add (Task.ty task) acc)
+    Task_type.Set.empty t.tasks
+
+let tasks_of_type t ty =
+  List.filter (fun i -> Task_type.equal (Task.ty t.tasks.(i)) ty)
+    (List.init (n_tasks t) Fun.id)
+
+let fold_tasks f t acc = Array.fold_left (fun acc task -> f task acc) acc t.tasks
+let iter_tasks f t = Array.iter f t.tasks
+
+let longest_path_length t ~weight =
+  let n = n_tasks t in
+  let finish = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let ready =
+        List.fold_left (fun acc e -> Float.max acc finish.(e.src)) 0.0 t.pred_edges.(i)
+      in
+      finish.(i) <- ready +. weight t.tasks.(i))
+    t.topo;
+  Array.fold_left Float.max 0.0 finish
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" t.name);
+  Array.iter
+    (fun task ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d [label=\"%s\\n%s\"];\n" (Task.id task)
+           (Task.name task)
+           (Task_type.name (Task.ty task))))
+    t.tasks;
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "  t%d -> t%d [label=\"%g\"];\n" e.src e.dst e.data))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "graph %s: %d tasks, %d edges" t.name (n_tasks t) (n_edges t)

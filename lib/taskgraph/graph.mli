@@ -1,0 +1,56 @@
+(** Per-mode task graphs G_S(T, C): directed acyclic graphs of typed tasks
+    with data-carrying precedence edges. *)
+
+type edge = {
+  src : int;  (** Producing task id. *)
+  dst : int;  (** Consuming task id. *)
+  data : float;  (** Amount of data transferred (abstract units >= 0). *)
+}
+
+type t
+
+exception Invalid of string
+(** Raised by {!make} when the graph is malformed (non-contiguous task
+    ids, dangling edge endpoints, self-loops, duplicate edges, cycles,
+    negative data). *)
+
+val make : name:string -> tasks:Task.t array -> edges:edge list -> t
+(** Validates and freezes a graph.  [tasks.(i)] must have id [i]. *)
+
+val name : t -> string
+val n_tasks : t -> int
+val n_edges : t -> int
+val task : t -> int -> Task.t
+val tasks : t -> Task.t array
+(** The returned array is a copy; mutation does not affect the graph. *)
+
+val edges : t -> edge list
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val succ_edges : t -> int -> edge list
+val pred_edges : t -> int -> edge list
+val sources : t -> int list
+(** Tasks without predecessors, in id order. *)
+
+val sinks : t -> int list
+(** Tasks without successors, in id order. *)
+
+val topological_order : t -> int array
+(** A fixed topological order (Kahn's algorithm with smallest-id tie
+    breaking, so the order is deterministic). *)
+
+val task_types : t -> Task_type.Set.t
+(** Distinct types appearing in the graph. *)
+
+val tasks_of_type : t -> Task_type.t -> int list
+val fold_tasks : (Task.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_tasks : (Task.t -> unit) -> t -> unit
+
+val longest_path_length : t -> weight:(Task.t -> float) -> float
+(** Critical-path length under node weights [weight] (edge costs
+    ignored). *)
+
+val to_dot : t -> string
+(** Graphviz rendering for debugging and documentation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+type t = {
+  n_tasks : int;
+  n_edges : int;
+  n_types : int;
+  depth : int;
+  width : int;
+  parallelism : float;
+  max_in_degree : int;
+  max_out_degree : int;
+  edge_density : float;
+}
+
+let levels graph =
+  let n = Graph.n_tasks graph in
+  let level = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      let from_preds =
+        List.fold_left (fun acc p -> max acc (level.(p) + 1)) 0 (Graph.preds graph i)
+      in
+      level.(i) <- from_preds)
+    (Graph.topological_order graph);
+  level
+
+let compute graph =
+  let n = Graph.n_tasks graph in
+  let level = levels graph in
+  let depth = 1 + Array.fold_left max 0 level in
+  let per_level = Array.make depth 0 in
+  Array.iter (fun l -> per_level.(l) <- per_level.(l) + 1) level;
+  let width = Array.fold_left max 0 per_level in
+  let max_in_degree = ref 0 and max_out_degree = ref 0 in
+  for i = 0 to n - 1 do
+    max_in_degree := max !max_in_degree (List.length (Graph.preds graph i));
+    max_out_degree := max !max_out_degree (List.length (Graph.succs graph i))
+  done;
+  let n_edges = Graph.n_edges graph in
+  {
+    n_tasks = n;
+    n_edges;
+    n_types = Task_type.Set.cardinal (Graph.task_types graph);
+    depth;
+    width;
+    parallelism = float_of_int n /. float_of_int depth;
+    max_in_degree = !max_in_degree;
+    max_out_degree = !max_out_degree;
+    edge_density =
+      (if n <= 1 then 0.0
+       else float_of_int n_edges /. (float_of_int (n * (n - 1)) /. 2.0));
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "%d tasks, %d edges, %d types, depth %d, width %d, parallelism %.2f" m.n_tasks
+    m.n_edges m.n_types m.depth m.width m.parallelism

@@ -1,0 +1,27 @@
+(** Structural metrics of task graphs.
+
+    Used by the benchmark generator's reports and the CLI's [show]
+    command to characterise workloads (the paper describes its graphs by
+    node/edge counts; depth and width additionally capture how much
+    parallelism a mode offers the mapper). *)
+
+type t = {
+  n_tasks : int;
+  n_edges : int;
+  n_types : int;  (** Distinct task types. *)
+  depth : int;  (** Longest path, counted in tasks (>= 1). *)
+  width : int;  (** Largest number of tasks at one precedence level. *)
+  parallelism : float;  (** n_tasks / depth: average exploitable width. *)
+  max_in_degree : int;
+  max_out_degree : int;
+  edge_density : float;
+      (** n_edges / (n_tasks·(n_tasks−1)/2), 0 for single-task graphs. *)
+}
+
+val compute : Graph.t -> t
+
+val levels : Graph.t -> int array
+(** Per task: its precedence level (longest path from any source, in
+    edges; sources are level 0). *)
+
+val pp : Format.formatter -> t -> unit

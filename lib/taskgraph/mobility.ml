@@ -1,0 +1,64 @@
+type t = {
+  asap : float array;
+  alap : float array;
+  exec : float array;
+  horizon : float;
+}
+
+let compute g ~exec_time ~comm_time ~horizon =
+  let n = Graph.n_tasks g in
+  let exec = Array.init n (fun i -> exec_time (Graph.task g i)) in
+  let topo = Graph.topological_order g in
+  let asap = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let ready =
+        List.fold_left
+          (fun acc (e : Graph.edge) ->
+            Float.max acc (asap.(e.src) +. exec.(e.src) +. comm_time e))
+          0.0 (Graph.pred_edges g i)
+      in
+      asap.(i) <- ready)
+    topo;
+  let makespan =
+    Array.fold_left Float.max 0.0 (Array.init n (fun i -> asap.(i) +. exec.(i)))
+  in
+  let anchor = Float.max horizon makespan in
+  let alap = Array.make n Float.infinity in
+  for k = n - 1 downto 0 do
+    let i = topo.(k) in
+    let latest_finish =
+      List.fold_left
+        (fun acc (e : Graph.edge) -> Float.min acc (alap.(e.dst) -. comm_time e))
+        anchor (Graph.succ_edges g i)
+    in
+    let latest_finish =
+      match Task.deadline (Graph.task g i) with
+      | None -> latest_finish
+      | Some d -> Float.min latest_finish d
+    in
+    (* An unreachable deadline (the task's own, or one inherited through
+       successors) would drive ALAP below ASAP and produce negative
+       mobility; clamp to the ASAP finish instead so the task is simply
+       marked critical. *)
+    let latest_finish = Float.max latest_finish (asap.(i) +. exec.(i)) in
+    alap.(i) <- latest_finish -. exec.(i)
+  done;
+  { asap; alap; exec; horizon = anchor }
+
+let mobility t i = t.alap.(i) -. t.asap.(i)
+
+let makespan t =
+  let n = Array.length t.asap in
+  let m = ref 0.0 in
+  for i = 0 to n - 1 do
+    m := Float.max !m (t.asap.(i) +. t.exec.(i))
+  done;
+  !m
+
+let is_critical ?(eps = 1e-9) t i = mobility t i < eps
+
+let windows_overlap t i j =
+  let start_i = t.asap.(i) and finish_i = t.alap.(i) +. t.exec.(i) in
+  let start_j = t.asap.(j) and finish_j = t.alap.(j) +. t.exec.(j) in
+  start_i < finish_j && start_j < finish_i

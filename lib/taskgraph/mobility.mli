@@ -1,0 +1,43 @@
+(** ASAP/ALAP analysis and task mobility.
+
+    The GA's core-allocation step (paper §4.1, lines 4–5) allocates extra
+    hardware core instances to parallel tasks with low mobility; the list
+    scheduler also prioritises tasks by mobility.  Both use this module.
+
+    Times are computed against caller-supplied execution-time and
+    communication-time estimates so the analysis can run before (using
+    nominal estimates) or after (using mapped values) a mapping is
+    fixed. *)
+
+type t = private {
+  asap : float array;  (** Earliest start time per task. *)
+  alap : float array;  (** Latest start time per task. *)
+  exec : float array;  (** The execution-time estimate used. *)
+  horizon : float;  (** The ALAP anchor actually used. *)
+}
+
+val compute :
+  Graph.t ->
+  exec_time:(Task.t -> float) ->
+  comm_time:(Graph.edge -> float) ->
+  horizon:float ->
+  t
+(** [compute g ~exec_time ~comm_time ~horizon] computes ASAP and ALAP
+    start times.  ALAP is anchored at [max horizon makespan] (so mobility
+    is never negative even when the graph cannot meet [horizon]), and
+    individual task deadlines additionally cap each task's latest finish
+    time — unless the deadline is itself unreachable, in which case the
+    ASAP finish is used as the cap (mobility 0). *)
+
+val mobility : t -> int -> float
+(** [alap.(i) - asap.(i)]; 0 marks a critical task. *)
+
+val makespan : t -> float
+(** ASAP makespan: critical-path length including communications. *)
+
+val is_critical : ?eps:float -> t -> int -> bool
+(** Mobility below [eps] (default 1e-9). *)
+
+val windows_overlap : t -> int -> int -> bool
+(** Whether the ASAP–(ALAP+exec) execution windows of two tasks overlap,
+    i.e. whether the tasks can possibly run in parallel. *)

@@ -1,0 +1,24 @@
+type t = {
+  id : int;
+  name : string;
+  ty : Task_type.t;
+  deadline : float option;
+}
+
+let make ~id ~name ~ty ?deadline () =
+  if id < 0 then invalid_arg "Task.make: negative id";
+  (match deadline with
+  | Some d when d <= 0.0 -> invalid_arg "Task.make: non-positive deadline"
+  | Some _ | None -> ());
+  { id; name; ty; deadline }
+
+let id t = t.id
+let name t = t.name
+let ty t = t.ty
+let deadline t = t.deadline
+
+let pp ppf t =
+  Format.fprintf ppf "τ%d(%s:%a%t)" t.id t.name Task_type.pp t.ty (fun ppf ->
+      match t.deadline with
+      | None -> ()
+      | Some d -> Format.fprintf ppf ",θ=%g" d)

@@ -1,0 +1,22 @@
+(** Tasks (τ in the paper): atomic, non-preemptible units of functionality
+    inside one operational mode's task graph. *)
+
+type t = private {
+  id : int;  (** Index within the owning graph; contiguous from 0. *)
+  name : string;
+  ty : Task_type.t;
+  deadline : float option;
+      (** Optional individual deadline θ_τ relative to the graph activation
+          (seconds).  The graph repetition period always also bounds
+          completion. *)
+}
+
+val make : id:int -> name:string -> ty:Task_type.t -> ?deadline:float -> unit -> t
+(** Raises [Invalid_argument] on a negative id or a non-positive
+    deadline. *)
+
+val id : t -> int
+val name : t -> string
+val ty : t -> Task_type.t
+val deadline : t -> float option
+val pp : Format.formatter -> t -> unit

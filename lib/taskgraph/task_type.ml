@@ -1,0 +1,21 @@
+type t = { id : int; name : string }
+
+let make ~id ~name =
+  if id < 0 then invalid_arg "Task_type.make: negative id";
+  { id; name }
+
+let id t = t.id
+let name t = t.name
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash t = t.id
+let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.id
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,22 @@
+(** Task types (η in the paper).
+
+    A task type identifies a unit of functionality — an FFT, a Huffman
+    decoder, an IDCT… — independent of where it appears.  Tasks of the
+    same type found in different operational modes can share a hardware
+    core; the technology library is keyed by task type, not by task. *)
+
+type t = private { id : int; name : string }
+
+val make : id:int -> name:string -> t
+(** [id] must be non-negative.  [name] is for reporting only; identity is
+    the [id]. *)
+
+val id : t -> int
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

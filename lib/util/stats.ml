@@ -1,0 +1,48 @@
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let std = function
+  | [] -> invalid_arg "Stats.std: empty sample"
+  | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+let median = function
+  | [] -> invalid_arg "Stats.median: empty sample"
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | _ ->
+    {
+      n = List.length xs;
+      mean = mean xs;
+      std = std xs;
+      min = List.fold_left Float.min Float.infinity xs;
+      max = List.fold_left Float.max Float.neg_infinity xs;
+      median = median xs;
+    }
+
+let percent_reduction ~from ~to_ =
+  if from = 0.0 then 0.0 else 100.0 *. (from -. to_) /. from
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g std=%.3g min=%.4g median=%.4g max=%.4g"
+    s.n s.mean s.std s.min s.median s.max

@@ -1,0 +1,28 @@
+(** Descriptive statistics over float samples.
+
+    The experiment harness repeats each stochastic synthesis run several
+    times and reports aggregate values, mirroring the paper's averaging of
+    40 optimisation runs per data point. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;  (** Sample standard deviation (n-1 denominator); 0 for n <= 1. *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+val std : float list -> float
+val median : float list -> float
+
+val percent_reduction : from:float -> to_:float -> float
+(** [percent_reduction ~from ~to_] is [100 * (from - to_) / from], the
+    metric used in every table of the paper.  Returns 0 when [from] is
+    0. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,52 @@
+type row = Cells of string list | Separator
+
+type t = { title : string; columns : string list; mutable rows : row list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  let width = List.length t.columns in
+  let n = List.length cells in
+  if n > width then invalid_arg "Table.add_row: more cells than columns";
+  let padded = cells @ List.init (width - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let cell_float ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v
+let cell_percent v = Printf.sprintf "%.2f" v
+
+let render t =
+  let rows = List.rev t.rows in
+  let all_cell_rows =
+    t.columns :: List.filter_map (function Cells c -> Some c | Separator -> None) rows
+  in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter measure all_cell_rows;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_string buf (String.make (w + 2) '-'); Buffer.add_char buf '+') widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf (Printf.sprintf " %-*s " widths.(i) c);
+        Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  rule ();
+  emit t.columns;
+  rule ();
+  List.iter (function Cells c -> emit c | Separator -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()

@@ -1,0 +1,28 @@
+(** Plain-text tables in the style of the paper's result tables.
+
+    The bench harness prints each reproduced table with this module so
+    that paper rows and measured rows line up visually. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between data rows. *)
+
+val render : t -> string
+(** Render with column widths fitted to the content. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell ([decimals] defaults to 3). *)
+
+val cell_percent : float -> string
+(** Format a percentage cell with two decimals, e.g. ["22.46"]. *)

@@ -1,0 +1,113 @@
+(* Shared test fixtures: a small, hand-checkable platform.
+
+   Architecture: GPP0 (software, DVS rail 2.0/1.0 V, Vt 0) + ASIC1
+   (hardware, area 300) + BUS (1 ms per data unit).
+
+   Types (exec time on GPP / ASIC in ms, dyn power in W, ASIC core area):
+     A: 10 / 1   0.4 / 0.004   100
+     B: 20 / 2   0.5 / 0.005   100
+     C: 30 / 3   0.6 / 0.006   150
+   With Vt = 0, halving the voltage doubles execution time and quarters
+   dynamic energy — arithmetic stays mental. *)
+
+module Task_type = Mm_taskgraph.Task_type
+module Task = Mm_taskgraph.Task
+module Graph = Mm_taskgraph.Graph
+module Voltage = Mm_arch.Voltage
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Arch = Mm_arch.Architecture
+module Tech_lib = Mm_arch.Tech_lib
+module Mode = Mm_omsm.Mode
+module Transition = Mm_omsm.Transition
+module Omsm = Mm_omsm.Omsm
+
+let ty_a = Task_type.make ~id:0 ~name:"A"
+let ty_b = Task_type.make ~id:1 ~name:"B"
+let ty_c = Task_type.make ~id:2 ~name:"C"
+let rail = Voltage.make ~levels:[ 2.0; 1.0 ] ~threshold:0.0
+
+let gpp ?(dvs = true) () =
+  if dvs then Pe.make ~id:0 ~name:"GPP0" ~kind:Pe.Gpp ~static_power:1e-3 ~rail ()
+  else Pe.make ~id:0 ~name:"GPP0" ~kind:Pe.Gpp ~static_power:1e-3 ()
+
+let asic ?(dvs = false) ?(area = 300.0) () =
+  if dvs then
+    Pe.make ~id:1 ~name:"ASIC1" ~kind:Pe.Asic ~static_power:5e-4 ~area_capacity:area ~rail
+      ()
+  else Pe.make ~id:1 ~name:"ASIC1" ~kind:Pe.Asic ~static_power:5e-4 ~area_capacity:area ()
+
+let bus =
+  Cl.make ~id:0 ~name:"BUS" ~connects:[ 0; 1 ] ~time_per_data:1e-3 ~transfer_power:0.05
+    ~static_power:1e-4
+
+let arch ?dvs_gpp ?dvs_asic ?area () =
+  Arch.make ~name:"fixture" ~pes:[ gpp ?dvs:dvs_gpp (); asic ?dvs:dvs_asic ?area () ]
+    ~cls:[ bus ]
+
+let tech arch =
+  let add tech (ty, sw_ms, hw_ms, sw_p, hw_p, area) =
+    let tech =
+      Tech_lib.add tech ~ty ~pe:(Arch.pe arch 0)
+        (Tech_lib.impl ~exec_time:(sw_ms *. 1e-3) ~dyn_power:sw_p ())
+    in
+    Tech_lib.add tech ~ty ~pe:(Arch.pe arch 1)
+      (Tech_lib.impl ~exec_time:(hw_ms *. 1e-3) ~dyn_power:hw_p ~area ())
+  in
+  List.fold_left add Tech_lib.empty
+    [
+      (ty_a, 10.0, 1.0, 0.4, 0.004, 100.0);
+      (ty_b, 20.0, 2.0, 0.5, 0.005, 100.0);
+      (ty_c, 30.0, 3.0, 0.6, 0.006, 150.0);
+    ]
+
+let task ?deadline id ty = Task.make ~id ~name:(Printf.sprintf "t%d" id) ~ty ?deadline ()
+
+(* Chain A -> B -> C with unit data. *)
+let chain_graph ?(data = 1.0) () =
+  Graph.make ~name:"chain"
+    ~tasks:[| task 0 ty_a; task 1 ty_b; task 2 ty_c |]
+    ~edges:[ { Graph.src = 0; dst = 1; data }; { Graph.src = 1; dst = 2; data } ]
+
+(* Fork: 0(A) -> {1(B), 2(B)} -> 3(C); the two B tasks can run in
+   parallel on separate cores. *)
+let fork_graph ?(data = 1.0) () =
+  Graph.make ~name:"fork"
+    ~tasks:[| task 0 ty_a; task 1 ty_b; task 2 ty_b; task 3 ty_c |]
+    ~edges:
+      [
+        { Graph.src = 0; dst = 1; data };
+        { Graph.src = 0; dst = 2; data };
+        { Graph.src = 1; dst = 3; data };
+        { Graph.src = 2; dst = 3; data };
+      ]
+
+(* Two independent type-B tasks (maximal parallelism). *)
+let parallel_graph () =
+  Graph.make ~name:"par" ~tasks:[| task 0 ty_b; task 1 ty_b |] ~edges:[]
+
+let omsm_of_graphs ?(probabilities = [||]) ?(period = 1.0) graphs =
+  let n = List.length graphs in
+  let probabilities =
+    if Array.length probabilities = n then probabilities
+    else Array.make n (1.0 /. float_of_int n)
+  in
+  let modes =
+    List.mapi
+      (fun id graph ->
+        Mode.make ~id ~name:(Printf.sprintf "O%d" id) ~graph ~period
+          ~probability:probabilities.(id))
+      graphs
+  in
+  let transitions =
+    if n < 2 then []
+    else
+      List.init n (fun i ->
+          Transition.make ~src:i ~dst:((i + 1) mod n) ~max_time:0.1)
+  in
+  Omsm.make ~name:"fixture" ~modes ~transitions
+
+let spec_of_graphs ?probabilities ?period ?dvs_gpp ?dvs_asic ?area graphs =
+  let arch = arch ?dvs_gpp ?dvs_asic ?area () in
+  Mm_cosynth.Spec.make ~omsm:(omsm_of_graphs ?probabilities ?period graphs) ~arch
+    ~tech:(tech arch)

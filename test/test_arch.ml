@@ -1,0 +1,264 @@
+(* Tests for mm_arch: Voltage, Pe, Cl, Architecture, Tech_lib. *)
+
+module Voltage = Mm_arch.Voltage
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Arch = Mm_arch.Architecture
+module Tech_lib = Mm_arch.Tech_lib
+module Task_type = Mm_taskgraph.Task_type
+
+let rail () = Voltage.make ~levels:[ 3.3; 2.5; 1.8 ] ~threshold:0.4
+
+(* --- Voltage -------------------------------------------------------------- *)
+
+let test_rail_ordering () =
+  let r = Voltage.make ~levels:[ 1.8; 3.3; 2.5; 3.3 ] ~threshold:0.4 in
+  Alcotest.(check (list (float 1e-9))) "descending, deduped" [ 3.3; 2.5; 1.8 ]
+    (Voltage.levels r);
+  Alcotest.(check (float 1e-9)) "vmax" 3.3 (Voltage.vmax r);
+  Alcotest.(check (float 1e-9)) "vmin" 1.8 (Voltage.vmin r);
+  Alcotest.(check int) "three levels" 3 (Voltage.n_levels r)
+
+let test_rail_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Voltage.make: no levels") (fun () ->
+      ignore (Voltage.make ~levels:[] ~threshold:0.3));
+  Alcotest.check_raises "below threshold"
+    (Invalid_argument "Voltage.make: level must exceed threshold") (fun () ->
+      ignore (Voltage.make ~levels:[ 0.2 ] ~threshold:0.3))
+
+let test_delay_factor () =
+  let r = rail () in
+  Alcotest.(check (float 1e-9)) "nominal is 1" 1.0 (Voltage.delay_factor r 3.3);
+  Alcotest.(check bool) "slower at lower voltage" true (Voltage.delay_factor r 1.8 > 1.0);
+  Alcotest.(check bool) "monotone" true
+    (Voltage.delay_factor r 1.8 > Voltage.delay_factor r 2.5)
+
+let test_energy_factor () =
+  let r = rail () in
+  Alcotest.(check (float 1e-9)) "nominal is 1" 1.0 (Voltage.energy_factor r 3.3);
+  Alcotest.(check (float 1e-9)) "quadratic" ((1.8 /. 3.3) ** 2.0)
+    (Voltage.energy_factor r 1.8)
+
+let test_scaled_time_energy () =
+  let r = rail () in
+  Alcotest.(check (float 1e-12)) "time at vmax" 2e-3 (Voltage.scaled_time r ~tmin:2e-3 3.3);
+  Alcotest.(check (float 1e-12)) "energy at vmax" (0.5 *. 2e-3)
+    (Voltage.scaled_energy r ~pmax:0.5 ~tmin:2e-3 3.3)
+
+let test_slowest_feasible () =
+  let r = rail () in
+  (* Generous budget: lowest level fits. *)
+  Alcotest.(check (option (float 1e-9))) "all fit -> vmin" (Some 1.8)
+    (Voltage.slowest_feasible r ~tmin:1.0 ~budget:100.0);
+  (* Tight budget: only vmax fits. *)
+  Alcotest.(check (option (float 1e-9))) "tight -> vmax" (Some 3.3)
+    (Voltage.slowest_feasible r ~tmin:1.0 ~budget:1.0);
+  (* Impossible budget. *)
+  Alcotest.(check (option (float 1e-9))) "impossible" None
+    (Voltage.slowest_feasible r ~tmin:1.0 ~budget:0.5)
+
+let test_slowest_feasible_boundary () =
+  (* Exactly at the budget: the level must still count as feasible. *)
+  let r = Voltage.make ~levels:[ 2.0; 1.0 ] ~threshold:0.0 in
+  (* At 1.0 V (Vt = 0) the delay factor is exactly 2. *)
+  Alcotest.(check (option (float 1e-9))) "boundary inclusive" (Some 1.0)
+    (Voltage.slowest_feasible r ~tmin:1.0 ~budget:2.0)
+
+let test_next_lower () =
+  let r = rail () in
+  Alcotest.(check (option (float 1e-9))) "below max" (Some 2.5) (Voltage.next_lower r 3.3);
+  Alcotest.(check (option (float 1e-9))) "below min" None (Voltage.next_lower r 1.8)
+
+let prop_delay_energy_tradeoff =
+  QCheck.Test.make ~name:"lower voltage: more delay, less energy" ~count:200
+    QCheck.(pair (float_range 0.5 1.0) (float_range 0.5 1.0))
+    (fun (a, b) ->
+      let lo = 1.0 +. Float.min a b and hi = 1.0 +. Float.max a b +. 0.1 in
+      let r = Voltage.make ~levels:[ hi; lo ] ~threshold:0.3 in
+      Voltage.delay_factor r lo >= 1.0 && Voltage.energy_factor r lo <= 1.0)
+
+(* --- Pe -------------------------------------------------------------------- *)
+
+let test_pe_kinds () =
+  let gpp = Pe.make ~id:0 ~name:"g" ~kind:Pe.Gpp ~static_power:0.1 () in
+  let asic = Pe.make ~id:1 ~name:"a" ~kind:Pe.Asic ~static_power:0.1 ~area_capacity:10.0 () in
+  let fpga =
+    Pe.make ~id:2 ~name:"f" ~kind:Pe.Fpga ~static_power:0.1 ~area_capacity:10.0
+      ~reconfig_time_per_area:0.1 ()
+  in
+  Alcotest.(check bool) "gpp is software" true (Pe.is_software gpp);
+  Alcotest.(check bool) "asic is hardware" true (Pe.is_hardware asic);
+  Alcotest.(check bool) "fpga reconfigurable" true (Pe.is_reconfigurable fpga);
+  Alcotest.(check bool) "asic not reconfigurable" false (Pe.is_reconfigurable asic);
+  Alcotest.(check bool) "no rail" false (Pe.is_dvs_enabled gpp)
+
+let test_pe_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": not rejected")
+  in
+  expect_invalid "sw with area" (fun () ->
+      Pe.make ~id:0 ~name:"g" ~kind:Pe.Gpp ~static_power:0.1 ~area_capacity:5.0 ());
+  expect_invalid "asic without area" (fun () ->
+      Pe.make ~id:0 ~name:"a" ~kind:Pe.Asic ~static_power:0.1 ());
+  expect_invalid "asic with reconfig" (fun () ->
+      Pe.make ~id:0 ~name:"a" ~kind:Pe.Asic ~static_power:0.1 ~area_capacity:5.0
+        ~reconfig_time_per_area:0.1 ());
+  expect_invalid "negative static" (fun () ->
+      Pe.make ~id:0 ~name:"g" ~kind:Pe.Gpp ~static_power:(-0.1) ())
+
+let test_pe_dvs () =
+  let pe = Pe.make ~id:0 ~name:"g" ~kind:Pe.Gpp ~static_power:0.1 ~rail:(rail ()) () in
+  Alcotest.(check bool) "dvs enabled" true (Pe.is_dvs_enabled pe)
+
+(* --- Cl -------------------------------------------------------------------- *)
+
+let test_cl_basics () =
+  let cl =
+    Cl.make ~id:0 ~name:"bus" ~connects:[ 2; 0; 1 ] ~time_per_data:0.5 ~transfer_power:2.0
+      ~static_power:0.1
+  in
+  Alcotest.(check (list int)) "sorted attachments" [ 0; 1; 2 ] (Cl.connects cl);
+  Alcotest.(check bool) "links 0-2" true (Cl.links_pes cl 0 2);
+  Alcotest.(check bool) "not 0-3" false (Cl.links_pes cl 0 3);
+  Alcotest.(check (float 1e-9)) "transfer time" 2.0 (Cl.transfer_time cl ~data:4.0);
+  Alcotest.(check (float 1e-9)) "transfer energy" 4.0 (Cl.transfer_energy cl ~data:4.0)
+
+let test_cl_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": not rejected")
+  in
+  expect_invalid "single attachment" (fun () ->
+      Cl.make ~id:0 ~name:"c" ~connects:[ 0 ] ~time_per_data:1.0 ~transfer_power:1.0
+        ~static_power:0.0);
+  expect_invalid "duplicate attachment" (fun () ->
+      Cl.make ~id:0 ~name:"c" ~connects:[ 0; 0 ] ~time_per_data:1.0 ~transfer_power:1.0
+        ~static_power:0.0);
+  expect_invalid "zero bandwidth" (fun () ->
+      Cl.make ~id:0 ~name:"c" ~connects:[ 0; 1 ] ~time_per_data:0.0 ~transfer_power:1.0
+        ~static_power:0.0)
+
+(* --- Architecture ----------------------------------------------------------- *)
+
+let arch_3pe () =
+  let gpp = Pe.make ~id:0 ~name:"g" ~kind:Pe.Gpp ~static_power:0.1 () in
+  let asic = Pe.make ~id:1 ~name:"a" ~kind:Pe.Asic ~static_power:0.1 ~area_capacity:10.0 () in
+  let asip = Pe.make ~id:2 ~name:"s" ~kind:Pe.Asip ~static_power:0.1 ~rail:(rail ()) () in
+  let bus01 =
+    Cl.make ~id:0 ~name:"b01" ~connects:[ 0; 1 ] ~time_per_data:1.0 ~transfer_power:1.0
+      ~static_power:0.0
+  in
+  let bus12 =
+    Cl.make ~id:1 ~name:"b12" ~connects:[ 1; 2 ] ~time_per_data:1.0 ~transfer_power:1.0
+      ~static_power:0.0
+  in
+  Arch.make ~name:"a3" ~pes:[ gpp; asic; asip ] ~cls:[ bus01; bus12 ]
+
+let test_arch_queries () =
+  let arch = arch_3pe () in
+  Alcotest.(check int) "pes" 3 (Arch.n_pes arch);
+  Alcotest.(check int) "cls" 2 (Arch.n_cls arch);
+  Alcotest.(check int) "software" 2 (List.length (Arch.software_pes arch));
+  Alcotest.(check int) "hardware" 1 (List.length (Arch.hardware_pes arch));
+  Alcotest.(check int) "dvs" 1 (List.length (Arch.dvs_pes arch));
+  Alcotest.(check int) "links 0-1" 1 (List.length (Arch.links_between arch 0 1));
+  Alcotest.(check int) "no direct 0-2" 0 (List.length (Arch.links_between arch 0 2));
+  Alcotest.(check int) "self link is none" 0 (List.length (Arch.links_between arch 1 1));
+  Alcotest.(check bool) "not fully connected" false (Arch.fully_connected arch)
+
+let test_arch_validation () =
+  let gpp = Pe.make ~id:0 ~name:"g" ~kind:Pe.Gpp ~static_power:0.1 () in
+  let bad_cl =
+    Cl.make ~id:0 ~name:"c" ~connects:[ 0; 7 ] ~time_per_data:1.0 ~transfer_power:1.0
+      ~static_power:0.0
+  in
+  (match Arch.make ~name:"x" ~pes:[ gpp ] ~cls:[ bad_cl ] with
+  | exception Arch.Invalid _ -> ()
+  | _ -> Alcotest.fail "unknown PE attachment not rejected");
+  match Arch.make ~name:"x" ~pes:[] ~cls:[] with
+  | exception Arch.Invalid _ -> ()
+  | _ -> Alcotest.fail "empty architecture not rejected"
+
+(* --- Tech_lib ----------------------------------------------------------------- *)
+
+let ty = Task_type.make ~id:0 ~name:"T"
+
+let test_tech_lib_roundtrip () =
+  let arch = arch_3pe () in
+  let gpp = Arch.pe arch 0 and asic = Arch.pe arch 1 in
+  let tech =
+    Tech_lib.empty
+    |> fun t ->
+    Tech_lib.add t ~ty ~pe:gpp (Tech_lib.impl ~exec_time:1e-3 ~dyn_power:0.5 ())
+    |> fun t ->
+    Tech_lib.add t ~ty ~pe:asic
+      (Tech_lib.impl ~exec_time:1e-4 ~dyn_power:0.01 ~area:100.0 ())
+  in
+  Alcotest.(check int) "two entries" 2 (Tech_lib.n_entries tech);
+  Alcotest.(check bool) "supports gpp" true (Tech_lib.supports tech ~ty ~pe:gpp);
+  Alcotest.(check bool) "no asip impl" false
+    (Tech_lib.supports tech ~ty ~pe:(Arch.pe arch 2));
+  let pes = Tech_lib.supported_pes tech ~ty arch in
+  Alcotest.(check (list int)) "supported ids" [ 0; 1 ] (List.map Pe.id pes);
+  let impl = Tech_lib.find_exn tech ~ty ~pe:asic in
+  Alcotest.(check (float 1e-12)) "energy" 1e-6 (Tech_lib.energy impl)
+
+let test_tech_lib_validation () =
+  let arch = arch_3pe () in
+  let gpp = Arch.pe arch 0 in
+  (match Tech_lib.impl ~exec_time:0.0 ~dyn_power:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero exec time not rejected");
+  (match
+     Tech_lib.add Tech_lib.empty ~ty ~pe:gpp
+       (Tech_lib.impl ~exec_time:1.0 ~dyn_power:1.0 ~area:5.0 ())
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "software area not rejected");
+  let tech =
+    Tech_lib.add Tech_lib.empty ~ty ~pe:gpp (Tech_lib.impl ~exec_time:1.0 ~dyn_power:1.0 ())
+  in
+  match Tech_lib.add tech ~ty ~pe:gpp (Tech_lib.impl ~exec_time:2.0 ~dyn_power:1.0 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate entry not rejected"
+
+let () =
+  Alcotest.run "mm_arch"
+    [
+      ( "voltage",
+        [
+          Alcotest.test_case "ordering" `Quick test_rail_ordering;
+          Alcotest.test_case "validation" `Quick test_rail_validation;
+          Alcotest.test_case "delay factor" `Quick test_delay_factor;
+          Alcotest.test_case "energy factor" `Quick test_energy_factor;
+          Alcotest.test_case "scaled time/energy" `Quick test_scaled_time_energy;
+          Alcotest.test_case "slowest feasible" `Quick test_slowest_feasible;
+          Alcotest.test_case "slowest feasible boundary" `Quick test_slowest_feasible_boundary;
+          Alcotest.test_case "next lower" `Quick test_next_lower;
+          QCheck_alcotest.to_alcotest prop_delay_energy_tradeoff;
+        ] );
+      ( "pe",
+        [
+          Alcotest.test_case "kinds" `Quick test_pe_kinds;
+          Alcotest.test_case "validation" `Quick test_pe_validation;
+          Alcotest.test_case "dvs" `Quick test_pe_dvs;
+        ] );
+      ( "cl",
+        [
+          Alcotest.test_case "basics" `Quick test_cl_basics;
+          Alcotest.test_case "validation" `Quick test_cl_validation;
+        ] );
+      ( "architecture",
+        [
+          Alcotest.test_case "queries" `Quick test_arch_queries;
+          Alcotest.test_case "validation" `Quick test_arch_validation;
+        ] );
+      ( "tech-lib",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_tech_lib_roundtrip;
+          Alcotest.test_case "validation" `Quick test_tech_lib_validation;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+(* Tests for mm_benchgen: Graph_builder, Random_system, Smartphone. *)
+
+module Task_type = Mm_taskgraph.Task_type
+module Graph = Mm_taskgraph.Graph
+module Pe = Mm_arch.Pe
+module Arch = Mm_arch.Architecture
+module Mode = Mm_omsm.Mode
+module Omsm = Mm_omsm.Omsm
+module Spec = Mm_cosynth.Spec
+module B = Mm_benchgen.Graph_builder
+module Random_system = Mm_benchgen.Random_system
+module Smartphone = Mm_benchgen.Smartphone
+
+(* --- Graph_builder ---------------------------------------------------------- *)
+
+let test_builder_basics () =
+  let b = B.create () in
+  let ty = Task_type.make ~id:0 ~name:"T" in
+  let t0 = B.add b ~name:"a" ~ty () in
+  let t1 = B.add b ~name:"b" ~ty () in
+  let t2 = B.add b ~name:"c" ~ty () in
+  B.chain b [ t0; t1; t2 ];
+  B.link b ~data:5.0 t0 t2;
+  let g = B.build b ~name:"g" in
+  Alcotest.(check int) "tasks" 3 (Graph.n_tasks g);
+  Alcotest.(check int) "edges" 3 (Graph.n_edges g);
+  Alcotest.(check int) "builder count" 3 (B.n_tasks b);
+  Alcotest.(check (list int)) "sinks" [ 2 ] (Graph.sinks g)
+
+let test_builder_rejects_bad_links () =
+  let b = B.create () in
+  let ty = Task_type.make ~id:0 ~name:"T" in
+  let t0 = B.add b ~name:"a" ~ty () in
+  B.link b t0 7 (* dangling destination *);
+  match B.build b ~name:"bad" with
+  | exception Graph.Invalid _ -> ()
+  | _ -> Alcotest.fail "dangling link accepted"
+
+let test_builder_deadline_passthrough () =
+  let b = B.create () in
+  let ty = Task_type.make ~id:0 ~name:"T" in
+  let t0 = B.add b ~name:"a" ~ty ~deadline:0.25 () in
+  let g = B.build b ~name:"g" in
+  Alcotest.(check (option (float 1e-12))) "deadline kept" (Some 0.25)
+    (Mm_taskgraph.Task.deadline (Graph.task g t0))
+
+(* --- Random_system ------------------------------------------------------------ *)
+
+let test_generate_deterministic () =
+  let a = Random_system.generate ~seed:7 () in
+  let b = Random_system.generate ~seed:7 () in
+  (* Structural equality of the generated OMSMs. *)
+  Alcotest.(check int) "same n positions" (Spec.n_positions a) (Spec.n_positions b);
+  Alcotest.(check (array int)) "same gene counts" (Spec.gene_counts a) (Spec.gene_counts b);
+  let probs spec =
+    List.map Mode.probability (Omsm.modes (Spec.omsm spec))
+  in
+  Alcotest.(check (list (float 1e-12))) "same probabilities" (probs a) (probs b)
+
+let test_generate_respects_params () =
+  let spec =
+    Random_system.generate
+      ~params:{ Random_system.default_params with n_modes = 5 }
+      ~seed:3 ()
+  in
+  let omsm = Spec.omsm spec in
+  Alcotest.(check int) "five modes" 5 (Omsm.n_modes omsm);
+  List.iter
+    (fun m ->
+      let n = Mode.n_tasks m in
+      Alcotest.(check bool) "tasks in 8..32" true (n >= 8 && n <= 32))
+    (Omsm.modes omsm);
+  let arch = Spec.arch spec in
+  Alcotest.(check bool) "2..4 PEs" true (Arch.n_pes arch >= 2 && Arch.n_pes arch <= 4);
+  Alcotest.(check bool) "1..3 CLs" true (Arch.n_cls arch >= 1 && Arch.n_cls arch <= 3)
+
+let test_generate_pe0_is_dvs_software () =
+  for seed = 1 to 10 do
+    let spec = Random_system.generate ~seed () in
+    let pe0 = Arch.pe (Spec.arch spec) 0 in
+    Alcotest.(check bool) "PE0 software" true (Pe.is_software pe0);
+    Alcotest.(check bool) "PE0 DVS" true (Pe.is_dvs_enabled pe0)
+  done
+
+let test_generate_probabilities_sum () =
+  for seed = 1 to 10 do
+    let spec = Random_system.generate ~seed () in
+    let total =
+      List.fold_left (fun acc m -> acc +. Mode.probability m) 0.0
+        (Omsm.modes (Spec.omsm spec))
+    in
+    Alcotest.(check (float 1e-9)) "sum to 1" 1.0 total
+  done
+
+let test_mul_mode_counts () =
+  let expected = [ 4; 4; 5; 5; 3; 4; 4; 4; 4; 5; 3; 4 ] in
+  List.iteri
+    (fun i n ->
+      Alcotest.(check int) "paper mode count" n (Random_system.mul_mode_count (i + 1));
+      let spec = Random_system.mul (i + 1) in
+      Alcotest.(check int) "generated mode count" n (Omsm.n_modes (Spec.omsm spec)))
+    expected
+
+let test_mul_bounds () =
+  Alcotest.check_raises "index 0" (Invalid_argument "Random_system.mul: index in 1..12")
+    (fun () -> ignore (Random_system.mul 0));
+  Alcotest.check_raises "index 13" (Invalid_argument "Random_system.mul: index in 1..12")
+    (fun () -> ignore (Random_system.mul 13))
+
+let test_generated_graphs_have_sharing_potential () =
+  (* Drawing tasks from a common type pool must create cross-mode type
+     intersections in most systems. *)
+  let shared_count =
+    List.length
+      (List.filter
+         (fun seed ->
+           let spec = Random_system.generate ~seed () in
+           not
+             (Task_type.Set.is_empty (Omsm.shared_task_types (Spec.omsm spec))))
+         (List.init 10 (fun i -> i + 1)))
+  in
+  Alcotest.(check bool) "most systems share types" true (shared_count >= 8)
+
+let test_generated_systems_software_feasible () =
+  (* The generator's core guarantee: every instance admits an
+     all-software, zero-area feasible implementation. *)
+  for seed = 1 to 8 do
+    let spec = Random_system.generate ~seed () in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d software-feasible" seed)
+      true
+      (Random_system.all_software_feasible spec)
+  done;
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mul%d software-feasible" i)
+        true
+        (Random_system.all_software_feasible (Random_system.mul i)))
+    [ 1; 4; 7; 9; 12 ]
+
+let test_hw_faster_than_sw () =
+  let spec = Random_system.generate ~seed:5 () in
+  let arch = Spec.arch spec in
+  let tech = Spec.tech spec in
+  let checked = ref 0 in
+  Task_type.Set.iter
+    (fun ty ->
+      let sw_times =
+        List.filter_map
+          (fun pe -> Option.map (fun (i : Mm_arch.Tech_lib.impl) -> i.Mm_arch.Tech_lib.exec_time)
+              (Mm_arch.Tech_lib.find tech ~ty ~pe))
+          (Arch.software_pes arch)
+      in
+      let hw_times =
+        List.filter_map
+          (fun pe -> Option.map (fun (i : Mm_arch.Tech_lib.impl) -> i.Mm_arch.Tech_lib.exec_time)
+              (Mm_arch.Tech_lib.find tech ~ty ~pe))
+          (Arch.hardware_pes arch)
+      in
+      List.iter
+        (fun hw ->
+          List.iter
+            (fun sw ->
+              incr checked;
+              Alcotest.(check bool) "hw at least ~4x faster" true (hw < sw /. 3.0))
+            sw_times)
+        hw_times)
+    (Omsm.all_task_types (Spec.omsm spec));
+  (* The architecture drawn for this seed might have no hardware PE; the
+     generator guarantees nothing here, so only require the loop ran when
+     hardware exists. *)
+  if Arch.hardware_pes arch <> [] then
+    Alcotest.(check bool) "some pairs checked" true (!checked > 0)
+
+(* --- Smartphone ------------------------------------------------------------------ *)
+
+let test_smartphone_structure () =
+  let spec = Smartphone.spec () in
+  let omsm = Spec.omsm spec in
+  Alcotest.(check int) "eight modes" 8 (Omsm.n_modes omsm);
+  Alcotest.(check int) "sixteen transitions" 16 (List.length (Omsm.transitions omsm));
+  let arch = Spec.arch spec in
+  Alcotest.(check int) "three PEs" 3 (Arch.n_pes arch);
+  Alcotest.(check int) "one bus" 1 (Arch.n_cls arch);
+  Alcotest.(check bool) "GPP is DVS" true (Pe.is_dvs_enabled (Arch.pe arch 0));
+  Alcotest.(check bool) "ASICs not DVS" true
+    (List.for_all (fun pe -> not (Pe.is_dvs_enabled pe)) (Arch.hardware_pes arch))
+
+let test_smartphone_probabilities () =
+  let spec = Smartphone.spec () in
+  let omsm = Spec.omsm spec in
+  (* The published profile: RLC 74 %, GSM+RLC 9 %, MP3+RLC 10 %... *)
+  Alcotest.(check (float 1e-12)) "RLC 0.74" 0.74 (Mode.probability (Omsm.mode omsm 1));
+  Alcotest.(check (float 1e-12)) "GSM+RLC 0.09" 0.09 (Mode.probability (Omsm.mode omsm 0));
+  Alcotest.(check (float 1e-12)) "MP3+RLC 0.10" 0.10 (Mode.probability (Omsm.mode omsm 5));
+  let total =
+    List.fold_left (fun acc m -> acc +. Mode.probability m) 0.0 (Omsm.modes omsm)
+  in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 total
+
+let test_smartphone_mode_sizes () =
+  let spec = Smartphone.spec () in
+  List.iter
+    (fun m ->
+      let n = Mode.n_tasks m in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s within 5..88 nodes" (Mode.name m))
+        true (n >= 5 && n <= 88))
+    (Omsm.modes (Spec.omsm spec));
+  (* Show Photo is the smallest published graph (5 nodes). *)
+  Alcotest.(check int) "Show Photo has 5 tasks" 5
+    (Mode.n_tasks (Omsm.mode (Spec.omsm spec) 4))
+
+let test_smartphone_type_sharing () =
+  let spec = Smartphone.spec () in
+  let shared = Omsm.shared_task_types (Spec.omsm spec) in
+  (* IDCT is used by both the MP3 and JPEG decoders (Fig. 1c), and the
+     RLC task types appear in four modes. *)
+  let names =
+    Task_type.Set.elements shared |> List.map Task_type.name
+  in
+  List.iter
+    (fun needed ->
+      Alcotest.(check bool) (needed ^ " shared") true (List.mem needed names))
+    [ "IDCT"; "HD"; "DeQ"; "Viterbi"; "ChanEst" ]
+
+let test_smartphone_deterministic () =
+  let a = Smartphone.spec () and b = Smartphone.spec () in
+  Alcotest.(check (array int)) "same gene counts" (Spec.gene_counts a) (Spec.gene_counts b);
+  (* The fixed-seed hardware profiles must be identical across builds. *)
+  let impl spec =
+    let arch = Spec.arch spec in
+    Mm_arch.Tech_lib.find_exn (Spec.tech spec)
+      ~ty:(Task_type.make ~id:2 ~name:"IDCT")
+      ~pe:(Arch.pe arch 1)
+  in
+  Alcotest.(check (float 1e-15)) "same hw exec time" (impl a).Mm_arch.Tech_lib.exec_time
+    (impl b).Mm_arch.Tech_lib.exec_time
+
+let () =
+  Alcotest.run "mm_benchgen"
+    [
+      ( "graph-builder",
+        [
+          Alcotest.test_case "basics" `Quick test_builder_basics;
+          Alcotest.test_case "bad links rejected" `Quick test_builder_rejects_bad_links;
+          Alcotest.test_case "deadline passthrough" `Quick test_builder_deadline_passthrough;
+        ] );
+      ( "random-system",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "respects params" `Quick test_generate_respects_params;
+          Alcotest.test_case "PE0 dvs software" `Quick test_generate_pe0_is_dvs_software;
+          Alcotest.test_case "probabilities sum" `Quick test_generate_probabilities_sum;
+          Alcotest.test_case "mul mode counts" `Quick test_mul_mode_counts;
+          Alcotest.test_case "mul bounds" `Quick test_mul_bounds;
+          Alcotest.test_case "type sharing" `Quick test_generated_graphs_have_sharing_potential;
+          Alcotest.test_case "software feasible" `Quick test_generated_systems_software_feasible;
+          Alcotest.test_case "hw faster" `Quick test_hw_faster_than_sw;
+        ] );
+      ( "smartphone",
+        [
+          Alcotest.test_case "structure" `Quick test_smartphone_structure;
+          Alcotest.test_case "probabilities" `Quick test_smartphone_probabilities;
+          Alcotest.test_case "mode sizes" `Quick test_smartphone_mode_sizes;
+          Alcotest.test_case "type sharing" `Quick test_smartphone_type_sharing;
+          Alcotest.test_case "deterministic" `Quick test_smartphone_deterministic;
+        ] );
+    ]

@@ -1,0 +1,442 @@
+(* Tests for mm_dvs: Hw_transform and Scaling.
+
+   Fixture recap: GPP0 carries a 2.0/1.0 V rail with Vt = 0, so dropping
+   to half voltage doubles execution time and quarters dynamic energy. *)
+
+module Graph = Mm_taskgraph.Graph
+module Arch = Mm_arch.Architecture
+module Voltage = Mm_arch.Voltage
+module List_scheduler = Mm_sched.List_scheduler
+module Schedule = Mm_sched.Schedule
+module Resource = Mm_sched.Resource
+module Hw = Mm_dvs.Hw_transform
+module Scaling = Mm_dvs.Scaling
+module F = Fixtures
+
+let schedule ?(arch = F.arch ()) ?(mapping = [| 0; 0; 0 |]) ?(period = 1.0)
+    ?(instances = fun ~pe:_ ~ty:_ -> 1) ?(graph = F.chain_graph ()) () =
+  List_scheduler.run
+    {
+      List_scheduler.mode_id = 0;
+      graph;
+      arch;
+      tech = F.tech arch;
+      mapping;
+      instances;
+      period;
+    }
+
+let hw_slot ~task ~instance ~start ~duration ~power =
+  ( {
+      Schedule.task;
+      resource = Resource.Hw_core { pe = 1; ty = 0; instance };
+      start;
+      duration;
+    },
+    power )
+
+(* --- Hw_transform ---------------------------------------------------------- *)
+
+let test_fig5_segments () =
+  (* Two overlapping tasks on two cores: three segments. *)
+  let slots =
+    [
+      hw_slot ~task:0 ~instance:0 ~start:0.0 ~duration:4.0 ~power:0.01;
+      hw_slot ~task:1 ~instance:1 ~start:2.0 ~duration:4.0 ~power:0.02;
+    ]
+  in
+  match Hw.segments ~slots with
+  | [ s0; s1; s2 ] ->
+    Alcotest.(check (float 1e-9)) "s0 duration" 2.0 s0.Hw.duration;
+    Alcotest.(check (float 1e-9)) "s0 power" 0.01 s0.Hw.power;
+    Alcotest.(check (float 1e-9)) "s1 power summed" 0.03 s1.Hw.power;
+    Alcotest.(check (float 1e-9)) "s2 power" 0.02 s2.Hw.power;
+    Alcotest.(check (list int)) "s1 runs both" [ 0; 1 ] (List.sort compare s1.Hw.running);
+    Alcotest.(check (list int)) "s1 finishes τ0" [ 0 ] s1.Hw.finishing;
+    Alcotest.(check (list int)) "s0 starts τ0" [ 0 ] s0.Hw.starting
+  | segs -> Alcotest.fail (Printf.sprintf "expected 3 segments, got %d" (List.length segs))
+
+let test_segments_skip_idle () =
+  let slots =
+    [
+      hw_slot ~task:0 ~instance:0 ~start:0.0 ~duration:1.0 ~power:0.01;
+      hw_slot ~task:1 ~instance:0 ~start:5.0 ~duration:1.0 ~power:0.01;
+    ]
+  in
+  let segs = Hw.segments ~slots in
+  Alcotest.(check int) "idle gap skipped" 2 (List.length segs);
+  Alcotest.(check (float 1e-9)) "second starts at 5" 5.0 (List.nth segs 1).Hw.start
+
+let test_segments_preserve_energy () =
+  let slots =
+    [
+      hw_slot ~task:0 ~instance:0 ~start:0.0 ~duration:2.0 ~power:0.012;
+      hw_slot ~task:1 ~instance:1 ~start:0.0 ~duration:3.0 ~power:0.02;
+      hw_slot ~task:2 ~instance:0 ~start:2.0 ~duration:2.5 ~power:0.014;
+    ]
+  in
+  let direct =
+    List.fold_left
+      (fun acc ((s : Schedule.task_slot), p) -> acc +. (p *. s.Schedule.duration))
+      0.0 slots
+  in
+  Alcotest.(check (float 1e-9)) "energy preserved" direct
+    (Hw.total_energy_nominal (Hw.segments ~slots))
+
+let test_first_last_segment () =
+  let slots =
+    [
+      hw_slot ~task:0 ~instance:0 ~start:0.0 ~duration:4.0 ~power:0.01;
+      hw_slot ~task:1 ~instance:1 ~start:2.0 ~duration:4.0 ~power:0.02;
+    ]
+  in
+  let segs = Hw.segments ~slots in
+  Alcotest.(check int) "τ0 first" 0 (Hw.first_segment_of segs 0);
+  Alcotest.(check int) "τ0 last" 1 (Hw.last_segment_of segs 0);
+  Alcotest.(check int) "τ1 first" 1 (Hw.first_segment_of segs 1);
+  Alcotest.(check int) "τ1 last" 2 (Hw.last_segment_of segs 1);
+  Alcotest.check_raises "unknown task" Not_found (fun () ->
+      ignore (Hw.first_segment_of segs 9))
+
+let prop_segments_energy_preserved =
+  QCheck.Test.make ~name:"serialisation preserves nominal energy" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Mm_util.Prng.create ~seed in
+      let n = 1 + Mm_util.Prng.int rng 8 in
+      (* Random slots on 3 core instances, sequential per instance. *)
+      let next_free = Array.make 3 0.0 in
+      let slots =
+        List.init n (fun task ->
+            let instance = Mm_util.Prng.int rng 3 in
+            let gap = Mm_util.Prng.float rng 2.0 in
+            let duration = 0.1 +. Mm_util.Prng.float rng 3.0 in
+            let start = next_free.(instance) +. gap in
+            next_free.(instance) <- start +. duration;
+            hw_slot ~task ~instance ~start ~duration
+              ~power:(0.001 +. Mm_util.Prng.float rng 0.05))
+      in
+      let direct =
+        List.fold_left
+          (fun acc ((s : Schedule.task_slot), p) -> acc +. (p *. s.Schedule.duration))
+          0.0 slots
+      in
+      let via_segments = Hw.total_energy_nominal (Hw.segments ~slots) in
+      Float.abs (direct -. via_segments) < 1e-9 *. Float.max 1.0 direct)
+
+(* --- Scaling: software tasks ----------------------------------------------- *)
+
+let chain_energy_at_vmax = (0.4 *. 10e-3) +. (0.5 *. 20e-3) +. (0.6 *. 30e-3)
+
+let test_nominal_energy () =
+  let graph = F.chain_graph () in
+  let arch = F.arch () in
+  let sched = schedule ~arch ~graph () in
+  let result = Scaling.nominal ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check bool) "feasible" true result.Scaling.feasible;
+  Alcotest.(check (float 1e-12)) "nominal energy" chain_energy_at_vmax
+    result.Scaling.total_dyn_energy;
+  Alcotest.(check int) "no segments" 0 (List.length result.Scaling.hw_segments)
+
+let test_scaling_uses_slack () =
+  (* Chain needs 60 ms at Vmax; with period 1 s there is plenty of slack,
+     so every task drops to 1.0 V: 2x time (still < 1 s), 1/4 energy. *)
+  let graph = F.chain_graph () in
+  let arch = F.arch () in
+  let sched = schedule ~arch ~graph ~period:1.0 () in
+  let result = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check bool) "feasible" true result.Scaling.feasible;
+  Alcotest.(check (float 1e-12)) "quartered energy" (chain_energy_at_vmax /. 4.0)
+    result.Scaling.total_dyn_energy;
+  Array.iter
+    (fun v -> Alcotest.(check (float 1e-9)) "all at 1.0V" 1.0 v)
+    result.Scaling.task_voltages;
+  (* Stretched schedule: 20 + 40 + 60 = 120 ms. *)
+  Alcotest.(check (float 1e-9)) "stretched finish" 120e-3
+    result.Scaling.stretched_finish.(2)
+
+let test_scaling_respects_tight_period () =
+  (* Period 60 ms: zero slack, nothing can be scaled. *)
+  let graph = F.chain_graph () in
+  let arch = F.arch () in
+  let sched = schedule ~arch ~graph ~period:60e-3 () in
+  let result = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check bool) "feasible" true result.Scaling.feasible;
+  Alcotest.(check (float 1e-12)) "no scaling possible" chain_energy_at_vmax
+    result.Scaling.total_dyn_energy
+
+let test_scaling_partial_slack () =
+  (* Period 80 ms: 20 ms of slack.  Scaling τ0 (A, 10 ms) to 1.0 V adds
+     10 ms; scaling τ1/τ2 would add 20/30 ms.  The greedy picks the best
+     gain/delay ratios that fit: only one of τ0 (+10) or τ1 (+20) or a
+     combination within 20 ms — τ1 alone adds exactly 20 ms and saves
+     0.5*20m*3/4 = 7.5 mJ; τ0 saves 3 mJ for 10 ms.  Ratios are equal
+     (0.375 mW), ties break toward the larger absolute gain: τ1. *)
+  let graph = F.chain_graph () in
+  let arch = F.arch () in
+  let sched = schedule ~arch ~graph ~period:80e-3 () in
+  let result = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check bool) "feasible" true result.Scaling.feasible;
+  Alcotest.(check (float 1e-9)) "τ1 scaled" 1.0 result.Scaling.task_voltages.(1);
+  Alcotest.(check (float 1e-9)) "τ0 not scaled" 2.0 result.Scaling.task_voltages.(0);
+  Alcotest.(check (float 1e-9)) "τ2 not scaled" 2.0 result.Scaling.task_voltages.(2);
+  let expected =
+    (0.4 *. 10e-3) +. (0.5 *. 20e-3 /. 4.0) +. (0.6 *. 30e-3)
+  in
+  Alcotest.(check (float 1e-12)) "energy" expected result.Scaling.total_dyn_energy
+
+let test_infeasible_schedule_not_scaled () =
+  (* Period 50 ms < 60 ms makespan: infeasible, scaling refuses. *)
+  let graph = F.chain_graph () in
+  let arch = F.arch () in
+  let sched = schedule ~arch ~graph ~period:50e-3 () in
+  let result = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check bool) "not feasible" false result.Scaling.feasible;
+  Alcotest.(check (float 1e-12)) "energy unchanged" chain_energy_at_vmax
+    result.Scaling.total_dyn_energy
+
+let test_config_disables_software_scaling () =
+  let graph = F.chain_graph () in
+  let arch = F.arch () in
+  let sched = schedule ~arch ~graph ~period:1.0 () in
+  let result =
+    Scaling.run
+      ~config:{ Scaling.default_config with Scaling.scale_software = false }
+      ~graph ~arch ~tech:(F.tech arch) ~schedule:sched ()
+  in
+  Alcotest.(check (float 1e-12)) "software untouched" chain_energy_at_vmax
+    result.Scaling.total_dyn_energy
+
+let test_scaling_multi_level_descent () =
+  (* A three-level rail (2.0 / 1.5 / 1.0, Vt = 0): delay factors 1, 4/3,
+     2; energy factors 1, 0.5625, 0.25.  A single 10 ms task of type A
+     (0.4 W) with period 15 ms can only afford the middle level. *)
+  let rail = Mm_arch.Voltage.make ~levels:[ 2.0; 1.5; 1.0 ] ~threshold:0.0 in
+  let gpp =
+    Mm_arch.Pe.make ~id:0 ~name:"GPP0" ~kind:Mm_arch.Pe.Gpp ~static_power:0.0 ~rail ()
+  in
+  let arch = Arch.make ~name:"tri" ~pes:[ gpp ] ~cls:[] in
+  let tech =
+    Mm_arch.Tech_lib.add Mm_arch.Tech_lib.empty ~ty:F.ty_a ~pe:gpp
+      (Mm_arch.Tech_lib.impl ~exec_time:10e-3 ~dyn_power:0.4 ())
+  in
+  let graph =
+    Mm_taskgraph.Graph.make ~name:"single" ~tasks:[| F.task 0 F.ty_a |] ~edges:[]
+  in
+  let sched =
+    Mm_sched.List_scheduler.run
+      {
+        Mm_sched.List_scheduler.mode_id = 0;
+        graph;
+        arch;
+        tech;
+        mapping = [| 0 |];
+        instances = (fun ~pe:_ ~ty:_ -> 1);
+        period = 15e-3;
+      }
+  in
+  let result = Scaling.run ~graph ~arch ~tech ~schedule:sched () in
+  Alcotest.(check (float 1e-9)) "middle level" 1.5 result.Scaling.task_voltages.(0);
+  Alcotest.(check (float 1e-12)) "energy at 0.5625x" (0.4 *. 10e-3 *. 0.5625)
+    result.Scaling.total_dyn_energy;
+  (* 10 ms * 4/3 = 13.33 ms <= 15 ms. *)
+  Alcotest.(check bool) "fits the period" true
+    (result.Scaling.stretched_finish.(0) <= 15e-3 +. 1e-9)
+
+(* --- Even-slack baseline ----------------------------------------------------- *)
+
+let even_config = { Scaling.default_config with Scaling.strategy = Scaling.Even_slack }
+
+let test_even_slack_ample_slack_matches_greedy () =
+  (* Period 1 s: both strategies drop everything to the bottom level. *)
+  let graph = F.chain_graph () in
+  let arch = F.arch () in
+  let sched = schedule ~arch ~graph ~period:1.0 () in
+  let even = Scaling.run ~config:even_config ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check (float 1e-12)) "quartered too" (chain_energy_at_vmax /. 4.0)
+    even.Scaling.total_dyn_energy
+
+let test_even_slack_wastes_discrete_slack () =
+  (* Period 80 ms: the uniform factor is 80/60 = 1.33, below the only
+     available slowdown (2.0), so EVEN scales nothing — while the greedy
+     gradient converts the same slack into a 7.5 mJ saving on τ1.  This
+     is precisely the power-variation argument of [10]. *)
+  let graph = F.chain_graph () in
+  let arch = F.arch () in
+  let sched = schedule ~arch ~graph ~period:80e-3 () in
+  let even = Scaling.run ~config:even_config ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  let greedy = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check (float 1e-12)) "even saves nothing" chain_energy_at_vmax
+    even.Scaling.total_dyn_energy;
+  Alcotest.(check bool) "greedy beats even" true
+    (greedy.Scaling.total_dyn_energy < even.Scaling.total_dyn_energy)
+
+let test_even_slack_meets_deadlines () =
+  let graph = F.fork_graph () in
+  let arch = F.arch ~dvs_asic:true () in
+  let sched = schedule ~arch ~graph ~mapping:[| 0; 1; 1; 0 |] ~period:0.2 () in
+  let even = Scaling.run ~config:even_config ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check bool) "feasible" true even.Scaling.feasible;
+  Array.iter
+    (fun finish -> Alcotest.(check bool) "within period" true (finish <= 0.2 +. 1e-9))
+    even.Scaling.stretched_finish
+
+let prop_greedy_never_worse_than_even =
+  QCheck.Test.make ~name:"greedy gradient <= even slack energy" ~count:100
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, graph_kind) ->
+      let graph =
+        match graph_kind with
+        | 0 -> F.chain_graph ()
+        | 1 -> F.fork_graph ()
+        | _ -> F.parallel_graph ()
+      in
+      let rng = Mm_util.Prng.create ~seed in
+      let mapping = Array.init (Graph.n_tasks graph) (fun _ -> Mm_util.Prng.int rng 2) in
+      let period = 0.05 +. Mm_util.Prng.float rng 0.3 in
+      let arch = F.arch ~dvs_asic:(Mm_util.Prng.bool rng) () in
+      let sched =
+        List_scheduler.run
+          {
+            List_scheduler.mode_id = 0;
+            graph;
+            arch;
+            tech = F.tech arch;
+            mapping;
+            instances = (fun ~pe:_ ~ty:_ -> 2);
+            period;
+          }
+      in
+      let even = Scaling.run ~config:even_config ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+      let greedy = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+      greedy.Scaling.total_dyn_energy <= even.Scaling.total_dyn_energy +. 1e-12)
+
+(* --- Scaling: hardware components (Fig. 5 path) ---------------------------- *)
+
+let test_hw_component_scaled_through_segments () =
+  (* Both B tasks on a DVS ASIC with 2 cores, no other work, period 1 s:
+     the whole component scales to 1.0 V. *)
+  let arch = F.arch ~dvs_asic:true () in
+  let graph = F.parallel_graph () in
+  let sched =
+    schedule ~arch ~graph ~mapping:[| 1; 1 |]
+      ~instances:(fun ~pe ~ty:_ -> if pe = 1 then 2 else 1)
+      ~period:1.0 ()
+  in
+  let result = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  Alcotest.(check bool) "feasible" true result.Scaling.feasible;
+  Alcotest.(check bool) "has segments" true (result.Scaling.hw_segments <> []);
+  List.iter
+    (fun (hs : Scaling.hw_segment) ->
+      Alcotest.(check (float 1e-9)) "segment at vmin" 1.0 hs.Scaling.voltage)
+    result.Scaling.hw_segments;
+  (* Nominal energy 2 * 0.005 * 2ms = 20 µJ; quartered at half voltage. *)
+  Alcotest.(check (float 1e-12)) "quartered hw energy" (2.0 *. 0.005 *. 2e-3 /. 4.0)
+    result.Scaling.total_dyn_energy
+
+let test_hw_scaling_disabled_by_config () =
+  let arch = F.arch ~dvs_asic:true () in
+  let graph = F.parallel_graph () in
+  let sched = schedule ~arch ~graph ~mapping:[| 1; 1 |] ~period:1.0 () in
+  let result =
+    Scaling.run
+      ~config:{ Scaling.default_config with Scaling.scale_hardware = false }
+      ~graph ~arch ~tech:(F.tech arch) ~schedule:sched ()
+  in
+  Alcotest.(check int) "no segments" 0 (List.length result.Scaling.hw_segments);
+  Alcotest.(check (float 1e-12)) "nominal hw energy" (2.0 *. 0.005 *. 2e-3)
+    result.Scaling.total_dyn_energy
+
+let test_hw_segment_energy_prorated () =
+  (* Energy bookkeeping: per-task energies must sum to the segment total. *)
+  let arch = F.arch ~dvs_asic:true () in
+  let graph = F.parallel_graph () in
+  let sched =
+    schedule ~arch ~graph ~mapping:[| 1; 1 |]
+      ~instances:(fun ~pe ~ty:_ -> if pe = 1 then 2 else 1)
+      ~period:1.0 ()
+  in
+  let result = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+  let task_sum = Array.fold_left ( +. ) 0.0 result.Scaling.task_energy in
+  let segment_sum =
+    List.fold_left (fun acc (hs : Scaling.hw_segment) -> acc +. hs.Scaling.energy) 0.0
+      result.Scaling.hw_segments
+  in
+  Alcotest.(check (float 1e-15)) "prorated share sums" segment_sum task_sum
+
+(* --- Property: scaling never increases energy nor breaks deadlines -------- *)
+
+let prop_scaling_saves_energy_and_meets_deadlines =
+  QCheck.Test.make ~name:"DVS: energy <= nominal, deadlines kept" ~count:150
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, graph_kind) ->
+      let graph =
+        match graph_kind with
+        | 0 -> F.chain_graph ()
+        | 1 -> F.fork_graph ()
+        | _ -> F.parallel_graph ()
+      in
+      let rng = Mm_util.Prng.create ~seed in
+      let mapping = Array.init (Graph.n_tasks graph) (fun _ -> Mm_util.Prng.int rng 2) in
+      let period = 0.05 +. Mm_util.Prng.float rng 0.3 in
+      let arch = F.arch ~dvs_asic:(Mm_util.Prng.bool rng) () in
+      let sched =
+        List_scheduler.run
+          {
+            List_scheduler.mode_id = 0;
+            graph;
+            arch;
+            tech = F.tech arch;
+            mapping;
+            instances = (fun ~pe:_ ~ty:_ -> 2);
+            period;
+          }
+      in
+      let nominal = Scaling.nominal ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+      let scaled = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
+      let saves = scaled.Scaling.total_dyn_energy <= nominal.Scaling.total_dyn_energy +. 1e-12 in
+      let deadlines_ok =
+        (not scaled.Scaling.feasible)
+        || Array.for_all (fun f -> f <= period +. 1e-9) scaled.Scaling.stretched_finish
+      in
+      saves && deadlines_ok)
+
+let () =
+  Alcotest.run "mm_dvs"
+    [
+      ( "hw-transform",
+        [
+          Alcotest.test_case "fig5 segments" `Quick test_fig5_segments;
+          Alcotest.test_case "idle gaps skipped" `Quick test_segments_skip_idle;
+          Alcotest.test_case "energy preserved" `Quick test_segments_preserve_energy;
+          Alcotest.test_case "first/last segment" `Quick test_first_last_segment;
+          QCheck_alcotest.to_alcotest prop_segments_energy_preserved;
+        ] );
+      ( "scaling-software",
+        [
+          Alcotest.test_case "nominal energy" `Quick test_nominal_energy;
+          Alcotest.test_case "uses slack" `Quick test_scaling_uses_slack;
+          Alcotest.test_case "tight period" `Quick test_scaling_respects_tight_period;
+          Alcotest.test_case "partial slack" `Quick test_scaling_partial_slack;
+          Alcotest.test_case "infeasible not scaled" `Quick test_infeasible_schedule_not_scaled;
+          Alcotest.test_case "config disables sw" `Quick test_config_disables_software_scaling;
+          Alcotest.test_case "multi-level descent" `Quick test_scaling_multi_level_descent;
+        ] );
+      ( "even-slack",
+        [
+          Alcotest.test_case "ample slack matches greedy" `Quick
+            test_even_slack_ample_slack_matches_greedy;
+          Alcotest.test_case "discrete slack wasted" `Quick
+            test_even_slack_wastes_discrete_slack;
+          Alcotest.test_case "meets deadlines" `Quick test_even_slack_meets_deadlines;
+          QCheck_alcotest.to_alcotest prop_greedy_never_worse_than_even;
+        ] );
+      ( "scaling-hardware",
+        [
+          Alcotest.test_case "segments scaled" `Quick test_hw_component_scaled_through_segments;
+          Alcotest.test_case "config disables hw" `Quick test_hw_scaling_disabled_by_config;
+          Alcotest.test_case "energy prorated" `Quick test_hw_segment_energy_prorated;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_scaling_saves_energy_and_meets_deadlines ] );
+    ]

@@ -1,0 +1,381 @@
+(* Tests for mm_ga: Genome and Engine. *)
+
+module Prng = Mm_util.Prng
+module Genome = Mm_ga.Genome
+module Engine = Mm_ga.Engine
+
+(* --- Genome ----------------------------------------------------------------- *)
+
+let test_random_genome_valid () =
+  let rng = Prng.create ~seed:1 in
+  let counts = [| 3; 1; 7; 2 |] in
+  for _ = 1 to 100 do
+    let g = Genome.random rng ~counts in
+    Alcotest.(check bool) "valid" true (Genome.validate ~counts g)
+  done
+
+let test_validate_rejects () =
+  let counts = [| 2; 2 |] in
+  Alcotest.(check bool) "length" false (Genome.validate ~counts [| 0 |]);
+  Alcotest.(check bool) "range" false (Genome.validate ~counts [| 0; 2 |]);
+  Alcotest.(check bool) "negative" false (Genome.validate ~counts [| -1; 0 |])
+
+let test_crossover_preserves_positions () =
+  let rng = Prng.create ~seed:2 in
+  let a = Array.make 10 0 and b = Array.make 10 1 in
+  for _ = 1 to 50 do
+    let child_a, child_b = Genome.two_point_crossover rng a b in
+    (* At every position the children hold the parents' genes, swapped or
+       not. *)
+    Array.iteri
+      (fun i ga ->
+        let gb = child_b.(i) in
+        Alcotest.(check bool) "complementary" true
+          ((ga = 0 && gb = 1) || (ga = 1 && gb = 0)))
+      child_a
+  done;
+  (* Parents untouched. *)
+  Alcotest.(check bool) "a untouched" true (Array.for_all (( = ) 0) a);
+  Alcotest.(check bool) "b untouched" true (Array.for_all (( = ) 1) b)
+
+let test_crossover_actually_mixes () =
+  let rng = Prng.create ~seed:3 in
+  let a = Array.make 20 0 and b = Array.make 20 1 in
+  let mixed = ref false in
+  for _ = 1 to 20 do
+    let child, _ = Genome.two_point_crossover rng a b in
+    let zeros = Array.fold_left (fun acc g -> acc + (1 - g)) 0 child in
+    if zeros > 0 && zeros < 20 then mixed := true
+  done;
+  Alcotest.(check bool) "some crossover mixes genes" true !mixed
+
+let test_point_mutate () =
+  let rng = Prng.create ~seed:4 in
+  let counts = Array.make 50 5 in
+  let g = Array.make 50 0 in
+  Genome.point_mutate rng ~counts ~rate:1.0 g;
+  Alcotest.(check bool) "still valid" true (Genome.validate ~counts g);
+  let untouched = Array.make 50 0 in
+  Genome.point_mutate rng ~counts ~rate:0.0 untouched;
+  Alcotest.(check bool) "rate 0 no-op" true (Array.for_all (( = ) 0) untouched)
+
+let test_hamming () =
+  Alcotest.(check int) "distance" 2 (Genome.hamming [| 0; 1; 2 |] [| 0; 2; 1 |]);
+  Alcotest.(check int) "identical" 0 (Genome.hamming [| 1 |] [| 1 |])
+
+(* --- Engine ------------------------------------------------------------------ *)
+
+(* Minimise the sum of genes: optimum all-zero. *)
+let sum_problem n alphabet =
+  {
+    Engine.gene_counts = Array.make n alphabet;
+    evaluate = (fun g -> (float_of_int (Array.fold_left ( + ) 0 g), ()));
+    improvements = [];
+    initial = [];
+  }
+
+let test_engine_minimises () =
+  let result = Engine.run ~rng:(Prng.create ~seed:5) (sum_problem 12 4) in
+  Alcotest.(check (float 1e-9)) "finds optimum" 0.0 result.Engine.best_fitness;
+  Alcotest.(check bool) "genome all zero" true
+    (Array.for_all (( = ) 0) result.Engine.best_genome)
+
+let test_engine_deterministic () =
+  let run seed = Engine.run ~rng:(Prng.create ~seed) (sum_problem 10 5) in
+  let a = run 9 and b = run 9 in
+  Alcotest.(check (array int)) "same genome" a.Engine.best_genome b.Engine.best_genome;
+  Alcotest.(check int) "same evaluations" a.Engine.evaluations b.Engine.evaluations
+
+let test_engine_history_monotone () =
+  let result = Engine.run ~rng:(Prng.create ~seed:6) (sum_problem 10 5) in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-12 && decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "best-so-far never worsens" true (decreasing result.Engine.history)
+
+let test_engine_stagnation_stops () =
+  let config =
+    { Engine.default_config with max_generations = 10_000; stagnation_limit = 5 }
+  in
+  (* Constant fitness: must stop after stagnation_limit generations. *)
+  let problem =
+    {
+      Engine.gene_counts = [| 2; 2 |];
+      evaluate = (fun _ -> (1.0, ()));
+      improvements = [];
+      initial = [];
+    }
+  in
+  let result = Engine.run ~config ~rng:(Prng.create ~seed:7) problem in
+  Alcotest.(check bool) "stops early" true (result.Engine.generations <= 6)
+
+let test_engine_max_generations () =
+  let config =
+    { Engine.default_config with max_generations = 3; stagnation_limit = 1000 }
+  in
+  let result = Engine.run ~config ~rng:(Prng.create ~seed:8) (sum_problem 30 10) in
+  Alcotest.(check int) "bounded generations" 3 result.Engine.generations
+
+let test_engine_improvement_applied () =
+  (* An improvement that zeroes one random gene: with it the engine should
+     reach the optimum of a harder problem much faster.  We only verify
+     the operator runs (its effect shows in the count). *)
+  let applications = ref 0 in
+  let improvement =
+    {
+      Engine.name = "zero-a-gene";
+      rate = 0.5;
+      apply =
+        (fun rng ~snapshot:_ ~info:_ genome ->
+          incr applications;
+          let i = Prng.int rng (Array.length genome) in
+          genome.(i) <- 0;
+          true);
+    }
+  in
+  let problem = { (sum_problem 10 5) with Engine.improvements = [ improvement ] } in
+  let result = Engine.run ~rng:(Prng.create ~seed:9) problem in
+  Alcotest.(check bool) "operator invoked" true (!applications > 0);
+  Alcotest.(check (float 1e-9)) "optimum reached" 0.0 result.Engine.best_fitness
+
+let test_engine_info_passed () =
+  (* The evaluator's info must reach the improvement operators. *)
+  let seen_info = ref false in
+  let improvement =
+    {
+      Engine.name = "check-info";
+      rate = 1.0;
+      apply =
+        (fun _ ~snapshot:_ ~info genome ->
+          if info = "tag" then seen_info := true;
+          ignore genome;
+          false);
+    }
+  in
+  let problem =
+    {
+      Engine.gene_counts = [| 2 |];
+      evaluate = (fun g -> (float_of_int g.(0), "tag"));
+      improvements = [ improvement ];
+      initial = [];
+    }
+  in
+  ignore (Engine.run ~config:{ Engine.default_config with max_generations = 2 }
+            ~rng:(Prng.create ~seed:10) problem);
+  Alcotest.(check bool) "info visible" true !seen_info
+
+let test_engine_seeded_initial_population () =
+  (* With the optimum injected, the best-ever fitness is optimal from
+     generation zero even with a tiny budget. *)
+  let problem = { (sum_problem 20 10) with Engine.initial = [ Array.make 20 0 ] } in
+  let config = { Engine.default_config with max_generations = 1 } in
+  let result = Engine.run ~config ~rng:(Prng.create ~seed:11) problem in
+  Alcotest.(check (float 1e-9)) "anchor survives" 0.0 result.Engine.best_fitness
+
+let test_engine_rejects_invalid_initial () =
+  let problem = { (sum_problem 5 3) with Engine.initial = [ [| 9; 9; 9; 9; 9 |] ] } in
+  match Engine.run ~rng:(Prng.create ~seed:1) problem with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid initial genome accepted"
+
+let test_engine_initial_not_mutated_in_place () =
+  let anchor = Array.make 10 0 in
+  let problem = { (sum_problem 10 5) with Engine.initial = [ anchor ] } in
+  ignore (Engine.run ~config:{ Engine.default_config with max_generations = 5 }
+            ~rng:(Prng.create ~seed:12) problem);
+  Alcotest.(check bool) "caller's array untouched" true (Array.for_all (( = ) 0) anchor)
+
+let test_engine_diversity_convergence () =
+  (* A flat fitness landscape with full-strength mutation disabled: the
+     population collapses onto copies of the elites, so the diversity
+     criterion fires before the stagnation limit. *)
+  let config =
+    {
+      Engine.default_config with
+      max_generations = 5_000;
+      stagnation_limit = 4_000;
+      diversity_threshold = 0.05;
+      mutation_rate = 0.0;
+      population_size = 16;
+    }
+  in
+  let problem =
+    {
+      Engine.gene_counts = Array.make 6 4;
+      evaluate = (fun g -> (float_of_int (Array.fold_left ( + ) 0 g), ()));
+      improvements = [];
+      initial = [];
+    }
+  in
+  let result = Engine.run ~config ~rng:(Prng.create ~seed:13) problem in
+  Alcotest.(check bool) "stops well before the stagnation limit" true
+    (result.Engine.generations < 4_000)
+
+let test_engine_validation () =
+  (match Engine.run ~rng:(Prng.create ~seed:1) (sum_problem 0 2) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty genome accepted");
+  match
+    Engine.run
+      ~config:{ Engine.default_config with population_size = 0 }
+      ~rng:(Prng.create ~seed:1) (sum_problem 3 2)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty population accepted"
+
+(* Property: the engine never returns an invalid genome and never a
+   fitness better than the true optimum. *)
+let prop_engine_result_valid =
+  QCheck.Test.make ~name:"engine result valid and bounded" ~count:20
+    QCheck.(pair small_int (int_range 1 8))
+    (fun (seed, n) ->
+      let counts = Array.make n 3 in
+      let problem =
+        {
+          Engine.gene_counts = counts;
+          evaluate = (fun g -> (float_of_int (Array.fold_left ( + ) 0 g), ()));
+          improvements = [];
+          initial = [];
+        }
+      in
+      let config = { Engine.default_config with max_generations = 30 } in
+      let result = Engine.run ~config ~rng:(Prng.create ~seed) problem in
+      Genome.validate ~counts result.Engine.best_genome
+      && result.Engine.best_fitness >= 0.0)
+
+(* --- Nsga2 -------------------------------------------------------------------- *)
+
+module Nsga2 = Mm_ga.Nsga2
+
+let test_dominates () =
+  Alcotest.(check bool) "strict" true (Nsga2.dominates [| 1.0; 1.0 |] [| 2.0; 2.0 |]);
+  Alcotest.(check bool) "weak one axis" true (Nsga2.dominates [| 1.0; 2.0 |] [| 2.0; 2.0 |]);
+  Alcotest.(check bool) "equal" false (Nsga2.dominates [| 1.0; 1.0 |] [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "incomparable" false (Nsga2.dominates [| 1.0; 3.0 |] [| 2.0; 2.0 |])
+
+let test_non_dominated_sort () =
+  let objectives = [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |]; [| 0.5; 3.0 |]; [| 3.0; 3.0 |] |] in
+  let rank = Nsga2.non_dominated_sort objectives in
+  Alcotest.(check int) "first front" 0 rank.(0);
+  Alcotest.(check int) "dominated once" 1 rank.(1);
+  Alcotest.(check int) "incomparable is first front" 0 rank.(2);
+  Alcotest.(check int) "doubly dominated" 2 rank.(3)
+
+let test_crowding_boundaries_infinite () =
+  let objectives = [| [| 0.0; 3.0 |]; [| 1.0; 2.0 |]; [| 2.0; 1.0 |]; [| 3.0; 0.0 |] |] in
+  let d = Nsga2.crowding_distances objectives [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "boundary low" true (d.(0) = infinity);
+  Alcotest.(check bool) "boundary high" true (d.(3) = infinity);
+  Alcotest.(check bool) "interior finite" true (Float.is_finite d.(1) && Float.is_finite d.(2))
+
+(* Bi-objective toy: genome of 12 binary genes; f1 = number of ones,
+   f2 = number of zeros.  Every genome is Pareto-optimal; NSGA-II must
+   return a spread of trade-offs including both extremes' neighbourhoods. *)
+let test_nsga2_spreads_over_front () =
+  let n = 12 in
+  let problem =
+    {
+      Nsga2.gene_counts = Array.make n 2;
+      n_objectives = 2;
+      evaluate =
+        (fun g ->
+          let ones = Array.fold_left ( + ) 0 g in
+          ([| float_of_int ones; float_of_int (n - ones) |], ()));
+      initial = [];
+    }
+  in
+  let result = Nsga2.run ~rng:(Mm_util.Prng.create ~seed:3) problem in
+  Alcotest.(check bool) "many distinct trade-offs" true (List.length result.Nsga2.front >= 6);
+  let ones_values =
+    List.map (fun ind -> int_of_float ind.Nsga2.objectives.(0)) result.Nsga2.front
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "covers a wide range" true
+    (List.length ones_values >= 6
+    && List.hd ones_values <= 2
+    && List.nth ones_values (List.length ones_values - 1) >= n - 2)
+
+let test_nsga2_front_mutually_non_dominated () =
+  let problem =
+    {
+      Nsga2.gene_counts = Array.make 8 4;
+      n_objectives = 2;
+      evaluate =
+        (fun g ->
+          let a = Array.fold_left ( + ) 0 g in
+          let b = Array.fold_left (fun acc x -> acc + ((3 - x) * (3 - x))) 0 g in
+          ([| float_of_int a; float_of_int b |], ()));
+      initial = [];
+    }
+  in
+  let result = Nsga2.run ~rng:(Mm_util.Prng.create ~seed:4) problem in
+  List.iter
+    (fun (a : unit Nsga2.individual) ->
+      List.iter
+        (fun (b : unit Nsga2.individual) ->
+          if a != b then
+            Alcotest.(check bool) "mutually non-dominated" false
+              (Nsga2.dominates a.Nsga2.objectives b.Nsga2.objectives))
+        result.Nsga2.front)
+    result.Nsga2.front
+
+let test_nsga2_deterministic () =
+  let problem =
+    {
+      Nsga2.gene_counts = Array.make 6 3;
+      n_objectives = 2;
+      evaluate =
+        (fun g ->
+          ([| float_of_int (Array.fold_left ( + ) 0 g); float_of_int g.(0) |], ()));
+      initial = [];
+    }
+  in
+  let config = { Nsga2.default_config with Nsga2.max_generations = 15 } in
+  let run seed = Nsga2.run ~config ~rng:(Mm_util.Prng.create ~seed) problem in
+  let a = run 5 and b = run 5 in
+  Alcotest.(check int) "same front size" (List.length a.Nsga2.front) (List.length b.Nsga2.front);
+  Alcotest.(check int) "same evaluations" a.Nsga2.evaluations b.Nsga2.evaluations
+
+let () =
+  Alcotest.run "mm_ga"
+    [
+      ( "genome",
+        [
+          Alcotest.test_case "random valid" `Quick test_random_genome_valid;
+          Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "crossover positions" `Quick test_crossover_preserves_positions;
+          Alcotest.test_case "crossover mixes" `Quick test_crossover_actually_mixes;
+          Alcotest.test_case "point mutate" `Quick test_point_mutate;
+          Alcotest.test_case "hamming" `Quick test_hamming;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "minimises" `Quick test_engine_minimises;
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "history monotone" `Quick test_engine_history_monotone;
+          Alcotest.test_case "stagnation stops" `Quick test_engine_stagnation_stops;
+          Alcotest.test_case "max generations" `Quick test_engine_max_generations;
+          Alcotest.test_case "improvement applied" `Quick test_engine_improvement_applied;
+          Alcotest.test_case "info passed" `Quick test_engine_info_passed;
+          Alcotest.test_case "seeded initial population" `Quick
+            test_engine_seeded_initial_population;
+          Alcotest.test_case "invalid initial rejected" `Quick
+            test_engine_rejects_invalid_initial;
+          Alcotest.test_case "initial not mutated" `Quick
+            test_engine_initial_not_mutated_in_place;
+          Alcotest.test_case "diversity convergence" `Quick test_engine_diversity_convergence;
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+          QCheck_alcotest.to_alcotest prop_engine_result_valid;
+        ] );
+      ( "nsga2",
+        [
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "non-dominated sort" `Quick test_non_dominated_sort;
+          Alcotest.test_case "crowding boundaries" `Quick test_crowding_boundaries_infinite;
+          Alcotest.test_case "spreads over front" `Quick test_nsga2_spreads_over_front;
+          Alcotest.test_case "mutually non-dominated" `Quick
+            test_nsga2_front_mutually_non_dominated;
+          Alcotest.test_case "deterministic" `Quick test_nsga2_deterministic;
+        ] );
+    ]

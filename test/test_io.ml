@@ -1,0 +1,235 @@
+(* Tests for mm_io: the S-expression syntax and the spec/mapping codec. *)
+
+module Sexp = Mm_io.Sexp
+module Codec = Mm_io.Codec
+module Spec = Mm_cosynth.Spec
+module Mapping = Mm_cosynth.Mapping
+module Fitness = Mm_cosynth.Fitness
+module Omsm = Mm_omsm.Omsm
+module Mode = Mm_omsm.Mode
+module F = Fixtures
+
+(* --- Sexp -------------------------------------------------------------------- *)
+
+let test_parse_atoms () =
+  (match Sexp.parse "hello 42 3.14" with
+  | [ Sexp.Atom "hello"; Sexp.Atom "42"; Sexp.Atom "3.14" ] -> ()
+  | _ -> Alcotest.fail "atoms not parsed");
+  match Sexp.parse_one "\"two words\"" with
+  | Sexp.Atom "two words" -> ()
+  | _ -> Alcotest.fail "quoted atom not parsed"
+
+let test_parse_nested () =
+  match Sexp.parse_one "(a (b c) ((d)) )" with
+  | Sexp.List
+      [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ];
+        Sexp.List [ Sexp.List [ Sexp.Atom "d" ] ] ] -> ()
+  | _ -> Alcotest.fail "nesting not parsed"
+
+let test_parse_comments () =
+  match Sexp.parse "; a comment\n(x) ; trailing\n" with
+  | [ Sexp.List [ Sexp.Atom "x" ] ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_parse_escapes () =
+  match Sexp.parse_one "\"a\\\"b\\\\c\\nd\"" with
+  | Sexp.Atom "a\"b\\c\nd" -> ()
+  | _ -> Alcotest.fail "escapes not handled"
+
+let test_parse_errors () =
+  let expect_error input =
+    match Sexp.parse input with
+    | exception Sexp.Parse_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "accepted %S" input)
+  in
+  expect_error "(unterminated";
+  expect_error ")";
+  expect_error "\"unterminated";
+  match Sexp.parse_one "a b" with
+  | exception Sexp.Parse_error _ -> ()
+  | _ -> Alcotest.fail "parse_one accepted two expressions"
+
+let rec sexp_equal a b =
+  match (a, b) with
+  | Sexp.Atom x, Sexp.Atom y -> x = y
+  | Sexp.List xs, Sexp.List ys ->
+    List.length xs = List.length ys && List.for_all2 sexp_equal xs ys
+  | Sexp.Atom _, Sexp.List _ | Sexp.List _, Sexp.Atom _ -> false
+
+let sexp_gen =
+  QCheck.Gen.(
+    sized (fun size ->
+        fix
+          (fun self size ->
+            let atom =
+              map (fun s -> Sexp.Atom s)
+                (string_size ~gen:(oneof [ char_range 'a' 'z'; return '"'; return ' ' ])
+                   (1 -- 8))
+            in
+            if size <= 1 then atom
+            else
+              frequency
+                [
+                  (2, atom);
+                  (1, map (fun xs -> Sexp.List xs) (list_size (0 -- 4) (self (size / 2))));
+                ])
+          size))
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:300
+    (QCheck.make ~print:Sexp.to_string sexp_gen)
+    (fun sexp -> sexp_equal sexp (Sexp.parse_one (Sexp.to_string sexp)))
+
+let prop_float_roundtrip =
+  QCheck.Test.make ~name:"float atoms round-trip exactly" ~count:500
+    QCheck.(float)
+    (fun f ->
+      QCheck.assume (Float.is_finite f);
+      Sexp.as_float (Sexp.parse_one (Sexp.to_string (Sexp.float f))) = f)
+
+let test_parse_deeply_nested () =
+  let depth = 500 in
+  let input = String.concat "" [ String.make depth '('; "x"; String.make depth ')' ] in
+  let rec unwrap k = function
+    | Sexp.Atom "x" when k = 0 -> ()
+    | Sexp.List [ inner ] -> unwrap (k - 1) inner
+    | _ -> Alcotest.fail "wrong nesting"
+  in
+  unwrap depth (Sexp.parse_one input)
+
+let test_to_string_wraps_long_lists () =
+  let wide =
+    Sexp.List (List.init 60 (fun i -> Sexp.Atom (Printf.sprintf "field%02d" i)))
+  in
+  let rendered = Sexp.to_string wide in
+  Alcotest.(check bool) "multi-line" true (String.contains rendered '\n');
+  (* Still parses back. *)
+  match Sexp.parse_one rendered with
+  | Sexp.List xs -> Alcotest.(check int) "all members kept" 60 (List.length xs)
+  | Sexp.Atom _ -> Alcotest.fail "not a list"
+
+let test_quoting_special_atoms () =
+  List.iter
+    (fun s ->
+      let rendered = Sexp.to_string (Sexp.Atom s) in
+      match Sexp.parse_one rendered with
+      | Sexp.Atom back -> Alcotest.(check string) "round-trips" s back
+      | Sexp.List _ -> Alcotest.fail "became a list")
+    [ "with space"; "paren("; "semi;colon"; "quote\"inside"; "back\\slash"; "new\nline" ]
+
+let test_assoc_helpers () =
+  let fields = Sexp.parse "(a 1) (b 2) (a 3)" in
+  (match Sexp.assoc_all "a" fields with
+  | [ [ Sexp.Atom "1" ]; [ Sexp.Atom "3" ] ] -> ()
+  | _ -> Alcotest.fail "assoc_all");
+  (match Sexp.assoc "b" fields with
+  | [ Sexp.Atom "2" ] -> ()
+  | _ -> Alcotest.fail "assoc");
+  (match Sexp.assoc_opt "c" fields with
+  | None -> ()
+  | Some _ -> Alcotest.fail "assoc_opt phantom");
+  (* Duplicates are rejected by assoc/assoc_opt. *)
+  match Sexp.assoc_opt "a" fields with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "duplicate not rejected"
+
+(* --- Codec -------------------------------------------------------------------- *)
+
+(* Structural comparison of two specs through observable behaviour. *)
+let check_specs_equivalent a b =
+  Alcotest.(check int) "positions" (Spec.n_positions a) (Spec.n_positions b);
+  Alcotest.(check (array int)) "gene counts" (Spec.gene_counts a) (Spec.gene_counts b);
+  let omsm_a = Spec.omsm a and omsm_b = Spec.omsm b in
+  Alcotest.(check int) "modes" (Omsm.n_modes omsm_a) (Omsm.n_modes omsm_b);
+  List.iter2
+    (fun ma mb ->
+      Alcotest.(check string) "mode name" (Mode.name ma) (Mode.name mb);
+      Alcotest.(check (float 1e-15)) "probability" (Mode.probability ma) (Mode.probability mb);
+      Alcotest.(check (float 1e-15)) "period" (Mode.period ma) (Mode.period mb))
+    (Omsm.modes omsm_a) (Omsm.modes omsm_b);
+  (* Same fitness for the same genome: library, architecture and graphs
+     must therefore agree. *)
+  let rng = Mm_util.Prng.create ~seed:77 in
+  for _ = 1 to 5 do
+    let genome = Mm_ga.Genome.random rng ~counts:(Spec.gene_counts a) in
+    let ea = Fitness.evaluate Fitness.default_config a genome in
+    let eb = Fitness.evaluate Fitness.default_config b genome in
+    Alcotest.(check (float 1e-12)) "same power" ea.Fitness.true_power eb.Fitness.true_power;
+    Alcotest.(check (float 1e-12)) "same fitness" ea.Fitness.fitness eb.Fitness.fitness
+  done
+
+let test_spec_roundtrip_fixture () =
+  let spec = F.spec_of_graphs [ F.chain_graph (); F.fork_graph () ] in
+  check_specs_equivalent spec (Codec.spec_of_string (Codec.spec_to_string spec))
+
+let test_spec_roundtrip_smartphone () =
+  let spec = Mm_benchgen.Smartphone.spec () in
+  check_specs_equivalent spec (Codec.spec_of_string (Codec.spec_to_string spec))
+
+let test_spec_roundtrip_generated () =
+  for seed = 1 to 5 do
+    let spec = Mm_benchgen.Random_system.generate ~seed () in
+    check_specs_equivalent spec (Codec.spec_of_string (Codec.spec_to_string spec))
+  done
+
+let test_spec_decode_errors () =
+  let expect_error input =
+    match Codec.spec_of_string input with
+    | exception Codec.Decode_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "accepted %S" input)
+  in
+  expect_error "(not-a-spec)";
+  expect_error "(spec (name x))";
+  (* Technology entry referencing an unknown type. *)
+  expect_error
+    "(spec (name x) (types (type (id 0) (name A)))\n\
+     (architecture (name a) (pe (id 0) (name g) (kind gpp) (static-power 0)))\n\
+     (technology (impl (type 7) (pe 0) (time 1) (power 1)))\n\
+     (mode (id 0) (name m) (period 1) (probability 1)\n\
+     (tasks (task (id 0) (name t) (type 0))) (edges)))"
+
+let test_mapping_roundtrip () =
+  let spec = F.spec_of_graphs [ F.chain_graph (); F.fork_graph () ] in
+  let mapping = Mapping.of_arrays spec [| [| 0; 1; 0 |]; [| 1; 1; 0; 0 |] |] in
+  let restored =
+    Codec.mapping_of_sexp ~spec (Sexp.parse_one (Sexp.to_string (Codec.mapping_to_sexp mapping)))
+  in
+  Alcotest.(check (array int)) "same genome" (Mapping.to_genome spec mapping)
+    (Mapping.to_genome spec restored)
+
+let test_spec_file_roundtrip () =
+  let spec = F.spec_of_graphs [ F.chain_graph () ] in
+  let path = Filename.temp_file "mmsyn" ".mms" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Codec.save_spec ~path spec;
+      check_specs_equivalent spec (Codec.load_spec ~path))
+
+let () =
+  Alcotest.run "mm_io"
+    [
+      ( "sexp",
+        [
+          Alcotest.test_case "atoms" `Quick test_parse_atoms;
+          Alcotest.test_case "nesting" `Quick test_parse_nested;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "deep nesting" `Quick test_parse_deeply_nested;
+          Alcotest.test_case "long lists wrap" `Quick test_to_string_wraps_long_lists;
+          Alcotest.test_case "special atoms quoted" `Quick test_quoting_special_atoms;
+          Alcotest.test_case "assoc helpers" `Quick test_assoc_helpers;
+          QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+          QCheck_alcotest.to_alcotest prop_float_roundtrip;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "fixture round-trip" `Quick test_spec_roundtrip_fixture;
+          Alcotest.test_case "smartphone round-trip" `Quick test_spec_roundtrip_smartphone;
+          Alcotest.test_case "generated round-trip" `Quick test_spec_roundtrip_generated;
+          Alcotest.test_case "decode errors" `Quick test_spec_decode_errors;
+          Alcotest.test_case "mapping round-trip" `Quick test_mapping_roundtrip;
+          Alcotest.test_case "file round-trip" `Quick test_spec_file_roundtrip;
+        ] );
+    ]

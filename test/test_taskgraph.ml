@@ -1,0 +1,342 @@
+(* Tests for mm_taskgraph: Task_type, Task, Graph, Mobility. *)
+
+module Task_type = Mm_taskgraph.Task_type
+module Task = Mm_taskgraph.Task
+module Graph = Mm_taskgraph.Graph
+module Mobility = Mm_taskgraph.Mobility
+module Prng = Mm_util.Prng
+
+let ty_a = Task_type.make ~id:0 ~name:"A"
+let ty_b = Task_type.make ~id:1 ~name:"B"
+
+let task ?deadline id ty = Task.make ~id ~name:(Printf.sprintf "t%d" id) ~ty ?deadline ()
+
+(* A diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3. *)
+let diamond () =
+  Graph.make ~name:"diamond"
+    ~tasks:[| task 0 ty_a; task 1 ty_b; task 2 ty_a; task 3 ty_b |]
+    ~edges:
+      [
+        { Graph.src = 0; dst = 1; data = 1.0 };
+        { Graph.src = 0; dst = 2; data = 2.0 };
+        { Graph.src = 1; dst = 3; data = 3.0 };
+        { Graph.src = 2; dst = 3; data = 4.0 };
+      ]
+
+(* --- Task_type / Task ---------------------------------------------------- *)
+
+let test_type_identity () =
+  let a1 = Task_type.make ~id:0 ~name:"x" and a2 = Task_type.make ~id:0 ~name:"y" in
+  Alcotest.(check bool) "equal by id" true (Task_type.equal a1 a2);
+  Alcotest.(check bool) "set dedups by id" true
+    (Task_type.Set.cardinal (Task_type.Set.of_list [ a1; a2 ]) = 1)
+
+let test_type_negative_id () =
+  Alcotest.check_raises "negative" (Invalid_argument "Task_type.make: negative id")
+    (fun () -> ignore (Task_type.make ~id:(-1) ~name:"x"))
+
+let test_task_deadline_validation () =
+  Alcotest.check_raises "non-positive deadline"
+    (Invalid_argument "Task.make: non-positive deadline") (fun () ->
+      ignore (Task.make ~id:0 ~name:"t" ~ty:ty_a ~deadline:0.0 ()))
+
+(* --- Graph ---------------------------------------------------------------- *)
+
+let test_diamond_structure () =
+  let g = diamond () in
+  Alcotest.(check int) "tasks" 4 (Graph.n_tasks g);
+  Alcotest.(check int) "edges" 4 (Graph.n_edges g);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Graph.sources g);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Graph.sinks g);
+  Alcotest.(check (list int)) "succs of 0" [ 1; 2 ] (List.sort compare (Graph.succs g 0));
+  Alcotest.(check (list int)) "preds of 3" [ 1; 2 ] (List.sort compare (Graph.preds g 3))
+
+let test_topological_order () =
+  let g = diamond () in
+  let topo = Graph.topological_order g in
+  let position = Array.make 4 0 in
+  Array.iteri (fun k i -> position.(i) <- k) topo;
+  List.iter
+    (fun (e : Graph.edge) ->
+      Alcotest.(check bool) "edge respects topo" true (position.(e.src) < position.(e.dst)))
+    (Graph.edges g)
+
+let test_cycle_detection () =
+  let make () =
+    Graph.make ~name:"cyclic"
+      ~tasks:[| task 0 ty_a; task 1 ty_b |]
+      ~edges:[ { Graph.src = 0; dst = 1; data = 0.0 }; { Graph.src = 1; dst = 0; data = 0.0 } ]
+  in
+  match make () with
+  | exception Graph.Invalid _ -> ()
+  | _ -> Alcotest.fail "cycle not detected"
+
+let test_rejects_self_loop () =
+  match
+    Graph.make ~name:"loop" ~tasks:[| task 0 ty_a |]
+      ~edges:[ { Graph.src = 0; dst = 0; data = 0.0 } ]
+  with
+  | exception Graph.Invalid _ -> ()
+  | _ -> Alcotest.fail "self-loop not detected"
+
+let test_rejects_duplicate_edge () =
+  match
+    Graph.make ~name:"dup"
+      ~tasks:[| task 0 ty_a; task 1 ty_b |]
+      ~edges:[ { Graph.src = 0; dst = 1; data = 1.0 }; { Graph.src = 0; dst = 1; data = 2.0 } ]
+  with
+  | exception Graph.Invalid _ -> ()
+  | _ -> Alcotest.fail "duplicate edge not detected"
+
+let test_rejects_bad_ids () =
+  match Graph.make ~name:"bad" ~tasks:[| task 1 ty_a |] ~edges:[] with
+  | exception Graph.Invalid _ -> ()
+  | _ -> Alcotest.fail "misnumbered task not detected"
+
+let test_rejects_dangling_edge () =
+  match
+    Graph.make ~name:"dangling" ~tasks:[| task 0 ty_a |]
+      ~edges:[ { Graph.src = 0; dst = 5; data = 0.0 } ]
+  with
+  | exception Graph.Invalid _ -> ()
+  | _ -> Alcotest.fail "dangling edge not detected"
+
+let test_edge_accessors () =
+  let g = diamond () in
+  (match Graph.pred_edges g 3 with
+  | [ a; b ] ->
+    let data = List.sort compare [ a.Graph.data; b.Graph.data ] in
+    Alcotest.(check (list (float 1e-9))) "pred edge data" [ 3.0; 4.0 ] data
+  | _ -> Alcotest.fail "expected two incoming edges");
+  match Graph.succ_edges g 0 with
+  | [ a; b ] ->
+    let data = List.sort compare [ a.Graph.data; b.Graph.data ] in
+    Alcotest.(check (list (float 1e-9))) "succ edge data" [ 1.0; 2.0 ] data
+  | _ -> Alcotest.fail "expected two outgoing edges"
+
+let test_fold_and_iter () =
+  let g = diamond () in
+  let count = Graph.fold_tasks (fun _ acc -> acc + 1) g 0 in
+  Alcotest.(check int) "fold visits all" 4 count;
+  let names = ref [] in
+  Graph.iter_tasks (fun t -> names := Task.name t :: !names) g;
+  Alcotest.(check int) "iter visits all" 4 (List.length !names)
+
+let test_tasks_returns_copy () =
+  let g = diamond () in
+  let tasks = Graph.tasks g in
+  tasks.(0) <- task 0 ty_b;
+  (* The graph's own task is untouched. *)
+  Alcotest.(check bool) "defensive copy" true
+    (Mm_taskgraph.Task_type.equal (Task.ty (Graph.task g 0)) ty_a)
+
+let test_task_types_and_lookup () =
+  let g = diamond () in
+  Alcotest.(check int) "two types" 2 (Task_type.Set.cardinal (Graph.task_types g));
+  Alcotest.(check (list int)) "tasks of A" [ 0; 2 ] (Graph.tasks_of_type g ty_a);
+  Alcotest.(check (list int)) "tasks of B" [ 1; 3 ] (Graph.tasks_of_type g ty_b)
+
+let test_longest_path () =
+  let g = diamond () in
+  (* Node weights 1 everywhere: path 0-1-3 length 3. *)
+  Alcotest.(check (float 1e-9)) "unit weights" 3.0
+    (Graph.longest_path_length g ~weight:(fun _ -> 1.0))
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_to_dot_mentions_tasks () =
+  let dot = Graph.to_dot (diamond ()) in
+  Alcotest.(check bool) "mentions t0" true (string_contains dot "t0");
+  Alcotest.(check bool) "mentions an edge" true (string_contains dot "t0 -> t1")
+
+(* --- Mobility -------------------------------------------------------------- *)
+
+let unit_exec _ = 1.0
+let no_comm (_ : Graph.edge) = 0.0
+
+let test_asap_alap_diamond () =
+  let g = diamond () in
+  let m = Mobility.compute g ~exec_time:unit_exec ~comm_time:no_comm ~horizon:3.0 in
+  Alcotest.(check (float 1e-9)) "asap 0" 0.0 m.Mobility.asap.(0);
+  Alcotest.(check (float 1e-9)) "asap 1" 1.0 m.Mobility.asap.(1);
+  Alcotest.(check (float 1e-9)) "asap 3" 2.0 m.Mobility.asap.(3);
+  Alcotest.(check (float 1e-9)) "makespan" 3.0 (Mobility.makespan m);
+  (* With horizon equal to the makespan every task is critical. *)
+  for i = 0 to 3 do
+    Alcotest.(check (float 1e-9)) "zero mobility" 0.0 (Mobility.mobility m i)
+  done
+
+let test_mobility_with_slack () =
+  let g = diamond () in
+  let m = Mobility.compute g ~exec_time:unit_exec ~comm_time:no_comm ~horizon:5.0 in
+  for i = 0 to 3 do
+    Alcotest.(check (float 1e-9)) "two units of slack" 2.0 (Mobility.mobility m i)
+  done;
+  Alcotest.(check bool) "not critical" false (Mobility.is_critical m 0)
+
+let test_mobility_comm_times () =
+  let g = diamond () in
+  (* Communication costs 0.5 per edge: critical path = 1 + 0.5 + 1 + 0.5 + 1 = 4. *)
+  let m =
+    Mobility.compute g ~exec_time:unit_exec ~comm_time:(fun _ -> 0.5) ~horizon:0.0
+  in
+  Alcotest.(check (float 1e-9)) "makespan with comm" 4.0 (Mobility.makespan m)
+
+let test_deadline_caps_alap () =
+  let ty = ty_a in
+  let g =
+    Graph.make ~name:"chain"
+      ~tasks:[| task 0 ty; task ~deadline:2.5 1 ty |]
+      ~edges:[ { Graph.src = 0; dst = 1; data = 0.0 } ]
+  in
+  let m = Mobility.compute g ~exec_time:unit_exec ~comm_time:no_comm ~horizon:10.0 in
+  (* Task 1 must finish by 2.5 => latest start 1.5; task 0 then by 1.5,
+     latest start 0.5 — far below the 10 s horizon. *)
+  Alcotest.(check (float 1e-9)) "alap capped" 1.5 m.Mobility.alap.(1);
+  Alcotest.(check (float 1e-9)) "pred inherits cap" 0.5 m.Mobility.alap.(0)
+
+let test_unreachable_deadline_clamped () =
+  let g = Graph.make ~name:"single" ~tasks:[| task ~deadline:0.2 0 ty_a |] ~edges:[] in
+  let m = Mobility.compute g ~exec_time:unit_exec ~comm_time:no_comm ~horizon:10.0 in
+  (* Deadline 0.2 < exec 1.0: clamp mobility to 0 instead of negative. *)
+  Alcotest.(check (float 1e-9)) "clamped to critical" 0.0 (Mobility.mobility m 0)
+
+let test_windows_overlap () =
+  let g = diamond () in
+  let m = Mobility.compute g ~exec_time:unit_exec ~comm_time:no_comm ~horizon:3.0 in
+  Alcotest.(check bool) "parallel branches overlap" true (Mobility.windows_overlap m 1 2);
+  Alcotest.(check bool) "chain tasks do not" false (Mobility.windows_overlap m 0 3)
+
+(* --- Metrics ---------------------------------------------------------------- *)
+
+module Metrics = Mm_taskgraph.Metrics
+
+let test_metrics_diamond () =
+  let m = Metrics.compute (diamond ()) in
+  Alcotest.(check int) "tasks" 4 m.Metrics.n_tasks;
+  Alcotest.(check int) "edges" 4 m.Metrics.n_edges;
+  Alcotest.(check int) "types" 2 m.Metrics.n_types;
+  Alcotest.(check int) "depth" 3 m.Metrics.depth;
+  Alcotest.(check int) "width" 2 m.Metrics.width;
+  Alcotest.(check (float 1e-9)) "parallelism" (4.0 /. 3.0) m.Metrics.parallelism;
+  Alcotest.(check int) "max in-degree" 2 m.Metrics.max_in_degree;
+  Alcotest.(check int) "max out-degree" 2 m.Metrics.max_out_degree
+
+let test_metrics_levels () =
+  let levels = Metrics.levels (diamond ()) in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 1; 2 |] levels
+
+let test_metrics_single_task () =
+  let g = Graph.make ~name:"one" ~tasks:[| task 0 ty_a |] ~edges:[] in
+  let m = Metrics.compute g in
+  Alcotest.(check int) "depth" 1 m.Metrics.depth;
+  Alcotest.(check (float 1e-9)) "density" 0.0 m.Metrics.edge_density
+
+(* Random DAG generator for property tests: edges only from lower to
+   higher ids, hence always acyclic. *)
+let random_graph_gen =
+  QCheck.Gen.(
+    let* n = 2 -- 25 in
+    let* seed = small_int in
+    let rng = Prng.create ~seed in
+    let tasks = Array.init n (fun i -> task i (if i mod 2 = 0 then ty_a else ty_b)) in
+    let edges = ref [] in
+    for j = 1 to n - 1 do
+      for i = 0 to j - 1 do
+        if Prng.chance rng 0.15 then
+          edges := { Graph.src = i; dst = j; data = Prng.float rng 4.0 } :: !edges
+      done
+    done;
+    return (Graph.make ~name:"rand" ~tasks ~edges:!edges))
+
+let arbitrary_graph = QCheck.make ~print:(fun g -> Format.asprintf "%a" Graph.pp g) random_graph_gen
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topological order respects all edges" ~count:100
+    arbitrary_graph (fun g ->
+      let topo = Graph.topological_order g in
+      let position = Array.make (Graph.n_tasks g) 0 in
+      Array.iteri (fun k i -> position.(i) <- k) topo;
+      List.for_all (fun (e : Graph.edge) -> position.(e.src) < position.(e.dst))
+        (Graph.edges g))
+
+let prop_metrics_consistent =
+  QCheck.Test.make ~name:"width·depth covers all tasks; parallelism <= width" ~count:100
+    arbitrary_graph (fun g ->
+      let m = Mm_taskgraph.Metrics.compute g in
+      m.Mm_taskgraph.Metrics.width * m.Mm_taskgraph.Metrics.depth
+      >= m.Mm_taskgraph.Metrics.n_tasks
+      && m.Mm_taskgraph.Metrics.parallelism
+         <= float_of_int m.Mm_taskgraph.Metrics.width +. 1e-9)
+
+let prop_mobility_nonnegative =
+  QCheck.Test.make ~name:"mobility is never negative" ~count:100 arbitrary_graph
+    (fun g ->
+      let m = Mobility.compute g ~exec_time:unit_exec ~comm_time:no_comm ~horizon:0.0 in
+      let ok = ref true in
+      for i = 0 to Graph.n_tasks g - 1 do
+        if Mobility.mobility m i < -1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_alap_at_least_asap_with_horizon =
+  QCheck.Test.make ~name:"asap <= alap under generous horizon" ~count:100
+    arbitrary_graph (fun g ->
+      let m =
+        Mobility.compute g ~exec_time:unit_exec ~comm_time:no_comm ~horizon:1000.0
+      in
+      let ok = ref true in
+      for i = 0 to Graph.n_tasks g - 1 do
+        if m.Mobility.alap.(i) < m.Mobility.asap.(i) -. 1e-9 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "mm_taskgraph"
+    [
+      ( "task-and-type",
+        [
+          Alcotest.test_case "type identity" `Quick test_type_identity;
+          Alcotest.test_case "negative id rejected" `Quick test_type_negative_id;
+          Alcotest.test_case "deadline validated" `Quick test_task_deadline_validation;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "diamond structure" `Quick test_diamond_structure;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "self-loop rejected" `Quick test_rejects_self_loop;
+          Alcotest.test_case "duplicate edge rejected" `Quick test_rejects_duplicate_edge;
+          Alcotest.test_case "bad ids rejected" `Quick test_rejects_bad_ids;
+          Alcotest.test_case "dangling edge rejected" `Quick test_rejects_dangling_edge;
+          Alcotest.test_case "edge accessors" `Quick test_edge_accessors;
+          Alcotest.test_case "fold and iter" `Quick test_fold_and_iter;
+          Alcotest.test_case "tasks defensive copy" `Quick test_tasks_returns_copy;
+          Alcotest.test_case "task types" `Quick test_task_types_and_lookup;
+          Alcotest.test_case "longest path" `Quick test_longest_path;
+          Alcotest.test_case "dot output" `Quick test_to_dot_mentions_tasks;
+          QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "diamond" `Quick test_metrics_diamond;
+          Alcotest.test_case "levels" `Quick test_metrics_levels;
+          Alcotest.test_case "single task" `Quick test_metrics_single_task;
+          QCheck_alcotest.to_alcotest prop_metrics_consistent;
+        ] );
+      ( "mobility",
+        [
+          Alcotest.test_case "asap/alap diamond" `Quick test_asap_alap_diamond;
+          Alcotest.test_case "slack" `Quick test_mobility_with_slack;
+          Alcotest.test_case "comm times" `Quick test_mobility_comm_times;
+          Alcotest.test_case "deadline caps alap" `Quick test_deadline_caps_alap;
+          Alcotest.test_case "unreachable deadline clamped" `Quick
+            test_unreachable_deadline_clamped;
+          Alcotest.test_case "windows overlap" `Quick test_windows_overlap;
+          QCheck_alcotest.to_alcotest prop_mobility_nonnegative;
+          QCheck_alcotest.to_alcotest prop_alap_at_least_asap_with_horizon;
+        ] );
+    ]

@@ -1,0 +1,267 @@
+(* Tests for mm_util: Prng, Stats, Table. *)
+
+module Prng = Mm_util.Prng
+module Stats = Mm_util.Stats
+module Table = Mm_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Prng --------------------------------------------------------------- *)
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_preserves_stream () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independent () =
+  let a = Prng.create ~seed:7 in
+  let child = Prng.split a in
+  (* Child and parent produce different streams after the split. *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 child then incr same
+  done;
+  Alcotest.(check bool) "split independent" true (!same < 4)
+
+let test_int_bounds () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_covers_range () =
+  let rng = Prng.create ~seed:5 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int rng 6) <- true
+  done;
+  Alcotest.(check bool) "all values seen" true (Array.for_all Fun.id seen)
+
+let test_int_in () =
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 500 do
+    let v = Prng.int_in rng (-3) 4 in
+    Alcotest.(check bool) "inclusive range" true (v >= -3 && v <= 4)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Prng.create ~seed:1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Prng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_in_degenerate () =
+  let rng = Prng.create ~seed:17 in
+  check_float "lo = hi" 3.0 (Prng.float_in rng 3.0 3.0)
+
+let test_chance_extremes () =
+  let rng = Prng.create ~seed:19 in
+  Alcotest.(check bool) "p=1 always true" true (Prng.chance rng 1.0);
+  Alcotest.(check bool) "p=0 always false" false (Prng.chance rng 0.0)
+
+let test_chance_statistics () =
+  let rng = Prng.create ~seed:23 in
+  let hits = ref 0 in
+  for _ = 1 to 10000 do
+    if Prng.chance rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10000.0 in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.03)
+
+let test_gaussian_statistics () =
+  let rng = Prng.create ~seed:47 in
+  let n = 20000 in
+  let samples = List.init n (fun _ -> Prng.gaussian rng) in
+  let mean = List.fold_left ( +. ) 0.0 samples /. float_of_int n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples
+    /. float_of_int n
+  in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let test_pick () =
+  let rng = Prng.create ~seed:29 in
+  for _ = 1 to 100 do
+    let v = Prng.pick rng [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list") (fun () ->
+      ignore (Prng.pick rng []))
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create ~seed:31 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Prng.create ~seed:37 in
+  let sample = Prng.sample_without_replacement rng 3 [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check int) "size" 3 (List.length sample);
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare sample));
+  let all = Prng.sample_without_replacement rng 10 [ 1; 2 ] in
+  Alcotest.(check int) "capped at population" 2 (List.length all)
+
+let test_dirichlet_sums_to_one () =
+  let rng = Prng.create ~seed:41 in
+  for skew = 1 to 6 do
+    let w = Prng.dirichlet_like rng 5 ~skew:(float_of_int skew) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    Alcotest.(check (float 1e-9)) "sums to 1" 1.0 total;
+    Array.iter (fun x -> Alcotest.(check bool) "positive" true (x > 0.0)) w
+  done
+
+let test_dirichlet_skew_concentrates () =
+  let rng = Prng.create ~seed:43 in
+  let max_of skew =
+    let samples = List.init 200 (fun _ -> Prng.dirichlet_like rng 4 ~skew) in
+    let maxima = List.map (fun w -> Array.fold_left Float.max 0.0 w) samples in
+    List.fold_left ( +. ) 0.0 maxima /. 200.0
+  in
+  let flat = max_of 1.0 and skewed = max_of 6.0 in
+  Alcotest.(check bool) "higher skew concentrates mass" true (skewed > flat)
+
+(* Property tests. *)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Prng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create ~seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_preserves_elements =
+  QCheck.Test.make ~name:"shuffle_list preserves multiset" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let rng = Prng.create ~seed in
+      let shuffled = Prng.shuffle_list rng xs in
+      List.sort compare shuffled = List.sort compare xs)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_mean_std () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "std" 1.0 (Stats.std [ 1.0; 2.0; 3.0 ]);
+  check_float "std singleton" 0.0 (Stats.std [ 5.0 ])
+
+let test_median () =
+  check_float "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_summarize () =
+  let s = Stats.summarize [ 4.0; 1.0; 3.0; 2.0 ] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 4.0 s.Stats.max;
+  check_float "mean" 2.5 s.Stats.mean;
+  check_float "median" 2.5 s.Stats.median
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_percent_reduction () =
+  check_float "halved" 50.0 (Stats.percent_reduction ~from:2.0 ~to_:1.0);
+  check_float "no change" 0.0 (Stats.percent_reduction ~from:2.0 ~to_:2.0);
+  check_float "zero base" 0.0 (Stats.percent_reduction ~from:0.0 ~to_:1.0);
+  check_float "increase is negative" (-50.0) (Stats.percent_reduction ~from:2.0 ~to_:3.0)
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 30) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.mean >= s.Stats.min -. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+(* --- Table --------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length rendered > 0 && rendered.[0] = 'T');
+  Alcotest.(check bool) "pads short rows" true
+    (String.length rendered > 0)
+
+let test_table_too_many_cells () =
+  let t = Table.create ~title:"T" ~columns:[ "a" ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: more cells than columns")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_cells () =
+  Alcotest.(check string) "float" "1.500" (Table.cell_float 1.5);
+  Alcotest.(check string) "float decimals" "1.50" (Table.cell_float ~decimals:2 1.5);
+  Alcotest.(check string) "percent" "22.46" (Table.cell_percent 22.456)
+
+let () =
+  Alcotest.run "mm_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "different seeds" `Quick test_different_seeds;
+          Alcotest.test_case "copy" `Quick test_copy_preserves_stream;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "float_in degenerate" `Quick test_float_in_degenerate;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "chance statistics" `Quick test_chance_statistics;
+          Alcotest.test_case "gaussian statistics" `Quick test_gaussian_statistics;
+          Alcotest.test_case "pick" `Quick test_pick;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "dirichlet sums to 1" `Quick test_dirichlet_sums_to_one;
+          Alcotest.test_case "dirichlet skew" `Quick test_dirichlet_skew_concentrates;
+          QCheck_alcotest.to_alcotest prop_int_in_range;
+          QCheck_alcotest.to_alcotest prop_shuffle_preserves_elements;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/std" `Quick test_mean_std;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+          Alcotest.test_case "percent reduction" `Quick test_percent_reduction;
+          QCheck_alcotest.to_alcotest prop_mean_within_bounds;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+          Alcotest.test_case "cell formatting" `Quick test_cells;
+        ] );
+    ]
