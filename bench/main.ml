@@ -13,6 +13,7 @@
      table2   Tab. 2 — same with DVS (SW processors and HW rails)
      table3   Tab. 3 — smart phone, w/o and with DVS
      ablation improvement operators / HW-rail DVS / population size
+     parallel domain-pool speedup + eval-cache hit rates (BENCH_parallel.json)
      kernels  Bechamel timings of the inner kernels *)
 
 module Table = Mm_util.Table
@@ -149,6 +150,8 @@ let proposed_power ~ga ~dvs ~use_improvements ~spec ~seeds =
       ga;
       use_improvements;
       restarts = Synthesis.default_config.Synthesis.restarts;
+      jobs = Synthesis.default_config.Synthesis.jobs;
+      eval_cache = Synthesis.default_config.Synthesis.eval_cache;
     }
   in
   let powers =
@@ -288,6 +291,8 @@ let ablation_scheduler_policy options =
             ga;
             use_improvements = true;
             restarts = Synthesis.default_config.Synthesis.restarts;
+            jobs = Synthesis.default_config.Synthesis.jobs;
+            eval_cache = Synthesis.default_config.Synthesis.eval_cache;
           }
         in
         let powers =
@@ -355,6 +360,132 @@ let ablation options =
   ablation_scheduler_policy options;
   ablation_dvs_strategy options
 
+(* --- Parallel evaluation ------------------------------------------------------ *)
+
+(* Wall-clock speedup of the domain-pooled fitness evaluation at 1/2/4/8
+   domains on a mul-scale workload, plus the memoization cache's hit
+   rate over the table1 benchmarks.  Written to BENCH_parallel.json so
+   later PRs have a perf trajectory to compare against. *)
+
+let parallel options =
+  Format.printf "@.== Parallel fitness evaluation: domains and memoization ==@.";
+  let ga = ga_config options in
+  let seed = 1 in
+  let wall_of config spec =
+    let started = Unix.gettimeofday () in
+    let result = Synthesis.run ~config ~spec ~seed () in
+    (Unix.gettimeofday () -. started, result)
+  in
+  (* Speedup vs domains, cache off, so the pool is measured in isolation. *)
+  let spec = Random_system.mul 6 in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let timings =
+    List.map
+      (fun jobs ->
+        let config = { Synthesis.default_config with ga; jobs; eval_cache = 0 } in
+        let seconds, result = wall_of config spec in
+        Format.printf "  %d domain%s done@?@." jobs (if jobs = 1 then "" else "s");
+        (jobs, seconds, result))
+      domain_counts
+  in
+  let _, serial_seconds, serial_result = List.hd timings in
+  List.iter
+    (fun (jobs, _, (result : Synthesis.result)) ->
+      if result.Synthesis.eval.Fitness.true_power
+         <> serial_result.Synthesis.eval.Fitness.true_power
+      then
+        Format.printf
+          "  WARNING: %d-domain run diverged from the serial result (determinism bug)@."
+          jobs)
+    timings;
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "mul6, seed %d, cache off, %d CPU core(s) available" seed
+           (Domain.recommended_domain_count ()))
+      ~columns:[ "domains"; "wall (s)"; "speedup"; "p̄ (mW)" ]
+  in
+  List.iter
+    (fun (jobs, seconds, (result : Synthesis.result)) ->
+      Table.add_row t
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.2f" seconds;
+          Printf.sprintf "%.2fx" (serial_seconds /. seconds);
+          Printf.sprintf "%.3f" (milliwatt result.Synthesis.eval.Fitness.true_power);
+        ])
+    timings;
+  Table.print t;
+  (* Cache effectiveness over the table1 workloads, serial. *)
+  let cache_rows =
+    List.map
+      (fun i ->
+        let spec = Random_system.mul i in
+        let config = { Synthesis.default_config with ga; jobs = 1 } in
+        let seconds, result = wall_of config spec in
+        let nocache =
+          { Synthesis.default_config with ga; jobs = 1; eval_cache = 0 }
+        in
+        let nocache_seconds, _ = wall_of nocache spec in
+        let hits = result.Synthesis.cache_hits in
+        let total = hits + result.Synthesis.evaluations in
+        let rate = if total = 0 then 0.0 else float_of_int hits /. float_of_int total in
+        (Printf.sprintf "mul%d" i, hits, result.Synthesis.evaluations, rate, seconds,
+         nocache_seconds))
+      (List.init 12 (fun k -> k + 1))
+  in
+  let ct =
+    Table.create ~title:"evaluation cache on table1 workloads (serial)"
+      ~columns:
+        [ "Benchmark"; "hits"; "evaluations"; "hit rate"; "cached (s)"; "uncached (s)" ]
+  in
+  List.iter
+    (fun (label, hits, evals, rate, seconds, nocache_seconds) ->
+      Table.add_row ct
+        [
+          label;
+          string_of_int hits;
+          string_of_int evals;
+          Printf.sprintf "%.1f%%" (100.0 *. rate);
+          Printf.sprintf "%.2f" seconds;
+          Printf.sprintf "%.2f" nocache_seconds;
+        ])
+    cache_rows;
+  Table.print ct;
+  (* Machine-readable baseline. *)
+  let path = "BENCH_parallel.json" in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"parallel\",\n";
+  p "  \"workload\": \"mul6\",\n";
+  p "  \"seed\": %d,\n" seed;
+  p "  \"quick\": %b,\n" options.quick;
+  p "  \"cpu_cores\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"domains\": [\n";
+  List.iteri
+    (fun i (jobs, seconds, _) ->
+      p "    { \"jobs\": %d, \"wall_seconds\": %.3f, \"speedup\": %.3f }%s\n" jobs
+        seconds
+        (serial_seconds /. seconds)
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  p "  ],\n";
+  p "  \"cache\": [\n";
+  List.iteri
+    (fun i (label, hits, evals, rate, seconds, nocache_seconds) ->
+      p
+        "    { \"workload\": \"%s\", \"hits\": %d, \"evaluations\": %d, \
+         \"hit_rate\": %.4f, \"wall_seconds\": %.3f, \"uncached_wall_seconds\": %.3f \
+         }%s\n"
+        label hits evals rate seconds nocache_seconds
+        (if i = List.length cache_rows - 1 then "" else ","))
+    cache_rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 (* --- Bechamel kernels -------------------------------------------------------- *)
 
 let kernels _options =
@@ -416,7 +547,11 @@ let () =
     | name :: rest -> parse options (name :: selected) rest
   in
   let options, selected = parse { runs = None; quick = false } [] args in
-  let selected = if selected = [] then [ "table1"; "table2"; "table3"; "ablation"; "kernels" ] else selected in
+  let selected =
+    if selected = [] then
+      [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "kernels" ]
+    else selected
+  in
   let total_start = Sys.time () in
   List.iter
     (fun name ->
@@ -426,9 +561,11 @@ let () =
       | "table3" -> table3 options
       | "ablation" -> ablation options
       | "ablation-f" -> ablation_dvs_strategy options
+      | "parallel" -> parallel options
       | "kernels" -> kernels options
       | other ->
-        Format.printf "unknown experiment %S (expected table1|table2|table3|ablation|kernels)@."
+        Format.printf
+          "unknown experiment %S (expected table1|table2|table3|ablation|parallel|kernels)@."
           other;
         exit 1)
     selected;

@@ -98,7 +98,22 @@ let population_arg =
     & opt int Engine.default_config.Engine.population_size
     & info [ "population" ] ~docv:"N" ~doc:"GA population size.")
 
-let config_of ~dvs ~uniform ~generations ~population =
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains evaluating each GA generation in parallel (default 1 = serial). \
+           Results are identical at any job count; only wall-clock time changes.")
+
+let no_eval_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-eval-cache" ]
+        ~doc:"Disable the genome-evaluation memoization cache (enabled by default).")
+
+let config_of ?(jobs = 1) ?(no_eval_cache = false) ~dvs ~uniform ~generations
+    ~population () =
   {
     Synthesis.default_config with
     fitness =
@@ -114,6 +129,8 @@ let config_of ~dvs ~uniform ~generations ~population =
         max_generations = generations;
         population_size = population;
       };
+    jobs;
+    eval_cache = (if no_eval_cache then 0 else Synthesis.default_eval_cache);
   }
 
 (* --- show ------------------------------------------------------------------- *)
@@ -153,8 +170,8 @@ let show_cmd =
 
 (* --- synth ------------------------------------------------------------------- *)
 
-let synth spec seed dvs uniform generations population =
-  let config = config_of ~dvs ~uniform ~generations ~population in
+let synth spec seed dvs uniform generations population jobs no_eval_cache =
+  let config = config_of ~jobs ~no_eval_cache ~dvs ~uniform ~generations ~population () in
   let result = Synthesis.run ~config ~spec ~seed () in
   Report.print_result spec result;
   Ok ()
@@ -164,7 +181,7 @@ let synth_cmd =
     Term.(
       term_result
         (const synth $ benchmark_arg $ seed_arg $ dvs_arg $ uniform_arg
-       $ generations_arg $ population_arg))
+       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg))
   in
   Cmd.v
     (Cmd.info "synth"
@@ -173,7 +190,7 @@ let synth_cmd =
 
 (* --- compare ------------------------------------------------------------------ *)
 
-let compare_cmd_impl spec seed dvs runs generations population =
+let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cache =
   let ga =
     {
       Engine.default_config with
@@ -182,7 +199,8 @@ let compare_cmd_impl spec seed dvs runs generations population =
     }
   in
   let dvs = if dvs then Fitness.Dvs Mm_dvs.Scaling.default_config else Fitness.No_dvs in
-  let c = Experiment.compare ~ga ~dvs ~spec ~runs ~seed () in
+  let eval_cache = if no_eval_cache then 0 else Synthesis.default_eval_cache in
+  let c = Experiment.compare ~ga ~dvs ~jobs ~eval_cache ~spec ~runs ~seed () in
   let pp_arm name (arm : Experiment.arm) =
     Format.printf "%s: %.4g mW (std %.2g, %d runs, %.1fs CPU/run)@." name
       (arm.Experiment.power.Stats.mean *. 1e3)
@@ -199,7 +217,7 @@ let compare_cmd =
     Term.(
       term_result
         (const compare_cmd_impl $ benchmark_arg $ seed_arg $ dvs_arg $ runs_arg
-       $ generations_arg $ population_arg))
+       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -250,7 +268,7 @@ let gantt spec seed dvs mode =
     let config =
       config_of ~dvs ~uniform:false
         ~generations:Engine.default_config.Engine.max_generations
-        ~population:Engine.default_config.Engine.population_size
+        ~population:Engine.default_config.Engine.population_size ()
     in
     let result = Synthesis.run ~config ~spec ~seed () in
     let eval = result.Synthesis.eval in
@@ -298,6 +316,7 @@ let anneal spec seed dvs steps =
       eval = result.Mm_cosynth.Annealing.eval;
       generations = 0;
       evaluations = result.Mm_cosynth.Annealing.evaluations;
+      cache_hits = 0;
       cpu_seconds = result.Mm_cosynth.Annealing.cpu_seconds;
       history = [];
     };
@@ -368,7 +387,7 @@ let robustness spec seed dvs samples strength =
     let config =
       config_of ~dvs ~uniform
         ~generations:Engine.default_config.Engine.max_generations
-        ~population:Engine.default_config.Engine.population_size
+        ~population:Engine.default_config.Engine.population_size ()
     in
     Synthesis.run ~config ~spec ~seed ()
   in
@@ -462,7 +481,7 @@ let simulate spec seed dvs horizon =
   let config =
     config_of ~dvs ~uniform:false
       ~generations:Engine.default_config.Engine.max_generations
-      ~population:Engine.default_config.Engine.population_size
+      ~population:Engine.default_config.Engine.population_size ()
   in
   let result = Synthesis.run ~config ~spec ~seed () in
   let omsm = Spec.omsm spec in

@@ -12,7 +12,8 @@ type comparison = {
   reduction_percent : float;
 }
 
-let run_arm ~ga ~dvs ~use_improvements ~restarts ~weighting ~spec ~runs ~seed =
+let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~weighting ~spec
+    ~runs ~seed =
   if runs <= 0 then invalid_arg "Experiment.compare: runs must be positive";
   let config =
     {
@@ -20,6 +21,8 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~weighting ~spec ~runs ~seed =
       ga;
       use_improvements;
       restarts;
+      jobs;
+      eval_cache;
     }
   in
   let results =
@@ -37,14 +40,15 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~weighting ~spec ~runs ~seed =
 
 let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
     ?(use_improvements = true) ?(restarts = Synthesis.default_config.Synthesis.restarts)
-    ~spec ~runs ~seed () =
+    ?(jobs = Synthesis.default_config.Synthesis.jobs)
+    ?(eval_cache = Synthesis.default_config.Synthesis.eval_cache) ~spec ~runs ~seed () =
   let without_probabilities =
-    run_arm ~ga ~dvs ~use_improvements ~restarts ~weighting:Fitness.Uniform ~spec ~runs
-      ~seed
+    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache
+      ~weighting:Fitness.Uniform ~spec ~runs ~seed
   in
   let with_probabilities =
-    run_arm ~ga ~dvs ~use_improvements ~restarts ~weighting:Fitness.True_probabilities
-      ~spec ~runs ~seed
+    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache
+      ~weighting:Fitness.True_probabilities ~spec ~runs ~seed
   in
   {
     without_probabilities;

@@ -23,6 +23,8 @@ val compare :
   ?dvs:Fitness.dvs ->
   ?use_improvements:bool ->
   ?restarts:int ->
+  ?jobs:int ->
+  ?eval_cache:int ->
   spec:Spec.t ->
   runs:int ->
   seed:int ->
@@ -30,4 +32,6 @@ val compare :
   comparison
 (** [runs] repeated synthesis runs per arm (the paper used 40), seeded
     [seed], [seed+1], …; both arms share seeds so the comparison is
-    paired. *)
+    paired.  [jobs] and [eval_cache] are forwarded to
+    {!Synthesis.config}; neither changes the synthesised results, only
+    how fast they are computed. *)

@@ -1,12 +1,18 @@
 module Prng = Mm_util.Prng
 module Engine = Mm_ga.Engine
+module Pool = Mm_parallel.Pool
+module Memo = Mm_parallel.Memo
 
 type config = {
   fitness : Fitness.config;
   ga : Engine.config;
   use_improvements : bool;
   restarts : int;
+  jobs : int;
+  eval_cache : int;
 }
+
+let default_eval_cache = 8192
 
 let default_config =
   {
@@ -14,6 +20,8 @@ let default_config =
     ga = Engine.default_config;
     use_improvements = true;
     restarts = 2;
+    jobs = 1;
+    eval_cache = default_eval_cache;
   }
 
 type result = {
@@ -21,6 +29,7 @@ type result = {
   eval : Fitness.eval;
   generations : int;
   evaluations : int;
+  cache_hits : int;
   cpu_seconds : float;
   history : float list;
 }
@@ -145,14 +154,34 @@ let run ?(config = default_config) ~spec ~seed () =
         (fun genome ->
           let eval = Fitness.evaluate config.fitness spec genome in
           (eval.Fitness.fitness, eval));
+      (* The fitness pipeline is a pure function of the genome, which is
+         what licenses pooling and caching at all. *)
+      pure = true;
       improvements = (if config.use_improvements then Improvement.all spec else []);
       initial = anchors spec;
     }
   in
+  (* One pool and one cache for the whole run: restarts re-inject the
+     anchor genomes and re-converge over similar populations, so sharing
+     the cache across them is where many of the hits come from. *)
+  let pool = if config.jobs > 1 then Some (Pool.create ~domains:config.jobs ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
+  let cache =
+    if config.eval_cache > 0 then Some (Memo.create ~capacity:config.eval_cache)
+    else None
+  in
+  let strategy =
+    match (pool, cache) with
+    | None, None -> Engine.Serial
+    | Some p, None -> Engine.Pooled p
+    | None, Some c -> Engine.Cached c
+    | Some p, Some c -> Engine.Cached_pooled (p, c)
+  in
   let restarts = max 1 config.restarts in
   let started = Sys.time () in
   let runs =
-    List.init restarts (fun _ -> Engine.run ~config:config.ga ~rng:(Prng.split rng) problem)
+    List.init restarts (fun _ ->
+        Engine.run ~config:config.ga ~strategy ~rng:(Prng.split rng) problem)
   in
   let cpu_seconds = Sys.time () -. started in
   let best =
@@ -168,6 +197,7 @@ let run ?(config = default_config) ~spec ~seed () =
     eval = best.Engine.best_info;
     generations = List.fold_left (fun acc r -> acc + r.Engine.generations) 0 runs;
     evaluations = List.fold_left (fun acc r -> acc + r.Engine.evaluations) 0 runs;
+    cache_hits = List.fold_left (fun acc r -> acc + r.Engine.cache_hits) 0 runs;
     cpu_seconds;
     history = best.Engine.history;
   }

@@ -3,7 +3,10 @@
 
     A single [run] synthesises one implementation candidate set and
     returns the best mapping found, its full evaluation and run
-    statistics.  Determinism: equal [seed]s give equal results. *)
+    statistics.  Determinism: equal [seed]s give equal results — also
+    across [jobs] and [eval_cache] settings, because fitness evaluation
+    is a pure function of the genome and all randomness is consumed
+    while breeding, before evaluation batches are dispatched. *)
 
 type config = {
   fitness : Fitness.config;
@@ -14,16 +17,30 @@ type config = {
       (** Independent GA restarts per run; the best final fitness wins.
           Restarting is the standard defence against the multi-modal
           mapping landscape (default 2). *)
+  jobs : int;
+      (** Domains evaluating each generation's offspring batch; [<= 1]
+          keeps evaluation on the calling domain (default 1). *)
+  eval_cache : int;
+      (** Capacity of the genome→evaluation memoization cache shared
+          across the run's restarts; [0] disables caching (default
+          {!default_eval_cache}). *)
 }
 
 val default_config : config
+
+val default_eval_cache : int
+(** 8192 entries — a few dozen converged mul-scale GA runs' worth. *)
 
 type result = {
   genome : int array;
   eval : Fitness.eval;
   generations : int;
-  evaluations : int;
-  cpu_seconds : float;  (** Process CPU time of the run (the paper's "CPU time" column). *)
+  evaluations : int;  (** Fitness-pipeline invocations (cache hits excluded). *)
+  cache_hits : int;  (** Evaluations answered by the memo cache. *)
+  cpu_seconds : float;
+      (** Process CPU time of the run (the paper's "CPU time" column).
+          With [jobs > 1] this sums time across domains and can exceed
+          wall-clock time. *)
   history : float list;  (** Best fitness trajectory. *)
 }
 

@@ -1,4 +1,6 @@
 module Prng = Mm_util.Prng
+module Pool = Mm_parallel.Pool
+module Memo = Mm_parallel.Memo
 
 type config = {
   population_size : int;
@@ -41,9 +43,16 @@ type 'info improvement = {
 type 'info problem = {
   gene_counts : int array;
   evaluate : int array -> float * 'info;
+  pure : bool;
   improvements : 'info improvement list;
   initial : int array list;
 }
+
+type 'info eval_strategy =
+  | Serial
+  | Pooled of Pool.t
+  | Cached of (float * 'info) Memo.t
+  | Cached_pooled of Pool.t * (float * 'info) Memo.t
 
 type 'info result = {
   best_genome : int array;
@@ -51,6 +60,7 @@ type 'info result = {
   best_info : 'info;
   generations : int;
   evaluations : int;
+  cache_hits : int;
   history : float list;
 }
 
@@ -65,18 +75,85 @@ let ranking_weights n pressure =
         pressure
         -. ((2.0 *. (pressure -. 1.0)) *. float_of_int rank /. float_of_int (n - 1)))
 
-let run ?(config = default_config) ~rng problem =
+(* Batch evaluator: all RNG-driven genome construction happens before a
+   batch is submitted, so the evaluation schedule (serial, pooled,
+   cached) cannot perturb the random stream — equal seeds give
+   bit-identical runs at any domain count.  An impure evaluator opts out
+   of both sharing (cache) and concurrency (pool); a 1-domain pool
+   degrades to the serial path. *)
+type 'info batcher = {
+  batch : int array array -> 'info member array;
+  evaluations : int ref;
+  cache_hits : int ref;
+}
+
+let make_batcher problem strategy =
+  let evaluations = ref 0 and cache_hits = ref 0 in
+  let pool, cache =
+    if not problem.pure then (None, None)
+    else
+      match strategy with
+      | Serial -> (None, None)
+      | Pooled p -> ((if Pool.size p > 1 then Some p else None), None)
+      | Cached c -> (None, Some c)
+      | Cached_pooled (p, c) ->
+        ((if Pool.size p > 1 then Some p else None), Some c)
+  in
+  let eval_misses genomes =
+    evaluations := !evaluations + Array.length genomes;
+    match pool with
+    | Some p -> Pool.map p problem.evaluate genomes
+    | None -> Array.map problem.evaluate genomes
+  in
+  let batch genomes =
+    let n = Array.length genomes in
+    match cache with
+    | None ->
+      let results = eval_misses genomes in
+      Array.init n (fun i ->
+          let fitness, info = results.(i) in
+          { genome = genomes.(i); fitness; info })
+    | Some c ->
+      let results = Array.make n None in
+      (* Misses in first-occurrence order; duplicate genomes within the
+         batch (clones of a converged population) are folded onto one
+         evaluation and counted as cache hits. *)
+      let misses = ref [] in
+      Array.iteri
+        (fun i genome ->
+          match Memo.find c genome with
+          | Some r ->
+            incr cache_hits;
+            results.(i) <- Some r
+          | None -> (
+            match List.find_opt (fun (g, _) -> g = genome) !misses with
+            | Some (_, slots) ->
+              incr cache_hits;
+              slots := i :: !slots
+            | None -> misses := (genome, ref [ i ]) :: !misses))
+        genomes;
+      let misses = Array.of_list (List.rev !misses) in
+      let miss_results = eval_misses (Array.map fst misses) in
+      Array.iteri
+        (fun j (genome, slots) ->
+          let r = miss_results.(j) in
+          Memo.add c genome r;
+          List.iter (fun i -> results.(i) <- Some r) !slots)
+        misses;
+      Array.init n (fun i ->
+          match results.(i) with
+          | Some (fitness, info) -> { genome = genomes.(i); fitness; info }
+          | None -> assert false)
+  in
+  { batch; evaluations; cache_hits }
+
+let run ?(config = default_config) ?(strategy = Serial) ~rng problem =
   if Array.length problem.gene_counts = 0 then invalid_arg "Engine.run: empty genome";
   if config.population_size <= 0 then invalid_arg "Engine.run: non-positive population";
   Array.iter
     (fun c -> if c <= 0 then invalid_arg "Engine.run: empty gene alphabet")
     problem.gene_counts;
-  let evaluations = ref 0 in
-  let eval genome =
-    incr evaluations;
-    let fitness, info = problem.evaluate genome in
-    { genome; fitness; info }
-  in
+  let batcher = make_batcher problem strategy in
   List.iter
     (fun genome ->
       if not (Genome.validate ~counts:problem.gene_counts genome) then
@@ -84,10 +161,14 @@ let run ?(config = default_config) ~rng problem =
     problem.initial;
   let seeded = Array.of_list problem.initial in
   let population =
-    ref
-      (Array.init config.population_size (fun i ->
-           if i < Array.length seeded then eval (Array.copy seeded.(i))
-           else eval (Genome.random rng ~counts:problem.gene_counts)))
+    (* Genome construction consumes the RNG in index order; evaluation is
+       deferred to one batch. *)
+    let genomes =
+      Array.init config.population_size (fun i ->
+          if i < Array.length seeded then Array.copy seeded.(i)
+          else Genome.random rng ~counts:problem.gene_counts)
+    in
+    ref (batcher.batch genomes)
   in
   let by_fitness a b = compare a.fitness b.fitness in
   Array.sort by_fitness !population;
@@ -137,7 +218,12 @@ let run ?(config = default_config) ~rng problem =
         infos = Array.map (fun m -> m.info) !population;
       }
     in
-    let offspring = ref [] in
+    let n_elite = min config.elite_count config.population_size in
+    (* Offspring genomes are bred sequentially — selection, crossover,
+       mutation and the improvement operators all draw from [rng] — and
+       only then evaluated as one batch. *)
+    let pending = ref [] in
+    let n_offspring = ref n_elite in
     let emit genome parent_info =
       (* Improvement operators (paper lines 19-22) act on offspring with
          their configured rates, guided by parent evaluation feedback. *)
@@ -146,13 +232,10 @@ let run ?(config = default_config) ~rng problem =
           if Prng.chance rng op.rate then
             ignore (op.apply rng ~snapshot ~info:parent_info genome))
         problem.improvements;
-      offspring := eval genome :: !offspring
+      pending := genome :: !pending;
+      incr n_offspring
     in
-    let n_elite = min config.elite_count config.population_size in
-    for i = 0 to n_elite - 1 do
-      offspring := !population.(i) :: !offspring
-    done;
-    while List.length !offspring < config.population_size do
+    while !n_offspring < config.population_size do
       let parent_a = select () and parent_b = select () in
       if Prng.chance rng config.crossover_rate then begin
         let child_a, child_b =
@@ -163,8 +246,7 @@ let run ?(config = default_config) ~rng problem =
         Genome.point_mutate rng ~counts:problem.gene_counts ~rate:config.mutation_rate
           child_b;
         emit child_a parent_a.info;
-        if List.length !offspring < config.population_size then
-          emit child_b parent_b.info
+        if !n_offspring < config.population_size then emit child_b parent_b.info
       end
       else begin
         let child = Array.copy parent_a.genome in
@@ -173,6 +255,16 @@ let run ?(config = default_config) ~rng problem =
         emit child parent_a.info
       end
     done;
+    let children = batcher.batch (Array.of_list (List.rev !pending)) in
+    (* Rebuild the survivor array in the exact order the serial engine
+       used (elites pushed first, children on top, list reversed by
+       [Array.of_list]) so the unstable sort below sees the same input
+       and equal seeds keep giving bit-identical populations. *)
+    let offspring = ref [] in
+    for i = 0 to n_elite - 1 do
+      offspring := !population.(i) :: !offspring
+    done;
+    Array.iter (fun m -> offspring := m :: !offspring) children;
     let next = Array.of_list !offspring in
     Array.sort by_fitness next;
     population := next;
@@ -188,6 +280,7 @@ let run ?(config = default_config) ~rng problem =
     best_fitness = !best.fitness;
     best_info = !best.info;
     generations = !generation;
-    evaluations = !evaluations;
+    evaluations = !(batcher.evaluations);
+    cache_hits = !(batcher.cache_hits);
     history = List.rev !history;
   }

@@ -13,7 +13,19 @@
     The engine is polymorphic in ['info], the side information the
     evaluator attaches to each candidate (the mapping GA uses it to expose
     area / timing / transition feasibility to the improvement
-    operators). *)
+    operators).
+
+    {2 Batched evaluation}
+
+    Each generation's offspring are bred sequentially (selection,
+    crossover, mutation and the improvement operators all consume the
+    run's PRNG) and then evaluated as one batch through an
+    {!eval_strategy}: serially, on a {!Mm_parallel.Pool} of domains,
+    through a {!Mm_parallel.Memo} genome cache, or both.  Because no
+    randomness is drawn during evaluation, the strategy cannot perturb
+    the random stream: equal seeds give bit-identical results at any
+    domain count and with or without the cache.  Only [evaluations] and
+    [cache_hits] in the {!result} depend on the strategy. *)
 
 type config = {
   population_size : int;
@@ -59,6 +71,11 @@ type 'info improvement = {
 type 'info problem = {
   gene_counts : int array;
   evaluate : int array -> float * 'info;
+  pure : bool;
+      (** Whether [evaluate] is a pure function of the genome: no
+          internal randomness, no observable side effects, thread-safe.
+          Impure evaluators are never cached and never run on a pool —
+          any {!eval_strategy} silently degrades to {!Serial}. *)
   improvements : 'info improvement list;
   initial : int array list;
       (** Genomes injected into the initial population (e.g. known-
@@ -67,15 +84,41 @@ type 'info problem = {
           [population_size] are used. *)
 }
 
+type 'info eval_strategy =
+  | Serial  (** Evaluate offspring one after another on the calling domain. *)
+  | Pooled of Mm_parallel.Pool.t
+      (** Fan each batch out over the pool's domains (falls back to
+          {!Serial} on a 1-domain pool). *)
+  | Cached of (float * 'info) Mm_parallel.Memo.t
+      (** Answer repeated genomes from the cache; only misses are
+          evaluated.  Sharing one cache across runs (e.g. GA restarts)
+          also shares the learned evaluations. *)
+  | Cached_pooled of Mm_parallel.Pool.t * (float * 'info) Mm_parallel.Memo.t
+      (** Cache lookups on the calling domain, misses fanned out over
+          the pool. *)
+
 type 'info result = {
   best_genome : int array;
   best_fitness : float;
   best_info : 'info;
   generations : int;
   evaluations : int;
+      (** Actual evaluator invocations (cache hits excluded). *)
+  cache_hits : int;
+      (** Evaluations avoided by the cache (0 without a cache); repeated
+          genomes within one batch count as hits of its first
+          occurrence. *)
   history : float list;  (** Best-ever fitness after each generation, oldest first. *)
 }
 
-val run : ?config:config -> rng:Mm_util.Prng.t -> 'info problem -> 'info result
-(** Raises [Invalid_argument] on an empty genome or a non-positive
+val run :
+  ?config:config ->
+  ?strategy:'info eval_strategy ->
+  rng:Mm_util.Prng.t ->
+  'info problem ->
+  'info result
+(** [strategy] defaults to {!Serial}.  The optimisation trajectory —
+    [best_genome], [best_fitness], [generations], [history] — is
+    independent of the strategy; see the determinism note above.  Raises
+    [Invalid_argument] on an empty genome or a non-positive
     population. *)

@@ -1,0 +1,53 @@
+(** An LRU-bounded memoization cache keyed on integer-string genomes.
+
+    The mapping GA re-evaluates identical genomes constantly — elites
+    survive unchanged every generation, converged populations are full
+    of clones, and the anchor genomes are re-injected on every restart.
+    Fitness evaluation is a pure function of the genome, so those
+    repeats can be answered from a cache instead of re-running the
+    decode → schedule → DVS → power pipeline.
+
+    Keys are hashed over the {e whole} gene array (FNV-1a), not with
+    [Hashtbl.hash]'s truncated traversal, so long smart-phone genomes
+    that differ only in their tail do not collide systematically.  Keys
+    are copied on insertion; the cache never aliases caller arrays.
+
+    The cache is not thread-safe: in the parallel evaluation pipeline
+    all lookups and insertions happen on the coordinating domain, only
+    the misses fan out to workers. *)
+
+type 'v t
+
+val create : capacity:int -> 'v t
+(** [create ~capacity] makes an empty cache holding at most [capacity]
+    entries; beyond that the least-recently-used entry is evicted.
+    Raises [Invalid_argument] if [capacity < 1]. *)
+
+val find : 'v t -> int array -> 'v option
+(** Lookup; counts a hit or a miss and refreshes the entry's recency. *)
+
+val add : 'v t -> int array -> 'v -> unit
+(** Insert (or overwrite) a binding, copying the key, and evict the LRU
+    entry if the cache is over capacity. *)
+
+val mem : 'v t -> int array -> bool
+(** Membership test without touching recency or the hit/miss counters. *)
+
+val clear : 'v t -> unit
+(** Drop all entries.  Counters are kept. *)
+
+val length : 'v t -> int
+
+val capacity : 'v t -> int
+
+val hits : 'v t -> int
+(** Number of successful {!find}s over the cache's lifetime. *)
+
+val misses : 'v t -> int
+(** Number of failed {!find}s over the cache's lifetime. *)
+
+val evictions : 'v t -> int
+(** Number of entries dropped by the LRU bound. *)
+
+val hit_rate : 'v t -> float
+(** [hits / (hits + misses)]; 0 when no lookup happened yet. *)

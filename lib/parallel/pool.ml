@@ -1,0 +1,124 @@
+(* Worker domains park on [work_ready] until the owner publishes a new
+   batch (epoch bump), run the shared batch closure to exhaustion, then
+   report in on [work_done].  The batch closure itself pulls chunks of
+   the input through an atomic cursor, so domains steal work from each
+   other rather than owning fixed slices. *)
+
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable epoch : int;
+  mutable pending : int;  (* workers still inside the current epoch's job *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let max_domains = 64
+
+let worker pool () =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.closed) && pool.epoch = !seen do
+      Condition.wait pool.work_ready pool.mutex
+    done;
+    if pool.closed then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      seen := pool.epoch;
+      let job = pool.job in
+      Mutex.unlock pool.mutex;
+      (match job with Some run -> run () | None -> ());
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.broadcast pool.work_done;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create ?domains () =
+  let requested =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  let size = max 1 (min requested max_domains) in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      epoch = 0;
+      pending = 0;
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let size pool = Array.length pool.workers + 1
+
+let map pool f input =
+  if pool.closed then invalid_arg "Pool.map: pool is shut down";
+  let n = Array.length input in
+  let n_workers = Array.length pool.workers in
+  if n = 0 then [||]
+  else if n_workers = 0 || n = 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failure = Atomic.make None in
+    (* A few chunks per domain: coarse enough that the atomic cursor is
+       cold, fine enough that the batch does not end on one domain's
+       straggler chunk. *)
+    let chunk = max 1 (n / ((n_workers + 1) * 4)) in
+    let run () =
+      let running = ref true in
+      while !running do
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= n then running := false
+        else
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            if Atomic.get failure = None then
+              match f input.(i) with
+              | v -> results.(i) <- Some v
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+          done
+      done
+    in
+    Mutex.lock pool.mutex;
+    pool.job <- Some run;
+    pool.epoch <- pool.epoch + 1;
+    pool.pending <- n_workers;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    run ();
+    Mutex.lock pool.mutex;
+    while pool.pending > 0 do
+      Condition.wait pool.work_done pool.mutex
+    done;
+    pool.job <- None;
+    Mutex.unlock pool.mutex;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.workers <- [||];
+  if not pool.closed then begin
+    pool.closed <- true;
+    Condition.broadcast pool.work_ready
+  end;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join workers

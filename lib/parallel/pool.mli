@@ -1,0 +1,49 @@
+(** A persistent pool of OCaml 5 domains for embarrassingly parallel
+    array maps.
+
+    The pool is built for the synthesis fitness pipeline: one generation
+    of GA offspring is evaluated per {!map} call, every element is
+    independent, and the caller needs results back in input order.  Work
+    is handed out in chunks through a shared atomic cursor, so uneven
+    per-element cost (e.g. the smart phone's 162-position genomes next
+    to mul-scale ones) self-balances instead of being pinned to a static
+    partition.
+
+    Threading model: one {e owner}.  A pool is driven from the domain
+    that created it; {!map} is not reentrant and must not be called from
+    two domains at once, nor from inside a mapped function.  The mapped
+    function itself runs on several domains concurrently and must be
+    thread-safe (pure functions are).
+
+    Determinism: [map pool f input] returns exactly [Array.map f input]
+    for a pure [f] — result slots are fixed by input index, only the
+    execution schedule varies with the domain count. *)
+
+type t
+(** A pool handle.  The creating domain participates in every {!map},
+    so a pool of size [n] runs work on [n] domains total ([n - 1]
+    spawned workers plus the caller). *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains.  [domains]
+    defaults to {!Domain.recommended_domain_count}; it is clamped to
+    [\[1, 64\]].  A pool of 1 spawns nothing and {!map} degrades to
+    [Array.map]. *)
+
+val size : t -> int
+(** Number of domains that execute work during a {!map}, including the
+    caller.  [size t >= 1]. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f input] applies [f] to every element of [input] on the
+    pool's domains and returns the results in input order.
+
+    If any application of [f] raises, the first exception observed is
+    re-raised in the caller (with its backtrace) after all domains have
+    stopped picking up new elements; remaining elements may or may not
+    have been evaluated.  Raises [Invalid_argument] if the pool has been
+    {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Idempotent.  The pool cannot
+    be used afterwards. *)

@@ -70,6 +70,7 @@ let sum_problem n alphabet =
   {
     Engine.gene_counts = Array.make n alphabet;
     evaluate = (fun g -> (float_of_int (Array.fold_left ( + ) 0 g), ()));
+    pure = true;
     improvements = [];
     initial = [];
   }
@@ -103,6 +104,7 @@ let test_engine_stagnation_stops () =
     {
       Engine.gene_counts = [| 2; 2 |];
       evaluate = (fun _ -> (1.0, ()));
+      pure = true;
       improvements = [];
       initial = [];
     }
@@ -157,6 +159,7 @@ let test_engine_info_passed () =
     {
       Engine.gene_counts = [| 2 |];
       evaluate = (fun g -> (float_of_int g.(0), "tag"));
+      pure = true;
       improvements = [ improvement ];
       initial = [];
     }
@@ -204,6 +207,7 @@ let test_engine_diversity_convergence () =
     {
       Engine.gene_counts = Array.make 6 4;
       evaluate = (fun g -> (float_of_int (Array.fold_left ( + ) 0 g), ()));
+      pure = true;
       improvements = [];
       initial = [];
     }
@@ -224,6 +228,139 @@ let test_engine_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty population accepted"
 
+(* --- Evaluation strategies ---------------------------------------------------- *)
+
+module Pool = Mm_parallel.Pool
+module Memo = Mm_parallel.Memo
+
+(* A problem whose optimum the GA has to work for: weighted genes with a
+   coupling term, so random problems differ by seed. *)
+let strategy_problem ~n ~alphabet =
+  {
+    Engine.gene_counts = Array.make n alphabet;
+    evaluate =
+      (fun g ->
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i x ->
+            acc :=
+              !acc
+              +. (float_of_int ((i mod 3) + 1) *. float_of_int x)
+              +. (if i > 0 && g.(i - 1) = x then 0.5 else 0.0))
+          g;
+        (!acc, ()));
+    pure = true;
+    improvements = [];
+    initial = [];
+  }
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let strategies_equal_check pool ~seed ~n ~alphabet =
+  let problem = strategy_problem ~n ~alphabet in
+  let config = { Engine.default_config with max_generations = 40 } in
+  let run strategy = Engine.run ~config ~strategy ~rng:(Prng.create ~seed) problem in
+  let serial = run Engine.Serial in
+  let pooled = run (Engine.Pooled pool) in
+  let cached = run (Engine.Cached (Memo.create ~capacity:256)) in
+  let both = run (Engine.Cached_pooled (pool, Memo.create ~capacity:256)) in
+  let same label (other : unit Engine.result) =
+    Alcotest.(check (array int))
+      (label ^ " genome") serial.Engine.best_genome other.Engine.best_genome;
+    Alcotest.(check (float 0.0))
+      (label ^ " fitness") serial.Engine.best_fitness other.Engine.best_fitness;
+    Alcotest.(check int)
+      (label ^ " generations") serial.Engine.generations other.Engine.generations;
+    Alcotest.(check (list (float 0.0)))
+      (label ^ " history") serial.Engine.history other.Engine.history
+  in
+  same "pooled" pooled;
+  same "cached" cached;
+  same "cached+pooled" both;
+  Alcotest.(check int) "pooled evaluates as often as serial" serial.Engine.evaluations
+    pooled.Engine.evaluations;
+  Alcotest.(check int) "serial has no cache hits" 0 serial.Engine.cache_hits;
+  Alcotest.(check int) "cache accounts every evaluation" serial.Engine.evaluations
+    (cached.Engine.evaluations + cached.Engine.cache_hits)
+
+let test_strategies_equal () =
+  with_pool ~domains:4 (fun pool ->
+      strategies_equal_check pool ~seed:17 ~n:24 ~alphabet:5;
+      strategies_equal_check pool ~seed:99 ~n:7 ~alphabet:3)
+
+(* Property (the determinism argument of DESIGN.md): serial, pooled,
+   cached and cached+pooled evaluation produce bit-identical GA
+   trajectories for random problems and seeds. *)
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"eval strategies agree with serial" ~count:12
+    QCheck.(triple small_int (int_range 2 20) (int_range 2 6))
+    (fun (seed, n, alphabet) ->
+      with_pool ~domains:3 (fun pool ->
+          let problem = strategy_problem ~n ~alphabet in
+          let config = { Engine.default_config with max_generations = 25 } in
+          let run strategy =
+            Engine.run ~config ~strategy ~rng:(Prng.create ~seed) problem
+          in
+          let serial = run Engine.Serial in
+          let agree (other : unit Engine.result) =
+            serial.Engine.best_genome = other.Engine.best_genome
+            && serial.Engine.best_fitness = other.Engine.best_fitness
+            && serial.Engine.history = other.Engine.history
+          in
+          agree (run (Engine.Pooled pool))
+          && agree (run (Engine.Cached (Memo.create ~capacity:128)))
+          && agree (run (Engine.Cached_pooled (pool, Memo.create ~capacity:128)))))
+
+let test_cached_counts_elite_hits () =
+  (* Elites are re-submitted every generation; with a cache they must be
+     answered without re-evaluation, so hits + evaluations covers every
+     submitted genome. *)
+  let problem = strategy_problem ~n:10 ~alphabet:4 in
+  let config = { Engine.default_config with max_generations = 20 } in
+  let cache = Memo.create ~capacity:1024 in
+  let result =
+    Engine.run ~config ~strategy:(Engine.Cached cache) ~rng:(Prng.create ~seed:21)
+      problem
+  in
+  let serial = Engine.run ~config ~rng:(Prng.create ~seed:21) problem in
+  Alcotest.(check bool) "cache hits occurred" true (result.Engine.cache_hits > 0);
+  Alcotest.(check int) "hits + misses = serial evaluations"
+    serial.Engine.evaluations
+    (result.Engine.evaluations + result.Engine.cache_hits);
+  (* Every submitted genome was looked up exactly once: the memo's own
+     counters must cover the same population the engine reports. *)
+  Alcotest.(check int) "memo lookups cover every submission"
+    (result.Engine.evaluations + result.Engine.cache_hits)
+    (Memo.hits cache + Memo.misses cache)
+
+let test_impure_problem_degrades_to_serial () =
+  (* An impure evaluator must not be cached: the engine should call it
+     exactly as often as the serial engine would. *)
+  let calls = ref 0 in
+  let problem =
+    {
+      Engine.gene_counts = Array.make 8 3;
+      evaluate =
+        (fun g ->
+          incr calls;
+          (float_of_int (Array.fold_left ( + ) 0 g), ()));
+      pure = false;
+      improvements = [];
+      initial = [];
+    }
+  in
+  let config = { Engine.default_config with max_generations = 15 } in
+  let cache = Memo.create ~capacity:1024 in
+  let result =
+    Engine.run ~config ~strategy:(Engine.Cached cache) ~rng:(Prng.create ~seed:3)
+      problem
+  in
+  Alcotest.(check int) "every evaluation really ran" result.Engine.evaluations !calls;
+  Alcotest.(check int) "no cache hits" 0 result.Engine.cache_hits;
+  Alcotest.(check int) "cache untouched" 0 (Memo.length cache)
+
 (* Property: the engine never returns an invalid genome and never a
    fitness better than the true optimum. *)
 let prop_engine_result_valid =
@@ -235,6 +372,7 @@ let prop_engine_result_valid =
         {
           Engine.gene_counts = counts;
           evaluate = (fun g -> (float_of_int (Array.fold_left ( + ) 0 g), ()));
+          pure = true;
           improvements = [];
           initial = [];
         }
@@ -367,6 +505,15 @@ let () =
           Alcotest.test_case "diversity convergence" `Quick test_engine_diversity_convergence;
           Alcotest.test_case "validation" `Quick test_engine_validation;
           QCheck_alcotest.to_alcotest prop_engine_result_valid;
+        ] );
+      ( "eval strategies",
+        [
+          Alcotest.test_case "serial/pooled/cached identical" `Quick
+            test_strategies_equal;
+          Alcotest.test_case "cache answers elites" `Quick test_cached_counts_elite_hits;
+          Alcotest.test_case "impure degrades to serial" `Quick
+            test_impure_problem_degrades_to_serial;
+          QCheck_alcotest.to_alcotest prop_strategies_agree;
         ] );
       ( "nsga2",
         [
