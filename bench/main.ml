@@ -376,21 +376,47 @@ let parallel options =
     let result = Synthesis.run ~config ~spec ~seed () in
     (Unix.gettimeofday () -. started, result)
   in
-  (* Speedup vs domains, cache off, so the pool is measured in isolation. *)
+  (* Speedup vs domains, cache off, so the pool is measured in isolation.
+     Metrics collection is on for these runs: the per-phase histograms
+     break the wall-clock figure down into fitness-pipeline phases, and
+     the pool counters report how much of the domains' time was spent
+     working vs parked. *)
   let spec = Random_system.mul 6 in
   let domain_counts = [ 1; 2; 4; 8 ] in
+  let phase_sample () =
+    let snap = Mm_obs.Metrics.snapshot () in
+    let hist name =
+      match List.assoc_opt name snap.Mm_obs.Metrics.histograms with
+      | Some h -> h.Mm_obs.Metrics.sum /. 1e6
+      | None -> 0.0
+    in
+    let counter_s name =
+      match List.assoc_opt name snap.Mm_obs.Metrics.counters with
+      | Some n -> float_of_int n /. 1e6
+      | None -> 0.0
+    in
+    ( hist "fitness/eval_us",
+      hist "fitness/schedule_us",
+      hist "fitness/dvs_us",
+      counter_s "pool/busy_us",
+      counter_s "pool/wait_us" )
+  in
+  Mm_obs.Control.set_metrics true;
   let timings =
     List.map
       (fun jobs ->
         let config = { Synthesis.default_config with ga; jobs; eval_cache = 0 } in
+        Mm_obs.Metrics.reset ();
         let seconds, result = wall_of config spec in
+        let phases = phase_sample () in
         Format.printf "  %d domain%s done@?@." jobs (if jobs = 1 then "" else "s");
-        (jobs, seconds, result))
+        (jobs, seconds, result, phases))
       domain_counts
   in
-  let _, serial_seconds, serial_result = List.hd timings in
+  Mm_obs.Control.set_metrics false;
+  let _, serial_seconds, serial_result, _ = List.hd timings in
   List.iter
-    (fun (jobs, _, (result : Synthesis.result)) ->
+    (fun (jobs, _, (result : Synthesis.result), _) ->
       if result.Synthesis.eval.Fitness.true_power
          <> serial_result.Synthesis.eval.Fitness.true_power
       then
@@ -403,16 +429,29 @@ let parallel options =
       ~title:
         (Printf.sprintf "mul6, seed %d, cache off, %d CPU core(s) available" seed
            (Domain.recommended_domain_count ()))
-      ~columns:[ "domains"; "wall (s)"; "speedup"; "p̄ (mW)" ]
+      ~columns:
+        [
+          "domains"; "wall (s)"; "speedup"; "p̄ (mW)"; "eval (s)"; "sched (s)";
+          "dvs (s)"; "pool util";
+        ]
   in
   List.iter
-    (fun (jobs, seconds, (result : Synthesis.result)) ->
+    (fun (jobs, seconds, (result : Synthesis.result), (eval_s, sched_s, dvs_s, busy_s, _))
+       ->
       Table.add_row t
         [
           string_of_int jobs;
           Printf.sprintf "%.2f" seconds;
           Printf.sprintf "%.2fx" (serial_seconds /. seconds);
           Printf.sprintf "%.3f" (milliwatt result.Synthesis.eval.Fitness.true_power);
+          Printf.sprintf "%.2f" eval_s;
+          Printf.sprintf "%.2f" sched_s;
+          Printf.sprintf "%.2f" dvs_s;
+          (* Fraction of the pool domains' lifetime spent running jobs;
+             the pool only exists with two or more domains. *)
+          (if jobs > 1 then
+             Printf.sprintf "%.0f%%" (100.0 *. busy_s /. (float_of_int jobs *. seconds))
+           else "-");
         ])
     timings;
   Table.print t;
@@ -464,10 +503,14 @@ let parallel options =
   p "  \"cpu_cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"domains\": [\n";
   List.iteri
-    (fun i (jobs, seconds, _) ->
-      p "    { \"jobs\": %d, \"wall_seconds\": %.3f, \"speedup\": %.3f }%s\n" jobs
-        seconds
+    (fun i (jobs, seconds, _, (eval_s, sched_s, dvs_s, busy_s, wait_s)) ->
+      p
+        "    { \"jobs\": %d, \"wall_seconds\": %.3f, \"speedup\": %.3f, \
+         \"eval_seconds\": %.3f, \"sched_seconds\": %.3f, \"dvs_seconds\": %.3f, \
+         \"pool_busy_seconds\": %.3f, \"pool_wait_seconds\": %.3f }%s\n"
+        jobs seconds
         (serial_seconds /. seconds)
+        eval_s sched_s dvs_s busy_s wait_s
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ],\n";

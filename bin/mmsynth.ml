@@ -112,6 +112,84 @@ let no_eval_cache_arg =
     & info [ "no-eval-cache" ]
         ~doc:"Disable the genome-evaluation memoization cache (enabled by default).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace_event file of the run (open it in Perfetto or \
+           chrome://tracing). Tracing never changes synthesis results.")
+
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:"Record the trace as one JSON event per line (for ad-hoc tooling).")
+
+let trace_fine_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-fine" ]
+        ~doc:
+          "Include fine-grained spans (per-evaluation fitness phases, scheduler and \
+           DVS invocations) in the trace. Large: expect one span per fitness phase \
+           per evaluation.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect counters, latency histograms and per-generation GA series, write \
+           them to FILE as JSON and print a summary after the report.")
+
+let log_level_arg =
+  let parse s =
+    match Mm_obs.Log.level_of_string s with
+    | Ok level -> Ok level
+    | Stdlib.Error message -> Error (`Msg message)
+  in
+  let print ppf level = Format.pp_print_string ppf (Mm_obs.Log.level_to_string level) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Mm_obs.Log.Warn
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Diagnostic verbosity on stderr: quiet, error, warn, info or debug.")
+
+(* Flip the observability switches requested on the command line, run the
+   subcommand body, then flush the sinks and write the metrics file.
+   Unwritable paths surface as ordinary CLI errors, not crashes.  Shared
+   by the subcommands that run a synthesis. *)
+let with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level f =
+  let finish () =
+    Mm_obs.Trace.close ();
+    match metrics with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Mm_obs.Metrics.to_json_string ());
+      output_char oc '\n';
+      close_out oc;
+      Report.print_metrics ();
+      Format.printf "metrics written to %s@." path
+  in
+  match
+    Mm_obs.Log.set_level log_level;
+    Option.iter (fun path -> Mm_obs.Trace.open_chrome ~path) trace;
+    Option.iter (fun path -> Mm_obs.Trace.open_jsonl ~path) trace_jsonl;
+    if trace_fine then Mm_obs.Control.set_fine true;
+    if Option.is_some metrics then Mm_obs.Control.set_metrics true;
+    Fun.protect ~finally:finish f
+  with
+  | result -> result
+  | exception Sys_error message ->
+    Mm_obs.Trace.close ();
+    Error (`Msg message)
+  | exception Fun.Finally_raised (Sys_error message) -> Error (`Msg message)
+
 let config_of ?(jobs = 1) ?(no_eval_cache = false) ~dvs ~uniform ~generations
     ~population () =
   {
@@ -170,7 +248,9 @@ let show_cmd =
 
 (* --- synth ------------------------------------------------------------------- *)
 
-let synth spec seed dvs uniform generations population jobs no_eval_cache =
+let synth spec seed dvs uniform generations population jobs no_eval_cache trace
+    trace_jsonl trace_fine metrics log_level =
+  with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let config = config_of ~jobs ~no_eval_cache ~dvs ~uniform ~generations ~population () in
   let result = Synthesis.run ~config ~spec ~seed () in
   Report.print_result spec result;
@@ -181,7 +261,8 @@ let synth_cmd =
     Term.(
       term_result
         (const synth $ benchmark_arg $ seed_arg $ dvs_arg $ uniform_arg
-       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg))
+       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg $ trace_arg
+       $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
   in
   Cmd.v
     (Cmd.info "synth"
@@ -190,7 +271,9 @@ let synth_cmd =
 
 (* --- compare ------------------------------------------------------------------ *)
 
-let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cache =
+let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cache trace
+    trace_jsonl trace_fine metrics log_level =
+  with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let ga =
     {
       Engine.default_config with
@@ -217,7 +300,8 @@ let compare_cmd =
     Term.(
       term_result
         (const compare_cmd_impl $ benchmark_arg $ seed_arg $ dvs_arg $ runs_arg
-       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg))
+       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg $ trace_arg
+       $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
   in
   Cmd.v
     (Cmd.info "compare"

@@ -25,8 +25,19 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~weighting ~s
       eval_cache;
     }
   in
+  (* One cache per arm, shared across its repeated runs: later runs reuse
+     evaluations the earlier ones already paid for.  Sharing cannot
+     change any synthesised result (evaluation is pure, cached values
+     exact); the statistics reset keeps each run's hit-rate figures
+     clean of its predecessors' traffic. *)
+  let cache =
+    if eval_cache > 0 then Some (Mm_parallel.Memo.create ~capacity:eval_cache)
+    else None
+  in
   let results =
-    List.init runs (fun r -> Synthesis.run ~config ~spec ~seed:(seed + r) ())
+    List.init runs (fun r ->
+        Option.iter Mm_parallel.Memo.reset_stats cache;
+        Synthesis.run ~config ?cache ~spec ~seed:(seed + r) ())
   in
   let powers = List.map Synthesis.average_power results in
   let cpu = List.map (fun r -> r.Synthesis.cpu_seconds) results in

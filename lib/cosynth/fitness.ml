@@ -12,6 +12,18 @@ module Comm_mapping = Mm_sched.Comm_mapping
 module Scaling = Mm_dvs.Scaling
 module Power = Mm_energy.Power
 
+(* Per-phase probes of the fitness pipeline (paper Fig. 4's inner loop):
+   with metrics on, each phase feeds a latency histogram; with fine
+   tracing on, each phase is a span nested under "fitness/eval".  All
+   fine-grained — thousands of evaluations per GA run would swamp a
+   coarse trace. *)
+let p_eval = Mm_obs.Probe.create ~fine:true "fitness/eval"
+let p_mobility = Mm_obs.Probe.create ~fine:true "fitness/mobility"
+let p_alloc = Mm_obs.Probe.create ~fine:true "fitness/core_alloc"
+let p_schedule = Mm_obs.Probe.create ~fine:true "fitness/schedule"
+let p_dvs = Mm_obs.Probe.create ~fine:true "fitness/dvs"
+let p_power = Mm_obs.Probe.create ~fine:true "fitness/power"
+
 type weighting = True_probabilities | Uniform
 
 type dvs = No_dvs | Dvs of Scaling.config
@@ -84,34 +96,43 @@ let mode_mobility spec mapping mode =
   Mobility.compute graph ~exec_time ~comm_time ~horizon:(Mode.period mode_rec)
 
 let evaluate_mapping config spec mapping =
+  Mm_obs.Probe.run p_eval @@ fun () ->
   let omsm = Spec.omsm spec in
   let arch = Spec.arch spec in
   let tech = Spec.tech spec in
   let n_modes = Omsm.n_modes omsm in
-  let mobilities = Array.init n_modes (mode_mobility spec mapping) in
-  let alloc = Core_alloc.allocate spec mapping ~mobilities in
+  let mobilities =
+    Mm_obs.Probe.run p_mobility (fun () ->
+        Array.init n_modes (mode_mobility spec mapping))
+  in
+  let alloc =
+    Mm_obs.Probe.run p_alloc (fun () -> Core_alloc.allocate spec mapping ~mobilities)
+  in
   let schedules =
-    Array.init n_modes (fun mode ->
-        let mode_rec = Omsm.mode omsm mode in
-        List_scheduler.run ~policy:config.scheduler_policy
-          {
-            List_scheduler.mode_id = mode;
-            graph = Mode.graph mode_rec;
-            arch;
-            tech;
-            mapping = (mapping : Mapping.t :> int array array).(mode);
-            instances = (fun ~pe ~ty -> max 1 (Core_alloc.instances alloc ~mode ~pe ~ty));
-            period = Mode.period mode_rec;
-          })
+    Mm_obs.Probe.run p_schedule (fun () ->
+        Array.init n_modes (fun mode ->
+            let mode_rec = Omsm.mode omsm mode in
+            List_scheduler.run ~policy:config.scheduler_policy
+              {
+                List_scheduler.mode_id = mode;
+                graph = Mode.graph mode_rec;
+                arch;
+                tech;
+                mapping = (mapping : Mapping.t :> int array array).(mode);
+                instances =
+                  (fun ~pe ~ty -> max 1 (Core_alloc.instances alloc ~mode ~pe ~ty));
+                period = Mode.period mode_rec;
+              }))
   in
   let scalings =
-    Array.init n_modes (fun mode ->
-        let graph = Mode.graph (Omsm.mode omsm mode) in
-        match config.dvs with
-        | No_dvs -> Scaling.nominal ~graph ~arch ~tech ~schedule:schedules.(mode) ()
-        | Dvs scaling_config ->
-          Scaling.run ~config:scaling_config ~graph ~arch ~tech
-            ~schedule:schedules.(mode) ())
+    Mm_obs.Probe.run p_dvs (fun () ->
+        Array.init n_modes (fun mode ->
+            let graph = Mode.graph (Omsm.mode omsm mode) in
+            match config.dvs with
+            | No_dvs -> Scaling.nominal ~graph ~arch ~tech ~schedule:schedules.(mode) ()
+            | Dvs scaling_config ->
+              Scaling.run ~config:scaling_config ~graph ~arch ~tech
+                ~schedule:schedules.(mode) ()))
   in
   (* Timing: post-compaction / post-scaling finish times against
      min(deadline, period), normalised by the period. *)
@@ -132,9 +153,10 @@ let evaluate_mapping config spec mapping =
       scalings.(mode).Scaling.stretched_finish
   done;
   let mode_powers =
-    Array.init n_modes (fun mode ->
-        Power.mode_power ~arch ~schedule:schedules.(mode)
-          ~dyn_energy:scalings.(mode).Scaling.total_dyn_energy)
+    Mm_obs.Probe.run p_power (fun () ->
+        Array.init n_modes (fun mode ->
+            Power.mode_power ~arch ~schedule:schedules.(mode)
+              ~dyn_energy:scalings.(mode).Scaling.total_dyn_energy))
   in
   let true_probabilities =
     Array.init n_modes (fun mode -> Mode.probability (Omsm.mode omsm mode))

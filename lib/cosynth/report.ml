@@ -62,3 +62,28 @@ let pp_result spec ppf (result : Synthesis.result) =
 
 let print_result spec result =
   Format.printf "%a@?" (pp_result spec) result
+
+let pp_metrics ppf () =
+  let snap = Mm_obs.Metrics.snapshot () in
+  let nonzero_counters = List.filter (fun (_, v) -> v <> 0) snap.Mm_obs.Metrics.counters in
+  let live_histograms =
+    List.filter
+      (fun (_, h) -> h.Mm_obs.Metrics.count > 0)
+      snap.Mm_obs.Metrics.histograms
+  in
+  if nonzero_counters <> [] || live_histograms <> [] then begin
+    Format.fprintf ppf "metrics:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-24s %d@." name v)
+      nonzero_counters;
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "  %-24s n=%-7d total %.1f ms, mean %.0f µs, max %.0f µs@."
+          name h.Mm_obs.Metrics.count
+          (h.Mm_obs.Metrics.sum /. 1e3)
+          (h.Mm_obs.Metrics.sum /. float_of_int h.Mm_obs.Metrics.count)
+          h.Mm_obs.Metrics.max)
+      live_histograms
+  end
+
+let print_metrics () = Format.printf "%a@?" pp_metrics ()

@@ -9,3 +9,11 @@ val pp_result : Spec.t -> Format.formatter -> Synthesis.result -> unit
 
 val print_result : Spec.t -> Synthesis.result -> unit
 (** [pp_result] to stdout. *)
+
+val pp_metrics : Format.formatter -> unit -> unit
+(** Summary of the current {!Mm_obs.Metrics} snapshot — non-zero
+    counters plus count/total/mean/max for every populated histogram.
+    Prints nothing while metrics collection is disabled. *)
+
+val print_metrics : unit -> unit
+(** [pp_metrics] to stdout. *)

@@ -2,6 +2,11 @@ module Prng = Mm_util.Prng
 module Engine = Mm_ga.Engine
 module Pool = Mm_parallel.Pool
 module Memo = Mm_parallel.Memo
+module Log = Mm_obs.Log
+
+(* Coarse spans: one per synthesis run, one per GA restart inside it. *)
+let p_run = Mm_obs.Probe.create "synthesis/run"
+let p_restart = Mm_obs.Probe.create "synthesis/restart"
 
 type config = {
   fitness : Fitness.config;
@@ -23,6 +28,8 @@ let default_config =
     jobs = 1;
     eval_cache = default_eval_cache;
   }
+
+type cache = (float * Fitness.eval) Memo.t
 
 type result = {
   genome : int array;
@@ -145,7 +152,9 @@ let anchors spec =
   let all = match greedy_timing_anchor spec with Some g -> base @ [ g ] | None -> base in
   List.sort_uniq compare all
 
-let run ?(config = default_config) ~spec ~seed () =
+let run ?(config = default_config) ?cache ~spec ~seed () =
+  Mm_obs.Probe.run ~args:(fun () -> [ ("seed", string_of_int seed) ]) p_run
+  @@ fun () ->
   let rng = Prng.create ~seed in
   let problem =
     {
@@ -167,8 +176,14 @@ let run ?(config = default_config) ~spec ~seed () =
   let pool = if config.jobs > 1 then Some (Pool.create ~domains:config.jobs ()) else None in
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
   let cache =
-    if config.eval_cache > 0 then Some (Memo.create ~capacity:config.eval_cache)
-    else None
+    (* An externally supplied cache (shared across runs by the experiment
+       harness) wins over the per-run one; caching is exact, so sharing
+       changes evaluation counts but never a synthesised result. *)
+    match cache with
+    | Some _ -> cache
+    | None ->
+      if config.eval_cache > 0 then Some (Memo.create ~capacity:config.eval_cache)
+      else None
   in
   let strategy =
     match (pool, cache) with
@@ -180,8 +195,19 @@ let run ?(config = default_config) ~spec ~seed () =
   let restarts = max 1 config.restarts in
   let started = Sys.time () in
   let runs =
-    List.init restarts (fun _ ->
-        Engine.run ~config:config.ga ~strategy ~rng:(Prng.split rng) problem)
+    List.init restarts (fun restart ->
+        Mm_obs.Probe.run
+          ~args:(fun () -> [ ("restart", string_of_int restart) ])
+          p_restart
+          (fun () ->
+            let result =
+              Engine.run ~config:config.ga ~strategy ~rng:(Prng.split rng) problem
+            in
+            Log.debug (fun () ->
+                Printf.sprintf "seed %d restart %d/%d: fitness %.6g in %d generations"
+                  seed (restart + 1) restarts result.Engine.best_fitness
+                  result.Engine.generations);
+            result))
   in
   let cpu_seconds = Sys.time () -. started in
   let best =
@@ -192,6 +218,12 @@ let run ?(config = default_config) ~spec ~seed () =
         (fun acc r -> if r.Engine.best_fitness < acc.Engine.best_fitness then r else acc)
         first rest
   in
+  Log.info (fun () ->
+      Printf.sprintf
+        "synthesis seed %d: power %.6g W, fitness %.6g, %d evaluations, %.2fs CPU" seed
+        best.Engine.best_info.Fitness.true_power best.Engine.best_fitness
+        (List.fold_left (fun acc r -> acc + r.Engine.evaluations) 0 runs)
+        cpu_seconds);
   {
     genome = best.Engine.best_genome;
     eval = best.Engine.best_info;

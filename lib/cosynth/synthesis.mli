@@ -64,7 +64,17 @@ val anchors : Spec.t -> int array list
 (** {!software_anchors} plus {!greedy_timing_anchor}, deduplicated — the
     initial genomes every synthesis run is seeded with. *)
 
-val run : ?config:config -> spec:Spec.t -> seed:int -> unit -> result
+type cache = (float * Fitness.eval) Mm_parallel.Memo.t
+(** The genome→evaluation memoization cache a run evaluates through. *)
+
+val run : ?config:config -> ?cache:cache -> spec:Spec.t -> seed:int -> unit -> result
+(** [cache] supplies an external memoization cache instead of the
+    per-run one [config.eval_cache] would create — the experiment
+    harness shares one cache across an arm's repeated runs (and resets
+    its statistics between them, see {!Mm_parallel.Memo.reset_stats}).
+    Because evaluation is pure and cached values are exact, a shared
+    cache never changes a synthesised result, only the evaluation
+    counts. *)
 
 val average_power : result -> float
 (** The result's average power under the true mode probabilities. *)

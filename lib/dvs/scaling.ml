@@ -475,7 +475,12 @@ let assemble ~graph ~arch ~(schedule : Schedule.t) dag feasible =
   in
   (task_voltages, task_energy, stretched_finish, List.rev !hw_segments, comm_energy, feasible)
 
+(* Fine-grained: one span per voltage-scaled mode ([nominal] passes
+   through here too, with scaling disabled on both rails). *)
+let p_run = Mm_obs.Probe.create ~fine:true "dvs/scale"
+
 let run ?(config = default_config) ~graph ~arch ~tech ~schedule () =
+  Mm_obs.Probe.run p_run @@ fun () ->
   let dag = build_dag ~config ~graph ~arch ~tech ~schedule in
   let feasible = scale ~strategy:config.strategy dag in
   let task_voltages, task_energy, stretched_finish, hw_segments, comm_energy, feasible =

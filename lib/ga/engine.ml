@@ -1,6 +1,21 @@
 module Prng = Mm_util.Prng
 module Pool = Mm_parallel.Pool
 module Memo = Mm_parallel.Memo
+module Metrics = Mm_obs.Metrics
+
+(* GA observability: one span per generation (coarse), per-generation
+   convergence series, and counters mirroring the per-run [result]
+   fields so a whole process's GA activity is visible in metrics.json.
+   Everything is gated on the global metrics/tracing switches and
+   records no random state, so instrumentation cannot perturb a run. *)
+let p_generation = Mm_obs.Probe.create "ga/generation"
+let m_generations = Metrics.counter "ga/generations"
+let m_evaluations = Metrics.counter "ga/evaluations"
+let m_cache_hits = Metrics.counter "ga/cache_hits"
+let s_best = Metrics.series "ga/best_fitness"
+let s_mean = Metrics.series "ga/mean_fitness"
+let s_diversity = Metrics.series "ga/diversity"
+let s_stagnation = Metrics.series "ga/stagnation"
 
 type config = {
   population_size : int;
@@ -101,6 +116,7 @@ let make_batcher problem strategy =
   in
   let eval_misses genomes =
     evaluations := !evaluations + Array.length genomes;
+    Metrics.incr ~by:(Array.length genomes) m_evaluations;
     match pool with
     | Some p -> Pool.map p problem.evaluate genomes
     | None -> Array.map problem.evaluate genomes
@@ -124,11 +140,13 @@ let make_batcher problem strategy =
           match Memo.find c genome with
           | Some r ->
             incr cache_hits;
+            Metrics.incr m_cache_hits;
             results.(i) <- Some r
           | None -> (
             match List.find_opt (fun (g, _) -> g = genome) !misses with
             | Some (_, slots) ->
               incr cache_hits;
+            Metrics.incr m_cache_hits;
               slots := i :: !slots
             | None -> misses := (genome, ref [ i ]) :: !misses))
         genomes;
@@ -209,8 +227,26 @@ let run ?(config = default_config) ?(strategy = Serial) ~rng problem =
     in
     !population.(tournament (draw ()) (config.tournament_size - 1))
   in
+  (* Per-generation convergence statistics; [diversity ()] is recomputed
+     only when metrics are on (it is O(population × genome)). *)
+  let record_generation () =
+    if Mm_obs.Control.metrics_on () then begin
+      Metrics.incr m_generations;
+      let members = !population in
+      let n = Array.length members in
+      let sum = Array.fold_left (fun acc m -> acc +. m.fitness) 0.0 members in
+      Metrics.append s_best !best.fitness;
+      Metrics.append s_mean (sum /. float_of_int n);
+      Metrics.append s_diversity (diversity ());
+      Metrics.append s_stagnation (float_of_int !stagnation)
+    end
+  in
   while !generation < config.max_generations && not (converged ()) do
     incr generation;
+    Mm_obs.Probe.run
+      ~args:(fun () -> [ ("generation", string_of_int !generation) ])
+      p_generation
+    @@ fun () ->
     let snapshot =
       {
         generation = !generation;
@@ -273,7 +309,8 @@ let run ?(config = default_config) ?(strategy = Serial) ~rng problem =
       stagnation := 0
     end
     else incr stagnation;
-    history := !best.fitness :: !history
+    history := !best.fitness :: !history;
+    record_generation ()
   done;
   {
     best_genome = Array.copy !best.genome;

@@ -1,0 +1,2 @@
+let origin = Unix.gettimeofday ()
+let now_us () = (Unix.gettimeofday () -. origin) *. 1e6

@@ -1,0 +1,10 @@
+(** Wall-clock timestamps for trace events, in microseconds since the
+    process-wide trace origin (the moment this module was initialised).
+
+    Chrome's [trace_event] format wants microsecond timestamps that fit
+    comfortably in a double; anchoring at the process start keeps them
+    small.  The clock is [Unix.gettimeofday]-based: resolution is ~1 µs
+    on Linux, which is fine for the millisecond-scale phases we time. *)
+
+val now_us : unit -> float
+(** Microseconds elapsed since the trace origin. *)

@@ -1,0 +1,22 @@
+(** Global observability switches.
+
+    Everything in [mm_obs] is disabled by default: a disabled probe costs
+    one atomic load and a branch, so instrumented code paths keep their
+    tier-1 runtimes and determinism.  The switches are atomics so worker
+    domains observe a consistent value without locking; they are meant to
+    be flipped before work is submitted (CLI start-up, bench harness),
+    not concurrently with it. *)
+
+val tracing_on : unit -> bool
+(** Spans and instants are emitted (at least one trace sink is open). *)
+
+val fine_on : unit -> bool
+(** Fine-grained (inner-loop) spans are emitted too.  Implies nothing
+    about {!tracing_on}: both are checked at the probe site. *)
+
+val metrics_on : unit -> bool
+(** Counters, gauges, histograms and series record values. *)
+
+val set_tracing : bool -> unit
+val set_fine : bool -> unit
+val set_metrics : bool -> unit

@@ -1,0 +1,42 @@
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let str b s =
+  Buffer.add_char b '"';
+  escape b s;
+  Buffer.add_char b '"'
+
+let number b f =
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" f)
+  else Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+let int b i = Buffer.add_string b (string_of_int i)
+let bool b v = Buffer.add_string b (if v then "true" else "false")
+
+let field_sep b ~first =
+  if !first then first := false else Buffer.add_char b ','
+
+let string_fields b fields =
+  Buffer.add_char b '{';
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      field_sep b ~first;
+      str b k;
+      Buffer.add_char b ':';
+      str b v)
+    fields;
+  Buffer.add_char b '}'

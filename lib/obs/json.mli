@@ -1,0 +1,27 @@
+(** A minimal JSON writer.
+
+    The repository deliberately has no JSON dependency; the observability
+    sinks only need to {e emit} JSON (JSONL event logs, Chrome traces,
+    [metrics.json]), so a Buffer-based writer covers everything.  Readers
+    live in the test suite, which parses what these functions produce. *)
+
+val escape : Buffer.t -> string -> unit
+(** Append the JSON string-escaped form of the argument (no quotes). *)
+
+val str : Buffer.t -> string -> unit
+(** Append a quoted, escaped JSON string. *)
+
+val number : Buffer.t -> float -> unit
+(** Append a JSON number.  Non-finite floats become [null] (JSON has no
+    NaN/infinity); integral values print without an exponent. *)
+
+val int : Buffer.t -> int -> unit
+
+val bool : Buffer.t -> bool -> unit
+
+val field_sep : Buffer.t -> first:bool ref -> unit
+(** Append [","] unless [!first], and clear [first]: the usual comma
+    state machine for hand-rolled object/array emission. *)
+
+val string_fields : Buffer.t -> (string * string) list -> unit
+(** Append [{"k":"v",…}] for an association list of string fields. *)

@@ -1,0 +1,45 @@
+type level = Quiet | Error | Warn | Info | Debug
+
+let rank = function Quiet -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let current = Atomic.make (rank Warn)
+
+let set_level l = Atomic.set current (rank l)
+
+let level () =
+  match Atomic.get current with
+  | 0 -> Quiet
+  | 1 -> Error
+  | 2 -> Warn
+  | 3 -> Info
+  | _ -> Debug
+
+let level_to_string = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "quiet" -> Ok Quiet
+  | "error" -> Ok Error
+  | "warn" | "warning" -> Ok Warn
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | _ -> Stdlib.Error (Printf.sprintf "unknown log level %S" s)
+
+let log l message =
+  if rank l <= Atomic.get current then begin
+    let line =
+      Printf.sprintf "[mmsyn] %s: %s\n" (level_to_string l) (message ())
+    in
+    output_string stderr line;
+    flush stderr
+  end
+
+let error m = log Error m
+let warn m = log Warn m
+let info m = log Info m
+let debug m = log Debug m

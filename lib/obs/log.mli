@@ -1,0 +1,22 @@
+(** Leveled logging to stderr.
+
+    Messages are built lazily — a disabled level costs one atomic load —
+    and written in one [output_string] so concurrent domains do not
+    interleave partial lines. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+val set_level : level -> unit
+(** Default level is {!Warn}. *)
+
+val level : unit -> level
+
+val level_of_string : string -> (level, string) result
+(** Accepts ["quiet"], ["error"], ["warn"], ["info"], ["debug"]. *)
+
+val level_to_string : level -> string
+
+val error : (unit -> string) -> unit
+val warn : (unit -> string) -> unit
+val info : (unit -> string) -> unit
+val debug : (unit -> string) -> unit

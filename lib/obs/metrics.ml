@@ -1,0 +1,233 @@
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  h_buckets : float array;
+  h_counts : int Atomic.t array;  (* length buckets + 1, last = overflow *)
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+}
+
+type series = { mutable points : float list (* newest first *) }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+  | Series of series
+
+(* One registry lock: registration happens at module initialisation and
+   series appends happen on the coordinating domain, so the lock is
+   never contended on a hot path.  Counter/gauge/histogram *recording*
+   never takes it. *)
+let lock = Mutex.create ()
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let find_or_add name make =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        m)
+
+let counter name =
+  match find_or_add name (fun () -> Counter (Atomic.make 0)) with
+  | Counter c -> c
+  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type")
+
+let incr ?(by = 1) c = if Control.metrics_on () then ignore (Atomic.fetch_and_add c by)
+
+let gauge name =
+  match find_or_add name (fun () -> Gauge (Atomic.make 0.0)) with
+  | Gauge g -> g
+  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type")
+
+let set g v = if Control.metrics_on () then Atomic.set g v
+
+let default_time_buckets =
+  (* 1-2-5 per decade, 1 µs .. 10 s. *)
+  [|
+    1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1e3; 2e3; 5e3; 1e4; 2e4;
+    5e4; 1e5; 2e5; 5e5; 1e6; 2e6; 5e6; 1e7;
+  |]
+
+let histogram ?(buckets = default_time_buckets) name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg ("Metrics.histogram: " ^ name ^ " buckets not increasing"))
+    buckets;
+  let make () =
+    Histogram
+      {
+        h_buckets = Array.copy buckets;
+        h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+        h_count = Atomic.make 0;
+        h_sum = Atomic.make 0.0;
+        h_min = Atomic.make infinity;
+        h_max = Atomic.make neg_infinity;
+      }
+  in
+  match find_or_add name make with
+  | Histogram h -> h
+  | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another type")
+
+let rec atomic_update cell f =
+  let v = Atomic.get cell in
+  let v' = f v in
+  if v' <> v && not (Atomic.compare_and_set cell v v') then atomic_update cell f
+
+let bucket_index buckets v =
+  (* First bucket whose upper bound admits [v]; length buckets = overflow. *)
+  let n = Array.length buckets in
+  let rec go lo hi =
+    (* Invariant: every bucket < lo is too small, every bucket >= hi admits v. *)
+    if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if v <= buckets.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h v =
+  if Control.metrics_on () then begin
+    ignore (Atomic.fetch_and_add h.h_counts.(bucket_index h.h_buckets v) 1);
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    atomic_update h.h_sum (fun s -> s +. v);
+    atomic_update h.h_min (fun m -> Float.min m v);
+    atomic_update h.h_max (fun m -> Float.max m v)
+  end
+
+let series name =
+  match find_or_add name (fun () -> Series { points = [] }) with
+  | Series s -> s
+  | _ -> invalid_arg ("Metrics.series: " ^ name ^ " registered with another type")
+
+let append s v =
+  if Control.metrics_on () then locked (fun () -> s.points <- v :: s.points)
+
+type histogram_snapshot = {
+  buckets : float array;
+  counts : int array;
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+  series : (string * float array) list;
+}
+
+let snapshot () =
+  locked (fun () ->
+      let by_name (a, _) (b, _) = compare (a : string) b in
+      let counters = ref [] and gauges = ref [] in
+      let histograms = ref [] and all_series = ref [] in
+      Hashtbl.iter
+        (fun name m ->
+          match m with
+          | Counter c -> counters := (name, Atomic.get c) :: !counters
+          | Gauge g -> gauges := (name, Atomic.get g) :: !gauges
+          | Histogram h ->
+            let snap =
+              {
+                buckets = Array.copy h.h_buckets;
+                counts = Array.map Atomic.get h.h_counts;
+                count = Atomic.get h.h_count;
+                sum = Atomic.get h.h_sum;
+                min = Atomic.get h.h_min;
+                max = Atomic.get h.h_max;
+              }
+            in
+            histograms := (name, snap) :: !histograms
+          | Series s ->
+            all_series :=
+              (name, Array.of_list (List.rev s.points)) :: !all_series)
+        registry;
+      {
+        counters = List.sort by_name !counters;
+        gauges = List.sort by_name !gauges;
+        histograms = List.sort by_name !histograms;
+        series = List.sort by_name !all_series;
+      })
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.0
+          | Histogram h ->
+            Array.iter (fun c -> Atomic.set c 0) h.h_counts;
+            Atomic.set h.h_count 0;
+            Atomic.set h.h_sum 0.0;
+            Atomic.set h.h_min infinity;
+            Atomic.set h.h_max neg_infinity
+          | Series s -> s.points <- [])
+        registry)
+
+let to_json_string () =
+  let snap = snapshot () in
+  let b = Buffer.create 4096 in
+  let obj fields emit =
+    Buffer.add_char b '{';
+    let first = ref true in
+    List.iter
+      (fun (name, v) ->
+        Json.field_sep b ~first;
+        Json.str b name;
+        Buffer.add_char b ':';
+        emit v)
+      fields;
+    Buffer.add_char b '}'
+  in
+  let float_array a =
+    Buffer.add_char b '[';
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        Json.number b v)
+      a;
+    Buffer.add_char b ']'
+  in
+  Buffer.add_string b "{\"counters\":";
+  obj snap.counters (fun v -> Json.int b v);
+  Buffer.add_string b ",\"gauges\":";
+  obj snap.gauges (fun v -> Json.number b v);
+  Buffer.add_string b ",\"histograms\":";
+  obj snap.histograms (fun (h : histogram_snapshot) ->
+      Buffer.add_string b "{\"le\":";
+      float_array h.buckets;
+      Buffer.add_string b ",\"counts\":[";
+      Array.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_char b ',';
+          Json.int b c)
+        h.counts;
+      Buffer.add_string b "],\"count\":";
+      Json.int b h.count;
+      Buffer.add_string b ",\"sum\":";
+      Json.number b h.sum;
+      Buffer.add_string b ",\"min\":";
+      Json.number b h.min;
+      Buffer.add_string b ",\"max\":";
+      Json.number b h.max;
+      Buffer.add_char b '}');
+  Buffer.add_string b ",\"series\":";
+  obj snap.series float_array;
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -1,0 +1,75 @@
+(** A process-global metrics registry: counters, gauges, fixed-bucket
+    histograms and append-only series.
+
+    Instrumentation sites create their handles once at module
+    initialisation ([let m = Metrics.counter "pool/batches"]) and then
+    record through them; creation is idempotent — the same name always
+    yields the same underlying cell, so libraries and tests can share
+    metrics by name alone.
+
+    Recording is gated on {!Control.metrics_on} and is domain-safe:
+    counters and histogram buckets are atomics, so worker domains can
+    record concurrently; gauges are last-writer-wins atomics; series
+    appends take the registry lock (they happen on the coordinating
+    domain — per-generation GA statistics — where contention is nil).
+
+    {!reset} zeroes every value but keeps the registered handles, which
+    is how the bench harness separates per-run numbers from earlier runs
+    sharing the same process (and the same caches). *)
+
+type counter
+type gauge
+type histogram
+type series
+
+val counter : string -> counter
+val incr : ?by:int -> counter -> unit
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+
+val default_time_buckets : float array
+(** Upper bounds in microseconds, log-spaced 1 µs … 10 s: the default
+    for phase-duration histograms. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** [histogram ~buckets name] registers a histogram whose bucket [i]
+    counts observations [v] with [buckets.(i-1) < v <= buckets.(i)]
+    (upper-bound inclusive, Prometheus-style), plus one overflow bucket.
+    [buckets] must be strictly increasing; it defaults to
+    {!default_time_buckets}.  Re-registering an existing name returns
+    the existing histogram unchanged. *)
+
+val observe : histogram -> float -> unit
+
+val series : string -> series
+val append : series -> float -> unit
+(** Append one point; the x-axis is the append index (for the GA series,
+    the generation number in run order). *)
+
+type histogram_snapshot = {
+  buckets : float array;
+  counts : int array;  (** length [Array.length buckets + 1]; last = overflow. *)
+  count : int;
+  sum : float;
+  min : float;  (** [+∞] when empty. *)
+  max : float;  (** [-∞] when empty. *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_snapshot) list;
+  series : (string * float array) list;
+}
+(** All association lists are sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every counter, gauge, histogram and series; registered handles
+    stay valid. *)
+
+val to_json_string : unit -> string
+(** The full registry as one JSON object:
+    [{"counters":{…},"gauges":{…},"histograms":{…},"series":{…}}]. *)

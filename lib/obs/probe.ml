@@ -1,0 +1,19 @@
+type t = { name : string; fine : bool; hist : Metrics.histogram }
+
+let create ?(fine = false) name =
+  { name; fine; hist = Metrics.histogram (name ^ "_us") }
+
+let run ?args p f =
+  let traced = Control.tracing_on () && ((not p.fine) || Control.fine_on ()) in
+  let body = if traced then fun () -> Trace.with_span ?args p.name f else f in
+  if not (Control.metrics_on ()) then body ()
+  else begin
+    let t0 = Clock.now_us () in
+    match body () with
+    | v ->
+      Metrics.observe p.hist (Clock.now_us () -. t0);
+      v
+    | exception e ->
+      Metrics.observe p.hist (Clock.now_us () -. t0);
+      raise e
+  end

@@ -1,0 +1,26 @@
+(** A probe is one instrumentation site: a named region whose every
+    execution is timed into a duration histogram (when metrics are on)
+    and emitted as a trace span (when tracing is on).
+
+    Handles are created once at module initialisation; running a probe
+    with everything disabled is two atomic loads and a call of the
+    wrapped function, which is what keeps the instrumented inner loops
+    at their uninstrumented speed.
+
+    [fine] marks inner-loop probes (per-fitness-evaluation phases,
+    per-mode scheduling and voltage scaling): their spans are only
+    emitted when {!Control.fine_on} is also set, so a default traced run
+    stays at the coarse granularity — GA generations, evaluation
+    batches, restarts — and the trace file stays small.  Fine probes
+    still feed their histograms whenever metrics are on. *)
+
+type t
+
+val create : ?fine:bool -> string -> t
+(** [create name] registers the histogram [name ^ "_us"] (microsecond
+    buckets) and names the trace span [name].  [fine] defaults to
+    [false]. *)
+
+val run : ?args:(unit -> (string * string) list) -> t -> (unit -> 'a) -> 'a
+(** Run the wrapped function under the probe.  Exceptions propagate;
+    the duration is recorded either way. *)

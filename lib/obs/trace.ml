@@ -1,0 +1,151 @@
+type kind = Jsonl | Chrome
+
+type sink = { kind : kind; oc : out_channel; mutable n_events : int }
+
+let lock = Mutex.create ()
+
+let sinks : sink list ref = ref []
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let tid () = (Domain.self () :> int)
+
+let open_sink kind path =
+  let oc = open_out path in
+  if kind = Chrome then output_string oc "{\"traceEvents\":[\n";
+  locked (fun () -> sinks := { kind; oc; n_events = 0 } :: !sinks);
+  Control.set_tracing true
+
+let open_jsonl ~path = open_sink Jsonl path
+
+let open_chrome ~path = open_sink Chrome path
+
+type event = {
+  name : string;
+  ts : float;
+  dur : float option;  (* None for instants *)
+  tid : int;
+  depth : int;
+  args : (string * string) list;
+}
+
+let jsonl_line e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"ev\":";
+  Json.str b (match e.dur with Some _ -> "span" | None -> "instant");
+  Buffer.add_string b ",\"name\":";
+  Json.str b e.name;
+  Buffer.add_string b ",\"ts_us\":";
+  Json.number b e.ts;
+  (match e.dur with
+  | Some dur ->
+    Buffer.add_string b ",\"dur_us\":";
+    Json.number b dur
+  | None -> ());
+  Buffer.add_string b ",\"tid\":";
+  Json.int b e.tid;
+  Buffer.add_string b ",\"depth\":";
+  Json.int b e.depth;
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":";
+    Json.string_fields b e.args
+  end;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let chrome_record e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"name\":";
+  Json.str b e.name;
+  Buffer.add_string b ",\"cat\":\"mmsyn\",\"ph\":";
+  (match e.dur with
+  | Some dur ->
+    Buffer.add_string b "\"X\",\"dur\":";
+    Json.number b dur
+  | None -> Buffer.add_string b "\"i\",\"s\":\"t\"");
+  Buffer.add_string b ",\"ts\":";
+  Json.number b e.ts;
+  Buffer.add_string b ",\"pid\":0,\"tid\":";
+  Json.int b e.tid;
+  if e.args <> [] then begin
+    Buffer.add_string b ",\"args\":";
+    Json.string_fields b e.args
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let emit e =
+  (* Format outside the lock; only the channel writes are serialised. *)
+  let targets = !sinks in
+  let line = lazy (jsonl_line e) in
+  let record = lazy (chrome_record e) in
+  if targets <> [] then
+    locked (fun () ->
+        List.iter
+          (fun sink ->
+            match sink.kind with
+            | Jsonl -> output_string sink.oc (Lazy.force line)
+            | Chrome ->
+              if sink.n_events > 0 then output_string sink.oc ",\n";
+              output_string sink.oc (Lazy.force record);
+              sink.n_events <- sink.n_events + 1)
+          !sinks)
+
+let eval_args args = match args with None -> [] | Some f -> f ()
+
+let with_span ?args name f =
+  if not (Control.tracing_on ()) then f ()
+  else begin
+    let depth = Domain.DLS.get depth_key in
+    let d = !depth in
+    depth := d + 1;
+    let t0 = Clock.now_us () in
+    let finish () =
+      let t1 = Clock.now_us () in
+      depth := d;
+      emit
+        {
+          name;
+          ts = t0;
+          dur = Some (t1 -. t0);
+          tid = tid ();
+          depth = d;
+          args = eval_args args;
+        }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let instant ?args name =
+  if Control.tracing_on () then
+    emit
+      {
+        name;
+        ts = Clock.now_us ();
+        dur = None;
+        tid = tid ();
+        depth = !(Domain.DLS.get depth_key);
+        args = eval_args args;
+      }
+
+let flush () = locked (fun () -> List.iter (fun s -> flush s.oc) !sinks)
+
+let close () =
+  locked (fun () ->
+      List.iter
+        (fun s ->
+          if s.kind = Chrome then output_string s.oc "\n]}\n";
+          close_out s.oc)
+        !sinks;
+      sinks := []);
+  Control.set_tracing false

@@ -1,0 +1,44 @@
+(** Nestable timed spans emitted to pluggable sinks.
+
+    Two sink formats are built in:
+
+    - {b JSONL}: one JSON object per line, one line per event — easy to
+      grep and to post-process.
+    - {b Chrome [trace_event]}: a [{"traceEvents":[…]}] file of complete
+      ("ph":"X") events that loads directly in [chrome://tracing] and
+      {{:https://ui.perfetto.dev}Perfetto}.  Span nesting is implied by
+      timestamp containment per thread id, which is how those viewers
+      render flame graphs.
+
+    Spans are emitted {e at span end} (children before parents) with the
+    start timestamp, duration, the emitting domain's id as [tid], and
+    the nesting depth at the time the span was opened (tracked
+    per-domain, so concurrent worker spans do not interleave depths).
+
+    Emission is domain-safe: an event is formatted outside the writer
+    lock and appended to every sink under it.  With tracing disabled
+    ({!Control.tracing_on} false, the default) {!with_span} is one
+    atomic load and a call of the wrapped function. *)
+
+val open_jsonl : path:string -> unit
+(** Open a JSONL sink and enable tracing.  Raises [Sys_error] if the
+    file cannot be created. *)
+
+val open_chrome : path:string -> unit
+(** Open a Chrome [trace_event] sink and enable tracing. *)
+
+val with_span :
+  ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and emits one complete-span event for
+    it, even when [f] raises.  [args] is only evaluated when the event
+    is actually emitted, so argument construction costs nothing while
+    tracing is disabled. *)
+
+val instant : ?args:(unit -> (string * string) list) -> string -> unit
+(** Emit a zero-duration marker event. *)
+
+val flush : unit -> unit
+
+val close : unit -> unit
+(** Finalise every sink (the Chrome footer makes the file strict JSON),
+    close the channels and disable tracing.  Idempotent. *)

@@ -1,3 +1,9 @@
+(* Global cache-traffic metrics (all caches pooled; per-cache numbers
+   come from the [hits]/[misses] accessors below). *)
+let m_hits = Mm_obs.Metrics.counter "memo/hits"
+let m_misses = Mm_obs.Metrics.counter "memo/misses"
+let m_evictions = Mm_obs.Metrics.counter "memo/evictions"
+
 module Key = struct
   type t = int array
 
@@ -60,11 +66,13 @@ let find t key =
   match H.find_opt t.table key with
   | Some node ->
     t.n_hits <- t.n_hits + 1;
+    Mm_obs.Metrics.incr m_hits;
     unlink t node;
     push_front t node;
     Some node.value
   | None ->
     t.n_misses <- t.n_misses + 1;
+    Mm_obs.Metrics.incr m_misses;
     None
 
 let evict_lru t =
@@ -73,7 +81,8 @@ let evict_lru t =
   | Some lru ->
     unlink t lru;
     H.remove t.table lru.key;
-    t.n_evictions <- t.n_evictions + 1
+    t.n_evictions <- t.n_evictions + 1;
+    Mm_obs.Metrics.incr m_evictions
 
 let add t key value =
   match H.find_opt t.table key with
@@ -93,6 +102,11 @@ let clear t =
   H.reset t.table;
   t.head <- None;
   t.tail <- None
+
+let reset_stats t =
+  t.n_hits <- 0;
+  t.n_misses <- 0;
+  t.n_evictions <- 0
 
 let length t = H.length t.table
 let capacity t = t.cap

@@ -36,6 +36,12 @@ val mem : 'v t -> int array -> bool
 val clear : 'v t -> unit
 (** Drop all entries.  Counters are kept. *)
 
+val reset_stats : 'v t -> unit
+(** Zero the hit/miss/eviction counters while keeping the entries: when
+    one cache is shared across several experiment runs (to reuse learned
+    evaluations), resetting between runs keeps each run's hit-rate
+    figures unpolluted by its predecessors. *)
+
 val length : 'v t -> int
 
 val capacity : 'v t -> int

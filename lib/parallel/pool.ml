@@ -4,6 +4,19 @@
    the input through an atomic cursor, so domains steal work from each
    other rather than owning fixed slices. *)
 
+module Clock = Mm_obs.Clock
+module Control = Mm_obs.Control
+module Metrics = Mm_obs.Metrics
+
+(* Pool utilisation metrics (recorded only when metrics are enabled):
+   batches/items dispatched, summed domain busy time inside batch
+   closures, and summed worker wait time between batches. *)
+let m_batches = Metrics.counter "pool/batches"
+let m_items = Metrics.counter "pool/items"
+let m_busy_us = Metrics.counter "pool/busy_us"
+let m_wait_us = Metrics.counter "pool/wait_us"
+let p_batch = Mm_obs.Probe.create "pool/batch"
+
 type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;
@@ -21,10 +34,14 @@ let worker pool () =
   let seen = ref 0 in
   let running = ref true in
   while !running do
+    let record_wait = Control.metrics_on () in
+    let wait_t0 = if record_wait then Clock.now_us () else 0.0 in
     Mutex.lock pool.mutex;
     while (not pool.closed) && pool.epoch = !seen do
       Condition.wait pool.work_ready pool.mutex
     done;
+    if record_wait then
+      Metrics.incr ~by:(int_of_float (Clock.now_us () -. wait_t0)) m_wait_us;
     if pool.closed then begin
       Mutex.unlock pool.mutex;
       running := false
@@ -33,7 +50,13 @@ let worker pool () =
       seen := pool.epoch;
       let job = pool.job in
       Mutex.unlock pool.mutex;
-      (match job with Some run -> run () | None -> ());
+      (* The batch closure built by [map] already captures any exception
+         its elements raise; this catch-all only guards the pool against
+         a closure that escapes that net (it must never skip the
+         [pending] bookkeeping below, or [map] would wait forever). *)
+      (match job with
+      | Some run -> ( try run () with _ -> ())
+      | None -> ());
       Mutex.lock pool.mutex;
       pool.pending <- pool.pending - 1;
       if pool.pending = 0 then Condition.broadcast pool.work_done;
@@ -94,19 +117,41 @@ let map pool f input =
           done
       done
     in
-    Mutex.lock pool.mutex;
-    pool.job <- Some run;
-    pool.epoch <- pool.epoch + 1;
-    pool.pending <- n_workers;
-    Condition.broadcast pool.work_ready;
-    Mutex.unlock pool.mutex;
-    run ();
-    Mutex.lock pool.mutex;
-    while pool.pending > 0 do
-      Condition.wait pool.work_done pool.mutex
-    done;
-    pool.job <- None;
-    Mutex.unlock pool.mutex;
+    let run =
+      (* Each domain's time inside the batch closure, summed: against the
+         batch wall time this gives the pool's effective utilisation. *)
+      if not (Control.metrics_on ()) then run
+      else
+        fun () ->
+          let t0 = Clock.now_us () in
+          Fun.protect
+            ~finally:(fun () ->
+              Metrics.incr ~by:(int_of_float (Clock.now_us () -. t0)) m_busy_us)
+            run
+    in
+    Metrics.incr m_batches;
+    Metrics.incr ~by:n m_items;
+    Mm_obs.Probe.run
+      ~args:(fun () ->
+        [
+          ("items", string_of_int n);
+          ("domains", string_of_int (n_workers + 1));
+        ])
+      p_batch
+      (fun () ->
+        Mutex.lock pool.mutex;
+        pool.job <- Some run;
+        pool.epoch <- pool.epoch + 1;
+        pool.pending <- n_workers;
+        Condition.broadcast pool.work_ready;
+        Mutex.unlock pool.mutex;
+        run ();
+        Mutex.lock pool.mutex;
+        while pool.pending > 0 do
+          Condition.wait pool.work_done pool.mutex
+        done;
+        pool.job <- None;
+        Mutex.unlock pool.mutex);
     match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.map (function Some v -> v | None -> assert false) results

@@ -72,7 +72,15 @@ let bottom_levels input exec =
   done;
   level
 
+(* Fine-grained: one span per scheduled mode, nested under the fitness
+   evaluation that requested it. *)
+let p_run = Mm_obs.Probe.create ~fine:true "sched/list"
+
 let run ?(policy = Mobility_first) input =
+  Mm_obs.Probe.run
+    ~args:(fun () -> [ ("mode", string_of_int input.mode_id) ])
+    p_run
+  @@ fun () ->
   let n = Graph.n_tasks input.graph in
   if Array.length input.mapping <> n then
     invalid_arg "List_scheduler.run: mapping length mismatch";

@@ -1,0 +1,525 @@
+(* Tests for mm_obs: metrics semantics, span emission, sink
+   well-formedness and the no-perturbation guarantee.
+
+   The metrics registry and the control switches are process-global, so
+   every test restores the switches to their defaults (everything off)
+   and uses test-local metric names. *)
+
+module Control = Mm_obs.Control
+module Metrics = Mm_obs.Metrics
+module Trace = Mm_obs.Trace
+module Probe = Mm_obs.Probe
+module Log = Mm_obs.Log
+module Json = Mm_obs.Json
+module Synthesis = Mm_cosynth.Synthesis
+module Fitness = Mm_cosynth.Fitness
+module Engine = Mm_ga.Engine
+
+(* --- A miniature JSON parser ---------------------------------------------------
+
+   The library only writes JSON (see Mm_obs.Json); the reader lives
+   here, so the tests parse exactly what the sinks emit rather than
+   pattern-matching on substrings. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of json list
+  | Object of (string * json) list
+
+exception Bad_json of string
+
+let parse_json text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail message = raise (Bad_json (Printf.sprintf "%s at byte %d" message !pos)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec chars () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some (('"' | '\\' | '/') as c) ->
+          Buffer.add_char b c;
+          advance ()
+        | Some 'n' ->
+          Buffer.add_char b '\n';
+          advance ()
+        | Some 't' ->
+          Buffer.add_char b '\t';
+          advance ()
+        | Some 'r' ->
+          Buffer.add_char b '\r';
+          advance ()
+        | Some 'b' ->
+          Buffer.add_char b '\b';
+          advance ()
+        | Some 'f' ->
+          Buffer.add_char b '\012';
+          advance ()
+        | Some 'u' ->
+          advance ();
+          let code = ref 0 in
+          for _ = 1 to 4 do
+            (match peek () with
+            | Some ('0' .. '9' as c) -> code := (!code * 16) + Char.code c - Char.code '0'
+            | Some ('a' .. 'f' as c) ->
+              code := (!code * 16) + Char.code c - Char.code 'a' + 10
+            | Some ('A' .. 'F' as c) ->
+              code := (!code * 16) + Char.code c - Char.code 'A' + 10
+            | _ -> fail "bad \\u escape");
+            advance ()
+          done;
+          (* Only the one-byte range matters here: the writer escapes
+             control characters as \u00XX and nothing else. *)
+          if !code < 0x100 then Buffer.add_char b (Char.chr !code)
+          else Buffer.add_char b '?'
+        | _ -> fail "bad escape");
+        chars ()
+      | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        chars ()
+    in
+    chars ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let numeric = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while match peek () with Some c when numeric c -> true | _ -> false do
+      advance ()
+    done;
+    let body = String.sub text start (!pos - start) in
+    match float_of_string_opt body with
+    | Some f -> Number f
+    | None -> fail (Printf.sprintf "bad number %S" body)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Object []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, value) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Object (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Array []
+      end
+      else begin
+        let rec elements acc =
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (value :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (value :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Array (elements [])
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "empty input"
+  in
+  let value = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing bytes";
+  value
+
+let member key = function Object fields -> List.assoc_opt key fields | _ -> None
+
+let member_exn key json =
+  match member key json with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "missing key %S" key)
+
+let as_string = function String s -> s | _ -> Alcotest.fail "expected a string"
+
+let as_number = function Number f -> f | _ -> Alcotest.fail "expected a number"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let jsonl_events path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter (fun line -> line <> "")
+  |> List.map parse_json
+
+let with_defaults_restored f =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.close ();
+      Control.set_fine false;
+      Control.set_metrics false)
+    f
+
+(* --- Json writer --------------------------------------------------------------- *)
+
+let test_json_writer () =
+  let render f =
+    let b = Buffer.create 16 in
+    f b;
+    Buffer.contents b
+  in
+  Alcotest.(check string) "integral float" "3" (render (fun b -> Json.number b 3.0));
+  Alcotest.(check string) "nan is null" "null" (render (fun b -> Json.number b Float.nan));
+  Alcotest.(check string) "infinity is null" "null"
+    (render (fun b -> Json.number b Float.infinity));
+  (* A fractional value must survive a print/parse round trip exactly. *)
+  let v = 0.1 +. 0.2 in
+  Alcotest.(check bool) "floats round-trip" true
+    (as_number (parse_json (render (fun b -> Json.number b v))) = v);
+  let nasty = "a\"b\\c\nd\te\x01f" in
+  Alcotest.(check string) "escaping round-trips" nasty
+    (as_string (parse_json (render (fun b -> Json.str b nasty))))
+
+(* --- Metrics -------------------------------------------------------------------- *)
+
+let test_histogram_bucket_boundaries () =
+  with_defaults_restored @@ fun () ->
+  Control.set_metrics true;
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] "test/hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 10.0; 100.0; 1000.0 ];
+  let snap = Metrics.snapshot () in
+  let hs = List.assoc "test/hist" snap.Metrics.histograms in
+  (* Upper bounds are inclusive: 1.0 lands in the first bucket, 10.0 in
+     the second, 100.0 in the third; 1000.0 overflows. *)
+  Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 1 |] hs.Metrics.counts;
+  Alcotest.(check int) "count" 6 hs.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 1113.0 hs.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 0.5 hs.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 1000.0 hs.Metrics.max
+
+let test_metrics_gating_and_reset () =
+  with_defaults_restored @@ fun () ->
+  Metrics.reset ();
+  let c = Metrics.counter "test/counter" in
+  let g = Metrics.gauge "test/gauge" in
+  let s = Metrics.series "test/series" in
+  (* Disabled: recording is a no-op. *)
+  Metrics.incr c;
+  Metrics.set g 9.0;
+  Metrics.append s 9.0;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter gated" 0 (List.assoc "test/counter" snap.Metrics.counters);
+  Alcotest.(check (float 0.0)) "gauge gated" 0.0
+    (List.assoc "test/gauge" snap.Metrics.gauges);
+  Alcotest.(check int) "series gated" 0
+    (Array.length (List.assoc "test/series" snap.Metrics.series));
+  (* Enabled: values accumulate; creation is idempotent by name. *)
+  Control.set_metrics true;
+  Metrics.incr ~by:3 c;
+  Metrics.incr (Metrics.counter "test/counter");
+  Metrics.set g 2.5;
+  Metrics.append s 1.0;
+  Metrics.append s 2.0;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter" 4 (List.assoc "test/counter" snap.Metrics.counters);
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (List.assoc "test/gauge" snap.Metrics.gauges);
+  Alcotest.(check (array (float 0.0))) "series in order" [| 1.0; 2.0 |]
+    (List.assoc "test/series" snap.Metrics.series);
+  (* Reset zeroes values but keeps handles registered and usable. *)
+  Metrics.reset ();
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter reset" 0 (List.assoc "test/counter" snap.Metrics.counters);
+  Alcotest.(check int) "series reset" 0
+    (Array.length (List.assoc "test/series" snap.Metrics.series));
+  Metrics.incr c;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "handle survives reset" 1
+    (List.assoc "test/counter" snap.Metrics.counters)
+
+let test_metrics_json_parses () =
+  with_defaults_restored @@ fun () ->
+  Control.set_metrics true;
+  Metrics.reset ();
+  Metrics.incr (Metrics.counter "test/json_counter");
+  Metrics.observe (Metrics.histogram "test/json_hist") 17.0;
+  Metrics.append (Metrics.series "test/json_series") 0.25;
+  let json = parse_json (Metrics.to_json_string ()) in
+  let counter = member_exn "test/json_counter" (member_exn "counters" json) in
+  Alcotest.(check (float 0.0)) "counter value" 1.0 (as_number counter);
+  let hist = member_exn "test/json_hist" (member_exn "histograms" json) in
+  Alcotest.(check int) "le/counts lengths"
+    (match member_exn "le" hist with
+    | Array le -> List.length le + 1
+    | _ -> Alcotest.fail "le not an array")
+    (match member_exn "counts" hist with
+    | Array counts -> List.length counts
+    | _ -> Alcotest.fail "counts not an array");
+  Alcotest.(check (float 0.0)) "hist count" 1.0 (as_number (member_exn "count" hist));
+  match member_exn "test/json_series" (member_exn "series" json) with
+  | Array [ Number v ] -> Alcotest.(check (float 0.0)) "series point" 0.25 v
+  | _ -> Alcotest.fail "series malformed"
+
+(* --- Probes --------------------------------------------------------------------- *)
+
+let test_probe_records_and_propagates () =
+  with_defaults_restored @@ fun () ->
+  Control.set_metrics true;
+  Metrics.reset ();
+  let p = Probe.create "test/probe" in
+  Alcotest.(check int) "value passes through" 9 (Probe.run p (fun () -> 9));
+  (match Probe.run p (fun () -> raise Exit) with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ());
+  let snap = Metrics.snapshot () in
+  let hs = List.assoc "test/probe_us" snap.Metrics.histograms in
+  Alcotest.(check int) "both executions timed" 2 hs.Metrics.count
+
+(* --- Trace sinks ---------------------------------------------------------------- *)
+
+let test_jsonl_span_nesting () =
+  with_defaults_restored @@ fun () ->
+  let path = Filename.temp_file "mmsyn_test" ".jsonl" in
+  Trace.open_jsonl ~path;
+  let result =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span ~args:(fun () -> [ ("k", "v\"quoted\"") ]) "inner" (fun () -> 7))
+  in
+  Trace.instant "marker";
+  Trace.close ();
+  Alcotest.(check bool) "tracing off after close" false (Control.tracing_on ());
+  Alcotest.(check int) "with_span returns the value" 7 result;
+  let events = jsonl_events path in
+  Sys.remove path;
+  Alcotest.(check (list string)) "children emitted before parents"
+    [ "inner"; "outer"; "marker" ]
+    (List.map (fun e -> as_string (member_exn "name" e)) events);
+  match events with
+  | [ inner; outer; marker ] ->
+    Alcotest.(check int) "outer depth" 0
+      (int_of_float (as_number (member_exn "depth" outer)));
+    Alcotest.(check int) "inner depth" 1
+      (int_of_float (as_number (member_exn "depth" inner)));
+    let ts e = as_number (member_exn "ts_us" e) in
+    let dur e = as_number (member_exn "dur_us" e) in
+    Alcotest.(check bool) "inner starts after outer" true (ts inner >= ts outer);
+    Alcotest.(check bool) "inner contained in outer" true
+      (ts inner +. dur inner <= ts outer +. dur outer);
+    Alcotest.(check string) "args round-trip" "v\"quoted\""
+      (as_string (member_exn "k" (member_exn "args" inner)));
+    Alcotest.(check string) "instant has no duration" "instant"
+      (as_string (member_exn "ev" marker));
+    Alcotest.(check bool) "instant omits dur_us" true (member "dur_us" marker = None)
+  | _ -> Alcotest.fail "expected exactly three events"
+
+let test_jsonl_span_emitted_on_exception () =
+  with_defaults_restored @@ fun () ->
+  let path = Filename.temp_file "mmsyn_test" ".jsonl" in
+  Trace.open_jsonl ~path;
+  (match Trace.with_span "failing" (fun () -> raise Exit) with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ());
+  Trace.close ();
+  let events = jsonl_events path in
+  Sys.remove path;
+  Alcotest.(check (list string)) "span recorded despite the raise" [ "failing" ]
+    (List.map (fun e -> as_string (member_exn "name" e)) events)
+
+let test_chrome_trace_well_formed () =
+  with_defaults_restored @@ fun () ->
+  let path = Filename.temp_file "mmsyn_test" ".json" in
+  Trace.open_chrome ~path;
+  Trace.with_span "a" (fun () -> Trace.with_span "b" (fun () -> ()));
+  Trace.instant "i";
+  Trace.close ();
+  let json = parse_json (read_file path) in
+  Sys.remove path;
+  match member_exn "traceEvents" json with
+  | Array events ->
+    Alcotest.(check int) "three events" 3 (List.length events);
+    List.iter
+      (fun e ->
+        (* Every event carries the fields the viewers require. *)
+        ignore (as_string (member_exn "name" e));
+        ignore (as_number (member_exn "ts" e));
+        ignore (as_number (member_exn "pid" e));
+        ignore (as_number (member_exn "tid" e));
+        match as_string (member_exn "ph" e) with
+        | "X" -> ignore (as_number (member_exn "dur" e))
+        | "i" -> ()
+        | ph -> Alcotest.fail (Printf.sprintf "unexpected phase %S" ph))
+      events
+  | _ -> Alcotest.fail "traceEvents is not an array"
+
+let test_fine_spans_gated () =
+  with_defaults_restored @@ fun () ->
+  let fine = Probe.create ~fine:true "test/fine" in
+  let coarse = Probe.create "test/coarse" in
+  let names_with ~fine_on =
+    let path = Filename.temp_file "mmsyn_test" ".jsonl" in
+    Trace.open_jsonl ~path;
+    Control.set_fine fine_on;
+    Probe.run fine (fun () -> ());
+    Probe.run coarse (fun () -> ());
+    Trace.close ();
+    Control.set_fine false;
+    let names =
+      List.map (fun e -> as_string (member_exn "name" e)) (jsonl_events path)
+    in
+    Sys.remove path;
+    names
+  in
+  Alcotest.(check (list string)) "fine suppressed by default" [ "test/coarse" ]
+    (names_with ~fine_on:false);
+  Alcotest.(check (list string)) "fine emitted when enabled"
+    [ "test/fine"; "test/coarse" ] (names_with ~fine_on:true)
+
+(* --- Log ------------------------------------------------------------------------ *)
+
+let test_log_level_parsing () =
+  List.iter
+    (fun (name, expected) ->
+      match Log.level_of_string name with
+      | Ok level -> Alcotest.(check string) name expected (Log.level_to_string level)
+      | Stdlib.Error e -> Alcotest.fail e)
+    [
+      ("quiet", "quiet"); ("error", "error"); ("warn", "warn"); ("info", "info");
+      ("debug", "debug");
+    ];
+  match Log.level_of_string "verbose" with
+  | Ok _ -> Alcotest.fail "accepted an unknown level"
+  | Stdlib.Error _ -> ()
+
+(* --- No-perturbation guarantee -------------------------------------------------- *)
+
+(* A fully instrumented run (chrome + jsonl sinks, fine spans, metrics)
+   must synthesise the bit-identical result of a bare run: the probes
+   record durations but never touch the RNG or the search state. *)
+let test_instrumentation_does_not_perturb_results () =
+  with_defaults_restored @@ fun () ->
+  let spec = Mm_benchgen.Random_system.mul 1 in
+  let config =
+    {
+      Synthesis.default_config with
+      ga = { Engine.default_config with max_generations = 8; population_size = 12 };
+      restarts = 1;
+    }
+  in
+  let run () = Synthesis.run ~config ~spec ~seed:5 () in
+  let plain = run () in
+  let chrome = Filename.temp_file "mmsyn_test" ".json" in
+  let jsonl = Filename.temp_file "mmsyn_test" ".jsonl" in
+  Trace.open_chrome ~path:chrome;
+  Trace.open_jsonl ~path:jsonl;
+  Control.set_fine true;
+  Control.set_metrics true;
+  Metrics.reset ();
+  let traced = run () in
+  Trace.close ();
+  Alcotest.(check (array int)) "genome identical" plain.Synthesis.genome
+    traced.Synthesis.genome;
+  Alcotest.(check bool) "fitness bit-identical" true
+    (plain.Synthesis.eval.Fitness.fitness = traced.Synthesis.eval.Fitness.fitness);
+  Alcotest.(check bool) "power bit-identical" true
+    (plain.Synthesis.eval.Fitness.true_power = traced.Synthesis.eval.Fitness.true_power);
+  Alcotest.(check int) "same number of evaluations" plain.Synthesis.evaluations
+    traced.Synthesis.evaluations;
+  (* And the instrumented run actually produced evidence. *)
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "ga/generations counted" true
+    (List.assoc "ga/generations" snap.Metrics.counters > 0);
+  Alcotest.(check bool) "per-generation series populated" true
+    (Array.length (List.assoc "ga/best_fitness" snap.Metrics.series) > 0);
+  (match member_exn "traceEvents" (parse_json (read_file chrome)) with
+  | Array events -> Alcotest.(check bool) "chrome events present" true (events <> [])
+  | _ -> Alcotest.fail "traceEvents is not an array");
+  Alcotest.(check bool) "jsonl events present" true (jsonl_events jsonl <> []);
+  Sys.remove chrome;
+  Sys.remove jsonl
+
+let () =
+  Alcotest.run "mm_obs"
+    [
+      ("json", [ Alcotest.test_case "writer" `Quick test_json_writer ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "histogram bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "gating and reset" `Quick test_metrics_gating_and_reset;
+          Alcotest.test_case "to_json_string parses" `Quick test_metrics_json_parses;
+        ] );
+      ( "probe",
+        [ Alcotest.test_case "records and propagates" `Quick test_probe_records_and_propagates ]
+      );
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl span nesting" `Quick test_jsonl_span_nesting;
+          Alcotest.test_case "span emitted on exception" `Quick
+            test_jsonl_span_emitted_on_exception;
+          Alcotest.test_case "chrome trace well-formed" `Quick
+            test_chrome_trace_well_formed;
+          Alcotest.test_case "fine spans gated" `Quick test_fine_spans_gated;
+        ] );
+      ("log", [ Alcotest.test_case "level parsing" `Quick test_log_level_parsing ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "instrumentation does not perturb results" `Quick
+            test_instrumentation_does_not_perturb_results;
+        ] );
+    ]

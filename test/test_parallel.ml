@@ -60,6 +60,17 @@ let test_pool_propagates_exception () =
       Alcotest.(check (array int)) "usable after failure" [| 2; 3; 4 |]
         (Pool.map pool succ [| 1; 2; 3 |]))
 
+let test_pool_all_elements_raise () =
+  (* Every element raises, so every worker domain fails mid-batch; the
+     batch must still terminate with the exception rather than hang on
+     the unfinished-items count. *)
+  with_pool ~domains:4 (fun pool ->
+      (match Pool.map pool (fun x -> raise (Boom x)) (Array.init 64 Fun.id) with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Boom _ -> ());
+      Alcotest.(check (array int)) "usable after all-fail batch" [| 1; 2 |]
+        (Pool.map pool Fun.id [| 1; 2 |]))
+
 let test_pool_shutdown_idempotent () =
   let pool = Pool.create ~domains:3 () in
   Pool.shutdown pool;
@@ -149,6 +160,26 @@ let test_memo_capacity_one () =
   | _ -> Alcotest.fail "capacity 0 accepted"
   | exception Invalid_argument _ -> ()
 
+let test_memo_reset_stats () =
+  (* reset_stats zeroes the traffic counters but keeps the contents: the
+     experiment harness shares one cache across an arm's runs and resets
+     between them so each run's hit rate is its own. *)
+  let cache = Memo.create ~capacity:2 in
+  Memo.add cache [| 1 |] 1;
+  ignore (Memo.find cache [| 1 |]);
+  ignore (Memo.find cache [| 9 |]);
+  Memo.add cache [| 2 |] 2;
+  Memo.add cache [| 3 |] 3;
+  Alcotest.(check int) "hits accumulated" 1 (Memo.hits cache);
+  Alcotest.(check int) "misses accumulated" 1 (Memo.misses cache);
+  Alcotest.(check int) "evictions accumulated" 1 (Memo.evictions cache);
+  Memo.reset_stats cache;
+  Alcotest.(check int) "hits zeroed" 0 (Memo.hits cache);
+  Alcotest.(check int) "misses zeroed" 0 (Memo.misses cache);
+  Alcotest.(check int) "evictions zeroed" 0 (Memo.evictions cache);
+  Alcotest.(check int) "contents kept" 2 (Memo.length cache);
+  Alcotest.(check (option int)) "cached value kept" (Some 3) (Memo.find cache [| 3 |])
+
 let test_memo_clear () =
   let cache = Memo.create ~capacity:4 in
   Memo.add cache [| 1 |] 1;
@@ -197,6 +228,7 @@ let () =
           Alcotest.test_case "size clamped" `Quick test_pool_size_clamped;
           Alcotest.test_case "reuse across batches" `Quick test_pool_reuse_across_batches;
           Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "all elements raise" `Quick test_pool_all_elements_raise;
           Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
           Alcotest.test_case "non-uniform cost" `Quick test_pool_nonuniform_cost;
         ] );
@@ -208,6 +240,7 @@ let () =
           Alcotest.test_case "overwrite" `Quick test_memo_overwrite_no_eviction;
           Alcotest.test_case "keys copied" `Quick test_memo_does_not_alias_keys;
           Alcotest.test_case "capacity one" `Quick test_memo_capacity_one;
+          Alcotest.test_case "reset_stats" `Quick test_memo_reset_stats;
           Alcotest.test_case "clear" `Quick test_memo_clear;
           QCheck_alcotest.to_alcotest prop_memo_model;
         ] );
