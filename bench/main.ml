@@ -14,6 +14,7 @@
      table3   Tab. 3 — smart phone, w/o and with DVS
      ablation improvement operators / HW-rail DVS / population size
      parallel domain-pool speedup + eval-cache hit rates (BENCH_parallel.json)
+     eval     compiled evaluation kernels before/after (BENCH_eval_kernel.json)
      kernels  Bechamel timings of the inner kernels *)
 
 module Table = Mm_util.Table
@@ -529,6 +530,156 @@ let parallel options =
   close_out oc;
   Format.printf "wrote %s@." path
 
+(* --- Compiled evaluation kernels ---------------------------------------------- *)
+
+(* Before/after comparison of the compile-once evaluation context
+   (DESIGN.md §10): the same stream of genomes — parents plus
+   single-gene mutants, mimicking a GA population — evaluated once
+   through the seed pipeline ([Fitness.evaluate_reference]) and once
+   through the compiled one ([Fitness.evaluate]), with the per-phase
+   probe histograms attributing the time.  Written to
+   BENCH_eval_kernel.json so later PRs have a perf trajectory. *)
+
+let eval_kernel options =
+  Format.printf "@.== Compiled evaluation kernels: before/after ==@.";
+  let parents, mutants = if options.quick then (8, 4) else (24, 8) in
+  let genome_stream rng spec =
+    let counts = Spec.gene_counts spec in
+    List.concat_map
+      (fun _ ->
+        let parent = Mm_ga.Genome.random rng ~counts in
+        parent
+        :: List.init mutants (fun _ ->
+               let child = Array.copy parent in
+               let pos = Prng.int rng (Array.length counts) in
+               child.(pos) <- Prng.int rng counts.(pos);
+               child))
+      (List.init parents Fun.id)
+  in
+  let phases = [ "mobility"; "core_alloc"; "schedule"; "dvs"; "power"; "eval" ] in
+  let hist_seconds snap name =
+    match List.assoc_opt name snap.Mm_obs.Metrics.histograms with
+    | Some h -> h.Mm_obs.Metrics.sum /. 1e6
+    | None -> 0.0
+  in
+  let counter snap name =
+    Option.value ~default:0 (List.assoc_opt name snap.Mm_obs.Metrics.counters)
+  in
+  let gauge snap name =
+    Option.value ~default:0.0 (List.assoc_opt name snap.Mm_obs.Metrics.gauges)
+  in
+  let measure evaluate genomes =
+    Mm_obs.Metrics.reset ();
+    let started = Unix.gettimeofday () in
+    List.iter (fun g -> ignore (evaluate g)) genomes;
+    let wall = Unix.gettimeofday () -. started in
+    (wall, Mm_obs.Metrics.snapshot ())
+  in
+  (* DVS on, so the dvs phase is non-trivial in both pipelines. *)
+  let config = { Fitness.default_config with Fitness.dvs = Fitness.Dvs Scaling.default_config } in
+  Mm_obs.Control.set_metrics true;
+  let rows =
+    List.map
+      (fun (label, spec) ->
+        let rng = Prng.create ~seed:7 in
+        let genomes = genome_stream rng spec in
+        let before_wall, before =
+          measure (Fitness.evaluate_reference config spec) genomes
+        in
+        let after_wall, after = measure (Fitness.evaluate config spec) genomes in
+        Format.printf "  %s done (%d evaluations)@?@." label (List.length genomes);
+        (label, List.length genomes, before_wall, before, after_wall, after))
+      [ ("smartphone", Smartphone.spec ()); ("mul6", Random_system.mul 6) ]
+  in
+  Mm_obs.Control.set_metrics false;
+  let t =
+    Table.create ~title:"fitness pipeline, reference vs compiled (wall seconds)"
+      ~columns:
+        [ "workload"; "phase"; "before (s)"; "after (s)"; "speedup"; "cache" ]
+  in
+  List.iter
+    (fun (label, _, before_wall, before, after_wall, after) ->
+      let cache_cell =
+        let hits = counter after "fitness/mode_cache_hits" in
+        let misses = counter after "fitness/mode_cache_misses" in
+        Printf.sprintf "%d/%d hits" hits (hits + misses)
+      in
+      Table.add_row t
+        [
+          label; "wall";
+          Printf.sprintf "%.3f" before_wall;
+          Printf.sprintf "%.3f" after_wall;
+          Printf.sprintf "%.2fx" (before_wall /. after_wall);
+          cache_cell;
+        ];
+      List.iter
+        (fun phase ->
+          let name = Printf.sprintf "fitness/%s_us" phase in
+          let b = hist_seconds before name and a = hist_seconds after name in
+          if b > 0.0 || a > 0.0 then
+            Table.add_row t
+              [
+                label; phase;
+                Printf.sprintf "%.3f" b;
+                Printf.sprintf "%.3f" a;
+                (if a > 0.0 then Printf.sprintf "%.2fx" (b /. a) else "-");
+                "";
+              ])
+        phases)
+    rows;
+  Table.print t;
+  let path = "BENCH_eval_kernel.json" in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"eval\",\n";
+  p "  \"quick\": %b,\n" options.quick;
+  p "  \"workloads\": [\n";
+  List.iteri
+    (fun i (label, n_evals, before_wall, before, after_wall, after) ->
+      p "    {\n";
+      p "      \"workload\": \"%s\",\n" label;
+      p "      \"evaluations\": %d,\n" n_evals;
+      let side name wall snap =
+        p "      \"%s\": {\n" name;
+        p "        \"wall_seconds\": %.4f,\n" wall;
+        List.iter
+          (fun phase ->
+            p "        \"%s_seconds\": %.4f,\n" phase
+              (hist_seconds snap (Printf.sprintf "fitness/%s_us" phase)))
+          phases;
+        p "        \"mode_cache_hits\": %d,\n" (counter snap "fitness/mode_cache_hits");
+        p "        \"mode_cache_misses\": %d,\n"
+          (counter snap "fitness/mode_cache_misses");
+        p "        \"mobility_cache_hits\": %d,\n"
+          (counter snap "fitness/mobility_cache_hits");
+        p "        \"mobility_cache_misses\": %d,\n"
+          (counter snap "fitness/mobility_cache_misses");
+        p "        \"route_table_pairs\": %.0f,\n" (gauge snap "sched/route_table_pairs");
+        p "        \"route_table_entries\": %.0f\n"
+          (gauge snap "sched/route_table_entries");
+        p "      },\n"
+      in
+      side "reference" before_wall before;
+      side "compiled" after_wall after;
+      p "      \"speedup\": {\n";
+      p "        \"wall\": %.3f,\n" (before_wall /. after_wall);
+      List.iteri
+        (fun j phase ->
+          let name = Printf.sprintf "fitness/%s_us" phase in
+          let b = hist_seconds before name and a = hist_seconds after name in
+          p "        \"%s\": %.3f%s\n" phase
+            (if a > 0.0 then b /. a else 0.0)
+            (if j = List.length phases - 1 then "" else ","))
+        phases;
+      p "      }\n";
+      p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 (* --- Bechamel kernels -------------------------------------------------------- *)
 
 let kernels _options =
@@ -592,7 +743,7 @@ let () =
   let options, selected = parse { runs = None; quick = false } [] args in
   let selected =
     if selected = [] then
-      [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "kernels" ]
+      [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "eval"; "kernels" ]
     else selected
   in
   let total_start = Sys.time () in
@@ -605,10 +756,12 @@ let () =
       | "ablation" -> ablation options
       | "ablation-f" -> ablation_dvs_strategy options
       | "parallel" -> parallel options
+      | "eval" -> eval_kernel options
       | "kernels" -> kernels options
       | other ->
         Format.printf
-          "unknown experiment %S (expected table1|table2|table3|ablation|parallel|kernels)@."
+          "unknown experiment %S (expected \
+           table1|table2|table3|ablation|parallel|eval|kernels)@."
           other;
         exit 1)
     selected;

@@ -39,3 +39,26 @@ let n_entries t = Key_map.cardinal t
 
 let iter f t =
   Key_map.iter (fun (ty_id, pe_id) point -> f ~ty_id ~pe_id point) t
+
+(* Dense dispatch: the balanced-tree lookup of [find] costs a pointer
+   chase per level on every task of every candidate evaluation; the GA's
+   inner loop does millions of them.  A flat [(ty × pe) → impl option]
+   array resolves the same query with one multiply and one load.  Built
+   once per specification (see Spec.compiled); lookups outside the built
+   id ranges answer [None], exactly like [find] on an absent key. *)
+
+type dispatch = { n_types : int; n_pes : int; impls : impl option array }
+
+let dispatch t ~n_types ~n_pes =
+  if n_types < 0 || n_pes < 0 then invalid_arg "Tech_lib.dispatch: negative dimension";
+  let impls = Array.make (n_types * n_pes) None in
+  Key_map.iter
+    (fun (ty_id, pe_id) point ->
+      if ty_id < n_types && pe_id < n_pes then
+        impls.((ty_id * n_pes) + pe_id) <- Some point)
+    t;
+  { n_types; n_pes; impls }
+
+let dispatch_find d ~ty_id ~pe_id =
+  if ty_id < 0 || ty_id >= d.n_types || pe_id < 0 || pe_id >= d.n_pes then None
+  else d.impls.((ty_id * d.n_pes) + pe_id)

@@ -38,3 +38,16 @@ val n_entries : t -> int
 
 val iter :
   (ty_id:int -> pe_id:int -> impl -> unit) -> t -> unit
+
+type dispatch
+(** A dense, immutable [(ty × pe) → impl option] table: the compile-once
+    replacement for {!find}'s balanced-tree lookup on the evaluation hot
+    path.  Safe to share across domains. *)
+
+val dispatch : t -> n_types:int -> n_pes:int -> dispatch
+(** Flatten the library over task-type ids [0 .. n_types-1] and PE ids
+    [0 .. n_pes-1].  Entries outside those ranges are dropped (queries
+    for them answer [None], like {!find} on an absent key). *)
+
+val dispatch_find : dispatch -> ty_id:int -> pe_id:int -> impl option
+(** Same answers as {!find} keyed by raw ids; O(1). *)

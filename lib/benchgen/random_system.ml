@@ -258,15 +258,10 @@ let all_software_feasible spec =
         let mapping = Array.init (Graph.n_tasks graph) assign in
         let sched =
           Mm_sched.List_scheduler.run
-            {
-              Mm_sched.List_scheduler.mode_id = Mode.id mode;
-              graph;
-              arch;
-              tech;
-              mapping;
-              instances = (fun ~pe:_ ~ty:_ -> 1);
-              period = Mode.period mode;
-            }
+            (Mm_sched.List_scheduler.make_input ~mode_id:(Mode.id mode) ~graph
+               ~arch ~tech ~mapping
+               ~instances:(fun ~pe:_ ~ty:_ -> 1)
+               ~period:(Mode.period mode) ())
         in
         Mm_sched.Schedule.lateness sched ~graph = [])
       (Omsm.modes (Spec.omsm spec))

@@ -5,12 +5,15 @@ module Task = Mm_taskgraph.Task
 module Task_type = Mm_taskgraph.Task_type
 module Mobility = Mm_taskgraph.Mobility
 module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
 module Tech_lib = Mm_arch.Tech_lib
 module Schedule = Mm_sched.Schedule
 module List_scheduler = Mm_sched.List_scheduler
 module Comm_mapping = Mm_sched.Comm_mapping
 module Scaling = Mm_dvs.Scaling
 module Power = Mm_energy.Power
+module Memo = Mm_parallel.Memo
+module Metrics = Mm_obs.Metrics
 
 (* Per-phase probes of the fitness pipeline (paper Fig. 4's inner loop):
    with metrics on, each phase feeds a latency histogram; with fine
@@ -23,6 +26,17 @@ let p_alloc = Mm_obs.Probe.create ~fine:true "fitness/core_alloc"
 let p_schedule = Mm_obs.Probe.create ~fine:true "fitness/schedule"
 let p_dvs = Mm_obs.Probe.create ~fine:true "fitness/dvs"
 let p_power = Mm_obs.Probe.create ~fine:true "fitness/power"
+
+(* Per-mode cache traffic (DESIGN.md §10): offspring that mutate only
+   some modes answer the untouched modes from the compiled context's
+   caches.  Counters rather than Memo-internal stats so `synth
+   --metrics` and the report can show them without holding the cache. *)
+let c_mode_hit = Metrics.counter "fitness/mode_cache_hits"
+let c_mode_miss = Metrics.counter "fitness/mode_cache_misses"
+let c_mob_hit = Metrics.counter "fitness/mobility_cache_hits"
+let c_mob_miss = Metrics.counter "fitness/mobility_cache_misses"
+let g_route_pairs = Metrics.gauge "sched/route_table_pairs"
+let g_route_entries = Metrics.gauge "sched/route_table_entries"
 
 type weighting = True_probabilities | Uniform
 
@@ -95,45 +109,84 @@ let mode_mobility spec mapping mode =
   in
   Mobility.compute graph ~exec_time ~comm_time ~horizon:(Mode.period mode_rec)
 
-let evaluate_mapping config spec mapping =
-  Mm_obs.Probe.run p_eval @@ fun () ->
+(* The same analysis against the compiled context: dense dispatch for
+   execution times, the route table for communication times, each edge
+   routed once.  Bit-identical to [mode_mobility]. *)
+let compiled_mode_mobility spec ~routes ~dispatch row mode =
+  let mode_rec = Omsm.mode (Spec.omsm spec) mode in
+  let graph = Mode.graph mode_rec in
+  let exec =
+    Array.init (Graph.n_tasks graph) (fun i ->
+        let task = Graph.task graph i in
+        match
+          Tech_lib.dispatch_find dispatch
+            ~ty_id:(Task_type.id (Task.ty task))
+            ~pe_id:row.(i)
+        with
+        | Some impl -> impl.Tech_lib.exec_time
+        | None -> raise Not_found)
+  in
+  let decisions =
+    Array.init (Graph.n_edges graph) (fun id ->
+        let e = Graph.edge graph id in
+        Comm_mapping.route_via routes ~src_pe:row.(e.src) ~dst_pe:row.(e.dst)
+          ~data:e.data)
+  in
+  let comm_time id =
+    match decisions.(id) with
+    | Comm_mapping.Local | Comm_mapping.Unroutable -> 0.0
+    | Comm_mapping.Via { time; _ } -> time
+  in
+  Mobility.compute_indexed graph ~exec ~comm_time ~horizon:(Mode.period mode_rec)
+
+(* Cache-key ingredients.  The per-mode caches answer (schedule,
+   scaling, power) triples, which depend on the mode's mapping row, the
+   mode's granted core instances, the scheduler policy and the DVS
+   configuration — but not on weighting or penalties (those only shape
+   the factors computed from the triples). *)
+let config_fingerprint config =
+  let policy =
+    match config.scheduler_policy with
+    | List_scheduler.Mobility_first -> 0
+    | List_scheduler.Critical_path_first -> 1
+    | List_scheduler.Topological -> 2
+  in
+  match config.dvs with
+  | No_dvs -> [| policy; 0; 0; 0; 0 |]
+  | Dvs c ->
+    [|
+      policy;
+      1;
+      Bool.to_int c.Scaling.scale_software;
+      Bool.to_int c.Scaling.scale_hardware;
+      (match c.Scaling.strategy with
+      | Scaling.Greedy_gradient -> 0
+      | Scaling.Even_slack -> 1);
+    |]
+
+let mobility_key ~mode row = Array.append [| mode |] row
+
+(* (mode, config fingerprint, row, granted instances of the mode).  The
+   instance signature must be part of the key because core allocation is
+   global: a mutation in one mode can change the instances granted to
+   another (shared area, ASIC replication). *)
+let eval_key ~fingerprint ~arch ~alloc ~mode row =
+  let signature = ref [] in
+  for pe = Arch.n_pes arch - 1 downto 0 do
+    if Pe.is_hardware (Arch.pe arch pe) then
+      List.iter
+        (fun (ty, count) -> signature := pe :: ty :: count :: !signature)
+        (Core_alloc.loaded_types alloc ~mode ~pe)
+  done;
+  Array.concat [ [| mode |]; fingerprint; row; Array.of_list !signature ]
+
+(* Everything downstream of the per-mode triples: timing violations,
+   powers averaged under the mode probabilities, penalty factors and the
+   final fitness.  Shared verbatim by the compiled and the reference
+   pipelines so they can only differ in how the triples are produced. *)
+let assemble config spec mapping ~alloc ~schedules ~scalings ~mode_powers =
   let omsm = Spec.omsm spec in
-  let arch = Spec.arch spec in
-  let tech = Spec.tech spec in
   let n_modes = Omsm.n_modes omsm in
-  let mobilities =
-    Mm_obs.Probe.run p_mobility (fun () ->
-        Array.init n_modes (mode_mobility spec mapping))
-  in
-  let alloc =
-    Mm_obs.Probe.run p_alloc (fun () -> Core_alloc.allocate spec mapping ~mobilities)
-  in
-  let schedules =
-    Mm_obs.Probe.run p_schedule (fun () ->
-        Array.init n_modes (fun mode ->
-            let mode_rec = Omsm.mode omsm mode in
-            List_scheduler.run ~policy:config.scheduler_policy
-              {
-                List_scheduler.mode_id = mode;
-                graph = Mode.graph mode_rec;
-                arch;
-                tech;
-                mapping = (mapping : Mapping.t :> int array array).(mode);
-                instances =
-                  (fun ~pe ~ty -> max 1 (Core_alloc.instances alloc ~mode ~pe ~ty));
-                period = Mode.period mode_rec;
-              }))
-  in
-  let scalings =
-    Mm_obs.Probe.run p_dvs (fun () ->
-        Array.init n_modes (fun mode ->
-            let graph = Mode.graph (Omsm.mode omsm mode) in
-            match config.dvs with
-            | No_dvs -> Scaling.nominal ~graph ~arch ~tech ~schedule:schedules.(mode) ()
-            | Dvs scaling_config ->
-              Scaling.run ~config:scaling_config ~graph ~arch ~tech
-                ~schedule:schedules.(mode) ()))
-  in
   (* Timing: post-compaction / post-scaling finish times against
      min(deadline, period), normalised by the period. *)
   let timing_violation = ref 0.0 in
@@ -152,12 +205,6 @@ let evaluate_mapping config spec mapping =
         if excess > 1e-9 then timing_violation := !timing_violation +. (excess /. period))
       scalings.(mode).Scaling.stretched_finish
   done;
-  let mode_powers =
-    Mm_obs.Probe.run p_power (fun () ->
-        Array.init n_modes (fun mode ->
-            Power.mode_power ~arch ~schedule:schedules.(mode)
-              ~dyn_energy:scalings.(mode).Scaling.total_dyn_energy))
-  in
   let true_probabilities =
     Array.init n_modes (fun mode -> Mode.probability (Omsm.mode omsm mode))
   in
@@ -220,5 +267,139 @@ let evaluate_mapping config spec mapping =
     mapping;
   }
 
+let scaling_of config ~graph ~arch ~tech ~schedule =
+  match config.dvs with
+  | No_dvs -> Scaling.nominal ~graph ~arch ~tech ~schedule ()
+  | Dvs scaling_config -> Scaling.run ~config:scaling_config ~graph ~arch ~tech ~schedule ()
+
+let evaluate_mapping config spec mapping =
+  Mm_obs.Probe.run p_eval @@ fun () ->
+  let omsm = Spec.omsm spec in
+  let arch = Spec.arch spec in
+  let tech = Spec.tech spec in
+  let n_modes = Omsm.n_modes omsm in
+  let ctx = Spec.compiled spec in
+  let routes = Spec.routes ctx in
+  let dispatch = Spec.dispatch ctx in
+  Metrics.set g_route_pairs (float_of_int (Comm_mapping.table_pairs routes));
+  Metrics.set g_route_entries (float_of_int (Comm_mapping.table_entries routes));
+  let rows = (mapping : Mapping.t :> int array array) in
+  let mobility_cache = Spec.mode_mobility_cache ctx in
+  let mobilities =
+    Mm_obs.Probe.run p_mobility (fun () ->
+        Array.init n_modes (fun mode ->
+            let key = mobility_key ~mode rows.(mode) in
+            match Memo.find mobility_cache key with
+            | Some m ->
+              Metrics.incr c_mob_hit;
+              m
+            | None ->
+              Metrics.incr c_mob_miss;
+              let m = compiled_mode_mobility spec ~routes ~dispatch rows.(mode) mode in
+              Memo.add mobility_cache key m;
+              m))
+  in
+  let alloc =
+    Mm_obs.Probe.run p_alloc (fun () -> Core_alloc.allocate spec mapping ~mobilities)
+  in
+  let fingerprint = config_fingerprint config in
+  let eval_cache = Spec.mode_eval_cache ctx in
+  let keys =
+    Array.init n_modes (fun mode ->
+        eval_key ~fingerprint ~arch ~alloc ~mode rows.(mode))
+  in
+  let cached = Array.map (Memo.find eval_cache) keys in
+  Array.iter
+    (function
+      | Some _ -> Metrics.incr c_mode_hit
+      | None -> Metrics.incr c_mode_miss)
+    cached;
+  let schedules =
+    Mm_obs.Probe.run p_schedule (fun () ->
+        Array.init n_modes (fun mode ->
+            match cached.(mode) with
+            | Some (schedule, _, _) -> schedule
+            | None ->
+              let mode_rec = Omsm.mode omsm mode in
+              List_scheduler.run ~policy:config.scheduler_policy
+                (List_scheduler.make_input ~mobility:mobilities.(mode) ~routes
+                   ~dispatch ~mode_id:mode ~graph:(Mode.graph mode_rec) ~arch ~tech
+                   ~mapping:rows.(mode)
+                   ~instances:(fun ~pe ~ty ->
+                     max 1 (Core_alloc.instances alloc ~mode ~pe ~ty))
+                   ~period:(Mode.period mode_rec) ())))
+  in
+  let scalings =
+    Mm_obs.Probe.run p_dvs (fun () ->
+        Array.init n_modes (fun mode ->
+            match cached.(mode) with
+            | Some (_, scaling, _) -> scaling
+            | None ->
+              let graph = Mode.graph (Omsm.mode omsm mode) in
+              scaling_of config ~graph ~arch ~tech ~schedule:schedules.(mode)))
+  in
+  let mode_powers =
+    Mm_obs.Probe.run p_power (fun () ->
+        Array.init n_modes (fun mode ->
+            match cached.(mode) with
+            | Some (_, _, power) -> power
+            | None ->
+              Power.mode_power ~arch ~schedule:schedules.(mode)
+                ~dyn_energy:scalings.(mode).Scaling.total_dyn_energy))
+  in
+  Array.iteri
+    (fun mode cached_triple ->
+      if cached_triple = None then
+        Memo.add eval_cache keys.(mode)
+          (schedules.(mode), scalings.(mode), mode_powers.(mode)))
+    cached;
+  assemble config spec mapping ~alloc ~schedules ~scalings ~mode_powers
+
+(* The seed pipeline, kept as the equivalence oracle for the compiled
+   path above: per-edge routing, balanced-tree technology lookups, the
+   reference scheduler, no caches.  Same probes, so the bench harness
+   can attribute per-phase time to either implementation. *)
+let evaluate_mapping_reference config spec mapping =
+  Mm_obs.Probe.run p_eval @@ fun () ->
+  let omsm = Spec.omsm spec in
+  let arch = Spec.arch spec in
+  let tech = Spec.tech spec in
+  let n_modes = Omsm.n_modes omsm in
+  let mobilities =
+    Mm_obs.Probe.run p_mobility (fun () ->
+        Array.init n_modes (mode_mobility spec mapping))
+  in
+  let alloc =
+    Mm_obs.Probe.run p_alloc (fun () -> Core_alloc.allocate spec mapping ~mobilities)
+  in
+  let schedules =
+    Mm_obs.Probe.run p_schedule (fun () ->
+        Array.init n_modes (fun mode ->
+            let mode_rec = Omsm.mode omsm mode in
+            List_scheduler.run_reference ~policy:config.scheduler_policy
+              (List_scheduler.make_input ~mode_id:mode ~graph:(Mode.graph mode_rec)
+                 ~arch ~tech
+                 ~mapping:(mapping : Mapping.t :> int array array).(mode)
+                 ~instances:(fun ~pe ~ty ->
+                   max 1 (Core_alloc.instances alloc ~mode ~pe ~ty))
+                 ~period:(Mode.period mode_rec) ())))
+  in
+  let scalings =
+    Mm_obs.Probe.run p_dvs (fun () ->
+        Array.init n_modes (fun mode ->
+            let graph = Mode.graph (Omsm.mode omsm mode) in
+            scaling_of config ~graph ~arch ~tech ~schedule:schedules.(mode)))
+  in
+  let mode_powers =
+    Mm_obs.Probe.run p_power (fun () ->
+        Array.init n_modes (fun mode ->
+            Power.mode_power ~arch ~schedule:schedules.(mode)
+              ~dyn_energy:scalings.(mode).Scaling.total_dyn_energy))
+  in
+  assemble config spec mapping ~alloc ~schedules ~scalings ~mode_powers
+
 let evaluate config spec genome =
   evaluate_mapping config spec (Mapping.of_genome spec genome)
+
+let evaluate_reference config spec genome =
+  evaluate_mapping_reference config spec (Mapping.of_genome spec genome)

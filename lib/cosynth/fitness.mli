@@ -70,7 +70,22 @@ val feasible : eval -> bool
 (** All four feasibility flags. *)
 
 val evaluate : config -> Spec.t -> int array -> eval
-(** Full evaluation of a genome. *)
+(** Full evaluation of a genome.  Runs against the specification's
+    compile-once context ({!Spec.compiled}): route table, dense
+    technology dispatch, and the per-mode mobility and
+    (schedule, scaling, power) caches, so offspring that mutate only
+    some modes answer the untouched modes from cache.  Bit-identical to
+    {!evaluate_reference} (enforced by the equivalence tests;
+    DESIGN.md §10). *)
 
 val evaluate_mapping : config -> Spec.t -> Mapping.t -> eval
 (** Evaluate an explicit mapping (used by examples and tests). *)
+
+val evaluate_reference : config -> Spec.t -> int array -> eval
+(** The seed pipeline — per-edge routing, balanced-tree technology
+    lookups, the reference scheduler, no caches — kept as the
+    equivalence oracle and the "before" side of the [bench eval]
+    comparison. *)
+
+val evaluate_mapping_reference : config -> Spec.t -> Mapping.t -> eval
+(** {!evaluate_reference} for an explicit mapping. *)

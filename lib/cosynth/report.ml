@@ -66,16 +66,20 @@ let print_result spec result =
 let pp_metrics ppf () =
   let snap = Mm_obs.Metrics.snapshot () in
   let nonzero_counters = List.filter (fun (_, v) -> v <> 0) snap.Mm_obs.Metrics.counters in
+  let nonzero_gauges = List.filter (fun (_, v) -> v <> 0.0) snap.Mm_obs.Metrics.gauges in
   let live_histograms =
     List.filter
       (fun (_, h) -> h.Mm_obs.Metrics.count > 0)
       snap.Mm_obs.Metrics.histograms
   in
-  if nonzero_counters <> [] || live_histograms <> [] then begin
+  if nonzero_counters <> [] || nonzero_gauges <> [] || live_histograms <> [] then begin
     Format.fprintf ppf "metrics:@.";
     List.iter
       (fun (name, v) -> Format.fprintf ppf "  %-24s %d@." name v)
       nonzero_counters;
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-24s %g@." name v)
+      nonzero_gauges;
     List.iter
       (fun (name, h) ->
         Format.fprintf ppf "  %-24s n=%-7d total %.1f ms, mean %.0f µs, max %.0f µs@."
@@ -83,7 +87,17 @@ let pp_metrics ppf () =
           (h.Mm_obs.Metrics.sum /. 1e3)
           (h.Mm_obs.Metrics.sum /. float_of_int h.Mm_obs.Metrics.count)
           h.Mm_obs.Metrics.max)
-      live_histograms
+      live_histograms;
+    (* Derived per-mode cache hit rate (DESIGN.md §10): how many of the
+       fitness pipeline's per-mode (schedule, scaling, power) lookups
+       were answered from the compiled context's cache. *)
+    let count name = try List.assoc name nonzero_counters with Not_found -> 0 in
+    let hits = count "fitness/mode_cache_hits" in
+    let misses = count "fitness/mode_cache_misses" in
+    if hits + misses > 0 then
+      Format.fprintf ppf "  %-24s %.1f%% (%d/%d)@." "mode cache hit rate"
+        (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+        hits (hits + misses)
   end
 
 let print_metrics () = Format.printf "%a@?" pp_metrics ()

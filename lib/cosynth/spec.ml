@@ -10,6 +10,24 @@ type position = { mode : int; task : int }
 
 module Int_map = Map.Make (Int)
 
+(* Everything mapping-independent that the fitness pipeline needs per
+   candidate, hoisted out of the per-evaluation path and built exactly
+   once per specification (paper Fig. 4's inner loop runs thousands of
+   times per synthesis; see DESIGN.md §10).  The route table and
+   dispatch are immutable and shared freely across domains; the
+   per-mode memo caches are domain-local (each worker domain lazily
+   gets its own), because [Memo.t] is not thread-safe. *)
+type compiled = {
+  routes : Mm_sched.Comm_mapping.table;
+  dispatch : Tech_lib.dispatch;
+  mobility_cache :
+    Mm_taskgraph.Mobility.t Mm_parallel.Memo.t Domain.DLS.key;
+  eval_cache :
+    (Mm_sched.Schedule.t * Mm_dvs.Scaling.t * Mm_energy.Power.mode_power)
+    Mm_parallel.Memo.t
+    Domain.DLS.key;
+}
+
 type t = {
   omsm : Omsm.t;
   arch : Arch.t;
@@ -18,6 +36,7 @@ type t = {
   offsets : int array;  (** offsets.(mode) = first position index of the mode. *)
   candidates : Pe.t array array;  (** Per position, in PE id order. *)
   types_by_id : Mm_taskgraph.Task_type.t Int_map.t;
+  compiled_ctx : compiled option Atomic.t;
 }
 
 exception Invalid of string
@@ -54,7 +73,54 @@ let make ~omsm ~arch ~tech =
       (fun ty acc -> Int_map.add (Mm_taskgraph.Task_type.id ty) ty acc)
       (Omsm.all_task_types omsm) Int_map.empty
   in
-  { omsm; arch; tech; positions; offsets; candidates; types_by_id }
+  {
+    omsm;
+    arch;
+    tech;
+    positions;
+    offsets;
+    candidates;
+    types_by_id;
+    compiled_ctx = Atomic.make None;
+  }
+
+(* Capacity of each domain-local per-mode cache.  Entries are per-mode
+   (schedule, scaling, power) triples — the same order of magnitude as
+   the whole-genome eval cache's entries, which defaults to 8192. *)
+let mode_cache_capacity = 4096
+
+let compile t =
+  let n_types =
+    Mm_taskgraph.Task_type.Set.fold
+      (fun ty acc -> max acc (Mm_taskgraph.Task_type.id ty + 1))
+      (Omsm.all_task_types t.omsm) 0
+  in
+  {
+    routes = Mm_sched.Comm_mapping.table t.arch;
+    dispatch = Tech_lib.dispatch t.tech ~n_types ~n_pes:(Arch.n_pes t.arch);
+    mobility_cache =
+      Domain.DLS.new_key (fun () ->
+          Mm_parallel.Memo.create ~capacity:mode_cache_capacity);
+    eval_cache =
+      Domain.DLS.new_key (fun () ->
+          Mm_parallel.Memo.create ~capacity:mode_cache_capacity);
+  }
+
+let compiled t =
+  match Atomic.get t.compiled_ctx with
+  | Some c -> c
+  | None ->
+    let c = compile t in
+    if Atomic.compare_and_set t.compiled_ctx None (Some c) then c
+    else (
+      match Atomic.get t.compiled_ctx with
+      | Some c -> c
+      | None -> assert false (* the context is only ever set, never cleared *))
+
+let routes c = c.routes
+let dispatch c = c.dispatch
+let mode_mobility_cache c = Domain.DLS.get c.mobility_cache
+let mode_eval_cache c = Domain.DLS.get c.eval_cache
 
 let omsm t = t.omsm
 let arch t = t.arch

@@ -21,6 +21,34 @@ val omsm : t -> Mm_omsm.Omsm.t
 val arch : t -> Mm_arch.Architecture.t
 val tech : t -> Mm_arch.Tech_lib.t
 
+type compiled
+(** The compile-once evaluation context (DESIGN.md §10): the
+    architecture's route table, the technology library's dense dispatch
+    table, and the per-mode memo caches of the fitness pipeline —
+    everything mapping-independent, hoisted out of the per-candidate
+    path. *)
+
+val compiled : t -> compiled
+(** The context of this specification, built on first use and memoized
+    (domain-safe: concurrent first calls race benignly on identical
+    values).  Purely an accelerator — results never depend on when or
+    whether it was built. *)
+
+val routes : compiled -> Mm_sched.Comm_mapping.table
+val dispatch : compiled -> Mm_arch.Tech_lib.dispatch
+
+val mode_mobility_cache : compiled -> Mm_taskgraph.Mobility.t Mm_parallel.Memo.t
+(** This domain's per-mode mobility cache, keyed by (mode, mapping row).
+    Domain-local because {!Mm_parallel.Memo} is not thread-safe. *)
+
+val mode_eval_cache :
+  compiled ->
+  (Mm_sched.Schedule.t * Mm_dvs.Scaling.t * Mm_energy.Power.mode_power)
+  Mm_parallel.Memo.t
+(** This domain's per-mode (schedule, scaling, power) cache, keyed by
+    (mode, scheduler/DVS config fingerprint, mapping row, core-instance
+    signature). *)
+
 val n_positions : t -> int
 (** Genome length: Σ_O |T_O|. *)
 

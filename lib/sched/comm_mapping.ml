@@ -6,35 +6,68 @@ type decision =
   | Via of { cl : Cl.t; time : float; energy : float }
   | Unroutable
 
+(* Tie-breaking shared by the seed [route] and the table path: smallest
+   time, then smallest energy, then smallest link id.  Both paths must
+   fold the same candidates through the same comparison so a compiled
+   run routes bit-identically to the seed. *)
+let better a b =
+  match (a, b) with
+  | Via a', Via b' ->
+    if a'.time < b'.time then a
+    else if a'.time > b'.time then b
+    else if a'.energy < b'.energy then a
+    else if a'.energy > b'.energy then b
+    else if Cl.id a'.cl <= Cl.id b'.cl then a
+    else b
+  | Via _, (Local | Unroutable) -> a
+  | (Local | Unroutable), Via _ -> b
+  | (Local | Unroutable), (Local | Unroutable) -> a
+
+let route_over candidates ~data =
+  List.fold_left
+    (fun best cl ->
+      let candidate =
+        Via
+          {
+            cl;
+            time = Cl.transfer_time cl ~data;
+            energy = Cl.transfer_energy cl ~data;
+          }
+      in
+      better best candidate)
+    Unroutable candidates
+
 let route arch ~src_pe ~dst_pe ~data =
   if src_pe = dst_pe then Local
-  else
-    let candidates = Arch.links_between arch src_pe dst_pe in
-    let better a b =
-      match (a, b) with
-      | Via a', Via b' ->
-        if a'.time < b'.time then a
-        else if a'.time > b'.time then b
-        else if a'.energy < b'.energy then a
-        else if a'.energy > b'.energy then b
-        else if Cl.id a'.cl <= Cl.id b'.cl then a
-        else b
-      | Via _, (Local | Unroutable) -> a
-      | (Local | Unroutable), Via _ -> b
-      | (Local | Unroutable), (Local | Unroutable) -> a
-    in
-    List.fold_left
-      (fun best cl ->
-        let candidate =
-          Via
-            {
-              cl;
-              time = Cl.transfer_time cl ~data;
-              energy = Cl.transfer_energy cl ~data;
-            }
-        in
-        better best candidate)
-      Unroutable candidates
+  else route_over (Arch.links_between arch src_pe dst_pe) ~data
+
+(* Compile-once route table: [Arch.links_between] filters the full link
+   list on every call, and the scheduler calls it for every edge of
+   every mobility/bottom-level/schedule pass.  The table resolves the
+   per-pair candidate set once; [route_via] then folds the same
+   candidates in the same order as the seed (the winner can depend on
+   [data] — at data 0 every transfer costs nothing and the tie-break
+   falls through to link ids — so candidates are kept, not a
+   pre-picked winner). *)
+
+type table = { n_pes : int; pairs : Cl.t list array }
+
+let table arch =
+  let n_pes = Arch.n_pes arch in
+  let pairs =
+    Array.init (n_pes * n_pes) (fun k ->
+        Arch.links_between arch (k / n_pes) (k mod n_pes))
+  in
+  { n_pes; pairs }
+
+let route_via table ~src_pe ~dst_pe ~data =
+  if src_pe = dst_pe then Local
+  else route_over table.pairs.((src_pe * table.n_pes) + dst_pe) ~data
+
+let table_pairs table = table.n_pes * table.n_pes
+
+let table_entries table =
+  Array.fold_left (fun acc cls -> acc + List.length cls) 0 table.pairs
 
 let best_case_time arch ~data =
   match Arch.cls arch with

@@ -16,6 +16,24 @@ type decision =
 val route :
   Mm_arch.Architecture.t -> src_pe:int -> dst_pe:int -> data:float -> decision
 
+type table
+(** Pre-resolved per-(src PE, dst PE) link candidates: the compile-once
+    replacement for calling [Architecture.links_between] per edge per
+    pass.  Immutable after {!table}; safe to share across domains. *)
+
+val table : Mm_arch.Architecture.t -> table
+
+val route_via : table -> src_pe:int -> dst_pe:int -> data:float -> decision
+(** Identical decisions to {!route} (same candidate order, same
+    time/energy/link-id tie-breaking), without the per-call link
+    filtering. *)
+
+val table_pairs : table -> int
+(** Number of (src, dst) PE pairs the table covers (n_pes²). *)
+
+val table_entries : table -> int
+(** Total pre-resolved link candidates across all pairs. *)
+
 val best_case_time :
   Mm_arch.Architecture.t -> data:float -> float
 (** The smallest transfer time for [data] over any link of the

@@ -6,7 +6,16 @@
     Tasks become ready when all predecessors are scheduled; among ready
     tasks the one with the smallest mobility (most critical) is placed
     first.  Incoming inter-PE communications are placed on their mapped
-    link immediately before the consumer, respecting link occupancy. *)
+    link immediately before the consumer, respecting link occupancy.
+
+    The scheduler routes every edge exactly once per run and keeps the
+    ready set in a binary heap keyed (priority, task id); with the
+    optional compiled inputs ([mobility], [routes], [dispatch]) it also
+    skips the per-run mobility recomputation, the per-edge link
+    filtering and the balanced-tree technology lookups.  All of this is
+    pure plumbing: schedules are bit-identical to {!run_reference}, the
+    seed implementation (enforced by the equivalence tests; see
+    DESIGN.md §10). *)
 
 type input = {
   mode_id : int;
@@ -19,7 +28,36 @@ type input = {
           return >= 1 for every pair actually used by [mapping].  Ignored
           for software PEs. *)
   period : float;
+  mobility : Mm_taskgraph.Mobility.t option;
+      (** Pre-computed mapped mobility (execution times of the mapped
+          implementations, communication times of the routed links,
+          horizon [period]) for the [Mobility_first] policy.  [None]
+          recomputes it; a caller that already ran the mobility analysis
+          (the fitness pipeline does, for core allocation) threads it
+          through here instead. *)
+  routes : Comm_mapping.table option;
+      (** Compile-once route table of [arch]; [None] falls back to
+          [Comm_mapping.route].  Either way each edge is routed once per
+          run. *)
+  dispatch : Mm_arch.Tech_lib.dispatch option;
+      (** Dense technology dispatch of [tech]; [None] falls back to
+          [Tech_lib.find]. *)
 }
+
+val make_input :
+  ?mobility:Mm_taskgraph.Mobility.t ->
+  ?routes:Comm_mapping.table ->
+  ?dispatch:Mm_arch.Tech_lib.dispatch ->
+  mode_id:int ->
+  graph:Mm_taskgraph.Graph.t ->
+  arch:Mm_arch.Architecture.t ->
+  tech:Mm_arch.Tech_lib.t ->
+  mapping:int array ->
+  instances:(pe:int -> ty:int -> int) ->
+  period:float ->
+  unit ->
+  input
+(** Plain constructor; the compiled fields default to [None]. *)
 
 type policy =
   | Mobility_first
@@ -37,6 +75,12 @@ exception Unsupported_mapping of { task : int; pe : int }
     its type in the technology library. *)
 
 val run : ?policy:policy -> input -> Schedule.t
+
+val run_reference : ?policy:policy -> input -> Schedule.t
+(** The seed implementation (per-pass edge routing, balanced-tree
+    technology lookups, O(n²) ready rescans, mobility recomputed per
+    call), kept as the equivalence oracle for {!run}.  Ignores the
+    compiled input fields. *)
 
 val exec_times : input -> float array
 (** Nominal execution time of each task under the mapping (also used by

@@ -7,6 +7,16 @@ type t = {
   succ_edges : edge list array;
   pred_edges : edge list array;
   topo : int array;
+  (* CSR mirrors of the adjacency lists, built once by [make]: flat
+     edge-id arrays sliced by per-task offsets, in exactly the same
+     iteration order as the lists, so hot-path folds neither allocate
+     nor chase cons cells — and so list and CSR traversals see the same
+     float-operation order. *)
+  edge_arr : edge array;  (* all edges; the id of an edge is its index here. *)
+  succ_off : int array;  (* length n+1; slice [succ_off.(i), succ_off.(i+1)). *)
+  succ_ids : int array;
+  pred_off : int array;
+  pred_ids : int array;
 }
 
 exception Invalid of string
@@ -50,9 +60,11 @@ let make ~name ~tasks ~edges =
     tasks;
   let succ_edges = Array.make n [] in
   let pred_edges = Array.make n [] in
+  let succ_id_lists = Array.make n [] in
+  let pred_id_lists = Array.make n [] in
   let seen = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
+  List.iteri
+    (fun id e ->
       if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
         invalid "graph %s: edge %d->%d out of range" name e.src e.dst;
       if e.src = e.dst then invalid "graph %s: self-loop on %d" name e.src;
@@ -61,21 +73,78 @@ let make ~name ~tasks ~edges =
         invalid "graph %s: duplicate edge %d->%d" name e.src e.dst;
       Hashtbl.add seen (e.src, e.dst) ();
       succ_edges.(e.src) <- e :: succ_edges.(e.src);
-      pred_edges.(e.dst) <- e :: pred_edges.(e.dst))
+      pred_edges.(e.dst) <- e :: pred_edges.(e.dst);
+      succ_id_lists.(e.src) <- id :: succ_id_lists.(e.src);
+      pred_id_lists.(e.dst) <- id :: pred_id_lists.(e.dst))
     edges;
+  let edge_arr = Array.of_list edges in
+  let csr id_lists =
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i) + List.length id_lists.(i)
+    done;
+    let ids = Array.make off.(n) 0 in
+    Array.iteri
+      (fun i l -> List.iteri (fun k id -> ids.(off.(i) + k) <- id) l)
+      id_lists;
+    (off, ids)
+  in
+  let succ_off, succ_ids = csr succ_id_lists in
+  let pred_off, pred_ids = csr pred_id_lists in
   let topo = kahn_topological name n pred_edges succ_edges in
-  { name; tasks = Array.copy tasks; edges; succ_edges; pred_edges; topo }
+  {
+    name;
+    tasks = Array.copy tasks;
+    edges;
+    succ_edges;
+    pred_edges;
+    topo;
+    edge_arr;
+    succ_off;
+    succ_ids;
+    pred_off;
+    pred_ids;
+  }
 
 let name t = t.name
 let n_tasks t = Array.length t.tasks
-let n_edges t = List.length t.edges
+let n_edges t = Array.length t.edge_arr
 let task t i = t.tasks.(i)
 let tasks t = Array.copy t.tasks
 let edges t = t.edges
+let edge t id = t.edge_arr.(id)
 let succ_edges t i = t.succ_edges.(i)
 let pred_edges t i = t.pred_edges.(i)
 let succs t i = List.map (fun e -> e.dst) t.succ_edges.(i)
 let preds t i = List.map (fun e -> e.src) t.pred_edges.(i)
+let out_degree t i = t.succ_off.(i + 1) - t.succ_off.(i)
+let in_degree t i = t.pred_off.(i + 1) - t.pred_off.(i)
+
+let fold_succ_edges t i ~init ~f =
+  let acc = ref init in
+  for k = t.succ_off.(i) to t.succ_off.(i + 1) - 1 do
+    acc := f !acc t.edge_arr.(t.succ_ids.(k))
+  done;
+  !acc
+
+let fold_pred_edges t i ~init ~f =
+  let acc = ref init in
+  for k = t.pred_off.(i) to t.pred_off.(i + 1) - 1 do
+    acc := f !acc t.edge_arr.(t.pred_ids.(k))
+  done;
+  !acc
+
+let iter_succ_edges t i f =
+  for k = t.succ_off.(i) to t.succ_off.(i + 1) - 1 do
+    let id = t.succ_ids.(k) in
+    f id t.edge_arr.(id)
+  done
+
+let iter_pred_edges t i f =
+  for k = t.pred_off.(i) to t.pred_off.(i + 1) - 1 do
+    let id = t.pred_ids.(k) in
+    f id t.edge_arr.(id)
+  done
 
 let sources t =
   List.filter (fun i -> t.pred_edges.(i) = []) (List.init (n_tasks t) Fun.id)
@@ -119,7 +188,9 @@ let to_dot t =
            (Task_type.name (Task.ty task))))
     t.tasks;
   List.iter
-    (fun e -> Buffer.add_string buf (Printf.sprintf "  t%d -> t%d [label=\"%g\"];\n" e.src e.dst e.data))
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  t%d -> t%d [label=\"%g\"];\n" e.src e.dst e.data))
     t.edges;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -25,10 +25,28 @@ val tasks : t -> Task.t array
 (** The returned array is a copy; mutation does not affect the graph. *)
 
 val edges : t -> edge list
+val edge : t -> int -> edge
+(** The edge with the given id.  Edge ids are [0 .. n_edges-1], assigned
+    in the order the edges were given to {!make}; they key the per-run
+    route-decision tables of the scheduler. *)
+
 val succs : t -> int -> int list
 val preds : t -> int -> int list
 val succ_edges : t -> int -> edge list
 val pred_edges : t -> int -> edge list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val fold_succ_edges : t -> int -> init:'a -> f:('a -> edge -> 'a) -> 'a
+(** Allocation-free fold over [succ_edges t i], in exactly the same
+    order (the hot-path CSR replacement for folding the list). *)
+
+val fold_pred_edges : t -> int -> init:'a -> f:('a -> edge -> 'a) -> 'a
+
+val iter_succ_edges : t -> int -> (int -> edge -> unit) -> unit
+(** Like {!fold_succ_edges} but passing each edge's id alongside. *)
+
+val iter_pred_edges : t -> int -> (int -> edge -> unit) -> unit
 val sources : t -> int list
 (** Tasks without predecessors, in id order. *)
 

@@ -5,20 +5,20 @@ type t = {
   horizon : float;
 }
 
-let compute g ~exec_time ~comm_time ~horizon =
+(* One core for both entry points: [comm] is keyed by edge id and edge,
+   so the seed closure-per-edge interface and the compiled
+   decisions-array interface run the exact same float operations in the
+   exact same (CSR) order. *)
+let compute_core g ~exec ~comm ~horizon =
   let n = Graph.n_tasks g in
-  let exec = Array.init n (fun i -> exec_time (Graph.task g i)) in
   let topo = Graph.topological_order g in
   let asap = Array.make n 0.0 in
   Array.iter
     (fun i ->
-      let ready =
-        List.fold_left
-          (fun acc (e : Graph.edge) ->
-            Float.max acc (asap.(e.src) +. exec.(e.src) +. comm_time e))
-          0.0 (Graph.pred_edges g i)
-      in
-      asap.(i) <- ready)
+      let ready = ref 0.0 in
+      Graph.iter_pred_edges g i (fun id (e : Graph.edge) ->
+          ready := Float.max !ready (asap.(e.src) +. exec.(e.src) +. comm id e));
+      asap.(i) <- !ready)
     topo;
   let makespan =
     Array.fold_left Float.max 0.0 (Array.init n (fun i -> asap.(i) +. exec.(i)))
@@ -27,15 +27,13 @@ let compute g ~exec_time ~comm_time ~horizon =
   let alap = Array.make n Float.infinity in
   for k = n - 1 downto 0 do
     let i = topo.(k) in
-    let latest_finish =
-      List.fold_left
-        (fun acc (e : Graph.edge) -> Float.min acc (alap.(e.dst) -. comm_time e))
-        anchor (Graph.succ_edges g i)
-    in
+    let latest_finish = ref anchor in
+    Graph.iter_succ_edges g i (fun id (e : Graph.edge) ->
+        latest_finish := Float.min !latest_finish (alap.(e.dst) -. comm id e));
     let latest_finish =
       match Task.deadline (Graph.task g i) with
-      | None -> latest_finish
-      | Some d -> Float.min latest_finish d
+      | None -> !latest_finish
+      | Some d -> Float.min !latest_finish d
     in
     (* An unreachable deadline (the task's own, or one inherited through
        successors) would drive ALAP below ASAP and produce negative
@@ -45,6 +43,16 @@ let compute g ~exec_time ~comm_time ~horizon =
     alap.(i) <- latest_finish -. exec.(i)
   done;
   { asap; alap; exec; horizon = anchor }
+
+let compute g ~exec_time ~comm_time ~horizon =
+  let n = Graph.n_tasks g in
+  let exec = Array.init n (fun i -> exec_time (Graph.task g i)) in
+  compute_core g ~exec ~comm:(fun _ e -> comm_time e) ~horizon
+
+let compute_indexed g ~exec ~comm_time ~horizon =
+  if Array.length exec <> Graph.n_tasks g then
+    invalid_arg "Mobility.compute_indexed: exec length mismatch";
+  compute_core g ~exec ~comm:(fun id _ -> comm_time id) ~horizon
 
 let mobility t i = t.alap.(i) -. t.asap.(i)
 

@@ -29,6 +29,19 @@ val compute :
     time — unless the deadline is itself unreachable, in which case the
     ASAP finish is used as the cap (mobility 0). *)
 
+val compute_indexed :
+  Graph.t ->
+  exec:float array ->
+  comm_time:(int -> float) ->
+  horizon:float ->
+  t
+(** Like {!compute}, for callers that already hold per-task execution
+    times and per-edge-id communication times (the compiled evaluation
+    path): same algorithm, same float-operation order, no per-task
+    closure calls.  [comm_time] is keyed by edge id (see
+    {!Graph.edge}).  Raises [Invalid_argument] when [exec] does not
+    have one entry per task. *)
+
 val mobility : t -> int -> float
 (** [alap.(i) - asap.(i)]; 0 marks a critical task. *)
 

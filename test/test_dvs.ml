@@ -16,15 +16,8 @@ module F = Fixtures
 let schedule ?(arch = F.arch ()) ?(mapping = [| 0; 0; 0 |]) ?(period = 1.0)
     ?(instances = fun ~pe:_ ~ty:_ -> 1) ?(graph = F.chain_graph ()) () =
   List_scheduler.run
-    {
-      List_scheduler.mode_id = 0;
-      graph;
-      arch;
-      tech = F.tech arch;
-      mapping;
-      instances;
-      period;
-    }
+    (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech:(F.tech arch) ~mapping
+       ~instances ~period ())
 
 let hw_slot ~task ~instance ~start ~duration ~power =
   ( {
@@ -225,15 +218,10 @@ let test_scaling_multi_level_descent () =
   in
   let sched =
     Mm_sched.List_scheduler.run
-      {
-        Mm_sched.List_scheduler.mode_id = 0;
-        graph;
-        arch;
-        tech;
-        mapping = [| 0 |];
-        instances = (fun ~pe:_ ~ty:_ -> 1);
-        period = 15e-3;
-      }
+      (Mm_sched.List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech
+         ~mapping:[| 0 |]
+         ~instances:(fun ~pe:_ ~ty:_ -> 1)
+         ~period:15e-3 ())
   in
   let result = Scaling.run ~graph ~arch ~tech ~schedule:sched () in
   Alcotest.(check (float 1e-9)) "middle level" 1.5 result.Scaling.task_voltages.(0);
@@ -297,15 +285,10 @@ let prop_greedy_never_worse_than_even =
       let arch = F.arch ~dvs_asic:(Mm_util.Prng.bool rng) () in
       let sched =
         List_scheduler.run
-          {
-            List_scheduler.mode_id = 0;
-            graph;
-            arch;
-            tech = F.tech arch;
-            mapping;
-            instances = (fun ~pe:_ ~ty:_ -> 2);
-            period;
-          }
+          (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech:(F.tech arch)
+             ~mapping
+             ~instances:(fun ~pe:_ ~ty:_ -> 2)
+             ~period ())
       in
       let even = Scaling.run ~config:even_config ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
       let greedy = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
@@ -382,15 +365,10 @@ let prop_scaling_saves_energy_and_meets_deadlines =
       let arch = F.arch ~dvs_asic:(Mm_util.Prng.bool rng) () in
       let sched =
         List_scheduler.run
-          {
-            List_scheduler.mode_id = 0;
-            graph;
-            arch;
-            tech = F.tech arch;
-            mapping;
-            instances = (fun ~pe:_ ~ty:_ -> 2);
-            period;
-          }
+          (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech:(F.tech arch)
+             ~mapping
+             ~instances:(fun ~pe:_ ~ty:_ -> 2)
+             ~period ())
       in
       let nominal = Scaling.nominal ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in
       let scaled = Scaling.run ~graph ~arch ~tech:(F.tech arch) ~schedule:sched () in

@@ -8,15 +8,9 @@ module F = Fixtures
 
 let schedule ~arch ~mapping ~graph ~period =
   List_scheduler.run
-    {
-      List_scheduler.mode_id = 0;
-      graph;
-      arch;
-      tech = F.tech arch;
-      mapping;
-      instances = (fun ~pe:_ ~ty:_ -> 1);
-      period;
-    }
+    (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech:(F.tech arch) ~mapping
+       ~instances:(fun ~pe:_ ~ty:_ -> 1)
+       ~period ())
 
 let test_mode_power_all_software () =
   let arch = F.arch () in

@@ -1,0 +1,228 @@
+(* Equivalence tests for the compile-once evaluation kernels (DESIGN.md
+   §10): the route table, the dense technology dispatch, the heap-based
+   list scheduler and the per-mode memoized fitness pipeline must be
+   bit-identical to the seed implementations they accelerate — same
+   tie-breaking, same float-operation order — on randomly generated
+   multi-mode systems, across every scheduler policy and with DVS on and
+   off. *)
+
+module Spec = Mm_cosynth.Spec
+module Fitness = Mm_cosynth.Fitness
+module Mapping = Mm_cosynth.Mapping
+module Omsm = Mm_omsm.Omsm
+module Mode = Mm_omsm.Mode
+module Arch = Mm_arch.Architecture
+module Tech_lib = Mm_arch.Tech_lib
+module Task_type = Mm_taskgraph.Task_type
+module Comm_mapping = Mm_sched.Comm_mapping
+module List_scheduler = Mm_sched.List_scheduler
+module Scaling = Mm_dvs.Scaling
+module Memo = Mm_parallel.Memo
+module Prng = Mm_util.Prng
+module Random_system = Mm_benchgen.Random_system
+
+let spec_of_seed seed = Random_system.generate ~seed ()
+let random_genome rng spec = Mm_ga.Genome.random rng ~counts:(Spec.gene_counts spec)
+
+let all_policies =
+  [
+    List_scheduler.Mobility_first;
+    List_scheduler.Critical_path_first;
+    List_scheduler.Topological;
+  ]
+
+(* Every scheduler policy, with and without voltage scaling. *)
+let all_configs =
+  List.concat_map
+    (fun policy ->
+      [
+        { Fitness.default_config with Fitness.scheduler_policy = policy };
+        {
+          Fitness.default_config with
+          Fitness.scheduler_policy = policy;
+          dvs = Fitness.Dvs Scaling.default_config;
+        };
+      ])
+    all_policies
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Structural comparison (not [=]) because unscaled task voltages are
+   nan by contract. *)
+let eval_equal (a : Fitness.eval) (b : Fitness.eval) =
+  same_float a.Fitness.fitness b.Fitness.fitness
+  && same_float a.Fitness.eval_power b.Fitness.eval_power
+  && same_float a.Fitness.true_power b.Fitness.true_power
+  && Stdlib.compare a.Fitness.schedules b.Fitness.schedules = 0
+  && Stdlib.compare a.Fitness.scalings b.Fitness.scalings = 0
+  && Stdlib.compare a.Fitness.mode_powers b.Fitness.mode_powers = 0
+
+(* --- Route table ------------------------------------------------------------ *)
+
+let prop_route_table_equivalent =
+  QCheck.Test.make ~name:"route_via ≡ route on every (src, dst, data)" ~count:25
+    QCheck.small_int (fun seed ->
+      let spec = spec_of_seed (2000 + seed) in
+      let arch = Spec.arch spec in
+      let table = Comm_mapping.table arch in
+      let n = Arch.n_pes arch in
+      let ok = ref (Comm_mapping.table_pairs table = n * n) in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          (* data = 0 exercises the all-candidates-tie case, where the
+             winner falls through to the link-id tie-break. *)
+          List.iter
+            (fun data ->
+              let a = Comm_mapping.route arch ~src_pe:src ~dst_pe:dst ~data in
+              let b = Comm_mapping.route_via table ~src_pe:src ~dst_pe:dst ~data in
+              if Stdlib.compare a b <> 0 then ok := false)
+            [ 0.0; 1.0; 4096.0 ]
+        done
+      done;
+      !ok)
+
+(* --- Dense dispatch --------------------------------------------------------- *)
+
+let prop_dispatch_equivalent =
+  QCheck.Test.make ~name:"dispatch_find ≡ find (incl. out of range)" ~count:25
+    QCheck.small_int (fun seed ->
+      let spec = spec_of_seed (4000 + seed) in
+      let arch = Spec.arch spec in
+      let tech = Spec.tech spec in
+      let dispatch = Spec.dispatch (Spec.compiled spec) in
+      let n_pes = Arch.n_pes arch in
+      let types = Task_type.Set.elements (Omsm.all_task_types (Spec.omsm spec)) in
+      List.for_all
+        (fun ty ->
+          let ty_id = Task_type.id ty in
+          List.for_all
+            (fun pe ->
+              Stdlib.compare
+                (Tech_lib.find tech ~ty ~pe:(Arch.pe arch pe))
+                (Tech_lib.dispatch_find dispatch ~ty_id ~pe_id:pe)
+              = 0)
+            (List.init n_pes Fun.id))
+        types
+      && Tech_lib.dispatch_find dispatch ~ty_id:(-1) ~pe_id:0 = None
+      && Tech_lib.dispatch_find dispatch ~ty_id:0 ~pe_id:n_pes = None
+      && Tech_lib.dispatch_find dispatch ~ty_id:0 ~pe_id:(-1) = None)
+
+(* --- Heap scheduler --------------------------------------------------------- *)
+
+let prop_scheduler_equivalent =
+  QCheck.Test.make
+    ~name:"heap scheduler ≡ reference (plain and compiled inputs, all policies)"
+    ~count:10 QCheck.small_int (fun seed ->
+      let spec = spec_of_seed (3000 + seed) in
+      let ctx = Spec.compiled spec in
+      let arch = Spec.arch spec in
+      let tech = Spec.tech spec in
+      let omsm = Spec.omsm spec in
+      let rng = Prng.create ~seed:(seed + 11) in
+      let rows =
+        (Mapping.of_genome spec (random_genome rng spec) :> int array array)
+      in
+      List.for_all
+        (fun policy ->
+          List.for_all
+            (fun mode ->
+              let mode_rec = Omsm.mode omsm mode in
+              let input ?routes ?dispatch () =
+                List_scheduler.make_input ?routes ?dispatch ~mode_id:mode
+                  ~graph:(Mode.graph mode_rec) ~arch ~tech ~mapping:rows.(mode)
+                  ~instances:(fun ~pe:_ ~ty:_ -> 1)
+                  ~period:(Mode.period mode_rec) ()
+              in
+              let reference = List_scheduler.run_reference ~policy (input ()) in
+              let plain = List_scheduler.run ~policy (input ()) in
+              let compiled =
+                List_scheduler.run ~policy
+                  (input ~routes:(Spec.routes ctx) ~dispatch:(Spec.dispatch ctx) ())
+              in
+              Stdlib.compare reference plain = 0
+              && Stdlib.compare reference compiled = 0)
+            (List.init (Omsm.n_modes omsm) Fun.id))
+        all_policies)
+
+(* --- Full fitness pipeline -------------------------------------------------- *)
+
+let prop_fitness_equivalent =
+  QCheck.Test.make
+    ~name:"compiled evaluate ≡ reference evaluate (policies × DVS, warm caches)"
+    ~count:6 QCheck.small_int (fun seed ->
+      let spec = spec_of_seed (1000 + seed) in
+      let rng = Prng.create ~seed:(seed + 1) in
+      (* Several genomes per config against one spec, so later
+         evaluations run against caches warmed by earlier ones — a wrong
+         cache hit (key collision, missing key ingredient) shows up as a
+         mismatch with the uncached reference. *)
+      List.for_all
+        (fun config ->
+          List.for_all
+            (fun _ ->
+              let genome = random_genome rng spec in
+              eval_equal
+                (Fitness.evaluate config spec genome)
+                (Fitness.evaluate_reference config spec genome))
+            [ 1; 2; 3 ])
+        all_configs)
+
+(* --- Cache behaviour -------------------------------------------------------- *)
+
+let test_repeat_evaluation_hits_cache () =
+  let spec = spec_of_seed 42 in
+  let rng = Prng.create ~seed:7 in
+  let genome = random_genome rng spec in
+  let config = Fitness.default_config in
+  let a = Fitness.evaluate config spec genome in
+  let ctx = Spec.compiled spec in
+  let eval_hits = Memo.hits (Spec.mode_eval_cache ctx) in
+  let mob_hits = Memo.hits (Spec.mode_mobility_cache ctx) in
+  let b = Fitness.evaluate config spec genome in
+  let n_modes = Omsm.n_modes (Spec.omsm spec) in
+  Alcotest.(check bool) "identical result" true (eval_equal a b);
+  Alcotest.(check bool) "all modes hit the eval cache" true
+    (Memo.hits (Spec.mode_eval_cache ctx) >= eval_hits + n_modes);
+  Alcotest.(check bool) "all modes hit the mobility cache" true
+    (Memo.hits (Spec.mode_mobility_cache ctx) >= mob_hits + n_modes)
+
+let test_mutated_genome_consistent () =
+  let spec = spec_of_seed 43 in
+  let rng = Prng.create ~seed:9 in
+  let config = Fitness.default_config in
+  let genome = random_genome rng spec in
+  ignore (Fitness.evaluate config spec genome);
+  (* Mutate one position of the last mode: the untouched modes answer
+     their mobility from cache, and the result still matches the
+     uncached reference. *)
+  let counts = Spec.gene_counts spec in
+  let pos = Array.length counts - 1 in
+  let mutated = Array.copy genome in
+  mutated.(pos) <- (mutated.(pos) + 1) mod counts.(pos);
+  let ctx = Spec.compiled spec in
+  let mob_hits = Memo.hits (Spec.mode_mobility_cache ctx) in
+  let a = Fitness.evaluate config spec mutated in
+  let b = Fitness.evaluate_reference config spec mutated in
+  let n_modes = Omsm.n_modes (Spec.omsm spec) in
+  Alcotest.(check bool) "identical to reference" true (eval_equal a b);
+  Alcotest.(check bool) "untouched modes hit the mobility cache" true
+    (Memo.hits (Spec.mode_mobility_cache ctx) >= mob_hits + (n_modes - 1))
+
+let () =
+  Alcotest.run "mm_eval_kernels"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_route_table_equivalent;
+          QCheck_alcotest.to_alcotest prop_dispatch_equivalent;
+          QCheck_alcotest.to_alcotest prop_scheduler_equivalent;
+          QCheck_alcotest.to_alcotest prop_fitness_equivalent;
+        ] );
+      ( "caching",
+        [
+          Alcotest.test_case "repeat evaluation hits the per-mode caches" `Quick
+            test_repeat_evaluation_hits_cache;
+          Alcotest.test_case "mutation keeps cached modes consistent" `Quick
+            test_mutated_genome_consistent;
+        ] );
+    ]

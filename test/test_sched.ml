@@ -14,15 +14,8 @@ let schedule ?(mapping = [| 0; 0; 0 |]) ?(period = 1.0) ?(instances = fun ~pe:_ 
     ?(graph = F.chain_graph ()) () =
   let arch = F.arch () in
   List_scheduler.run
-    {
-      List_scheduler.mode_id = 0;
-      graph;
-      arch;
-      tech = F.tech arch;
-      mapping;
-      instances;
-      period;
-    }
+    (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech:(F.tech arch) ~mapping
+       ~instances ~period ())
 
 let check_valid sched graph =
   match Schedule.validate sched ~graph with
@@ -168,15 +161,10 @@ let test_unsupported_mapping_raises () =
   in
   let run () =
     List_scheduler.run
-      {
-        List_scheduler.mode_id = 0;
-        graph = F.chain_graph ();
-        arch;
-        tech;
-        mapping = [| 0; 1; 0 |];
-        instances = (fun ~pe:_ ~ty:_ -> 1);
-        period = 1.0;
-      }
+      (List_scheduler.make_input ~mode_id:0 ~graph:(F.chain_graph ()) ~arch ~tech
+         ~mapping:[| 0; 1; 0 |]
+         ~instances:(fun ~pe:_ ~ty:_ -> 1)
+         ~period:1.0 ())
   in
   match run () with
   | exception List_scheduler.Unsupported_mapping { task = 1; pe = 1 } -> ()
@@ -230,15 +218,9 @@ let test_deadline_raises_priority () =
 let schedule_with_policy ~policy ?(mapping = [| 0; 0; 0 |]) ?(graph = F.chain_graph ()) () =
   let arch = F.arch () in
   List_scheduler.run ~policy
-    {
-      List_scheduler.mode_id = 0;
-      graph;
-      arch;
-      tech = F.tech arch;
-      mapping;
-      instances = (fun ~pe:_ ~ty:_ -> 1);
-      period = 1.0;
-    }
+    (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech:(F.tech arch) ~mapping
+       ~instances:(fun ~pe:_ ~ty:_ -> 1)
+       ~period:1.0 ())
 
 let all_policies =
   [
@@ -351,15 +333,8 @@ let prop_random_mappings_valid =
       let arch = F.arch () in
       let sched =
         List_scheduler.run
-          {
-            List_scheduler.mode_id = 0;
-            graph;
-            arch;
-            tech = F.tech arch;
-            mapping;
-            instances;
-            period = 1.0;
-          }
+          (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech:(F.tech arch)
+             ~mapping ~instances ~period:1.0 ())
       in
       match Schedule.validate sched ~graph with Ok () -> true | Error _ -> false)
 
