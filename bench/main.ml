@@ -15,6 +15,7 @@
      ablation improvement operators / HW-rail DVS / population size
      parallel domain-pool speedup + eval-cache hit rates (BENCH_parallel.json)
      eval     compiled evaluation kernels before/after (BENCH_eval_kernel.json)
+     soak     checkpoint/kill/resume recovery overhead (BENCH_soak.json)
      kernels  Bechamel timings of the inner kernels *)
 
 module Table = Mm_util.Table
@@ -530,6 +531,134 @@ let parallel options =
   close_out oc;
   Format.printf "wrote %s@." path
 
+(* --- Soak: checkpoint, kill, resume ------------------------------------------- *)
+
+(* Cost of fault tolerance (DESIGN.md §11): the same synthesis run
+   straight through, with a checkpoint written every generation, and
+   killed mid-flight then resumed from the last snapshot.  The resumed
+   run must reproduce the straight run's result bit-for-bit; the JSON
+   baseline records the checkpointing and recovery overheads so later
+   PRs notice a regression in either. *)
+
+exception Soak_interrupted
+
+let soak options =
+  Format.printf "@.== Soak: checkpoint every generation, kill, resume ==@.";
+  let ga =
+    { (ga_config options) with Engine.population_size = 24; max_generations = 40 }
+  in
+  let spec = Random_system.mul 4 in
+  let seed = 11 in
+  let config = { Synthesis.default_config with ga } in
+  let path = Filename.temp_file "mmsyn_soak" ".snap" in
+  let wall f =
+    let started = Unix.gettimeofday () in
+    let result = f () in
+    (Unix.gettimeofday () -. started, result)
+  in
+  let sink = Mm_io.Snapshot.synth_sink ~path ~spec ~every:1 in
+  let straight_seconds, straight = wall (fun () -> Synthesis.run ~config ~spec ~seed ()) in
+  (* Same run with a checkpoint after every generation: the steady-state
+     cost of being interruptible. *)
+  let n_checkpoints = ref 0 in
+  let counting =
+    { sink with Synthesis.save = (fun st -> sink.Synthesis.save st; incr n_checkpoints) }
+  in
+  let checkpointed_seconds, checkpointed =
+    wall (fun () -> Synthesis.run ~config ~checkpoint:counting ~spec ~seed ())
+  in
+  let snapshot_bytes = (Unix.stat path).Unix.st_size in
+  (* Kill the run halfway through its checkpoints, then resume from the
+     file it left behind. *)
+  let kill_at = max 1 (!n_checkpoints / 2) in
+  let written = ref 0 in
+  let killer =
+    {
+      sink with
+      Synthesis.save =
+        (fun st ->
+          sink.Synthesis.save st;
+          incr written;
+          if !written >= kill_at then raise Soak_interrupted);
+    }
+  in
+  let interrupted_seconds, () =
+    wall (fun () ->
+        match Synthesis.run ~config ~checkpoint:killer ~spec ~seed () with
+        | _ -> failwith "soak: the run was not interrupted"
+        | exception Soak_interrupted -> ())
+  in
+  let resume =
+    match Mm_io.Snapshot.load ~path ~spec with
+    | Ok (Mm_io.Snapshot.Synth state) -> state
+    | Ok (Mm_io.Snapshot.Compare _) | Error _ ->
+      failwith "soak: cannot reload the snapshot the killed run left behind"
+  in
+  let resume_seconds, resumed =
+    wall (fun () -> Synthesis.run ~config ~resume ~spec ~seed ())
+  in
+  Sys.remove path;
+  let bits (r : Synthesis.result) =
+    Int64.bits_of_float r.Synthesis.eval.Fitness.true_power
+  in
+  let identical =
+    bits resumed = bits straight
+    && resumed.Synthesis.genome = straight.Synthesis.genome
+    && bits checkpointed = bits straight
+  in
+  if not identical then
+    Format.printf
+      "  WARNING: checkpointed or resumed run diverged from the straight run \
+       (determinism bug)@.";
+  let percent_over base v = 100.0 *. (v -. base) /. base in
+  let checkpoint_overhead = percent_over straight_seconds checkpointed_seconds in
+  let recovery_overhead =
+    percent_over straight_seconds (interrupted_seconds +. resume_seconds)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "mul4, seed %d, %d checkpoints of %d bytes, killed after %d"
+           seed !n_checkpoints snapshot_bytes kill_at)
+      ~columns:[ "run"; "wall (s)"; "p̄ (mW)"; "bit-identical" ]
+  in
+  let row label seconds power_cell identical_cell =
+    Table.add_row t [ label; Printf.sprintf "%.2f" seconds; power_cell; identical_cell ]
+  in
+  let power (r : Synthesis.result) =
+    Printf.sprintf "%.4f" (milliwatt r.Synthesis.eval.Fitness.true_power)
+  in
+  row "straight (no checkpoints)" straight_seconds (power straight) "-";
+  row "checkpoint every generation" checkpointed_seconds (power checkpointed)
+    (string_of_bool (bits checkpointed = bits straight));
+  row "interrupted (killed mid-run)" interrupted_seconds "-" "-";
+  row "resumed from snapshot" resume_seconds (power resumed)
+    (string_of_bool (bits resumed = bits straight));
+  Table.print t;
+  Format.printf "checkpointing overhead: %.1f%%, interrupt+resume vs straight: %+.1f%%@."
+    checkpoint_overhead recovery_overhead;
+  let json_path = "BENCH_soak.json" in
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"soak\",\n";
+  p "  \"workload\": \"mul4\",\n";
+  p "  \"seed\": %d,\n" seed;
+  p "  \"quick\": %b,\n" options.quick;
+  p "  \"checkpoints\": %d,\n" !n_checkpoints;
+  p "  \"killed_after_checkpoint\": %d,\n" kill_at;
+  p "  \"snapshot_bytes\": %d,\n" snapshot_bytes;
+  p "  \"straight_wall_seconds\": %.3f,\n" straight_seconds;
+  p "  \"checkpointed_wall_seconds\": %.3f,\n" checkpointed_seconds;
+  p "  \"interrupted_wall_seconds\": %.3f,\n" interrupted_seconds;
+  p "  \"resume_wall_seconds\": %.3f,\n" resume_seconds;
+  p "  \"checkpoint_overhead_percent\": %.2f,\n" checkpoint_overhead;
+  p "  \"recovery_overhead_percent\": %.2f,\n" recovery_overhead;
+  p "  \"bit_identical\": %b\n" identical;
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." json_path
+
 (* --- Compiled evaluation kernels ---------------------------------------------- *)
 
 (* Before/after comparison of the compile-once evaluation context
@@ -743,7 +872,7 @@ let () =
   let options, selected = parse { runs = None; quick = false } [] args in
   let selected =
     if selected = [] then
-      [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "eval"; "kernels" ]
+      [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "eval"; "soak"; "kernels" ]
     else selected
   in
   let total_start = Sys.time () in
@@ -757,11 +886,12 @@ let () =
       | "ablation-f" -> ablation_dvs_strategy options
       | "parallel" -> parallel options
       | "eval" -> eval_kernel options
+      | "soak" -> soak options
       | "kernels" -> kernels options
       | other ->
         Format.printf
           "unknown experiment %S (expected \
-           table1|table2|table3|ablation|parallel|eval|kernels)@."
+           table1|table2|table3|ablation|parallel|eval|soak|kernels)@."
           other;
         exit 1)
     selected;

@@ -10,8 +10,13 @@
      mmsynth export <benchmark>              print the spec as S-expressions
      mmsynth dot <benchmark> --mode N        dump a mode's task graph
 
-   Benchmarks: "smartphone", "mul1".."mul12", "random:<seed>", or
-   "file:<path>" for a spec exported with `mmsynth export`. *)
+   Benchmarks: "smartphone", "motivational", "mul1".."mul12",
+   "random:<seed>", or "file:<path>" for a spec exported with
+   `mmsynth export`.
+
+   `synth` and `compare` accept --checkpoint FILE / --checkpoint-every N
+   to periodically snapshot their state, and --resume FILE to continue
+   an interrupted run with bit-identical results. *)
 
 module Arch = Mm_arch.Architecture
 module Pe = Mm_arch.Pe
@@ -38,6 +43,7 @@ let spec_of_benchmark name =
   in
   match name with
   | "smartphone" -> Ok (Mm_benchgen.Smartphone.spec ())
+  | "motivational" -> Ok (Mm_benchgen.Motivational.spec ())
   | _ -> (
     match prefixed "mul" with
     | Some digits -> (
@@ -67,7 +73,9 @@ let benchmark_arg =
     required
     & pos 0 (some (conv (parse, print))) None
     & info [] ~docv:"BENCHMARK"
-        ~doc:"Benchmark to operate on: smartphone, mul1..mul12, or random:<seed>.")
+        ~doc:
+          "Benchmark to operate on: smartphone, motivational, mul1..mul12, or \
+           random:<seed>.")
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Synthesis random seed.")
@@ -145,6 +153,44 @@ let metrics_arg =
         ~doc:
           "Collect counters, latency histograms and per-generation GA series, write \
            them to FILE as JSON and print a summary after the report.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Periodically snapshot the run's state to FILE (atomic write-rename), so \
+           an interrupted run can be continued with --resume. Checkpointing never \
+           changes synthesis results.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot every N GA generations (synth; compare always snapshots per \
+           completed run).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Continue from a snapshot written by --checkpoint instead of starting \
+           fresh. The snapshot must belong to the same benchmark and configuration; \
+           its recorded seed overrides --seed. The resumed run's result is \
+           bit-identical to the uninterrupted one's.")
+
+let kill_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill-after-checkpoints" ] ~docv:"N"
+        ~doc:
+          "Testing aid: SIGKILL this process right after the N-th checkpoint write, \
+           simulating a crash mid-run (used by the CI soak test).")
 
 let log_level_arg =
   let parse s =
@@ -248,20 +294,69 @@ let show_cmd =
 
 (* --- synth ------------------------------------------------------------------- *)
 
-let synth spec seed dvs uniform generations population jobs no_eval_cache trace
-    trace_jsonl trace_fine metrics log_level =
+(* Load a snapshot for --resume, mapping every failure to a CLI error. *)
+let load_snapshot ~spec path =
+  match Mm_io.Snapshot.load ~path ~spec with
+  | Ok payload -> Ok payload
+  | Error e ->
+    Error (`Msg (Printf.sprintf "%s: %s" path (Mm_io.Snapshot.error_to_string e)))
+
+(* Wrap a checkpoint-writing function so the process SIGKILLs itself
+   right after the [kill_after]-th write — the CI soak test's simulated
+   crash. *)
+let with_kill_switch ~kill_after save =
+  match kill_after with
+  | None -> save
+  | Some n ->
+    let written = ref 0 in
+    fun state ->
+      save state;
+      incr written;
+      if !written >= n then Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let synth spec seed dvs uniform generations population jobs no_eval_cache checkpoint
+    checkpoint_every resume kill_after trace trace_jsonl trace_fine metrics log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let config = config_of ~jobs ~no_eval_cache ~dvs ~uniform ~generations ~population () in
-  let result = Synthesis.run ~config ~spec ~seed () in
-  Report.print_result spec result;
-  Ok ()
+  let ( let* ) = Result.bind in
+  let* resume =
+    match resume with
+    | None -> Ok None
+    | Some path -> (
+      match load_snapshot ~spec path with
+      | Ok (Mm_io.Snapshot.Synth state) -> Ok (Some state)
+      | Ok (Mm_io.Snapshot.Compare _) ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "%s holds a comparison snapshot; resume it with `mmsynth compare`" path))
+      | Error _ as e -> e)
+  in
+  (* The snapshot records the seed the interrupted run was started with;
+     resuming under any other seed could not reproduce it. *)
+  let seed =
+    match resume with Some state -> state.Synthesis.seed | None -> seed
+  in
+  let checkpoint =
+    Option.map
+      (fun path ->
+        let sink = Mm_io.Snapshot.synth_sink ~path ~spec ~every:checkpoint_every in
+        { sink with Synthesis.save = with_kill_switch ~kill_after sink.Synthesis.save })
+      checkpoint
+  in
+  match Synthesis.run ~config ?checkpoint ?resume ~spec ~seed () with
+  | result ->
+    Report.print_result spec result;
+    Ok ()
+  | exception Invalid_argument message -> Error (`Msg message)
 
 let synth_cmd =
   let term =
     Term.(
       term_result
         (const synth $ benchmark_arg $ seed_arg $ dvs_arg $ uniform_arg
-       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg $ trace_arg
+       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg
+       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ trace_arg
        $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
   in
   Cmd.v
@@ -271,8 +366,8 @@ let synth_cmd =
 
 (* --- compare ------------------------------------------------------------------ *)
 
-let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cache trace
-    trace_jsonl trace_fine metrics log_level =
+let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cache
+    checkpoint resume kill_after trace trace_jsonl trace_fine metrics log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let ga =
     {
@@ -283,7 +378,39 @@ let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cach
   in
   let dvs = if dvs then Fitness.Dvs Mm_dvs.Scaling.default_config else Fitness.No_dvs in
   let eval_cache = if no_eval_cache then 0 else Synthesis.default_eval_cache in
-  let c = Experiment.compare ~ga ~dvs ~jobs ~eval_cache ~spec ~runs ~seed () in
+  let ( let* ) = Result.bind in
+  let* resume =
+    match resume with
+    | None -> Ok None
+    | Some path -> (
+      match load_snapshot ~spec path with
+      | Ok (Mm_io.Snapshot.Compare state) -> Ok (Some state)
+      | Ok (Mm_io.Snapshot.Synth _) ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "%s holds a single-run snapshot; resume it with `mmsynth synth`" path))
+      | Error _ as e -> e)
+  in
+  let seed, runs =
+    match resume with
+    | Some state -> (state.Experiment.seed, state.Experiment.runs)
+    | None -> (seed, runs)
+  in
+  let checkpoint =
+    Option.map
+      (fun path ->
+        with_kill_switch ~kill_after (fun state ->
+            Mm_io.Snapshot.save ~path ~spec (Mm_io.Snapshot.Compare state)))
+      checkpoint
+  in
+  let* c =
+    match Experiment.compare ~ga ~dvs ~jobs ~eval_cache ?checkpoint ?resume ~spec ~runs
+            ~seed ()
+    with
+    | c -> Ok c
+    | exception Invalid_argument message -> Error (`Msg message)
+  in
   let pp_arm name (arm : Experiment.arm) =
     Format.printf "%s: %.4g mW (std %.2g, %d runs, %.1fs CPU/run)@." name
       (arm.Experiment.power.Stats.mean *. 1e3)
@@ -300,8 +427,9 @@ let compare_cmd =
     Term.(
       term_result
         (const compare_cmd_impl $ benchmark_arg $ seed_arg $ dvs_arg $ runs_arg
-       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg $ trace_arg
-       $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
+       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg
+       $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ trace_jsonl_arg
+       $ trace_fine_arg $ metrics_arg $ log_level_arg))
   in
   Cmd.v
     (Cmd.info "compare"

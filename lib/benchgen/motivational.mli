@@ -1,0 +1,16 @@
+(** The paper's first motivational example (§2.3, Fig. 2), with the
+    exact published numbers.
+
+    Two chain-structured modes with execution probabilities 0.1/0.9 on a
+    GPP + ASIC architecture.  Neglecting the probabilities, the optimal
+    mapping implements C and E in hardware (26.7158 mWs weighted
+    energy); considering them it implements E and F instead
+    (15.7423 mWs), a 41 % reduction.
+
+    Promoted from [examples/motivational.ml] into the library so the
+    golden regression fixtures and the examples pin the {e same}
+    specification. *)
+
+val spec : unit -> Mm_cosynth.Spec.t
+(** The Fig. 2 co-synthesis problem.  Deterministic: every call builds
+    an identical specification. *)

@@ -1,5 +1,7 @@
 module Stats = Mm_util.Stats
 
+let p_checkpoint = Mm_obs.Probe.create "experiment/checkpoint"
+
 type arm = {
   power : Stats.summary;
   cpu_seconds : Stats.summary;
@@ -12,54 +14,133 @@ type comparison = {
   reduction_percent : float;
 }
 
+type run_summary = {
+  genome : int array;
+  power : float;
+  cpu_seconds : float;
+  generations : int;
+  evaluations : int;
+  cache_hits : int;
+  history : float list;
+}
+
+type state = {
+  seed : int;
+  runs : int;
+  baseline_done : run_summary list;
+  proposed_done : run_summary list;
+}
+
+let summarize_run (r : Synthesis.result) =
+  {
+    genome = Array.copy r.Synthesis.genome;
+    power = Synthesis.average_power r;
+    cpu_seconds = r.Synthesis.cpu_seconds;
+    generations = r.Synthesis.generations;
+    evaluations = r.Synthesis.evaluations;
+    cache_hits = r.Synthesis.cache_hits;
+    history = r.Synthesis.history;
+  }
+
 let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~weighting ~spec
-    ~runs ~seed =
+    ~runs ~seed ~completed ~on_run =
   if runs <= 0 then invalid_arg "Experiment.compare: runs must be positive";
+  if List.length completed > runs then
+    invalid_arg "Experiment.compare: snapshot holds more runs than requested";
+  let fitness = { Fitness.default_config with Fitness.weighting; dvs } in
   let config =
-    {
-      Synthesis.fitness = { Fitness.default_config with Fitness.weighting; dvs };
-      ga;
-      use_improvements;
-      restarts;
-      jobs;
-      eval_cache;
-    }
+    { Synthesis.fitness; ga; use_improvements; restarts; jobs; eval_cache }
   in
   (* One cache per arm, shared across its repeated runs: later runs reuse
      evaluations the earlier ones already paid for.  Sharing cannot
      change any synthesised result (evaluation is pure, cached values
      exact); the statistics reset keeps each run's hit-rate figures
-     clean of its predecessors' traffic. *)
+     clean of its predecessors' traffic.  A resumed arm starts with a
+     cold cache, so evaluation counts of its remaining runs can differ
+     from the uninterrupted arm's — synthesised powers never do. *)
   let cache =
     if eval_cache > 0 then Some (Mm_parallel.Memo.create ~capacity:eval_cache)
     else None
   in
-  let results =
-    List.init runs (fun r ->
-        Option.iter Mm_parallel.Memo.reset_stats cache;
-        Synthesis.run ~config ?cache ~spec ~seed:(seed + r) ())
+  (* Oldest-first; replayed runs carry no [Synthesis.result] — if one of
+     them ends up best, the result is rebuilt from its genome below. *)
+  let pairs = ref (List.map (fun s -> (s, None)) completed) in
+  for r = List.length completed to runs - 1 do
+    Option.iter Mm_parallel.Memo.reset_stats cache;
+    let result = Synthesis.run ~config ?cache ~spec ~seed:(seed + r) () in
+    pairs := !pairs @ [ (summarize_run result, Some result) ];
+    match on_run with
+    | None -> ()
+    | Some save ->
+      Mm_obs.Probe.run
+        ~args:(fun () -> [ ("run", string_of_int r) ])
+        p_checkpoint
+        (fun () -> save (List.map fst !pairs))
+  done;
+  let powers = List.map (fun (s, _) -> s.power) !pairs in
+  let cpu = List.map (fun (s, _) -> s.cpu_seconds) !pairs in
+  let best_summary, best_result =
+    match !pairs with
+    | [] -> assert false (* runs >= 1 *)
+    | first :: rest ->
+      List.fold_left
+        (fun ((bs, _) as acc) ((s, _) as cand) ->
+          if s.power < bs.power then cand else acc)
+        first rest
   in
-  let powers = List.map Synthesis.average_power results in
-  let cpu = List.map (fun r -> r.Synthesis.cpu_seconds) results in
   let best =
-    List.fold_left
-      (fun acc r ->
-        if Synthesis.average_power r < Synthesis.average_power acc then r else acc)
-      (List.hd results) (List.tl results)
+    match best_result with
+    | Some result -> result
+    | None ->
+      (* Pure evaluation: recomputing from the genome reproduces the
+         replayed run's evaluation bit-for-bit. *)
+      {
+        Synthesis.genome = best_summary.genome;
+        eval = Fitness.evaluate fitness spec best_summary.genome;
+        generations = best_summary.generations;
+        evaluations = best_summary.evaluations;
+        cache_hits = best_summary.cache_hits;
+        cpu_seconds = best_summary.cpu_seconds;
+        history = best_summary.history;
+      }
   in
-  { power = Stats.summarize powers; cpu_seconds = Stats.summarize cpu; best }
+  ( { power = Stats.summarize powers; cpu_seconds = Stats.summarize cpu; best },
+    List.map fst !pairs )
 
 let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
     ?(use_improvements = true) ?(restarts = Synthesis.default_config.Synthesis.restarts)
     ?(jobs = Synthesis.default_config.Synthesis.jobs)
-    ?(eval_cache = Synthesis.default_config.Synthesis.eval_cache) ~spec ~runs ~seed () =
-  let without_probabilities =
+    ?(eval_cache = Synthesis.default_config.Synthesis.eval_cache) ?checkpoint ?resume
+    ~spec ~runs ~seed () =
+  (match resume with
+  | None -> ()
+  | Some st ->
+    if st.seed <> seed || st.runs <> runs then
+      invalid_arg "Experiment.compare: snapshot seed/runs do not match this comparison";
+    if List.length st.baseline_done > runs || List.length st.proposed_done > runs then
+      invalid_arg "Experiment.compare: snapshot holds more runs than requested";
+    (* The proposed arm only starts once the baseline arm is complete. *)
+    if st.proposed_done <> [] && List.length st.baseline_done < runs then
+      invalid_arg "Experiment.compare: snapshot proposed-arm runs precede a full baseline");
+  let baseline_done = match resume with None -> [] | Some st -> st.baseline_done in
+  let proposed_done = match resume with None -> [] | Some st -> st.proposed_done in
+  let without_probabilities, baseline_all =
     run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache
-      ~weighting:Fitness.Uniform ~spec ~runs ~seed
+      ~weighting:Fitness.Uniform ~spec ~runs ~seed ~completed:baseline_done
+      ~on_run:
+        (Option.map
+           (fun save summaries ->
+             save { seed; runs; baseline_done = summaries; proposed_done = [] })
+           checkpoint)
   in
-  let with_probabilities =
+  let with_probabilities, _ =
     run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache
-      ~weighting:Fitness.True_probabilities ~spec ~runs ~seed
+      ~weighting:Fitness.True_probabilities ~spec ~runs ~seed ~completed:proposed_done
+      ~on_run:
+        (Option.map
+           (fun save summaries ->
+             save { seed; runs; baseline_done = baseline_all; proposed_done = summaries })
+           checkpoint)
   in
   {
     without_probabilities;

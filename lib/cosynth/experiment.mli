@@ -18,6 +18,32 @@ type comparison = {
           "Reduc. (%)" column. *)
 }
 
+type run_summary = {
+  genome : int array;
+  power : float;  (** True average power of the run's best mapping (W). *)
+  cpu_seconds : float;
+  generations : int;
+  evaluations : int;
+  cache_hits : int;
+  history : float list;
+}
+(** One completed synthesis run of an arm, reduced to what resuming the
+    comparison needs (the winning evaluation is recomputable from the
+    genome because fitness evaluation is pure). *)
+
+type state = {
+  seed : int;
+  runs : int;  (** Runs per arm the comparison was started with. *)
+  baseline_done : run_summary list;  (** Completed Uniform-arm runs, oldest first. *)
+  proposed_done : run_summary list;
+      (** Completed True_probabilities-arm runs; always empty until the
+          baseline arm is complete. *)
+}
+(** Comparison progress at a completed-run boundary — the checkpoint
+    granularity of {!compare}.  Coarser than {!Synthesis.run_state} on
+    purpose: a comparison is many short runs, so a killed run loses at
+    most one run's work. *)
+
 val compare :
   ?ga:Mm_ga.Engine.config ->
   ?dvs:Fitness.dvs ->
@@ -25,6 +51,8 @@ val compare :
   ?restarts:int ->
   ?jobs:int ->
   ?eval_cache:int ->
+  ?checkpoint:(state -> unit) ->
+  ?resume:state ->
   spec:Spec.t ->
   runs:int ->
   seed:int ->
@@ -34,4 +62,12 @@ val compare :
     [seed], [seed+1], …; both arms share seeds so the comparison is
     paired.  [jobs] and [eval_cache] are forwarded to
     {!Synthesis.config}; neither changes the synthesised results, only
-    how fast they are computed. *)
+    how fast they are computed.
+
+    [checkpoint] is called with the comparison's {!state} after every
+    completed run; [resume] skips the runs a state already holds.  The
+    resumed comparison's powers and best mappings are bit-identical to
+    the uninterrupted one's; evaluation counts of runs executed after a
+    resume can differ because the arm's shared memo cache restarts cold.
+    Raises [Invalid_argument] when the state's seed/runs bookkeeping
+    does not match this comparison. *)

@@ -285,30 +285,39 @@ let evaluate_mapping config spec mapping =
   Metrics.set g_route_entries (float_of_int (Comm_mapping.table_entries routes));
   let rows = (mapping : Mapping.t :> int array array) in
   let mobility_cache = Spec.mode_mobility_cache ctx in
+  let eval_cache = Spec.mode_eval_cache ctx in
+  (* One evaluation touches one entry per mode in each cache.  Pinning
+     the entries it finds or inserts keeps a later mode's insertion from
+     evicting an earlier mode's — at small capacities an evaluation
+     would otherwise invalidate its own working set, so the very next
+     evaluation of the same mapping misses again. *)
+  Fun.protect ~finally:(fun () ->
+      Memo.unpin_all mobility_cache;
+      Memo.unpin_all eval_cache)
+  @@ fun () ->
   let mobilities =
     Mm_obs.Probe.run p_mobility (fun () ->
         Array.init n_modes (fun mode ->
             let key = mobility_key ~mode rows.(mode) in
-            match Memo.find mobility_cache key with
+            match Memo.find ~pin:true mobility_cache key with
             | Some m ->
               Metrics.incr c_mob_hit;
               m
             | None ->
               Metrics.incr c_mob_miss;
               let m = compiled_mode_mobility spec ~routes ~dispatch rows.(mode) mode in
-              Memo.add mobility_cache key m;
+              Memo.add ~pin:true mobility_cache key m;
               m))
   in
   let alloc =
     Mm_obs.Probe.run p_alloc (fun () -> Core_alloc.allocate spec mapping ~mobilities)
   in
   let fingerprint = config_fingerprint config in
-  let eval_cache = Spec.mode_eval_cache ctx in
   let keys =
     Array.init n_modes (fun mode ->
         eval_key ~fingerprint ~arch ~alloc ~mode rows.(mode))
   in
-  let cached = Array.map (Memo.find eval_cache) keys in
+  let cached = Array.map (Memo.find ~pin:true eval_cache) keys in
   Array.iter
     (function
       | Some _ -> Metrics.incr c_mode_hit
@@ -350,7 +359,7 @@ let evaluate_mapping config spec mapping =
   Array.iteri
     (fun mode cached_triple ->
       if cached_triple = None then
-        Memo.add eval_cache keys.(mode)
+        Memo.add ~pin:true eval_cache keys.(mode)
           (schedules.(mode), scalings.(mode), mode_powers.(mode)))
     cached;
   assemble config spec mapping ~alloc ~schedules ~scalings ~mode_powers

@@ -4,9 +4,11 @@ module Pool = Mm_parallel.Pool
 module Memo = Mm_parallel.Memo
 module Log = Mm_obs.Log
 
-(* Coarse spans: one per synthesis run, one per GA restart inside it. *)
+(* Coarse spans: one per synthesis run, one per GA restart inside it,
+   one per checkpoint handed to a sink. *)
 let p_run = Mm_obs.Probe.create "synthesis/run"
 let p_restart = Mm_obs.Probe.create "synthesis/restart"
+let p_checkpoint = Mm_obs.Probe.create "synthesis/checkpoint"
 
 type config = {
   fitness : Fitness.config;
@@ -30,6 +32,65 @@ let default_config =
   }
 
 type cache = (float * Fitness.eval) Memo.t
+
+type restart_summary = {
+  r_genome : int array;
+  r_fitness : float;
+  r_generations : int;
+  r_evaluations : int;
+  r_cache_hits : int;
+  r_history : float list;
+}
+
+type run_state = {
+  seed : int;
+  fingerprint : string;
+  next_restart : int;
+  completed : restart_summary list;
+  outer_rng : int64;
+  engine : Engine.checkpoint option;
+}
+
+type checkpoint_sink = { every : int; save : run_state -> unit }
+
+(* Everything that can change the synthesis trajectory for a given seed
+   goes into the fingerprint; [jobs] and [eval_cache] are deliberately
+   absent because the evaluation strategy never perturbs the result (see
+   the determinism note in the module doc).  Floats are printed in hex so
+   the fingerprint compares them bit-for-bit. *)
+let config_fingerprint config =
+  let weighting =
+    match config.fitness.Fitness.weighting with
+    | Fitness.True_probabilities -> "p"
+    | Fitness.Uniform -> "u"
+  in
+  let dvs =
+    match config.fitness.Fitness.dvs with
+    | Fitness.No_dvs -> "none"
+    | Fitness.Dvs sc ->
+      Printf.sprintf "%b/%b/%s" sc.Mm_dvs.Scaling.scale_software
+        sc.Mm_dvs.Scaling.scale_hardware
+        (match sc.Mm_dvs.Scaling.strategy with
+        | Mm_dvs.Scaling.Greedy_gradient -> "gradient"
+        | Mm_dvs.Scaling.Even_slack -> "even")
+  in
+  let policy =
+    match config.fitness.Fitness.scheduler_policy with
+    | Mm_sched.List_scheduler.Mobility_first -> "mobility"
+    | Mm_sched.List_scheduler.Critical_path_first -> "critical-path"
+    | Mm_sched.List_scheduler.Topological -> "topological"
+  in
+  let p = config.fitness.Fitness.penalties in
+  let ga = config.ga in
+  Printf.sprintf
+    "w=%s dvs=%s sched=%s pen=%h:%h:%h:%h ga=%d:%d:%h:%h:%d:%d:%d:%h:%h \
+     improve=%b restarts=%d"
+    weighting dvs policy p.Fitness.timing p.Fitness.area p.Fitness.transition
+    p.Fitness.unroutable ga.Engine.population_size ga.Engine.tournament_size
+    ga.Engine.crossover_rate ga.Engine.mutation_rate ga.Engine.elite_count
+    ga.Engine.max_generations ga.Engine.stagnation_limit
+    ga.Engine.diversity_threshold ga.Engine.selection_pressure
+    config.use_improvements (max 1 config.restarts)
 
 type result = {
   genome : int array;
@@ -152,10 +213,34 @@ let anchors spec =
   let all = match greedy_timing_anchor spec with Some g -> base @ [ g ] | None -> base in
   List.sort_uniq compare all
 
-let run ?(config = default_config) ?cache ~spec ~seed () =
+let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
   Mm_obs.Probe.run ~args:(fun () -> [ ("seed", string_of_int seed) ]) p_run
   @@ fun () ->
-  let rng = Prng.create ~seed in
+  let fingerprint = config_fingerprint config in
+  let restarts = max 1 config.restarts in
+  (match resume with
+  | None -> ()
+  | Some state ->
+    (* A snapshot only replays faithfully against the run that produced
+       it: same seed, same trajectory-relevant configuration, and a
+       restart index that the run can actually reach. *)
+    if state.seed <> seed then
+      invalid_arg
+        (Printf.sprintf "Synthesis.run: snapshot was taken with seed %d, not %d"
+           state.seed seed);
+    if not (String.equal state.fingerprint fingerprint) then
+      invalid_arg "Synthesis.run: snapshot configuration does not match this run";
+    if
+      state.next_restart > restarts
+      || (state.next_restart = restarts && Option.is_some state.engine)
+    then invalid_arg "Synthesis.run: snapshot restart index out of range";
+    if List.length state.completed <> state.next_restart then
+      invalid_arg "Synthesis.run: snapshot restart summaries are inconsistent");
+  let rng =
+    match resume with
+    | None -> Prng.create ~seed
+    | Some state -> Prng.of_state state.outer_rng
+  in
   let problem =
     {
       Engine.gene_counts = Spec.gene_counts spec;
@@ -192,46 +277,132 @@ let run ?(config = default_config) ?cache ~spec ~seed () =
     | None, Some c -> Engine.Cached c
     | Some p, Some c -> Engine.Cached_pooled (p, c)
   in
-  let restarts = max 1 config.restarts in
   let started = Sys.time () in
-  let runs =
-    List.init restarts (fun restart ->
-        Mm_obs.Probe.run
-          ~args:(fun () -> [ ("restart", string_of_int restart) ])
-          p_restart
-          (fun () ->
-            let result =
-              Engine.run ~config:config.ga ~strategy ~rng:(Prng.split rng) problem
-            in
-            Log.debug (fun () ->
-                Printf.sprintf "seed %d restart %d/%d: fitness %.6g in %d generations"
-                  seed (restart + 1) restarts result.Engine.best_fitness
-                  result.Engine.generations);
-            result))
+  let save_state sink state =
+    Mm_obs.Probe.run
+      ~args:(fun () ->
+        [
+          ("restart", string_of_int state.next_restart);
+          ( "generation",
+            match state.engine with
+            | Some ck -> string_of_int ck.Engine.generation
+            | None -> "-" );
+        ])
+      p_checkpoint
+      (fun () -> sink.save state)
   in
+  let summarize (r : _ Engine.result) =
+    {
+      r_genome = Array.copy r.Engine.best_genome;
+      r_fitness = r.Engine.best_fitness;
+      r_generations = r.Engine.generations;
+      r_evaluations = r.Engine.evaluations;
+      r_cache_hits = r.Engine.cache_hits;
+      r_history = r.Engine.history;
+    }
+  in
+  (* Summaries stay oldest-first so the best-candidate fold below sees
+     restarts in their original order (first strict improvement wins
+     ties, exactly as in an uninterrupted run).  Replayed summaries carry
+     no [Fitness.eval]; if one of them wins, its evaluation is recomputed
+     from the genome at the end. *)
+  let first_restart, engine_resume =
+    match resume with
+    | None -> (0, ref None)
+    | Some state -> (state.next_restart, ref state.engine)
+  in
+  let summaries =
+    ref
+      (match resume with
+      | None -> []
+      | Some state -> List.map (fun s -> (s, None)) state.completed)
+  in
+  for restart = first_restart to restarts - 1 do
+    Mm_obs.Probe.run
+      ~args:(fun () -> [ ("restart", string_of_int restart) ])
+      p_restart
+      (fun () ->
+        let resume_ck = !engine_resume in
+        engine_resume := None;
+        (* An in-flight engine checkpoint was taken after this restart's
+           [Prng.split]; splitting again would desynchronise the outer
+           stream.  The child rng passed alongside a resume is superseded
+           by the checkpointed state and never consumed. *)
+        let child_rng =
+          match resume_ck with None -> Prng.split rng | Some _ -> rng
+        in
+        let outer_state = Prng.state rng in
+        let on_generation =
+          Option.map
+            (fun sink (ck : Engine.checkpoint) ->
+              if sink.every > 0 && ck.Engine.generation mod sink.every = 0 then
+                save_state sink
+                  {
+                    seed;
+                    fingerprint;
+                    next_restart = restart;
+                    completed = List.map fst !summaries;
+                    outer_rng = outer_state;
+                    engine = Some ck;
+                  })
+            checkpoint
+        in
+        let result =
+          Engine.run ~config:config.ga ~strategy ?on_generation
+            ?resume:resume_ck ~rng:child_rng problem
+        in
+        Log.debug (fun () ->
+            Printf.sprintf "seed %d restart %d/%d: fitness %.6g in %d generations"
+              seed (restart + 1) restarts result.Engine.best_fitness
+              result.Engine.generations);
+        summaries := !summaries @ [ (summarize result, Some result.Engine.best_info) ];
+        match checkpoint with
+        | None -> ()
+        | Some sink ->
+          save_state sink
+            {
+              seed;
+              fingerprint;
+              next_restart = restart + 1;
+              completed = List.map fst !summaries;
+              outer_rng = Prng.state rng;
+              engine = None;
+            })
+  done;
   let cpu_seconds = Sys.time () -. started in
-  let best =
-    match runs with
-    | [] -> assert false (* restarts >= 1 *)
+  let best_summary, best_eval =
+    match !summaries with
+    | [] -> assert false (* restarts >= 1 and resume summaries are checked *)
     | first :: rest ->
       List.fold_left
-        (fun acc r -> if r.Engine.best_fitness < acc.Engine.best_fitness then r else acc)
+        (fun ((bs, _) as acc) ((s, _) as cand) ->
+          if s.r_fitness < bs.r_fitness then cand else acc)
         first rest
   in
+  let eval =
+    match best_eval with
+    | Some eval -> eval
+    | None ->
+      (* The winning restart was replayed from a snapshot; evaluation is
+         pure, so recomputing it from the genome reproduces the
+         evaluation the interrupted run held, bit-for-bit. *)
+      Fitness.evaluate config.fitness spec best_summary.r_genome
+  in
+  let total f = List.fold_left (fun acc (s, _) -> acc + f s) 0 !summaries in
   Log.info (fun () ->
       Printf.sprintf
         "synthesis seed %d: power %.6g W, fitness %.6g, %d evaluations, %.2fs CPU" seed
-        best.Engine.best_info.Fitness.true_power best.Engine.best_fitness
-        (List.fold_left (fun acc r -> acc + r.Engine.evaluations) 0 runs)
+        eval.Fitness.true_power best_summary.r_fitness
+        (total (fun s -> s.r_evaluations))
         cpu_seconds);
   {
-    genome = best.Engine.best_genome;
-    eval = best.Engine.best_info;
-    generations = List.fold_left (fun acc r -> acc + r.Engine.generations) 0 runs;
-    evaluations = List.fold_left (fun acc r -> acc + r.Engine.evaluations) 0 runs;
-    cache_hits = List.fold_left (fun acc r -> acc + r.Engine.cache_hits) 0 runs;
+    genome = best_summary.r_genome;
+    eval;
+    generations = total (fun s -> s.r_generations);
+    evaluations = total (fun s -> s.r_evaluations);
+    cache_hits = total (fun s -> s.r_cache_hits);
     cpu_seconds;
-    history = best.Engine.history;
+    history = best_summary.r_history;
   }
 
 let average_power result = result.eval.Fitness.true_power

@@ -67,14 +67,83 @@ val anchors : Spec.t -> int array list
 type cache = (float * Fitness.eval) Mm_parallel.Memo.t
 (** The genome→evaluation memoization cache a run evaluates through. *)
 
-val run : ?config:config -> ?cache:cache -> spec:Spec.t -> seed:int -> unit -> result
+(** {2 Checkpoint & resume}
+
+    A synthesis run can be checkpointed at every GA generation boundary
+    and resumed later with a bit-identical trajectory (final fitness
+    equal by [Int64.bits_of_float]).  The run state is a plain data
+    value; persisting it is the caller's business ({!Mm_io.Snapshot}
+    provides the versioned file codec), which keeps this library free of
+    I/O concerns. *)
+
+type restart_summary = {
+  r_genome : int array;
+  r_fitness : float;
+  r_generations : int;
+  r_evaluations : int;
+  r_cache_hits : int;
+  r_history : float list;
+}
+(** What a completed GA restart contributes to the final result.  The
+    full {!Fitness.eval} is not stored: evaluation is pure, so the
+    winning genome's evaluation can always be recomputed bit-for-bit. *)
+
+type run_state = {
+  seed : int;  (** The seed the interrupted run was started with. *)
+  fingerprint : string;
+      (** {!config_fingerprint} of the interrupted run's configuration;
+          resume refuses a mismatch. *)
+  next_restart : int;  (** Index of the restart to run (or continue) next. *)
+  completed : restart_summary list;
+      (** Summaries of restarts [0 .. next_restart - 1], oldest first. *)
+  outer_rng : int64;
+      (** The outer PRNG stream: the post-split state when [engine]
+          holds an in-flight restart, the pre-split state of restart
+          [next_restart] otherwise. *)
+  engine : Mm_ga.Engine.checkpoint option;
+      (** The in-flight restart's generation-boundary state, or [None]
+          for a checkpoint taken between restarts. *)
+}
+(** Full synthesis run state at a checkpoint boundary. *)
+
+type checkpoint_sink = {
+  every : int;  (** Emit a within-restart checkpoint every N generations. *)
+  save : run_state -> unit;
+}
+(** Where checkpoints go.  [save] is called with the current state every
+    [every] generations and once after each completed restart; each call
+    is wrapped in a [synthesis/checkpoint] probe span. *)
+
+val config_fingerprint : config -> string
+(** A stable digest of every configuration field that can alter the
+    synthesis trajectory for a given seed ([jobs] and [eval_cache] are
+    excluded — the evaluation strategy never perturbs results).  Stored
+    in {!run_state} and checked on resume. *)
+
+val run :
+  ?config:config ->
+  ?cache:cache ->
+  ?checkpoint:checkpoint_sink ->
+  ?resume:run_state ->
+  spec:Spec.t ->
+  seed:int ->
+  unit ->
+  result
 (** [cache] supplies an external memoization cache instead of the
     per-run one [config.eval_cache] would create — the experiment
     harness shares one cache across an arm's repeated runs (and resets
     its statistics between them, see {!Mm_parallel.Memo.reset_stats}).
     Because evaluation is pure and cached values are exact, a shared
     cache never changes a synthesised result, only the evaluation
-    counts. *)
+    counts.
+
+    [checkpoint] streams {!run_state} values to a sink during the run;
+    [resume] continues from one instead of starting fresh.  A resumed
+    run reproduces the uninterrupted run's result bit-for-bit (except
+    [evaluations]/[cache_hits]/[cpu_seconds], which additionally count
+    the restore work).  Raises [Invalid_argument] when the state's seed,
+    configuration fingerprint, or restart bookkeeping does not match
+    this run. *)
 
 val average_power : result -> float
 (** The result's average power under the true mode probabilities. *)

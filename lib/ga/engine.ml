@@ -79,6 +79,17 @@ type 'info result = {
   history : float list;
 }
 
+type checkpoint = {
+  generation : int;
+  members : (int array * float) array;
+  best : int array * float;
+  stagnation : int;
+  history : float list;
+  evaluations : int;
+  cache_hits : int;
+  rng_state : int64;
+}
+
 type 'info member = { genome : int array; fitness : float; info : 'info }
 
 (* Linear-ranking weights: best rank gets [pressure], worst gets
@@ -131,13 +142,18 @@ let make_batcher problem strategy =
           { genome = genomes.(i); fitness; info })
     | Some c ->
       let results = Array.make n None in
+      (* Entries touched by this batch are pinned until the batch ends,
+         so inserting one miss's result cannot evict another in-flight
+         entry of the same batch (see the pinning note in
+         {!Mm_parallel.Memo}). *)
+      Fun.protect ~finally:(fun () -> Memo.unpin_all c) @@ fun () ->
       (* Misses in first-occurrence order; duplicate genomes within the
          batch (clones of a converged population) are folded onto one
          evaluation and counted as cache hits. *)
       let misses = ref [] in
       Array.iteri
         (fun i genome ->
-          match Memo.find c genome with
+          match Memo.find ~pin:true c genome with
           | Some r ->
             incr cache_hits;
             Metrics.incr m_cache_hits;
@@ -155,7 +171,7 @@ let make_batcher problem strategy =
       Array.iteri
         (fun j (genome, slots) ->
           let r = miss_results.(j) in
-          Memo.add c genome r;
+          Memo.add ~pin:true c genome r;
           List.iter (fun i -> results.(i) <- Some r) !slots)
         misses;
       Array.init n (fun i ->
@@ -165,7 +181,8 @@ let make_batcher problem strategy =
   in
   { batch; evaluations; cache_hits }
 
-let run ?(config = default_config) ?(strategy = Serial) ~rng problem =
+let run ?(config = default_config) ?(strategy = Serial) ?on_generation ?resume
+    ~rng problem =
   if Array.length problem.gene_counts = 0 then invalid_arg "Engine.run: empty genome";
   if config.population_size <= 0 then invalid_arg "Engine.run: non-positive population";
   Array.iter
@@ -177,23 +194,68 @@ let run ?(config = default_config) ?(strategy = Serial) ~rng problem =
       if not (Genome.validate ~counts:problem.gene_counts genome) then
         invalid_arg "Engine.run: invalid initial genome")
     problem.initial;
-  let seeded = Array.of_list problem.initial in
-  let population =
-    (* Genome construction consumes the RNG in index order; evaluation is
-       deferred to one batch. *)
-    let genomes =
-      Array.init config.population_size (fun i ->
-          if i < Array.length seeded then Array.copy seeded.(i)
-          else Genome.random rng ~counts:problem.gene_counts)
-    in
-    ref (batcher.batch genomes)
-  in
   let by_fitness a b = compare a.fitness b.fitness in
-  Array.sort by_fitness !population;
-  let best = ref !population.(0) in
-  let history = ref [ !best.fitness ] in
-  let stagnation = ref 0 in
-  let generation = ref 0 in
+  let rng, population, best, history, stagnation, generation =
+    match resume with
+    | None ->
+      let seeded = Array.of_list problem.initial in
+      (* Genome construction consumes the RNG in index order; evaluation
+         is deferred to one batch. *)
+      let genomes =
+        Array.init config.population_size (fun i ->
+            if i < Array.length seeded then Array.copy seeded.(i)
+            else Genome.random rng ~counts:problem.gene_counts)
+      in
+      let population = batcher.batch genomes in
+      Array.sort by_fitness population;
+      let best = population.(0) in
+      (rng, ref population, ref best, ref [ best.fitness ], ref 0, ref 0)
+    | Some (ck : checkpoint) ->
+      if Array.length ck.members <> config.population_size then
+        invalid_arg "Engine.run: checkpoint population size mismatch";
+      let check_genome (genome, _) =
+        if not (Genome.validate ~counts:problem.gene_counts genome) then
+          invalid_arg "Engine.run: checkpoint genome does not fit the problem"
+      in
+      Array.iter check_genome ck.members;
+      check_genome ck.best;
+      (* Recover the ['info] side data by re-evaluating the stored
+         genomes as one batch (the best-ever genome rides along at the
+         end).  A pure evaluator must reproduce the checkpointed
+         fitnesses bit-for-bit — a mismatch means the snapshot belongs
+         to a different problem.  The restored array is NOT re-sorted:
+         [Array.sort] is unstable, so only the order captured at the
+         generation boundary reproduces the original run. *)
+      let stored_genome (g, _) = Array.copy g in
+      let evaluated =
+        batcher.batch
+          (Array.append (Array.map stored_genome ck.members)
+             [| stored_genome ck.best |])
+      in
+      let restore m stored_fitness =
+        if problem.pure
+           && Int64.bits_of_float m.fitness <> Int64.bits_of_float stored_fitness
+        then invalid_arg "Engine.run: checkpoint fitness mismatch (stale snapshot?)";
+        { m with fitness = stored_fitness }
+      in
+      let n = Array.length ck.members in
+      let members = Array.init n (fun i -> restore evaluated.(i) (snd ck.members.(i))) in
+      let best = restore evaluated.(n) (snd ck.best) in
+      (* The restore batch already bumped the counters by its own cost;
+         stack the checkpointed totals on top so the resumed run reports
+         the work of the whole trajectory. *)
+      batcher.evaluations := !(batcher.evaluations) + ck.evaluations;
+      batcher.cache_hits := !(batcher.cache_hits) + ck.cache_hits;
+      (* The caller's [rng] is superseded: the stream continues from the
+         captured state, which is what makes the resumed trajectory
+         bit-identical to the uninterrupted one. *)
+      ( Prng.of_state ck.rng_state,
+        ref members,
+        ref best,
+        ref (List.rev ck.history),
+        ref ck.stagnation,
+        ref ck.generation )
+  in
   let weights = ranking_weights config.population_size config.selection_pressure in
   (* Mean normalised Hamming distance of the population to its best
      member — a cheap proxy for population diversity. *)
@@ -310,7 +372,26 @@ let run ?(config = default_config) ?(strategy = Serial) ~rng problem =
     end
     else incr stagnation;
     history := !best.fitness :: !history;
-    record_generation ()
+    record_generation ();
+    (* The generation boundary is the only point where no randomness is
+       in flight: everything the next iteration reads is the sorted
+       population, the convergence state and the PRNG word captured
+       here.  That is exactly what a [checkpoint] carries. *)
+    match on_generation with
+    | None -> ()
+    | Some emit ->
+      emit
+        {
+          generation = !generation;
+          members =
+            Array.map (fun m -> (Array.copy m.genome, m.fitness)) !population;
+          best = (Array.copy !best.genome, !best.fitness);
+          stagnation = !stagnation;
+          history = List.rev !history;
+          evaluations = !(batcher.evaluations);
+          cache_hits = !(batcher.cache_hits);
+          rng_state = Prng.state rng;
+        }
   done;
   {
     best_genome = Array.copy !best.genome;

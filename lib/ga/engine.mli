@@ -111,9 +111,33 @@ type 'info result = {
   history : float list;  (** Best-ever fitness after each generation, oldest first. *)
 }
 
+type checkpoint = {
+  generation : int;  (** Number of completed generations. *)
+  members : (int array * float) array;
+      (** The population in its exact post-sort order.  A resumed run
+          must not re-sort it: [Array.sort] is unstable, so only this
+          order reproduces the original trajectory. *)
+  best : int array * float;
+      (** Best-ever individual.  Kept separately from [members] because
+          the best-ever may beat [members.(0)] by less than the strict
+          improvement threshold. *)
+  stagnation : int;
+  history : float list;  (** Oldest first, as in {!result}. *)
+  evaluations : int;
+  cache_hits : int;
+  rng_state : int64;  (** {!Mm_util.Prng.state} at the boundary. *)
+}
+(** Everything the engine needs to continue a run from a generation
+    boundary.  ['info] side data is deliberately absent — it is
+    recomputed on resume by re-evaluating the genomes — so checkpoints
+    are monomorphic and serialisable without caring what the evaluator
+    attaches. *)
+
 val run :
   ?config:config ->
   ?strategy:'info eval_strategy ->
+  ?on_generation:(checkpoint -> unit) ->
+  ?resume:checkpoint ->
   rng:Mm_util.Prng.t ->
   'info problem ->
   'info result
@@ -121,4 +145,20 @@ val run :
     [best_genome], [best_fitness], [generations], [history] — is
     independent of the strategy; see the determinism note above.  Raises
     [Invalid_argument] on an empty genome or a non-positive
-    population. *)
+    population.
+
+    [on_generation] is called at the end of every generation with a
+    {!checkpoint} capturing the boundary state (genomes are copies; the
+    callback may retain them).
+
+    [resume] continues a run from a checkpoint instead of breeding a
+    fresh population: the stored genomes are re-evaluated in one batch
+    to recover their ['info] (so resuming costs one population's worth
+    of evaluations, or nothing with a warm cache), the stored fitnesses
+    and convergence state are restored verbatim, and the PRNG stream
+    continues from [rng_state] — the caller's [rng] is superseded.  The
+    resumed run is bit-identical to the uninterrupted one under any
+    {!eval_strategy}.  Raises [Invalid_argument] when the checkpoint
+    does not fit the problem: wrong population size, genomes outside
+    [gene_counts], or (for a pure evaluator) stored fitnesses that the
+    evaluator no longer reproduces bit-for-bit. *)

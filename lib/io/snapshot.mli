@@ -1,0 +1,70 @@
+(** Durable snapshots of interrupted synthesis work.
+
+    A snapshot file carries one {!payload} — the full
+    {!Mm_cosynth.Synthesis.run_state} of a single synthesis run, or the
+    {!Mm_cosynth.Experiment.state} of a baseline-vs-proposed comparison
+    — wrapped in a header with a format version and a fingerprint of the
+    specification the run was working on.  Loading refuses a snapshot
+    whose version this build does not understand or whose fingerprint
+    does not match the given specification, with a typed {!error} (never
+    an exception from the S-expression internals).
+
+    Writes are atomic (write to a [.tmp] sibling, then [rename]), so a
+    crash mid-checkpoint never corrupts the previous snapshot.
+
+    Format (S-expression, human-readable):
+    {v
+    (mmsyn-snapshot
+      (version 1)
+      (spec fnv1a64:<16 hex digits>)
+      (payload (synth ...) | (compare ...)))
+    v}
+
+    PRNG states are 64-bit words and appear as decimal atoms; floats are
+    printed with {!Sexp.float}, which round-trips bit-exactly. *)
+
+val format_version : int
+(** The version this build writes and reads (currently 1). *)
+
+type payload =
+  | Synth of Mm_cosynth.Synthesis.run_state
+  | Compare of Mm_cosynth.Experiment.state
+
+type error =
+  | Io_error of string  (** File could not be read. *)
+  | Malformed of string
+      (** Unparseable or structurally wrong content (truncated file,
+          corrupted bytes, missing fields). *)
+  | Version_mismatch of { found : int }
+      (** Header carries a format version this build does not read;
+          nothing past the header is decoded. *)
+  | Spec_mismatch of { found : string; expected : string }
+      (** The snapshot belongs to a different specification. *)
+
+val error_to_string : error -> string
+
+val fingerprint : Mm_cosynth.Spec.t -> string
+(** FNV-1a 64-bit digest of the specification's canonical textual form
+    ({!Codec.spec_to_string}), as stored in the snapshot header. *)
+
+val to_string : spec:Mm_cosynth.Spec.t -> payload -> string
+(** Encode a snapshot document (including header) for [spec]. *)
+
+val of_string : spec:Mm_cosynth.Spec.t -> string -> (payload, error) result
+(** Decode a snapshot document, verifying its header against [spec].
+    Total: every failure mode maps to an {!error}. *)
+
+val save : path:string -> spec:Mm_cosynth.Spec.t -> payload -> unit
+(** Atomically write the snapshot to [path] (via [path ^ ".tmp"] and
+    rename).  Raises [Sys_error] when the directory is not writable. *)
+
+val load : path:string -> spec:Mm_cosynth.Spec.t -> (payload, error) result
+
+val synth_sink :
+  path:string ->
+  spec:Mm_cosynth.Spec.t ->
+  every:int ->
+  Mm_cosynth.Synthesis.checkpoint_sink
+(** A {!Mm_cosynth.Synthesis.checkpoint_sink} that {!save}s a [Synth]
+    snapshot to [path] every [every] generations (and after every
+    completed restart). *)

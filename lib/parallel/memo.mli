@@ -23,15 +23,38 @@ val create : capacity:int -> 'v t
     entries; beyond that the least-recently-used entry is evicted.
     Raises [Invalid_argument] if [capacity < 1]. *)
 
-val find : 'v t -> int array -> 'v option
-(** Lookup; counts a hit or a miss and refreshes the entry's recency. *)
+val find : ?pin:bool -> 'v t -> int array -> 'v option
+(** Lookup; counts a hit or a miss and refreshes the entry's recency.
+    [~pin:true] additionally exempts a found entry from eviction until
+    {!unpin_all} — see {e Pinning} below. *)
 
-val add : 'v t -> int array -> 'v -> unit
-(** Insert (or overwrite) a binding, copying the key, and evict the LRU
-    entry if the cache is over capacity. *)
+val add : ?pin:bool -> 'v t -> int array -> 'v -> unit
+(** Insert (or overwrite) a binding, copying the key, and evict the
+    least-recently-used {e unpinned} entry if the cache is over
+    capacity.  [~pin:true] pins the inserted entry. *)
 
 val mem : 'v t -> int array -> bool
 (** Membership test without touching recency or the hit/miss counters. *)
+
+(** {2 Pinning}
+
+    When one logical operation performs several lookups and insertions
+    against the same cache (e.g. a fitness evaluation touching one entry
+    per mode), a later insertion can evict an entry an earlier step of
+    the {e same} operation just inserted or retrieved — at full capacity
+    the operation then invalidates its own working set.  Pinning marks
+    the operation's entries as off-limits to the LRU bound for its
+    duration: eviction skips pinned entries (temporarily overflowing
+    capacity when everything is pinned), and {!unpin_all} releases them
+    and trims the cache back down.  Pins are not reference-counted;
+    callers bracket each operation with [unpin_all] (typically via
+    [Fun.protect]). *)
+
+val unpin_all : 'v t -> unit
+(** Release every pin, then evict down to capacity (oldest first). *)
+
+val pinned : 'v t -> int
+(** Number of currently pinned entries. *)
 
 val clear : 'v t -> unit
 (** Drop all entries.  Counters are kept. *)

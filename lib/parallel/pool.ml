@@ -2,7 +2,19 @@
    batch (epoch bump), run the shared batch closure to exhaustion, then
    report in on [work_done].  The batch closure itself pulls chunks of
    the input through an atomic cursor, so domains steal work from each
-   other rather than owning fixed slices. *)
+   other rather than owning fixed slices.
+
+   Fault tolerance: a raising job is retried with capped exponential
+   backoff ([config.max_retries]); a batch whose workers do not report
+   in within [config.timeout] seconds of the owner finishing its own
+   share is {e abandoned} — OCaml domains cannot be killed, so the era
+   counter below invalidates the stragglers' bookkeeping, replacements
+   are spawned, and the owner finishes the batch's unprocessed slots
+   serially.  Workers that keep having to be replaced eventually trip
+   [config.max_respawns] and the pool degrades to serial maps for the
+   rest of its life.  Abandoned workers are joined at [shutdown] only if
+   they provably exited (their [exited] flag); a worker hung forever in
+   a user job is leaked rather than blocking shutdown. *)
 
 module Clock = Mm_obs.Clock
 module Control = Mm_obs.Control
@@ -10,39 +22,78 @@ module Metrics = Mm_obs.Metrics
 
 (* Pool utilisation metrics (recorded only when metrics are enabled):
    batches/items dispatched, summed domain busy time inside batch
-   closures, and summed worker wait time between batches. *)
+   closures, and summed worker wait time between batches.  The fault
+   counters mirror the per-pool [stats] so a whole process's pool
+   trouble is visible in metrics.json. *)
 let m_batches = Metrics.counter "pool/batches"
 let m_items = Metrics.counter "pool/items"
 let m_busy_us = Metrics.counter "pool/busy_us"
 let m_wait_us = Metrics.counter "pool/wait_us"
+let m_retries = Metrics.counter "pool/retries"
+let m_timeouts = Metrics.counter "pool/timeouts"
+let m_respawns = Metrics.counter "pool/respawns"
 let p_batch = Mm_obs.Probe.create "pool/batch"
+
+type config = {
+  max_retries : int;
+  backoff : float;
+  backoff_max : float;
+  timeout : float;
+  max_respawns : int;
+}
+
+let default_config =
+  {
+    max_retries = 0;
+    backoff = 1e-3;
+    backoff_max = 0.1;
+    timeout = 0.0;
+    max_respawns = 8;
+  }
+
+type worker = { domain : unit Domain.t; exited : bool Atomic.t }
 
 type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
+  cfg : config;
   mutable job : (unit -> unit) option;
   mutable epoch : int;
+  mutable era : int;  (* bumped to invalidate all live workers at once *)
+  mutable live_epoch : int;  (* epoch whose [pending] count is trusted *)
   mutable pending : int;  (* workers still inside the current epoch's job *)
   mutable closed : bool;
-  mutable workers : unit Domain.t array;
+  mutable workers : worker array;
+  mutable retired : worker list;  (* abandoned; joined at shutdown if exited *)
+  mutable degraded : bool;
+  target : int;  (* worker count to respawn after an abandon *)
+  n_retries : int Atomic.t;  (* bumped from worker domains *)
+  mutable n_timeouts : int;
+  mutable n_respawns : int;
 }
+
+type stats = { retries : int; timeouts : int; respawns : int; degraded : bool }
 
 let max_domains = 64
 
-let worker pool () =
-  let seen = ref 0 in
+let worker pool ~era ~epoch0 ~exited () =
+  (* [epoch0] was captured on the spawning thread: a worker spawned by
+     an abandon must not pick up the batch being abandoned, so it waits
+     for the next bump; reading [pool.epoch] from here instead would
+     race with the owner publishing a first batch. *)
+  let seen = ref epoch0 in
   let running = ref true in
   while !running do
     let record_wait = Control.metrics_on () in
     let wait_t0 = if record_wait then Clock.now_us () else 0.0 in
     Mutex.lock pool.mutex;
-    while (not pool.closed) && pool.epoch = !seen do
+    while (not pool.closed) && pool.era = era && pool.epoch = !seen do
       Condition.wait pool.work_ready pool.mutex
     done;
     if record_wait then
       Metrics.incr ~by:(int_of_float (Clock.now_us () -. wait_t0)) m_wait_us;
-    if pool.closed then begin
+    if pool.closed || pool.era <> era then begin
       Mutex.unlock pool.mutex;
       running := false
     end
@@ -58,13 +109,23 @@ let worker pool () =
       | Some run -> ( try run () with _ -> ())
       | None -> ());
       Mutex.lock pool.mutex;
-      pool.pending <- pool.pending - 1;
-      if pool.pending = 0 then Condition.broadcast pool.work_done;
+      (* A straggler from an abandoned era (or epoch) must not touch the
+         pending count of whatever batch is live now. *)
+      if pool.era = era && pool.live_epoch = !seen then begin
+        pool.pending <- pool.pending - 1;
+        if pool.pending = 0 then Condition.broadcast pool.work_done
+      end;
       Mutex.unlock pool.mutex
     end
-  done
+  done;
+  Atomic.set exited true
 
-let create ?domains () =
+let spawn_worker pool =
+  let exited = Atomic.make false in
+  let d = Domain.spawn (worker pool ~era:pool.era ~epoch0:pool.epoch ~exited) in
+  { domain = d; exited }
+
+let create ?domains ?(config = default_config) () =
   let requested =
     match domains with Some d -> d | None -> Domain.recommended_domain_count ()
   in
@@ -74,28 +135,101 @@ let create ?domains () =
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
+      cfg = config;
       job = None;
       epoch = 0;
+      era = 0;
+      live_epoch = -1;
       pending = 0;
       closed = false;
       workers = [||];
+      retired = [];
+      degraded = false;
+      target = size - 1;
+      n_retries = Atomic.make 0;
+      n_timeouts = 0;
+      n_respawns = 0;
     }
   in
-  pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker pool));
+  pool.workers <- Array.init (size - 1) (fun _ -> spawn_worker pool);
   pool
 
 let size pool = Array.length pool.workers + 1
+
+let stats pool =
+  Mutex.lock pool.mutex;
+  let s =
+    {
+      retries = Atomic.get pool.n_retries;
+      timeouts = pool.n_timeouts;
+      respawns = pool.n_respawns;
+      degraded = pool.degraded;
+    }
+  in
+  Mutex.unlock pool.mutex;
+  s
+
+(* Run one job, retrying a raising [f] up to [max_retries] times with
+   capped exponential backoff.  The final failure re-raises with its
+   original backtrace. *)
+let apply pool f x =
+  let cfg = pool.cfg in
+  let rec attempt k =
+    try f x
+    with _ when k < cfg.max_retries ->
+      Atomic.incr pool.n_retries;
+      Metrics.incr m_retries;
+      let delay =
+        Float.min cfg.backoff_max (cfg.backoff *. (2.0 ** float_of_int k))
+      in
+      if delay > 0.0 then Unix.sleepf delay;
+      attempt (k + 1)
+  in
+  attempt 0
+
+(* Abandon the current batch's workers: the era bump makes every live
+   worker exit (or, if hung, renders it a harmless zombie whose
+   bookkeeping is ignored), replacements are spawned unless that would
+   exceed the respawn budget, in which case the pool degrades to serial.
+   Called with [pool.mutex] held. *)
+let abandon pool =
+  pool.n_timeouts <- pool.n_timeouts + 1;
+  Metrics.incr m_timeouts;
+  let lost = Array.length pool.workers in
+  pool.era <- pool.era + 1;
+  pool.live_epoch <- -1;
+  pool.pending <- 0;
+  pool.retired <- Array.to_list pool.workers @ pool.retired;
+  if pool.n_respawns + lost > pool.cfg.max_respawns then begin
+    pool.workers <- [||];
+    pool.degraded <- true
+  end
+  else begin
+    pool.n_respawns <- pool.n_respawns + lost;
+    Metrics.incr ~by:lost m_respawns;
+    pool.workers <- Array.init pool.target (fun _ -> spawn_worker pool)
+  end;
+  (* Wake exited-era workers parked on [work_ready] so they can leave. *)
+  Condition.broadcast pool.work_ready
 
 let map pool f input =
   if pool.closed then invalid_arg "Pool.map: pool is shut down";
   let n = Array.length input in
   let n_workers = Array.length pool.workers in
   if n = 0 then [||]
-  else if n_workers = 0 || n = 1 then Array.map f input
+  else if n_workers = 0 || n = 1 then Array.map (apply pool f) input
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
     let failure = Atomic.make None in
+    let element i =
+      if Atomic.get failure = None then
+        match apply pool f input.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    in
     (* A few chunks per domain: coarse enough that the atomic cursor is
        cold, fine enough that the batch does not end on one domain's
        straggler chunk. *)
@@ -106,14 +240,8 @@ let map pool f input =
         let start = Atomic.fetch_and_add cursor chunk in
         if start >= n then running := false
         else
-          let stop = min n (start + chunk) in
-          for i = start to stop - 1 do
-            if Atomic.get failure = None then
-              match f input.(i) with
-              | v -> results.(i) <- Some v
-              | exception e ->
-                let bt = Printexc.get_raw_backtrace () in
-                ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+          for i = start to min n (start + chunk) - 1 do
+            element i
           done
       done
     in
@@ -142,16 +270,40 @@ let map pool f input =
         Mutex.lock pool.mutex;
         pool.job <- Some run;
         pool.epoch <- pool.epoch + 1;
+        pool.live_epoch <- pool.epoch;
         pool.pending <- n_workers;
         Condition.broadcast pool.work_ready;
         Mutex.unlock pool.mutex;
         run ();
         Mutex.lock pool.mutex;
-        while pool.pending > 0 do
-          Condition.wait pool.work_done pool.mutex
-        done;
+        if pool.cfg.timeout <= 0.0 then
+          while pool.pending > 0 do
+            Condition.wait pool.work_done pool.mutex
+          done
+        else begin
+          (* [Condition] has no timed wait, so poll.  The deadline runs
+             from the moment the owner finished its own share: the
+             stragglers get [timeout] seconds of grace, independent of
+             how long the batch as a whole takes. *)
+          let deadline = Clock.now_us () +. (pool.cfg.timeout *. 1e6) in
+          while pool.pending > 0 do
+            if Clock.now_us () > deadline then abandon pool
+            else begin
+              Mutex.unlock pool.mutex;
+              Unix.sleepf 0.0005;
+              Mutex.lock pool.mutex
+            end
+          done
+        end;
         pool.job <- None;
-        Mutex.unlock pool.mutex);
+        Mutex.unlock pool.mutex;
+        (* After an abandon the hung workers' chunks are unfinished (and
+           a zombie may still be filling slots behind us, which is
+           harmless for the pure [f] the pool requires: both writes carry
+           the same value).  Finish them on the calling domain. *)
+        for i = 0 to n - 1 do
+          if results.(i) = None then element i
+        done);
     match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> Array.map (function Some v -> v | None -> assert false) results
@@ -160,10 +312,16 @@ let map pool f input =
 let shutdown pool =
   Mutex.lock pool.mutex;
   let workers = pool.workers in
+  let retired = pool.retired in
   pool.workers <- [||];
+  pool.retired <- [];
   if not pool.closed then begin
     pool.closed <- true;
     Condition.broadcast pool.work_ready
   end;
   Mutex.unlock pool.mutex;
-  Array.iter Domain.join workers
+  Array.iter (fun w -> Domain.join w.domain) workers;
+  (* Retired workers are joined only when they provably left their loop;
+     one hung forever in a user job is leaked rather than deadlocking
+     shutdown. *)
+  List.iter (fun w -> if Atomic.get w.exited then Domain.join w.domain) retired

@@ -17,33 +17,94 @@
 
     Determinism: [map pool f input] returns exactly [Array.map f input]
     for a pure [f] — result slots are fixed by input index, only the
-    execution schedule varies with the domain count. *)
+    execution schedule varies with the domain count.
+
+    {2 Fault tolerance}
+
+    Long synthesis runs must survive misbehaving jobs.  Three defences,
+    all configured through {!config} and off by default:
+
+    - {e Retry}: a raising job is re-run up to [max_retries] times with
+      capped exponential backoff before its exception is allowed to
+      propagate.
+    - {e Timeout}: when the workers of a batch have not reported in
+      [timeout] seconds after the owner finished its own share, the
+      batch is {e abandoned}.  OCaml domains cannot be killed, so the
+      stragglers are invalidated (their later bookkeeping is ignored;
+      if truly hung they are leaked at {!shutdown}), replacement
+      workers are spawned, and the owner completes the batch's
+      unfinished elements serially — {!map} still returns the full,
+      correct result.
+    - {e Degradation}: once more than [max_respawns] workers have had
+      to be replaced over the pool's life, the pool stops spawning and
+      every later {!map} runs serially on the caller.
+
+    Each event increments the [pool/retries] / [pool/timeouts] /
+    [pool/respawns] metrics and the per-pool {!stats}. *)
 
 type t
 (** A pool handle.  The creating domain participates in every {!map},
     so a pool of size [n] runs work on [n] domains total ([n - 1]
     spawned workers plus the caller). *)
 
-val create : ?domains:int -> unit -> t
+type config = {
+  max_retries : int;
+      (** Times a raising job is retried before the exception
+          propagates (default 0: first failure raises, as a plain
+          [Array.map] would). *)
+  backoff : float;
+      (** Sleep before retry [k] is [backoff * 2{^ k}] seconds
+          (default 1 ms). *)
+  backoff_max : float;  (** Cap on the backoff sleep (default 0.1 s). *)
+  timeout : float;
+      (** Grace period in seconds for worker stragglers after the owner
+          finishes its share of a batch; [<= 0] (the default) waits
+          forever.  Only meaningful for a pure [f]: after an abandon the
+          owner re-runs unfinished elements, and a zombie worker may
+          still complete its copy concurrently. *)
+  max_respawns : int;
+      (** Lifetime budget of worker replacements before the pool
+          degrades to serial evaluation (default 8). *)
+}
+
+val default_config : config
+(** No retries, no timeout, respawn budget 8 — bit-compatible with a
+    pool that has no fault tolerance at all. *)
+
+type stats = {
+  retries : int;  (** Jobs re-run after raising. *)
+  timeouts : int;  (** Batches abandoned on the wall-clock timeout. *)
+  respawns : int;  (** Workers replaced after abandons. *)
+  degraded : bool;  (** Whether the pool has fallen back to serial. *)
+}
+
+val create : ?domains:int -> ?config:config -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains.  [domains]
     defaults to {!Domain.recommended_domain_count}; it is clamped to
     [\[1, 64\]].  A pool of 1 spawns nothing and {!map} degrades to
-    [Array.map]. *)
+    [Array.map].  [config] defaults to {!default_config}. *)
 
 val size : t -> int
 (** Number of domains that execute work during a {!map}, including the
-    caller.  [size t >= 1]. *)
+    caller.  [size t >= 1]; a {e degraded} pool reports 1. *)
+
+val stats : t -> stats
+(** Fault-tolerance counters of this pool (the metrics counters
+    aggregate across pools and are gated on the global metrics switch;
+    these are always live). *)
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map t f input] applies [f] to every element of [input] on the
     pool's domains and returns the results in input order.
 
-    If any application of [f] raises, the first exception observed is
-    re-raised in the caller (with its backtrace) after all domains have
-    stopped picking up new elements; remaining elements may or may not
-    have been evaluated.  Raises [Invalid_argument] if the pool has been
-    {!shutdown}. *)
+    If an application of [f] raises (after exhausting the configured
+    retries), the first exception observed is re-raised in the caller
+    (with its backtrace) after all domains have stopped picking up new
+    elements; remaining elements may or may not have been evaluated.
+    Raises [Invalid_argument] if the pool has been {!shutdown}. *)
 
 val shutdown : t -> unit
 (** Terminate and join the worker domains.  Idempotent.  The pool cannot
-    be used afterwards. *)
+    be used afterwards.  Workers abandoned by a timeout are joined only
+    if they have provably exited; a worker still hung in a job is leaked
+    (the domain stays alive until the process exits). *)

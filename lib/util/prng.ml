@@ -18,6 +18,8 @@ let split t =
   { state = mix64 child_seed }
 
 let copy t = { state = t.state }
+let state t = t.state
+let of_state state = { state }
 
 (* Rejection-free bounded draw: take the top bits scaled into [0,bound).
    The scaling bias is < 2^-53 for any bound below 2^53, far below

@@ -24,6 +24,17 @@ val copy : t -> t
 (** [copy t] duplicates the current state; both generators then produce
     the same future stream. *)
 
+val state : t -> int64
+(** The generator's raw internal state.  Together with {!of_state} this
+    is what lets a checkpoint capture a run's randomness exactly: a
+    generator rebuilt from the captured word continues the stream
+    bit-for-bit. *)
+
+val of_state : int64 -> t
+(** [of_state s] rebuilds the generator whose {!state} was [s].  Unlike
+    {!create} the word is used verbatim (no mixing), so
+    [of_state (state t)] produces exactly [t]'s future stream. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -111,3 +111,43 @@ let spec_of_graphs ?probabilities ?period ?dvs_gpp ?dvs_asic ?area graphs =
   let arch = arch ?dvs_gpp ?dvs_asic ?area () in
   Mm_cosynth.Spec.make ~omsm:(omsm_of_graphs ?probabilities ?period graphs) ~arch
     ~tech:(tech arch)
+
+(* --- Golden regression values -------------------------------------------------
+
+   Float-bit pins of the evaluation pipeline on the two reference
+   systems (test_golden.ml).  Every value is the [Int64.bits_of_float]
+   of a power in watts or a makespan in seconds, captured from a known-
+   good build; ANY bit drift — a reordered float reduction, a changed
+   scheduler tie-break — fails the golden test and must be a conscious,
+   documented decision, because it also invalidates old snapshots'
+   bit-identical resume guarantee. *)
+
+(* Motivational system (paper §2.3, Fig. 2): the two published optimal
+   mappings, 26.7158 / 15.7423 mWs weighted energy. *)
+let golden_motivational_fig2b_power_bits = 0x3f9b5b62fd255a2dL (* 0.026715800000000001 *)
+let golden_motivational_fig2c_power_bits = 0x3f901ebfdea7c0a4L (* 0.015742300000000001 *)
+
+let golden_motivational_fig2b_makespan_bits =
+  [| 0x3fa9652bd3c36113L (* 0.0496 s *); 0x3faa858793dd97f6L (* 0.0518 s *) |]
+
+let golden_motivational_fig2c_makespan_bits =
+  [| 0x3fb47ae147ae147bL (* 0.080 s *); 0x3f9eb851eb851eb8L (* 0.030 s *) |]
+
+(* Smart phone benchmark: the all-software anchor genome (first of
+   [Synthesis.anchors], deterministic) through the full pipeline,
+   without and with DVS. *)
+let golden_smartphone_anchor_power_bits = 0x3fc59bb6aa4b9885L (* 0.16881450 W *)
+
+let golden_smartphone_anchor_makespan_bits =
+  [|
+    0x3f95182a9930be0dL (* 0.0206 s *);
+    0x3f80cb295e9e1b09L (* 0.0082 s *);
+    0x3f81d14e3bcd35a8L (* 0.0087 s *);
+    0x3fa1a9fbe76c8b45L (* 0.0345 s *);
+    0x3f76872b020c49bbL (* 0.0055 s *);
+    0x3fa05532617c1bdbL (* 0.0319 s *);
+    0x3fa096bb98c7e283L (* 0.0324 s *);
+    0x3fa1eb851eb851ecL (* 0.0350 s *);
+  |]
+
+let golden_smartphone_anchor_dvs_power_bits = 0x3fba885a7b4320ecL (* 0.10364309 W *)

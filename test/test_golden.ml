@@ -1,0 +1,80 @@
+(* Golden regression battery: the evaluation pipeline pinned to the bit
+   on the two reference systems.
+
+   The checkpoint/resume machinery promises bit-identical results across
+   interruptions, which only holds as long as evaluation itself is
+   bit-stable from build to build.  These tests pin the full pipeline
+   (scheduling, power, DVS) on the paper's motivational example and the
+   smart phone benchmark; the expected values live in Fixtures so the
+   next person changing them sees the warning attached there. *)
+
+module Fitness = Mm_cosynth.Fitness
+module Mapping = Mm_cosynth.Mapping
+module Synthesis = Mm_cosynth.Synthesis
+module Schedule = Mm_sched.Schedule
+
+let bits = Int64.bits_of_float
+
+let bits_testable =
+  Alcotest.testable
+    (fun ppf v -> Fmt.pf ppf "0x%LxL (%.17g)" v (Int64.float_of_bits v))
+    Int64.equal
+
+let check_bits name expected actual = Alcotest.check bits_testable name expected (bits actual)
+
+let check_makespans name expected (eval : Fitness.eval) =
+  Alcotest.(check (array bits_testable))
+    name expected
+    (Array.map (fun s -> bits (Schedule.makespan s)) eval.Fitness.schedules)
+
+let test_motivational () =
+  let spec = Mm_benchgen.Motivational.spec () in
+  let eval arrays =
+    Fitness.evaluate_mapping Fitness.default_config spec (Mapping.of_arrays spec arrays)
+  in
+  (* Fig. 2b: C and E in hardware — optimal when probabilities are
+     neglected; Fig. 2c: E and F in hardware — optimal under the real
+     0.1/0.9 probabilities. *)
+  let fig2b = eval [| [| 0; 0; 1 |]; [| 0; 1; 0 |] |] in
+  let fig2c = eval [| [| 0; 0; 0 |]; [| 0; 1; 1 |] |] in
+  check_bits "fig2b weighted power" Fixtures.golden_motivational_fig2b_power_bits
+    fig2b.Fitness.true_power;
+  check_bits "fig2c weighted power" Fixtures.golden_motivational_fig2c_power_bits
+    fig2c.Fitness.true_power;
+  check_makespans "fig2b makespans" Fixtures.golden_motivational_fig2b_makespan_bits fig2b;
+  check_makespans "fig2c makespans" Fixtures.golden_motivational_fig2c_makespan_bits fig2c;
+  (* The same values against the paper's published numbers (mWs), so a
+     golden drift that still matches the paper is distinguishable from
+     one that breaks the reproduction outright. *)
+  Alcotest.(check (float 1e-4)) "fig2b matches the paper" 26.7158
+    (fig2b.Fitness.true_power *. 1e3);
+  Alcotest.(check (float 1e-4)) "fig2c matches the paper" 15.7423
+    (fig2c.Fitness.true_power *. 1e3)
+
+let test_smartphone () =
+  let spec = Mm_benchgen.Smartphone.spec () in
+  let genome =
+    match Synthesis.anchors spec with
+    | g :: _ -> g
+    | [] -> Alcotest.fail "smartphone has no software anchor"
+  in
+  let nodvs = Fitness.evaluate Fitness.default_config spec genome in
+  check_bits "anchor power" Fixtures.golden_smartphone_anchor_power_bits
+    nodvs.Fitness.true_power;
+  check_makespans "anchor makespans" Fixtures.golden_smartphone_anchor_makespan_bits nodvs;
+  let dvs_config =
+    { Fitness.default_config with Fitness.dvs = Fitness.Dvs Mm_dvs.Scaling.default_config }
+  in
+  let dvs = Fitness.evaluate dvs_config spec genome in
+  check_bits "anchor power under DVS" Fixtures.golden_smartphone_anchor_dvs_power_bits
+    dvs.Fitness.true_power
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "evaluation pins",
+        [
+          Alcotest.test_case "motivational (Fig. 2)" `Quick test_motivational;
+          Alcotest.test_case "smartphone anchor" `Quick test_smartphone;
+        ] );
+    ]

@@ -94,6 +94,93 @@ let test_pool_nonuniform_cost () =
       in
       Alcotest.(check (array int)) "all slots" input (Pool.map pool f input))
 
+(* --- Pool fault tolerance ----------------------------------------------------- *)
+
+let test_pool_retry_heals_flaky_jobs () =
+  (* Every element fails twice before succeeding; with a retry budget of
+     three the batch must complete with the serial oracle's result and
+     account one retry per failure. *)
+  let n = 32 in
+  let attempts = Array.init n (fun _ -> Atomic.make 0) in
+  let f x =
+    if Atomic.fetch_and_add attempts.(x) 1 < 2 then raise (Boom x);
+    x * x
+  in
+  let config = { Pool.default_config with max_retries = 3; backoff = 1e-5 } in
+  let pool = Pool.create ~domains:4 ~config () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let input = Array.init n Fun.id in
+  Alcotest.(check (array int))
+    "matches the serial oracle"
+    (Array.map (fun x -> x * x) input)
+    (Pool.map pool f input);
+  Alcotest.(check int) "two retries per element" (2 * n) (Pool.stats pool).Pool.retries
+
+let test_pool_retry_budget_exhausted () =
+  (* A persistently failing job must still propagate its exception after
+     the retries run out, and the pool must survive. *)
+  let config = { Pool.default_config with max_retries = 2; backoff = 1e-5 } in
+  let pool = Pool.create ~domains:2 ~config () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (match Pool.map pool (fun x -> raise (Boom x)) [| 1; 2; 3; 4 |] with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Boom _ -> ());
+  Alcotest.(check bool) "retries counted" true ((Pool.stats pool).Pool.retries >= 2);
+  Alcotest.(check (array int)) "usable after exhausted retries" [| 2; 3 |]
+    (Pool.map pool succ [| 1; 2 |])
+
+(* A job that hangs on every domain but the owner: the owner finishes
+   its share, the timeout fires, the stragglers are abandoned and the
+   owner completes the batch serially.  The owner's copy is slowed just
+   enough that the workers reliably wake up and claim chunks before the
+   batch is drained. *)
+let test_pool_timeout_abandons_stragglers () =
+  let owner = Domain.self () in
+  let f x =
+    if Domain.self () <> owner then Unix.sleepf 0.3 else Unix.sleepf 0.002;
+    x + 1
+  in
+  let config =
+    { Pool.default_config with timeout = 0.05; max_respawns = 100 }
+  in
+  let pool = Pool.create ~domains:4 ~config () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let input = Array.init 64 Fun.id in
+  Alcotest.(check (array int))
+    "abandoned batch still returns the serial oracle's result"
+    (Array.map succ input) (Pool.map pool f input);
+  let stats = Pool.stats pool in
+  Alcotest.(check bool) "timeout counted" true (stats.Pool.timeouts >= 1);
+  Alcotest.(check bool) "replacements spawned" true (stats.Pool.respawns >= 3);
+  Alcotest.(check bool) "not yet degraded" false stats.Pool.degraded;
+  (* The respawned workers must serve later batches normally. *)
+  Alcotest.(check (array int)) "usable after abandon" [| 1; 2; 3 |]
+    (Pool.map pool Fun.id [| 1; 2; 3 |])
+
+let test_pool_degrades_to_serial () =
+  (* Workers that die faster than the respawn budget allows: the pool
+     must fall back to serial evaluation instead of spawning forever —
+     and keep producing correct results. *)
+  let owner = Domain.self () in
+  let f x =
+    if Domain.self () <> owner then Unix.sleepf 0.3 else Unix.sleepf 0.002;
+    x * 2
+  in
+  let config = { Pool.default_config with timeout = 0.05; max_respawns = 2 } in
+  let pool = Pool.create ~domains:4 ~config () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let input = Array.init 32 Fun.id in
+  Alcotest.(check (array int))
+    "degrading batch result" (Array.map (fun x -> x * 2) input)
+    (Pool.map pool f input);
+  let stats = Pool.stats pool in
+  Alcotest.(check bool) "degraded" true stats.Pool.degraded;
+  Alcotest.(check int) "degraded pool reports size 1" 1 (Pool.size pool);
+  (* Serial from here on: even the would-hang jobs run on the owner. *)
+  Alcotest.(check (array int))
+    "serial fallback result" (Array.map (fun x -> x * 2) input)
+    (Pool.map pool f input)
+
 (* --- Memo -------------------------------------------------------------------- *)
 
 let test_memo_hit_and_miss_accounting () =
@@ -189,6 +276,48 @@ let test_memo_clear () =
   Alcotest.(check int) "counters kept" 1 (Memo.hits cache);
   Alcotest.(check (option int)) "gone" None (Memo.find cache [| 1 |])
 
+let test_memo_pinned_entry_survives_eviction () =
+  let cache = Memo.create ~capacity:2 in
+  Memo.add ~pin:true cache [| 1 |] 1;
+  Memo.add cache [| 2 |] 2;
+  Memo.add cache [| 3 |] 3;
+  (* [|1|] is the LRU entry but pinned; [|2|] must go instead. *)
+  Alcotest.(check bool) "pinned survives" true (Memo.mem cache [| 1 |]);
+  Alcotest.(check bool) "unpinned LRU evicted" false (Memo.mem cache [| 2 |]);
+  Alcotest.(check int) "one pin" 1 (Memo.pinned cache);
+  Memo.unpin_all cache;
+  Alcotest.(check int) "pins released" 0 (Memo.pinned cache);
+  Memo.add cache [| 4 |] 4;
+  Alcotest.(check bool) "unpinned entry evictable again" false (Memo.mem cache [| 1 |])
+
+let test_memo_pin_on_lookup () =
+  (* The batch evaluator pins its working set as it looks entries up; a
+     pinned hit must survive even once younger entries push it to the
+     LRU position. *)
+  let cache = Memo.create ~capacity:2 in
+  Memo.add cache [| 1 |] 1;
+  Memo.add cache [| 2 |] 2;
+  Alcotest.(check (option int)) "pinning hit" (Some 1) (Memo.find ~pin:true cache [| 1 |]);
+  Memo.add cache [| 3 |] 3;  (* evicts [|2|], the unpinned LRU *)
+  Memo.add cache [| 4 |] 4;  (* [|1|] is now LRU but pinned: [|3|] goes *)
+  Alcotest.(check bool) "pinned lookup survives" true (Memo.mem cache [| 1 |]);
+  Alcotest.(check bool) "younger unpinned evicted" false (Memo.mem cache [| 3 |]);
+  Alcotest.(check bool) "newest present" true (Memo.mem cache [| 4 |])
+
+let test_memo_pins_may_overflow_capacity () =
+  (* With every entry pinned nothing is evictable: the cache is allowed
+     to exceed its capacity until the pins are released, and unpin_all
+     trims it back. *)
+  let cache = Memo.create ~capacity:2 in
+  Memo.add ~pin:true cache [| 1 |] 1;
+  Memo.add ~pin:true cache [| 2 |] 2;
+  Memo.add ~pin:true cache [| 3 |] 3;
+  Alcotest.(check int) "temporarily over capacity" 3 (Memo.length cache);
+  Alcotest.(check int) "no forced eviction" 0 (Memo.evictions cache);
+  Memo.unpin_all cache;
+  Alcotest.(check int) "trimmed back to capacity" 2 (Memo.length cache);
+  Alcotest.(check bool) "newest kept after trim" true (Memo.mem cache [| 3 |])
+
 (* Property: a capacity-c cache behaves like its unbounded reference on
    the most recent <= c distinct keys. *)
 let prop_memo_model =
@@ -232,6 +361,16 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
           Alcotest.test_case "non-uniform cost" `Quick test_pool_nonuniform_cost;
         ] );
+      ( "pool fault tolerance",
+        [
+          Alcotest.test_case "retry heals flaky jobs" `Quick
+            test_pool_retry_heals_flaky_jobs;
+          Alcotest.test_case "retry budget exhausted" `Quick
+            test_pool_retry_budget_exhausted;
+          Alcotest.test_case "timeout abandons stragglers" `Quick
+            test_pool_timeout_abandons_stragglers;
+          Alcotest.test_case "degrades to serial" `Quick test_pool_degrades_to_serial;
+        ] );
       ( "memo",
         [
           Alcotest.test_case "hit/miss accounting" `Quick test_memo_hit_and_miss_accounting;
@@ -242,6 +381,11 @@ let () =
           Alcotest.test_case "capacity one" `Quick test_memo_capacity_one;
           Alcotest.test_case "reset_stats" `Quick test_memo_reset_stats;
           Alcotest.test_case "clear" `Quick test_memo_clear;
+          Alcotest.test_case "pinned entry survives eviction" `Quick
+            test_memo_pinned_entry_survives_eviction;
+          Alcotest.test_case "pin on lookup" `Quick test_memo_pin_on_lookup;
+          Alcotest.test_case "pins may overflow capacity" `Quick
+            test_memo_pins_may_overflow_capacity;
           QCheck_alcotest.to_alcotest prop_memo_model;
         ] );
     ]

@@ -1,0 +1,310 @@
+(* Tests for Mm_io.Snapshot: the versioned, fingerprinted snapshot
+   codec.  Round-trips must preserve every field bit-for-bit (floats
+   compared by Int64.bits_of_float); every malformed, mis-versioned or
+   mis-specced document must come back as a typed error, never as an
+   exception out of the S-expression internals. *)
+
+module Snapshot = Mm_io.Snapshot
+module Synthesis = Mm_cosynth.Synthesis
+module Experiment = Mm_cosynth.Experiment
+module Engine = Mm_ga.Engine
+
+let spec = Fixtures.spec_of_graphs [ Fixtures.chain_graph () ]
+let other_spec = Fixtures.spec_of_graphs [ Fixtures.fork_graph () ]
+
+(* --- bit-exact structural equality ------------------------------------------- *)
+
+let feq a b = Int64.bits_of_float a = Int64.bits_of_float b
+let flist_eq a b = List.length a = List.length b && List.for_all2 feq a b
+let member_eq (g, f) (g', f') = g = g' && feq f f'
+
+let engine_eq (a : Engine.checkpoint) (b : Engine.checkpoint) =
+  a.Engine.generation = b.Engine.generation
+  && Array.length a.members = Array.length b.members
+  && Array.for_all2 member_eq a.members b.members
+  && member_eq a.best b.best
+  && a.stagnation = b.stagnation
+  && flist_eq a.history b.history
+  && a.evaluations = b.evaluations
+  && a.cache_hits = b.cache_hits
+  && a.rng_state = b.rng_state
+
+let restart_eq (a : Synthesis.restart_summary) (b : Synthesis.restart_summary) =
+  a.Synthesis.r_genome = b.Synthesis.r_genome
+  && feq a.r_fitness b.r_fitness
+  && a.r_generations = b.r_generations
+  && a.r_evaluations = b.r_evaluations
+  && a.r_cache_hits = b.r_cache_hits
+  && flist_eq a.r_history b.r_history
+
+let run_state_eq (a : Synthesis.run_state) (b : Synthesis.run_state) =
+  a.Synthesis.seed = b.Synthesis.seed
+  && a.fingerprint = b.fingerprint
+  && a.next_restart = b.next_restart
+  && List.length a.completed = List.length b.completed
+  && List.for_all2 restart_eq a.completed b.completed
+  && a.outer_rng = b.outer_rng
+  && Option.equal engine_eq a.engine b.engine
+
+let run_summary_eq (a : Experiment.run_summary) (b : Experiment.run_summary) =
+  a.Experiment.genome = b.Experiment.genome
+  && feq a.power b.power
+  && feq a.cpu_seconds b.cpu_seconds
+  && a.generations = b.generations
+  && a.evaluations = b.evaluations
+  && a.cache_hits = b.cache_hits
+  && flist_eq a.history b.history
+
+let summaries_eq a b = List.length a = List.length b && List.for_all2 run_summary_eq a b
+
+let state_eq (a : Experiment.state) (b : Experiment.state) =
+  a.Experiment.seed = b.Experiment.seed
+  && a.runs = b.runs
+  && summaries_eq a.baseline_done b.baseline_done
+  && summaries_eq a.proposed_done b.proposed_done
+
+let payload_eq a b =
+  match (a, b) with
+  | Snapshot.Synth a, Snapshot.Synth b -> run_state_eq a b
+  | Snapshot.Compare a, Snapshot.Compare b -> state_eq a b
+  | Snapshot.Synth _, Snapshot.Compare _ | Snapshot.Compare _, Snapshot.Synth _ ->
+    false
+
+(* --- generators --------------------------------------------------------------- *)
+
+open QCheck
+
+let genome_gen = Gen.(array_size (int_range 1 8) (int_range 0 9))
+(* Regular floats only: the codec round-trips every non-nan payload
+   bit-exactly, and fitnesses are never nan. *)
+let float_gen = Gen.float
+let flist_gen = Gen.(list_size (int_range 0 6) float_gen)
+let int64_gen = Gen.(map Int64.of_int int)
+
+let member_gen = Gen.pair genome_gen float_gen
+
+let engine_gen =
+  Gen.map
+    (fun ((generation, members, best, stagnation), (history, evaluations, cache_hits, rng_state)) ->
+      {
+        Engine.generation;
+        members;
+        best;
+        stagnation;
+        history;
+        evaluations;
+        cache_hits;
+        rng_state;
+      })
+    Gen.(
+      pair
+        (quad (int_range 0 500) (array_size (int_range 1 6) member_gen) member_gen
+           (int_range 0 50))
+        (quad flist_gen (int_range 0 100_000) (int_range 0 100_000) int64_gen))
+
+let restart_gen =
+  Gen.map
+    (fun ((r_genome, r_fitness, r_generations), (r_evaluations, r_cache_hits, r_history)) ->
+      {
+        Synthesis.r_genome;
+        r_fitness;
+        r_generations;
+        r_evaluations;
+        r_cache_hits;
+        r_history;
+      })
+    Gen.(
+      pair
+        (triple genome_gen float_gen (int_range 0 500))
+        (triple (int_range 0 100_000) (int_range 0 100_000) flist_gen))
+
+let run_state_gen =
+  Gen.map
+    (fun ((seed, fingerprint, next_restart), (completed, outer_rng, engine)) ->
+      { Synthesis.seed; fingerprint; next_restart; completed; outer_rng; engine })
+    Gen.(
+      pair
+        (triple int string_printable (int_range 0 4))
+        (triple (list_size (int_range 0 3) restart_gen) int64_gen (option engine_gen)))
+
+let run_summary_gen =
+  Gen.map
+    (fun ((genome, power, cpu_seconds), (generations, evaluations, cache_hits, history)) ->
+      { Experiment.genome; power; cpu_seconds; generations; evaluations; cache_hits; history })
+    Gen.(
+      pair
+        (triple genome_gen float_gen float_gen)
+        (quad (int_range 0 500) (int_range 0 100_000) (int_range 0 100_000) flist_gen))
+
+let state_gen =
+  Gen.map
+    (fun (seed, runs, baseline_done, proposed_done) ->
+      { Experiment.seed; runs; baseline_done; proposed_done })
+    Gen.(
+      quad int (int_range 1 6)
+        (list_size (int_range 0 4) run_summary_gen)
+        (list_size (int_range 0 4) run_summary_gen))
+
+let payload_gen =
+  Gen.oneof
+    [
+      Gen.map (fun s -> Snapshot.Synth s) run_state_gen;
+      Gen.map (fun s -> Snapshot.Compare s) state_gen;
+    ]
+
+(* --- round-trips --------------------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string round-trips bit-exactly" ~count:300
+    (QCheck.make payload_gen) (fun payload ->
+      match Snapshot.of_string ~spec (Snapshot.to_string ~spec payload) with
+      | Ok decoded -> payload_eq payload decoded
+      | Error e -> QCheck.Test.fail_reportf "%s" (Snapshot.error_to_string e))
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "mmsyn_snapshot" ".snap" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let payload =
+    Snapshot.Synth
+      {
+        Synthesis.seed = 42;
+        fingerprint = "some fingerprint with spaces";
+        next_restart = 1;
+        completed =
+          [
+            {
+              Synthesis.r_genome = [| 1; 0; 1 |];
+              r_fitness = 0.1234567890123456;
+              r_generations = 17;
+              r_evaluations = 900;
+              r_cache_hits = 100;
+              r_history = [ 0.5; 0.3; 0.1234567890123456 ];
+            };
+          ];
+        outer_rng = -6405874113726298239L;
+        engine = None;
+      }
+  in
+  (* A stale .tmp from a crashed writer must not confuse a later save. *)
+  let oc = open_out (path ^ ".tmp") in
+  output_string oc "garbage left by a crash";
+  close_out oc;
+  Snapshot.save ~path ~spec payload;
+  Alcotest.(check bool) "tmp file renamed away" false (Sys.file_exists (path ^ ".tmp"));
+  match Snapshot.load ~path ~spec with
+  | Ok decoded -> Alcotest.(check bool) "file round-trip" true (payload_eq payload decoded)
+  | Error e -> Alcotest.fail (Snapshot.error_to_string e)
+
+(* --- rejection ----------------------------------------------------------------- *)
+
+let check_error name expected = function
+  | Ok _ -> Alcotest.fail (name ^ ": decoded a document that must be rejected")
+  | Error e -> expected e
+
+(* Replace the first occurrence of [needle] in [haystack]. *)
+let replace ~needle ~by haystack =
+  let nlen = String.length needle and hlen = String.length haystack in
+  let rec find i =
+    if i + nlen > hlen then None
+    else if String.sub haystack i nlen = needle then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> haystack
+  | Some i ->
+    String.sub haystack 0 i ^ by
+    ^ String.sub haystack (i + nlen) (hlen - i - nlen)
+
+let sample_doc () =
+  Snapshot.to_string ~spec
+    (Snapshot.Compare
+       { Experiment.seed = 7; runs = 3; baseline_done = []; proposed_done = [] })
+
+let test_version_mismatch () =
+  let doc = sample_doc () in
+  let future = replace ~needle:"(version 1)" ~by:"(version 999)" doc in
+  check_error "future version"
+    (function
+      | Snapshot.Version_mismatch { found } ->
+        Alcotest.(check int) "reported version" 999 found
+      | e -> Alcotest.fail (Snapshot.error_to_string e))
+    (Snapshot.of_string ~spec future)
+
+let test_spec_mismatch () =
+  check_error "wrong specification"
+    (function
+      | Snapshot.Spec_mismatch { found; expected } ->
+        Alcotest.(check string) "found the writing spec's fingerprint"
+          (Snapshot.fingerprint spec) found;
+        Alcotest.(check string) "expected the reading spec's fingerprint"
+          (Snapshot.fingerprint other_spec) expected
+      | e -> Alcotest.fail (Snapshot.error_to_string e))
+    (Snapshot.of_string ~spec:other_spec (sample_doc ()))
+
+let test_corrupted_documents () =
+  let doc = sample_doc () in
+  let expect_malformed name s =
+    check_error name
+      (function
+        | Snapshot.Malformed _ -> ()
+        | e ->
+          Alcotest.fail
+            (Printf.sprintf "%s: expected Malformed, got %s" name
+               (Snapshot.error_to_string e)))
+      (Snapshot.of_string ~spec s)
+  in
+  expect_malformed "empty" "";
+  expect_malformed "whitespace" "   \n  ";
+  expect_malformed "truncated" (String.sub doc 0 (String.length doc / 2));
+  expect_malformed "not a snapshot" "(something (else entirely))";
+  expect_malformed "atom at toplevel" "hello";
+  expect_malformed "wrong magic" ("(mmsyn-wrong" ^ String.sub doc 15 (String.length doc - 15));
+  expect_malformed "version not a number"
+    (replace ~needle:"(version 1)" ~by:"(version one)" doc);
+  expect_malformed "missing payload"
+    (Printf.sprintf "(mmsyn-snapshot (version 1) (spec %s))" (Snapshot.fingerprint spec))
+
+(* No byte string may crash the decoder: every input maps to Ok or a
+   typed Error. *)
+let prop_decoder_total =
+  QCheck.Test.make ~name:"of_string is total on junk" ~count:500
+    QCheck.(string_gen Gen.printable)
+    (fun junk ->
+      match Snapshot.of_string ~spec junk with Ok _ | Error _ -> true)
+
+let test_load_missing_file () =
+  check_error "missing file"
+    (function
+      | Snapshot.Io_error _ -> ()
+      | e -> Alcotest.fail (Snapshot.error_to_string e))
+    (Snapshot.load ~path:"/nonexistent/dir/snapshot.snap" ~spec)
+
+let test_fingerprint_stability () =
+  (* Equal specifications fingerprint equally; different ones don't.
+     Loading depends on this being stable across processes, so it must
+     not hash physical identity. *)
+  Alcotest.(check string) "deterministic" (Snapshot.fingerprint spec)
+    (Snapshot.fingerprint (Fixtures.spec_of_graphs [ Fixtures.chain_graph () ]));
+  Alcotest.(check bool) "discriminates" false
+    (Snapshot.fingerprint spec = Snapshot.fingerprint other_spec)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "round-trip",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          Alcotest.test_case "file round-trip, stale tmp" `Quick test_file_roundtrip;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "spec mismatch" `Quick test_spec_mismatch;
+          Alcotest.test_case "corrupted documents" `Quick test_corrupted_documents;
+          QCheck_alcotest.to_alcotest prop_decoder_total;
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+        ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "stability" `Quick test_fingerprint_stability ] );
+    ]
