@@ -154,6 +154,7 @@ let proposed_power ~ga ~dvs ~use_improvements ~spec ~seeds =
       restarts = Synthesis.default_config.Synthesis.restarts;
       jobs = Synthesis.default_config.Synthesis.jobs;
       eval_cache = Synthesis.default_config.Synthesis.eval_cache;
+      audit = false;
     }
   in
   let powers =
@@ -295,6 +296,7 @@ let ablation_scheduler_policy options =
             restarts = Synthesis.default_config.Synthesis.restarts;
             jobs = Synthesis.default_config.Synthesis.jobs;
             eval_cache = Synthesis.default_config.Synthesis.eval_cache;
+            audit = false;
           }
         in
         let powers =

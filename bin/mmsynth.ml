@@ -2,6 +2,7 @@
    library.
 
      mmsynth show <benchmark>                inspect a benchmark
+     mmsynth check <spec> [--json]           validate, print diagnostics
      mmsynth synth <benchmark> [options]     synthesise one implementation
      mmsynth compare <benchmark> [options]   baseline vs proposed comparison
      mmsynth anneal <benchmark> [options]    simulated-annealing baseline
@@ -12,11 +13,13 @@
 
    Benchmarks: "smartphone", "motivational", "mul1".."mul12",
    "random:<seed>", or "file:<path>" for a spec exported with
-   `mmsynth export`.
+   `mmsynth export`.  Loading a file benchmark refuses on validation
+   errors; `synth` and `compare` accept --force to proceed anyway.
 
    `synth` and `compare` accept --checkpoint FILE / --checkpoint-every N
-   to periodically snapshot their state, and --resume FILE to continue
-   an interrupted run with bit-identical results. *)
+   to periodically snapshot their state, --resume FILE to continue an
+   interrupted run with bit-identical results, and --audit to re-derive
+   the winning result's schedule/DVS invariants. *)
 
 module Arch = Mm_arch.Architecture
 module Pe = Mm_arch.Pe
@@ -31,51 +34,96 @@ module Experiment = Mm_cosynth.Experiment
 module Report = Mm_cosynth.Report
 module Engine = Mm_ga.Engine
 module Stats = Mm_util.Stats
+module Validate = Mm_cosynth.Validate
+module Audit = Mm_cosynth.Audit
 open Cmdliner
 
-let spec_of_benchmark name =
-  let prefixed prefix =
-    if
-      String.length name > String.length prefix
-      && String.sub name 0 (String.length prefix) = prefix
-    then Some (String.sub name (String.length prefix) (String.length name - String.length prefix))
-    else None
-  in
+let ( let* ) = Result.bind
+
+let prefixed ~prefix name =
+  if
+    String.length name > String.length prefix
+    && String.sub name 0 (String.length prefix) = prefix
+  then Some (String.sub name (String.length prefix) (String.length name - String.length prefix))
+  else None
+
+(* Loading a spec file goes through the total decoder: validation errors
+   come back as MM0xx diagnostics, and --force (synth/compare only)
+   downgrades them to stderr noise as long as a spec is constructible at
+   all. *)
+let load_spec_file ~force path =
+  if force then
+    match Mm_io.Codec.check_file ~path with
+    | Some spec, diags ->
+      let errors = Validate.errors diags in
+      if errors <> [] then
+        Format.eprintf "%s: proceeding under --force despite:@.%a@." path
+          Validate.pp_list errors;
+      Ok spec
+    | None, diags ->
+      Error
+        (`Msg
+           (Format.asprintf "%s is beyond --force (no spec constructible):@.%a" path
+              Validate.pp_list (Validate.errors diags)))
+  else
+    match Mm_io.Codec.load_spec_result ~path with
+    | Ok spec -> Ok spec
+    | Error diags ->
+      Error
+        (`Msg
+           (Format.asprintf
+              "cannot load %s:@.%a@.(inspect with `mmsynth check`; synth and compare \
+               accept --force)"
+              path Validate.pp_list diags))
+
+let spec_of_benchmark ?(force = false) name =
   match name with
   | "smartphone" -> Ok (Mm_benchgen.Smartphone.spec ())
   | "motivational" -> Ok (Mm_benchgen.Motivational.spec ())
   | _ -> (
-    match prefixed "mul" with
+    match prefixed ~prefix:"mul" name with
     | Some digits -> (
       match int_of_string_opt digits with
       | Some i when i >= 1 && i <= 12 -> Ok (Mm_benchgen.Random_system.mul i)
       | Some _ | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name)))
     | None -> (
-      match prefixed "random:" with
+      match prefixed ~prefix:"random:" name with
       | Some digits -> (
         match int_of_string_opt digits with
         | Some seed -> Ok (Mm_benchgen.Random_system.generate ~seed ())
         | None -> Error (`Msg "random:<seed> needs an integer seed"))
       | None -> (
-        match prefixed "file:" with
-        | Some path -> (
-          match Mm_io.Codec.load_spec ~path with
-          | spec -> Ok spec
-          | exception Mm_io.Codec.Decode_error message ->
-            Error (`Msg (Printf.sprintf "cannot load %s: %s" path message))
-          | exception Sys_error message -> Error (`Msg message))
+        match prefixed ~prefix:"file:" name with
+        | Some path -> load_spec_file ~force path
         | None -> Error (`Msg (Printf.sprintf "unknown benchmark %S" name)))))
 
+(* The benchmark is resolved inside each subcommand, not in the argument
+   parser, so flags parsed alongside it (--force) can steer the load. *)
 let benchmark_arg =
-  let parse name = spec_of_benchmark name in
-  let print ppf _ = Format.pp_print_string ppf "<benchmark>" in
   Arg.(
     required
-    & pos 0 (some (conv (parse, print))) None
+    & pos 0 (some string) None
     & info [] ~docv:"BENCHMARK"
         ~doc:
-          "Benchmark to operate on: smartphone, motivational, mul1..mul12, or \
-           random:<seed>.")
+          "Benchmark to operate on: smartphone, motivational, mul1..mul12, \
+           random:<seed>, or file:<path>.")
+
+let force_arg =
+  Arg.(
+    value & flag
+    & info [ "force" ]
+        ~doc:
+          "Load a file: benchmark even when validation reports error diagnostics \
+           (they are still printed to stderr).")
+
+let audit_arg =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Re-derive the winning result's schedules, DVS voltages and penalty claims \
+           through the invariant auditor; any violation fails the command after the \
+           report.")
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Synthesis random seed.")
@@ -236,10 +284,11 @@ let with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level f =
     Error (`Msg message)
   | exception Fun.Finally_raised (Sys_error message) -> Error (`Msg message)
 
-let config_of ?(jobs = 1) ?(no_eval_cache = false) ~dvs ~uniform ~generations
-    ~population () =
+let config_of ?(jobs = 1) ?(no_eval_cache = false) ?(audit = false) ~dvs ~uniform
+    ~generations ~population () =
   {
     Synthesis.default_config with
+    audit;
     fitness =
       {
         Fitness.default_config with
@@ -259,7 +308,8 @@ let config_of ?(jobs = 1) ?(no_eval_cache = false) ~dvs ~uniform ~generations
 
 (* --- show ------------------------------------------------------------------- *)
 
-let show spec =
+let show name =
+  let* spec = spec_of_benchmark name in
   let omsm = Spec.omsm spec in
   let arch = Spec.arch spec in
   Format.printf "%a@." Omsm.pp omsm;
@@ -292,6 +342,98 @@ let show_cmd =
   let term = Term.(term_result (const show $ benchmark_arg)) in
   Cmd.v (Cmd.info "show" ~doc:"Inspect a benchmark's OMSM and architecture.") term
 
+(* --- check ------------------------------------------------------------------ *)
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the diagnostics as one JSON object on stdout.")
+
+let diags_to_json ~target diags =
+  let module J = Mm_obs.Json in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"target\":";
+  J.str b target;
+  Buffer.add_string b ",\"errors\":";
+  J.int b (List.length (Validate.errors diags));
+  Buffer.add_string b ",\"warnings\":";
+  J.int b (List.length (Validate.warnings diags));
+  Buffer.add_string b ",\"diagnostics\":[";
+  let first = ref true in
+  List.iter
+    (fun (d : Validate.diag) ->
+      J.field_sep b ~first;
+      Buffer.add_string b "{\"code\":";
+      J.str b d.Validate.code;
+      Buffer.add_string b ",\"severity\":";
+      J.str b
+        (match d.Validate.severity with
+        | Validate.Error -> "error"
+        | Validate.Warning -> "warning");
+      Buffer.add_string b ",\"path\":";
+      J.str b d.Validate.path;
+      Buffer.add_string b ",\"message\":";
+      J.str b d.Validate.message;
+      (match d.Validate.pos with
+      | None -> ()
+      | Some (line, column) ->
+        Buffer.add_string b ",\"line\":";
+        J.int b line;
+        Buffer.add_string b ",\"column\":";
+        J.int b column);
+      Buffer.add_char b '}')
+    diags;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+(* A spec file (bare path or file:<path>) goes through the total decoder;
+   a builtin benchmark name is generated and cross-checked with
+   [Validate.check_spec].  Exit status: 0 clean, 1 warnings only, 2 any
+   error — machine-usable from CI. *)
+let check_impl target json =
+  let* spec, diags =
+    match prefixed ~prefix:"file:" target with
+    | Some path -> Ok (Mm_io.Codec.check_file ~path)
+    | None ->
+      if Sys.file_exists target && not (Sys.is_directory target) then
+        Ok (Mm_io.Codec.check_file ~path:target)
+      else
+        let* spec = spec_of_benchmark target in
+        Ok (Some spec, Validate.check_spec spec)
+  in
+  if json then print_endline (diags_to_json ~target diags)
+  else begin
+    if diags <> [] then Format.printf "%a@." Validate.pp_list diags;
+    let n_errors = List.length (Validate.errors diags) in
+    let n_warnings = List.length (Validate.warnings diags) in
+    if n_errors = 0 && n_warnings = 0 then Format.printf "%s: OK@." target
+    else
+      Format.printf "%s: %d error%s, %d warning%s%s@." target n_errors
+        (if n_errors = 1 then "" else "s")
+        n_warnings
+        (if n_warnings = 1 then "" else "s")
+        (if spec = None then " (no spec constructible)" else "")
+  end;
+  Stdlib.exit (Validate.exit_code diags)
+
+let check_cmd =
+  let target_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "What to validate: a spec file path (bare or file:<path>) or a builtin \
+             benchmark name.")
+  in
+  let term = Term.(term_result (const check_impl $ target_arg $ json_arg)) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate a specification and print structured MM0xx diagnostics (exit 0 \
+          clean, 1 warnings only, 2 errors).")
+    term
+
 (* --- synth ------------------------------------------------------------------- *)
 
 (* Load a snapshot for --resume, mapping every failure to a CLI error. *)
@@ -314,11 +456,14 @@ let with_kill_switch ~kill_after save =
       incr written;
       if !written >= n then Unix.kill (Unix.getpid ()) Sys.sigkill
 
-let synth spec seed dvs uniform generations population jobs no_eval_cache checkpoint
-    checkpoint_every resume kill_after trace trace_jsonl trace_fine metrics log_level =
+let synth name force audit seed dvs uniform generations population jobs no_eval_cache
+    checkpoint checkpoint_every resume kill_after trace trace_jsonl trace_fine metrics
+    log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
-  let config = config_of ~jobs ~no_eval_cache ~dvs ~uniform ~generations ~population () in
-  let ( let* ) = Result.bind in
+  let* spec = spec_of_benchmark ~force name in
+  let config =
+    config_of ~jobs ~no_eval_cache ~audit ~dvs ~uniform ~generations ~population ()
+  in
   let* resume =
     match resume with
     | None -> Ok None
@@ -345,17 +490,23 @@ let synth spec seed dvs uniform generations population jobs no_eval_cache checkp
       checkpoint
   in
   match Synthesis.run ~config ?checkpoint ?resume ~spec ~seed () with
-  | result ->
+  | result -> (
     Report.print_result spec result;
-    Ok ()
+    match result.Synthesis.audit with
+    | Some report when not report.Audit.clean ->
+      Error
+        (`Msg
+           (Printf.sprintf "audit failed: %d violation(s), see report above"
+              (List.length report.Audit.violations)))
+    | Some _ | None -> Ok ())
   | exception Invalid_argument message -> Error (`Msg message)
 
 let synth_cmd =
   let term =
     Term.(
       term_result
-        (const synth $ benchmark_arg $ seed_arg $ dvs_arg $ uniform_arg
-       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg
+        (const synth $ benchmark_arg $ force_arg $ audit_arg $ seed_arg $ dvs_arg
+       $ uniform_arg $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg
        $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ trace_arg
        $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
   in
@@ -366,9 +517,11 @@ let synth_cmd =
 
 (* --- compare ------------------------------------------------------------------ *)
 
-let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cache
-    checkpoint resume kill_after trace trace_jsonl trace_fine metrics log_level =
+let compare_cmd_impl name force audit seed dvs runs generations population jobs
+    no_eval_cache checkpoint resume kill_after trace trace_jsonl trace_fine metrics
+    log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
+  let* spec = spec_of_benchmark ~force name in
   let ga =
     {
       Engine.default_config with
@@ -378,7 +531,6 @@ let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cach
   in
   let dvs = if dvs then Fitness.Dvs Mm_dvs.Scaling.default_config else Fitness.No_dvs in
   let eval_cache = if no_eval_cache then 0 else Synthesis.default_eval_cache in
-  let ( let* ) = Result.bind in
   let* resume =
     match resume with
     | None -> Ok None
@@ -405,8 +557,8 @@ let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cach
       checkpoint
   in
   let* c =
-    match Experiment.compare ~ga ~dvs ~jobs ~eval_cache ?checkpoint ?resume ~spec ~runs
-            ~seed ()
+    match Experiment.compare ~ga ~dvs ~jobs ~eval_cache ~audit ?checkpoint ?resume ~spec
+            ~runs ~seed ()
     with
     | c -> Ok c
     | exception Invalid_argument message -> Error (`Msg message)
@@ -420,16 +572,25 @@ let compare_cmd_impl spec seed dvs runs generations population jobs no_eval_cach
   pp_arm "without probabilities (baseline)" c.Experiment.without_probabilities;
   pp_arm "with probabilities    (proposed)" c.Experiment.with_probabilities;
   Format.printf "reduction: %.2f%%@." c.Experiment.reduction_percent;
-  Ok ()
+  (* Replayed (resumed) best runs carry no live audit report; only runs
+     executed here can fail the command. *)
+  let dirty (arm : Experiment.arm) =
+    match arm.Experiment.best.Synthesis.audit with
+    | Some report -> not report.Audit.clean
+    | None -> false
+  in
+  if dirty c.Experiment.without_probabilities || dirty c.Experiment.with_probabilities
+  then Error (`Msg "audit failed: violations in a winning result (see warnings above)")
+  else Ok ()
 
 let compare_cmd =
   let term =
     Term.(
       term_result
-        (const compare_cmd_impl $ benchmark_arg $ seed_arg $ dvs_arg $ runs_arg
-       $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg
-       $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg $ trace_jsonl_arg
-       $ trace_fine_arg $ metrics_arg $ log_level_arg))
+        (const compare_cmd_impl $ benchmark_arg $ force_arg $ audit_arg $ seed_arg
+       $ dvs_arg $ runs_arg $ generations_arg $ population_arg $ jobs_arg
+       $ no_eval_cache_arg $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg
+       $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -440,7 +601,8 @@ let compare_cmd =
 
 (* --- dot ------------------------------------------------------------------------ *)
 
-let dot spec mode =
+let dot name mode =
+  let* spec = spec_of_benchmark name in
   let omsm = Spec.omsm spec in
   if mode < 0 || mode >= Omsm.n_modes omsm then
     Error (`Msg (Printf.sprintf "mode %d out of range" mode))
@@ -458,7 +620,8 @@ let dot_cmd =
 
 (* --- export ---------------------------------------------------------------- *)
 
-let export spec =
+let export name =
+  let* spec = spec_of_benchmark name in
   print_string (Mm_io.Codec.spec_to_string spec);
   Ok ()
 
@@ -472,7 +635,8 @@ let export_cmd =
 
 (* --- gantt ----------------------------------------------------------------- *)
 
-let gantt spec seed dvs mode =
+let gantt name seed dvs mode =
+  let* spec = spec_of_benchmark name in
   let omsm = Spec.omsm spec in
   if mode < 0 || mode >= Omsm.n_modes omsm then
     Error (`Msg (Printf.sprintf "mode %d out of range" mode))
@@ -509,7 +673,8 @@ let steps_arg =
     & opt int Mm_cosynth.Annealing.default_config.Mm_cosynth.Annealing.steps
     & info [ "steps" ] ~docv:"N" ~doc:"Simulated-annealing move budget.")
 
-let anneal spec seed dvs steps =
+let anneal name seed dvs steps =
+  let* spec = spec_of_benchmark name in
   let fitness =
     {
       Fitness.default_config with
@@ -531,6 +696,7 @@ let anneal spec seed dvs steps =
       cache_hits = 0;
       cpu_seconds = result.Mm_cosynth.Annealing.cpu_seconds;
       history = [];
+      audit = None;
     };
   Ok ()
 
@@ -551,7 +717,8 @@ let scales_arg =
     & opt (list float) [ 0.25; 0.5; 0.75; 1.0; 1.5; 2.0 ]
     & info [ "scales" ] ~docv:"S1,S2,…" ~doc:"Hardware-area scale factors to sweep.")
 
-let pareto spec seed scales =
+let pareto name seed scales =
+  let* spec = spec_of_benchmark name in
   let points = Mm_cosynth.Pareto.sweep ~spec ~scales ~seed () in
   let t =
     Mm_util.Table.create ~title:"power/area trade-off"
@@ -592,7 +759,8 @@ let samples_arg =
     value & opt int 1000
     & info [ "samples" ] ~docv:"N" ~doc:"Perturbed usage profiles to sample.")
 
-let robustness spec seed dvs samples strength =
+let robustness name seed dvs samples strength =
+  let* spec = spec_of_benchmark name in
   (* Synthesise both arms, then stress them under the same perturbed
      usage profiles. *)
   let run uniform =
@@ -642,7 +810,8 @@ let robustness_cmd =
 
 (* --- frontier --------------------------------------------------------------- *)
 
-let frontier spec seed dvs generations =
+let frontier name seed dvs generations =
+  let* spec = spec_of_benchmark name in
   let fitness =
     {
       Fitness.default_config with
@@ -689,7 +858,8 @@ let horizon_arg =
     value & opt float 10_000.0
     & info [ "horizon" ] ~docv:"T" ~doc:"Simulated operational time (seconds).")
 
-let simulate spec seed dvs horizon =
+let simulate name seed dvs horizon =
+  let* spec = spec_of_benchmark name in
   let config =
     config_of ~dvs ~uniform:false
       ~generations:Engine.default_config.Engine.max_generations
@@ -737,6 +907,6 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            show_cmd; synth_cmd; compare_cmd; anneal_cmd; pareto_cmd; frontier_cmd;
-            robustness_cmd; gantt_cmd; simulate_cmd; export_cmd; dot_cmd;
+            show_cmd; check_cmd; synth_cmd; compare_cmd; anneal_cmd; pareto_cmd;
+            frontier_cmd; robustness_cmd; gantt_cmd; simulate_cmd; export_cmd; dot_cmd;
           ]))

@@ -1,0 +1,598 @@
+module Task = Mm_taskgraph.Task
+module Task_type = Mm_taskgraph.Task_type
+module Graph = Mm_taskgraph.Graph
+module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Voltage = Mm_arch.Voltage
+module Tech_lib = Mm_arch.Tech_lib
+module Mode = Mm_omsm.Mode
+module Omsm = Mm_omsm.Omsm
+module Transition = Mm_omsm.Transition
+module Schedule = Mm_sched.Schedule
+module Resource = Mm_sched.Resource
+module Scaling = Mm_dvs.Scaling
+module Hw_transform = Mm_dvs.Hw_transform
+module Power = Mm_energy.Power
+module Metrics = Mm_obs.Metrics
+
+type kind =
+  | Malformed_slot
+  | Wrong_duration
+  | Resource_overlap
+  | Precedence
+  | Comm_mismatch
+  | Unroutable_claim
+  | Deadline_claim
+  | Voltage_off_table
+  | Extension_time
+  | Energy_mismatch
+  | Power_mismatch
+  | Transition_bound
+  | Area_claim
+  | Fitness_claim
+
+let kind_to_string = function
+  | Malformed_slot -> "malformed-slot"
+  | Wrong_duration -> "wrong-duration"
+  | Resource_overlap -> "resource-overlap"
+  | Precedence -> "precedence"
+  | Comm_mismatch -> "comm-mismatch"
+  | Unroutable_claim -> "unroutable-claim"
+  | Deadline_claim -> "deadline-claim"
+  | Voltage_off_table -> "voltage-off-table"
+  | Extension_time -> "extension-time"
+  | Energy_mismatch -> "energy-mismatch"
+  | Power_mismatch -> "power-mismatch"
+  | Transition_bound -> "transition-bound"
+  | Area_claim -> "area-claim"
+  | Fitness_claim -> "fitness-claim"
+
+type violation = { kind : kind; mode : int option; detail : string }
+
+type report = { violations : violation list; modes_checked : int; clean : bool }
+
+exception Audit_violation of report
+
+let pp_violation ppf v =
+  match v.mode with
+  | Some m -> Format.fprintf ppf "[%s] mode %d: %s" (kind_to_string v.kind) m v.detail
+  | None -> Format.fprintf ppf "[%s] %s" (kind_to_string v.kind) v.detail
+
+let pp_report ppf r =
+  if r.clean then Format.fprintf ppf "audit clean (%d modes)" r.modes_checked
+  else
+    Format.fprintf ppf "audit found %d violation(s) over %d modes:@,%a"
+      (List.length r.violations) r.modes_checked
+      (Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_violation)
+      r.violations
+
+let c_runs = Metrics.counter "audit/runs"
+let c_modes = Metrics.counter "audit/modes_checked"
+let c_violations = Metrics.counter "audit/violations"
+
+(* Absolute + relative float tolerance: the recomputation below follows
+   different summation orders than the production kernels, so exact bit
+   equality cannot be demanded — but anything past 1e-9 relative is a
+   genuine disagreement, not rounding. *)
+let close a b = Float.abs (a -. b) <= 1e-9 +. (1e-9 *. Float.max (Float.abs a) (Float.abs b))
+
+let on_table rail v =
+  List.exists (fun level -> close level v) (Voltage.levels rail)
+
+let check ~(config : Fitness.config) ~spec (eval : Fitness.eval) : report =
+  Metrics.incr c_runs;
+  let omsm = Spec.omsm spec in
+  let arch = Spec.arch spec in
+  let tech = Spec.tech spec in
+  let n_modes = Omsm.n_modes omsm in
+  let acc = ref [] in
+  let flag ?mode kind fmt =
+    Format.kasprintf (fun detail -> acc := { kind; mode; detail } :: !acc) fmt
+  in
+  let tol = 1e-9 in
+  if
+    Array.length eval.Fitness.schedules <> n_modes
+    || Array.length eval.Fitness.scalings <> n_modes
+    || Array.length eval.Fitness.mode_powers <> n_modes
+  then
+    flag Malformed_slot "per-mode arrays have %d/%d/%d entries for %d modes"
+      (Array.length eval.Fitness.schedules)
+      (Array.length eval.Fitness.scalings)
+      (Array.length eval.Fitness.mode_powers)
+      n_modes
+  else begin
+    (* ---- Per-mode schedule, scaling and power invariants. ---- *)
+    for mode = 0 to n_modes - 1 do
+      Metrics.incr c_modes;
+      let flag kind fmt = flag ~mode kind fmt in
+      let mode_rec = Omsm.mode omsm mode in
+      let graph = Mode.graph mode_rec in
+      let period = Mode.period mode_rec in
+      let n_tasks = Graph.n_tasks graph in
+      let s = eval.Fitness.schedules.(mode) in
+      let scaling = eval.Fitness.scalings.(mode) in
+      if s.Schedule.mode_id <> mode then
+        flag Malformed_slot "schedule carries mode id %d" s.Schedule.mode_id;
+      if not (close s.Schedule.period period) then
+        flag Malformed_slot "schedule period %g, mode period %g" s.Schedule.period period;
+      if Array.length s.Schedule.task_slots <> n_tasks then
+        flag Malformed_slot "%d slots for %d tasks"
+          (Array.length s.Schedule.task_slots)
+          n_tasks
+      else begin
+        (* Slots: indexing, mapping consistency, nominal durations. *)
+        Array.iteri
+          (fun i (slot : Schedule.task_slot) ->
+            if slot.Schedule.task <> i then
+              flag Malformed_slot "slot %d holds task %d" i slot.Schedule.task;
+            if slot.Schedule.start < -.tol then
+              flag Malformed_slot "task %d starts at %g" i slot.Schedule.start;
+            let claimed_pe = Schedule.pe_of_slot slot in
+            let mapped_pe = Mapping.pe_of eval.Fitness.mapping ~mode ~task:i in
+            if claimed_pe <> mapped_pe then
+              flag Malformed_slot "task %d scheduled on PE %d but mapped to PE %d" i
+                claimed_pe mapped_pe;
+            if claimed_pe >= 0 && claimed_pe < Arch.n_pes arch then begin
+              let pe = Arch.pe arch claimed_pe in
+              let task = Graph.task graph i in
+              let ty = Task.ty task in
+              (match slot.Schedule.resource with
+              | Resource.Sw_pe _ ->
+                if not (Pe.is_software pe) then
+                  flag Malformed_slot "task %d uses a software slot on hardware PE %d" i
+                    claimed_pe
+              | Resource.Hw_core { ty = core_ty; instance; _ } ->
+                if not (Pe.is_hardware pe) then
+                  flag Malformed_slot "task %d uses a core slot on software PE %d" i
+                    claimed_pe;
+                if core_ty <> Task_type.id ty then
+                  flag Malformed_slot "task %d (type %d) runs on a type-%d core" i
+                    (Task_type.id ty) core_ty;
+                let granted =
+                  Core_alloc.instances eval.Fitness.alloc ~mode ~pe:claimed_pe
+                    ~ty:(Task_type.id ty)
+                in
+                if instance < 0 || instance >= granted then
+                  flag Malformed_slot
+                    "task %d uses core instance %d of %d granted on PE %d" i instance
+                    granted claimed_pe
+              | Resource.Link l ->
+                flag Malformed_slot "task %d scheduled on link %d" i l);
+              match Tech_lib.find tech ~ty ~pe with
+              | None ->
+                flag Malformed_slot "task %d mapped to PE %d with no implementation" i
+                  claimed_pe
+              | Some impl ->
+                if not (close slot.Schedule.duration impl.Tech_lib.exec_time) then
+                  flag Wrong_duration "task %d: slot duration %g, implementation t_min %g"
+                    i slot.Schedule.duration impl.Tech_lib.exec_time
+            end
+            else flag Malformed_slot "task %d mapped to unknown PE %d" i claimed_pe)
+          s.Schedule.task_slots;
+        (* Resource exclusivity: no overlap on any sequential resource. *)
+        let by_resource =
+          Array.fold_left
+            (fun m (slot : Schedule.task_slot) ->
+              let existing =
+                Option.value ~default:[] (Resource.Map.find_opt slot.Schedule.resource m)
+              in
+              Resource.Map.add slot.Schedule.resource (slot :: existing) m)
+            Resource.Map.empty s.Schedule.task_slots
+        in
+        Resource.Map.iter
+          (fun resource slots ->
+            let sorted =
+              List.sort
+                (fun (a : Schedule.task_slot) b -> compare a.Schedule.start b.Schedule.start)
+                slots
+            in
+            ignore
+              (List.fold_left
+                 (fun prev (slot : Schedule.task_slot) ->
+                   (match prev with
+                   | Some (p : Schedule.task_slot) ->
+                     if Schedule.finish p > slot.Schedule.start +. tol then
+                       flag Resource_overlap "tasks %d and %d overlap on %s"
+                         p.Schedule.task slot.Schedule.task
+                         (Format.asprintf "%a" Resource.pp resource)
+                   | None -> ());
+                   Some slot)
+                 None sorted))
+          by_resource;
+        let comms_by_cl = Hashtbl.create 8 in
+        List.iter
+          (fun (c : Schedule.comm_slot) ->
+            Hashtbl.replace comms_by_cl c.Schedule.cl
+              (c :: Option.value ~default:[] (Hashtbl.find_opt comms_by_cl c.Schedule.cl)))
+          s.Schedule.comm_slots;
+        Hashtbl.iter
+          (fun cl comms ->
+            let sorted =
+              List.sort
+                (fun (a : Schedule.comm_slot) b -> compare a.Schedule.start b.Schedule.start)
+                comms
+            in
+            ignore
+              (List.fold_left
+                 (fun prev (c : Schedule.comm_slot) ->
+                   (match prev with
+                   | Some (p : Schedule.comm_slot) ->
+                     if Schedule.comm_finish p > c.Schedule.start +. tol then
+                       flag Resource_overlap
+                         "communications %d->%d and %d->%d overlap on link %d"
+                         p.Schedule.edge.Graph.src p.Schedule.edge.Graph.dst
+                         c.Schedule.edge.Graph.src c.Schedule.edge.Graph.dst cl
+                   | None -> ());
+                   Some c)
+                 None sorted))
+          comms_by_cl;
+        (* Precedence and communication consistency, edge by edge. *)
+        let unroutable e =
+          List.exists
+            (fun (u : Graph.edge) -> u.src = e.Graph.src && u.dst = e.Graph.dst)
+            s.Schedule.unroutable
+        in
+        let comm_of e =
+          List.find_opt
+            (fun (c : Schedule.comm_slot) ->
+              c.Schedule.edge.Graph.src = e.Graph.src
+              && c.Schedule.edge.Graph.dst = e.Graph.dst)
+            s.Schedule.comm_slots
+        in
+        List.iter
+          (fun (e : Graph.edge) ->
+            let producer = s.Schedule.task_slots.(e.src) in
+            let consumer = s.Schedule.task_slots.(e.dst) in
+            let src_pe = Schedule.pe_of_slot producer in
+            let dst_pe = Schedule.pe_of_slot consumer in
+            if unroutable e then begin
+              if src_pe = dst_pe || Arch.links_between arch src_pe dst_pe <> [] then
+                flag Unroutable_claim
+                  "edge %d->%d claimed unroutable, but PEs %d and %d can communicate"
+                  e.src e.dst src_pe dst_pe
+            end
+            else if src_pe = dst_pe then begin
+              if Schedule.finish producer > consumer.Schedule.start +. tol then
+                flag Precedence "edge %d->%d: producer ends %g, consumer starts %g" e.src
+                  e.dst (Schedule.finish producer) consumer.Schedule.start
+            end
+            else
+              match comm_of e with
+              | None ->
+                flag Comm_mismatch "inter-PE edge %d->%d has no communication slot" e.src
+                  e.dst
+              | Some c ->
+                if Schedule.finish producer > c.Schedule.start +. tol then
+                  flag Precedence "edge %d->%d: producer ends %g, transfer starts %g"
+                    e.src e.dst (Schedule.finish producer) c.Schedule.start;
+                if Schedule.comm_finish c > consumer.Schedule.start +. tol then
+                  flag Precedence "edge %d->%d: transfer ends %g, consumer starts %g"
+                    e.src e.dst (Schedule.comm_finish c) consumer.Schedule.start;
+                if c.Schedule.cl < 0 || c.Schedule.cl >= Arch.n_cls arch then
+                  flag Comm_mismatch "edge %d->%d routed over unknown link %d" e.src e.dst
+                    c.Schedule.cl
+                else begin
+                  let cl = Arch.cl arch c.Schedule.cl in
+                  if not (Cl.links_pes cl src_pe dst_pe) then
+                    flag Comm_mismatch "edge %d->%d routed over link %d joining neither PE"
+                      e.src e.dst c.Schedule.cl;
+                  if not (close c.Schedule.duration (Cl.transfer_time cl ~data:e.data))
+                  then
+                    flag Comm_mismatch "edge %d->%d: transfer time %g, recomputed %g"
+                      e.src e.dst c.Schedule.duration
+                      (Cl.transfer_time cl ~data:e.data);
+                  if not (close c.Schedule.energy (Cl.transfer_energy cl ~data:e.data))
+                  then
+                    flag Comm_mismatch "edge %d->%d: transfer energy %g, recomputed %g"
+                      e.src e.dst c.Schedule.energy
+                      (Cl.transfer_energy cl ~data:e.data)
+                end)
+          (Graph.edges graph);
+        (* ---- DVS: voltages on the table, extension time, energy. ---- *)
+        if Array.length scaling.Scaling.task_voltages <> n_tasks then
+          flag Malformed_slot "%d task voltages for %d tasks"
+            (Array.length scaling.Scaling.task_voltages)
+            n_tasks
+        else begin
+          Array.iteri
+            (fun i v ->
+              let pe = Arch.pe arch (Schedule.pe_of_slot s.Schedule.task_slots.(i)) in
+              match Pe.rail pe with
+              | None ->
+                if not (Float.is_nan v) then
+                  flag Voltage_off_table "task %d reports voltage %g on rail-less PE %d" i
+                    v (Pe.id pe)
+              | Some rail ->
+                if Float.is_nan v || not (on_table rail v) then
+                  flag Voltage_off_table
+                    "task %d runs at %g V, not a level of PE %d's table" i v (Pe.id pe))
+            scaling.Scaling.task_voltages;
+          List.iter
+            (fun (hs : Scaling.hw_segment) ->
+              if hs.Scaling.pe < 0 || hs.Scaling.pe >= Arch.n_pes arch then
+                flag Voltage_off_table "segment on unknown PE %d" hs.Scaling.pe
+              else
+                match Pe.rail (Arch.pe arch hs.Scaling.pe) with
+                | None ->
+                  flag Voltage_off_table "segment scaled on rail-less PE %d" hs.Scaling.pe
+                | Some rail ->
+                  let seg = hs.Scaling.segment in
+                  if not (on_table rail hs.Scaling.voltage) then
+                    flag Voltage_off_table
+                      "segment %d on PE %d runs at %g V, not a level of the table"
+                      seg.Hw_transform.index hs.Scaling.pe hs.Scaling.voltage;
+                  let expected_duration =
+                    Voltage.scaled_time rail ~tmin:seg.Hw_transform.duration
+                      hs.Scaling.voltage
+                  in
+                  if not (close hs.Scaling.scaled_duration expected_duration) then
+                    flag Extension_time
+                      "segment %d on PE %d: scaled duration %g, t_min %g x delay factor \
+                       gives %g"
+                      seg.Hw_transform.index hs.Scaling.pe hs.Scaling.scaled_duration
+                      seg.Hw_transform.duration expected_duration;
+                  let expected_energy =
+                    Voltage.scaled_energy rail ~pmax:seg.Hw_transform.power
+                      ~tmin:seg.Hw_transform.duration hs.Scaling.voltage
+                  in
+                  if not (close hs.Scaling.energy expected_energy) then
+                    flag Energy_mismatch "segment %d on PE %d: energy %g, recomputed %g"
+                      seg.Hw_transform.index hs.Scaling.pe hs.Scaling.energy
+                      expected_energy)
+            scaling.Scaling.hw_segments;
+          (* Energy accounting: Σ task energies must equal the directly
+             recomputed energies of the non-segment tasks plus the full
+             segment energies (segments prorate onto their tasks). *)
+          let in_segment = Array.make n_tasks false in
+          List.iter
+            (fun (hs : Scaling.hw_segment) ->
+              List.iter
+                (fun t -> if t >= 0 && t < n_tasks then in_segment.(t) <- true)
+                hs.Scaling.segment.Hw_transform.running)
+            scaling.Scaling.hw_segments;
+          let direct = ref 0.0 in
+          let ok = ref true in
+          Array.iteri
+            (fun i (slot : Schedule.task_slot) ->
+              if not in_segment.(i) then begin
+                let pe = Arch.pe arch (Schedule.pe_of_slot slot) in
+                match Tech_lib.find tech ~ty:(Task.ty (Graph.task graph i)) ~pe with
+                | None -> ok := false
+                | Some impl ->
+                  let v = scaling.Scaling.task_voltages.(i) in
+                  let e =
+                    match Pe.rail pe with
+                    | Some rail when not (Float.is_nan v) ->
+                      Voltage.scaled_energy rail ~pmax:impl.Tech_lib.dyn_power
+                        ~tmin:impl.Tech_lib.exec_time v
+                    | Some _ | None ->
+                      impl.Tech_lib.dyn_power *. impl.Tech_lib.exec_time
+                  in
+                  direct := !direct +. e
+              end)
+            s.Schedule.task_slots;
+          if !ok then begin
+            let segment_energy =
+              List.fold_left
+                (fun a (hs : Scaling.hw_segment) -> a +. hs.Scaling.energy)
+                0.0 scaling.Scaling.hw_segments
+            in
+            let task_energy_sum =
+              Array.fold_left ( +. ) 0.0 scaling.Scaling.task_energy
+            in
+            if not (close task_energy_sum (!direct +. segment_energy)) then
+              flag Energy_mismatch
+                "task energies sum to %g, recomputed %g (direct) + %g (segments)"
+                task_energy_sum !direct segment_energy
+          end;
+          let comm_energy =
+            List.fold_left
+              (fun a (c : Schedule.comm_slot) -> a +. c.Schedule.energy)
+              0.0 s.Schedule.comm_slots
+          in
+          if not (close scaling.Scaling.comm_energy comm_energy) then
+            flag Energy_mismatch "communication energy %g, schedule sums to %g"
+              scaling.Scaling.comm_energy comm_energy;
+          let total =
+            Array.fold_left ( +. ) 0.0 scaling.Scaling.task_energy
+            +. scaling.Scaling.comm_energy
+          in
+          if not (close scaling.Scaling.total_dyn_energy total) then
+            flag Energy_mismatch "total dynamic energy %g, components sum to %g"
+              scaling.Scaling.total_dyn_energy total;
+          (* Stretched finishes: under No_dvs nothing may stretch, so the
+             claimed finishes must be the schedule's own. *)
+          if Array.length scaling.Scaling.stretched_finish <> n_tasks then
+            flag Malformed_slot "%d stretched finishes for %d tasks"
+              (Array.length scaling.Scaling.stretched_finish)
+              n_tasks
+          else
+            Array.iteri
+              (fun i f ->
+                let slot = s.Schedule.task_slots.(i) in
+                match config.Fitness.dvs with
+                | Fitness.No_dvs ->
+                  if not (close f (Schedule.finish slot)) then
+                    flag Extension_time
+                      "task %d: stretched finish %g differs from schedule finish %g \
+                       without DVS"
+                      i f (Schedule.finish slot)
+                | Fitness.Dvs _ ->
+                  if f +. tol < slot.Schedule.duration then
+                    flag Extension_time
+                      "task %d: stretched finish %g below its own duration %g" i f
+                      slot.Schedule.duration)
+              scaling.Scaling.stretched_finish
+        end;
+        (* ---- Mode power. ---- *)
+        let mp = eval.Fitness.mode_powers.(mode) in
+        if mp.Power.mode_id <> mode then
+          flag Power_mismatch "mode power carries mode id %d" mp.Power.mode_id;
+        if not (close mp.Power.dyn_power (scaling.Scaling.total_dyn_energy /. period))
+        then
+          flag Power_mismatch "dynamic power %g, energy/period gives %g"
+            mp.Power.dyn_power
+            (scaling.Scaling.total_dyn_energy /. period);
+        let active_pes = Schedule.active_pes s in
+        let active_cls = Schedule.active_cls s in
+        if mp.Power.active_pes <> active_pes then
+          flag Power_mismatch "active PE set disagrees with the schedule";
+        if mp.Power.active_cls <> active_cls then
+          flag Power_mismatch "active link set disagrees with the schedule";
+        let static =
+          List.fold_left
+            (fun a p -> a +. Pe.static_power (Arch.pe arch p))
+            0.0 active_pes
+          +. List.fold_left
+               (fun a c -> a +. Cl.static_power (Arch.cl arch c))
+               0.0 active_cls
+        in
+        if not (close mp.Power.static_power static) then
+          flag Power_mismatch "static power %g, active resources sum to %g"
+            mp.Power.static_power static
+      end
+    done;
+    (* ---- Cross-mode claims: timing, transitions, powers, fitness. ---- *)
+    let timing_violation = ref 0.0 in
+    for mode = 0 to n_modes - 1 do
+      let mode_rec = Omsm.mode omsm mode in
+      let graph = Mode.graph mode_rec in
+      let period = Mode.period mode_rec in
+      let finishes = eval.Fitness.scalings.(mode).Scaling.stretched_finish in
+      if Array.length finishes = Graph.n_tasks graph then
+        Array.iteri
+          (fun task finish ->
+            let bound =
+              match Task.deadline (Graph.task graph task) with
+              | None -> period
+              | Some d -> Float.min d period
+            in
+            let excess = finish -. bound in
+            if excess > 1e-9 then timing_violation := !timing_violation +. (excess /. period))
+          finishes
+    done;
+    let timing_feasible = !timing_violation <= 1e-12 in
+    if timing_feasible <> eval.Fitness.timing_feasible then
+      flag Deadline_claim
+        "fitness claims timing %s, recomputed violation is %g"
+        (if eval.Fitness.timing_feasible then "feasible" else "infeasible")
+        !timing_violation;
+    let timing_factor =
+      1.0 +. (config.Fitness.penalties.Fitness.timing *. !timing_violation)
+    in
+    if not (close eval.Fitness.timing_factor timing_factor) then
+      flag Deadline_claim "timing factor %g, recomputed %g" eval.Fitness.timing_factor
+        timing_factor;
+    (* Transitions: recomputed reconfiguration times against the OMSM
+       edge bounds. *)
+    let recomputed = Transition_time.compute spec eval.Fitness.alloc in
+    if List.length recomputed <> List.length eval.Fitness.transition_times then
+      flag Transition_bound "%d transition entries, specification has %d"
+        (List.length eval.Fitness.transition_times)
+        (List.length recomputed)
+    else
+      List.iter2
+        (fun (claimed : Transition_time.entry) (fresh : Transition_time.entry) ->
+          let src = Transition.src fresh.Transition_time.transition in
+          let dst = Transition.dst fresh.Transition_time.transition in
+          if
+            Transition.src claimed.Transition_time.transition <> src
+            || Transition.dst claimed.Transition_time.transition <> dst
+          then flag Transition_bound "transition list order disagrees"
+          else begin
+            if not (close claimed.Transition_time.time fresh.Transition_time.time) then
+              flag Transition_bound "transition %d->%d: time %g, recomputed %g" src dst
+                claimed.Transition_time.time fresh.Transition_time.time;
+            if
+              not
+                (close claimed.Transition_time.violation fresh.Transition_time.violation)
+            then
+              flag Transition_bound "transition %d->%d: violation %g, recomputed %g" src
+                dst claimed.Transition_time.violation fresh.Transition_time.violation
+          end)
+        eval.Fitness.transition_times recomputed;
+    let transition_feasible = Transition_time.feasible recomputed in
+    if transition_feasible <> eval.Fitness.transition_feasible then
+      flag Transition_bound "fitness claims transitions %s, recomputation disagrees"
+        (if eval.Fitness.transition_feasible then "feasible" else "infeasible");
+    let transition_factor =
+      1.0
+      +. config.Fitness.penalties.Fitness.transition
+         *. Transition_time.violation_sum recomputed
+    in
+    if not (close eval.Fitness.transition_factor transition_factor) then
+      flag Transition_bound "transition factor %g, recomputed %g"
+        eval.Fitness.transition_factor transition_factor;
+    (* Routability. *)
+    let unroutable_count =
+      Array.fold_left
+        (fun a (s : Schedule.t) -> a + List.length s.Schedule.unroutable)
+        0 eval.Fitness.schedules
+    in
+    if eval.Fitness.routable <> (unroutable_count = 0) then
+      flag Unroutable_claim "fitness claims %s, schedules leave %d edges unrouted"
+        (if eval.Fitness.routable then "routable" else "unroutable")
+        unroutable_count;
+    let routability_factor =
+      1.0 +. (config.Fitness.penalties.Fitness.unroutable *. float_of_int unroutable_count)
+    in
+    if not (close eval.Fitness.routability_factor routability_factor) then
+      flag Unroutable_claim "routability factor %g, recomputed %g"
+        eval.Fitness.routability_factor routability_factor;
+    (* Area. *)
+    let area_feasible = Core_alloc.area_feasible eval.Fitness.alloc in
+    if area_feasible <> eval.Fitness.area_feasible then
+      flag Area_claim "fitness claims area %s, allocation disagrees"
+        (if eval.Fitness.area_feasible then "feasible" else "infeasible");
+    let area_factor =
+      1.0
+      +. config.Fitness.penalties.Fitness.area
+         *. Core_alloc.excess_ratio_sum eval.Fitness.alloc
+    in
+    if not (close eval.Fitness.area_factor area_factor) then
+      flag Area_claim "area factor %g, recomputed %g" eval.Fitness.area_factor area_factor;
+    (* Average powers under both weightings (Eq. 1). *)
+    let true_probabilities =
+      Array.init n_modes (fun mode -> Mode.probability (Omsm.mode omsm mode))
+    in
+    let eval_probabilities =
+      match config.Fitness.weighting with
+      | Fitness.True_probabilities -> true_probabilities
+      | Fitness.Uniform -> Array.make n_modes (1.0 /. float_of_int n_modes)
+    in
+    let true_power =
+      Power.average ~probabilities:true_probabilities eval.Fitness.mode_powers
+    in
+    if not (close eval.Fitness.true_power true_power) then
+      flag Power_mismatch "true power %g, recomputed %g" eval.Fitness.true_power
+        true_power;
+    let eval_power =
+      Power.average ~probabilities:eval_probabilities eval.Fitness.mode_powers
+    in
+    if not (close eval.Fitness.eval_power eval_power) then
+      flag Power_mismatch "eval power %g, recomputed %g" eval.Fitness.eval_power
+        eval_power;
+    (* The fitness formula itself. *)
+    let raw =
+      eval.Fitness.eval_power *. eval.Fitness.timing_factor *. eval.Fitness.area_factor
+      *. eval.Fitness.transition_factor *. eval.Fitness.routability_factor
+    in
+    let expected_fitness =
+      if
+        eval.Fitness.timing_feasible && eval.Fitness.area_feasible
+        && eval.Fitness.transition_feasible && eval.Fitness.routable
+      then raw
+      else raw *. 1e6
+    in
+    if not (close eval.Fitness.fitness expected_fitness) then
+      flag Fitness_claim "fitness %g, power x factors gives %g" eval.Fitness.fitness
+        expected_fitness
+  end;
+  let violations = List.rev !acc in
+  Metrics.incr ~by:(List.length violations) c_violations;
+  { violations; modes_checked = n_modes; clean = violations = [] }
+
+let check_exn ~config ~spec eval =
+  let report = check ~config ~spec eval in
+  if not report.clean then raise (Audit_violation report)

@@ -1,0 +1,50 @@
+(** Post-evaluation invariant auditor.
+
+    Re-derives, independently of the list scheduler, [Mm_dvs.Scaling]
+    and [Fitness.assemble], that a reported solution actually is what
+    its fitness claims: schedules respect precedence and resource
+    exclusivity, deadlines are met iff no timing penalty was applied,
+    every DVS voltage sits on the PE's discrete rail with
+    extension-time and energy math consistent, and mode-transition
+    times stay within the OMSM edge bounds (or were penalised).  The
+    correctness backstop behind [Synthesis.config.audit] and the
+    [--audit] CLI flag: an optimizer or kernel bug cannot silently
+    report an infeasible schedule as a power win. *)
+
+type kind =
+  | Malformed_slot  (** Slot indexing/resource/mapping inconsistency. *)
+  | Wrong_duration  (** Slot duration is not the implementation's t_min. *)
+  | Resource_overlap  (** Two slots overlap on one sequential resource. *)
+  | Precedence  (** A data dependency starts before its producer ends. *)
+  | Comm_mismatch  (** Communication slot timing/link/energy wrong. *)
+  | Unroutable_claim  (** Unroutable set or routability claim wrong. *)
+  | Deadline_claim  (** Timing feasibility/factor contradicts finishes. *)
+  | Voltage_off_table  (** A voltage outside the PE's discrete table. *)
+  | Extension_time  (** Scaled duration ≠ t_min · delay factor. *)
+  | Energy_mismatch  (** Task/segment/communication energy accounting. *)
+  | Power_mismatch  (** Mode or average power ≠ recomputed value. *)
+  | Transition_bound  (** Transition times/violations ≠ recomputed. *)
+  | Area_claim  (** Area feasibility/factor contradicts the allocation. *)
+  | Fitness_claim  (** Final fitness ≠ power × penalty factors. *)
+
+val kind_to_string : kind -> string
+
+type violation = { kind : kind; mode : int option; detail : string }
+
+type report = {
+  violations : violation list;
+  modes_checked : int;
+  clean : bool;  (** [violations = []]. *)
+}
+
+exception Audit_violation of report
+
+val check : config:Fitness.config -> spec:Spec.t -> Fitness.eval -> report
+(** Never raises; increments the [audit/*] metrics
+    ([audit/runs], [audit/modes_checked], [audit/violations]). *)
+
+val check_exn : config:Fitness.config -> spec:Spec.t -> Fitness.eval -> unit
+(** Raises {!Audit_violation} when the report is not clean. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

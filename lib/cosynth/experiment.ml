@@ -42,14 +42,14 @@ let summarize_run (r : Synthesis.result) =
     history = r.Synthesis.history;
   }
 
-let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~weighting ~spec
-    ~runs ~seed ~completed ~on_run =
+let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~weighting
+    ~spec ~runs ~seed ~completed ~on_run =
   if runs <= 0 then invalid_arg "Experiment.compare: runs must be positive";
   if List.length completed > runs then
     invalid_arg "Experiment.compare: snapshot holds more runs than requested";
   let fitness = { Fitness.default_config with Fitness.weighting; dvs } in
   let config =
-    { Synthesis.fitness; ga; use_improvements; restarts; jobs; eval_cache }
+    { Synthesis.fitness; ga; use_improvements; restarts; jobs; eval_cache; audit }
   in
   (* One cache per arm, shared across its repeated runs: later runs reuse
      evaluations the earlier ones already paid for.  Sharing cannot
@@ -102,6 +102,7 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~weighting ~s
         cache_hits = best_summary.cache_hits;
         cpu_seconds = best_summary.cpu_seconds;
         history = best_summary.history;
+        audit = None;
       }
   in
   ( { power = Stats.summarize powers; cpu_seconds = Stats.summarize cpu; best },
@@ -110,8 +111,8 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~weighting ~s
 let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
     ?(use_improvements = true) ?(restarts = Synthesis.default_config.Synthesis.restarts)
     ?(jobs = Synthesis.default_config.Synthesis.jobs)
-    ?(eval_cache = Synthesis.default_config.Synthesis.eval_cache) ?checkpoint ?resume
-    ~spec ~runs ~seed () =
+    ?(eval_cache = Synthesis.default_config.Synthesis.eval_cache) ?(audit = false)
+    ?checkpoint ?resume ~spec ~runs ~seed () =
   (match resume with
   | None -> ()
   | Some st ->
@@ -125,7 +126,7 @@ let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
   let baseline_done = match resume with None -> [] | Some st -> st.baseline_done in
   let proposed_done = match resume with None -> [] | Some st -> st.proposed_done in
   let without_probabilities, baseline_all =
-    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache
+    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit
       ~weighting:Fitness.Uniform ~spec ~runs ~seed ~completed:baseline_done
       ~on_run:
         (Option.map
@@ -134,7 +135,7 @@ let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
            checkpoint)
   in
   let with_probabilities, _ =
-    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache
+    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit
       ~weighting:Fitness.True_probabilities ~spec ~runs ~seed ~completed:proposed_done
       ~on_run:
         (Option.map

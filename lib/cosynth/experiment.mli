@@ -51,6 +51,7 @@ val compare :
   ?restarts:int ->
   ?jobs:int ->
   ?eval_cache:int ->
+  ?audit:bool ->
   ?checkpoint:(state -> unit) ->
   ?resume:state ->
   spec:Spec.t ->
@@ -62,7 +63,9 @@ val compare :
     [seed], [seed+1], …; both arms share seeds so the comparison is
     paired.  [jobs] and [eval_cache] are forwarded to
     {!Synthesis.config}; neither changes the synthesised results, only
-    how fast they are computed.
+    how fast they are computed.  [audit] (default [false]) runs
+    {!Audit.check} on every synthesis result; a dirty report is logged
+    by {!Synthesis.run} but never aborts the comparison.
 
     [checkpoint] is called with the comparison's {!state} after every
     completed run; [resume] skips the runs a state already holds.  The

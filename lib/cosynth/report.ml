@@ -58,7 +58,14 @@ let pp_result spec ppf (result : Synthesis.result) =
   pp_eval spec ppf result.Synthesis.eval;
   Format.fprintf ppf "GA: %d generations, %d evaluations (%d cache hits), %.2fs CPU@."
     result.Synthesis.generations result.Synthesis.evaluations
-    result.Synthesis.cache_hits result.Synthesis.cpu_seconds
+    result.Synthesis.cache_hits result.Synthesis.cpu_seconds;
+  match result.Synthesis.audit with
+  | None -> ()
+  | Some report ->
+    if report.Audit.clean then
+      Format.fprintf ppf "audit: clean (%d modes checked)@."
+        report.Audit.modes_checked
+    else Format.fprintf ppf "%a" Audit.pp_report report
 
 let print_result spec result =
   Format.printf "%a@?" (pp_result spec) result

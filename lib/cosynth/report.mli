@@ -5,7 +5,8 @@ val pp_eval : Spec.t -> Format.formatter -> Fitness.eval -> unit
     penalty factors and transition times. *)
 
 val pp_result : Spec.t -> Format.formatter -> Synthesis.result -> unit
-(** {!pp_eval} plus GA run statistics. *)
+(** {!pp_eval} plus GA run statistics and, when the run was audited,
+    the audit verdict (clean, or the full violation report). *)
 
 val print_result : Spec.t -> Synthesis.result -> unit
 (** [pp_result] to stdout. *)

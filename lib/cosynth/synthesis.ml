@@ -17,6 +17,7 @@ type config = {
   restarts : int;
   jobs : int;
   eval_cache : int;
+  audit : bool;
 }
 
 let default_eval_cache = 8192
@@ -29,6 +30,7 @@ let default_config =
     restarts = 2;
     jobs = 1;
     eval_cache = default_eval_cache;
+    audit = false;
   }
 
 type cache = (float * Fitness.eval) Memo.t
@@ -100,6 +102,7 @@ type result = {
   cache_hits : int;
   cpu_seconds : float;
   history : float list;
+  audit : Audit.report option;
 }
 
 (* Known-good anchors injected into the initial population: all-software
@@ -395,6 +398,18 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
         eval.Fitness.true_power best_summary.r_fitness
         (total (fun s -> s.r_evaluations))
         cpu_seconds);
+  (* The audit re-derives the winning evaluation's claims independently
+     of the scheduler and the scaler; a dirty report is surfaced, not
+     raised — the caller decides whether it is fatal. *)
+  let audit =
+    if config.audit then begin
+      let report = Audit.check ~config:config.fitness ~spec eval in
+      if not report.Audit.clean then
+        Log.warn (fun () -> Format.asprintf "%a" Audit.pp_report report);
+      Some report
+    end
+    else None
+  in
   {
     genome = best_summary.r_genome;
     eval;
@@ -403,6 +418,7 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
     cache_hits = total (fun s -> s.r_cache_hits);
     cpu_seconds;
     history = best_summary.r_history;
+    audit;
   }
 
 let average_power result = result.eval.Fitness.true_power

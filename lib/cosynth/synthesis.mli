@@ -24,6 +24,13 @@ type config = {
       (** Capacity of the genome→evaluation memoization cache shared
           across the run's restarts; [0] disables caching (default
           {!default_eval_cache}). *)
+  audit : bool;
+      (** Re-derive the winning evaluation's schedules, DVS math and
+          penalty claims through {!Audit.check} and attach the report to
+          the result (default false; the [--audit] CLI flag and the test
+          suite force it on).  Like [jobs]/[eval_cache], auditing never
+          perturbs the synthesis trajectory, so it is absent from
+          {!config_fingerprint}. *)
 }
 
 val default_config : config
@@ -42,6 +49,9 @@ type result = {
           With [jobs > 1] this sums time across domains and can exceed
           wall-clock time. *)
   history : float list;  (** Best fitness trajectory. *)
+  audit : Audit.report option;
+      (** Present iff [config.audit]; a dirty report is attached, never
+          raised. *)
 }
 
 val software_anchors : Spec.t -> int array list

@@ -1,0 +1,639 @@
+module Task_type = Mm_taskgraph.Task_type
+module Task = Mm_taskgraph.Task
+module Graph = Mm_taskgraph.Graph
+module Voltage = Mm_arch.Voltage
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Arch = Mm_arch.Architecture
+module Tech_lib = Mm_arch.Tech_lib
+module Mode = Mm_omsm.Mode
+module Transition = Mm_omsm.Transition
+module Omsm = Mm_omsm.Omsm
+
+type severity = Error | Warning
+
+type diag = {
+  code : string;
+  severity : severity;
+  path : string;
+  message : string;
+  pos : (int * int) option;
+}
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+let warnings diags = List.filter (fun d -> d.severity = Warning) diags
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let exit_code diags =
+  if has_errors diags then 2 else if diags <> [] then 1 else 0
+
+let to_string d =
+  let sev = match d.severity with Error -> "error" | Warning -> "warning" in
+  let where = match d.pos with Some (l, c) -> Printf.sprintf "%d:%d: " l c | None -> "" in
+  Printf.sprintf "%s%s %s [%s]: %s" where sev d.code d.path d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let pp_list ppf diags =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf diags
+
+module Raw = struct
+  type pos = (int * int) option
+
+  type ty = { id : int; name : string; pos : pos }
+
+  type pe = {
+    id : int;
+    name : string;
+    kind : Pe.kind;
+    static_power : float;
+    rail : (float * float list) option;
+    area : float option;
+    reconfig : float option;
+    pos : pos;
+  }
+
+  type cl = {
+    id : int;
+    name : string;
+    connects : int list;
+    time_per_data : float;
+    transfer_power : float;
+    static_power : float;
+    pos : pos;
+  }
+
+  type impl = {
+    ty : int;
+    pe : int;
+    time : float;
+    power : float;
+    area : float;
+    pos : pos;
+  }
+
+  type task = {
+    id : int;
+    name : string;
+    ty : int;
+    deadline : float option;
+    pos : pos;
+  }
+
+  type edge = { src : int; dst : int; data : float; pos : pos }
+
+  type mode = {
+    id : int;
+    name : string;
+    period : float;
+    probability : float;
+    tasks : task list;
+    edges : edge list;
+    pos : pos;
+  }
+
+  type transition = { src : int; dst : int; max_time : float; pos : pos }
+
+  type t = {
+    name : string;
+    arch_name : string;
+    types : ty list;
+    pes : pe list;
+    cls : cl list;
+    impls : impl list;
+    modes : mode list;
+    transitions : transition list;
+  }
+end
+
+(* --- The semantic pass --------------------------------------------------- *)
+
+(* One accumulator, one [add] helper; every rule below is a plain fold
+   over the raw records, so a broken entity never masks the diagnostics
+   of its siblings. *)
+
+let is_software_kind = function Pe.Gpp | Pe.Asip -> true | Pe.Asic | Pe.Fpga -> false
+
+let check_raw (raw : Raw.t) : diag list =
+  let acc = ref [] in
+  let add ?pos ~code ~severity ~path fmt =
+    Format.kasprintf
+      (fun message -> acc := { code; severity; path; message; pos } :: !acc)
+      fmt
+  in
+  let err ?pos code path fmt = add ?pos ~code ~severity:Error ~path fmt in
+  let warn ?pos code path fmt = add ?pos ~code ~severity:Warning ~path fmt in
+
+  (* Task types. *)
+  let type_ids = Hashtbl.create 16 in
+  List.iteri
+    (fun i (ty : Raw.ty) ->
+      let path = Printf.sprintf "spec.types[%d]" i in
+      if ty.id < 0 then err ?pos:ty.pos "MM060" path "negative task-type id %d" ty.id;
+      if Hashtbl.mem type_ids ty.id then
+        err ?pos:ty.pos "MM060" path "duplicate task-type id %d" ty.id
+      else Hashtbl.replace type_ids ty.id ty.name)
+    raw.types;
+
+  (* Processing elements. *)
+  let n_pes = List.length raw.pes in
+  if raw.pes = [] then err "MM030" "spec.arch" "architecture has no processing elements";
+  List.iteri
+    (fun i (pe : Raw.pe) ->
+      let path = Printf.sprintf "spec.arch.pes[%d]" i in
+      if pe.id <> i then
+        err ?pos:pe.pos "MM031" path "PE id %d at position %d (ids must be 0..n-1 in order)"
+          pe.id i;
+      if pe.static_power < 0.0 then
+        err ?pos:pe.pos "MM033" path "negative static power %g" pe.static_power;
+      (if is_software_kind pe.kind then begin
+         (match pe.area with
+         | Some a when a > 0.0 ->
+           err ?pos:pe.pos "MM034" path "software PE carries core area %g" a
+         | Some _ | None -> ());
+         match pe.reconfig with
+         | Some r when r > 0.0 ->
+           err ?pos:pe.pos "MM034" path "software PE carries reconfiguration cost %g" r
+         | Some _ | None -> ()
+       end
+       else begin
+         (match pe.area with
+         | Some a ->
+           if a <= 0.0 then
+             err ?pos:pe.pos "MM035" path "hardware PE area %g must be positive" a
+         | None -> err ?pos:pe.pos "MM035" path "hardware PE without a core area");
+         match (pe.kind, pe.reconfig) with
+         | Pe.Asic, Some r when r > 0.0 ->
+           err ?pos:pe.pos "MM039" path "ASIC cores are static (reconfiguration cost %g)" r
+         | _, Some r when r < 0.0 ->
+           err ?pos:pe.pos "MM039" path "negative reconfiguration cost %g" r
+         | _ -> ()
+       end);
+      match pe.rail with
+      | None -> ()
+      | Some (threshold, levels) ->
+        let rpath = path ^ ".rail" in
+        if levels = [] then
+          err ?pos:pe.pos "MM036" rpath "DVS-enabled PE with an empty voltage table"
+        else begin
+          if threshold < 0.0 then
+            err ?pos:pe.pos "MM037" rpath "negative threshold voltage %g" threshold;
+          List.iter
+            (fun v ->
+              if v <= threshold then
+                err ?pos:pe.pos "MM037" rpath
+                  "voltage level %g does not exceed the threshold %g" v threshold)
+            levels;
+          let sorted_desc =
+            let rec ok = function
+              | a :: (b :: _ as rest) -> a > b && ok rest
+              | [ _ ] | [] -> true
+            in
+            ok levels
+          in
+          if not sorted_desc then
+            warn ?pos:pe.pos "MM038" rpath
+              "voltage table not strictly descending (it will be sorted and deduplicated)"
+        end)
+    raw.pes;
+
+  (* Communication links. *)
+  let linked = Hashtbl.create 16 in
+  List.iteri
+    (fun i (cl : Raw.cl) ->
+      let path = Printf.sprintf "spec.arch.cls[%d]" i in
+      if cl.id <> i then
+        err ?pos:cl.pos "MM031" path "CL id %d at position %d (ids must be 0..n-1 in order)"
+          cl.id i;
+      List.iter
+        (fun p ->
+          if p < 0 || p >= n_pes then
+            err ?pos:cl.pos "MM040" path "link attaches unknown PE %d" p
+          else Hashtbl.replace linked p ())
+        cl.connects;
+      let distinct = List.sort_uniq compare cl.connects in
+      if List.length distinct < 2 then
+        err ?pos:cl.pos "MM041" path "link must attach at least two distinct PEs";
+      if List.length distinct <> List.length cl.connects then
+        err ?pos:cl.pos "MM041" path "link attaches the same PE twice";
+      if cl.time_per_data <= 0.0 then
+        err ?pos:cl.pos "MM042" path "non-positive time-per-data %g" cl.time_per_data;
+      if cl.transfer_power < 0.0 then
+        err ?pos:cl.pos "MM042" path "negative transfer power %g" cl.transfer_power;
+      if cl.static_power < 0.0 then
+        err ?pos:cl.pos "MM042" path "negative static power %g" cl.static_power)
+    raw.cls;
+  if n_pes > 1 then
+    List.iteri
+      (fun i (pe : Raw.pe) ->
+        if not (Hashtbl.mem linked i) then
+          warn ?pos:pe.pos "MM043"
+            (Printf.sprintf "spec.arch.pes[%d]" i)
+            "PE %S is attached to no communication link (inter-PE edges will be unroutable)"
+            pe.name)
+      raw.pes;
+
+  (* Technology library. *)
+  let impl_pairs = Hashtbl.create 32 in
+  let covered_types = Hashtbl.create 16 in
+  List.iteri
+    (fun i (impl : Raw.impl) ->
+      let path = Printf.sprintf "spec.tech.impls[%d]" i in
+      if not (Hashtbl.mem type_ids impl.ty) then
+        err ?pos:impl.pos "MM050" path "implementation references unknown task type %d"
+          impl.ty;
+      if impl.pe < 0 || impl.pe >= n_pes then
+        err ?pos:impl.pos "MM051" path "implementation references unknown PE %d" impl.pe
+      else begin
+        let pe = List.nth raw.pes impl.pe in
+        if is_software_kind pe.Raw.kind then begin
+          if impl.area > 0.0 then
+            err ?pos:impl.pos "MM055" path
+              "software implementation carries core area %g" impl.area
+        end
+        else if impl.area <= 0.0 then
+          err ?pos:impl.pos "MM054" path
+            "hardware implementation of type %d on PE %d needs a positive core area"
+            impl.ty impl.pe;
+        Hashtbl.replace covered_types impl.ty ()
+      end;
+      if impl.time <= 0.0 then
+        err ?pos:impl.pos "MM052" path "non-positive execution time %g" impl.time;
+      if impl.power < 0.0 then
+        err ?pos:impl.pos "MM053" path "negative dynamic power %g" impl.power;
+      if impl.area < 0.0 then
+        err ?pos:impl.pos "MM053" path "negative core area %g" impl.area;
+      if Hashtbl.mem impl_pairs (impl.ty, impl.pe) then
+        err ?pos:impl.pos "MM056" path "duplicate implementation for (type %d, PE %d)"
+          impl.ty impl.pe
+      else Hashtbl.replace impl_pairs (impl.ty, impl.pe) ())
+    raw.impls;
+
+  (* Modes, task graphs, Eq. 1. *)
+  let n_modes = List.length raw.modes in
+  if raw.modes = [] then err "MM010" "spec" "specification has no operational modes";
+  let used_types = Hashtbl.create 16 in
+  List.iteri
+    (fun i (m : Raw.mode) ->
+      let path = Printf.sprintf "spec.modes[%d]" i in
+      if m.id <> i then
+        err ?pos:m.pos "MM011" path "mode id %d at position %d (ids must be 0..n-1 in order)"
+          m.id i;
+      if m.period <= 0.0 then err ?pos:m.pos "MM014" path "non-positive period %g" m.period;
+      if m.probability < 0.0 || m.probability > 1.0 then
+        err ?pos:m.pos "MM013" path "execution probability %g outside [0, 1]" m.probability;
+      let n_tasks = List.length m.tasks in
+      if m.tasks = [] then err ?pos:m.pos "MM020" path "mode has no tasks";
+      List.iteri
+        (fun j (t : Raw.task) ->
+          let tpath = Printf.sprintf "%s.tasks[%d]" path j in
+          if t.id <> j then
+            err ?pos:t.pos "MM021" tpath
+              "task id %d at position %d (ids must be 0..n-1 in order)" t.id j;
+          if not (Hashtbl.mem type_ids t.ty) then
+            err ?pos:t.pos "MM029" tpath "task references unknown type %d" t.ty
+          else if not (Hashtbl.mem used_types t.ty) then Hashtbl.replace used_types t.ty (i, j);
+          match t.deadline with
+          | Some d when d <= 0.0 -> err ?pos:t.pos "MM027" tpath "non-positive deadline %g" d
+          | Some d when m.period > 0.0 && d > m.period ->
+            warn ?pos:t.pos "MM028" tpath
+              "deadline %g exceeds the period %g (the period is the effective bound)" d
+              m.period
+          | Some _ | None -> ())
+        m.tasks;
+      let seen_edges = Hashtbl.create 16 in
+      let valid_edges = ref [] in
+      List.iteri
+        (fun j (e : Raw.edge) ->
+          let epath = Printf.sprintf "%s.edges[%d]" path j in
+          let endpoint_ok p = p >= 0 && p < n_tasks in
+          if not (endpoint_ok e.src && endpoint_ok e.dst) then
+            err ?pos:e.pos "MM022" epath "dangling edge %d -> %d (tasks are 0..%d)" e.src
+              e.dst (n_tasks - 1)
+          else if e.src = e.dst then
+            err ?pos:e.pos "MM023" epath "self-loop edge on task %d" e.src
+          else begin
+            if Hashtbl.mem seen_edges (e.src, e.dst) then
+              err ?pos:e.pos "MM024" epath "duplicate edge %d -> %d" e.src e.dst
+            else begin
+              Hashtbl.replace seen_edges (e.src, e.dst) ();
+              valid_edges := (e.src, e.dst) :: !valid_edges
+            end
+          end;
+          if e.data < 0.0 then err ?pos:e.pos "MM025" epath "negative edge data %g" e.data)
+        m.edges;
+      (* Kahn's algorithm over the well-formed edges: whatever cannot be
+         topologically ordered sits on a precedence cycle. *)
+      if n_tasks > 0 then begin
+        let indegree = Array.make n_tasks 0 in
+        let succs = Array.make n_tasks [] in
+        List.iter
+          (fun (src, dst) ->
+            indegree.(dst) <- indegree.(dst) + 1;
+            succs.(src) <- dst :: succs.(src))
+          !valid_edges;
+        let queue = Queue.create () in
+        Array.iteri (fun t d -> if d = 0 then Queue.add t queue) indegree;
+        let ordered = ref 0 in
+        while not (Queue.is_empty queue) do
+          let t = Queue.pop queue in
+          incr ordered;
+          List.iter
+            (fun s ->
+              indegree.(s) <- indegree.(s) - 1;
+              if indegree.(s) = 0 then Queue.add s queue)
+            succs.(t)
+        done;
+        if !ordered < n_tasks then begin
+          let cyclic = ref [] in
+          Array.iteri (fun t d -> if d > 0 then cyclic := t :: !cyclic) indegree;
+          err ?pos:m.pos "MM026" path "precedence cycle through tasks {%s}"
+            (String.concat ", " (List.rev_map string_of_int !cyclic |> List.rev))
+        end
+      end)
+    raw.modes;
+  if raw.modes <> [] then begin
+    let sum = List.fold_left (fun s (m : Raw.mode) -> s +. m.probability) 0.0 raw.modes in
+    if Float.abs (sum -. 1.0) > 1e-6 then
+      err "MM012" "spec.modes"
+        "mode execution probabilities sum to %g, not 1 (Eq. 1: sum over all modes = 1)" sum
+  end;
+
+  (* Mode transitions. *)
+  let seen_transitions = Hashtbl.create 16 in
+  let adjacency = Hashtbl.create 16 in
+  List.iteri
+    (fun i (tr : Raw.transition) ->
+      let path = Printf.sprintf "spec.transitions[%d]" i in
+      let endpoint_ok m = m >= 0 && m < n_modes in
+      if not (endpoint_ok tr.src && endpoint_ok tr.dst) then
+        err ?pos:tr.pos "MM016" path "transition references unknown mode (%d -> %d)" tr.src
+          tr.dst
+      else if tr.src = tr.dst then
+        err ?pos:tr.pos "MM018" path "self transition on mode %d" tr.src
+      else begin
+        if Hashtbl.mem seen_transitions (tr.src, tr.dst) then
+          err ?pos:tr.pos "MM017" path "duplicate transition %d -> %d" tr.src tr.dst
+        else Hashtbl.replace seen_transitions (tr.src, tr.dst) ();
+        Hashtbl.replace adjacency tr.src
+          (tr.dst :: Option.value ~default:[] (Hashtbl.find_opt adjacency tr.src))
+      end;
+      if tr.max_time <= 0.0 then
+        err ?pos:tr.pos "MM019" path "non-positive maximal transition time %g" tr.max_time)
+    raw.transitions;
+  (* Reachability of every mode from the start mode 0 along directed
+     transitions: an unreachable mode never executes, so its probability
+     mass (and its whole task graph) is dead weight. *)
+  if n_modes > 1 then begin
+    let reachable = Array.make n_modes false in
+    let queue = Queue.create () in
+    reachable.(0) <- true;
+    Queue.add 0 queue;
+    while not (Queue.is_empty queue) do
+      let m = Queue.pop queue in
+      List.iter
+        (fun d ->
+          if d >= 0 && d < n_modes && not reachable.(d) then begin
+            reachable.(d) <- true;
+            Queue.add d queue
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt adjacency m))
+    done;
+    List.iteri
+      (fun i (m : Raw.mode) ->
+        if not reachable.(i) then
+          warn ?pos:m.pos "MM015"
+            (Printf.sprintf "spec.modes[%d]" i)
+            "mode %S is unreachable from mode 0 in the OMSM" m.name)
+      raw.modes
+  end;
+
+  (* Library coverage: every used type needs at least one implementation
+     (the rule behind [Spec.Invalid]). *)
+  Hashtbl.iter
+    (fun ty (mode, task) ->
+      if not (Hashtbl.mem covered_types ty) then
+        err "MM057"
+          (Printf.sprintf "spec.modes[%d].tasks[%d]" mode task)
+          "task type %d (%s) has no implementation on any PE"
+          ty
+          (Option.value ~default:"?" (Hashtbl.find_opt type_ids ty)))
+    used_types;
+
+  (* Diagnostics in path order, severity-stable. *)
+  List.sort
+    (fun a b ->
+      match compare a.path b.path with 0 -> compare a.code b.code | c -> c)
+    (List.rev !acc)
+
+(* --- Projection of a constructed spec ------------------------------------ *)
+
+let of_spec spec : Raw.t =
+  let omsm = Spec.omsm spec in
+  let arch = Spec.arch spec in
+  let tech = Spec.tech spec in
+  let types =
+    Task_type.Set.elements (Omsm.all_task_types omsm)
+    |> List.map (fun ty ->
+           { Raw.id = Task_type.id ty; name = Task_type.name ty; pos = None })
+  in
+  let pes =
+    List.map
+      (fun pe ->
+        {
+          Raw.id = Pe.id pe;
+          name = Pe.name pe;
+          kind = Pe.kind pe;
+          static_power = Pe.static_power pe;
+          rail =
+            Option.map
+              (fun r -> (r.Voltage.threshold, Voltage.levels r))
+              (Pe.rail pe);
+          area =
+            (if Pe.area_capacity pe > 0.0 then Some (Pe.area_capacity pe) else None);
+          reconfig =
+            (if Pe.reconfig_time_per_area pe > 0.0 then
+               Some (Pe.reconfig_time_per_area pe)
+             else None);
+          pos = None;
+        })
+      (Arch.pes arch)
+  in
+  let cls =
+    List.map
+      (fun cl ->
+        {
+          Raw.id = Cl.id cl;
+          name = Cl.name cl;
+          connects = Cl.connects cl;
+          time_per_data = Cl.time_per_data cl;
+          transfer_power = Cl.transfer_power cl;
+          static_power = Cl.static_power cl;
+          pos = None;
+        })
+      (Arch.cls arch)
+  in
+  let impls = ref [] in
+  Tech_lib.iter
+    (fun ~ty_id ~pe_id impl ->
+      impls :=
+        {
+          Raw.ty = ty_id;
+          pe = pe_id;
+          time = impl.Tech_lib.exec_time;
+          power = impl.Tech_lib.dyn_power;
+          area = impl.Tech_lib.area;
+          pos = None;
+        }
+        :: !impls)
+    tech;
+  let modes =
+    List.map
+      (fun mode ->
+        let graph = Mode.graph mode in
+        {
+          Raw.id = Mode.id mode;
+          name = Mode.name mode;
+          period = Mode.period mode;
+          probability = Mode.probability mode;
+          tasks =
+            Array.to_list (Graph.tasks graph)
+            |> List.map (fun t ->
+                   {
+                     Raw.id = Task.id t;
+                     name = Task.name t;
+                     ty = Task_type.id (Task.ty t);
+                     deadline = Task.deadline t;
+                     pos = None;
+                   });
+          edges =
+            List.map
+              (fun (e : Graph.edge) ->
+                { Raw.src = e.src; dst = e.dst; data = e.data; pos = None })
+              (Graph.edges graph);
+          pos = None;
+        })
+      (Omsm.modes omsm)
+  in
+  let transitions =
+    List.map
+      (fun tr ->
+        {
+          Raw.src = Transition.src tr;
+          dst = Transition.dst tr;
+          max_time = Transition.max_time tr;
+          pos = None;
+        })
+      (Omsm.transitions omsm)
+  in
+  {
+    Raw.name = Omsm.name omsm;
+    arch_name = Arch.name arch;
+    types;
+    pes;
+    cls;
+    impls = !impls;
+    modes;
+    transitions;
+  }
+
+let check_spec spec = check_raw (of_spec spec)
+
+(* --- Construction --------------------------------------------------------- *)
+
+let build ?(force = false) (raw : Raw.t) : (Spec.t, diag list) result =
+  let diags = check_raw raw in
+  if has_errors diags && not force then Error diags
+  else
+    try
+      let types_by_id = Hashtbl.create 16 in
+      List.iter
+        (fun (ty : Raw.ty) ->
+          Hashtbl.replace types_by_id ty.id (Task_type.make ~id:ty.id ~name:ty.name))
+        raw.types;
+      let find_type ~path id =
+        match Hashtbl.find_opt types_by_id id with
+        | Some ty -> ty
+        | None -> failwith (Printf.sprintf "%s: unknown type %d" path id)
+      in
+      let pes =
+        List.map
+          (fun (pe : Raw.pe) ->
+            let rail =
+              Option.map
+                (fun (threshold, levels) -> Voltage.make ~levels ~threshold)
+                pe.Raw.rail
+            in
+            Pe.make ~id:pe.Raw.id ~name:pe.Raw.name ~kind:pe.Raw.kind
+              ~static_power:pe.Raw.static_power ?rail ?area_capacity:pe.Raw.area
+              ?reconfig_time_per_area:pe.Raw.reconfig ())
+          raw.pes
+      in
+      let cls =
+        List.map
+          (fun (cl : Raw.cl) ->
+            Cl.make ~id:cl.Raw.id ~name:cl.Raw.name ~connects:cl.Raw.connects
+              ~time_per_data:cl.Raw.time_per_data
+              ~transfer_power:cl.Raw.transfer_power ~static_power:cl.Raw.static_power)
+          raw.cls
+      in
+      let arch = Arch.make ~name:raw.arch_name ~pes ~cls in
+      let tech =
+        List.fold_left
+          (fun tech (impl : Raw.impl) ->
+            let area = if impl.Raw.area > 0.0 then Some impl.Raw.area else None in
+            Tech_lib.add tech
+              ~ty:(find_type ~path:"spec.tech" impl.Raw.ty)
+              ~pe:(Arch.pe arch impl.Raw.pe)
+              (Tech_lib.impl ~exec_time:impl.Raw.time ~dyn_power:impl.Raw.power ?area ()))
+          Tech_lib.empty raw.impls
+      in
+      let modes =
+        List.map
+          (fun (m : Raw.mode) ->
+            let tasks =
+              List.map
+                (fun (t : Raw.task) ->
+                  Task.make ~id:t.Raw.id ~name:t.Raw.name
+                    ~ty:(find_type ~path:"spec.modes" t.Raw.ty)
+                    ?deadline:t.Raw.deadline ())
+                m.Raw.tasks
+              |> Array.of_list
+            in
+            let edges =
+              List.map
+                (fun (e : Raw.edge) ->
+                  { Graph.src = e.Raw.src; dst = e.Raw.dst; data = e.Raw.data })
+                m.Raw.edges
+            in
+            Mode.make ~id:m.Raw.id ~name:m.Raw.name
+              ~graph:(Graph.make ~name:m.Raw.name ~tasks ~edges)
+              ~period:m.Raw.period ~probability:m.Raw.probability)
+          raw.modes
+      in
+      let transitions =
+        List.map
+          (fun (tr : Raw.transition) ->
+            Transition.make ~src:tr.Raw.src ~dst:tr.Raw.dst ~max_time:tr.Raw.max_time)
+          raw.transitions
+      in
+      let omsm = Omsm.make ~name:raw.name ~modes ~transitions in
+      Ok (Spec.make ~omsm ~arch ~tech)
+    with
+    | Failure message
+    | Invalid_argument message
+    | Graph.Invalid message
+    | Arch.Invalid message
+    | Omsm.Invalid message
+    | Spec.Invalid message ->
+      Error
+        (diags
+        @ [
+            {
+              code = "MM099";
+              severity = Error;
+              path = "spec";
+              message = "construction failed: " ^ message;
+              pos = None;
+            };
+          ])

@@ -1,0 +1,123 @@
+(** Total semantic validation of multi-mode specifications.
+
+    Every well-formedness rule the smart constructors enforce by raising
+    — plus the semantic rules none of them can see alone (Eq. 1
+    probability mass, OMSM reachability, library coverage) — expressed
+    as structured diagnostics with stable [MM0xx] codes.  {!check_raw}
+    reports {e all} problems of an unvalidated {!Raw.t} in one pass
+    instead of stopping at the first constructor exception, which is
+    what makes [Mm_io.Codec.load_spec_result] total. *)
+
+type severity = Error | Warning
+
+type diag = {
+  code : string;  (** Stable machine-readable code, e.g. ["MM012"]. *)
+  severity : severity;
+  path : string;  (** Dotted path into the spec, e.g. ["spec.modes[1].edges[2]"]. *)
+  message : string;
+  pos : (int * int) option;  (** Source line/column when decoded from text. *)
+}
+
+val errors : diag list -> diag list
+val warnings : diag list -> diag list
+val has_errors : diag list -> bool
+
+val exit_code : diag list -> int
+(** 0 clean, 1 warnings only, 2 any error — the [mmsynth check]
+    convention. *)
+
+val to_string : diag -> string
+val pp : Format.formatter -> diag -> unit
+val pp_list : Format.formatter -> diag list -> unit
+
+(** The unvalidated mirror of [Spec.t]: plain records straight out of
+    the decoder (or {!of_spec}), each carrying the source position it
+    was read from.  Nothing here is checked — that is {!check_raw}'s
+    job. *)
+module Raw : sig
+  type pos = (int * int) option
+
+  type ty = { id : int; name : string; pos : pos }
+
+  type pe = {
+    id : int;
+    name : string;
+    kind : Mm_arch.Pe.kind;
+    static_power : float;
+    rail : (float * float list) option;  (** threshold, levels. *)
+    area : float option;
+    reconfig : float option;
+    pos : pos;
+  }
+
+  type cl = {
+    id : int;
+    name : string;
+    connects : int list;
+    time_per_data : float;
+    transfer_power : float;
+    static_power : float;
+    pos : pos;
+  }
+
+  type impl = {
+    ty : int;
+    pe : int;
+    time : float;
+    power : float;
+    area : float;
+    pos : pos;
+  }
+
+  type task = {
+    id : int;
+    name : string;
+    ty : int;
+    deadline : float option;
+    pos : pos;
+  }
+
+  type edge = { src : int; dst : int; data : float; pos : pos }
+
+  type mode = {
+    id : int;
+    name : string;
+    period : float;
+    probability : float;
+    tasks : task list;
+    edges : edge list;
+    pos : pos;
+  }
+
+  type transition = { src : int; dst : int; max_time : float; pos : pos }
+
+  type t = {
+    name : string;
+    arch_name : string;
+    types : ty list;
+    pes : pe list;
+    cls : cl list;
+    impls : impl list;
+    modes : mode list;
+    transitions : transition list;
+  }
+end
+
+val check_raw : Raw.t -> diag list
+(** All semantic diagnostics of the raw spec, in path order.  Never
+    raises. *)
+
+val of_spec : Spec.t -> Raw.t
+(** Project a constructed spec back onto the raw model (positions all
+    [None]) so already-loaded specs can be checked too. *)
+
+val check_spec : Spec.t -> diag list
+(** [check_raw (of_spec spec)] — by construction only warnings can
+    remain, but the call also cross-checks the constructors themselves. *)
+
+val build : ?force:bool -> Raw.t -> (Spec.t, diag list) result
+(** Run {!check_raw}, then construct the [Spec.t] through the smart
+    constructors.  [Error] on any error-severity diagnostic (unless
+    [force]), or on an unexpected constructor failure ([MM099]).  A
+    successful build still reports nothing about warnings — pair with
+    {!check_raw} when they should be shown. *)

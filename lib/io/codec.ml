@@ -11,6 +11,8 @@ module Transition = Mm_omsm.Transition
 module Omsm = Mm_omsm.Omsm
 module Spec = Mm_cosynth.Spec
 module Mapping = Mm_cosynth.Mapping
+module Validate = Mm_cosynth.Validate
+module Raw = Mm_cosynth.Validate.Raw
 open Sexp
 
 exception Decode_error of string
@@ -21,22 +23,16 @@ let guarded name f sexp =
   try f sexp with
   | Failure message -> decode_error "%s: %s" name message
   | Invalid_argument message -> decode_error "%s: %s" name message
+  | Sexp.Type_error { message; _ } -> decode_error "%s: %s" name message
   | Graph.Invalid message -> decode_error "%s: %s" name message
   | Arch.Invalid message -> decode_error "%s: %s" name message
   | Omsm.Invalid message -> decode_error "%s: %s" name message
   | Spec.Invalid message -> decode_error "%s: %s" name message
 
-(* --- Types ------------------------------------------------------------- *)
+(* --- Encoders ----------------------------------------------------------- *)
 
 let type_to_sexp ty =
   field "type" [ field "id" [ int (Task_type.id ty) ]; field "name" [ atom (Task_type.name ty) ] ]
-
-let type_of_fields fields =
-  Task_type.make
-    ~id:(as_int (List.hd (assoc "id" fields)))
-    ~name:(as_atom (List.hd (assoc "name" fields)))
-
-(* --- Architecture -------------------------------------------------------- *)
 
 let rail_to_sexp rail =
   field "rail"
@@ -44,11 +40,6 @@ let rail_to_sexp rail =
       field "threshold" [ float rail.Voltage.threshold ];
       field "levels" (List.map float (Voltage.levels rail));
     ]
-
-let rail_of_fields fields =
-  Voltage.make
-    ~threshold:(as_float (List.hd (assoc "threshold" fields)))
-    ~levels:(List.map as_float (assoc "levels" fields))
 
 let pe_to_sexp pe =
   let base =
@@ -70,28 +61,6 @@ let pe_to_sexp pe =
   in
   field "pe" (base @ rail @ area @ reconfig)
 
-let kind_of_string = function
-  | "gpp" -> Pe.Gpp
-  | "asip" -> Pe.Asip
-  | "asic" -> Pe.Asic
-  | "fpga" -> Pe.Fpga
-  | other -> decode_error "unknown PE kind %S" other
-
-let pe_of_fields fields =
-  let rail = Option.map rail_of_fields (assoc_opt "rail" fields) in
-  let area = Option.map (fun a -> as_float (List.hd a)) (assoc_opt "area" fields) in
-  let reconfig =
-    Option.map (fun a -> as_float (List.hd a)) (assoc_opt "reconfig-time-per-area" fields)
-  in
-  Pe.make
-    ~id:(as_int (List.hd (assoc "id" fields)))
-    ~name:(as_atom (List.hd (assoc "name" fields)))
-    ~kind:(kind_of_string (as_atom (List.hd (assoc "kind" fields))))
-    ~static_power:(as_float (List.hd (assoc "static-power" fields)))
-    ?rail
-    ?area_capacity:area
-    ?reconfig_time_per_area:reconfig ()
-
 let cl_to_sexp cl =
   field "cl"
     [
@@ -103,27 +72,10 @@ let cl_to_sexp cl =
       field "static-power" [ float (Cl.static_power cl) ];
     ]
 
-let cl_of_fields fields =
-  Cl.make
-    ~id:(as_int (List.hd (assoc "id" fields)))
-    ~name:(as_atom (List.hd (assoc "name" fields)))
-    ~connects:(List.map as_int (assoc "connects" fields))
-    ~time_per_data:(as_float (List.hd (assoc "time-per-data" fields)))
-    ~transfer_power:(as_float (List.hd (assoc "transfer-power" fields)))
-    ~static_power:(as_float (List.hd (assoc "static-power" fields)))
-
 let architecture_to_sexp arch =
   field "architecture"
     ((field "name" [ atom (Arch.name arch) ] :: List.map pe_to_sexp (Arch.pes arch))
     @ List.map cl_to_sexp (Arch.cls arch))
-
-let architecture_of_fields fields =
-  Arch.make
-    ~name:(as_atom (List.hd (assoc "name" fields)))
-    ~pes:(List.map pe_of_fields (assoc_all "pe" fields))
-    ~cls:(List.map cl_of_fields (assoc_all "cl" fields))
-
-(* --- Technology library --------------------------------------------------- *)
 
 let tech_to_sexp tech =
   let entries = ref [] in
@@ -145,28 +97,6 @@ let tech_to_sexp tech =
     tech;
   field "technology" (List.rev !entries)
 
-let tech_of_fields ~types_by_id ~arch fields =
-  List.fold_left
-    (fun tech entry ->
-      let ty_id = as_int (List.hd (assoc "type" entry)) in
-      let pe_id = as_int (List.hd (assoc "pe" entry)) in
-      let ty =
-        match Hashtbl.find_opt types_by_id ty_id with
-        | Some ty -> ty
-        | None -> decode_error "technology entry references unknown type %d" ty_id
-      in
-      if pe_id < 0 || pe_id >= Arch.n_pes arch then
-        decode_error "technology entry references unknown PE %d" pe_id;
-      let area = Option.map (fun a -> as_float (List.hd a)) (assoc_opt "area" entry) in
-      Tech_lib.add tech ~ty ~pe:(Arch.pe arch pe_id)
-        (Tech_lib.impl
-           ~exec_time:(as_float (List.hd (assoc "time" entry)))
-           ~dyn_power:(as_float (List.hd (assoc "power" entry)))
-           ?area ()))
-    Tech_lib.empty (assoc_all "impl" fields)
-
-(* --- Modes ------------------------------------------------------------------ *)
-
 let task_to_sexp task =
   let base =
     [
@@ -182,29 +112,9 @@ let task_to_sexp task =
   in
   field "task" (base @ deadline)
 
-let task_of_fields ~types_by_id fields =
-  let ty_id = as_int (List.hd (assoc "type" fields)) in
-  let ty =
-    match Hashtbl.find_opt types_by_id ty_id with
-    | Some ty -> ty
-    | None -> decode_error "task references unknown type %d" ty_id
-  in
-  let deadline = Option.map (fun a -> as_float (List.hd a)) (assoc_opt "deadline" fields) in
-  Task.make
-    ~id:(as_int (List.hd (assoc "id" fields)))
-    ~name:(as_atom (List.hd (assoc "name" fields)))
-    ~ty ?deadline ()
-
 let edge_to_sexp (e : Graph.edge) =
   field "edge"
     [ field "src" [ int e.src ]; field "dst" [ int e.dst ]; field "data" [ float e.data ] ]
-
-let edge_of_fields fields =
-  {
-    Graph.src = as_int (List.hd (assoc "src" fields));
-    dst = as_int (List.hd (assoc "dst" fields));
-    data = as_float (List.hd (assoc "data" fields));
-  }
 
 let mode_to_sexp mode =
   let graph = Mode.graph mode in
@@ -218,23 +128,6 @@ let mode_to_sexp mode =
       field "edges" (List.map edge_to_sexp (Graph.edges graph));
     ]
 
-let mode_of_fields ~types_by_id fields =
-  let name = as_atom (List.hd (assoc "name" fields)) in
-  let tasks =
-    assoc "tasks" fields
-    |> List.map (fun t -> task_of_fields ~types_by_id (as_list t |> List.tl))
-    |> Array.of_list
-  in
-  let edges =
-    assoc "edges" fields |> List.map (fun e -> edge_of_fields (as_list e |> List.tl))
-  in
-  Mode.make
-    ~id:(as_int (List.hd (assoc "id" fields)))
-    ~name
-    ~graph:(Graph.make ~name ~tasks ~edges)
-    ~period:(as_float (List.hd (assoc "period" fields)))
-    ~probability:(as_float (List.hd (assoc "probability" fields)))
-
 let transition_to_sexp tr =
   field "transition"
     [
@@ -242,14 +135,6 @@ let transition_to_sexp tr =
       field "dst" [ int (Transition.dst tr) ];
       field "max-time" [ float (Transition.max_time tr) ];
     ]
-
-let transition_of_fields fields =
-  Transition.make
-    ~src:(as_int (List.hd (assoc "src" fields)))
-    ~dst:(as_int (List.hd (assoc "dst" fields)))
-    ~max_time:(as_float (List.hd (assoc "max-time" fields)))
-
-(* --- Spec ---------------------------------------------------------------------- *)
 
 let spec_to_sexp spec =
   let omsm = Spec.omsm spec in
@@ -266,40 +151,343 @@ let spec_to_sexp spec =
     @ List.map mode_to_sexp (Omsm.modes omsm)
     @ List.map transition_to_sexp (Omsm.transitions omsm))
 
-let spec_of_sexp sexp =
-  let decode sexp =
-    let fields =
-      match sexp with
-      | List (Atom "spec" :: fields) -> fields
-      | _ -> decode_error "expected a (spec ...) expression"
-    in
-    let name = as_atom (List.hd (assoc "name" fields)) in
-    let types_by_id = Hashtbl.create 16 in
-    List.iter
-      (fun t ->
-        let ty = type_of_fields (as_list t |> List.tl) in
-        Hashtbl.replace types_by_id (Task_type.id ty) ty)
-      (assoc "types" fields);
-    let arch =
-      architecture_of_fields (assoc "architecture" fields)
-    in
-    let tech = tech_of_fields ~types_by_id ~arch (assoc "technology" fields) in
-    let modes = List.map (mode_of_fields ~types_by_id) (assoc_all "mode" fields) in
-    let transitions = List.map transition_of_fields (assoc_all "transition" fields) in
-    let omsm = Omsm.make ~name ~modes ~transitions in
-    Spec.make ~omsm ~arch ~tech
-  in
-  guarded "spec" decode sexp
-
 let spec_to_string spec = Sexp.to_string (spec_to_sexp spec) ^ "\n"
 
-let spec_of_string input =
-  match Sexp.parse_one input with
-  | sexp -> spec_of_sexp sexp
-  | exception Sexp.Parse_error { line; column; message } ->
-    decode_error "parse error at %d:%d: %s" line column message
+(* --- Total decode into the raw model ------------------------------------ *)
 
-(* --- Mapping -------------------------------------------------------------------- *)
+(* Decode failures are structured diagnostics, not exceptions: every
+   entity is decoded under [capture], so one broken PE (or task, or
+   impl) is reported and dropped while its siblings still decode.  The
+   semantic pass ([Validate.check_raw]) then reports everything else in
+   the same [diag] vocabulary. *)
+
+exception Diag of Validate.diag
+
+let fail ?pos ~code ~path fmt =
+  Format.kasprintf
+    (fun message ->
+      raise (Diag { Validate.code; severity = Validate.Error; path; message; pos }))
+    fmt
+
+(* [located_of_plain] marks synthetic nodes with line 0 so positions are
+   only ever reported for text that actually has them. *)
+let src_pos (p : Sexp.pos) = if p.line = 0 then None else Some (p.line, p.column)
+
+let located_of_plain sexp =
+  let zero = { line = 0; column = 0 } in
+  let rec conv = function
+    | Atom s -> { value = L_atom s; pos = zero }
+    | List xs -> { value = L_list (List.map conv xs); pos = zero }
+  in
+  conv sexp
+
+let one_value ~pos name fields = l_one ~pos name fields
+let atom_field ~pos name fields = l_as_atom (one_value ~pos name fields)
+let int_field ~pos name fields = l_as_int (one_value ~pos name fields)
+let float_field ~pos name fields = l_as_float (one_value ~pos name fields)
+
+let float_field_opt ~path ~pos name fields =
+  match l_assoc_opt ~pos name fields with
+  | None -> None
+  | Some [ v ] -> Some (l_as_float v)
+  | Some _ -> fail ?pos:(src_pos pos) ~code:"MM002" ~path "field %S: expected one value" name
+
+let type_of_located ~path:_ ~pos fields =
+  {
+    Raw.id = int_field ~pos "id" fields;
+    name = atom_field ~pos "name" fields;
+    pos = src_pos pos;
+  }
+
+let pe_of_located ~path ~pos fields =
+  let kind =
+    let k = one_value ~pos "kind" fields in
+    match l_as_atom k with
+    | "gpp" -> Pe.Gpp
+    | "asip" -> Pe.Asip
+    | "asic" -> Pe.Asic
+    | "fpga" -> Pe.Fpga
+    | other -> fail ?pos:(src_pos k.pos) ~code:"MM032" ~path "unknown PE kind %S" other
+  in
+  let rail =
+    match l_assoc_opt ~pos "rail" fields with
+    | None -> None
+    | Some rail_fields ->
+      Some
+        ( float_field ~pos "threshold" rail_fields,
+          List.map l_as_float (l_assoc ~pos "levels" rail_fields) )
+  in
+  {
+    Raw.id = int_field ~pos "id" fields;
+    name = atom_field ~pos "name" fields;
+    kind;
+    static_power = float_field ~pos "static-power" fields;
+    rail;
+    area = float_field_opt ~path ~pos "area" fields;
+    reconfig = float_field_opt ~path ~pos "reconfig-time-per-area" fields;
+    pos = src_pos pos;
+  }
+
+let cl_of_located ~path:_ ~pos fields =
+  {
+    Raw.id = int_field ~pos "id" fields;
+    name = atom_field ~pos "name" fields;
+    connects = List.map l_as_int (l_assoc ~pos "connects" fields);
+    time_per_data = float_field ~pos "time-per-data" fields;
+    transfer_power = float_field ~pos "transfer-power" fields;
+    static_power = float_field ~pos "static-power" fields;
+    pos = src_pos pos;
+  }
+
+let impl_of_located ~path ~pos fields =
+  {
+    Raw.ty = int_field ~pos "type" fields;
+    pe = int_field ~pos "pe" fields;
+    time = float_field ~pos "time" fields;
+    power = float_field ~pos "power" fields;
+    area = Option.value ~default:0.0 (float_field_opt ~path ~pos "area" fields);
+    pos = src_pos pos;
+  }
+
+let task_of_located ~path ~pos fields =
+  {
+    Raw.id = int_field ~pos "id" fields;
+    name = atom_field ~pos "name" fields;
+    ty = int_field ~pos "type" fields;
+    deadline = float_field_opt ~path ~pos "deadline" fields;
+    pos = src_pos pos;
+  }
+
+let edge_of_located ~path:_ ~pos fields =
+  {
+    Raw.src = int_field ~pos "src" fields;
+    dst = int_field ~pos "dst" fields;
+    data = float_field ~pos "data" fields;
+    pos = src_pos pos;
+  }
+
+let transition_of_located ~path:_ ~pos fields =
+  {
+    Raw.src = int_field ~pos "src" fields;
+    dst = int_field ~pos "dst" fields;
+    max_time = float_field ~pos "max-time" fields;
+    pos = src_pos pos;
+  }
+
+let raw_of_located (lv : located) : Raw.t option * Validate.diag list =
+  match lv.value with
+  | L_list ({ value = L_atom "spec"; _ } :: fields) ->
+    let diags = ref [] in
+    let capture ~path f =
+      try Some (f ()) with
+      | Diag d ->
+        diags := d :: !diags;
+        None
+      | Sexp.Type_error { pos; kind; message } ->
+        let code =
+          match kind with
+          | Sexp.Shape -> "MM002"
+          | Sexp.Missing_field -> "MM003"
+          | Sexp.Duplicate_field -> "MM004"
+        in
+        diags :=
+          {
+            Validate.code;
+            severity = Validate.Error;
+            path;
+            message;
+            pos = (match pos with None -> None | Some p -> src_pos p);
+          }
+          :: !diags;
+        None
+    in
+    (* Decode a list of (entry …) expressions, dropping broken ones. *)
+    let entities ~path ~entry entries decode =
+      List.mapi (fun i e -> (i, e)) entries
+      |> List.filter_map (fun (i, (e : located)) ->
+             let epath = Printf.sprintf "%s[%d]" path i in
+             capture ~path:epath (fun () ->
+                 match e.value with
+                 | L_list ({ value = L_atom head; _ } :: efields) when head = entry ->
+                   decode ~path:epath ~pos:e.pos efields
+                 | _ ->
+                   fail ?pos:(src_pos e.pos) ~code:"MM005" ~path:epath
+                     "expected a (%s ...) entry" entry))
+    in
+    let pos = lv.pos in
+    let name =
+      Option.value ~default:"?"
+        (capture ~path:"spec.name" (fun () -> atom_field ~pos "name" fields))
+    in
+    let types =
+      match capture ~path:"spec.types" (fun () -> l_assoc ~pos "types" fields) with
+      | None -> []
+      | Some entries -> entities ~path:"spec.types" ~entry:"type" entries type_of_located
+    in
+    let arch_name, pes, cls =
+      match capture ~path:"spec.arch" (fun () -> l_assoc ~pos "architecture" fields) with
+      | None -> ("?", [], [])
+      | Some afields ->
+        let apos = pos in
+        let aname =
+          Option.value ~default:"?"
+            (capture ~path:"spec.arch.name" (fun () -> atom_field ~pos:apos "name" afields))
+        in
+        let pes =
+          entities ~path:"spec.arch.pes" ~entry:"pe"
+            (List.filter
+               (fun (e : located) ->
+                 match e.value with
+                 | L_list ({ value = L_atom "pe"; _ } :: _) -> true
+                 | _ -> false)
+               afields)
+            pe_of_located
+        in
+        let cls =
+          entities ~path:"spec.arch.cls" ~entry:"cl"
+            (List.filter
+               (fun (e : located) ->
+                 match e.value with
+                 | L_list ({ value = L_atom "cl"; _ } :: _) -> true
+                 | _ -> false)
+               afields)
+            cl_of_located
+        in
+        (aname, pes, cls)
+    in
+    let impls =
+      match capture ~path:"spec.tech" (fun () -> l_assoc ~pos "technology" fields) with
+      | None -> []
+      | Some entries ->
+        entities ~path:"spec.tech.impls" ~entry:"impl" entries impl_of_located
+    in
+    let modes =
+      l_assoc_all "mode" fields
+      |> List.mapi (fun i (mpos, mfields) -> (i, mpos, mfields))
+      |> List.filter_map (fun (i, mpos, mfields) ->
+             let path = Printf.sprintf "spec.modes[%d]" i in
+             capture ~path (fun () ->
+                 let tasks =
+                   match
+                     capture ~path:(path ^ ".tasks") (fun () ->
+                         l_assoc ~pos:mpos "tasks" mfields)
+                   with
+                   | None -> []
+                   | Some entries ->
+                     entities ~path:(path ^ ".tasks") ~entry:"task" entries
+                       task_of_located
+                 in
+                 let edges =
+                   match
+                     capture ~path:(path ^ ".edges") (fun () ->
+                         l_assoc ~pos:mpos "edges" mfields)
+                   with
+                   | None -> []
+                   | Some entries ->
+                     entities ~path:(path ^ ".edges") ~entry:"edge" entries
+                       edge_of_located
+                 in
+                 {
+                   Raw.id = int_field ~pos:mpos "id" mfields;
+                   name = atom_field ~pos:mpos "name" mfields;
+                   period = float_field ~pos:mpos "period" mfields;
+                   probability = float_field ~pos:mpos "probability" mfields;
+                   tasks;
+                   edges;
+                   pos = src_pos mpos;
+                 }))
+    in
+    let transitions =
+      l_assoc_all "transition" fields
+      |> List.mapi (fun i (tpos, tfields) -> (i, tpos, tfields))
+      |> List.filter_map (fun (i, tpos, tfields) ->
+             let path = Printf.sprintf "spec.transitions[%d]" i in
+             capture ~path (fun () -> transition_of_located ~path ~pos:tpos tfields))
+    in
+    ( Some { Raw.name; arch_name; types; pes; cls; impls; modes; transitions },
+      List.rev !diags )
+  | _ ->
+    ( None,
+      [
+        {
+          Validate.code = "MM005";
+          severity = Validate.Error;
+          path = "spec";
+          message = "expected a (spec ...) expression";
+          pos = src_pos lv.pos;
+        };
+      ] )
+
+let check_located lv =
+  match raw_of_located lv with
+  | None, diags -> (None, diags)
+  | Some raw, decode_diags -> (
+    (* [build ~force] so callers that want to press on despite
+       error-severity diagnostics (--force) still get a spec whenever
+       the constructors can produce one. *)
+    match Validate.build ~force:true raw with
+    | Ok spec -> (Some spec, decode_diags @ Validate.check_raw raw)
+    | Error build_diags -> (None, decode_diags @ build_diags))
+
+let check_string input =
+  match Sexp.parse_one_located input with
+  | exception Sexp.Parse_error { line; column; message } ->
+    ( None,
+      [
+        {
+          Validate.code = "MM001";
+          severity = Validate.Error;
+          path = "spec";
+          message;
+          pos = Some (line, column);
+        };
+      ] )
+  | lv -> check_located lv
+
+let check_file ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error message ->
+    ( None,
+      [
+        {
+          Validate.code = "MM006";
+          severity = Validate.Error;
+          path = "spec";
+          message;
+          pos = None;
+        };
+      ] )
+  | input -> check_string input
+
+let result_of = function
+  | Some spec, diags when not (Validate.has_errors diags) -> Ok spec
+  | _, diags -> Error diags
+
+let spec_of_string_result input = result_of (check_string input)
+let load_spec_result ~path = result_of (check_file ~path)
+
+(* The raising API, as thin wrappers over the total one. *)
+
+let raise_first = function
+  | [] -> decode_error "spec: unknown decode failure"
+  | d :: _ -> decode_error "%s" (Validate.to_string d)
+
+let spec_of_string input =
+  match spec_of_string_result input with
+  | Ok spec -> spec
+  | Error diags -> raise_first (Validate.errors diags)
+
+let spec_of_sexp sexp =
+  match result_of (check_located (located_of_plain sexp)) with
+  | Ok spec -> spec
+  | Error diags -> raise_first (Validate.errors diags)
+
+(* --- Mapping ------------------------------------------------------------- *)
 
 let mapping_to_sexp mapping =
   field "mapping"
@@ -332,7 +520,7 @@ let mapping_of_sexp ~spec sexp =
   in
   guarded "mapping" decode sexp
 
-(* --- Files ------------------------------------------------------------------------ *)
+(* --- Files ---------------------------------------------------------------- *)
 
 let write_file path contents =
   let oc = open_out path in
@@ -345,4 +533,8 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let save_spec ~path spec = write_file path (spec_to_string spec)
-let load_spec ~path = spec_of_string (read_file path)
+
+let load_spec ~path =
+  match load_spec_result ~path with
+  | Ok spec -> spec
+  | Error diags -> raise_first (Validate.errors diags)

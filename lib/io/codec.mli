@@ -15,7 +15,33 @@ val spec_of_sexp : Sexp.t -> Mm_cosynth.Spec.t
     input. *)
 
 val spec_to_string : Mm_cosynth.Spec.t -> string
+
 val spec_of_string : string -> Mm_cosynth.Spec.t
+(** Raises {!Decode_error}; thin wrapper over
+    {!spec_of_string_result}. *)
+
+(* The total API: decode failures and semantic violations come back as
+   [Mm_cosynth.Validate] diagnostics (stable MM0xx codes, source
+   positions), never as exceptions. *)
+
+val spec_of_string_result :
+  string -> (Mm_cosynth.Spec.t, Mm_cosynth.Validate.diag list) result
+(** [Error] on any error-severity diagnostic; warnings alone still
+    produce [Ok] (use {!check_string} to see them). *)
+
+val load_spec_result :
+  path:string -> (Mm_cosynth.Spec.t, Mm_cosynth.Validate.diag list) result
+(** Like {!spec_of_string_result}, reading [path]; an unreadable file is
+    the [MM006] diagnostic. *)
+
+val check_string :
+  string -> Mm_cosynth.Spec.t option * Mm_cosynth.Validate.diag list
+(** Every diagnostic of the input — parse, decode and semantic, warnings
+    included — plus the spec whenever the constructors can still build
+    one (even under error-severity diagnostics: the [--force] path). *)
+
+val check_file :
+  path:string -> Mm_cosynth.Spec.t option * Mm_cosynth.Validate.diag list
 
 val mapping_to_sexp : Mm_cosynth.Mapping.t -> Sexp.t
 val mapping_of_sexp : spec:Mm_cosynth.Spec.t -> Sexp.t -> Mm_cosynth.Mapping.t

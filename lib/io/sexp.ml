@@ -1,8 +1,24 @@
 type t = Atom of string | List of t list
 
+type pos = { line : int; column : int }
+
 exception Parse_error of { line : int; column : int; message : string }
 
+type type_error_kind = Shape | Missing_field | Duplicate_field
+
+exception Type_error of { pos : pos option; kind : type_error_kind; message : string }
+
+let type_error ?pos ?(kind = Shape) fmt =
+  Format.kasprintf (fun message -> raise (Type_error { pos; kind; message })) fmt
+
 (* --- Parsing ---------------------------------------------------------- *)
+
+(* The parser produces position-annotated expressions; [strip] recovers
+   the plain [t] the printers and the legacy decoders work on, so the
+   two views can never disagree on the grammar. *)
+
+type located = { value : lvalue; pos : pos }
+and lvalue = L_atom of string | L_list of located list
 
 type lexer = {
   input : string;
@@ -12,6 +28,7 @@ type lexer = {
 }
 
 let error lx message = raise (Parse_error { line = lx.line; column = lx.column; message })
+let here lx = { line = lx.line; column = lx.column }
 
 let peek lx = if lx.position < String.length lx.input then Some lx.input.[lx.position] else None
 
@@ -42,6 +59,7 @@ let rec skip_blanks lx =
   | Some _ | None -> ()
 
 let quoted_atom lx =
+  let pos = here lx in
   advance lx (* opening quote *);
   let buf = Buffer.create 16 in
   let rec loop () =
@@ -67,9 +85,10 @@ let quoted_atom lx =
       loop ()
   in
   loop ();
-  Atom (Buffer.contents buf)
+  { value = L_atom (Buffer.contents buf); pos }
 
 let bare_atom lx =
+  let pos = here lx in
   let buf = Buffer.create 16 in
   let rec loop () =
     match peek lx with
@@ -81,20 +100,21 @@ let bare_atom lx =
   in
   loop ();
   if Buffer.length buf = 0 then error lx "empty atom";
-  Atom (Buffer.contents buf)
+  { value = L_atom (Buffer.contents buf); pos }
 
 let rec expression lx =
   skip_blanks lx;
   match peek lx with
   | None -> error lx "unexpected end of input"
   | Some '(' ->
+    let pos = here lx in
     advance lx;
     let rec elements acc =
       skip_blanks lx;
       match peek lx with
       | Some ')' ->
         advance lx;
-        List (List.rev acc)
+        { value = L_list (List.rev acc); pos }
       | None -> error lx "unterminated list"
       | Some _ -> elements (expression lx :: acc)
     in
@@ -103,21 +123,42 @@ let rec expression lx =
   | Some '"' -> quoted_atom lx
   | Some _ -> bare_atom lx
 
-let parse input =
+(* Returns the expressions plus the lexer, whose final line/column is the
+   true end-of-input position (after trailing blanks and comments). *)
+let parse_all input =
   let lx = { input; position = 0; line = 1; column = 1 } in
   let rec loop acc =
     skip_blanks lx;
     if lx.position >= String.length input then List.rev acc
     else loop (expression lx :: acc)
   in
-  loop []
+  (loop [], lx)
 
-let parse_one input =
-  match parse input with
-  | [ e ] -> e
-  | [] -> raise (Parse_error { line = 1; column = 1; message = "empty input" })
-  | _ :: _ ->
-    raise (Parse_error { line = 1; column = 1; message = "expected a single expression" })
+let parse_located input = fst (parse_all input)
+
+let parse_one_located input =
+  match parse_all input with
+  | [ e ], _ -> e
+  | [], lx ->
+    (* Report where the input actually ends: a file of nothing but
+       comments errors at its last line, not at 1:1. *)
+    raise (Parse_error { line = lx.line; column = lx.column; message = "empty input" })
+  | _ :: second :: _, _ ->
+    raise
+      (Parse_error
+         {
+           line = second.pos.line;
+           column = second.pos.column;
+           message = "expected a single expression";
+         })
+
+let rec strip { value; _ } =
+  match value with
+  | L_atom s -> Atom s
+  | L_list xs -> List (List.map strip xs)
+
+let parse input = List.map strip (parse_located input)
+let parse_one input = strip (parse_one_located input)
 
 (* --- Printing ---------------------------------------------------------- *)
 
@@ -192,7 +233,7 @@ let shape_error expected got =
     | Atom s -> Printf.sprintf "atom %S" s
     | List _ as l -> Printf.sprintf "list %s" (to_string l)
   in
-  failwith (Printf.sprintf "expected %s, got %s" expected (describe got))
+  type_error "expected %s, got %s" expected (describe got)
 
 let as_atom = function Atom s -> s | List _ as l -> shape_error "atom" l
 
@@ -219,9 +260,62 @@ let assoc_opt name fields =
   match assoc_all name fields with
   | [ args ] -> Some args
   | [] -> None
-  | _ :: _ -> failwith (Printf.sprintf "duplicate field %S" name)
+  | _ :: _ -> type_error ~kind:Duplicate_field "duplicate field %S" name
 
 let assoc name fields =
   match assoc_opt name fields with
   | Some args -> args
-  | None -> failwith (Printf.sprintf "missing field %S" name)
+  | None -> type_error ~kind:Missing_field "missing field %S" name
+
+(* --- Located helpers ---------------------------------------------------- *)
+
+(* Same destructors over position-annotated expressions: every failure
+   carries the offending node's line/column. *)
+
+let l_shape_error expected (got : located) =
+  let describe l =
+    match l.value with
+    | L_atom s -> Printf.sprintf "atom %S" s
+    | L_list _ -> Printf.sprintf "list %s" (to_string (strip l))
+  in
+  type_error ~pos:got.pos "expected %s, got %s" expected (describe got)
+
+let l_as_atom l = match l.value with L_atom s -> s | L_list _ -> l_shape_error "atom" l
+
+let l_as_int l =
+  match int_of_string_opt (l_as_atom l) with
+  | Some i -> i
+  | None -> l_shape_error "integer" l
+
+let l_as_float l =
+  match float_of_string_opt (l_as_atom l) with
+  | Some f -> f
+  | None -> l_shape_error "float" l
+
+let l_as_list l = match l.value with L_list xs -> xs | L_atom _ -> l_shape_error "list" l
+
+let l_assoc_all name fields =
+  List.filter_map
+    (fun l ->
+      match l.value with
+      | L_list ({ value = L_atom head; _ } :: args) when head = name -> Some (l.pos, args)
+      | L_atom _ | L_list _ -> None)
+    fields
+
+let l_assoc_opt ~pos:_ name fields =
+  match l_assoc_all name fields with
+  | [ (_, args) ] -> Some args
+  | [] -> None
+  | _ :: (dup_pos, _) :: _ ->
+    type_error ~pos:dup_pos ~kind:Duplicate_field "duplicate field %S" name
+
+let l_assoc ~pos name fields =
+  match l_assoc_opt ~pos name fields with
+  | Some args -> args
+  | None -> type_error ~pos ~kind:Missing_field "missing field %S" name
+
+let l_one ~pos name fields =
+  match l_assoc ~pos name fields with
+  | [ v ] -> v
+  | [] -> type_error ~pos "field %S carries no value" name
+  | v :: _ -> type_error ~pos:v.pos "field %S: expected exactly one value" name

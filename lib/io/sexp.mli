@@ -8,14 +8,39 @@
 
 type t = Atom of string | List of t list
 
+type pos = { line : int; column : int }
+(** A 1-based source position. *)
+
 exception Parse_error of { line : int; column : int; message : string }
+
+type type_error_kind =
+  | Shape  (** An atom/integer/float/list was expected, something else found. *)
+  | Missing_field
+  | Duplicate_field
+
+exception Type_error of { pos : pos option; kind : type_error_kind; message : string }
+(** Raised by every destructuring helper below; [pos] is the offending
+    node's position for the located helpers, [None] for the plain ones. *)
 
 val parse : string -> t list
 (** All top-level expressions of the input.  Raises {!Parse_error}. *)
 
 val parse_one : string -> t
 (** Exactly one top-level expression.  Raises {!Parse_error} when the
-    input holds zero or several. *)
+    input holds zero or several; an empty input (including one that is
+    nothing but blanks and comments) reports the true end-of-input
+    position, several expressions report where the second one starts. *)
+
+type located = { value : lvalue; pos : pos }
+and lvalue = L_atom of string | L_list of located list
+(** A position-annotated expression: what {!parse} produces, with each
+    atom and list carrying the line/column it started at. *)
+
+val parse_located : string -> located list
+val parse_one_located : string -> located
+
+val strip : located -> t
+(** Forget the positions. *)
 
 val to_string : ?indent:int -> t -> string
 (** Pretty-print with line breaks for nested lists ([indent] defaults to
@@ -31,8 +56,7 @@ val float : float -> t
 val field : string -> t list -> t
 (** [field "name" args] is [List (Atom "name" :: args)]. *)
 
-(* Destructuring helpers; all raise [Failure] with a path-aware message
-   on shape mismatch. *)
+(* Destructuring helpers; all raise {!Type_error} on shape mismatch. *)
 
 val as_atom : t -> string
 val as_int : t -> int
@@ -41,8 +65,22 @@ val as_list : t -> t list
 
 val assoc : string -> t list -> t list
 (** [assoc name fields] returns the arguments of the unique field
-    [(name …)] among [fields]; raises [Failure] when absent. *)
+    [(name …)] among [fields]; raises {!Type_error} when absent. *)
 
 val assoc_opt : string -> t list -> t list option
 val assoc_all : string -> t list -> t list list
 (** Arguments of every [(name …)] field, in order. *)
+
+(* The same destructors over located expressions; every failure reports
+   the offending node's line/column.  [~pos] is the enclosing entity's
+   position, used when a field is missing outright. *)
+
+val l_as_atom : located -> string
+val l_as_int : located -> int
+val l_as_float : located -> float
+val l_as_list : located -> located list
+val l_assoc : pos:pos -> string -> located list -> located list
+val l_assoc_opt : pos:pos -> string -> located list -> located list option
+val l_assoc_all : string -> located list -> (pos * located list) list
+val l_one : pos:pos -> string -> located list -> located
+(** The unique field's single value. *)

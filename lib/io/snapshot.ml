@@ -205,6 +205,7 @@ let of_string ~spec text =
   | exception Sexp.Parse_error { line; column; message } ->
     Error (Malformed (Printf.sprintf "parse error at %d:%d: %s" line column message))
   | exception Failure message -> Error (Malformed message)
+  | exception Sexp.Type_error { message; _ } -> Error (Malformed message)
   | sexp -> (
     try
       let fields =
@@ -228,7 +229,9 @@ let of_string ~spec text =
           | Sexp.List (Sexp.Atom "compare" :: args) ->
             Ok (Compare (compare_of_fields args))
           | _ -> failwith "payload: expected (synth ...) or (compare ...)"
-    with Failure message -> Error (Malformed message))
+    with
+    | Failure message -> Error (Malformed message)
+    | Sexp.Type_error { message; _ } -> Error (Malformed message))
 
 (* Write-then-rename: [rename] is atomic on POSIX, so a crash mid-write
    leaves either the previous snapshot or the new one, never a torn

@@ -1,0 +1,5 @@
+; expect: MM001
+; exit: 2
+; Nothing but comments and blanks: the parser must report the true
+; end-of-input position, not 1:1.
+

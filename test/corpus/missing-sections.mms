@@ -1,0 +1,3 @@
+; expect: MM003 MM010 MM030
+; exit: 2
+(spec (name bare))

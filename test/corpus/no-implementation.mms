@@ -1,0 +1,19 @@
+; expect: MM057
+; exit: 2
+; Type B is used by a task but implemented on no PE.
+(spec
+  (name uncovered)
+  (types
+    (type (id 0) (name A))
+    (type (id 1) (name B)))
+  (architecture
+    (name corpus)
+    (pe (id 0) (name GPP) (kind gpp) (static-power 0)))
+  (technology
+    (impl (type 0) (pe 0) (time 0.01) (power 0.5)))
+  (mode
+    (id 0) (name M0) (period 1) (probability 1)
+    (tasks
+      (task (id 0) (name t0) (type 0))
+      (task (id 1) (name t1) (type 1)))
+    (edges)))

@@ -1,0 +1,3 @@
+; expect: MM005
+; exit: 2
+(banana (peel 1))

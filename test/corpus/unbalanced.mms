@@ -1,0 +1,4 @@
+; expect: MM001
+; exit: 2
+(spec
+  (name broken

@@ -1,0 +1,14 @@
+; expect: MM032
+; exit: 2
+(spec
+  (name unknown-kind)
+  (types (type (id 0) (name A)))
+  (architecture
+    (name corpus)
+    (pe (id 0) (name GPP) (kind quantum) (static-power 0)))
+  (technology
+    (impl (type 0) (pe 0) (time 0.01) (power 0.5)))
+  (mode
+    (id 0) (name M0) (period 1) (probability 1)
+    (tasks (task (id 0) (name t0) (type 0)))
+    (edges)))

@@ -1,0 +1,16 @@
+; expect: MM028
+; exit: 1
+; A deadline beyond the period is legal but suspicious: the period is
+; the effective bound.
+(spec
+  (name deadline-beyond-period)
+  (types (type (id 0) (name A)))
+  (architecture
+    (name corpus)
+    (pe (id 0) (name GPP) (kind gpp) (static-power 0)))
+  (technology
+    (impl (type 0) (pe 0) (time 0.01) (power 0.5)))
+  (mode
+    (id 0) (name M0) (period 1) (probability 1)
+    (tasks (task (id 0) (name t0) (type 0) (deadline 2)))
+    (edges)))

@@ -1,0 +1,20 @@
+; expect: MM015
+; exit: 1
+; Mode 1 has no inbound transition path from mode 0: warning only.
+(spec
+  (name unreachable)
+  (types (type (id 0) (name A)))
+  (architecture
+    (name corpus)
+    (pe (id 0) (name GPP) (kind gpp) (static-power 0)))
+  (technology
+    (impl (type 0) (pe 0) (time 0.01) (power 0.5)))
+  (mode
+    (id 0) (name M0) (period 1) (probability 0.5)
+    (tasks (task (id 0) (name t0) (type 0)))
+    (edges))
+  (mode
+    (id 1) (name M1) (period 1) (probability 0.5)
+    (tasks (task (id 0) (name t0) (type 0)))
+    (edges))
+  (transition (src 1) (dst 0) (max-time 1)))

@@ -130,7 +130,7 @@ let test_assoc_helpers () =
   | Some _ -> Alcotest.fail "assoc_opt phantom");
   (* Duplicates are rejected by assoc/assoc_opt. *)
   match Sexp.assoc_opt "a" fields with
-  | exception Failure _ -> ()
+  | exception Sexp.Type_error { kind = Sexp.Duplicate_field; _ } -> ()
   | _ -> Alcotest.fail "duplicate not rejected"
 
 (* --- Codec -------------------------------------------------------------------- *)

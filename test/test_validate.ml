@@ -1,0 +1,353 @@
+(* Tests for Mm_cosynth.Validate and the total Mm_io.Codec API: builtin
+   benchmarks must validate clean, the malformed-spec corpus must yield
+   exactly its golden MM0xx codes, and fuzzed inputs — byte-level and
+   sexp-node-level mutations of valid specs — must only ever produce
+   typed diagnostics, never an exception. *)
+
+module Sexp = Mm_io.Sexp
+module Codec = Mm_io.Codec
+module Validate = Mm_cosynth.Validate
+
+let is_mm_code c =
+  String.length c = 5
+  && c.[0] = 'M'
+  && c.[1] = 'M'
+  && String.for_all (fun ch -> ch >= '0' && ch <= '9') (String.sub c 2 3)
+
+let codes diags = List.map (fun (d : Validate.diag) -> d.Validate.code) diags
+
+let pp_diags diags = Format.asprintf "%a" Validate.pp_list diags
+
+(* --- Builtins validate clean ------------------------------------------------ *)
+
+let test_builtins_clean () =
+  List.iter
+    (fun (name, spec) ->
+      match Validate.check_spec spec with
+      | [] -> ()
+      | diags -> Alcotest.failf "%s not clean:@.%s" name (pp_diags diags))
+    [
+      ("motivational", Mm_benchgen.Motivational.spec ());
+      ("smartphone", Mm_benchgen.Smartphone.spec ());
+      ("mul3", Mm_benchgen.Random_system.mul 3);
+      ("random:11", Mm_benchgen.Random_system.generate ~seed:11 ());
+    ]
+
+(* --- Raw-level semantic checks --------------------------------------------- *)
+
+(* Halving every probability breaks Eq. 1 and nothing else: MM012 must be
+   reported, and the build must refuse. *)
+let test_probability_sum () =
+  let raw = Validate.of_spec (Mm_benchgen.Motivational.spec ()) in
+  let halved =
+    {
+      raw with
+      Validate.Raw.modes =
+        List.map
+          (fun (m : Validate.Raw.mode) ->
+            { m with Validate.Raw.probability = m.Validate.Raw.probability /. 2.0 })
+          raw.Validate.Raw.modes;
+    }
+  in
+  let diags = Validate.check_raw halved in
+  if not (List.mem "MM012" (codes diags)) then
+    Alcotest.failf "MM012 missing from {%s}" (String.concat ", " (codes diags));
+  match Validate.build halved with
+  | Error diags when Validate.has_errors diags -> ()
+  | Error diags -> Alcotest.failf "error-free refusal:@.%s" (pp_diags diags)
+  | Ok _ -> Alcotest.fail "build accepted a broken probability mass"
+
+let test_build_roundtrip () =
+  let spec = Mm_benchgen.Motivational.spec () in
+  match Validate.build (Validate.of_spec spec) with
+  | Error diags -> Alcotest.failf "rebuild refused:@.%s" (pp_diags diags)
+  | Ok rebuilt -> (
+    match Validate.check_spec rebuilt with
+    | [] -> ()
+    | diags -> Alcotest.failf "rebuilt spec not clean:@.%s" (pp_diags diags))
+
+(* --- Source positions ------------------------------------------------------- *)
+
+(* An empty (or comment-only) input must report the true end-of-input
+   position, not 1:1. *)
+let test_empty_input_position () =
+  (match Sexp.parse_one "; only a comment\n" with
+  | exception Sexp.Parse_error { line; column; _ } ->
+    Alcotest.(check int) "comment-only line" 2 line;
+    Alcotest.(check int) "comment-only column" 1 column
+  | _ -> Alcotest.fail "comment-only input accepted");
+  (match Sexp.parse_one "   ; x" with
+  | exception Sexp.Parse_error { line; column; _ } ->
+    Alcotest.(check int) "blank line" 1 line;
+    Alcotest.(check int) "blank column" 7 column
+  | _ -> Alcotest.fail "blank input accepted");
+  match Codec.check_string "; spec went missing\n" with
+  | None, [ d ] ->
+    Alcotest.(check string) "code" "MM001" d.Validate.code;
+    Alcotest.(check (option (pair int int))) "position" (Some (2, 1)) d.Validate.pos
+  | _, diags -> Alcotest.failf "unexpected diagnostics:@.%s" (pp_diags diags)
+
+let test_diag_positions () =
+  let text =
+    "(spec\n" ^ "  (name p)\n" ^ "  (types (type (id 0) (name A)))\n"
+    ^ "  (architecture (name a) (pe (id 0) (name G) (kind gpp) (static-power 0)))\n"
+    ^ "  (technology (impl (type 0) (pe 0) (time 0.01) (power 0.5)))\n"
+    ^ "  (mode (id 0) (name M) (period 1) (probability 1)\n"
+    ^ "    (tasks (task (id 0) (name t) (type 0)))\n"
+    ^ "    (edges (edge (src 0) (dst 9) (data 0)))))\n"
+  in
+  match Codec.spec_of_string_result text with
+  | Ok _ -> Alcotest.fail "dangling edge accepted"
+  | Error diags -> (
+    match List.find_opt (fun (d : Validate.diag) -> d.Validate.code = "MM022") diags with
+    | None -> Alcotest.failf "MM022 missing:@.%s" (pp_diags diags)
+    | Some d -> (
+      match d.Validate.pos with
+      | Some (8, _) -> ()
+      | pos ->
+        Alcotest.failf "MM022 at %s, expected line 8"
+          (match pos with
+          | Some (l, c) -> Printf.sprintf "%d:%d" l c
+          | None -> "no position")))
+
+(* [dune runtest] runs test binaries from the test directory, [dune exec]
+   from the project root: resolve the corpus relative to the executable,
+   which sits next to the copied corpus in _build either way. *)
+let corpus_dir =
+  lazy
+    (match
+       List.find_opt Sys.file_exists
+         [
+           "corpus";
+           "test/corpus";
+           Filename.concat (Filename.dirname Sys.executable_name) "corpus";
+         ]
+     with
+    | Some dir -> dir
+    | None -> Alcotest.fail "corpus directory not found")
+
+(* Warnings alone must not block loading. *)
+let test_warnings_do_not_block () =
+  let path = Filename.concat (Lazy.force corpus_dir) "warn-deadline.mms" in
+  (match Codec.load_spec_result ~path with
+  | Ok _ -> ()
+  | Error diags -> Alcotest.failf "warning-only spec refused:@.%s" (pp_diags diags));
+  match Codec.check_file ~path with
+  | Some _, [ d ] ->
+    Alcotest.(check string) "code" "MM028" d.Validate.code;
+    Alcotest.(check bool) "warning" true (d.Validate.severity = Validate.Warning)
+  | _, diags -> Alcotest.failf "unexpected diagnostics:@.%s" (pp_diags diags)
+
+(* --- The malformed-spec corpus ---------------------------------------------- *)
+
+(* Each corpus file declares its own golden outcome in leading comments:
+     ; expect: MM012 MM022     codes that must be reported
+     ; exit: 2                 Validate.exit_code of the diagnostics *)
+let parse_corpus_header path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let expect = ref [] and exit_code = ref None in
+      (try
+         while true do
+           let line = input_line ic in
+           let strip prefix =
+             if String.length line >= String.length prefix
+                && String.sub line 0 (String.length prefix) = prefix
+             then
+               Some
+                 (String.trim
+                    (String.sub line (String.length prefix)
+                       (String.length line - String.length prefix)))
+             else None
+           in
+           match strip "; expect:" with
+           | Some rest ->
+             expect := !expect @ String.split_on_char ' ' rest
+           | None -> (
+             match strip "; exit:" with
+             | Some rest -> exit_code := int_of_string_opt rest
+             | None -> if not (String.length line > 0 && line.[0] = ';') then raise Exit)
+         done
+       with End_of_file | Exit -> ());
+      let expect = List.filter (fun c -> c <> "") !expect in
+      match !exit_code with
+      | Some e -> (expect, e)
+      | None -> Alcotest.failf "%s: no `; exit:` header" path)
+
+let test_corpus () =
+  let dir = Lazy.force corpus_dir in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mms")
+    |> List.sort compare
+  in
+  if files = [] then Alcotest.fail "corpus directory is empty";
+  List.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let expect, exit_expected = parse_corpus_header path in
+      if expect = [] then Alcotest.failf "%s: no expected codes" f;
+      let _spec, diags = Codec.check_file ~path in
+      let cs = codes diags in
+      List.iter
+        (fun c ->
+          if not (is_mm_code c) then Alcotest.failf "%s: malformed code %S" f c)
+        cs;
+      List.iter
+        (fun c ->
+          if not (List.mem c cs) then
+            Alcotest.failf "%s: expected %s, got {%s}:@.%s" f c (String.concat ", " cs)
+              (pp_diags diags))
+        expect;
+      Alcotest.(check int) (f ^ " exit code") exit_expected (Validate.exit_code diags))
+    files
+
+(* --- Fuzzers ---------------------------------------------------------------- *)
+
+let fuzz_count =
+  match Option.bind (Sys.getenv_opt "MM_FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> 1000
+
+let base_texts =
+  lazy
+    [
+      Codec.spec_to_string (Mm_benchgen.Motivational.spec ());
+      Codec.spec_to_string (Mm_benchgen.Smartphone.spec ());
+    ]
+
+let pick_base which =
+  let bases = Lazy.force base_texts in
+  List.nth bases (abs which mod List.length bases)
+
+(* A mutated load may still be valid (the mutation hit a comment or a
+   name); what must always hold: no exception escapes, and a refusal
+   carries only well-formed error diagnostics. *)
+let well_typed_outcome = function
+  | Ok _ -> true
+  | Error diags ->
+    diags <> []
+    && Validate.has_errors diags
+    && List.for_all (fun (d : Validate.diag) -> is_mm_code d.Validate.code) diags
+
+let mutate_bytes st text =
+  let mutations = 1 + Random.State.int st 4 in
+  let out = ref text in
+  for _ = 1 to mutations do
+    let s = !out in
+    let len = String.length s in
+    if len > 0 then
+      match Random.State.int st 5 with
+      | 0 ->
+        (* Overwrite one byte, syntax characters and raw bytes included. *)
+        let i = Random.State.int st len in
+        let pool = "()\";.-e0987654321azZ \n\000\255" in
+        let b = Bytes.of_string s in
+        Bytes.set b i pool.[Random.State.int st (String.length pool)];
+        out := Bytes.to_string b
+      | 1 -> out := String.sub s 0 (Random.State.int st len)
+      | 2 ->
+        let i = Random.State.int st len in
+        let l = min (len - i) (1 + Random.State.int st 40) in
+        out := String.sub s 0 i ^ String.sub s (i + l) (len - i - l)
+      | 3 ->
+        let i = Random.State.int st (len + 1) in
+        let frags =
+          [| "("; ")"; "\""; "(name x)"; "(probability 2)"; "-1"; "1e309"; "nan"; ";" |]
+        in
+        out :=
+          String.sub s 0 i
+          ^ frags.(Random.State.int st (Array.length frags))
+          ^ String.sub s i (len - i)
+      | _ ->
+        let i = Random.State.int st len in
+        let l = min (len - i) (1 + Random.State.int st 40) in
+        out := String.sub s 0 (i + l) ^ String.sub s i (len - i)
+  done;
+  !out
+
+let prop_byte_fuzz =
+  QCheck.Test.make ~name:"byte fuzz: load_spec_result never raises" ~count:fuzz_count
+    QCheck.(pair small_nat (int_bound 0x3FFFFFFF))
+    (fun (which, seed) ->
+      let st = Random.State.make [| seed; 0xB17E |] in
+      let mutated = mutate_bytes st (pick_base which) in
+      let path = Filename.temp_file "mmfuzz" ".mms" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out_bin path in
+          output_string oc mutated;
+          close_out oc;
+          match Codec.load_spec_result ~path with
+          | outcome -> well_typed_outcome outcome
+          | exception exn ->
+            QCheck.Test.fail_reportf "load_spec_result raised %s on:@.%s"
+              (Printexc.to_string exn) (String.escaped mutated)))
+
+let garbage_atoms = [| "x"; "-7"; "3.5e308"; "nan"; ""; "spec"; "99999999999999999999" |]
+
+let rec mutate_node st sexp =
+  match sexp with
+  | Sexp.Atom _ when Random.State.int st 2 = 0 ->
+    Sexp.Atom garbage_atoms.(Random.State.int st (Array.length garbage_atoms))
+  | Sexp.Atom a -> Sexp.List [ Sexp.Atom a ]
+  | Sexp.List l -> (
+    let n = List.length l in
+    match Random.State.int st 5 with
+    | 0 when n > 0 ->
+      let i = Random.State.int st n in
+      Sexp.List (List.filteri (fun j _ -> j <> i) l)
+    | 1 when n > 0 ->
+      let i = Random.State.int st n in
+      Sexp.List (l @ [ List.nth l i ])
+    | (2 | 3) when n > 0 ->
+      let i = Random.State.int st n in
+      Sexp.List (List.mapi (fun j x -> if j = i then mutate_node st x else x) l)
+    | _ -> Sexp.List (Sexp.Atom "zzz" :: l))
+
+let prop_node_fuzz =
+  QCheck.Test.make ~name:"node fuzz: spec_of_string_result never raises"
+    ~count:fuzz_count
+    QCheck.(pair small_nat (int_bound 0x3FFFFFFF))
+    (fun (which, seed) ->
+      let st = Random.State.make [| seed; 0x5E97 |] in
+      let base = Sexp.parse_one (pick_base which) in
+      let mutated = ref base in
+      for _ = 1 to 1 + Random.State.int st 3 do
+        mutated := mutate_node st !mutated
+      done;
+      let text = Sexp.to_string !mutated in
+      match Codec.spec_of_string_result text with
+      | outcome -> well_typed_outcome outcome
+      | exception exn ->
+        QCheck.Test.fail_reportf "spec_of_string_result raised %s on:@.%s"
+          (Printexc.to_string exn) text)
+
+let () =
+  Alcotest.run "validate"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "builtins clean" `Quick test_builtins_clean;
+          Alcotest.test_case "Eq. 1 probability mass" `Quick test_probability_sum;
+          Alcotest.test_case "build round-trip" `Quick test_build_roundtrip;
+        ] );
+      ( "positions",
+        [
+          Alcotest.test_case "empty input" `Quick test_empty_input_position;
+          Alcotest.test_case "diagnostic position" `Quick test_diag_positions;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "golden codes" `Quick test_corpus;
+          Alcotest.test_case "warnings load" `Quick test_warnings_do_not_block;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_byte_fuzz;
+          QCheck_alcotest.to_alcotest prop_node_fuzz;
+        ] );
+    ]
