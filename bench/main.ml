@@ -34,7 +34,47 @@ module Scaling = Mm_dvs.Scaling
 module Omsm = Mm_omsm.Omsm
 module Mode = Mm_omsm.Mode
 
-type options = { runs : int option; quick : bool }
+type options = { runs : int option; quick : bool; gate : bool }
+
+(* Reads a flat one-level JSON object of numeric fields — the committed
+   perf thresholds.  Deliberately dumb (line-oriented, no JSON library in
+   the dependency cone): each `"key": number` line yields a binding,
+   everything else is ignored. *)
+let read_flat_json path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "gate: cannot read %s: %s\n%!" path msg;
+      exit 1
+  in
+  let bindings = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line ':' with
+       | None -> ()
+       | Some i ->
+         let key = String.trim (String.sub line 0 i) in
+         let value =
+           String.trim (String.sub line (i + 1) (String.length line - i - 1))
+         in
+         let key =
+           if String.length key >= 2 && key.[0] = '"' then
+             String.sub key 1 (String.length key - 2)
+           else key
+         in
+         let value =
+           if String.length value > 0 && value.[String.length value - 1] = ',' then
+             String.sub value 0 (String.length value - 1)
+           else value
+         in
+         (match float_of_string_opt value with
+         | Some v -> bindings := (key, v) :: !bindings
+         | None -> ())
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !bindings
 
 let ga_config options =
   if options.quick then
@@ -154,6 +194,7 @@ let proposed_power ~ga ~dvs ~use_improvements ~spec ~seeds =
       restarts = Synthesis.default_config.Synthesis.restarts;
       jobs = Synthesis.default_config.Synthesis.jobs;
       eval_cache = Synthesis.default_config.Synthesis.eval_cache;
+      delta = Synthesis.default_config.Synthesis.delta;
       audit = false;
     }
   in
@@ -296,6 +337,7 @@ let ablation_scheduler_policy options =
             restarts = Synthesis.default_config.Synthesis.restarts;
             jobs = Synthesis.default_config.Synthesis.jobs;
             eval_cache = Synthesis.default_config.Synthesis.eval_cache;
+            delta = Synthesis.default_config.Synthesis.delta;
             audit = false;
           }
         in
@@ -387,6 +429,18 @@ let parallel options =
      working vs parked. *)
   let spec = Random_system.mul 6 in
   let domain_counts = [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  (* Honesty: oversubscribed rows time contention, not parallelism. *)
+  let degraded jobs = jobs > cores in
+  List.iter
+    (fun jobs ->
+      if degraded jobs then
+        Printf.eprintf
+          "WARNING: measuring %d domains on %d available core(s) - the speedup \
+           figure is degraded by oversubscription\n\
+           %!"
+          jobs cores)
+    domain_counts;
   let phase_sample () =
     let snap = Mm_obs.Metrics.snapshot () in
     let hist name =
@@ -446,7 +500,9 @@ let parallel options =
         [
           string_of_int jobs;
           Printf.sprintf "%.2f" seconds;
-          Printf.sprintf "%.2fx" (serial_seconds /. seconds);
+          Printf.sprintf "%.2fx%s"
+            (serial_seconds /. seconds)
+            (if degraded jobs then " (degraded)" else "");
           Printf.sprintf "%.3f" (milliwatt result.Synthesis.eval.Fitness.true_power);
           Printf.sprintf "%.2f" eval_s;
           Printf.sprintf "%.2f" sched_s;
@@ -509,10 +565,11 @@ let parallel options =
   List.iteri
     (fun i (jobs, seconds, _, (eval_s, sched_s, dvs_s, busy_s, wait_s)) ->
       p
-        "    { \"jobs\": %d, \"wall_seconds\": %.3f, \"speedup\": %.3f, \
-         \"eval_seconds\": %.3f, \"sched_seconds\": %.3f, \"dvs_seconds\": %.3f, \
-         \"pool_busy_seconds\": %.3f, \"pool_wait_seconds\": %.3f }%s\n"
-        jobs seconds
+        "    { \"jobs\": %d, \"degraded\": %b, \"wall_seconds\": %.3f, \
+         \"speedup\": %.3f, \"eval_seconds\": %.3f, \"sched_seconds\": %.3f, \
+         \"dvs_seconds\": %.3f, \"pool_busy_seconds\": %.3f, \
+         \"pool_wait_seconds\": %.3f }%s\n"
+        jobs (degraded jobs) seconds
         (serial_seconds /. seconds)
         eval_s sched_s dvs_s busy_s wait_s
         (if i = List.length timings - 1 then "" else ","))
@@ -720,7 +777,144 @@ let eval_kernel options =
         let after_wall, after = measure (Fitness.evaluate config spec) genomes in
         Format.printf "  %s done (%d evaluations)@?@." label (List.length genomes);
         (label, List.length genomes, before_wall, before, after_wall, after))
-      [ ("smartphone", Smartphone.spec ()); ("mul6", Random_system.mul 6) ]
+      [
+        ("smartphone", Smartphone.spec ());
+        ("mul6", Random_system.mul 6);
+        ("mul12", Random_system.mul 12);
+      ]
+  in
+  let time f =
+    let started = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. started
+  in
+  (* Isolated DVS kernel: the same (graph, schedule) pairs through the
+     seed greedy loop and the heap-based one, with a float-bit
+     equivalence spot-check before timing anything. *)
+  let dvs_kernel_stats (label, spec) =
+    let arch = Spec.arch spec and tech = Spec.tech spec in
+    let dispatch = Spec.dispatch (Spec.compiled spec) in
+    let ws = Scaling.create_workspace () in
+    let graphs = List.map Mode.graph (Omsm.modes (Spec.omsm spec)) in
+    let rng = Prng.create ~seed:11 in
+    let counts = Spec.gene_counts spec in
+    let pairs =
+      List.concat_map
+        (fun _ ->
+          let g = Mm_ga.Genome.random rng ~counts in
+          let eval = Fitness.evaluate config spec g in
+          List.mapi (fun i graph -> (graph, eval.Fitness.schedules.(i))) graphs)
+        (List.init (if options.quick then 3 else 6) Fun.id)
+    in
+    List.iter
+      (fun (graph, schedule) ->
+        let a = Scaling.run ~workspace:ws ~dispatch ~graph ~arch ~tech ~schedule () in
+        let b = Scaling.run_reference ~graph ~arch ~tech ~schedule () in
+        if
+          Int64.bits_of_float a.Scaling.total_dyn_energy
+          <> Int64.bits_of_float b.Scaling.total_dyn_energy
+          || a.Scaling.feasible <> b.Scaling.feasible
+        then begin
+          Printf.eprintf "BUG: heap DVS diverged from the reference on %s\n%!" label;
+          exit 1
+        end)
+      pairs;
+    let reps = if options.quick then 60 else 250 in
+    let reference_seconds =
+      time (fun () ->
+          for _ = 1 to reps do
+            List.iter
+              (fun (graph, schedule) ->
+                ignore (Scaling.run_reference ~graph ~arch ~tech ~schedule ()))
+              pairs
+          done)
+    in
+    let heap_seconds =
+      time (fun () ->
+          for _ = 1 to reps do
+            List.iter
+              (fun (graph, schedule) ->
+                ignore (Scaling.run ~workspace:ws ~dispatch ~graph ~arch ~tech ~schedule ()))
+              pairs
+          done)
+    in
+    (List.length pairs, reps, reference_seconds, heap_seconds)
+  in
+  (* Delta evaluation over a mutation stream: parents evaluated in full,
+     children through [Fitness.evaluate_delta], float-bit checked against
+     the full pipeline.  One untimed warm-up pass keeps the shared
+     per-mode caches from favouring whichever side runs second. *)
+  let delta_stats (_, spec) =
+    let counts = Spec.gene_counts spec in
+    let rng = Prng.create ~seed:13 in
+    let n_parents, n_children =
+      if options.quick then (4, 8) else (12, 24)
+    in
+    let stream =
+      List.init n_parents (fun _ ->
+          let parent = Mm_ga.Genome.random rng ~counts in
+          let kids =
+            List.init n_children (fun _ ->
+                let child = Array.copy parent in
+                let pos = Prng.int rng (Array.length counts) in
+                child.(pos) <- Prng.int rng counts.(pos);
+                let dirty = if child.(pos) = parent.(pos) then [] else [ pos ] in
+                (child, dirty))
+          in
+          (parent, kids))
+    in
+    let full_pass () =
+      List.map
+        (fun (parent, kids) ->
+          ignore (Fitness.evaluate config spec parent);
+          List.map
+            (fun (child, _) -> (Fitness.evaluate config spec child).Fitness.fitness)
+            kids)
+        stream
+    in
+    ignore (full_pass ());
+    let full_fitness = ref [] in
+    let full_seconds = time (fun () -> full_fitness := full_pass ()) in
+    Mm_obs.Metrics.reset ();
+    let delta_fitness = ref [] in
+    let delta_seconds =
+      time (fun () ->
+          delta_fitness :=
+            List.map
+              (fun (parent, kids) ->
+                let parent_eval = Fitness.evaluate config spec parent in
+                List.map
+                  (fun (child, dirty) ->
+                    (Fitness.evaluate_delta config spec ~parent:parent_eval ~dirty
+                       child)
+                      .Fitness.fitness)
+                  kids)
+              stream)
+    in
+    let snap = Mm_obs.Metrics.snapshot () in
+    List.iter2
+      (List.iter2 (fun a b ->
+           if Int64.bits_of_float a <> Int64.bits_of_float b then begin
+             Printf.eprintf "BUG: delta evaluation diverged from the full pipeline\n%!";
+             exit 1
+           end))
+      !full_fitness !delta_fitness;
+    ( n_parents,
+      n_children,
+      full_seconds,
+      delta_seconds,
+      counter snap "fitness/delta_evals",
+      counter snap "fitness/delta_fallbacks",
+      counter snap "fitness/delta_mode_reuse" )
+  in
+  let extras =
+    List.map
+      (fun (label, spec) -> (label, dvs_kernel_stats (label, spec), delta_stats (label, spec)))
+      [
+        ("smartphone", Smartphone.spec ());
+        ("mul6", Random_system.mul 6);
+        ("mul12", Random_system.mul 12);
+      ]
   in
   Mm_obs.Control.set_metrics false;
   let t =
@@ -759,18 +953,65 @@ let eval_kernel options =
         phases)
     rows;
   Table.print t;
+  let kt =
+    Table.create ~title:"DVS kernel (heap vs reference) and delta evaluation"
+      ~columns:
+        [
+          "workload"; "dvs ref (s)"; "dvs heap (s)"; "dvs speedup"; "full (s)";
+          "delta (s)"; "delta speedup"; "reused modes";
+        ]
+  in
+  List.iter
+    (fun (label, (_, _, ref_s, heap_s), (_, _, full_s, delta_s, _, _, reuse)) ->
+      Table.add_row kt
+        [
+          label;
+          Printf.sprintf "%.3f" ref_s;
+          Printf.sprintf "%.3f" heap_s;
+          Printf.sprintf "%.2fx" (ref_s /. heap_s);
+          Printf.sprintf "%.3f" full_s;
+          Printf.sprintf "%.3f" delta_s;
+          Printf.sprintf "%.2fx" (full_s /. delta_s);
+          string_of_int reuse;
+        ])
+    extras;
+  Table.print kt;
   let path = "BENCH_eval_kernel.json" in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"experiment\": \"eval\",\n";
   p "  \"quick\": %b,\n" options.quick;
+  p "  \"cpu_cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"workloads\": [\n";
   List.iteri
     (fun i (label, n_evals, before_wall, before, after_wall, after) ->
+      let _, (dvs_pairs, dvs_reps, dvs_ref_s, dvs_heap_s), delta =
+        List.find (fun (l, _, _) -> l = label) extras
+      in
+      let d_parents, d_children, d_full_s, d_delta_s, d_evals, d_fallbacks, d_reuse =
+        delta
+      in
       p "    {\n";
       p "      \"workload\": \"%s\",\n" label;
       p "      \"evaluations\": %d,\n" n_evals;
+      p "      \"dvs_kernel\": {\n";
+      p "        \"pairs\": %d,\n" dvs_pairs;
+      p "        \"reps\": %d,\n" dvs_reps;
+      p "        \"reference_seconds\": %.4f,\n" dvs_ref_s;
+      p "        \"heap_seconds\": %.4f,\n" dvs_heap_s;
+      p "        \"speedup\": %.3f\n" (dvs_ref_s /. dvs_heap_s);
+      p "      },\n";
+      p "      \"delta\": {\n";
+      p "        \"parents\": %d,\n" d_parents;
+      p "        \"children_per_parent\": %d,\n" d_children;
+      p "        \"full_seconds\": %.4f,\n" d_full_s;
+      p "        \"delta_seconds\": %.4f,\n" d_delta_s;
+      p "        \"speedup\": %.3f,\n" (d_full_s /. d_delta_s);
+      p "        \"delta_evals\": %d,\n" d_evals;
+      p "        \"delta_fallbacks\": %d,\n" d_fallbacks;
+      p "        \"delta_mode_reuse\": %d\n" d_reuse;
+      p "      },\n";
       let side name wall snap =
         p "      \"%s\": {\n" name;
         p "        \"wall_seconds\": %.4f,\n" wall;
@@ -809,7 +1050,53 @@ let eval_kernel options =
   p "  ]\n";
   p "}\n";
   close_out oc;
-  Format.printf "wrote %s@." path
+  Format.printf "wrote %s@." path;
+  if options.gate then begin
+    let thresholds = read_flat_json "BENCH_eval_thresholds.json" in
+    let threshold key =
+      match List.assoc_opt key thresholds with
+      | Some v -> v
+      | None ->
+        Printf.eprintf "gate: BENCH_eval_thresholds.json is missing %S\n%!" key;
+        exit 1
+    in
+    let tolerance = 1.0 -. (threshold "max_regression_pct" /. 100.0) in
+    let cores = Domain.recommended_domain_count () in
+    let failures = ref 0 in
+    let check ~wall key measured =
+      let floor = threshold key *. tolerance in
+      if wall && cores <= 1 then
+        Format.printf "  gate SKIP %-36s (cpu_cores = 1, wall-clock assertion)@." key
+      else if measured >= floor then
+        Format.printf "  gate ok   %-36s %8.3f >= %.3f@." key measured floor
+      else begin
+        Format.printf "  gate FAIL %-36s %8.3f <  %.3f@." key measured floor;
+        incr failures
+      end
+    in
+    Format.printf "@.== Perf-regression gate (thresholds x %.2f) ==@." tolerance;
+    List.iter
+      (fun (label, _, before_wall, _, after_wall, after) ->
+        let hits = counter after "fitness/mode_cache_hits" in
+        let misses = counter after "fitness/mode_cache_misses" in
+        let rate =
+          if hits + misses = 0 then 0.0
+          else float_of_int hits /. float_of_int (hits + misses)
+        in
+        let _, (_, _, dvs_ref_s, dvs_heap_s), (_, _, full_s, delta_s, _, _, _) =
+          List.find (fun (l, _, _) -> l = label) extras
+        in
+        check ~wall:true (label ^ "_wall_speedup") (before_wall /. after_wall);
+        check ~wall:false (label ^ "_mode_cache_hit_rate") rate;
+        check ~wall:true (label ^ "_dvs_kernel_speedup") (dvs_ref_s /. dvs_heap_s);
+        check ~wall:true (label ^ "_delta_speedup") (full_s /. delta_s))
+      rows;
+    if !failures > 0 then begin
+      Printf.eprintf "gate: %d perf-regression check(s) failed\n%!" !failures;
+      exit 1
+    end;
+    Format.printf "gate: all checks passed@."
+  end
 
 (* --- Bechamel kernels -------------------------------------------------------- *)
 
@@ -867,11 +1154,12 @@ let () =
   let rec parse options selected = function
     | [] -> (options, List.rev selected)
     | "--quick" :: rest -> parse { options with quick = true } selected rest
+    | "--gate" :: rest -> parse { options with gate = true } selected rest
     | "--runs" :: n :: rest ->
       parse { options with runs = Some (int_of_string n) } selected rest
     | name :: rest -> parse options (name :: selected) rest
   in
-  let options, selected = parse { runs = None; quick = false } [] args in
+  let options, selected = parse { runs = None; quick = false; gate = false } [] args in
   let selected =
     if selected = [] then
       [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "eval"; "soak"; "kernels" ]

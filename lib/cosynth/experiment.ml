@@ -49,7 +49,16 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~weigh
     invalid_arg "Experiment.compare: snapshot holds more runs than requested";
   let fitness = { Fitness.default_config with Fitness.weighting; dvs } in
   let config =
-    { Synthesis.fitness; ga; use_improvements; restarts; jobs; eval_cache; audit }
+    {
+      Synthesis.fitness;
+      ga;
+      use_improvements;
+      restarts;
+      jobs;
+      eval_cache;
+      delta = Synthesis.default_config.Synthesis.delta;
+      audit;
+    }
   in
   (* One cache per arm, shared across its repeated runs: later runs reuse
      evaluations the earlier ones already paid for.  Sharing cannot

@@ -35,6 +35,13 @@ let c_mode_hit = Metrics.counter "fitness/mode_cache_hits"
 let c_mode_miss = Metrics.counter "fitness/mode_cache_misses"
 let c_mob_hit = Metrics.counter "fitness/mobility_cache_hits"
 let c_mob_miss = Metrics.counter "fitness/mobility_cache_misses"
+
+(* Delta evaluation traffic (DESIGN.md §13): how often the incremental
+   path ran, how often it had to fall back to the full compiled path,
+   and how many per-mode triples it lifted straight from the parent. *)
+let c_delta_evals = Metrics.counter "fitness/delta_evals"
+let c_delta_fallbacks = Metrics.counter "fitness/delta_fallbacks"
+let c_delta_mode_reuse = Metrics.counter "fitness/delta_mode_reuse"
 let g_route_pairs = Metrics.gauge "sched/route_table_pairs"
 let g_route_entries = Metrics.gauge "sched/route_table_entries"
 
@@ -84,6 +91,9 @@ type eval = {
   alloc : Core_alloc.t;
   transition_times : Transition_time.entry list;
   mapping : Mapping.t;
+  mobilities : Mobility.t array;
+      (** Per-mode mobility analyses; carried so {!evaluate_delta} can
+          reuse them for modes a mutation did not touch. *)
 }
 
 let feasible e = e.timing_feasible && e.area_feasible && e.transition_feasible && e.routable
@@ -184,7 +194,7 @@ let eval_key ~fingerprint ~arch ~alloc ~mode row =
    powers averaged under the mode probabilities, penalty factors and the
    final fitness.  Shared verbatim by the compiled and the reference
    pipelines so they can only differ in how the triples are produced. *)
-let assemble config spec mapping ~alloc ~schedules ~scalings ~mode_powers =
+let assemble config spec mapping ~alloc ~mobilities ~schedules ~scalings ~mode_powers =
   let omsm = Spec.omsm spec in
   let n_modes = Omsm.n_modes omsm in
   (* Timing: post-compaction / post-scaling finish times against
@@ -265,12 +275,22 @@ let assemble config spec mapping ~alloc ~schedules ~scalings ~mode_powers =
     alloc;
     transition_times;
     mapping;
+    mobilities;
   }
 
-let scaling_of config ~graph ~arch ~tech ~schedule =
+let scaling_of config ?workspace ?dispatch ~graph ~arch ~tech ~schedule () =
   match config.dvs with
-  | No_dvs -> Scaling.nominal ~graph ~arch ~tech ~schedule ()
-  | Dvs scaling_config -> Scaling.run ~config:scaling_config ~graph ~arch ~tech ~schedule ()
+  | No_dvs -> Scaling.nominal ?workspace ?dispatch ~graph ~arch ~tech ~schedule ()
+  | Dvs scaling_config ->
+    Scaling.run ~config:scaling_config ?workspace ?dispatch ~graph ~arch ~tech
+      ~schedule ()
+
+(* The seed DVS pipeline, for the reference oracle below. *)
+let scaling_of_reference config ~graph ~arch ~tech ~schedule =
+  match config.dvs with
+  | No_dvs -> Scaling.nominal_reference ~graph ~arch ~tech ~schedule ()
+  | Dvs scaling_config ->
+    Scaling.run_reference ~config:scaling_config ~graph ~arch ~tech ~schedule ()
 
 let evaluate_mapping config spec mapping =
   Mm_obs.Probe.run p_eval @@ fun () ->
@@ -340,12 +360,14 @@ let evaluate_mapping config spec mapping =
   in
   let scalings =
     Mm_obs.Probe.run p_dvs (fun () ->
+        let workspace = Spec.scaling_workspace ctx in
         Array.init n_modes (fun mode ->
             match cached.(mode) with
             | Some (_, scaling, _) -> scaling
             | None ->
               let graph = Mode.graph (Omsm.mode omsm mode) in
-              scaling_of config ~graph ~arch ~tech ~schedule:schedules.(mode)))
+              scaling_of config ~workspace ~dispatch ~graph ~arch ~tech
+                ~schedule:schedules.(mode) ()))
   in
   let mode_powers =
     Mm_obs.Probe.run p_power (fun () ->
@@ -362,7 +384,7 @@ let evaluate_mapping config spec mapping =
         Memo.add ~pin:true eval_cache keys.(mode)
           (schedules.(mode), scalings.(mode), mode_powers.(mode)))
     cached;
-  assemble config spec mapping ~alloc ~schedules ~scalings ~mode_powers
+  assemble config spec mapping ~alloc ~mobilities ~schedules ~scalings ~mode_powers
 
 (* The seed pipeline, kept as the equivalence oracle for the compiled
    path above: per-edge routing, balanced-tree technology lookups, the
@@ -397,7 +419,7 @@ let evaluate_mapping_reference config spec mapping =
     Mm_obs.Probe.run p_dvs (fun () ->
         Array.init n_modes (fun mode ->
             let graph = Mode.graph (Omsm.mode omsm mode) in
-            scaling_of config ~graph ~arch ~tech ~schedule:schedules.(mode)))
+            scaling_of_reference config ~graph ~arch ~tech ~schedule:schedules.(mode)))
   in
   let mode_powers =
     Mm_obs.Probe.run p_power (fun () ->
@@ -405,10 +427,182 @@ let evaluate_mapping_reference config spec mapping =
             Power.mode_power ~arch ~schedule:schedules.(mode)
               ~dyn_energy:scalings.(mode).Scaling.total_dyn_energy))
   in
-  assemble config spec mapping ~alloc ~schedules ~scalings ~mode_powers
+  assemble config spec mapping ~alloc ~mobilities ~schedules ~scalings ~mode_powers
+
+(* --- Delta evaluation (DESIGN.md §13) ------------------------------------- *)
+
+(* [evaluate_mapping_delta config spec parent ~dirty mapping] evaluates
+   [mapping] given that it differs from [parent.mapping] exactly at the
+   genome positions in [dirty] (ascending).  Bit-identical to
+   [evaluate_mapping] by construction: clean modes reuse the parent's
+   mobility analysis and (schedule, scaling, power) triple; dirty modes
+   run the full compiled per-mode path.  Core allocation is global, so
+   it is always recomputed and the reuse of a clean mode's triple is
+   additionally guarded by its core-instance signature
+   ([Core_alloc.loaded_types], the same dependency [eval_key] encodes):
+   when the signature moved, the mode is promoted to dirty.  Falls back
+   to [evaluate_mapping] whenever more than half the modes are dirty —
+   the per-mode caches make the full path nearly as cheap, and a narrow
+   dirty set is where the savings are. *)
+let evaluate_mapping_delta config spec parent ~dirty mapping =
+  let omsm = Spec.omsm spec in
+  let n_modes = Omsm.n_modes omsm in
+  let dirty_modes = Array.make n_modes false in
+  let n_dirty = ref 0 in
+  List.iter
+    (fun gene ->
+      let mode = (Spec.position spec gene).Spec.mode in
+      if not dirty_modes.(mode) then begin
+        dirty_modes.(mode) <- true;
+        incr n_dirty
+      end)
+    dirty;
+  if !n_dirty = 0 then parent
+  else if 2 * !n_dirty > n_modes then begin
+    Metrics.incr c_delta_fallbacks;
+    evaluate_mapping config spec mapping
+  end
+  else begin
+    Metrics.incr c_delta_evals;
+    Mm_obs.Probe.run p_eval @@ fun () ->
+    let arch = Spec.arch spec in
+    let tech = Spec.tech spec in
+    let ctx = Spec.compiled spec in
+    let routes = Spec.routes ctx in
+    let dispatch = Spec.dispatch ctx in
+    let rows = (mapping : Mapping.t :> int array array) in
+    let mobility_cache = Spec.mode_mobility_cache ctx in
+    let eval_cache = Spec.mode_eval_cache ctx in
+    Fun.protect ~finally:(fun () ->
+        Memo.unpin_all mobility_cache;
+        Memo.unpin_all eval_cache)
+    @@ fun () ->
+    let mobilities =
+      Mm_obs.Probe.run p_mobility (fun () ->
+          Array.init n_modes (fun mode ->
+              if not dirty_modes.(mode) then parent.mobilities.(mode)
+              else
+                let key = mobility_key ~mode rows.(mode) in
+                match Memo.find ~pin:true mobility_cache key with
+                | Some m ->
+                  Metrics.incr c_mob_hit;
+                  m
+                | None ->
+                  Metrics.incr c_mob_miss;
+                  let m =
+                    compiled_mode_mobility spec ~routes ~dispatch rows.(mode) mode
+                  in
+                  Memo.add ~pin:true mobility_cache key m;
+                  m))
+    in
+    let alloc =
+      Mm_obs.Probe.run p_alloc (fun () -> Core_alloc.allocate spec mapping ~mobilities)
+    in
+    (* Allocation is global: a dirty mode can shift the instances granted
+       to a clean one.  Promote clean modes whose signature moved. *)
+    for mode = 0 to n_modes - 1 do
+      if not dirty_modes.(mode) then begin
+        let moved = ref false in
+        for pe = 0 to Arch.n_pes arch - 1 do
+          if
+            Pe.is_hardware (Arch.pe arch pe)
+            && Core_alloc.loaded_types alloc ~mode ~pe
+               <> Core_alloc.loaded_types parent.alloc ~mode ~pe
+          then moved := true
+        done;
+        if !moved then begin
+          dirty_modes.(mode) <- true;
+          incr n_dirty
+        end
+      end
+    done;
+    if 2 * !n_dirty > n_modes then begin
+      (* The nested full evaluation pins under the same caches; its
+         [unpin_all] runs first and ours is then a no-op. *)
+      Metrics.incr c_delta_fallbacks;
+      evaluate_mapping config spec mapping
+    end
+    else begin
+      let fingerprint = config_fingerprint config in
+      let keys =
+        Array.init n_modes (fun mode ->
+            if dirty_modes.(mode) then
+              Some (eval_key ~fingerprint ~arch ~alloc ~mode rows.(mode))
+            else None)
+      in
+      let cached =
+        Array.map
+          (function
+            | Some key ->
+              let found = Memo.find ~pin:true eval_cache key in
+              (match found with
+              | Some _ -> Metrics.incr c_mode_hit
+              | None -> Metrics.incr c_mode_miss);
+              found
+            | None ->
+              Metrics.incr c_delta_mode_reuse;
+              None)
+          keys
+      in
+      let schedules =
+        Mm_obs.Probe.run p_schedule (fun () ->
+            Array.init n_modes (fun mode ->
+                if not dirty_modes.(mode) then parent.schedules.(mode)
+                else
+                  match cached.(mode) with
+                  | Some (schedule, _, _) -> schedule
+                  | None ->
+                    let mode_rec = Omsm.mode omsm mode in
+                    List_scheduler.run ~policy:config.scheduler_policy
+                      (List_scheduler.make_input ~mobility:mobilities.(mode) ~routes
+                         ~dispatch ~mode_id:mode ~graph:(Mode.graph mode_rec) ~arch
+                         ~tech ~mapping:rows.(mode)
+                         ~instances:(fun ~pe ~ty ->
+                           max 1 (Core_alloc.instances alloc ~mode ~pe ~ty))
+                         ~period:(Mode.period mode_rec) ())))
+      in
+      let scalings =
+        Mm_obs.Probe.run p_dvs (fun () ->
+            let workspace = Spec.scaling_workspace ctx in
+            Array.init n_modes (fun mode ->
+                if not dirty_modes.(mode) then parent.scalings.(mode)
+                else
+                  match cached.(mode) with
+                  | Some (_, scaling, _) -> scaling
+                  | None ->
+                    let graph = Mode.graph (Omsm.mode omsm mode) in
+                    scaling_of config ~workspace ~dispatch ~graph ~arch ~tech
+                      ~schedule:schedules.(mode) ()))
+      in
+      let mode_powers =
+        Mm_obs.Probe.run p_power (fun () ->
+            Array.init n_modes (fun mode ->
+                if not dirty_modes.(mode) then parent.mode_powers.(mode)
+                else
+                  match cached.(mode) with
+                  | Some (_, _, power) -> power
+                  | None ->
+                    Power.mode_power ~arch ~schedule:schedules.(mode)
+                      ~dyn_energy:scalings.(mode).Scaling.total_dyn_energy))
+      in
+      Array.iteri
+        (fun mode key ->
+          match (key, cached.(mode)) with
+          | Some key, None ->
+            Memo.add ~pin:true eval_cache key
+              (schedules.(mode), scalings.(mode), mode_powers.(mode))
+          | _ -> ())
+        keys;
+      assemble config spec mapping ~alloc ~mobilities ~schedules ~scalings
+        ~mode_powers
+    end
+  end
 
 let evaluate config spec genome =
   evaluate_mapping config spec (Mapping.of_genome spec genome)
 
 let evaluate_reference config spec genome =
   evaluate_mapping_reference config spec (Mapping.of_genome spec genome)
+
+let evaluate_delta config spec ~parent ~dirty genome =
+  evaluate_mapping_delta config spec parent ~dirty (Mapping.of_genome spec genome)

@@ -64,6 +64,9 @@ type eval = {
   alloc : Core_alloc.t;
   transition_times : Transition_time.entry list;
   mapping : Mapping.t;
+  mobilities : Mm_taskgraph.Mobility.t array;
+      (** Per-mode mobility analyses; carried so {!evaluate_delta} can
+          reuse them for modes a mutation did not touch. *)
 }
 
 val feasible : eval -> bool
@@ -89,3 +92,23 @@ val evaluate_reference : config -> Spec.t -> int array -> eval
 
 val evaluate_mapping_reference : config -> Spec.t -> Mapping.t -> eval
 (** {!evaluate_reference} for an explicit mapping. *)
+
+val evaluate_delta :
+  config -> Spec.t -> parent:eval -> dirty:int list -> int array -> eval
+(** Incremental evaluation of a genome that differs from the already
+    evaluated [parent] exactly at the genome positions in [dirty]
+    (ascending; typically reported by
+    [Mm_ga.Genome.point_mutate_tracked] or [Mm_ga.Genome.diff]).
+    Bit-identical to {!evaluate} (enforced by the delta equivalence
+    tests): modes untouched by [dirty] reuse the parent's mobility
+    analysis and (schedule, scaling, power) triple; dirty modes run the
+    full compiled per-mode path.  Core allocation is global and always
+    recomputed; a clean mode whose granted core-instance signature moved
+    is promoted to dirty.  Falls back to the full {!evaluate} path when
+    more than half the modes end up dirty.  An over-approximate [dirty]
+    set (genes listed but unchanged) is safe; an under-approximate one
+    is not. *)
+
+val evaluate_mapping_delta :
+  config -> Spec.t -> eval -> dirty:int list -> Mapping.t -> eval
+(** {!evaluate_delta} for an explicit mapping. *)

@@ -26,6 +26,9 @@ type compiled = {
     (Mm_sched.Schedule.t * Mm_dvs.Scaling.t * Mm_energy.Power.mode_power)
     Mm_parallel.Memo.t
     Domain.DLS.key;
+  scaling_workspace : Mm_dvs.Scaling.workspace Domain.DLS.key;
+      (** Scratch buffers for the flat DVS kernel; domain-local because
+          the workspace is mutable and reused across evaluations. *)
 }
 
 type t = {
@@ -104,6 +107,7 @@ let compile t =
     eval_cache =
       Domain.DLS.new_key (fun () ->
           Mm_parallel.Memo.create ~capacity:mode_cache_capacity);
+    scaling_workspace = Domain.DLS.new_key Mm_dvs.Scaling.create_workspace;
   }
 
 let compiled t =
@@ -121,6 +125,7 @@ let routes c = c.routes
 let dispatch c = c.dispatch
 let mode_mobility_cache c = Domain.DLS.get c.mobility_cache
 let mode_eval_cache c = Domain.DLS.get c.eval_cache
+let scaling_workspace c = Domain.DLS.get c.scaling_workspace
 
 let omsm t = t.omsm
 let arch t = t.arch

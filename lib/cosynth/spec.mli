@@ -49,6 +49,11 @@ val mode_eval_cache :
     (mode, scheduler/DVS config fingerprint, mapping row, core-instance
     signature). *)
 
+val scaling_workspace : compiled -> Mm_dvs.Scaling.workspace
+(** This domain's scratch buffers for the flat DVS kernel
+    ({!Mm_dvs.Scaling.run}); domain-local because the workspace is
+    mutable and reused across evaluations. *)
+
 val n_positions : t -> int
 (** Genome length: Σ_O |T_O|. *)
 

@@ -17,6 +17,7 @@ type config = {
   restarts : int;
   jobs : int;
   eval_cache : int;
+  delta : bool;
   audit : bool;
 }
 
@@ -30,6 +31,7 @@ let default_config =
     restarts = 2;
     jobs = 1;
     eval_cache = default_eval_cache;
+    delta = true;
     audit = false;
   }
 
@@ -56,9 +58,9 @@ type run_state = {
 type checkpoint_sink = { every : int; save : run_state -> unit }
 
 (* Everything that can change the synthesis trajectory for a given seed
-   goes into the fingerprint; [jobs] and [eval_cache] are deliberately
-   absent because the evaluation strategy never perturbs the result (see
-   the determinism note in the module doc).  Floats are printed in hex so
+   goes into the fingerprint; [jobs], [eval_cache] and [delta] are
+   deliberately absent because the evaluation strategy never perturbs
+   the result (see the determinism note in the module doc).  Floats are printed in hex so
    the fingerprint compares them bit-for-bit. *)
 let config_fingerprint config =
   let weighting =
@@ -280,6 +282,19 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
     | None, Some c -> Engine.Cached c
     | Some p, Some c -> Engine.Cached_pooled (p, c)
   in
+  (* Delta evaluation is exact (Fitness.evaluate_delta is bit-identical
+     to Fitness.evaluate), so like [jobs] and [eval_cache] it changes
+     wall time only, never the trajectory. *)
+  let delta =
+    if config.delta then
+      Some
+        (fun ~parent ~dirty genome ->
+          let eval =
+            Fitness.evaluate_delta config.fitness spec ~parent ~dirty genome
+          in
+          (eval.Fitness.fitness, eval))
+    else None
+  in
   let started = Sys.time () in
   let save_state sink state =
     Mm_obs.Probe.run
@@ -351,7 +366,7 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
             checkpoint
         in
         let result =
-          Engine.run ~config:config.ga ~strategy ?on_generation
+          Engine.run ~config:config.ga ~strategy ?delta ?on_generation
             ?resume:resume_ck ~rng:child_rng problem
         in
         Log.debug (fun () ->

@@ -24,6 +24,12 @@ type config = {
       (** Capacity of the genome→evaluation memoization cache shared
           across the run's restarts; [0] disables caching (default
           {!default_eval_cache}). *)
+  delta : bool;
+      (** Evaluate offspring through {!Fitness.evaluate_delta} when the
+          engine knows the genes they differ from their parent in
+          (default true).  Delta evaluation is bit-identical to the full
+          path, so like [jobs]/[eval_cache] it changes wall time only
+          and is absent from {!config_fingerprint}. *)
   audit : bool;
       (** Re-derive the winning evaluation's schedules, DVS math and
           penalty claims through {!Audit.check} and attach the report to

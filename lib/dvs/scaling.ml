@@ -1,5 +1,6 @@
 module Graph = Mm_taskgraph.Graph
 module Task = Mm_taskgraph.Task
+module Task_type = Mm_taskgraph.Task_type
 module Arch = Mm_arch.Architecture
 module Pe = Mm_arch.Pe
 module Voltage = Mm_arch.Voltage
@@ -36,6 +37,27 @@ type t = {
   stretched_finish : float array;
 }
 
+let deadline_of_task graph period task_id =
+  match Task.deadline (Graph.task graph task_id) with
+  | None -> period
+  | Some d -> Float.min d period
+
+(* Fine-grained: one span per voltage-scaled mode ([nominal] passes
+   through here too, with scaling disabled on both rails).  Shared by the
+   flat fast path and the seed reference so the bench harness can
+   attribute per-phase time to either implementation. *)
+let p_run = Mm_obs.Probe.create ~fine:true "dvs/scale"
+
+(* ------------------------------------------------------------------ *)
+(* Seed reference implementation.                                      *)
+(*                                                                     *)
+(* Kept verbatim as the bit-exactness oracle for the flat fast path    *)
+(* below (same pattern as [List_scheduler.run_reference]): the greedy  *)
+(* selection below is an O(units) linear scan per accepted step with   *)
+(* epsilon-chained tie-breaking, and the fast path must reproduce its  *)
+(* choices — and hence every output float — exactly.                   *)
+(* ------------------------------------------------------------------ *)
+
 type unit_kind =
   | Task_unit of int
   | Segment_unit of { pe : int; seg : Hw_transform.segment }
@@ -57,11 +79,6 @@ let duration u =
   match u.rail with
   | None -> u.nominal
   | Some rail -> Voltage.scaled_time rail ~tmin:u.nominal u.voltage
-
-let deadline_of_task graph period task_id =
-  match Task.deadline (Graph.task graph task_id) with
-  | None -> period
-  | Some d -> Float.min d period
 
 (* The unit DAG: scalable/fixed activities with resource-order and
    data-dependency edges.  Built once per (schedule, config). *)
@@ -475,11 +492,7 @@ let assemble ~graph ~arch ~(schedule : Schedule.t) dag feasible =
   in
   (task_voltages, task_energy, stretched_finish, List.rev !hw_segments, comm_energy, feasible)
 
-(* Fine-grained: one span per voltage-scaled mode ([nominal] passes
-   through here too, with scaling disabled on both rails). *)
-let p_run = Mm_obs.Probe.create ~fine:true "dvs/scale"
-
-let run ?(config = default_config) ~graph ~arch ~tech ~schedule () =
+let run_reference ?(config = default_config) ~graph ~arch ~tech ~schedule () =
   Mm_obs.Probe.run p_run @@ fun () ->
   let dag = build_dag ~config ~graph ~arch ~tech ~schedule in
   let feasible = scale ~strategy:config.strategy dag in
@@ -525,7 +538,744 @@ let run ?(config = default_config) ~graph ~arch ~tech ~schedule () =
     stretched_finish;
   }
 
-let nominal ~graph ~arch ~tech ~schedule () =
-  run
+let nominal_reference ~graph ~arch ~tech ~schedule () =
+  run_reference
     ~config:{ scale_software = false; scale_hardware = false; strategy = Greedy_gradient }
     ~graph ~arch ~tech ~schedule ()
+
+(* ------------------------------------------------------------------ *)
+(* Flat fast path (DESIGN.md §13).                                     *)
+(*                                                                     *)
+(* The unit DAG lives in reusable flat arrays (a [workspace], held per  *)
+(* domain by [Spec.compiled]); predecessors/successors are CSR slices;  *)
+(* per-unit durations and next-lower-level gradient candidates are     *)
+(* cached so the passes and the greedy loop never re-enter the         *)
+(* [Voltage] power-law kernels for unchanged units; and the            *)
+(* greedy selection runs over a binary max-heap of gradient ratios     *)
+(* instead of the reference's full scan.                               *)
+(*                                                                     *)
+(* Bit-exactness obligations (tested in test_dvs.ml):                  *)
+(* - all candidate quantities are computed by the verbatim reference   *)
+(*   expressions, so cached values equal rescanned ones;               *)
+(* - slack (lft - finish) is non-increasing per unit while its voltage *)
+(*   is unchanged (voltages only drop, durations only grow), so a      *)
+(*   popped candidate whose delay no longer fits can be discarded for  *)
+(*   good;                                                             *)
+(* - the reference comparator chains absolute epsilons (1e-15) and is  *)
+(*   therefore not a total order, so the heap only pre-filters: each   *)
+(*   step pops every candidate that is not provably outside the        *)
+(*   epsilon window of the collected maximum and replays the           *)
+(*   reference's fold over them in ascending unit order.  A candidate  *)
+(*   [e] is excluded only when [e.ratio +. 1e-15 < w] and              *)
+(*   [w -. e.ratio > 1e-15] for the window minimum [w] — evaluated as  *)
+(*   written, in float arithmetic — which makes it impossible for [e]  *)
+(*   to either capture or survive any fold state the window can reach. *)
+(* ------------------------------------------------------------------ *)
+
+type workspace = {
+  (* Per-unit arrays, valid in [0, cap). *)
+  mutable cap : int;
+  mutable u_task : int array;  (* task id for task units, -1 otherwise *)
+  mutable u_rail : int array;  (* rail-table index, -1 = never scaled *)
+  mutable u_nominal : float array;
+  mutable u_power : float array;
+  mutable u_deadline : float array;
+  mutable u_voltage : float array;
+  mutable u_dur : float array;  (* duration at the current voltage *)
+  mutable u_start : float array;
+  mutable u_finish : float array;
+  mutable u_lft : float array;
+  (* Next-lower-level gradient candidate per scalable unit. *)
+  mutable cand_v : float array;
+  mutable cand_delay : float array;
+  mutable cand_gain : float array;
+  mutable cand_ratio : float array;
+  mutable heap : int array;
+  (* Edge buffer and CSR adjacency, valid in [0, ecap). *)
+  mutable ecap : int;
+  mutable e_src : int array;
+  mutable e_dst : int array;
+  mutable pred_adj : int array;
+  mutable succ_adj : int array;
+  (* cap + 1 cells. *)
+  mutable pred_off : int array;
+  mutable succ_off : int array;
+  mutable topo : int array;
+  mutable scratch : int array;
+}
+
+let create_workspace () =
+  {
+    cap = 0;
+    u_task = [||];
+    u_rail = [||];
+    u_nominal = [||];
+    u_power = [||];
+    u_deadline = [||];
+    u_voltage = [||];
+    u_dur = [||];
+    u_start = [||];
+    u_finish = [||];
+    u_lft = [||];
+    cand_v = [||];
+    cand_delay = [||];
+    cand_gain = [||];
+    cand_ratio = [||];
+    heap = [||];
+    ecap = 0;
+    e_src = [||];
+    e_dst = [||];
+    pred_adj = [||];
+    succ_adj = [||];
+    pred_off = [||];
+    succ_off = [||];
+    topo = [||];
+    scratch = [||];
+  }
+
+(* Unit counts and edge counts are known before any array is filled, so
+   growth never needs to preserve contents. *)
+let ensure_units ws n =
+  if n > ws.cap then begin
+    let cap = max n (2 * ws.cap) in
+    ws.cap <- cap;
+    ws.u_task <- Array.make cap 0;
+    ws.u_rail <- Array.make cap 0;
+    ws.u_nominal <- Array.make cap 0.0;
+    ws.u_power <- Array.make cap 0.0;
+    ws.u_deadline <- Array.make cap 0.0;
+    ws.u_voltage <- Array.make cap 0.0;
+    ws.u_dur <- Array.make cap 0.0;
+    ws.u_start <- Array.make cap 0.0;
+    ws.u_finish <- Array.make cap 0.0;
+    ws.u_lft <- Array.make cap 0.0;
+    ws.cand_v <- Array.make cap 0.0;
+    ws.cand_delay <- Array.make cap 0.0;
+    ws.cand_gain <- Array.make cap 0.0;
+    ws.cand_ratio <- Array.make cap 0.0;
+    ws.heap <- Array.make cap 0;
+    ws.pred_off <- Array.make (cap + 1) 0;
+    ws.succ_off <- Array.make (cap + 1) 0;
+    ws.topo <- Array.make cap 0;
+    ws.scratch <- Array.make cap 0
+  end
+
+let ensure_edges ws m =
+  if m > ws.ecap then begin
+    let cap = max m (2 * ws.ecap) in
+    ws.ecap <- cap;
+    ws.e_src <- Array.make cap 0;
+    ws.e_dst <- Array.make cap 0;
+    ws.pred_adj <- Array.make cap 0;
+    ws.succ_adj <- Array.make cap 0
+  end
+
+(* The flat DAG: [n] units in the workspace arrays plus everything the
+   assembly step needs to rebuild the public result. *)
+type fdag = {
+  ws : workspace;
+  n : int;
+  rails : Voltage.t array;
+  (* (unit, pe, segment) per segment unit, latest first. *)
+  seg_units : (int * int * Hw_transform.segment) list;
+  (* (task, last unit) per segment-resident task. *)
+  seg_sites : (int * int) list;
+}
+
+let build_flat ws ~config ~graph ~arch ~tech ~dispatch ~(schedule : Schedule.t) =
+  let n_tasks = Graph.n_tasks graph in
+  let period = schedule.Schedule.period in
+  let power_of =
+    match dispatch with
+    | Some dispatch ->
+      fun task_id ->
+        let task = Graph.task graph task_id in
+        let pe_id = Schedule.pe_of_slot schedule.Schedule.task_slots.(task_id) in
+        (match
+           Tech_lib.dispatch_find dispatch
+             ~ty_id:(Task_type.id (Task.ty task))
+             ~pe_id
+         with
+        | Some impl -> impl.Tech_lib.dyn_power
+        | None -> raise Not_found)
+    | None ->
+      fun task_id ->
+        let task = Graph.task graph task_id in
+        let pe = Arch.pe arch (Schedule.pe_of_slot schedule.Schedule.task_slots.(task_id)) in
+        (Tech_lib.find_exn tech ~ty:(Task.ty task) ~pe).Tech_lib.dyn_power
+  in
+  let scaled_hw_pe pe =
+    config.scale_hardware && Pe.is_hardware pe && Pe.is_dvs_enabled pe
+  in
+  (* Bucket the slots of scaled hardware components per PE (in task-slot
+     order, like the reference's filter) and serialise them into
+     segments up front, so the exact unit count is known before any
+     workspace array is touched. *)
+  let n_pes = Arch.n_pes arch in
+  let hw_slots = Array.make n_pes [] in
+  let n_task_units = ref 0 in
+  Array.iter
+    (fun (slot : Schedule.task_slot) ->
+      let pe_id = Schedule.pe_of_slot slot in
+      if scaled_hw_pe (Arch.pe arch pe_id) then
+        hw_slots.(pe_id) <- slot :: hw_slots.(pe_id)
+      else incr n_task_units)
+    schedule.Schedule.task_slots;
+  let hw_components =
+    List.filter_map
+      (fun pe ->
+        if not (scaled_hw_pe pe) then None
+        else
+          match List.rev hw_slots.(Pe.id pe) with
+          | [] -> None
+          | slots ->
+            let rail = match Pe.rail pe with Some r -> r | None -> assert false in
+            let segs =
+              Hw_transform.segments
+                ~slots:
+                  (List.map (fun (s : Schedule.task_slot) -> (s, power_of s.Schedule.task)) slots)
+            in
+            Some (Pe.id pe, rail, slots, segs))
+      (Arch.pes arch)
+  in
+  let n_segments =
+    List.fold_left (fun acc (_, _, _, segs) -> acc + List.length segs) 0 hw_components
+  in
+  let n_comms = List.length schedule.Schedule.comm_slots in
+  let n = !n_task_units + n_segments + n_comms in
+  ensure_units ws n;
+  ensure_edges ws (n + (2 * Graph.n_edges graph));
+  (* Rail table: one slot per PE that contributes scalable units. *)
+  let rail_idx = Array.make n_pes (-1) in
+  let rail_list = ref [] in
+  let n_rails = ref 0 in
+  let rail_index pe_id rail =
+    if rail_idx.(pe_id) < 0 then begin
+      rail_list := rail :: !rail_list;
+      rail_idx.(pe_id) <- !n_rails;
+      incr n_rails
+    end;
+    rail_idx.(pe_id)
+  in
+  let next = ref 0 in
+  let fresh ~task ~rail_i ~rail ~nominal ~power ~deadline =
+    let id = !next in
+    incr next;
+    ws.u_task.(id) <- task;
+    ws.u_rail.(id) <- rail_i;
+    ws.u_nominal.(id) <- nominal;
+    ws.u_power.(id) <- power;
+    ws.u_deadline.(id) <- deadline;
+    (match rail with
+    | Some r ->
+      let vstart = Voltage.vmax r in
+      ws.u_voltage.(id) <- vstart;
+      ws.u_dur.(id) <- Voltage.scaled_time r ~tmin:nominal vstart
+    | None ->
+      ws.u_voltage.(id) <- nan;
+      ws.u_dur.(id) <- nominal);
+    id
+  in
+  (* Sites: the unit whose start/finish carries the task boundary. *)
+  let site_first = Array.make n_tasks (-1) in
+  let site_last = Array.make n_tasks (-1) in
+  (* Task units, in task-slot order. *)
+  Array.iter
+    (fun (slot : Schedule.task_slot) ->
+      let pe_id = Schedule.pe_of_slot slot in
+      let pe = Arch.pe arch pe_id in
+      if not (scaled_hw_pe pe) then begin
+        let rail =
+          if config.scale_software && Pe.is_software pe then Pe.rail pe else None
+        in
+        let rail_i =
+          match rail with Some r -> rail_index pe_id r | None -> -1
+        in
+        let id =
+          fresh ~task:slot.Schedule.task ~rail_i ~rail ~nominal:slot.Schedule.duration
+            ~power:(power_of slot.Schedule.task)
+            ~deadline:(deadline_of_task graph period slot.Schedule.task)
+        in
+        site_first.(slot.Schedule.task) <- id;
+        site_last.(slot.Schedule.task) <- id
+      end)
+    schedule.Schedule.task_slots;
+  (* Segment units per scaled hardware component, chained in place. *)
+  let seg_units = ref [] in
+  let seg_sites = ref [] in
+  let n_edges = ref 0 in
+  let add_edge a b =
+    if a <> b then begin
+      ws.e_src.(!n_edges) <- a;
+      ws.e_dst.(!n_edges) <- b;
+      incr n_edges
+    end
+  in
+  List.iter
+    (fun (pe_id, rail, slots, segs) ->
+      let rail_i = rail_index pe_id rail in
+      let first_id = !next in
+      List.iter
+        (fun (seg : Hw_transform.segment) ->
+          let seg_deadline =
+            List.fold_left
+              (fun acc task_id -> Float.min acc (deadline_of_task graph period task_id))
+              infinity seg.Hw_transform.finishing
+          in
+          let id =
+            fresh ~task:(-1) ~rail_i ~rail:(Some rail) ~nominal:seg.Hw_transform.duration
+              ~power:seg.Hw_transform.power ~deadline:seg_deadline
+          in
+          if id > first_id then add_edge (id - 1) id;
+          seg_units := (id, pe_id, seg) :: !seg_units)
+        segs;
+      List.iter
+        (fun (s : Schedule.task_slot) ->
+          let first = Hw_transform.first_segment_of segs s.Schedule.task in
+          let last = Hw_transform.last_segment_of segs s.Schedule.task in
+          site_first.(s.Schedule.task) <- first_id + first;
+          site_last.(s.Schedule.task) <- first_id + last;
+          seg_sites := (s.Schedule.task, first_id + last) :: !seg_sites)
+        slots)
+    hw_components;
+  (* Communication units, in scheduling order. *)
+  let comm_unit = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Schedule.comm_slot) ->
+      let id =
+        fresh ~task:(-1) ~rail_i:(-1) ~rail:None ~nominal:c.Schedule.duration ~power:0.0
+          ~deadline:period
+      in
+      Hashtbl.replace comm_unit (c.Schedule.edge.Graph.src, c.Schedule.edge.Graph.dst) id)
+    schedule.Schedule.comm_slots;
+  assert (!next = n);
+  (* Resource chains (task units) and link chains (comm units): sort the
+     members of each sequential resource by (start, id) and chain
+     consecutive ones — the same edges the reference derives from its
+     per-resource hash buckets. *)
+  let task_members = ref [] in
+  Array.iteri
+    (fun task_id (slot : Schedule.task_slot) ->
+      let id = site_first.(task_id) in
+      if id >= 0 && ws.u_task.(id) = task_id then
+        task_members := (slot.Schedule.resource, slot.Schedule.start, id) :: !task_members)
+    schedule.Schedule.task_slots;
+  let chain_resources members compare_key =
+    let members = Array.of_list members in
+    Array.sort
+      (fun (ka, sa, ia) (kb, sb, ib) ->
+        let c = compare_key ka kb in
+        if c <> 0 then c
+        else
+          let c = compare (sa : float) sb in
+          if c <> 0 then c else compare (ia : int) ib)
+      members;
+    for k = 1 to Array.length members - 1 do
+      let pk, _, prev = members.(k - 1) in
+      let ck, _, cur = members.(k) in
+      if compare_key pk ck = 0 then add_edge prev cur
+    done
+  in
+  chain_resources !task_members Resource.compare;
+  let comm_members = ref [] in
+  let comm_base = n - n_comms in
+  List.iteri
+    (fun k (c : Schedule.comm_slot) ->
+      comm_members := (c.Schedule.cl, c.Schedule.start, comm_base + k) :: !comm_members)
+    schedule.Schedule.comm_slots;
+  chain_resources !comm_members Int.compare;
+  (* Data edges. *)
+  List.iter
+    (fun (e : Graph.edge) ->
+      let producer = site_last.(e.src) in
+      let consumer = site_first.(e.dst) in
+      match Hashtbl.find_opt comm_unit (e.src, e.dst) with
+      | Some comm ->
+        add_edge producer comm;
+        add_edge comm consumer
+      | None -> add_edge producer consumer)
+    (Graph.edges graph);
+  (* CSR adjacency by counting sort. *)
+  let m = !n_edges in
+  for i = 0 to n do
+    ws.pred_off.(i) <- 0;
+    ws.succ_off.(i) <- 0
+  done;
+  for k = 0 to m - 1 do
+    ws.succ_off.(ws.e_src.(k) + 1) <- ws.succ_off.(ws.e_src.(k) + 1) + 1;
+    ws.pred_off.(ws.e_dst.(k) + 1) <- ws.pred_off.(ws.e_dst.(k) + 1) + 1
+  done;
+  for i = 1 to n do
+    ws.pred_off.(i) <- ws.pred_off.(i) + ws.pred_off.(i - 1);
+    ws.succ_off.(i) <- ws.succ_off.(i) + ws.succ_off.(i - 1)
+  done;
+  for i = 0 to n - 1 do
+    ws.scratch.(i) <- ws.succ_off.(i)
+  done;
+  for k = 0 to m - 1 do
+    let s = ws.e_src.(k) in
+    ws.succ_adj.(ws.scratch.(s)) <- ws.e_dst.(k);
+    ws.scratch.(s) <- ws.scratch.(s) + 1
+  done;
+  for i = 0 to n - 1 do
+    ws.scratch.(i) <- ws.pred_off.(i)
+  done;
+  for k = 0 to m - 1 do
+    let d = ws.e_dst.(k) in
+    ws.pred_adj.(ws.scratch.(d)) <- ws.e_src.(k);
+    ws.scratch.(d) <- ws.scratch.(d) + 1
+  done;
+  (* Kahn's algorithm with the topo array as the work queue; any valid
+     topological order yields the same pass fixpoints (max/min folds). *)
+  for i = 0 to n - 1 do
+    ws.scratch.(i) <- ws.pred_off.(i + 1) - ws.pred_off.(i)
+  done;
+  let tail = ref 0 in
+  for i = 0 to n - 1 do
+    if ws.scratch.(i) = 0 then begin
+      ws.topo.(!tail) <- i;
+      incr tail
+    end
+  done;
+  let head = ref 0 in
+  while !head < !tail do
+    let i = ws.topo.(!head) in
+    incr head;
+    for k = ws.succ_off.(i) to ws.succ_off.(i + 1) - 1 do
+      let j = ws.succ_adj.(k) in
+      ws.scratch.(j) <- ws.scratch.(j) - 1;
+      if ws.scratch.(j) = 0 then begin
+        ws.topo.(!tail) <- j;
+        incr tail
+      end
+    done
+  done;
+  assert (!tail = n) (* the schedule's time order rules out cycles *);
+  {
+    ws;
+    n;
+    rails = Array.of_list (List.rev !rail_list);
+    seg_units = !seg_units;
+    seg_sites = !seg_sites;
+  }
+
+let forward_flat d =
+  let ws = d.ws in
+  for k = 0 to d.n - 1 do
+    let u = ws.topo.(k) in
+    let ready = ref 0.0 in
+    for i = ws.pred_off.(u) to ws.pred_off.(u + 1) - 1 do
+      ready := Float.max !ready ws.u_finish.(ws.pred_adj.(i))
+    done;
+    ws.u_start.(u) <- !ready;
+    ws.u_finish.(u) <- !ready +. ws.u_dur.(u)
+  done
+
+let backward_flat d =
+  let ws = d.ws in
+  for k = d.n - 1 downto 0 do
+    let u = ws.topo.(k) in
+    let lft = ref infinity in
+    for i = ws.succ_off.(u) to ws.succ_off.(u + 1) - 1 do
+      let s = ws.succ_adj.(i) in
+      lft := Float.min !lft (ws.u_lft.(s) -. ws.u_dur.(s))
+    done;
+    ws.u_lft.(u) <- Float.min ws.u_deadline.(u) !lft
+  done
+
+let all_deadlines_met_flat d =
+  let ws = d.ws in
+  let ok = ref true in
+  for u = 0 to d.n - 1 do
+    if not (ws.u_finish.(u) <= ws.u_deadline.(u) +. 1e-9) then ok := false
+  done;
+  !ok
+
+(* Binary max-heap over candidate ratios (ties towards smaller unit ids;
+   the secondary order never affects the result — equal ratios always
+   land in the same epsilon window). *)
+let heap_before ws i j =
+  ws.cand_ratio.(i) > ws.cand_ratio.(j)
+  || (ws.cand_ratio.(i) = ws.cand_ratio.(j) && i < j)
+
+let heap_push ws size u =
+  let i = ref !size in
+  ws.heap.(!i) <- u;
+  incr size;
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if heap_before ws ws.heap.(!i) ws.heap.(parent) then begin
+      let tmp = ws.heap.(parent) in
+      ws.heap.(parent) <- ws.heap.(!i);
+      ws.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue_ := false
+  done
+
+let heap_pop ws size =
+  let top = ws.heap.(0) in
+  decr size;
+  if !size > 0 then begin
+    ws.heap.(0) <- ws.heap.(!size);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let best = ref !i in
+      if l < !size && heap_before ws ws.heap.(l) ws.heap.(!best) then best := l;
+      if r < !size && heap_before ws ws.heap.(r) ws.heap.(!best) then best := r;
+      if !best = !i then continue_ := false
+      else begin
+        let tmp = ws.heap.(!best) in
+        ws.heap.(!best) <- ws.heap.(!i);
+        ws.heap.(!i) <- tmp;
+        i := !best
+      end
+    done
+  end;
+  top
+
+(* The gradient candidate of a unit at its current voltage: the verbatim
+   reference expressions, cached until the unit's voltage changes. *)
+let compute_candidate ws rails u =
+  let rail = rails.(ws.u_rail.(u)) in
+  match Voltage.next_lower rail ws.u_voltage.(u) with
+  | None -> false
+  | Some v' ->
+    let added_delay =
+      ws.u_nominal.(u)
+      *. (Voltage.delay_factor rail v' -. Voltage.delay_factor rail ws.u_voltage.(u))
+    in
+    let energy_gain =
+      ws.u_power.(u) *. ws.u_nominal.(u)
+      *. (Voltage.energy_factor rail ws.u_voltage.(u) -. Voltage.energy_factor rail v')
+    in
+    ws.cand_v.(u) <- v';
+    ws.cand_delay.(u) <- added_delay;
+    ws.cand_gain.(u) <- energy_gain;
+    ws.cand_ratio.(u) <- (if added_delay > 0.0 then energy_gain /. added_delay else infinity);
+    true
+
+let rec insert_ascending id = function
+  | [] -> [ id ]
+  | x :: _ as l when id < x -> id :: l
+  | x :: tl -> x :: insert_ascending id tl
+
+let greedy_scale_flat d =
+  let ws = d.ws in
+  let rails = d.rails in
+  let size = ref 0 in
+  for u = 0 to d.n - 1 do
+    if ws.u_rail.(u) >= 0 && compute_candidate ws rails u then heap_push ws size u
+  done;
+  let continue_ = ref true in
+  while !continue_ do
+    backward_flat d;
+    (* Pop the epsilon window: every candidate not provably below the
+       collected minimum under the reference's chained 1e-15 epsilon.
+       Ineligible pops are discarded permanently (slack shrinks
+       monotonically while a unit's voltage — and hence its candidate —
+       is unchanged). *)
+    let collected = ref [] in
+    let min_ratio = ref nan in
+    let stop = ref false in
+    while (not !stop) && !size > 0 do
+      let top = ws.heap.(0) in
+      let r = ws.cand_ratio.(top) in
+      if !collected <> [] && r +. 1e-15 < !min_ratio && !min_ratio -. r > 1e-15 then
+        stop := true
+      else begin
+        ignore (heap_pop ws size);
+        let slack = ws.u_lft.(top) -. ws.u_finish.(top) in
+        if ws.cand_delay.(top) <= slack +. 1e-12 then begin
+          collected := insert_ascending top !collected;
+          min_ratio := r
+        end
+      end
+    done;
+    match !collected with
+    | [] -> continue_ := false
+    | first :: rest ->
+      (* Replay the reference fold over the window in ascending unit
+         order — its comparator is not transitive at epsilon scale, so
+         the winner depends on the scan order. *)
+      let best = ref first in
+      List.iter
+        (fun id ->
+          let best_ratio = ws.cand_ratio.(!best) and best_gain = ws.cand_gain.(!best) in
+          let ratio = ws.cand_ratio.(id) and energy_gain = ws.cand_gain.(id) in
+          if
+            ratio > best_ratio +. 1e-15
+            || (Float.abs (ratio -. best_ratio) <= 1e-15 && energy_gain > best_gain)
+          then best := id)
+        rest;
+      let best = !best in
+      if ws.cand_gain.(best) > 0.0 then begin
+        List.iter (fun id -> if id <> best then heap_push ws size id) !collected;
+        let rail = rails.(ws.u_rail.(best)) in
+        ws.u_voltage.(best) <- ws.cand_v.(best);
+        ws.u_dur.(best) <-
+          Voltage.scaled_time rail ~tmin:ws.u_nominal.(best) ws.u_voltage.(best);
+        if compute_candidate ws rails best then heap_push ws size best;
+        forward_flat d
+      end
+      else continue_ := false
+  done
+
+let even_slack_scale_flat d =
+  let ws = d.ws in
+  let levels = Array.map (fun r -> Array.of_list (Voltage.levels r)) d.rails in
+  let factors =
+    Array.mapi (fun i r -> Array.map (Voltage.delay_factor r) levels.(i)) d.rails
+  in
+  let slowest_within rail_i factor =
+    (* Last fitting level of the descending table = the reference's
+       fold over [Voltage.levels]; Vmax (factor 1) always fits. *)
+    let best = ref (Voltage.vmax d.rails.(rail_i)) in
+    Array.iteri
+      (fun k v -> if factors.(rail_i).(k) <= factor +. 1e-12 then best := v)
+      levels.(rail_i);
+    !best
+  in
+  let apply factor =
+    for u = 0 to d.n - 1 do
+      let rail_i = ws.u_rail.(u) in
+      if rail_i >= 0 then begin
+        let v = slowest_within rail_i factor in
+        ws.u_voltage.(u) <- v;
+        ws.u_dur.(u) <- Voltage.scaled_time d.rails.(rail_i) ~tmin:ws.u_nominal.(u) v
+      end
+    done
+  in
+  let feasible_at factor =
+    apply factor;
+    forward_flat d;
+    all_deadlines_met_flat d
+  in
+  let max_factor = ref 1.0 in
+  for u = 0 to d.n - 1 do
+    let rail_i = ws.u_rail.(u) in
+    if rail_i >= 0 then
+      max_factor :=
+        Float.max !max_factor (factors.(rail_i).(Array.length factors.(rail_i) - 1))
+  done;
+  let rec bisect lo hi k =
+    (* Invariant: lo feasible, hi not (or untested upper bound). *)
+    if k = 0 then lo
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if feasible_at mid then bisect mid hi (k - 1) else bisect lo mid (k - 1)
+  in
+  let best =
+    if feasible_at !max_factor then !max_factor else bisect 1.0 !max_factor 40
+  in
+  ignore (feasible_at best)
+
+let run ?(config = default_config) ?workspace ?dispatch ~graph ~arch ~tech ~schedule () =
+  Mm_obs.Probe.run p_run @@ fun () ->
+  let ws = match workspace with Some ws -> ws | None -> create_workspace () in
+  let d = build_flat ws ~config ~graph ~arch ~tech ~dispatch ~schedule in
+  forward_flat d;
+  let feasible = all_deadlines_met_flat d in
+  if feasible then begin
+    match config.strategy with
+    | Greedy_gradient -> greedy_scale_flat d
+    | Even_slack -> even_slack_scale_flat d
+  end;
+  let n_tasks = Graph.n_tasks graph in
+  let task_voltages = Array.make n_tasks nan in
+  let task_energy = Array.make n_tasks 0.0 in
+  let stretched_finish = Array.make n_tasks 0.0 in
+  for u = 0 to d.n - 1 do
+    let task_id = ws.u_task.(u) in
+    if task_id >= 0 then begin
+      let energy =
+        if ws.u_rail.(u) < 0 then ws.u_power.(u) *. ws.u_nominal.(u)
+        else
+          Voltage.scaled_energy d.rails.(ws.u_rail.(u)) ~pmax:ws.u_power.(u)
+            ~tmin:ws.u_nominal.(u) ws.u_voltage.(u)
+      in
+      task_energy.(task_id) <- energy;
+      stretched_finish.(task_id) <- ws.u_finish.(u);
+      task_voltages.(task_id) <-
+        (if ws.u_rail.(u) >= 0 then ws.u_voltage.(u)
+         else
+           let pe = Arch.pe arch (Schedule.pe_of_slot schedule.Schedule.task_slots.(task_id)) in
+           match Pe.rail pe with Some r -> Voltage.vmax r | None -> nan)
+    end
+  done;
+  let hw_segments =
+    List.rev_map
+      (fun (u, pe, seg) ->
+        {
+          pe;
+          segment = seg;
+          voltage = ws.u_voltage.(u);
+          scaled_duration = ws.u_dur.(u);
+          energy =
+            Voltage.scaled_energy d.rails.(ws.u_rail.(u)) ~pmax:ws.u_power.(u)
+              ~tmin:ws.u_nominal.(u) ws.u_voltage.(u);
+        })
+      d.seg_units
+  in
+  List.iter
+    (fun (task_id, last_unit) -> stretched_finish.(task_id) <- ws.u_finish.(last_unit))
+    d.seg_sites;
+  let comm_energy =
+    List.fold_left (fun acc (c : Schedule.comm_slot) -> acc +. c.Schedule.energy) 0.0
+      schedule.Schedule.comm_slots
+  in
+  (* Prorate segment energies onto their running tasks. *)
+  let power_of task_id =
+    let task = Graph.task graph task_id in
+    let pe = Arch.pe arch (Schedule.pe_of_slot schedule.Schedule.task_slots.(task_id)) in
+    match dispatch with
+    | Some dispatch -> (
+      match
+        Tech_lib.dispatch_find dispatch
+          ~ty_id:(Task_type.id (Task.ty task))
+          ~pe_id:(Pe.id pe)
+      with
+      | Some impl -> impl.Tech_lib.dyn_power
+      | None -> raise Not_found)
+    | None -> (Tech_lib.find_exn tech ~ty:(Task.ty task) ~pe).Tech_lib.dyn_power
+  in
+  List.iter
+    (fun hs ->
+      let seg = hs.segment in
+      let total_power = seg.Hw_transform.power in
+      if total_power > 0.0 then
+        List.iter
+          (fun task_id ->
+            let share = power_of task_id /. total_power in
+            task_energy.(task_id) <- task_energy.(task_id) +. (share *. hs.energy))
+          seg.Hw_transform.running;
+      (* Segment-resident tasks report the rail's nominal voltage in
+         task_voltages; the real (time-varying) voltages live in
+         hw_segments. *)
+      List.iter
+        (fun task_id ->
+          if Float.is_nan task_voltages.(task_id) then
+            task_voltages.(task_id) <-
+              (match Pe.rail (Arch.pe arch hs.pe) with
+              | Some r -> Voltage.vmax r
+              | None -> nan))
+        seg.Hw_transform.running)
+    hw_segments;
+  let total_task_energy = Array.fold_left ( +. ) 0.0 task_energy in
+  {
+    feasible;
+    task_voltages;
+    task_energy;
+    hw_segments;
+    comm_energy;
+    total_dyn_energy = total_task_energy +. comm_energy;
+    stretched_finish;
+  }
+
+let nominal ?workspace ?dispatch ~graph ~arch ~tech ~schedule () =
+  run
+    ~config:{ scale_software = false; scale_hardware = false; strategy = Greedy_gradient }
+    ?workspace ?dispatch ~graph ~arch ~tech ~schedule ()

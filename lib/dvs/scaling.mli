@@ -70,16 +70,35 @@ type t = {
           finishes for tasks on DVS hardware PEs). *)
 }
 
+type workspace
+(** Reusable scratch buffers for {!run}: flat unit/CSR arrays and the
+    gradient heap (DESIGN.md §13).  A workspace is not thread-safe; use
+    one per domain ({!Mm_cosynth.Spec.compiled} holds one in
+    domain-local storage).  Buffers grow on demand and are rebuilt on
+    every call, so a workspace may be shared freely across modes,
+    graphs and configs. *)
+
+val create_workspace : unit -> workspace
+
 val run :
   ?config:config ->
+  ?workspace:workspace ->
+  ?dispatch:Mm_arch.Tech_lib.dispatch ->
   graph:Mm_taskgraph.Graph.t ->
   arch:Mm_arch.Architecture.t ->
   tech:Mm_arch.Tech_lib.t ->
   schedule:Mm_sched.Schedule.t ->
   unit ->
   t
+(** Flat fast path: bit-identical to {!run_reference} (property-tested in
+    [test_dvs.ml]) but built on reusable flat arrays, cached per-unit
+    durations/gradients and a binary max-heap over gradient ratios.
+    [workspace] avoids per-call allocation; [dispatch] replaces the
+    O(log n) [Tech_lib.find_exn] power lookups with O(1) table hits. *)
 
 val nominal :
+  ?workspace:workspace ->
+  ?dispatch:Mm_arch.Tech_lib.dispatch ->
   graph:Mm_taskgraph.Graph.t ->
   arch:Mm_arch.Architecture.t ->
   tech:Mm_arch.Tech_lib.t ->
@@ -89,3 +108,24 @@ val nominal :
 (** The no-DVS evaluation: every activity at nominal voltage.  Shares the
     energy-accounting code with {!run} so DVS and non-DVS experiments are
     directly comparable. *)
+
+val run_reference :
+  ?config:config ->
+  graph:Mm_taskgraph.Graph.t ->
+  arch:Mm_arch.Architecture.t ->
+  tech:Mm_arch.Tech_lib.t ->
+  schedule:Mm_sched.Schedule.t ->
+  unit ->
+  t
+(** The seed implementation, kept verbatim as the bit-exactness oracle
+    for {!run} (same pattern as [List_scheduler.run_reference]): unit
+    DAG on lists, full O(units) scan per greedy step. *)
+
+val nominal_reference :
+  graph:Mm_taskgraph.Graph.t ->
+  arch:Mm_arch.Architecture.t ->
+  tech:Mm_arch.Tech_lib.t ->
+  schedule:Mm_sched.Schedule.t ->
+  unit ->
+  t
+(** {!nominal} via the reference pipeline. *)

@@ -12,6 +12,7 @@ let p_generation = Mm_obs.Probe.create "ga/generation"
 let m_generations = Metrics.counter "ga/generations"
 let m_evaluations = Metrics.counter "ga/evaluations"
 let m_cache_hits = Metrics.counter "ga/cache_hits"
+let m_delta_evaluations = Metrics.counter "ga/delta_evaluations"
 let s_best = Metrics.series "ga/best_fitness"
 let s_mean = Metrics.series "ga/mean_fitness"
 let s_diversity = Metrics.series "ga/diversity"
@@ -63,6 +64,8 @@ type 'info problem = {
   initial : int array list;
 }
 
+type 'info delta = parent:'info -> dirty:int list -> int array -> float * 'info
+
 type 'info eval_strategy =
   | Serial
   | Pooled of Pool.t
@@ -106,14 +109,21 @@ let ranking_weights n pressure =
    cached) cannot perturb the random stream — equal seeds give
    bit-identical runs at any domain count.  An impure evaluator opts out
    of both sharing (cache) and concurrency (pool); a 1-domain pool
-   degrades to the serial path. *)
+   degrades to the serial path.
+
+   Each batch item optionally carries a delta context — the parent's
+   ['info] plus the genes the child differs in — consumed by the
+   problem's [delta] evaluator when one is supplied.  A delta evaluator
+   must be bit-identical to [problem.evaluate] (the contract of
+   {!Engine.delta}), so cache lookups, duplicate folding and resumed
+   trajectories are unaffected by which path computed a result. *)
 type 'info batcher = {
-  batch : int array array -> 'info member array;
+  batch : (int array * ('info * int list) option) array -> 'info member array;
   evaluations : int ref;
   cache_hits : int ref;
 }
 
-let make_batcher problem strategy =
+let make_batcher ?delta problem strategy =
   let evaluations = ref 0 and cache_hits = ref 0 in
   let pool, cache =
     if not problem.pure then (None, None)
@@ -125,21 +135,35 @@ let make_batcher problem strategy =
       | Cached_pooled (p, c) ->
         ((if Pool.size p > 1 then Some p else None), Some c)
   in
-  let eval_misses genomes =
-    evaluations := !evaluations + Array.length genomes;
-    Metrics.incr ~by:(Array.length genomes) m_evaluations;
-    match pool with
-    | Some p -> Pool.map p problem.evaluate genomes
-    | None -> Array.map problem.evaluate genomes
+  let eval_one (genome, ctx) =
+    match (delta, ctx) with
+    | Some d, Some (parent, dirty) -> d ~parent ~dirty genome
+    | _ -> problem.evaluate genome
   in
-  let batch genomes =
-    let n = Array.length genomes in
+  let eval_misses items =
+    evaluations := !evaluations + Array.length items;
+    Metrics.incr ~by:(Array.length items) m_evaluations;
+    (match delta with
+    | None -> ()
+    | Some _ ->
+      let n_delta =
+        Array.fold_left
+          (fun acc (_, ctx) -> match ctx with Some _ -> acc + 1 | None -> acc)
+          0 items
+      in
+      if n_delta > 0 then Metrics.incr ~by:n_delta m_delta_evaluations);
+    match pool with
+    | Some p -> Pool.map p eval_one items
+    | None -> Array.map eval_one items
+  in
+  let batch items =
+    let n = Array.length items in
     match cache with
     | None ->
-      let results = eval_misses genomes in
+      let results = eval_misses items in
       Array.init n (fun i ->
           let fitness, info = results.(i) in
-          { genome = genomes.(i); fitness; info })
+          { genome = fst items.(i); fitness; info })
     | Some c ->
       let results = Array.make n None in
       (* Entries touched by this batch are pinned until the batch ends,
@@ -149,46 +173,48 @@ let make_batcher problem strategy =
       Fun.protect ~finally:(fun () -> Memo.unpin_all c) @@ fun () ->
       (* Misses in first-occurrence order; duplicate genomes within the
          batch (clones of a converged population) are folded onto one
-         evaluation and counted as cache hits. *)
+         evaluation — under the first occurrence's delta context — and
+         counted as cache hits. *)
       let misses = ref [] in
       Array.iteri
-        (fun i genome ->
+        (fun i (genome, ctx) ->
           match Memo.find ~pin:true c genome with
           | Some r ->
             incr cache_hits;
             Metrics.incr m_cache_hits;
             results.(i) <- Some r
           | None -> (
-            match List.find_opt (fun (g, _) -> g = genome) !misses with
+            match List.find_opt (fun ((g, _), _) -> g = genome) !misses with
             | Some (_, slots) ->
               incr cache_hits;
-            Metrics.incr m_cache_hits;
+              Metrics.incr m_cache_hits;
               slots := i :: !slots
-            | None -> misses := (genome, ref [ i ]) :: !misses))
-        genomes;
+            | None -> misses := ((genome, ctx), ref [ i ]) :: !misses))
+        items;
       let misses = Array.of_list (List.rev !misses) in
       let miss_results = eval_misses (Array.map fst misses) in
       Array.iteri
-        (fun j (genome, slots) ->
+        (fun j ((genome, _), slots) ->
           let r = miss_results.(j) in
           Memo.add ~pin:true c genome r;
           List.iter (fun i -> results.(i) <- Some r) !slots)
         misses;
       Array.init n (fun i ->
           match results.(i) with
-          | Some (fitness, info) -> { genome = genomes.(i); fitness; info }
+          | Some (fitness, info) -> { genome = fst items.(i); fitness; info }
           | None -> assert false)
   in
   { batch; evaluations; cache_hits }
 
-let run ?(config = default_config) ?(strategy = Serial) ?on_generation ?resume
-    ~rng problem =
+let run ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
+    ?resume ~rng problem =
   if Array.length problem.gene_counts = 0 then invalid_arg "Engine.run: empty genome";
   if config.population_size <= 0 then invalid_arg "Engine.run: non-positive population";
   Array.iter
     (fun c -> if c <= 0 then invalid_arg "Engine.run: empty gene alphabet")
     problem.gene_counts;
-  let batcher = make_batcher problem strategy in
+  let batcher = make_batcher ?delta problem strategy in
+  let full genomes = Array.map (fun g -> (g, None)) genomes in
   List.iter
     (fun genome ->
       if not (Genome.validate ~counts:problem.gene_counts genome) then
@@ -206,7 +232,7 @@ let run ?(config = default_config) ?(strategy = Serial) ?on_generation ?resume
             if i < Array.length seeded then Array.copy seeded.(i)
             else Genome.random rng ~counts:problem.gene_counts)
       in
-      let population = batcher.batch genomes in
+      let population = batcher.batch (full genomes) in
       Array.sort by_fitness population;
       let best = population.(0) in
       (rng, ref population, ref best, ref [ best.fitness ], ref 0, ref 0)
@@ -229,8 +255,9 @@ let run ?(config = default_config) ?(strategy = Serial) ?on_generation ?resume
       let stored_genome (g, _) = Array.copy g in
       let evaluated =
         batcher.batch
-          (Array.append (Array.map stored_genome ck.members)
-             [| stored_genome ck.best |])
+          (full
+             (Array.append (Array.map stored_genome ck.members)
+                [| stored_genome ck.best |]))
       in
       let restore m stored_fitness =
         if problem.pure
@@ -322,15 +349,24 @@ let run ?(config = default_config) ?(strategy = Serial) ?on_generation ?resume
        only then evaluated as one batch. *)
     let pending = ref [] in
     let n_offspring = ref n_elite in
-    let emit genome parent_info =
+    let emit genome parent =
       (* Improvement operators (paper lines 19-22) act on offspring with
          their configured rates, guided by parent evaluation feedback. *)
       List.iter
         (fun op ->
           if Prng.chance rng op.rate then
-            ignore (op.apply rng ~snapshot ~info:parent_info genome))
+            ignore (op.apply rng ~snapshot ~info:parent.info genome))
         problem.improvements;
-      pending := genome :: !pending;
+      (* The delta context is derived after the improvement operators so
+         the dirty set covers everything that touched the child.  The
+         diff consumes no randomness, so supplying [delta] does not
+         perturb the trajectory. *)
+      let ctx =
+        match delta with
+        | None -> None
+        | Some _ -> Some (parent.info, Genome.diff genome parent.genome)
+      in
+      pending := (genome, ctx) :: !pending;
       incr n_offspring
     in
     while !n_offspring < config.population_size do
@@ -343,14 +379,14 @@ let run ?(config = default_config) ?(strategy = Serial) ?on_generation ?resume
           child_a;
         Genome.point_mutate rng ~counts:problem.gene_counts ~rate:config.mutation_rate
           child_b;
-        emit child_a parent_a.info;
-        if !n_offspring < config.population_size then emit child_b parent_b.info
+        emit child_a parent_a;
+        if !n_offspring < config.population_size then emit child_b parent_b
       end
       else begin
         let child = Array.copy parent_a.genome in
         Genome.point_mutate rng ~counts:problem.gene_counts ~rate:config.mutation_rate
           child;
-        emit child parent_a.info
+        emit child parent_a
       end
     done;
     let children = batcher.batch (Array.of_list (List.rev !pending)) in

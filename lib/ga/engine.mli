@@ -84,6 +84,17 @@ type 'info problem = {
           [population_size] are used. *)
 }
 
+type 'info delta = parent:'info -> dirty:int list -> int array -> float * 'info
+(** Optional incremental evaluator: [delta ~parent ~dirty genome]
+    evaluates a child [genome] that differs from an already evaluated
+    parent (whose side data is [parent]) exactly at the ascending genome
+    positions [dirty].  MUST return float-bit-identical results to
+    [problem.evaluate genome] — the engine freely substitutes one for
+    the other (cache entries, duplicate folding, checkpoint resume all
+    assume it), so an inexact delta silently corrupts trajectories.
+    The engine derives [dirty] with {!Genome.diff} after crossover,
+    mutation and improvement operators have all run. *)
+
 type 'info eval_strategy =
   | Serial  (** Evaluate offspring one after another on the calling domain. *)
   | Pooled of Mm_parallel.Pool.t
@@ -136,6 +147,7 @@ type checkpoint = {
 val run :
   ?config:config ->
   ?strategy:'info eval_strategy ->
+  ?delta:'info delta ->
   ?on_generation:(checkpoint -> unit) ->
   ?resume:checkpoint ->
   rng:Mm_util.Prng.t ->
@@ -146,6 +158,12 @@ val run :
     independent of the strategy; see the determinism note above.  Raises
     [Invalid_argument] on an empty genome or a non-positive
     population.
+
+    [delta], when supplied, is used for offspring whose parent was
+    evaluated this run (initial populations and checkpoint restores
+    always take the full evaluator).  Because a {!delta} is contractually
+    bit-identical to [problem.evaluate], supplying it changes wall time
+    only, never the trajectory.
 
     [on_generation] is called at the end of every generation with a
     {!checkpoint} capturing the boundary state (genomes are copies; the

@@ -347,6 +347,246 @@ let test_hw_segment_energy_prorated () =
   in
   Alcotest.(check (float 1e-15)) "prorated share sums" segment_sum task_sum
 
+(* --- Heap fast path vs seed reference (float-bit equivalence) --------------- *)
+
+(* The flat heap implementation behind [Scaling.run] must reproduce the
+   seed's greedy choices — and hence every output float — bit for bit
+   (DESIGN.md §13).  Platforms are randomised over 1–4 PEs and rails of
+   1–4 discrete levels; both strategies and all config toggles are
+   exercised, plus the degenerate shapes (zero slack, single slot). *)
+
+let fuzz_count default =
+  match Option.bind (Sys.getenv_opt "MM_FUZZ_COUNT") int_of_string_opt with
+  | Some n -> n
+  | None -> default
+
+let bits = Int64.bits_of_float
+let float_bits_equal a b = bits a = bits b
+
+let farray_bits_equal a b =
+  Array.length a = Array.length b && Array.for_all2 float_bits_equal a b
+
+let results_bit_identical (a : Scaling.t) (b : Scaling.t) =
+  a.Scaling.feasible = b.Scaling.feasible
+  && farray_bits_equal a.Scaling.task_voltages b.Scaling.task_voltages
+  && farray_bits_equal a.Scaling.task_energy b.Scaling.task_energy
+  && farray_bits_equal a.Scaling.stretched_finish b.Scaling.stretched_finish
+  && float_bits_equal a.Scaling.comm_energy b.Scaling.comm_energy
+  && float_bits_equal a.Scaling.total_dyn_energy b.Scaling.total_dyn_energy
+  && List.length a.Scaling.hw_segments = List.length b.Scaling.hw_segments
+  && List.for_all2
+       (fun (x : Scaling.hw_segment) (y : Scaling.hw_segment) ->
+         x.Scaling.pe = y.Scaling.pe
+         && x.Scaling.segment = y.Scaling.segment
+         && float_bits_equal x.Scaling.voltage y.Scaling.voltage
+         && float_bits_equal x.Scaling.scaled_duration y.Scaling.scaled_duration
+         && float_bits_equal x.Scaling.energy y.Scaling.energy)
+       a.Scaling.hw_segments b.Scaling.hw_segments
+
+let random_rail rng =
+  (* 1–4 strictly descending levels, threshold well below Vmin. *)
+  let n_levels = 1 + Mm_util.Prng.int rng 4 in
+  let vmax = 1.8 +. Mm_util.Prng.float rng 0.8 in
+  let v = ref vmax in
+  let levels =
+    List.init n_levels (fun k ->
+        if k > 0 then v := !v -. (0.15 +. Mm_util.Prng.float rng 0.2);
+        !v)
+  in
+  Voltage.make ~levels ~threshold:(Mm_util.Prng.float rng 0.3)
+
+let random_platform rng =
+  let module Pe = Mm_arch.Pe in
+  let module Cl = Mm_arch.Cl in
+  let module Tech_lib = Mm_arch.Tech_lib in
+  let n_pes = 1 + Mm_util.Prng.int rng 4 in
+  let pes =
+    List.init n_pes (fun id ->
+        let name = Printf.sprintf "PE%d" id in
+        let hardware = id > 0 && Mm_util.Prng.bool rng in
+        if hardware then
+          if Mm_util.Prng.bool rng then
+            Pe.make ~id ~name ~kind:Pe.Asic ~static_power:1e-4 ~area_capacity:600.0
+              ~rail:(random_rail rng) ()
+          else Pe.make ~id ~name ~kind:Pe.Asic ~static_power:1e-4 ~area_capacity:600.0 ()
+        else if Mm_util.Prng.bool rng then
+          Pe.make ~id ~name ~kind:Pe.Gpp ~static_power:1e-3 ~rail:(random_rail rng) ()
+        else Pe.make ~id ~name ~kind:Pe.Gpp ~static_power:1e-3 ())
+  in
+  let cls =
+    if n_pes < 2 then []
+    else
+      [
+        Cl.make ~id:0 ~name:"BUS" ~connects:(List.init n_pes Fun.id)
+          ~time_per_data:(0.1e-3 +. Mm_util.Prng.float rng 1e-3)
+          ~transfer_power:0.05 ~static_power:1e-4;
+      ]
+  in
+  let arch = Arch.make ~name:"rand" ~pes ~cls in
+  let tech =
+    List.fold_left
+      (fun tech ty ->
+        List.fold_left
+          (fun tech pe ->
+            let hw = Pe.is_hardware pe in
+            let exec_time = (1.0 +. Mm_util.Prng.float rng 20.0) *. 1e-3 in
+            let exec_time = if hw then exec_time /. 8.0 else exec_time in
+            let dyn_power = 0.01 +. Mm_util.Prng.float rng 0.5 in
+            let impl =
+              if hw then
+                Tech_lib.impl ~exec_time ~dyn_power
+                  ~area:(50.0 +. Mm_util.Prng.float rng 120.0)
+                  ()
+              else Tech_lib.impl ~exec_time ~dyn_power ()
+            in
+            Tech_lib.add tech ~ty ~pe impl)
+          tech pes)
+      Tech_lib.empty [ F.ty_a; F.ty_b; F.ty_c ]
+  in
+  let dispatch = Tech_lib.dispatch tech ~n_types:3 ~n_pes in
+  (arch, tech, dispatch)
+
+let random_graph rng =
+  let n = 1 + Mm_util.Prng.int rng 7 in
+  let tys = [| F.ty_a; F.ty_b; F.ty_c |] in
+  let tasks =
+    Array.init n (fun id ->
+        let deadline =
+          if Mm_util.Prng.int rng 4 = 0 then
+            Some (0.02 +. Mm_util.Prng.float rng 0.3)
+          else None
+        in
+        F.task ?deadline id tys.(Mm_util.Prng.int rng 3))
+  in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Mm_util.Prng.int rng 100 < 35 then
+        edges := { Graph.src = i; dst = j; data = Mm_util.Prng.float rng 2.0 } :: !edges
+    done
+  done;
+  Graph.make ~name:"rand" ~tasks ~edges:!edges
+
+(* One shared workspace across all cases: buffer reuse (growth, stale
+   contents) is part of what the property must not be able to observe. *)
+let shared_ws = Scaling.create_workspace ()
+
+let random_config rng =
+  {
+    Scaling.scale_software = Mm_util.Prng.int rng 4 > 0;
+    scale_hardware = Mm_util.Prng.int rng 4 > 0;
+    strategy = (if Mm_util.Prng.bool rng then Scaling.Greedy_gradient else Scaling.Even_slack);
+  }
+
+let check_equivalence ?dispatch ~config ~graph ~arch ~tech ~schedule () =
+  let reference = Scaling.run_reference ~config ~graph ~arch ~tech ~schedule () in
+  let fast =
+    Scaling.run ~config ~workspace:shared_ws ?dispatch ~graph ~arch ~tech ~schedule ()
+  in
+  results_bit_identical reference fast
+
+let prop_heap_matches_reference =
+  QCheck.Test.make ~name:"flat heap scaling = reference, float-bit"
+    ~count:(fuzz_count 300) QCheck.small_int (fun seed ->
+      let rng = Mm_util.Prng.create ~seed in
+      let arch, tech, dispatch = random_platform rng in
+      let graph = random_graph rng in
+      let n_pes = Arch.n_pes arch in
+      let mapping = Array.init (Graph.n_tasks graph) (fun _ -> Mm_util.Prng.int rng n_pes) in
+      let inst = 1 + Mm_util.Prng.int rng 2 in
+      let period = 0.005 +. Mm_util.Prng.float rng 0.4 in
+      let sched =
+        List_scheduler.run
+          (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech ~mapping
+             ~instances:(fun ~pe:_ ~ty:_ -> inst)
+             ~period ())
+      in
+      let config = random_config rng in
+      let dispatch = if Mm_util.Prng.bool rng then Some dispatch else None in
+      check_equivalence ?dispatch ~config ~graph ~arch ~tech ~schedule:sched ())
+
+let prop_heap_matches_reference_zero_slack =
+  QCheck.Test.make ~name:"flat heap scaling = reference at zero slack"
+    ~count:(fuzz_count 150) QCheck.small_int (fun seed ->
+      let rng = Mm_util.Prng.create ~seed in
+      let arch, tech, dispatch = random_platform rng in
+      let graph = random_graph rng in
+      let n_pes = Arch.n_pes arch in
+      let mapping = Array.init (Graph.n_tasks graph) (fun _ -> Mm_util.Prng.int rng n_pes) in
+      let instances ~pe:_ ~ty:_ = 1 in
+      let loose =
+        List_scheduler.run
+          (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech ~mapping ~instances
+             ~period:10.0 ())
+      in
+      let nominal = Scaling.nominal_reference ~graph ~arch ~tech ~schedule:loose () in
+      let makespan =
+        Array.fold_left Float.max 0.0 nominal.Scaling.stretched_finish
+      in
+      (* Reschedule at exactly the makespan: every unit on the critical
+         path has zero slack. *)
+      let sched =
+        List_scheduler.run
+          (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech ~mapping ~instances
+             ~period:makespan ())
+      in
+      let config = random_config rng in
+      check_equivalence ~dispatch ~config ~graph ~arch ~tech ~schedule:sched ())
+
+let test_heap_matches_reference_single_slot () =
+  (* Single task on a single DVS PE: the smallest DAG the heap sees. *)
+  let rail = Mm_arch.Voltage.make ~levels:[ 2.0; 1.5; 1.0 ] ~threshold:0.0 in
+  let gpp =
+    Mm_arch.Pe.make ~id:0 ~name:"GPP0" ~kind:Mm_arch.Pe.Gpp ~static_power:0.0 ~rail ()
+  in
+  let arch = Arch.make ~name:"single" ~pes:[ gpp ] ~cls:[] in
+  let tech =
+    Mm_arch.Tech_lib.add Mm_arch.Tech_lib.empty ~ty:F.ty_a ~pe:gpp
+      (Mm_arch.Tech_lib.impl ~exec_time:10e-3 ~dyn_power:0.4 ())
+  in
+  let graph =
+    Mm_taskgraph.Graph.make ~name:"single" ~tasks:[| F.task 0 F.ty_a |] ~edges:[]
+  in
+  List.iter
+    (fun period ->
+      let sched =
+        Mm_sched.List_scheduler.run
+          (Mm_sched.List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech
+             ~mapping:[| 0 |]
+             ~instances:(fun ~pe:_ ~ty:_ -> 1)
+             ~period ())
+      in
+      List.iter
+        (fun strategy ->
+          let config = { Scaling.default_config with Scaling.strategy } in
+          Alcotest.(check bool)
+            (Printf.sprintf "single slot, period %g" period)
+            true
+            (check_equivalence ~config ~graph ~arch ~tech ~schedule:sched ()))
+        [ Scaling.Greedy_gradient; Scaling.Even_slack ])
+    [ 10e-3 (* zero slack *); 15e-3; 1.0 (* bottom level *); 5e-3 (* infeasible *) ]
+
+let prop_nominal_matches_reference =
+  QCheck.Test.make ~name:"flat nominal = reference nominal, float-bit"
+    ~count:(fuzz_count 100) QCheck.small_int (fun seed ->
+      let rng = Mm_util.Prng.create ~seed in
+      let arch, tech, _ = random_platform rng in
+      let graph = random_graph rng in
+      let n_pes = Arch.n_pes arch in
+      let mapping = Array.init (Graph.n_tasks graph) (fun _ -> Mm_util.Prng.int rng n_pes) in
+      let sched =
+        List_scheduler.run
+          (List_scheduler.make_input ~mode_id:0 ~graph ~arch ~tech ~mapping
+             ~instances:(fun ~pe:_ ~ty:_ -> 1)
+             ~period:(0.01 +. Mm_util.Prng.float rng 0.3)
+             ())
+      in
+      let reference = Scaling.nominal_reference ~graph ~arch ~tech ~schedule:sched () in
+      let fast =
+        Scaling.nominal ~workspace:shared_ws ~graph ~arch ~tech ~schedule:sched ()
+      in
+      results_bit_identical reference fast)
+
 (* --- Property: scaling never increases energy nor breaks deadlines -------- *)
 
 let prop_scaling_saves_energy_and_meets_deadlines =
@@ -414,6 +654,14 @@ let () =
           Alcotest.test_case "segments scaled" `Quick test_hw_component_scaled_through_segments;
           Alcotest.test_case "config disables hw" `Quick test_hw_scaling_disabled_by_config;
           Alcotest.test_case "energy prorated" `Quick test_hw_segment_energy_prorated;
+        ] );
+      ( "heap-vs-reference",
+        [
+          QCheck_alcotest.to_alcotest prop_heap_matches_reference;
+          QCheck_alcotest.to_alcotest prop_heap_matches_reference_zero_slack;
+          QCheck_alcotest.to_alcotest prop_nominal_matches_reference;
+          Alcotest.test_case "single-slot degenerates" `Quick
+            test_heap_matches_reference_single_slot;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_scaling_saves_energy_and_meets_deadlines ] );

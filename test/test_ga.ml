@@ -382,6 +382,160 @@ let prop_engine_result_valid =
       Genome.validate ~counts result.Engine.best_genome
       && result.Engine.best_fitness >= 0.0)
 
+(* --- Delta evaluation --------------------------------------------------------- *)
+
+module Fitness = Mm_cosynth.Fitness
+module Spec = Mm_cosynth.Spec
+module Scaling = Mm_dvs.Scaling
+
+let fuzz_count base =
+  match Option.bind (Sys.getenv_opt "MM_FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> base
+
+let bits = Int64.bits_of_float
+let float_bits_equal a b = bits a = bits b
+
+(* Every scalar the GA and the reporting layer consume, compared
+   bit-for-bit — the delta contract is exactness, not closeness. *)
+let evals_bit_identical (a : Fitness.eval) (b : Fitness.eval) =
+  float_bits_equal a.Fitness.fitness b.Fitness.fitness
+  && float_bits_equal a.Fitness.eval_power b.Fitness.eval_power
+  && float_bits_equal a.Fitness.true_power b.Fitness.true_power
+  && float_bits_equal a.Fitness.timing_factor b.Fitness.timing_factor
+  && float_bits_equal a.Fitness.area_factor b.Fitness.area_factor
+  && float_bits_equal a.Fitness.transition_factor b.Fitness.transition_factor
+  && float_bits_equal a.Fitness.routability_factor b.Fitness.routability_factor
+  && a.Fitness.timing_feasible = b.Fitness.timing_feasible
+  && a.Fitness.area_feasible = b.Fitness.area_feasible
+  && a.Fitness.transition_feasible = b.Fitness.transition_feasible
+  && a.Fitness.routable = b.Fitness.routable
+  && Array.length a.Fitness.mode_powers = Array.length b.Fitness.mode_powers
+  && Array.for_all2
+       (fun (p : Mm_energy.Power.mode_power) (q : Mm_energy.Power.mode_power) ->
+         p.Mm_energy.Power.mode_id = q.Mm_energy.Power.mode_id
+         && float_bits_equal p.Mm_energy.Power.dyn_power q.Mm_energy.Power.dyn_power
+         && float_bits_equal p.Mm_energy.Power.static_power
+              q.Mm_energy.Power.static_power)
+       a.Fitness.mode_powers b.Fitness.mode_powers
+
+(* point_mutate_tracked consumes the identical RNG stream as
+   point_mutate and reports exactly the positions that changed. *)
+let prop_tracked_mutation_matches_plain =
+  QCheck.Test.make ~name:"point_mutate_tracked ≡ point_mutate" ~count:300
+    QCheck.(triple small_int (int_range 1 40) (float_range 0.0 1.0))
+    (fun (seed, n, rate) ->
+      let counts = Array.init n (fun i -> 2 + (i mod 5)) in
+      let g = Genome.random (Prng.create ~seed) ~counts in
+      let rng_a = Prng.create ~seed:(seed + 1)
+      and rng_b = Prng.create ~seed:(seed + 1) in
+      let a = Array.copy g and b = Array.copy g in
+      Genome.point_mutate rng_a ~counts ~rate a;
+      let touched = Genome.point_mutate_tracked rng_b ~counts ~rate b in
+      a = b && Prng.state rng_a = Prng.state rng_b && touched = Genome.diff g b)
+
+let test_diff () =
+  Alcotest.(check (list int)) "positions ascending" [ 1; 3 ]
+    (Genome.diff [| 0; 1; 2; 3 |] [| 0; 2; 2; 0 |]);
+  Alcotest.(check (list int)) "identical" [] (Genome.diff [| 4; 5 |] [| 4; 5 |]);
+  match Genome.diff [| 0 |] [| 0; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted"
+
+(* The canonical delta-vs-full equivalence fuzz (ISSUE 6, DESIGN §13):
+   random fixture specs, random mutation chains through
+   [point_mutate_tracked], every step checked float-bit against the full
+   pipeline.  Low rates exercise the per-mode reuse path, high rates the
+   wide-dirty-set fallback; chaining feeds each delta result back in as
+   the next parent, so reused caches are themselves delta-produced. *)
+let delta_case seed =
+  let rng = Prng.create ~seed in
+  let graphs =
+    let all =
+      [|
+        Fixtures.chain_graph (); Fixtures.fork_graph (); Fixtures.parallel_graph ();
+      |]
+    in
+    List.init (1 + Prng.int rng 3) (fun _ -> all.(Prng.int rng 3))
+  in
+  let spec = Fixtures.spec_of_graphs ~dvs_gpp:(Prng.int rng 2 = 0) graphs in
+  let config =
+    {
+      Fitness.default_config with
+      Fitness.dvs =
+        (if Prng.int rng 2 = 0 then Fitness.Dvs Scaling.default_config
+         else Fitness.No_dvs);
+      weighting =
+        (if Prng.int rng 2 = 0 then Fitness.True_probabilities else Fitness.Uniform);
+    }
+  in
+  let counts = Spec.gene_counts spec in
+  let genome = Genome.random rng ~counts in
+  let current = ref genome in
+  let parent = ref (Fitness.evaluate config spec genome) in
+  let ok = ref true in
+  for _ = 1 to 3 do
+    let rate = [| 0.05; 0.2; 0.9 |].(Prng.int rng 3) in
+    let child = Array.copy !current in
+    let dirty = Genome.point_mutate_tracked rng ~counts ~rate child in
+    let via_delta = Fitness.evaluate_delta config spec ~parent:!parent ~dirty child in
+    let via_full = Fitness.evaluate config spec child in
+    if not (evals_bit_identical via_delta via_full) then ok := false;
+    parent := via_delta;
+    current := child
+  done;
+  !ok
+
+let prop_delta_matches_full =
+  QCheck.Test.make ~name:"delta ≡ full (float-bit)" ~count:(fuzz_count 500)
+    QCheck.small_int delta_case
+
+(* Engine-level: supplying a contract-satisfying delta changes neither
+   the trajectory nor the evaluation counts, under either strategy. *)
+let test_engine_delta_identical_trajectory () =
+  let evaluate g =
+    let s = Array.fold_left ( + ) 0 g in
+    (float_of_int s, (Array.copy g, s))
+  in
+  let problem =
+    {
+      Engine.gene_counts = Array.make 14 5;
+      evaluate;
+      pure = true;
+      improvements = [];
+      initial = [];
+    }
+  in
+  let delta_calls = ref 0 in
+  let delta ~parent:(pg, ps) ~dirty g =
+    incr delta_calls;
+    let s = List.fold_left (fun acc i -> acc + g.(i) - pg.(i)) ps dirty in
+    (float_of_int s, (Array.copy g, s))
+  in
+  let config = { Engine.default_config with max_generations = 30 } in
+  let plain = Engine.run ~config ~rng:(Prng.create ~seed:31) problem in
+  let with_delta = Engine.run ~config ~delta ~rng:(Prng.create ~seed:31) problem in
+  Alcotest.(check bool) "delta actually used" true (!delta_calls > 0);
+  Alcotest.(check (array int)) "genome" plain.Engine.best_genome
+    with_delta.Engine.best_genome;
+  Alcotest.(check (float 0.0)) "fitness" plain.Engine.best_fitness
+    with_delta.Engine.best_fitness;
+  Alcotest.(check int) "generations" plain.Engine.generations
+    with_delta.Engine.generations;
+  Alcotest.(check int) "evaluations" plain.Engine.evaluations
+    with_delta.Engine.evaluations;
+  Alcotest.(check (list (float 0.0))) "history" plain.Engine.history
+    with_delta.Engine.history;
+  let cached =
+    Engine.run ~config ~delta
+      ~strategy:(Engine.Cached (Memo.create ~capacity:512))
+      ~rng:(Prng.create ~seed:31) problem
+  in
+  Alcotest.(check (array int)) "cached genome" plain.Engine.best_genome
+    cached.Engine.best_genome;
+  Alcotest.(check (list (float 0.0))) "cached history" plain.Engine.history
+    cached.Engine.history
+
 (* --- Nsga2 -------------------------------------------------------------------- *)
 
 module Nsga2 = Mm_ga.Nsga2
@@ -514,6 +668,14 @@ let () =
           Alcotest.test_case "impure degrades to serial" `Quick
             test_impure_problem_degrades_to_serial;
           QCheck_alcotest.to_alcotest prop_strategies_agree;
+        ] );
+      ( "delta evaluation",
+        [
+          QCheck_alcotest.to_alcotest prop_tracked_mutation_matches_plain;
+          Alcotest.test_case "diff" `Quick test_diff;
+          QCheck_alcotest.to_alcotest prop_delta_matches_full;
+          Alcotest.test_case "engine trajectory unchanged" `Quick
+            test_engine_delta_identical_trajectory;
         ] );
       ( "nsga2",
         [
