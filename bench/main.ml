@@ -16,6 +16,7 @@
      parallel domain-pool speedup + eval-cache hit rates (BENCH_parallel.json)
      eval     compiled evaluation kernels before/after (BENCH_eval_kernel.json)
      soak     checkpoint/kill/resume recovery overhead (BENCH_soak.json)
+     serve    mmsynthd throughput and latency percentiles (BENCH_serve.json)
      kernels  Bechamel timings of the inner kernels *)
 
 module Table = Mm_util.Table
@@ -1147,6 +1148,174 @@ let kernels _options =
     tests;
   Table.print t
 
+(* --- serve: daemon load generator --------------------------------------------- *)
+
+(* Load-tests mmsynthd end to end: an in-process daemon on a Unix-domain
+   socket, >= 100 mixed-size submissions (mul1..mul6 round-robin, fresh
+   seeds), then every job watched to completion.  Three client-relevant
+   latencies come out as p50/p90/p99:
+
+     admission   submit round-trip measured at the client — how long a
+                 caller waits for an id while the scheduler is busy
+     first-gen   submission -> first generation event (daemon clock)
+     completion  submission -> terminal state (daemon clock)
+
+   plus end-to-end throughput.  Written to BENCH_serve.json. *)
+let serve options =
+  let module Job = Mm_serve.Job in
+  let module Protocol = Mm_serve.Protocol in
+  let module Server = Mm_serve.Server in
+  let module Client = Mm_serve.Client in
+  Format.printf "@.=== serve: daemon throughput and latency ===@.";
+  let n_jobs =
+    match options.runs with
+    | Some n -> max 1 n
+    | None -> if options.quick then 100 else 200
+  in
+  let job_options =
+    {
+      Job.default_options with
+      generations = (if options.quick then 6 else 15);
+      population = 8;
+      restarts = 1;
+    }
+  in
+  let base =
+    let d = Filename.get_temp_dir_name () in
+    if String.length d < 60 then d else "/tmp"
+  in
+  let dir = Filename.temp_file ~temp_dir:base "bench-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let socket = Filename.concat dir "bench.sock" in
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.run
+          {
+            Server.socket_path = socket;
+            tcp = None;
+            state_dir = Filename.concat dir "state";
+            pool_jobs = 1;
+            checkpoint_every = 10;
+          })
+  in
+  let rec wait_for_socket n =
+    if Sys.file_exists socket then ()
+    else if n = 0 then failwith "serve: daemon socket never appeared"
+    else (
+      Unix.sleepf 0.02;
+      wait_for_socket (n - 1))
+  in
+  wait_for_socket 250;
+  let specs =
+    Array.init 6 (fun i -> Mm_io.Codec.spec_to_string (Random_system.mul (i + 1)))
+  in
+  let client = Client.connect ~socket in
+  let admission = Array.make n_jobs 0.0 in
+  let ids = Array.make n_jobs "" in
+  let wall_start = Unix.gettimeofday () in
+  for i = 0 to n_jobs - 1 do
+    let spec_text = specs.(i mod Array.length specs) in
+    let req =
+      Protocol.Submit
+        { spec_text; options = { job_options with Job.seed = 1000 + i } }
+    in
+    let t0 = Unix.gettimeofday () in
+    match Client.request client req with
+    | Ok (Protocol.Accepted view) ->
+      admission.(i) <- Unix.gettimeofday () -. t0;
+      ids.(i) <- view.Protocol.v_id
+    | Ok _ | Error _ -> failwith "serve: submission refused"
+  done;
+  (* Watch each job to its terminal state; the final views carry every
+     daemon-side timestamp the latency distributions need. *)
+  let views =
+    Array.map
+      (fun id ->
+        match Client.watch client id ~on_event:(fun _ -> ()) with
+        | Ok view when view.Protocol.v_state = Job.Completed -> view
+        | Ok view ->
+          failwith
+            (Printf.sprintf "serve: %s ended %s" id
+               (Job.state_to_string view.Protocol.v_state))
+        | Error e -> failwith ("serve: watch " ^ id ^ ": " ^ e))
+      ids
+  in
+  let wall = Unix.gettimeofday () -. wall_start in
+  (match Client.request client Protocol.Shutdown with
+  | Ok Protocol.Done -> ()
+  | Ok _ | Error _ -> failwith "serve: shutdown refused");
+  Client.close client;
+  Domain.join daemon;
+  let rec rmtree path =
+    if Sys.is_directory path then (
+      Array.iter (fun f -> rmtree (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path)
+    else Sys.remove path
+  in
+  rmtree dir;
+  let stamp (view : Protocol.job_view) field =
+    match field view with
+    | Some t -> t -. view.Protocol.v_submitted_at
+    | None -> failwith "serve: completed job missing a timestamp"
+  in
+  let first_gen =
+    Array.map (fun v -> stamp v (fun v -> v.Protocol.v_first_generation_at)) views
+  in
+  let completion =
+    Array.map (fun v -> stamp v (fun v -> v.Protocol.v_finished_at)) views
+  in
+  let percentile samples q =
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  in
+  let ms v = 1000.0 *. v in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "%d submissions over %d spec sizes, wall %.2f s, %.1f jobs/s"
+           n_jobs (Array.length specs) wall (float_of_int n_jobs /. wall))
+      ~columns:[ "latency"; "p50 (ms)"; "p90 (ms)"; "p99 (ms)" ]
+  in
+  let row label samples =
+    Table.add_row t
+      [
+        label;
+        Printf.sprintf "%.2f" (ms (percentile samples 0.50));
+        Printf.sprintf "%.2f" (ms (percentile samples 0.90));
+        Printf.sprintf "%.2f" (ms (percentile samples 0.99));
+      ]
+  in
+  row "admission (client round-trip)" admission;
+  row "first generation" first_gen;
+  row "completion" completion;
+  Table.print t;
+  let json_path = "BENCH_serve.json" in
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"serve\",\n";
+  p "  \"quick\": %b,\n" options.quick;
+  p "  \"jobs\": %d,\n" n_jobs;
+  p "  \"spec_sizes\": %d,\n" (Array.length specs);
+  p "  \"wall_seconds\": %.3f,\n" wall;
+  p "  \"throughput_jobs_per_second\": %.3f,\n" (float_of_int n_jobs /. wall);
+  let field name samples last =
+    p "  \"%s_p50_ms\": %.3f,\n" name (ms (percentile samples 0.50));
+    p "  \"%s_p90_ms\": %.3f,\n" name (ms (percentile samples 0.90));
+    p "  \"%s_p99_ms\": %.3f%s\n" name (ms (percentile samples 0.99))
+      (if last then "" else ",")
+  in
+  field "admission" admission false;
+  field "first_generation" first_gen false;
+  field "completion" completion true;
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." json_path
+
 (* --- Driver -------------------------------------------------------------------- *)
 
 let () =
@@ -1162,7 +1331,10 @@ let () =
   let options, selected = parse { runs = None; quick = false; gate = false } [] args in
   let selected =
     if selected = [] then
-      [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "eval"; "soak"; "kernels" ]
+      [
+        "table1"; "table2"; "table3"; "ablation"; "parallel"; "eval"; "soak";
+        "serve"; "kernels";
+      ]
     else selected
   in
   let total_start = Sys.time () in
@@ -1177,11 +1349,12 @@ let () =
       | "parallel" -> parallel options
       | "eval" -> eval_kernel options
       | "soak" -> soak options
+      | "serve" -> serve options
       | "kernels" -> kernels options
       | other ->
         Format.printf
           "unknown experiment %S (expected \
-           table1|table2|table3|ablation|parallel|eval|soak|kernels)@."
+           table1|table2|table3|ablation|parallel|eval|soak|serve|kernels)@."
           other;
         exit 1)
     selected;

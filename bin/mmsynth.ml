@@ -160,7 +160,28 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Domains evaluating each GA generation in parallel (default 1 = serial). \
-           Results are identical at any job count; only wall-clock time changes.")
+           Results are identical at any job count; only wall-clock time changes. \
+           Clamped to the machine's cores unless $(b,--allow-oversubscribe) is \
+           given.")
+
+let allow_oversubscribe_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-oversubscribe" ]
+        ~doc:
+          "Permit $(b,--jobs) beyond the machine's cores.  Oversubscription \
+           consistently loses wall-clock time on this workload (see \
+           BENCH_parallel.json), so the default clamps.")
+
+let effective_jobs ~allow_oversubscribe jobs =
+  let clamped = Mm_parallel.Pool.clamp_jobs ~allow_oversubscribe jobs in
+  if clamped <> jobs then
+    Printf.eprintf
+      "mmsynth: clamping --jobs %d to %d (cores; pass --allow-oversubscribe to \
+       override)\n\
+       %!"
+      jobs clamped;
+  clamped
 
 let no_eval_cache_arg =
   Arg.(
@@ -456,11 +477,12 @@ let with_kill_switch ~kill_after save =
       incr written;
       if !written >= n then Unix.kill (Unix.getpid ()) Sys.sigkill
 
-let synth name force audit seed dvs uniform generations population jobs no_eval_cache
-    checkpoint checkpoint_every resume kill_after trace trace_jsonl trace_fine metrics
-    log_level =
+let synth name force audit seed dvs uniform generations population jobs
+    allow_oversubscribe no_eval_cache checkpoint checkpoint_every resume kill_after
+    trace trace_jsonl trace_fine metrics log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let* spec = spec_of_benchmark ~force name in
+  let jobs = effective_jobs ~allow_oversubscribe jobs in
   let config =
     config_of ~jobs ~no_eval_cache ~audit ~dvs ~uniform ~generations ~population ()
   in
@@ -506,8 +528,9 @@ let synth_cmd =
     Term.(
       term_result
         (const synth $ benchmark_arg $ force_arg $ audit_arg $ seed_arg $ dvs_arg
-       $ uniform_arg $ generations_arg $ population_arg $ jobs_arg $ no_eval_cache_arg
-       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ trace_arg
+       $ uniform_arg $ generations_arg $ population_arg $ jobs_arg
+       $ allow_oversubscribe_arg $ no_eval_cache_arg $ checkpoint_arg
+       $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ trace_arg
        $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
   in
   Cmd.v
@@ -518,10 +541,11 @@ let synth_cmd =
 (* --- compare ------------------------------------------------------------------ *)
 
 let compare_cmd_impl name force audit seed dvs runs generations population jobs
-    no_eval_cache checkpoint resume kill_after trace trace_jsonl trace_fine metrics
-    log_level =
+    allow_oversubscribe no_eval_cache checkpoint resume kill_after trace trace_jsonl
+    trace_fine metrics log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let* spec = spec_of_benchmark ~force name in
+  let jobs = effective_jobs ~allow_oversubscribe jobs in
   let ga =
     {
       Engine.default_config with
@@ -589,8 +613,9 @@ let compare_cmd =
       term_result
         (const compare_cmd_impl $ benchmark_arg $ force_arg $ audit_arg $ seed_arg
        $ dvs_arg $ runs_arg $ generations_arg $ population_arg $ jobs_arg
-       $ no_eval_cache_arg $ checkpoint_arg $ resume_arg $ kill_after_arg $ trace_arg
-       $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
+       $ allow_oversubscribe_arg $ no_eval_cache_arg $ checkpoint_arg $ resume_arg
+       $ kill_after_arg $ trace_arg $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg
+       $ log_level_arg))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -897,6 +922,194 @@ let simulate_cmd =
           usage trace.")
     term
 
+(* --- client (talk to a running mmsynthd) -------------------------------------- *)
+
+module Serve_client = Mm_serve.Client
+module Serve_protocol = Mm_serve.Protocol
+module Serve_job = Mm_serve.Job
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/mmsynthd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+
+let job_id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.")
+
+let with_client socket f =
+  match Serve_client.with_connection ~socket f with
+  | result -> result
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (`Msg
+        (Printf.sprintf "cannot reach mmsynthd at %s: %s" socket
+           (Unix.error_message e)))
+
+let print_view (v : Serve_protocol.job_view) =
+  let part name = function
+    | None -> ""
+    | Some x -> Printf.sprintf "  %s %.6g" name x
+  in
+  Printf.printf "%s  %-12s  restart %d  generation %d%s%s%s\n" v.v_id
+    (Serve_job.state_to_string v.v_state)
+    v.v_restart v.v_generation
+    (part "fitness" v.v_best_fitness)
+    (part "power" v.v_power)
+    (match v.v_error with None -> "" | Some e -> "  error: " ^ e)
+
+let unexpected response =
+  Error
+    (`Msg
+      (match response with
+      | Serve_protocol.Error_response { code; message } ->
+        Printf.sprintf "daemon refused: %s: %s" code message
+      | _ -> "unexpected response from the daemon"))
+
+let client_submit socket file seed dvs uniform generations population restarts
+    watch =
+  let* spec_text =
+    try Ok (Mm_io.Codec.read_file file) with Sys_error m -> Error (`Msg m)
+  in
+  let options =
+    { Serve_job.seed; generations; population; restarts; dvs; uniform }
+  in
+  with_client socket @@ fun c ->
+  match Serve_client.request c (Serve_protocol.Submit { spec_text; options }) with
+  | Error message -> Error (`Msg message)
+  | Ok (Serve_protocol.Rejected diags) ->
+    List.iter
+      (fun d -> print_endline (Serve_protocol.diag_to_string d))
+      diags;
+    Error (`Msg (Printf.sprintf "%s rejected" file))
+  | Ok (Serve_protocol.Accepted view) ->
+    print_view view;
+    if not watch then Ok ()
+    else begin
+      match
+        Serve_client.watch c view.Serve_protocol.v_id ~on_event:print_endline
+      with
+      | Error message -> Error (`Msg message)
+      | Ok final ->
+        print_view final;
+        Ok ()
+    end
+  | Ok other -> unexpected other
+
+let client_status socket id =
+  with_client socket @@ fun c ->
+  match Serve_client.request c (Serve_protocol.Status id) with
+  | Error message -> Error (`Msg message)
+  | Ok (Serve_protocol.Job_info view) ->
+    print_view view;
+    Ok ()
+  | Ok other -> unexpected other
+
+let client_cancel socket id =
+  with_client socket @@ fun c ->
+  match Serve_client.request c (Serve_protocol.Cancel id) with
+  | Error message -> Error (`Msg message)
+  | Ok Serve_protocol.Done ->
+    Printf.printf "%s: cancellation requested\n" id;
+    Ok ()
+  | Ok other -> unexpected other
+
+let client_list socket =
+  with_client socket @@ fun c ->
+  match Serve_client.request c Serve_protocol.List_jobs with
+  | Error message -> Error (`Msg message)
+  | Ok (Serve_protocol.Jobs views) ->
+    List.iter print_view views;
+    Ok ()
+  | Ok other -> unexpected other
+
+let client_watch socket id =
+  with_client socket @@ fun c ->
+  match Serve_client.watch c id ~on_event:print_endline with
+  | Error message -> Error (`Msg message)
+  | Ok final ->
+    print_view final;
+    Ok ()
+
+let client_ping socket =
+  with_client socket @@ fun c ->
+  match Serve_client.request c Serve_protocol.Ping with
+  | Ok Serve_protocol.Pong ->
+    print_endline "pong";
+    Ok ()
+  | Ok other -> unexpected other
+  | Error message -> Error (`Msg message)
+
+let client_shutdown socket =
+  with_client socket @@ fun c ->
+  match Serve_client.request c Serve_protocol.Shutdown with
+  | Ok Serve_protocol.Done ->
+    print_endline "daemon stopping (in-flight jobs stay checkpointed)";
+    Ok ()
+  | Ok other -> unexpected other
+  | Error message -> Error (`Msg message)
+
+let client_cmd =
+  let restarts_arg =
+    Arg.(
+      value & opt int Serve_job.default_options.Serve_job.restarts
+      & info [ "restarts" ] ~docv:"N" ~doc:"Independent GA restarts.")
+  in
+  let watch_flag =
+    Arg.(
+      value & flag
+      & info [ "watch" ] ~doc:"Stream the job's progress events until it finishes.")
+  in
+  let spec_file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"SPEC" ~doc:"Specification file (.mms) to submit.")
+  in
+  let submit =
+    Cmd.v
+      (Cmd.info "submit" ~doc:"Validate and enqueue a specification.")
+      Term.(
+        term_result
+          (const client_submit $ socket_arg $ spec_file_arg $ seed_arg $ dvs_arg
+         $ uniform_arg $ generations_arg $ population_arg $ restarts_arg
+         $ watch_flag))
+  in
+  let status =
+    Cmd.v
+      (Cmd.info "status" ~doc:"Show one job.")
+      Term.(term_result (const client_status $ socket_arg $ job_id_arg))
+  in
+  let cancel =
+    Cmd.v
+      (Cmd.info "cancel" ~doc:"Cancel a queued or running job.")
+      Term.(term_result (const client_cancel $ socket_arg $ job_id_arg))
+  in
+  let list =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List every job the daemon knows.")
+      Term.(term_result (const client_list $ socket_arg))
+  in
+  let watch =
+    Cmd.v
+      (Cmd.info "watch"
+         ~doc:"Stream a job's JSONL progress events until it finishes.")
+      Term.(term_result (const client_watch $ socket_arg $ job_id_arg))
+  in
+  let ping =
+    Cmd.v
+      (Cmd.info "ping" ~doc:"Check the daemon is alive.")
+      Term.(term_result (const client_ping $ socket_arg))
+  in
+  let shutdown =
+    Cmd.v
+      (Cmd.info "shutdown"
+         ~doc:"Stop the daemon, leaving in-flight jobs checkpointed on disk.")
+      Term.(term_result (const client_shutdown $ socket_arg))
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running mmsynthd.")
+    [ submit; status; cancel; list; watch; ping; shutdown ]
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -909,4 +1122,5 @@ let () =
           [
             show_cmd; check_cmd; synth_cmd; compare_cmd; anneal_cmd; pareto_cmd;
             frontier_cmd; robustness_cmd; gantt_cmd; simulate_cmd; export_cmd; dot_cmd;
+            client_cmd;
           ]))

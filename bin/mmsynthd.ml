@@ -1,0 +1,105 @@
+(* The mmsynthd daemon entrypoint: argument parsing and nothing else —
+   the event loop, job multiplexing and crash recovery all live in
+   Mm_serve.Server. *)
+
+open Cmdliner
+module Pool = Mm_parallel.Pool
+module Server = Mm_serve.Server
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/mmsynthd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt string "mmsynthd-state"
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Job state directory (per-job specs, metadata, checkpoints, event \
+           logs).  Restarting a daemon on an existing directory resumes every \
+           in-flight job from its last checkpoint.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains of the shared evaluation pool all jobs multiplex over \
+           (default 1 = evaluate on the scheduler domain).  Clamped to the \
+           machine's cores unless $(b,--allow-oversubscribe) is given.")
+
+let allow_oversubscribe_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-oversubscribe" ]
+        ~doc:
+          "Permit $(b,--jobs) beyond the machine's cores.  Oversubscription \
+           consistently loses wall-clock time on this workload, so it is \
+           opt-in.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt int Server.default_checkpoint_every
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Snapshot every running job's state every N GA generations.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Additionally listen on a TCP address, e.g. 127.0.0.1:7433.")
+
+let serve socket state_dir jobs allow_oversubscribe checkpoint_every tcp =
+  let tcp =
+    match tcp with
+    | None -> Ok None
+    | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+        let host = String.sub spec 0 i in
+        match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+        | Some port -> Ok (Some (host, port))
+        | None -> Error (`Msg ("invalid port in --tcp " ^ spec)))
+      | None -> Error (`Msg ("expected HOST:PORT in --tcp " ^ spec)))
+  in
+  match tcp with
+  | Error _ as e -> e
+  | Ok tcp ->
+    let pool_jobs = Pool.clamp_jobs ~allow_oversubscribe jobs in
+    if pool_jobs <> jobs then
+      Printf.eprintf
+        "mmsynthd: clamping --jobs %d to %d cores (pass --allow-oversubscribe \
+         to override)\n\
+         %!"
+        jobs pool_jobs;
+    Printf.printf "mmsynthd: listening on %s (state: %s, pool: %d)\n%!" socket
+      state_dir pool_jobs;
+    Server.run
+      {
+        Server.socket_path = socket;
+        tcp;
+        state_dir;
+        pool_jobs;
+        checkpoint_every = checkpoint_every;
+      };
+    Ok ()
+
+let () =
+  let term =
+    Term.(
+      term_result
+        (const serve $ socket_arg $ state_dir_arg $ jobs_arg
+       $ allow_oversubscribe_arg $ checkpoint_every_arg $ tcp_arg))
+  in
+  let info =
+    Cmd.info "mmsynthd" ~version:"1.0.0"
+      ~doc:
+        "Long-running multi-mode co-synthesis service: submit, watch and \
+         cancel jobs over a socket; survives kill -9 via per-job checkpoints."
+  in
+  exit (Cmd.eval (Cmd.v info term))

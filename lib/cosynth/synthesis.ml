@@ -57,6 +57,14 @@ type run_state = {
 
 type checkpoint_sink = { every : int; save : run_state -> unit }
 
+type progress = {
+  p_restart : int;
+  p_generation : int;
+  p_best_fitness : float;
+  p_evaluations : int;
+  p_cache_hits : int;
+}
+
 (* Everything that can change the synthesis trajectory for a given seed
    goes into the fingerprint; [jobs], [eval_cache] and [delta] are
    deliberately absent because the evaluation strategy never perturbs
@@ -218,7 +226,8 @@ let anchors spec =
   let all = match greedy_timing_anchor spec with Some g -> base @ [ g ] | None -> base in
   List.sort_uniq compare all
 
-let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
+let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
+    ~spec ~seed () =
   Mm_obs.Probe.run ~args:(fun () -> [ ("seed", string_of_int seed) ]) p_run
   @@ fun () ->
   let fingerprint = config_fingerprint config in
@@ -262,9 +271,20 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
   in
   (* One pool and one cache for the whole run: restarts re-inject the
      anchor genomes and re-converge over similar populations, so sharing
-     the cache across them is where many of the hits come from. *)
-  let pool = if config.jobs > 1 then Some (Pool.create ~domains:config.jobs ()) else None in
-  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
+     the cache across them is where many of the hits come from.  An
+     externally supplied pool (the daemon shares one across all jobs) is
+     used as-is and never shut down here — its owner may be multiplexing
+     other runs over it. *)
+  let owned_pool =
+    match pool with
+    | Some _ -> None
+    | None ->
+      if config.jobs > 1 then Some (Pool.create ~domains:config.jobs ())
+      else None
+  in
+  let pool = match pool with Some _ -> pool | None -> owned_pool in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown owned_pool)
+  @@ fun () ->
   let cache =
     (* An externally supplied cache (shared across runs by the experiment
        harness) wins over the per-run one; caching is exact, so sharing
@@ -350,20 +370,41 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
           match resume_ck with None -> Prng.split rng | Some _ -> rng
         in
         let outer_state = Prng.state rng in
+        (* Checkpoint persistence runs {e before} the yield callback: a
+           cooperative scheduler suspends (and may be SIGKILLed) inside
+           [yield], and the contract is that on-disk state is current at
+           every suspension point. *)
         let on_generation =
-          Option.map
-            (fun sink (ck : Engine.checkpoint) ->
-              if sink.every > 0 && ck.Engine.generation mod sink.every = 0 then
-                save_state sink
-                  {
-                    seed;
-                    fingerprint;
-                    next_restart = restart;
-                    completed = List.map fst !summaries;
-                    outer_rng = outer_state;
-                    engine = Some ck;
-                  })
-            checkpoint
+          match (checkpoint, yield) with
+          | None, None -> None
+          | _ ->
+            Some
+              (fun (ck : Engine.checkpoint) ->
+                (match checkpoint with
+                | Some sink
+                  when sink.every > 0 && ck.Engine.generation mod sink.every = 0
+                  ->
+                  save_state sink
+                    {
+                      seed;
+                      fingerprint;
+                      next_restart = restart;
+                      completed = List.map fst !summaries;
+                      outer_rng = outer_state;
+                      engine = Some ck;
+                    }
+                | Some _ | None -> ());
+                match yield with
+                | None -> ()
+                | Some f ->
+                  f
+                    {
+                      p_restart = restart;
+                      p_generation = ck.Engine.generation;
+                      p_best_fitness = snd ck.Engine.best;
+                      p_evaluations = ck.Engine.evaluations;
+                      p_cache_hits = ck.Engine.cache_hits;
+                    })
         in
         let result =
           Engine.run ~config:config.ga ~strategy ?delta ?on_generation
@@ -374,7 +415,7 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
               seed (restart + 1) restarts result.Engine.best_fitness
               result.Engine.generations);
         summaries := !summaries @ [ (summarize result, Some result.Engine.best_info) ];
-        match checkpoint with
+        (match checkpoint with
         | None -> ()
         | Some sink ->
           save_state sink
@@ -385,6 +426,20 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ~spec ~seed () =
               completed = List.map fst !summaries;
               outer_rng = Prng.state rng;
               engine = None;
+            });
+        (* One more suspension point between restarts, right after the
+           between-restart checkpoint: a cancel or crash here resumes
+           from restart + 1 with nothing lost. *)
+        match yield with
+        | None -> ()
+        | Some f ->
+          f
+            {
+              p_restart = restart;
+              p_generation = result.Engine.generations;
+              p_best_fitness = result.Engine.best_fitness;
+              p_evaluations = result.Engine.evaluations;
+              p_cache_hits = result.Engine.cache_hits;
             })
   done;
   let cpu_seconds = Sys.time () -. started in

@@ -130,6 +130,16 @@ type checkpoint_sink = {
     [every] generations and once after each completed restart; each call
     is wrapped in a [synthesis/checkpoint] probe span. *)
 
+type progress = {
+  p_restart : int;
+  p_generation : int;  (** Completed generations within that restart. *)
+  p_best_fitness : float;
+  p_evaluations : int;
+  p_cache_hits : int;
+}
+(** What the [yield] hook of {!run} sees at every generation boundary
+    (and once more after each completed restart). *)
+
 val config_fingerprint : config -> string
 (** A stable digest of every configuration field that can alter the
     synthesis trajectory for a given seed ([jobs] and [eval_cache] are
@@ -141,6 +151,8 @@ val run :
   ?cache:cache ->
   ?checkpoint:checkpoint_sink ->
   ?resume:run_state ->
+  ?yield:(progress -> unit) ->
+  ?pool:Mm_parallel.Pool.t ->
   spec:Spec.t ->
   seed:int ->
   unit ->
@@ -159,7 +171,19 @@ val run :
     [evaluations]/[cache_hits]/[cpu_seconds], which additionally count
     the restore work).  Raises [Invalid_argument] when the state's seed,
     configuration fingerprint, or restart bookkeeping does not match
-    this run. *)
+    this run.
+
+    [yield] is the cooperative-multiplexing hook: called after every
+    completed generation (after any due checkpoint has been persisted,
+    so on-disk state is current at every suspension point) and once
+    after each completed restart.  It may suspend the run arbitrarily
+    long — or never return, if the caller abandons the coroutine.  Like
+    [jobs], it never perturbs the trajectory and is absent from
+    {!config_fingerprint}.
+
+    [pool] makes evaluation batches run on an externally owned worker
+    pool instead of a run-private one; the run never shuts it down, so
+    one bounded pool can serve many multiplexed runs. *)
 
 val average_power : result -> float
 (** The result's average power under the true mode probabilities. *)

@@ -526,6 +526,19 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
+(* Unique per process *and* per write: concurrent jobs checkpointing
+   into sibling directories (or two daemons racing over one state dir)
+   can never collide on the temporary path before the rename. *)
+let tmp_counter = Atomic.make 0
+
+let write_file_atomic path contents =
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  write_file tmp contents;
+  Sys.rename tmp path
+
 let read_file path =
   let ic = open_in path in
   Fun.protect

@@ -50,6 +50,14 @@ val mapping_of_sexp : spec:Mm_cosynth.Spec.t -> Sexp.t -> Mm_cosynth.Mapping.t
 val write_file : string -> string -> unit
 (** [write_file path contents]. *)
 
+val write_file_atomic : string -> string -> unit
+(** Write-then-rename: readers see either the previous contents or the
+    new ones, never a torn file.  The temporary sibling's name carries
+    the pid and a process-wide counter, so concurrent writers — other
+    jobs of one daemon, or other processes sharing the directory — can
+    never collide on it before the rename.  An orphaned [*.tmp] after a
+    crash is inert and may be deleted freely. *)
+
 val read_file : string -> string
 
 val save_spec : path:string -> Mm_cosynth.Spec.t -> unit

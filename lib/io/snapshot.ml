@@ -233,14 +233,12 @@ let of_string ~spec text =
     | Failure message -> Error (Malformed message)
     | Sexp.Type_error { message; _ } -> Error (Malformed message))
 
-(* Write-then-rename: [rename] is atomic on POSIX, so a crash mid-write
+(* Write-then-rename ([Codec.write_file_atomic]): a crash mid-write
    leaves either the previous snapshot or the new one, never a torn
-   file.  The [.tmp] sibling may survive a crash; it is simply
-   overwritten by the next checkpoint. *)
+   file, and the pid+counter tmp names cannot collide across the
+   daemon's concurrent jobs.  A [*.tmp] orphaned by a crash is inert. *)
 let save ~path ~spec payload =
-  let tmp = path ^ ".tmp" in
-  Codec.write_file tmp (to_string ~spec payload);
-  Sys.rename tmp path
+  Codec.write_file_atomic path (to_string ~spec payload)
 
 let load ~path ~spec =
   match Codec.read_file path with

@@ -9,8 +9,9 @@
     does not match the given specification, with a typed {!error} (never
     an exception from the S-expression internals).
 
-    Writes are atomic (write to a [.tmp] sibling, then [rename]), so a
-    crash mid-checkpoint never corrupts the previous snapshot.
+    Writes are atomic ({!Codec.write_file_atomic}: a uniquely named
+    [.tmp] sibling, then [rename]), so a crash mid-checkpoint never
+    corrupts the previous snapshot and concurrent writers never collide.
 
     Format (S-expression, human-readable):
     {v
@@ -55,8 +56,9 @@ val of_string : spec:Mm_cosynth.Spec.t -> string -> (payload, error) result
     Total: every failure mode maps to an {!error}. *)
 
 val save : path:string -> spec:Mm_cosynth.Spec.t -> payload -> unit
-(** Atomically write the snapshot to [path] (via [path ^ ".tmp"] and
-    rename).  Raises [Sys_error] when the directory is not writable. *)
+(** Atomically write the snapshot to [path] (via
+    {!Codec.write_file_atomic}).  Raises [Sys_error] when the directory
+    is not writable. *)
 
 val load : path:string -> spec:Mm_cosynth.Spec.t -> (payload, error) result
 

@@ -125,6 +125,13 @@ let spawn_worker pool =
   let d = Domain.spawn (worker pool ~era:pool.era ~epoch0:pool.epoch ~exited) in
   { domain = d; exited }
 
+let clamp_jobs ?(allow_oversubscribe = false) requested =
+  let ceiling =
+    if allow_oversubscribe then max_domains
+    else min max_domains (Domain.recommended_domain_count ())
+  in
+  max 1 (min requested ceiling)
+
 let create ?domains ?(config = default_config) () =
   let requested =
     match domains with Some d -> d | None -> Domain.recommended_domain_count ()

@@ -78,6 +78,14 @@ type stats = {
   degraded : bool;  (** Whether the pool has fallen back to serial. *)
 }
 
+val clamp_jobs : ?allow_oversubscribe:bool -> int -> int
+(** The effective domain count for a requested [--jobs]: clamped to
+    [\[1, 64\]] and — unless [allow_oversubscribe] — to
+    [Domain.recommended_domain_count ()].  Oversubscribing cores never
+    helps this workload (the parallel bench records speedups below 1 and
+    degraded pools whenever jobs exceed cores), so callers opt into it
+    explicitly or not at all. *)
+
 val create : ?domains:int -> ?config:config -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains.  [domains]
     defaults to {!Domain.recommended_domain_count}; it is clamped to

@@ -1,0 +1,53 @@
+type t = { fd : Unix.file_descr; decoder : Protocol.Framing.decoder }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exn ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise exn);
+  { fd; decoder = Protocol.Framing.create () }
+
+let connect_tcp ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+    | Not_found -> Unix.inet_addr_loopback
+  in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+  | exn ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise exn);
+  { fd; decoder = Protocol.Framing.create () }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ~socket f =
+  let t = connect ~socket in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let receive t =
+  match Protocol.read_message t.fd t.decoder with
+  | Error err -> Error (Protocol.Framing.error_to_string err)
+  | Ok None -> Error "connection closed by the daemon"
+  | Ok (Some payload) -> Protocol.response_of_string payload
+
+let request t req =
+  match Protocol.write_message t.fd (Protocol.request_to_string req) with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | () -> receive t
+
+let watch t id ~on_event =
+  match request t (Protocol.Watch id) with
+  | Error _ as e -> e
+  | Ok first ->
+    let rec loop = function
+      | Protocol.Event line ->
+        on_event line;
+        Result.bind (receive t) loop
+      | Protocol.Job_info view -> Ok view
+      | Protocol.Error_response { code; message } ->
+        Error (Printf.sprintf "%s: %s" code message)
+      | _ -> Error "unexpected response while watching"
+    in
+    loop first

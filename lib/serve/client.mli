@@ -1,0 +1,27 @@
+(** A blocking mmsynthd client: one connection, synchronous
+    request/response, and a pull-style [watch] stream.  Used by the
+    [mmsynth client] subcommands, the load-generator bench and the
+    crash-recovery smoke test. *)
+
+type t
+
+val connect : socket:string -> t
+(** Connect to the daemon's Unix-domain socket.  Raises
+    [Unix.Unix_error] when the daemon is not there. *)
+
+val connect_tcp : host:string -> port:int -> t
+
+val close : t -> unit
+
+val with_connection : socket:string -> (t -> 'a) -> 'a
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and wait for its response.  [Error] on protocol
+    violations or a dropped connection — never an exception for wire
+    content. *)
+
+val watch :
+  t -> string -> on_event:(string -> unit) -> (Protocol.job_view, string) result
+(** Subscribe to a job: [on_event] receives every JSONL line (replayed
+    history first, then live), and the call returns with the job's
+    final view once it reaches a terminal state. *)

@@ -1,0 +1,235 @@
+module Sexp = Mm_io.Sexp
+
+type state = Queued | Running | Checkpointed | Completed | Failed | Cancelled
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Checkpointed -> "checkpointed"
+  | Completed -> "completed"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+let state_of_string = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "checkpointed" -> Some Checkpointed
+  | "completed" -> Some Completed
+  | "failed" -> Some Failed
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+let terminal = function
+  | Completed | Failed | Cancelled -> true
+  | Queued | Running | Checkpointed -> false
+
+(* The lifecycle edge relation.  [Running <-> Checkpointed] cycles while
+   the scheduler snapshots an in-flight run; everything non-terminal can
+   be cancelled; only an active run can complete or fail. *)
+let legal ~from ~to_ =
+  match (from, to_) with
+  | Queued, (Running | Cancelled) -> true
+  | Running, (Checkpointed | Completed | Failed | Cancelled) -> true
+  | Checkpointed, (Running | Completed | Failed | Cancelled) -> true
+  | (Queued | Running | Checkpointed | Completed | Failed | Cancelled), _ -> false
+
+type options = {
+  seed : int;
+  generations : int;
+  population : int;
+  restarts : int;
+  dvs : bool;
+  uniform : bool;
+}
+
+let default_options =
+  {
+    seed = 1;
+    generations = Mm_ga.Engine.default_config.Mm_ga.Engine.max_generations;
+    population = Mm_ga.Engine.default_config.Mm_ga.Engine.population_size;
+    restarts = 2;
+    dvs = false;
+    uniform = false;
+  }
+
+type outcome = {
+  power : float;
+  fitness : float;
+  generations : int;
+  evaluations : int;
+  genome : int array;
+}
+
+type t = {
+  id : string;
+  seq : int;
+  options : options;
+  spec_fingerprint : string;
+  mutable state : state;
+  mutable restart : int;
+  mutable generation : int;
+  mutable best_fitness : float option;
+  mutable outcome : outcome option;
+  mutable error : string option;
+  mutable submitted_at : float;
+  mutable started_at : float option;
+  mutable first_generation_at : float option;
+  mutable finished_at : float option;
+}
+
+let create ~seq ~options ~spec_fingerprint ~now =
+  {
+    id = Printf.sprintf "job-%04d" seq;
+    seq;
+    options;
+    spec_fingerprint;
+    state = Queued;
+    restart = 0;
+    generation = 0;
+    best_fitness = None;
+    outcome = None;
+    error = None;
+    submitted_at = now;
+    started_at = None;
+    first_generation_at = None;
+    finished_at = None;
+  }
+
+let transition t to_ =
+  if legal ~from:t.state ~to_ then begin
+    t.state <- to_;
+    Ok ()
+  end
+  else
+    Error
+      (Printf.sprintf "%s: illegal transition %s -> %s" t.id
+         (state_to_string t.state) (state_to_string to_))
+
+(* --- metadata codec ---------------------------------------------------
+
+   The same conventions as Mm_io.Snapshot: floats through [Sexp.float]
+   (bit-exact round trips), optional fields simply absent, and a total
+   decoder that maps every shape mismatch to [Error]. *)
+
+let float_opt_fields name = function
+  | None -> []
+  | Some v -> [ Sexp.field name [ Sexp.float v ] ]
+
+let options_to_fields o =
+  [
+    Sexp.field "seed" [ Sexp.int o.seed ];
+    Sexp.field "generations" [ Sexp.int o.generations ];
+    Sexp.field "population" [ Sexp.int o.population ];
+    Sexp.field "restarts" [ Sexp.int o.restarts ];
+    Sexp.field "dvs" [ Sexp.atom (string_of_bool o.dvs) ];
+    Sexp.field "uniform" [ Sexp.atom (string_of_bool o.uniform) ];
+  ]
+
+let to_sexp t =
+  Sexp.List
+    ([
+       Sexp.atom "mmsynthd-job";
+       Sexp.field "id" [ Sexp.atom t.id ];
+       Sexp.field "seq" [ Sexp.int t.seq ];
+       Sexp.field "state" [ Sexp.atom (state_to_string t.state) ];
+       Sexp.field "spec" [ Sexp.atom t.spec_fingerprint ];
+       Sexp.field "options" (options_to_fields t.options);
+       Sexp.field "restart" [ Sexp.int t.restart ];
+       Sexp.field "generation" [ Sexp.int t.generation ];
+       Sexp.field "submitted-at" [ Sexp.float t.submitted_at ];
+     ]
+    @ float_opt_fields "best-fitness" t.best_fitness
+    @ float_opt_fields "started-at" t.started_at
+    @ float_opt_fields "first-generation-at" t.first_generation_at
+    @ float_opt_fields "finished-at" t.finished_at
+    @ (match t.error with
+      | None -> []
+      | Some message -> [ Sexp.field "error" [ Sexp.atom message ] ])
+    @
+    match t.outcome with
+    | None -> []
+    | Some r ->
+      [
+        Sexp.field "outcome"
+          [
+            Sexp.field "power" [ Sexp.float r.power ];
+            Sexp.field "fitness" [ Sexp.float r.fitness ];
+            Sexp.field "generations" [ Sexp.int r.generations ];
+            Sexp.field "evaluations" [ Sexp.int r.evaluations ];
+            Sexp.field "genome" (List.map Sexp.int (Array.to_list r.genome));
+          ];
+      ])
+
+let one name fields =
+  match Sexp.assoc name fields with
+  | [ v ] -> v
+  | _ -> failwith (name ^ ": expected exactly one value")
+
+let as_bool s =
+  match bool_of_string_opt (Sexp.as_atom s) with
+  | Some b -> b
+  | None -> failwith "expected true or false"
+
+let options_of_fields o =
+  {
+    seed = Sexp.as_int (one "seed" o);
+    generations = Sexp.as_int (one "generations" o);
+    population = Sexp.as_int (one "population" o);
+    restarts = Sexp.as_int (one "restarts" o);
+    dvs = as_bool (one "dvs" o);
+    uniform = as_bool (one "uniform" o);
+  }
+
+let of_sexp sexp =
+  try
+    let fields =
+      match sexp with
+      | Sexp.List (Sexp.Atom "mmsynthd-job" :: fields) -> fields
+      | _ -> failwith "not an mmsynthd-job"
+    in
+    let opt name f =
+      match Sexp.assoc_opt name fields with
+      | None -> None
+      | Some [ v ] -> Some (f v)
+      | Some _ -> failwith (name ^ ": expected exactly one value")
+    in
+    let options = options_of_fields (Sexp.assoc "options" fields) in
+    let state =
+      match state_of_string (Sexp.as_atom (one "state" fields)) with
+      | Some s -> s
+      | None -> failwith "unknown job state"
+    in
+    let outcome =
+      match Sexp.assoc_opt "outcome" fields with
+      | None -> None
+      | Some r ->
+        Some
+          {
+            power = Sexp.as_float (one "power" r);
+            fitness = Sexp.as_float (one "fitness" r);
+            generations = Sexp.as_int (one "generations" r);
+            evaluations = Sexp.as_int (one "evaluations" r);
+            genome =
+              Array.of_list (List.map Sexp.as_int (Sexp.assoc "genome" r));
+          }
+    in
+    Ok
+      {
+        id = Sexp.as_atom (one "id" fields);
+        seq = Sexp.as_int (one "seq" fields);
+        options;
+        spec_fingerprint = Sexp.as_atom (one "spec" fields);
+        state;
+        restart = Sexp.as_int (one "restart" fields);
+        generation = Sexp.as_int (one "generation" fields);
+        best_fitness = opt "best-fitness" Sexp.as_float;
+        outcome;
+        error = opt "error" Sexp.as_atom;
+        submitted_at = Sexp.as_float (one "submitted-at" fields);
+        started_at = opt "started-at" Sexp.as_float;
+        first_generation_at = opt "first-generation-at" Sexp.as_float;
+        finished_at = opt "finished-at" Sexp.as_float;
+      }
+  with
+  | Failure message -> Error message
+  | Sexp.Type_error { message; _ } -> Error message

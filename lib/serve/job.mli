@@ -1,0 +1,97 @@
+(** One synthesis job inside the daemon: identity, submission options,
+    lifecycle state machine and the on-disk metadata codec.
+
+    {2 Lifecycle}
+
+    {v
+                 submit
+                   |
+                   v
+    +--------+  start   +---------+  snapshot   +--------------+
+    | queued | -------> | running | ----------> | checkpointed |
+    +--------+          +---------+ <---------- +--------------+
+        |                 |  |  |     continue     |  |  |
+        |                 |  |  +-----------+      |  |  |
+        |          +------+  +----------+   |      |  |  |
+        v          v                    v   v      v  v  |
+    +-----------+  +-----------+      +--------+  +------+-+
+    | cancelled |  | completed |      | failed |  (same three)
+    +-----------+  +-----------+      +--------+
+    v}
+
+    [Checkpointed] is the state a job's {e persisted} metadata carries
+    while a snapshot of its synthesis state exists on disk: a daemon
+    killed with [SIGKILL] finds its in-flight jobs in [Checkpointed]
+    (or [Running], if the kill landed before the first snapshot) and
+    resumes them.  [Completed], [Failed] and [Cancelled] are terminal.
+
+    Every state change goes through {!transition}, which returns a typed
+    error on an illegal move — the registry never corrupts a lifecycle,
+    and the state machine is testable in isolation. *)
+
+type state = Queued | Running | Checkpointed | Completed | Failed | Cancelled
+
+val state_to_string : state -> string
+val state_of_string : string -> state option
+val terminal : state -> bool
+
+val legal : from:state -> to_:state -> bool
+(** The edge relation of the diagram above. *)
+
+type options = {
+  seed : int;
+  generations : int;  (** GA generation limit per restart. *)
+  population : int;
+  restarts : int;
+  dvs : bool;
+  uniform : bool;  (** Optimise with uniform mode weights (baseline arm). *)
+}
+(** The trajectory-relevant knobs a client may set at submission; they
+    are persisted with the job so a restarted daemon rebuilds the exact
+    same {!Mm_cosynth.Synthesis.config} (and hence fingerprint) for
+    resume. *)
+
+val default_options : options
+
+val options_to_fields : options -> Mm_io.Sexp.t list
+val options_of_fields : Mm_io.Sexp.t list -> options
+(** Shared with the wire protocol's [submit] body.  [of_fields] raises
+    [Failure] or {!Mm_io.Sexp.Type_error} on malformed input; total
+    callers wrap it. *)
+
+type outcome = {
+  power : float;  (** Average power under the true probabilities (W). *)
+  fitness : float;
+  generations : int;
+  evaluations : int;
+  genome : int array;
+}
+(** What a completed job retains of its {!Mm_cosynth.Synthesis.result}. *)
+
+type t = {
+  id : string;  (** ["job-%04d"] of [seq]; stable across daemon restarts. *)
+  seq : int;  (** Submission order, the scheduler's admission order. *)
+  options : options;
+  spec_fingerprint : string;  (** {!Mm_io.Snapshot.fingerprint} of the spec. *)
+  mutable state : state;
+  mutable restart : int;  (** Restart index last reported by the run. *)
+  mutable generation : int;  (** Generations completed in that restart. *)
+  mutable best_fitness : float option;
+  mutable outcome : outcome option;  (** Present iff [state = Completed]. *)
+  mutable error : string option;  (** Present iff [state = Failed]. *)
+  mutable submitted_at : float;  (** [Unix.gettimeofday] timestamps; *)
+  mutable started_at : float option;  (** [0.]/[None] when unknown. *)
+  mutable first_generation_at : float option;
+  mutable finished_at : float option;
+}
+
+val create : seq:int -> options:options -> spec_fingerprint:string -> now:float -> t
+
+val transition : t -> state -> (unit, string) result
+(** Move the job to a new state; [Error] (with an unchanged job) when
+    {!legal} forbids the edge. *)
+
+val to_sexp : t -> Mm_io.Sexp.t
+val of_sexp : Mm_io.Sexp.t -> (t, string) result
+(** Total: every malformed shape maps to [Error].  Floats round-trip
+    bit-exactly (they go through {!Mm_io.Sexp.float}). *)

@@ -1,0 +1,403 @@
+module Sexp = Mm_io.Sexp
+
+let version = 1
+
+type job_view = {
+  v_id : string;
+  v_seq : int;
+  v_state : Job.state;
+  v_spec_fingerprint : string;
+  v_restart : int;
+  v_generation : int;
+  v_best_fitness : float option;
+  v_power : float option;
+  v_error : string option;
+  v_submitted_at : float;
+  v_started_at : float option;
+  v_first_generation_at : float option;
+  v_finished_at : float option;
+}
+
+let view (job : Job.t) =
+  {
+    v_id = job.id;
+    v_seq = job.seq;
+    v_state = job.state;
+    v_spec_fingerprint = job.spec_fingerprint;
+    v_restart = job.restart;
+    v_generation = job.generation;
+    v_best_fitness = job.best_fitness;
+    v_power = Option.map (fun (o : Job.outcome) -> o.power) job.outcome;
+    v_error = job.error;
+    v_submitted_at = job.submitted_at;
+    v_started_at = job.started_at;
+    v_first_generation_at = job.first_generation_at;
+    v_finished_at = job.finished_at;
+  }
+
+type request =
+  | Submit of { spec_text : string; options : Job.options }
+  | Status of string
+  | Cancel of string
+  | List_jobs
+  | Watch of string
+  | Ping
+  | Shutdown
+
+type diag = {
+  d_code : string;
+  d_severity : string;
+  d_path : string;
+  d_message : string;
+  d_pos : (int * int) option;
+}
+
+let diag_of_validate (d : Mm_cosynth.Validate.diag) =
+  {
+    d_code = d.code;
+    d_severity =
+      (match d.severity with
+      | Mm_cosynth.Validate.Error -> "error"
+      | Mm_cosynth.Validate.Warning -> "warning");
+    d_path = d.path;
+    d_message = d.message;
+    d_pos = d.pos;
+  }
+
+let diag_to_string d =
+  let pos =
+    match d.d_pos with
+    | None -> ""
+    | Some (line, column) -> Printf.sprintf "%d:%d: " line column
+  in
+  Printf.sprintf "%s%s %s: %s (%s)" pos d.d_code d.d_path d.d_message
+    d.d_severity
+
+type response =
+  | Accepted of job_view
+  | Rejected of diag list
+  | Job_info of job_view
+  | Jobs of job_view list
+  | Event of string
+  | Done
+  | Pong
+  | Error_response of { code : string; message : string }
+
+(* --- sexp bodies ------------------------------------------------------- *)
+
+let float_opt_fields name = function
+  | None -> []
+  | Some v -> [ Sexp.field name [ Sexp.float v ] ]
+
+let view_to_sexp v =
+  Sexp.List
+    ([
+       Sexp.atom "job";
+       Sexp.field "id" [ Sexp.atom v.v_id ];
+       Sexp.field "seq" [ Sexp.int v.v_seq ];
+       Sexp.field "state" [ Sexp.atom (Job.state_to_string v.v_state) ];
+       Sexp.field "spec" [ Sexp.atom v.v_spec_fingerprint ];
+       Sexp.field "restart" [ Sexp.int v.v_restart ];
+       Sexp.field "generation" [ Sexp.int v.v_generation ];
+       Sexp.field "submitted-at" [ Sexp.float v.v_submitted_at ];
+     ]
+    @ float_opt_fields "best-fitness" v.v_best_fitness
+    @ float_opt_fields "power" v.v_power
+    @ (match v.v_error with
+      | None -> []
+      | Some e -> [ Sexp.field "error" [ Sexp.atom e ] ])
+    @ float_opt_fields "started-at" v.v_started_at
+    @ float_opt_fields "first-generation-at" v.v_first_generation_at
+    @ float_opt_fields "finished-at" v.v_finished_at)
+
+let one name fields =
+  match Sexp.assoc name fields with
+  | [ v ] -> v
+  | _ -> failwith (name ^ ": expected exactly one value")
+
+let opt_one name fields f =
+  match Sexp.assoc_opt name fields with
+  | None -> None
+  | Some [ v ] -> Some (f v)
+  | Some _ -> failwith (name ^ ": expected exactly one value")
+
+let view_of_sexp sexp =
+  let fields =
+    match sexp with
+    | Sexp.List (Sexp.Atom "job" :: fields) -> fields
+    | _ -> failwith "expected a (job ...) view"
+  in
+  let state_atom = Sexp.as_atom (one "state" fields) in
+  let v_state =
+    match Job.state_of_string state_atom with
+    | Some s -> s
+    | None -> failwith ("unknown job state " ^ state_atom)
+  in
+  {
+    v_id = Sexp.as_atom (one "id" fields);
+    v_seq = Sexp.as_int (one "seq" fields);
+    v_state;
+    v_spec_fingerprint = Sexp.as_atom (one "spec" fields);
+    v_restart = Sexp.as_int (one "restart" fields);
+    v_generation = Sexp.as_int (one "generation" fields);
+    v_best_fitness = opt_one "best-fitness" fields Sexp.as_float;
+    v_power = opt_one "power" fields Sexp.as_float;
+    v_error = opt_one "error" fields Sexp.as_atom;
+    v_submitted_at = Sexp.as_float (one "submitted-at" fields);
+    v_started_at = opt_one "started-at" fields Sexp.as_float;
+    v_first_generation_at = opt_one "first-generation-at" fields Sexp.as_float;
+    v_finished_at = opt_one "finished-at" fields Sexp.as_float;
+  }
+
+let diag_to_sexp d =
+  Sexp.List
+    ([
+       Sexp.atom "diag";
+       Sexp.field "code" [ Sexp.atom d.d_code ];
+       Sexp.field "severity" [ Sexp.atom d.d_severity ];
+       Sexp.field "path" [ Sexp.atom d.d_path ];
+       Sexp.field "message" [ Sexp.atom d.d_message ];
+     ]
+    @
+    match d.d_pos with
+    | None -> []
+    | Some (line, column) ->
+      [ Sexp.field "pos" [ Sexp.int line; Sexp.int column ] ])
+
+let diag_of_sexp sexp =
+  let fields =
+    match sexp with
+    | Sexp.List (Sexp.Atom "diag" :: fields) -> fields
+    | _ -> failwith "expected a (diag ...)"
+  in
+  {
+    d_code = Sexp.as_atom (one "code" fields);
+    d_severity = Sexp.as_atom (one "severity" fields);
+    d_path = Sexp.as_atom (one "path" fields);
+    d_message = Sexp.as_atom (one "message" fields);
+    d_pos =
+      (match Sexp.assoc_opt "pos" fields with
+      | None -> None
+      | Some [ line; column ] -> Some (Sexp.as_int line, Sexp.as_int column)
+      | Some _ -> failwith "pos: expected line and column");
+  }
+
+let request_to_sexp = function
+  | Submit { spec_text; options } ->
+    Sexp.field "submit"
+      [
+        Sexp.field "options" (Job.options_to_fields options);
+        Sexp.field "spec" [ Sexp.atom spec_text ];
+      ]
+  | Status id -> Sexp.field "status" [ Sexp.atom id ]
+  | Cancel id -> Sexp.field "cancel" [ Sexp.atom id ]
+  | List_jobs -> Sexp.List [ Sexp.atom "list" ]
+  | Watch id -> Sexp.field "watch" [ Sexp.atom id ]
+  | Ping -> Sexp.List [ Sexp.atom "ping" ]
+  | Shutdown -> Sexp.List [ Sexp.atom "shutdown" ]
+
+let request_of_sexp = function
+  | Sexp.List [ Sexp.Atom "submit"; Sexp.List (Sexp.Atom "options" :: o); spec ]
+    ->
+    let spec_text =
+      match spec with
+      | Sexp.List [ Sexp.Atom "spec"; Sexp.Atom text ] -> text
+      | _ -> failwith "submit: expected (spec \"...\")"
+    in
+    Submit { spec_text; options = Job.options_of_fields o }
+  | Sexp.List [ Sexp.Atom "status"; Sexp.Atom id ] -> Status id
+  | Sexp.List [ Sexp.Atom "cancel"; Sexp.Atom id ] -> Cancel id
+  | Sexp.List [ Sexp.Atom "list" ] -> List_jobs
+  | Sexp.List [ Sexp.Atom "watch"; Sexp.Atom id ] -> Watch id
+  | Sexp.List [ Sexp.Atom "ping" ] -> Ping
+  | Sexp.List [ Sexp.Atom "shutdown" ] -> Shutdown
+  | _ -> failwith "unknown request"
+
+let response_to_sexp = function
+  | Accepted v -> Sexp.field "accepted" [ view_to_sexp v ]
+  | Rejected diags -> Sexp.field "rejected" (List.map diag_to_sexp diags)
+  | Job_info v -> Sexp.field "job-info" [ view_to_sexp v ]
+  | Jobs views -> Sexp.field "jobs" (List.map view_to_sexp views)
+  | Event line -> Sexp.field "event" [ Sexp.atom line ]
+  | Done -> Sexp.List [ Sexp.atom "done" ]
+  | Pong -> Sexp.List [ Sexp.atom "pong" ]
+  | Error_response { code; message } ->
+    Sexp.field "error"
+      [
+        Sexp.field "code" [ Sexp.atom code ];
+        Sexp.field "message" [ Sexp.atom message ];
+      ]
+
+let response_of_sexp = function
+  | Sexp.List [ Sexp.Atom "accepted"; v ] -> Accepted (view_of_sexp v)
+  | Sexp.List (Sexp.Atom "rejected" :: diags) ->
+    Rejected (List.map diag_of_sexp diags)
+  | Sexp.List [ Sexp.Atom "job-info"; v ] -> Job_info (view_of_sexp v)
+  | Sexp.List (Sexp.Atom "jobs" :: views) -> Jobs (List.map view_of_sexp views)
+  | Sexp.List [ Sexp.Atom "event"; Sexp.Atom line ] -> Event line
+  | Sexp.List [ Sexp.Atom "done" ] -> Done
+  | Sexp.List [ Sexp.Atom "pong" ] -> Pong
+  | Sexp.List (Sexp.Atom "error" :: fields) ->
+    Error_response
+      {
+        code = Sexp.as_atom (one "code" fields);
+        message = Sexp.as_atom (one "message" fields);
+      }
+  | _ -> failwith "unknown response"
+
+(* --- envelope ---------------------------------------------------------- *)
+
+let envelope kind body =
+  Sexp.to_string
+    (Sexp.List
+       [
+         Sexp.atom "mmsynth-rpc";
+         Sexp.field "version" [ Sexp.int version ];
+         Sexp.field kind [ body ];
+       ])
+
+let open_envelope kind payload =
+  match Sexp.parse_one payload with
+  | Sexp.List
+      [
+        Sexp.Atom "mmsynth-rpc";
+        Sexp.List [ Sexp.Atom "version"; Sexp.Atom v ];
+        Sexp.List [ Sexp.Atom k; body ];
+      ] ->
+    if v <> string_of_int version then
+      failwith (Printf.sprintf "unsupported protocol version %s" v);
+    if k <> kind then failwith (Printf.sprintf "expected a %s envelope" kind);
+    body
+  | _ -> failwith "not an mmsynth-rpc envelope"
+
+let total decode payload =
+  match decode payload with
+  | value -> Ok value
+  | exception Failure message -> Error message
+  | exception Sexp.Parse_error { line; column; message } ->
+    Error (Printf.sprintf "%d:%d: %s" line column message)
+  | exception Sexp.Type_error { message; _ } -> Error message
+
+let request_to_string r = envelope "request" (request_to_sexp r)
+
+let request_of_string payload =
+  total (fun p -> request_of_sexp (open_envelope "request" p)) payload
+
+let response_to_string r = envelope "response" (response_to_sexp r)
+
+let response_of_string payload =
+  total (fun p -> response_of_sexp (open_envelope "response" p)) payload
+
+(* --- framing ----------------------------------------------------------- *)
+
+module Framing = struct
+  type error =
+    | Oversized of { length : int; limit : int }
+    | Malformed of string
+
+  let error_to_string = function
+    | Oversized { length; limit } ->
+      Printf.sprintf "frame of %d bytes exceeds the %d byte limit" length
+        limit
+    | Malformed message -> "malformed frame: " ^ message
+
+  let default_max_frame = 16 * 1024 * 1024
+
+  type decoder = {
+    max_frame : int;
+    buf : Buffer.t;
+    mutable pos : int;  (** Bytes of [buf] already consumed. *)
+    mutable broken : error option;
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Buffer.create 4096; pos = 0; broken = None }
+
+  let feed t chunk = Buffer.add_string t.buf chunk
+
+  let pending t = Buffer.length t.buf - t.pos
+
+  let compact t =
+    if t.pos > 0 && t.pos = Buffer.length t.buf then begin
+      Buffer.clear t.buf;
+      t.pos <- 0
+    end
+    else if t.pos > 64 * 1024 then begin
+      let rest = Buffer.sub t.buf t.pos (pending t) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.pos <- 0
+    end
+
+  let next t =
+    match t.broken with
+    | Some err -> Error err
+    | None ->
+      if pending t < 4 then Ok None
+      else begin
+        let byte i = Char.code (Buffer.nth t.buf (t.pos + i)) in
+        let length =
+          (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+        in
+        if length > t.max_frame then begin
+          let err = Oversized { length; limit = t.max_frame } in
+          t.broken <- Some err;
+          Error err
+        end
+        else if pending t < 4 + length then Ok None
+        else begin
+          let payload = Buffer.sub t.buf (t.pos + 4) length in
+          t.pos <- t.pos + 4 + length;
+          compact t;
+          Ok (Some payload)
+        end
+      end
+
+  let encode payload =
+    let n = String.length payload in
+    let out = Bytes.create (4 + n) in
+    Bytes.set out 0 (Char.chr ((n lsr 24) land 0xff));
+    Bytes.set out 1 (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set out 2 (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set out 3 (Char.chr (n land 0xff));
+    Bytes.blit_string payload 0 out 4 n;
+    Bytes.to_string out
+end
+
+(* --- blocking fd helpers (client side, tests) -------------------------- *)
+
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd bytes off len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write_message fd payload =
+  let frame = Bytes.of_string (Framing.encode payload) in
+  write_all fd frame 0 (Bytes.length frame)
+
+let read_message fd decoder =
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    match Framing.next decoder with
+    | Error _ as e -> e
+    | Ok (Some payload) -> Ok (Some payload)
+    | Ok None -> (
+      let n =
+        try Unix.read fd chunk 0 (Bytes.length chunk) with
+        | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+      in
+      match n with
+      | 0 ->
+        if Buffer.length decoder.Framing.buf - decoder.Framing.pos > 0 then
+          Error (Framing.Malformed "end of stream inside a frame")
+        else Ok None
+      | n when n > 0 ->
+        Framing.feed decoder (Bytes.sub_string chunk 0 n);
+        loop ()
+      | _ -> loop ())
+  in
+  loop ()

@@ -1,0 +1,126 @@
+(** The mmsynthd wire protocol: length-prefixed, versioned sexp frames.
+
+    {2 Framing}
+
+    Every message travels as one {e frame}: a 4-byte big-endian unsigned
+    payload length followed by that many payload bytes.  The payload is
+    a single S-expression
+
+    {v (mmsynth-rpc (version 1) (request|response <body>)) v}
+
+    {!Framing} is an incremental decoder — feed it arbitrary byte
+    chunks, pull complete payloads out — with a hard frame-size limit so
+    a hostile or corrupted peer cannot make the daemon buffer without
+    bound.  Every failure is a typed {!Framing.error}; nothing in this
+    module raises on wire input.
+
+    {2 Requests and responses}
+
+    A client sends one {!request} per frame.  Most requests produce
+    exactly one {!response}; [Watch] subscribes the connection and
+    produces a stream of [Event] frames (one JSONL line each, the
+    existing trace schema) terminated by a final [Job_info] when the job
+    reaches a terminal state. *)
+
+type job_view = {
+  v_id : string;
+  v_seq : int;
+  v_state : Job.state;
+  v_spec_fingerprint : string;
+  v_restart : int;
+  v_generation : int;
+  v_best_fitness : float option;
+  v_power : float option;  (** Present once completed. *)
+  v_error : string option;
+  v_submitted_at : float;
+  v_started_at : float option;
+  v_first_generation_at : float option;
+  v_finished_at : float option;
+}
+(** The client-visible projection of a {!Job.t}: enough to render
+    status, and every admission/progress/completion timestamp needed to
+    compute latency percentiles from the client side alone. *)
+
+val view : Job.t -> job_view
+
+type request =
+  | Submit of { spec_text : string; options : Job.options }
+  | Status of string
+  | Cancel of string
+  | List_jobs
+  | Watch of string
+  | Ping
+  | Shutdown  (** Stop the daemon, leaving in-flight jobs checkpointed. *)
+
+type diag = {
+  d_code : string;
+  d_severity : string;  (** ["error"] or ["warning"]. *)
+  d_path : string;
+  d_message : string;
+  d_pos : (int * int) option;
+}
+(** A {!Mm_cosynth.Validate.diag} flattened for the wire. *)
+
+val diag_of_validate : Mm_cosynth.Validate.diag -> diag
+val diag_to_string : diag -> string
+
+type response =
+  | Accepted of job_view
+  | Rejected of diag list  (** Validation refused admission. *)
+  | Job_info of job_view
+  | Jobs of job_view list
+  | Event of string  (** One JSONL progress line. *)
+  | Done
+  | Pong
+  | Error_response of { code : string; message : string }
+      (** [code] is one of ["unknown-job"], ["wrong-state"],
+          ["protocol"], ["internal"]. *)
+
+val version : int
+
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result
+(** Total codecs between payload bytes and messages: any parse failure,
+    wrong envelope, unsupported version or unknown body becomes
+    [Error].  [of_string (to_string m)] round-trips every [m]
+    bit-exactly (floats go through {!Mm_io.Sexp.float}). *)
+
+module Framing : sig
+  type error =
+    | Oversized of { length : int; limit : int }
+        (** Announced payload exceeds [max_frame]; the stream cannot be
+            resynchronised and the connection must be dropped. *)
+    | Malformed of string
+        (** The length prefix itself is invalid. *)
+
+  val error_to_string : error -> string
+
+  type decoder
+
+  val create : ?max_frame:int -> unit -> decoder
+  (** [max_frame] defaults to {!default_max_frame} bytes of payload. *)
+
+  val default_max_frame : int
+
+  val feed : decoder -> string -> unit
+  (** Append raw bytes received from the peer. *)
+
+  val next : decoder -> (string option, error) result
+  (** Extract the next complete payload: [Ok None] when more bytes are
+      needed.  Errors are sticky — once the stream is broken every
+      subsequent call reports the same error. *)
+
+  val encode : string -> string
+  (** Wrap a payload in its length prefix. *)
+end
+
+val write_message : Unix.file_descr -> string -> unit
+(** [write_message fd payload] sends one whole frame (blocking,
+    EINTR-safe).  Raises [Unix.Unix_error] on a broken peer. *)
+
+val read_message :
+  Unix.file_descr -> Framing.decoder -> (string option, Framing.error) result
+(** Blocking read of the next frame on [fd] through [decoder];
+    [Ok None] on orderly end-of-stream. *)

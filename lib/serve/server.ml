@@ -1,0 +1,365 @@
+module Pool = Mm_parallel.Pool
+module Snapshot = Mm_io.Snapshot
+module Synthesis = Mm_cosynth.Synthesis
+module Fitness = Mm_cosynth.Fitness
+module Engine = Mm_ga.Engine
+module Log = Mm_obs.Log
+
+type config = {
+  socket_path : string;
+  tcp : (string * int) option;
+  state_dir : string;
+  pool_jobs : int;
+  checkpoint_every : int;
+}
+
+let default_checkpoint_every = 5
+
+let synthesis_config (options : Job.options) =
+  {
+    Synthesis.default_config with
+    fitness =
+      {
+        Fitness.default_config with
+        weighting =
+          (if options.Job.uniform then Fitness.Uniform
+           else Fitness.True_probabilities);
+        dvs =
+          (if options.Job.dvs then Fitness.Dvs Mm_dvs.Scaling.default_config
+           else Fitness.No_dvs);
+      };
+    ga =
+      {
+        Engine.default_config with
+        max_generations = options.Job.generations;
+        population_size = options.Job.population;
+      };
+    restarts = options.Job.restarts;
+    (* Parallel evaluation comes from the shared pool the server passes
+       to [Synthesis.run]; a per-job pool would defeat the bound. *)
+    jobs = 1;
+  }
+
+(* --- connections -------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Protocol.Framing.decoder;
+  outbox : Buffer.t;
+  mutable watching : string list;  (** Job ids streamed to this client. *)
+  mutable dead : bool;
+}
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  sched : Scheduler.t;
+  pool : Pool.t option;
+  handles : (string, Scheduler.handle) Hashtbl.t;
+  mutable conns : conn list;
+  mutable listeners : Unix.file_descr list;
+  mutable running : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let send conn response =
+  if not conn.dead then
+    Buffer.add_string conn.outbox
+      (Protocol.Framing.encode (Protocol.response_to_string response))
+
+(* Flush as much of the outbox as the socket accepts right now. *)
+let flush_conn conn =
+  let pending = Buffer.contents conn.outbox in
+  let len = String.length pending in
+  if len > 0 && not conn.dead then begin
+    let written =
+      try Unix.write_substring conn.fd pending 0 len with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> 0
+      | Unix.Unix_error _ ->
+        conn.dead <- true;
+        0
+    in
+    if written > 0 then begin
+      Buffer.clear conn.outbox;
+      if written < len then
+        Buffer.add_substring conn.outbox pending written (len - written)
+    end
+  end
+
+(* --- job bodies --------------------------------------------------------- *)
+
+let spawn_job t entry =
+  let handle =
+    Scheduler.spawn t.sched (fun ~yield ->
+        let job = entry.Registry.job in
+        try
+          Registry.mark_running t.registry entry ~now:(now ());
+          let config = synthesis_config job.Job.options in
+          let sink =
+            Snapshot.synth_sink
+              ~path:(Registry.checkpoint_path t.registry entry)
+              ~spec:entry.Registry.spec ~every:t.config.checkpoint_every
+          in
+          (* Keep job.sexp in agreement with the snapshot a crash would
+             find: the state flips to Checkpointed the moment a snapshot
+             lands on disk. *)
+          let sink =
+            {
+              sink with
+              Synthesis.save =
+                (fun state ->
+                  sink.Synthesis.save state;
+                  Registry.checkpointed t.registry entry ~now:(now ()));
+            }
+          in
+          let resume = entry.Registry.resume in
+          entry.Registry.resume <- None;
+          let result =
+            Synthesis.run ~config ?pool:t.pool ~checkpoint:sink ?resume
+              ~yield:(fun p ->
+                Registry.record_progress t.registry entry p ~now:(now ());
+                yield ())
+              ~spec:entry.Registry.spec ~seed:job.Job.options.Job.seed ()
+          in
+          Registry.complete t.registry entry result ~now:(now ())
+        with
+        | Scheduler.Cancelled -> Registry.cancel t.registry entry ~now:(now ())
+        | exn ->
+          Registry.fail t.registry entry (Printexc.to_string exn)
+            ~now:(now ()))
+  in
+  Hashtbl.replace t.handles entry.Registry.job.Job.id handle
+
+(* --- request dispatch --------------------------------------------------- *)
+
+let error code message = Protocol.Error_response { code; message }
+
+let finish_watch t conn job_id =
+  conn.watching <- List.filter (fun id -> id <> job_id) conn.watching;
+  match Registry.find t.registry job_id with
+  | Some entry -> send conn (Protocol.Job_info (Protocol.view entry.Registry.job))
+  | None -> ()
+
+let handle_request t conn = function
+  | Protocol.Ping -> send conn Protocol.Pong
+  | Protocol.Shutdown ->
+    send conn Protocol.Done;
+    t.running <- false
+  | Protocol.List_jobs ->
+    send conn
+      (Protocol.Jobs
+         (List.map
+            (fun e -> Protocol.view e.Registry.job)
+            (Registry.entries t.registry)))
+  | Protocol.Submit { spec_text; options } -> (
+    match Registry.submit t.registry ~spec_text ~options ~now:(now ()) with
+    | Error diags ->
+      send conn (Protocol.Rejected (List.map Protocol.diag_of_validate diags))
+    | Ok entry ->
+      spawn_job t entry;
+      send conn (Protocol.Accepted (Protocol.view entry.Registry.job)))
+  | Protocol.Status id -> (
+    match Registry.find t.registry id with
+    | None -> send conn (error "unknown-job" id)
+    | Some entry -> send conn (Protocol.Job_info (Protocol.view entry.Registry.job)))
+  | Protocol.Cancel id -> (
+    match Registry.find t.registry id with
+    | None -> send conn (error "unknown-job" id)
+    | Some entry ->
+      let job = entry.Registry.job in
+      if Job.terminal job.Job.state then
+        send conn
+          (error "wrong-state"
+             (Printf.sprintf "%s is already %s" id
+                (Job.state_to_string job.Job.state)))
+      else begin
+        (match Hashtbl.find_opt t.handles id with
+        | Some handle -> Scheduler.request_cancel handle
+        | None -> ());
+        (* A queued body never runs, so nothing would record the
+           cancellation — do it here.  Running jobs cancel themselves at
+           their next yield. *)
+        if job.Job.state = Job.Queued then
+          Registry.cancel t.registry entry ~now:(now ());
+        send conn Protocol.Done
+      end)
+  | Protocol.Watch id -> (
+    match Registry.find t.registry id with
+    | None -> send conn (error "unknown-job" id)
+    | Some entry ->
+      let job = entry.Registry.job in
+      List.iter
+        (fun line -> send conn (Protocol.Event line))
+        (Registry.read_events t.registry entry);
+      if Job.terminal job.Job.state then
+        send conn (Protocol.Job_info (Protocol.view job))
+      else conn.watching <- id :: conn.watching)
+
+let service_conn t conn =
+  let chunk = Bytes.create 65536 in
+  let n =
+    try Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      -1
+    | Unix.Unix_error _ -> 0
+  in
+  if n = 0 then conn.dead <- true
+  else if n > 0 then begin
+    Protocol.Framing.feed conn.decoder (Bytes.sub_string chunk 0 n);
+    let rec drain () =
+      match Protocol.Framing.next conn.decoder with
+      | Error err ->
+        send conn (error "protocol" (Protocol.Framing.error_to_string err));
+        flush_conn conn;
+        conn.dead <- true
+      | Ok None -> ()
+      | Ok (Some payload) ->
+        (match Protocol.request_of_string payload with
+        | Error message -> send conn (error "protocol" message)
+        | Ok request -> (
+          try handle_request t conn request with
+          | exn -> send conn (error "internal" (Printexc.to_string exn))));
+        drain ()
+    in
+    drain ()
+  end
+
+(* --- event fan-out ------------------------------------------------------ *)
+
+let broadcast t (job : Job.t) line =
+  List.iter
+    (fun conn ->
+      if List.mem job.Job.id conn.watching then begin
+        send conn (Protocol.Event line);
+        if Job.terminal job.Job.state then finish_watch t conn job.Job.id
+      end)
+    t.conns
+
+(* --- listeners ---------------------------------------------------------- *)
+
+let listen_unix path =
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock fd;
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+    | Not_found -> Unix.inet_addr_loopback
+  in
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let accept_conn t listener =
+  match Unix.accept listener with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    ()
+  | fd, _addr ->
+    Unix.set_nonblock fd;
+    t.conns <-
+      {
+        fd;
+        decoder = Protocol.Framing.create ();
+        outbox = Buffer.create 1024;
+        watching = [];
+        dead = false;
+      }
+      :: t.conns
+
+let reap t =
+  let dead, live = List.partition (fun c -> c.dead) t.conns in
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) dead;
+  t.conns <- live
+
+(* --- main loop ---------------------------------------------------------- *)
+
+let run config =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+  | Invalid_argument _ -> ());
+  let registry = Registry.create ~state_dir:config.state_dir in
+  let pool =
+    if config.pool_jobs > 1 then
+      Some (Pool.create ~domains:config.pool_jobs ())
+    else None
+  in
+  let t =
+    {
+      config;
+      registry;
+      sched = Scheduler.create ();
+      pool;
+      handles = Hashtbl.create 64;
+      conns = [];
+      listeners = [];
+      running = true;
+    }
+  in
+  Registry.set_on_event registry (broadcast t);
+  (* Crash recovery: every non-terminal job goes back on the run queue,
+     resuming from its snapshot when one exists. *)
+  let recovered = Registry.rehydrate registry in
+  List.iter (spawn_job t) recovered;
+  if recovered <> [] then
+    Log.info (fun () ->
+        Printf.sprintf "mmsynthd: recovered %d in-flight job(s)"
+          (List.length recovered));
+  t.listeners <-
+    (listen_unix config.socket_path
+    ::
+    (match config.tcp with
+    | None -> []
+    | Some (host, port) -> [ listen_tcp host port ]));
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> flush_conn c) t.conns;
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        t.conns;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        t.listeners;
+      (try Sys.remove config.socket_path with Sys_error _ -> ());
+      Option.iter Pool.shutdown t.pool)
+  @@ fun () ->
+  while t.running do
+    let reads = t.listeners @ List.map (fun c -> c.fd) t.conns in
+    let writes =
+      List.filter_map
+        (fun c -> if Buffer.length c.outbox > 0 then Some c.fd else None)
+        t.conns
+    in
+    let timeout = if Scheduler.busy t.sched then 0. else 0.25 in
+    let readable, writable, _ =
+      try Unix.select reads writes [] timeout with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        if List.mem fd t.listeners then accept_conn t fd
+        else
+          match List.find_opt (fun c -> c.fd = fd) t.conns with
+          | Some conn -> service_conn t conn
+          | None -> ())
+      readable;
+    List.iter
+      (fun fd ->
+        match List.find_opt (fun c -> c.fd = fd) t.conns with
+        | Some conn -> flush_conn conn
+        | None -> ())
+      writable;
+    reap t;
+    (* One generation slice of the front job per iteration keeps the
+       loop responsive: socket latency is bounded by a single
+       generation's evaluation time. *)
+    ignore (Scheduler.step t.sched : bool)
+  done

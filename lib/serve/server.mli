@@ -1,0 +1,46 @@
+(** The mmsynthd daemon: one domain multiplexing every connection and
+    every synthesis job.
+
+    A single [select]-driven event loop owns the listening sockets, all
+    client connections (non-blocking, one {!Protocol.Framing} decoder
+    and one outgoing byte buffer each) and the cooperative
+    {!Scheduler}: each loop iteration services the ready sockets, then
+    runs {e one} generation slice of the front job.  Fitness-evaluation
+    batches inside a slice fan out over the shared bounded {!Mm_parallel.Pool}
+    (which survives worker crashes by respawning).  Because everything
+    else happens on one domain, no state in {!Registry} needs locking,
+    and events emitted mid-slice are simply appended to the watchers'
+    buffers and flushed on the next iteration.
+
+    Crash recovery: on start the server {!Registry.rehydrate}s the state
+    directory and re-queues every non-terminal job — resumed from its
+    snapshot when one exists, rerun from scratch (same seed, same
+    trajectory) otherwise.  A [shutdown] request stops the loop
+    immediately, abandoning in-flight coroutines at their last yield
+    point; since checkpoints are persisted {e before} each yield, that
+    is indistinguishable from [kill -9] to the next daemon. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain listening socket. *)
+  tcp : (string * int) option;  (** Optional additional TCP listener. *)
+  state_dir : string;
+  pool_jobs : int;
+      (** Domains of the shared evaluation pool; [<= 1] evaluates on the
+          scheduler domain.  Callers clamp with
+          {!Mm_parallel.Pool.clamp_jobs}. *)
+  checkpoint_every : int;  (** Snapshot cadence in GA generations. *)
+}
+
+val default_checkpoint_every : int
+(** 5, like the CLI's [--checkpoint-every] default. *)
+
+val synthesis_config : Job.options -> Mm_cosynth.Synthesis.config
+(** The per-job synthesis configuration a daemon derives from submitted
+    options — exactly the CLI's mapping, so a daemon job and a
+    [mmsynth synth] run with the same flags share one trajectory (and
+    one {!Mm_cosynth.Synthesis.config_fingerprint}, which is what lets a
+    restarted daemon resume a snapshot taken by its predecessor). *)
+
+val run : config -> unit
+(** Serve until a [shutdown] request.  Installs nothing but a [SIGPIPE]
+    ignore; the caller owns daemonisation. *)

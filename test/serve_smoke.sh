@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# End-to-end crash-recovery smoke for mmsynthd.
+#
+# Phase A runs a reference job to completion on an undisturbed daemon.
+# Phase B submits the same job (same options, same id) plus a filler job
+# and one invalid spec (which must be rejected with MM0xx diagnostics),
+# SIGKILLs the daemon as soon as the job's first checkpoint hits disk,
+# restarts it on the same state directory and lets recovery finish the
+# job.  The two result.sexp files — power and fitness encoded bit-exactly
+# — must be byte-identical.
+#
+# Run from the repository root; binaries must already be built
+# (`dune build bin`).  Exits non-zero on the first failed assertion.
+set -euo pipefail
+
+BIN=_build/default/bin
+MMSYNTH="$BIN/mmsynth.exe"
+MMSYNTHD="$BIN/mmsynthd.exe"
+[ -x "$MMSYNTH" ] && [ -x "$MMSYNTHD" ] || {
+  echo "serve_smoke: build bin/ first (dune build bin)"; exit 1; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/serve-smoke.XXXXXX")
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# The job the crash lands on: big enough that the first checkpoint
+# always precedes completion, with a seed so both phases share one
+# trajectory.
+SYNTH_FLAGS=(--generations 60 --population 40 --seed 3)
+
+"$MMSYNTH" export mul6 > "$WORK/mul6.mms"
+"$MMSYNTH" export mul3 > "$WORK/mul3.mms"
+echo '(spec (name broken))' > "$WORK/invalid.mms"
+
+start_daemon() { # state_dir -> sets DPID, waits for the socket
+  rm -f "$SOCK" # a SIGKILLed daemon leaves its socket file behind
+  "$MMSYNTHD" --socket "$SOCK" --state-dir "$1" --checkpoint-every 3 &
+  DPID=$!
+  for _ in $(seq 1 250); do
+    [ -S "$SOCK" ] && return 0
+    kill -0 "$DPID" 2>/dev/null || { echo "daemon died on startup"; exit 1; }
+    sleep 0.02
+  done
+  echo "daemon socket never appeared"; exit 1
+}
+
+shutdown_daemon() {
+  "$MMSYNTH" client shutdown --socket "$SOCK"
+  wait "$DPID" || true
+  DPID=""
+}
+
+# --- phase A: reference run, never interrupted -------------------------------
+SOCK="$WORK/ref.sock"
+start_daemon "$WORK/state-ref"
+"$MMSYNTH" client submit "$WORK/mul6.mms" --socket "$SOCK" "${SYNTH_FLAGS[@]}"
+"$MMSYNTH" client watch job-0001 --socket "$SOCK" > /dev/null
+shutdown_daemon
+grep -q completed "$WORK/state-ref/jobs/job-0001/job.sexp" || {
+  echo "reference job did not complete"; exit 1; }
+
+# --- phase B: same submission, daemon SIGKILLed mid-run ----------------------
+SOCK="$WORK/crash.sock"
+start_daemon "$WORK/state-crash"
+
+"$MMSYNTH" client submit "$WORK/mul6.mms" --socket "$SOCK" "${SYNTH_FLAGS[@]}"
+"$MMSYNTH" client submit "$WORK/mul3.mms" --socket "$SOCK" --seed 1
+
+# The invalid spec must be refused at admission, with MM0xx diagnostics,
+# without ever creating a job.
+set +e
+REJECT=$("$MMSYNTH" client submit "$WORK/invalid.mms" --socket "$SOCK" 2>&1)
+STATUS=$?
+set -e
+[ "$STATUS" -ne 0 ] || { echo "invalid spec was admitted"; exit 1; }
+echo "$REJECT" | grep -q "MM0" || {
+  echo "rejection carried no MM0xx diagnostic:"; echo "$REJECT"; exit 1; }
+[ ! -e "$WORK/state-crash/jobs/job-0003" ] || {
+  echo "rejected spec left a job directory behind"; exit 1; }
+
+# kill -9 the instant job-0001's first snapshot exists: the job is
+# mid-run, and the state directory is whatever the crash left.
+CKPT="$WORK/state-crash/jobs/job-0001/checkpoint.snap"
+for _ in $(seq 1 500); do
+  [ -f "$CKPT" ] && break
+  sleep 0.02
+done
+[ -f "$CKPT" ] || { echo "no checkpoint ever appeared"; exit 1; }
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+grep -q completed "$WORK/state-crash/jobs/job-0001/job.sexp" && {
+  echo "kill landed after completion; nothing was recovered"; exit 1; }
+echo "daemon SIGKILLed with job-0001 in flight"
+
+# Restart on the same state directory: rehydration must resume both
+# in-flight jobs and finish them without any client intervention.
+start_daemon "$WORK/state-crash"
+"$MMSYNTH" client watch job-0001 --socket "$SOCK" > /dev/null
+"$MMSYNTH" client watch job-0002 --socket "$SOCK" > /dev/null
+shutdown_daemon
+
+for id in job-0001 job-0002; do
+  grep -q completed "$WORK/state-crash/jobs/$id/job.sexp" || {
+    echo "$id did not complete after recovery"; exit 1; }
+done
+
+# The contract: recovery reproduces the uninterrupted run bit for bit.
+diff "$WORK/state-ref/jobs/job-0001/result.sexp" \
+     "$WORK/state-crash/jobs/job-0001/result.sexp" || {
+  echo "recovered result diverged from the reference run"; exit 1; }
+
+echo "serve_smoke: OK — recovered result is bit-identical to the reference"

@@ -186,12 +186,31 @@ let test_file_roundtrip () =
         engine = None;
       }
   in
-  (* A stale .tmp from a crashed writer must not confuse a later save. *)
-  let oc = open_out (path ^ ".tmp") in
+  (* A stale .tmp from a crashed writer is inert: saves use unique
+     pid+counter tmp names, so they neither read nor clobber it, and no
+     tmp of their own survives the rename. *)
+  let stale = path ^ ".tmp" in
+  let oc = open_out stale in
   output_string oc "garbage left by a crash";
   close_out oc;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists stale then Sys.remove stale)
+  @@ fun () ->
   Snapshot.save ~path ~spec payload;
-  Alcotest.(check bool) "tmp file renamed away" false (Sys.file_exists (path ^ ".tmp"));
+  Alcotest.(check string)
+    "stale tmp untouched" "garbage left by a crash"
+    (Mm_io.Codec.read_file stale);
+  let tmp_siblings =
+    Sys.readdir (Filename.dirname path)
+    |> Array.to_list
+    |> List.filter (fun name ->
+           String.length name > 4
+           && String.sub name (String.length name - 4) 4 = ".tmp"
+           && name <> Filename.basename stale
+           && String.length name > String.length (Filename.basename path)
+           && String.sub name 0 (String.length (Filename.basename path))
+              = Filename.basename path)
+  in
+  Alcotest.(check (list string)) "no tmp litter from save" [] tmp_siblings;
   match Snapshot.load ~path ~spec with
   | Ok decoded -> Alcotest.(check bool) "file round-trip" true (payload_eq payload decoded)
   | Error e -> Alcotest.fail (Snapshot.error_to_string e)
