@@ -197,6 +197,9 @@ let proposed_power ~ga ~dvs ~use_improvements ~spec ~seeds =
       eval_cache = Synthesis.default_config.Synthesis.eval_cache;
       delta = Synthesis.default_config.Synthesis.delta;
       audit = false;
+      islands = Synthesis.default_config.Synthesis.islands;
+      migration_interval = Synthesis.default_config.Synthesis.migration_interval;
+      migration_count = Synthesis.default_config.Synthesis.migration_count;
     }
   in
   let powers =
@@ -340,6 +343,9 @@ let ablation_scheduler_policy options =
             eval_cache = Synthesis.default_config.Synthesis.eval_cache;
             delta = Synthesis.default_config.Synthesis.delta;
             audit = false;
+            islands = Synthesis.default_config.Synthesis.islands;
+            migration_interval = Synthesis.default_config.Synthesis.migration_interval;
+            migration_count = Synthesis.default_config.Synthesis.migration_count;
           }
         in
         let powers =
@@ -458,7 +464,11 @@ let parallel options =
       hist "fitness/schedule_us",
       hist "fitness/dvs_us",
       counter_s "pool/busy_us",
-      counter_s "pool/wait_us" )
+      (* The old conflated pool/wait_us is gone: queue-wait is dispatch
+         cost (workers parked between batches), barrier-wait is
+         imbalance (the owner idle at the batch barrier). *)
+      counter_s "pool/queue_wait_us",
+      counter_s "pool/barrier_wait_us" )
   in
   Mm_obs.Control.set_metrics true;
   let timings =
@@ -491,12 +501,14 @@ let parallel options =
       ~columns:
         [
           "domains"; "wall (s)"; "speedup"; "p̄ (mW)"; "eval (s)"; "sched (s)";
-          "dvs (s)"; "pool util";
+          "dvs (s)"; "pool util"; "q-wait (s)"; "b-wait (s)";
         ]
   in
   List.iter
-    (fun (jobs, seconds, (result : Synthesis.result), (eval_s, sched_s, dvs_s, busy_s, _))
-       ->
+    (fun ( jobs,
+           seconds,
+           (result : Synthesis.result),
+           (eval_s, sched_s, dvs_s, busy_s, queue_s, barrier_s) ) ->
       Table.add_row t
         [
           string_of_int jobs;
@@ -513,10 +525,83 @@ let parallel options =
           (if jobs > 1 then
              Printf.sprintf "%.0f%%" (100.0 *. busy_s /. (float_of_int jobs *. seconds))
            else "-");
+          (if jobs > 1 then Printf.sprintf "%.2f" queue_s else "-");
+          (if jobs > 1 then Printf.sprintf "%.2f" barrier_s else "-");
         ])
     timings;
   Table.print t;
-  (* Cache effectiveness over the table1 workloads, serial. *)
+  (* Island-model grid: the same workload with the population sharded
+     across islands, pool domains scheduling whole islands instead of
+     evaluation batches.  The (jobs=1, islands=1) row is the baseline;
+     islands > jobs is legal (round-robin), only jobs > cores is
+     degraded.  Unlike --jobs, islands change the trajectory, so powers
+     differ between island counts — each row prints its own. *)
+  let island_grid =
+    List.concat_map
+      (fun jobs -> List.map (fun islands -> (jobs, islands)) [ 1; 2; 4 ])
+      [ 1; 2; 4 ]
+  in
+  let island_rows =
+    List.map
+      (fun (jobs, islands) ->
+        let config =
+          { Synthesis.default_config with ga; jobs; islands; eval_cache = 0 }
+        in
+        let seconds, result = wall_of config spec in
+        Format.printf "  %d job%s x %d island%s done@?@." jobs
+          (if jobs = 1 then "" else "s")
+          islands
+          (if islands = 1 then "" else "s");
+        (jobs, islands, seconds, result))
+      island_grid
+  in
+  let island_base =
+    let _, _, s, _ =
+      List.find (fun (j, i, _, _) -> j = 1 && i = 1) island_rows
+    in
+    s
+  in
+  let it =
+    Table.create
+      ~title:
+        (Printf.sprintf "island-model GA on mul6, seed %d, %d CPU core(s) available"
+           seed cores)
+      ~columns:[ "jobs"; "islands"; "wall (s)"; "speedup"; "p̄ (mW)"; "generations" ]
+  in
+  List.iter
+    (fun (jobs, islands, seconds, (result : Synthesis.result)) ->
+      Table.add_row it
+        [
+          string_of_int jobs;
+          string_of_int islands;
+          Printf.sprintf "%.2f" seconds;
+          Printf.sprintf "%.2fx%s" (island_base /. seconds)
+            (if degraded jobs then " (degraded)" else "");
+          Printf.sprintf "%.3f" (milliwatt result.Synthesis.eval.Fitness.true_power);
+          string_of_int result.Synthesis.generations;
+        ])
+    island_rows;
+  Table.print it;
+  (* The parallel gate's verdict, computed here so the JSON records it
+     whether or not --gate is enforcing: on a multi-core machine the
+     best non-degraded islands>=2 run with jobs>=2 must not lose wall
+     time to the single-population (jobs=1, islands=1) run.  On a
+     1-core runner the wall-clock assertion is meaningless, so the gate
+     is skipped with the reason recorded. *)
+  let island_candidates =
+    List.filter
+      (fun (j, i, _, _) -> i >= 2 && j >= 2 && not (degraded j))
+      island_rows
+  in
+  let best_island_wall =
+    List.fold_left (fun acc (_, _, s, _) -> min acc s) infinity island_candidates
+  in
+  let gate_skipped = cores <= 1 || island_candidates = [] in
+  let gate_reason =
+    if cores <= 1 then Printf.sprintf "cpu_cores = %d, wall-clock assertion" cores
+    else if island_candidates = [] then "no non-degraded islands>=2 row"
+    else ""
+  in
   let cache_rows =
     List.map
       (fun i ->
@@ -564,18 +649,39 @@ let parallel options =
   p "  \"cpu_cores\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"domains\": [\n";
   List.iteri
-    (fun i (jobs, seconds, _, (eval_s, sched_s, dvs_s, busy_s, wait_s)) ->
+    (fun i (jobs, seconds, _, (eval_s, sched_s, dvs_s, busy_s, queue_s, barrier_s)) ->
       p
         "    { \"jobs\": %d, \"degraded\": %b, \"wall_seconds\": %.3f, \
          \"speedup\": %.3f, \"eval_seconds\": %.3f, \"sched_seconds\": %.3f, \
          \"dvs_seconds\": %.3f, \"pool_busy_seconds\": %.3f, \
-         \"pool_wait_seconds\": %.3f }%s\n"
+         \"pool_queue_wait_seconds\": %.3f, \"pool_barrier_wait_seconds\": %.3f }%s\n"
         jobs (degraded jobs) seconds
         (serial_seconds /. seconds)
-        eval_s sched_s dvs_s busy_s wait_s
+        eval_s sched_s dvs_s busy_s queue_s barrier_s
         (if i = List.length timings - 1 then "" else ","))
     timings;
   p "  ],\n";
+  p "  \"islands\": [\n";
+  List.iteri
+    (fun i (jobs, islands, seconds, (result : Synthesis.result)) ->
+      p
+        "    { \"jobs\": %d, \"islands\": %d, \"degraded\": %b, \
+         \"wall_seconds\": %.3f, \"speedup\": %.3f, \"power_mw\": %.6f, \
+         \"generations\": %d }%s\n"
+        jobs islands (degraded jobs) seconds (island_base /. seconds)
+        (milliwatt result.Synthesis.eval.Fitness.true_power)
+        result.Synthesis.generations
+        (if i = List.length island_rows - 1 then "" else ","))
+    island_rows;
+  p "  ],\n";
+  if gate_skipped then
+    p "  \"island_gate\": { \"skipped\": true, \"reason\": %S, \"cpu_cores\": %d },\n"
+      gate_reason cores
+  else
+    p
+      "  \"island_gate\": { \"skipped\": false, \"cpu_cores\": %d, \
+       \"islands1_wall_seconds\": %.3f, \"best_island_wall_seconds\": %.3f },\n"
+      cores island_base best_island_wall;
   p "  \"cache\": [\n";
   List.iteri
     (fun i (label, hits, evals, rate, seconds, nocache_seconds) ->
@@ -589,7 +695,28 @@ let parallel options =
   p "  ]\n";
   p "}\n";
   close_out oc;
-  Format.printf "wrote %s@." path
+  Format.printf "wrote %s@." path;
+  if options.gate then begin
+    Format.printf "@.== Parallel gate: islands must make parallelism win ==@.";
+    if gate_skipped then
+      Format.printf "  gate SKIP islands_speedup (%s)@." gate_reason
+    else begin
+      (* 5%% measured-noise slack: the requirement is "not slower", the
+         slack keeps a same-speed run from flaking the build. *)
+      let ceiling = island_base *. 1.05 in
+      if best_island_wall <= ceiling then
+        Format.printf "  gate ok   islands_speedup %26.3fs <= %.3fs@."
+          best_island_wall ceiling
+      else begin
+        Format.printf "  gate FAIL islands_speedup %26.3fs >  %.3fs@."
+          best_island_wall ceiling;
+        Printf.eprintf
+          "gate: islands >= 2 lost wall-clock time to a single population\n%!";
+        exit 1
+      end;
+      Format.printf "gate: all checks passed@."
+    end
+  end
 
 (* --- Soak: checkpoint, kill, resume ------------------------------------------- *)
 

@@ -183,6 +183,36 @@ let effective_jobs ~allow_oversubscribe jobs =
       jobs clamped;
   clamped
 
+let islands_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "islands" ] ~docv:"N"
+        ~doc:
+          "GA islands per restart (default 1 = a single population).  With N > 1 \
+           the population is sharded into N independent islands with periodic \
+           deterministic migration; $(b,--jobs) domains then schedule whole \
+           islands instead of evaluation batches.  Unlike $(b,--jobs) this \
+           changes the search trajectory (still deterministic per seed, \
+           identical at any job count).")
+
+let migration_every_arg =
+  Arg.(
+    value
+    & opt int Mm_ga.Islands.default_topology.Mm_ga.Islands.migration_interval
+    & info [ "migration-every" ] ~docv:"N"
+        ~doc:
+          "Generations between island migration epochs (only meaningful with \
+           $(b,--islands) > 1).")
+
+let migrants_arg =
+  Arg.(
+    value
+    & opt int Mm_ga.Islands.default_topology.Mm_ga.Islands.migration_count
+    & info [ "migrants" ] ~docv:"N"
+        ~doc:
+          "Members each island exports to its ring successor per migration epoch \
+           (0 disables migration; only meaningful with $(b,--islands) > 1).")
+
 let no_eval_cache_arg =
   Arg.(
     value & flag
@@ -305,11 +335,17 @@ let with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level f =
     Error (`Msg message)
   | exception Fun.Finally_raised (Sys_error message) -> Error (`Msg message)
 
-let config_of ?(jobs = 1) ?(no_eval_cache = false) ?(audit = false) ~dvs ~uniform
-    ~generations ~population () =
+let config_of ?(jobs = 1) ?(no_eval_cache = false) ?(audit = false)
+    ?(islands = Synthesis.default_config.Synthesis.islands)
+    ?(migration_interval = Synthesis.default_config.Synthesis.migration_interval)
+    ?(migration_count = Synthesis.default_config.Synthesis.migration_count) ~dvs
+    ~uniform ~generations ~population () =
   {
     Synthesis.default_config with
     audit;
+    islands;
+    migration_interval;
+    migration_count;
     fitness =
       {
         Fitness.default_config with
@@ -477,14 +513,16 @@ let with_kill_switch ~kill_after save =
       incr written;
       if !written >= n then Unix.kill (Unix.getpid ()) Sys.sigkill
 
-let synth name force audit seed dvs uniform generations population jobs
-    allow_oversubscribe no_eval_cache checkpoint checkpoint_every resume kill_after
-    trace trace_jsonl trace_fine metrics log_level =
+let synth name force audit seed dvs uniform generations population jobs islands
+    migration_every migrants allow_oversubscribe no_eval_cache checkpoint
+    checkpoint_every resume kill_after trace trace_jsonl trace_fine metrics
+    log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let* spec = spec_of_benchmark ~force name in
   let jobs = effective_jobs ~allow_oversubscribe jobs in
   let config =
-    config_of ~jobs ~no_eval_cache ~audit ~dvs ~uniform ~generations ~population ()
+    config_of ~jobs ~no_eval_cache ~audit ~islands ~migration_interval:migration_every
+      ~migration_count:migrants ~dvs ~uniform ~generations ~population ()
   in
   let* resume =
     match resume with
@@ -528,7 +566,8 @@ let synth_cmd =
     Term.(
       term_result
         (const synth $ benchmark_arg $ force_arg $ audit_arg $ seed_arg $ dvs_arg
-       $ uniform_arg $ generations_arg $ population_arg $ jobs_arg
+       $ uniform_arg $ generations_arg $ population_arg $ jobs_arg $ islands_arg
+       $ migration_every_arg $ migrants_arg
        $ allow_oversubscribe_arg $ no_eval_cache_arg $ checkpoint_arg
        $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ trace_arg
        $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
@@ -541,8 +580,8 @@ let synth_cmd =
 (* --- compare ------------------------------------------------------------------ *)
 
 let compare_cmd_impl name force audit seed dvs runs generations population jobs
-    allow_oversubscribe no_eval_cache checkpoint resume kill_after trace trace_jsonl
-    trace_fine metrics log_level =
+    islands migration_every migrants allow_oversubscribe no_eval_cache checkpoint
+    resume kill_after trace trace_jsonl trace_fine metrics log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let* spec = spec_of_benchmark ~force name in
   let jobs = effective_jobs ~allow_oversubscribe jobs in
@@ -581,8 +620,9 @@ let compare_cmd_impl name force audit seed dvs runs generations population jobs
       checkpoint
   in
   let* c =
-    match Experiment.compare ~ga ~dvs ~jobs ~eval_cache ~audit ?checkpoint ?resume ~spec
-            ~runs ~seed ()
+    match Experiment.compare ~ga ~dvs ~jobs ~eval_cache ~audit ~islands
+            ~migration_interval:migration_every ~migration_count:migrants
+            ?checkpoint ?resume ~spec ~runs ~seed ()
     with
     | c -> Ok c
     | exception Invalid_argument message -> Error (`Msg message)
@@ -613,6 +653,7 @@ let compare_cmd =
       term_result
         (const compare_cmd_impl $ benchmark_arg $ force_arg $ audit_arg $ seed_arg
        $ dvs_arg $ runs_arg $ generations_arg $ population_arg $ jobs_arg
+       $ islands_arg $ migration_every_arg $ migrants_arg
        $ allow_oversubscribe_arg $ no_eval_cache_arg $ checkpoint_arg $ resume_arg
        $ kill_after_arg $ trace_arg $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg
        $ log_level_arg))
@@ -967,12 +1008,22 @@ let unexpected response =
       | _ -> "unexpected response from the daemon"))
 
 let client_submit socket file seed dvs uniform generations population restarts
-    watch =
+    islands migration_every migrants watch =
   let* spec_text =
     try Ok (Mm_io.Codec.read_file file) with Sys_error m -> Error (`Msg m)
   in
   let options =
-    { Serve_job.seed; generations; population; restarts; dvs; uniform }
+    {
+      Serve_job.seed;
+      generations;
+      population;
+      restarts;
+      dvs;
+      uniform;
+      islands;
+      migration_interval = migration_every;
+      migration_count = migrants;
+    }
   in
   with_client socket @@ fun c ->
   match Serve_client.request c (Serve_protocol.Submit { spec_text; options }) with
@@ -1072,7 +1123,7 @@ let client_cmd =
         term_result
           (const client_submit $ socket_arg $ spec_file_arg $ seed_arg $ dvs_arg
          $ uniform_arg $ generations_arg $ population_arg $ restarts_arg
-         $ watch_flag))
+         $ islands_arg $ migration_every_arg $ migrants_arg $ watch_flag))
   in
   let status =
     Cmd.v

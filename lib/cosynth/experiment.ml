@@ -42,8 +42,9 @@ let summarize_run (r : Synthesis.result) =
     history = r.Synthesis.history;
   }
 
-let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~weighting
-    ~spec ~runs ~seed ~completed ~on_run =
+let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islands
+    ~migration_interval ~migration_count ~weighting ~spec ~runs ~seed ~completed
+    ~on_run =
   if runs <= 0 then invalid_arg "Experiment.compare: runs must be positive";
   if List.length completed > runs then
     invalid_arg "Experiment.compare: snapshot holds more runs than requested";
@@ -58,6 +59,9 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~weigh
       eval_cache;
       delta = Synthesis.default_config.Synthesis.delta;
       audit;
+      islands;
+      migration_interval;
+      migration_count;
     }
   in
   (* One cache per arm, shared across its repeated runs: later runs reuse
@@ -68,7 +72,11 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~weigh
      cold cache, so evaluation counts of its remaining runs can differ
      from the uninterrupted arm's — synthesised powers never do. *)
   let cache =
-    if eval_cache > 0 then Some (Mm_parallel.Memo.create ~capacity:eval_cache)
+    (* Pointless under the island model: Synthesis ignores a shared
+       cache there (each island keeps a private one, see
+       {!Synthesis.run}). *)
+    if eval_cache > 0 && islands <= 1 then
+      Some (Mm_parallel.Memo.adaptive ~capacity:eval_cache)
     else None
   in
   (* Oldest-first; replayed runs carry no [Synthesis.result] — if one of
@@ -121,6 +129,9 @@ let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
     ?(use_improvements = true) ?(restarts = Synthesis.default_config.Synthesis.restarts)
     ?(jobs = Synthesis.default_config.Synthesis.jobs)
     ?(eval_cache = Synthesis.default_config.Synthesis.eval_cache) ?(audit = false)
+    ?(islands = Synthesis.default_config.Synthesis.islands)
+    ?(migration_interval = Synthesis.default_config.Synthesis.migration_interval)
+    ?(migration_count = Synthesis.default_config.Synthesis.migration_count)
     ?checkpoint ?resume ~spec ~runs ~seed () =
   (match resume with
   | None -> ()
@@ -135,8 +146,8 @@ let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
   let baseline_done = match resume with None -> [] | Some st -> st.baseline_done in
   let proposed_done = match resume with None -> [] | Some st -> st.proposed_done in
   let without_probabilities, baseline_all =
-    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit
-      ~weighting:Fitness.Uniform ~spec ~runs ~seed ~completed:baseline_done
+    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islands
+      ~migration_interval ~migration_count ~weighting:Fitness.Uniform ~spec ~runs ~seed ~completed:baseline_done
       ~on_run:
         (Option.map
            (fun save summaries ->
@@ -144,8 +155,8 @@ let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
            checkpoint)
   in
   let with_probabilities, _ =
-    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit
-      ~weighting:Fitness.True_probabilities ~spec ~runs ~seed ~completed:proposed_done
+    run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islands
+      ~migration_interval ~migration_count ~weighting:Fitness.True_probabilities ~spec ~runs ~seed ~completed:proposed_done
       ~on_run:
         (Option.map
            (fun save summaries ->

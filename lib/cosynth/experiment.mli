@@ -52,6 +52,9 @@ val compare :
   ?jobs:int ->
   ?eval_cache:int ->
   ?audit:bool ->
+  ?islands:int ->
+  ?migration_interval:int ->
+  ?migration_count:int ->
   ?checkpoint:(state -> unit) ->
   ?resume:state ->
   spec:Spec.t ->
@@ -63,7 +66,11 @@ val compare :
     [seed], [seed+1], …; both arms share seeds so the comparison is
     paired.  [jobs] and [eval_cache] are forwarded to
     {!Synthesis.config}; neither changes the synthesised results, only
-    how fast they are computed.  [audit] (default [false]) runs
+    how fast they are computed.  [islands], [migration_interval] and
+    [migration_count] select the island-model GA for every run of both
+    arms — unlike [jobs] they {e do} change each run's trajectory (see
+    {!Synthesis.config}), but both arms share the topology so the
+    comparison stays paired.  [audit] (default [false]) runs
     {!Audit.check} on every synthesis result; a dirty report is logged
     by {!Synthesis.run} but never aborts the comparison.
 

@@ -103,10 +103,10 @@ let compile t =
     dispatch = Tech_lib.dispatch t.tech ~n_types ~n_pes:(Arch.n_pes t.arch);
     mobility_cache =
       Domain.DLS.new_key (fun () ->
-          Mm_parallel.Memo.create ~capacity:mode_cache_capacity);
+          Mm_parallel.Memo.create ~capacity:mode_cache_capacity ());
     eval_cache =
       Domain.DLS.new_key (fun () ->
-          Mm_parallel.Memo.create ~capacity:mode_cache_capacity);
+          Mm_parallel.Memo.create ~capacity:mode_cache_capacity ());
     scaling_workspace = Domain.DLS.new_key Mm_dvs.Scaling.create_workspace;
   }
 

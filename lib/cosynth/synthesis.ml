@@ -1,5 +1,6 @@
 module Prng = Mm_util.Prng
 module Engine = Mm_ga.Engine
+module Islands = Mm_ga.Islands
 module Pool = Mm_parallel.Pool
 module Memo = Mm_parallel.Memo
 module Log = Mm_obs.Log
@@ -19,6 +20,9 @@ type config = {
   eval_cache : int;
   delta : bool;
   audit : bool;
+  islands : int;
+  migration_interval : int;
+  migration_count : int;
 }
 
 let default_eval_cache = 8192
@@ -33,6 +37,9 @@ let default_config =
     eval_cache = default_eval_cache;
     delta = true;
     audit = false;
+    islands = 1;
+    migration_interval = Islands.default_topology.Islands.migration_interval;
+    migration_count = Islands.default_topology.Islands.migration_count;
   }
 
 type cache = (float * Fitness.eval) Memo.t
@@ -46,13 +53,22 @@ type restart_summary = {
   r_history : float list;
 }
 
+(* In-flight engine state inside a restart: a plain single-population
+   engine checkpoint, or the per-island archipelago of the island
+   model.  Which variant a snapshot carries is pinned by the config
+   fingerprint ([islands=...] is part of it whenever islands > 1), so a
+   resume can never feed one shape into the other silently. *)
+type engine_state =
+  | Single of Engine.checkpoint
+  | Sharded of Islands.checkpoint
+
 type run_state = {
   seed : int;
   fingerprint : string;
   next_restart : int;
   completed : restart_summary list;
   outer_rng : int64;
-  engine : Engine.checkpoint option;
+  engine : engine_state option;
 }
 
 type checkpoint_sink = { every : int; save : run_state -> unit }
@@ -103,6 +119,15 @@ let config_fingerprint config =
     ga.Engine.max_generations ga.Engine.stagnation_limit
     ga.Engine.diversity_threshold ga.Engine.selection_pressure
     config.use_improvements (max 1 config.restarts)
+  ^
+  (* Appended only when the island model is active, so every fingerprint
+     ever written by an islands=1 run — including pre-island snapshots —
+     stays valid verbatim. *)
+  (if config.islands > 1 then
+     Printf.sprintf " islands=%d:%d:%d" config.islands
+       (max 1 config.migration_interval)
+       (max 0 config.migration_count)
+   else "")
 
 type result = {
   genome : int array;
@@ -285,14 +310,25 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
   let pool = match pool with Some _ -> pool | None -> owned_pool in
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown owned_pool)
   @@ fun () ->
+  let use_islands = config.islands > 1 in
+  (* Force the compiled spec context on the owner domain before any
+     work fans out: [Spec.compiled] memoises through an atomic CAS, so
+     racing first evaluations across K domains would each compile the
+     whole context and discard K-1 copies.  Warmed here, every domain
+     shares the one read-only context. *)
+  if pool <> None || use_islands then ignore (Spec.compiled spec);
   let cache =
     (* An externally supplied cache (shared across runs by the experiment
        harness) wins over the per-run one; caching is exact, so sharing
-       changes evaluation counts but never a synthesised result. *)
+       changes evaluation counts but never a synthesised result.  The
+       island model ignores both: islands evaluate on worker domains,
+       where a shared cache would be a data race, so each island gets a
+       private adaptive cache from [Islands.run] instead. *)
     match cache with
-    | Some _ -> cache
+    | Some _ -> if use_islands then None else cache
     | None ->
-      if config.eval_cache > 0 then Some (Memo.create ~capacity:config.eval_cache)
+      if config.eval_cache > 0 && not use_islands then
+        Some (Memo.adaptive ~capacity:config.eval_cache)
       else None
   in
   let strategy =
@@ -323,7 +359,12 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
           ("restart", string_of_int state.next_restart);
           ( "generation",
             match state.engine with
-            | Some ck -> string_of_int ck.Engine.generation
+            | Some (Single ck) -> string_of_int ck.Engine.generation
+            | Some (Sharded ck) ->
+              string_of_int
+                (Array.fold_left
+                   (fun acc (m : Engine.checkpoint) -> max acc m.Engine.generation)
+                   0 ck.Islands.members)
             | None -> "-" );
         ])
       p_checkpoint
@@ -370,51 +411,137 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
           match resume_ck with None -> Prng.split rng | Some _ -> rng
         in
         let outer_state = Prng.state rng in
+        let state_of engine =
+          {
+            seed;
+            fingerprint;
+            next_restart = restart;
+            completed = List.map fst !summaries;
+            outer_rng = outer_state;
+            engine;
+          }
+        in
         (* Checkpoint persistence runs {e before} the yield callback: a
            cooperative scheduler suspends (and may be SIGKILLed) inside
            [yield], and the contract is that on-disk state is current at
            every suspension point. *)
-        let on_generation =
-          match (checkpoint, yield) with
-          | None, None -> None
-          | _ ->
-            Some
-              (fun (ck : Engine.checkpoint) ->
-                (match checkpoint with
-                | Some sink
-                  when sink.every > 0 && ck.Engine.generation mod sink.every = 0
-                  ->
-                  save_state sink
-                    {
-                      seed;
-                      fingerprint;
-                      next_restart = restart;
-                      completed = List.map fst !summaries;
-                      outer_rng = outer_state;
-                      engine = Some ck;
-                    }
-                | Some _ | None -> ());
-                match yield with
-                | None -> ()
-                | Some f ->
-                  f
-                    {
-                      p_restart = restart;
-                      p_generation = ck.Engine.generation;
-                      p_best_fitness = snd ck.Engine.best;
-                      p_evaluations = ck.Engine.evaluations;
-                      p_cache_hits = ck.Engine.cache_hits;
-                    })
-        in
-        let result =
-          Engine.run ~config:config.ga ~strategy ?delta ?on_generation
-            ?resume:resume_ck ~rng:child_rng problem
+        let summary, best_info =
+          if use_islands then begin
+            let topology =
+              {
+                Islands.islands = config.islands;
+                migration_interval = config.migration_interval;
+                migration_count = config.migration_count;
+              }
+            in
+            let resume_islands =
+              match resume_ck with
+              | None -> None
+              | Some (Sharded ck) -> Some ck
+              | Some (Single _) ->
+                invalid_arg
+                  "Synthesis.run: snapshot carries single-engine state but \
+                   islands are enabled"
+            in
+            (* The island model suspends at migration epochs, not at
+               every generation: checkpoints and yields fire once per
+               epoch (epochs are [migration_interval] generations
+               apart), always from the owner domain. *)
+            let on_epoch =
+              match (checkpoint, yield) with
+              | None, None -> None
+              | _ ->
+                Some
+                  (fun (ck : Islands.checkpoint) ->
+                    let fold f init =
+                      Array.fold_left
+                        (fun acc (m : Engine.checkpoint) -> f acc m)
+                        init ck.Islands.members
+                    in
+                    (match checkpoint with
+                    | Some sink when sink.every > 0 ->
+                      save_state sink (state_of (Some (Sharded ck)))
+                    | Some _ | None -> ());
+                    match yield with
+                    | None -> ()
+                    | Some f ->
+                      f
+                        {
+                          p_restart = restart;
+                          p_generation =
+                            fold (fun acc m -> max acc m.Engine.generation) 0;
+                          p_best_fitness =
+                            fold
+                              (fun acc m -> Float.min acc (snd m.Engine.best))
+                              infinity;
+                          p_evaluations =
+                            fold (fun acc m -> acc + m.Engine.evaluations) 0;
+                          p_cache_hits =
+                            fold (fun acc m -> acc + m.Engine.cache_hits) 0;
+                        })
+            in
+            let r =
+              Islands.run ~config:config.ga ~topology ?pool
+                ~cache_capacity:config.eval_cache ?delta ?on_epoch
+                ?resume:resume_islands ~rng:child_rng problem
+            in
+            let best = r.Islands.best in
+            ( {
+                r_genome = Array.copy best.Engine.best_genome;
+                r_fitness = best.Engine.best_fitness;
+                r_generations = r.Islands.generations;
+                r_evaluations = r.Islands.evaluations;
+                r_cache_hits = r.Islands.cache_hits;
+                r_history = best.Engine.history;
+              },
+              best.Engine.best_info )
+          end
+          else begin
+            let resume_engine =
+              match resume_ck with
+              | None -> None
+              | Some (Single ck) -> Some ck
+              | Some (Sharded _) ->
+                invalid_arg
+                  "Synthesis.run: snapshot carries island state but islands \
+                   are disabled"
+            in
+            let on_generation =
+              match (checkpoint, yield) with
+              | None, None -> None
+              | _ ->
+                Some
+                  (fun (ck : Engine.checkpoint) ->
+                    (match checkpoint with
+                    | Some sink
+                      when sink.every > 0
+                           && ck.Engine.generation mod sink.every = 0 ->
+                      save_state sink (state_of (Some (Single ck)))
+                    | Some _ | None -> ());
+                    match yield with
+                    | None -> ()
+                    | Some f ->
+                      f
+                        {
+                          p_restart = restart;
+                          p_generation = ck.Engine.generation;
+                          p_best_fitness = snd ck.Engine.best;
+                          p_evaluations = ck.Engine.evaluations;
+                          p_cache_hits = ck.Engine.cache_hits;
+                        })
+            in
+            let result =
+              Engine.run ~config:config.ga ~strategy ?delta ?on_generation
+                ?resume:resume_engine ~rng:child_rng problem
+            in
+            (summarize result, result.Engine.best_info)
+          end
         in
         Log.debug (fun () ->
             Printf.sprintf "seed %d restart %d/%d: fitness %.6g in %d generations"
-              seed (restart + 1) restarts result.Engine.best_fitness
-              result.Engine.generations);
-        summaries := !summaries @ [ (summarize result, Some result.Engine.best_info) ];
+              seed (restart + 1) restarts summary.r_fitness
+              summary.r_generations);
+        summaries := !summaries @ [ (summary, Some best_info) ];
         (match checkpoint with
         | None -> ()
         | Some sink ->
@@ -436,10 +563,10 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
           f
             {
               p_restart = restart;
-              p_generation = result.Engine.generations;
-              p_best_fitness = result.Engine.best_fitness;
-              p_evaluations = result.Engine.evaluations;
-              p_cache_hits = result.Engine.cache_hits;
+              p_generation = summary.r_generations;
+              p_best_fitness = summary.r_fitness;
+              p_evaluations = summary.r_evaluations;
+              p_cache_hits = summary.r_cache_hits;
             })
   done;
   let cpu_seconds = Sys.time () -. started in

@@ -37,6 +37,21 @@ type config = {
           suite force it on).  Like [jobs]/[eval_cache], auditing never
           perturbs the synthesis trajectory, so it is absent from
           {!config_fingerprint}. *)
+  islands : int;
+      (** Number of GA islands per restart (default 1).  With
+          [islands > 1] each restart runs {!Mm_ga.Islands.run}: the
+          population is sharded into that many independent engines with
+          periodic deterministic migration, and [jobs] domains schedule
+          whole islands instead of evaluation batches.  Unlike [jobs],
+          this {e changes the trajectory} (a sharded search explores
+          differently), so it is part of {!config_fingerprint} whenever
+          it is active. *)
+  migration_interval : int;
+      (** Generations between migration epochs (default 8); only
+          meaningful with [islands > 1], fingerprinted with it. *)
+  migration_count : int;
+      (** Members each island exports per epoch (default 2); only
+          meaningful with [islands > 1], fingerprinted with it. *)
 }
 
 val default_config : config
@@ -116,11 +131,20 @@ type run_state = {
       (** The outer PRNG stream: the post-split state when [engine]
           holds an in-flight restart, the pre-split state of restart
           [next_restart] otherwise. *)
-  engine : Mm_ga.Engine.checkpoint option;
+  engine : engine_state option;
       (** The in-flight restart's generation-boundary state, or [None]
           for a checkpoint taken between restarts. *)
 }
 (** Full synthesis run state at a checkpoint boundary. *)
+
+and engine_state =
+  | Single of Mm_ga.Engine.checkpoint
+      (** A plain single-population restart ([config.islands <= 1]). *)
+  | Sharded of Mm_ga.Islands.checkpoint
+      (** An island-model restart, captured at a migration-epoch
+          boundary.  The config fingerprint pins which variant a
+          snapshot may carry, so a resume can never feed one shape into
+          the other. *)
 
 type checkpoint_sink = {
   every : int;  (** Emit a within-restart checkpoint every N generations. *)

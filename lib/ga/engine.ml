@@ -153,7 +153,33 @@ let make_batcher ?delta problem strategy =
       in
       if n_delta > 0 then Metrics.incr ~by:n_delta m_delta_evaluations);
     match pool with
-    | Some p -> Pool.map p eval_one items
+    | Some p ->
+      (* Dispatch through one flat shared slab: the gene words of every
+         miss are packed into a Bigarray and the pool items are plain
+         indices, so the array every domain scans through the shared
+         cursor is small and pointer-free, and workers reconstruct each
+         genome from the slab instead of chasing per-item heap tuples.
+         Results are float/info pairs; the caller keeps the original
+         genome arrays, so the copies never escape the batch. *)
+      let len = Array.length problem.gene_counts in
+      let n = Array.length items in
+      let slab =
+        Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 (n * len))
+      in
+      Array.iteri
+        (fun i (g, _) ->
+          let base = i * len in
+          for j = 0 to len - 1 do
+            slab.{base + j} <- g.(j)
+          done)
+        items;
+      let ctxs = Array.map snd items in
+      let eval_slot i =
+        let base = i * len in
+        let genome = Array.init len (fun j -> slab.{base + j}) in
+        eval_one (genome, ctxs.(i))
+      in
+      Pool.map p eval_slot (Array.init n (fun i -> i))
     | None -> Array.map eval_one items
   in
   let batch items =
@@ -206,7 +232,30 @@ let make_batcher ?delta problem strategy =
   in
   { batch; evaluations; cache_hits }
 
-let run ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
+(* A paused run at a generation boundary: the sorted population, the
+   convergence bookkeeping and the PRNG.  [step] advances it in place;
+   everything else ([to_checkpoint], [to_result], [best_members],
+   [inject]) reads or edits the boundary state.  This is the unit the
+   island model schedules: each island owns one [state] and steps it to
+   the next migration epoch on whatever domain the pool hands it. *)
+type 'info state = {
+  st_config : config;
+  st_problem : 'info problem;
+  st_batcher : 'info batcher;
+  st_delta : 'info delta option;
+  st_weights : float array;
+  st_on_generation : (checkpoint -> unit) option;
+  st_rng : Prng.t;
+  mutable st_population : 'info member array;
+  mutable st_best : 'info member;
+  mutable st_stagnation : int;
+  mutable st_history : float list; (* newest first *)
+  mutable st_generation : int;
+}
+
+let by_fitness a b = compare a.fitness b.fitness
+
+let init ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
     ?resume ~rng problem =
   if Array.length problem.gene_counts = 0 then invalid_arg "Engine.run: empty genome";
   if config.population_size <= 0 then invalid_arg "Engine.run: non-positive population";
@@ -220,7 +269,6 @@ let run ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
       if not (Genome.validate ~counts:problem.gene_counts genome) then
         invalid_arg "Engine.run: invalid initial genome")
     problem.initial;
-  let by_fitness a b = compare a.fitness b.fitness in
   let rng, population, best, history, stagnation, generation =
     match resume with
     | None ->
@@ -235,7 +283,7 @@ let run ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
       let population = batcher.batch (full genomes) in
       Array.sort by_fitness population;
       let best = population.(0) in
-      (rng, ref population, ref best, ref [ best.fitness ], ref 0, ref 0)
+      (rng, population, best, [ best.fitness ], 0, 0)
     | Some (ck : checkpoint) ->
       if Array.length ck.members <> config.population_size then
         invalid_arg "Engine.run: checkpoint population size mismatch";
@@ -277,70 +325,158 @@ let run ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
          captured state, which is what makes the resumed trajectory
          bit-identical to the uninterrupted one. *)
       ( Prng.of_state ck.rng_state,
-        ref members,
-        ref best,
-        ref (List.rev ck.history),
-        ref ck.stagnation,
-        ref ck.generation )
+        members,
+        best,
+        List.rev ck.history,
+        ck.stagnation,
+        ck.generation )
   in
-  let weights = ranking_weights config.population_size config.selection_pressure in
-  (* Mean normalised Hamming distance of the population to its best
-     member — a cheap proxy for population diversity. *)
-  let diversity () =
-    let members = !population in
-    let best_genome = members.(0).genome in
-    let len = Array.length best_genome in
-    let total =
-      Array.fold_left
-        (fun acc m -> acc + Genome.hamming best_genome m.genome)
-        0 members
+  {
+    st_config = config;
+    st_problem = problem;
+    st_batcher = batcher;
+    st_delta = delta;
+    st_weights = ranking_weights config.population_size config.selection_pressure;
+    st_on_generation = on_generation;
+    st_rng = rng;
+    st_population = population;
+    st_best = best;
+    st_stagnation = stagnation;
+    st_history = history;
+    st_generation = generation;
+  }
+
+(* Mean normalised Hamming distance of the population to its best
+   member — a cheap proxy for population diversity. *)
+let diversity st =
+  let members = st.st_population in
+  let best_genome = members.(0).genome in
+  let len = Array.length best_genome in
+  let total =
+    Array.fold_left
+      (fun acc m -> acc + Genome.hamming best_genome m.genome)
+      0 members
+  in
+  float_of_int total /. float_of_int (Array.length members * len)
+
+let converged st =
+  let config = st.st_config in
+  st.st_stagnation >= config.stagnation_limit
+  || (config.diversity_threshold > 0.0
+     && st.st_stagnation >= (config.stagnation_limit + 1) / 2
+     && diversity st < config.diversity_threshold)
+
+let generation st = st.st_generation
+
+let finished st =
+  st.st_generation >= st.st_config.max_generations || converged st
+
+(* Tournament over rank positions: smaller weighted draw wins. *)
+let select st =
+  let config = st.st_config and rng = st.st_rng and weights = st.st_weights in
+  let draw () = Prng.int rng config.population_size in
+  let rec tournament best_rank k =
+    if k = 0 then best_rank
+    else
+      let candidate = draw () in
+      (* Higher linear-ranking weight wins the tournament. *)
+      let winner = if weights.(candidate) > weights.(best_rank) then candidate else best_rank in
+      tournament winner (k - 1)
+  in
+  st.st_population.(tournament (draw ()) (config.tournament_size - 1))
+
+(* Per-generation convergence statistics; [diversity st] is recomputed
+   only when metrics are on (it is O(population × genome)). *)
+let record_generation st =
+  if Mm_obs.Control.metrics_on () then begin
+    Metrics.incr m_generations;
+    let members = st.st_population in
+    let n = Array.length members in
+    let sum = Array.fold_left (fun acc m -> acc +. m.fitness) 0.0 members in
+    Metrics.append s_best st.st_best.fitness;
+    Metrics.append s_mean (sum /. float_of_int n);
+    Metrics.append s_diversity (diversity st);
+    Metrics.append s_stagnation (float_of_int st.st_stagnation)
+  end
+
+let to_checkpoint st =
+  {
+    generation = st.st_generation;
+    members =
+      Array.map (fun m -> (Array.copy m.genome, m.fitness)) st.st_population;
+    best = (Array.copy st.st_best.genome, st.st_best.fitness);
+    stagnation = st.st_stagnation;
+    history = List.rev st.st_history;
+    evaluations = !(st.st_batcher.evaluations);
+    cache_hits = !(st.st_batcher.cache_hits);
+    rng_state = Prng.state st.st_rng;
+  }
+
+let to_result st =
+  {
+    best_genome = Array.copy st.st_best.genome;
+    best_fitness = st.st_best.fitness;
+    best_info = st.st_best.info;
+    generations = st.st_generation;
+    evaluations = !(st.st_batcher.evaluations);
+    cache_hits = !(st.st_batcher.cache_hits);
+    history = List.rev st.st_history;
+  }
+
+let best_members st m =
+  let pop = st.st_population in
+  let m = max 0 (min m (Array.length pop)) in
+  List.init m (fun i ->
+      let r = pop.(i) in
+      { r with genome = Array.copy r.genome })
+
+(* Migration intake: the [migrants] replace the worst residents (the
+   tail of the fitness-sorted population), the merged array is re-sorted
+   with the same comparator the engine uses everywhere, and — when a
+   migrant strictly improves on the island's best-ever (the engine's
+   usual [1e-15] threshold) — the best is adopted and stagnation resets,
+   so migration can revive a converged island.  Everything is plain
+   deterministic array surgery on boundary state: no randomness is
+   consumed, so injection composes with the bit-identity contract. *)
+let inject st migrants =
+  match migrants with
+  | [] -> ()
+  | migrants ->
+    let pop = st.st_population in
+    let n = Array.length pop in
+    let m = min (List.length migrants) n in
+    let arriving =
+      Array.of_list
+        (List.filteri (fun i _ -> i < m) migrants
+        |> List.map (fun r -> { r with genome = Array.copy r.genome }))
     in
-    float_of_int total /. float_of_int (Array.length members * len)
-  in
-  let converged () =
-    !stagnation >= config.stagnation_limit
-    || (config.diversity_threshold > 0.0
-       && !stagnation >= (config.stagnation_limit + 1) / 2
-       && diversity () < config.diversity_threshold)
-  in
-  (* Tournament over rank positions: smaller weighted draw wins. *)
-  let select () =
-    let draw () = Prng.int rng config.population_size in
-    let rec tournament best_rank k =
-      if k = 0 then best_rank
-      else
-        let candidate = draw () in
-        (* Higher linear-ranking weight wins the tournament. *)
-        let winner = if weights.(candidate) > weights.(best_rank) then candidate else best_rank in
-        tournament winner (k - 1)
-    in
-    !population.(tournament (draw ()) (config.tournament_size - 1))
-  in
-  (* Per-generation convergence statistics; [diversity ()] is recomputed
-     only when metrics are on (it is O(population × genome)). *)
-  let record_generation () =
-    if Mm_obs.Control.metrics_on () then begin
-      Metrics.incr m_generations;
-      let members = !population in
-      let n = Array.length members in
-      let sum = Array.fold_left (fun acc m -> acc +. m.fitness) 0.0 members in
-      Metrics.append s_best !best.fitness;
-      Metrics.append s_mean (sum /. float_of_int n);
-      Metrics.append s_diversity (diversity ());
-      Metrics.append s_stagnation (float_of_int !stagnation)
-    end
-  in
-  while !generation < config.max_generations && not (converged ()) do
-    incr generation;
+    let next = Array.append (Array.sub pop 0 (n - m)) arriving in
+    Array.sort by_fitness next;
+    st.st_population <- next;
+    Array.iter
+      (fun (r : _ member) ->
+        if r.fitness < st.st_best.fitness -. 1e-15 then begin
+          st.st_best <- { r with genome = Array.copy r.genome };
+          st.st_stagnation <- 0
+        end)
+      arriving
+
+let step st ~until =
+  let config = st.st_config in
+  let problem = st.st_problem in
+  let rng = st.st_rng in
+  let until = min until config.max_generations in
+  while st.st_generation < until && not (converged st) do
+    st.st_generation <- st.st_generation + 1;
     Mm_obs.Probe.run
-      ~args:(fun () -> [ ("generation", string_of_int !generation) ])
+      ~args:(fun () -> [ ("generation", string_of_int st.st_generation) ])
       p_generation
     @@ fun () ->
     let snapshot =
       {
-        generation = !generation;
-        fitnesses = Array.map (fun m -> m.fitness) !population;
-        infos = Array.map (fun m -> m.info) !population;
+        generation = st.st_generation;
+        fitnesses = Array.map (fun m -> m.fitness) st.st_population;
+        infos = Array.map (fun m -> m.info) st.st_population;
       }
     in
     let n_elite = min config.elite_count config.population_size in
@@ -362,7 +498,7 @@ let run ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
          diff consumes no randomness, so supplying [delta] does not
          perturb the trajectory. *)
       let ctx =
-        match delta with
+        match st.st_delta with
         | None -> None
         | Some _ -> Some (parent.info, Genome.diff genome parent.genome)
       in
@@ -370,7 +506,7 @@ let run ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
       incr n_offspring
     in
     while !n_offspring < config.population_size do
-      let parent_a = select () and parent_b = select () in
+      let parent_a = select st and parent_b = select st in
       if Prng.chance rng config.crossover_rate then begin
         let child_a, child_b =
           Genome.two_point_crossover rng parent_a.genome parent_b.genome
@@ -389,52 +525,36 @@ let run ?(config = default_config) ?(strategy = Serial) ?delta ?on_generation
         emit child parent_a
       end
     done;
-    let children = batcher.batch (Array.of_list (List.rev !pending)) in
+    let children = st.st_batcher.batch (Array.of_list (List.rev !pending)) in
     (* Rebuild the survivor array in the exact order the serial engine
        used (elites pushed first, children on top, list reversed by
        [Array.of_list]) so the unstable sort below sees the same input
        and equal seeds keep giving bit-identical populations. *)
     let offspring = ref [] in
     for i = 0 to n_elite - 1 do
-      offspring := !population.(i) :: !offspring
+      offspring := st.st_population.(i) :: !offspring
     done;
     Array.iter (fun m -> offspring := m :: !offspring) children;
     let next = Array.of_list !offspring in
     Array.sort by_fitness next;
-    population := next;
-    if next.(0).fitness < !best.fitness -. 1e-15 then begin
-      best := next.(0);
-      stagnation := 0
+    st.st_population <- next;
+    if next.(0).fitness < st.st_best.fitness -. 1e-15 then begin
+      st.st_best <- next.(0);
+      st.st_stagnation <- 0
     end
-    else incr stagnation;
-    history := !best.fitness :: !history;
-    record_generation ();
+    else st.st_stagnation <- st.st_stagnation + 1;
+    st.st_history <- st.st_best.fitness :: st.st_history;
+    record_generation st;
     (* The generation boundary is the only point where no randomness is
        in flight: everything the next iteration reads is the sorted
        population, the convergence state and the PRNG word captured
        here.  That is exactly what a [checkpoint] carries. *)
-    match on_generation with
+    match st.st_on_generation with
     | None -> ()
-    | Some emit ->
-      emit
-        {
-          generation = !generation;
-          members =
-            Array.map (fun m -> (Array.copy m.genome, m.fitness)) !population;
-          best = (Array.copy !best.genome, !best.fitness);
-          stagnation = !stagnation;
-          history = List.rev !history;
-          evaluations = !(batcher.evaluations);
-          cache_hits = !(batcher.cache_hits);
-          rng_state = Prng.state rng;
-        }
-  done;
-  {
-    best_genome = Array.copy !best.genome;
-    best_fitness = !best.fitness;
-    best_info = !best.info;
-    generations = !generation;
-    evaluations = !(batcher.evaluations);
-    cache_hits = !(batcher.cache_hits);
-    history = List.rev !history;
-  }
+    | Some emit -> emit (to_checkpoint st)
+  done
+
+let run ?config ?strategy ?delta ?on_generation ?resume ~rng problem =
+  let st = init ?config ?strategy ?delta ?on_generation ?resume ~rng problem in
+  step st ~until:st.st_config.max_generations;
+  to_result st

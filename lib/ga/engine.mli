@@ -144,6 +144,77 @@ type checkpoint = {
     are monomorphic and serialisable without caring what the evaluator
     attaches. *)
 
+type 'info member = { genome : int array; fitness : float; info : 'info }
+(** One evaluated individual.  Exposed so the island layer
+    ({!Islands}) can move individuals between engines; the genome array
+    of a member returned by {!best_members} is a private copy. *)
+
+type 'info state
+(** A run paused at a generation boundary: the fitness-sorted
+    population, the best-ever individual, the convergence bookkeeping
+    and the PRNG word.  Created by {!init}, advanced in place by
+    {!step}; {!run} is [init] followed by one [step] to
+    [max_generations].  A [state] is single-owner mutable data — it may
+    migrate between domains (the island scheduler steps different
+    islands on different domains), but must never be stepped from two
+    domains concurrently. *)
+
+val init :
+  ?config:config ->
+  ?strategy:'info eval_strategy ->
+  ?delta:'info delta ->
+  ?on_generation:(checkpoint -> unit) ->
+  ?resume:checkpoint ->
+  rng:Mm_util.Prng.t ->
+  'info problem ->
+  'info state
+(** Validate the problem and build the boundary state {!run} starts
+    from: either a fresh evaluated-and-sorted random population (seeded
+    with [problem.initial], consuming [rng] in index order) or, with
+    [resume], the verbatim checkpointed population with its ['info]
+    side data recomputed (see {!run} for the resume contract).  Raises
+    [Invalid_argument] exactly where {!run} does. *)
+
+val step : 'info state -> until:int -> unit
+(** Advance the state while [generation st < min until max_generations]
+    and the run has not converged.  [step st ~until:max_generations]
+    runs to completion; smaller [until] values pause at an intermediate
+    generation boundary, from which a later [step] continues
+    bit-identically — the split points are invisible to the
+    trajectory. *)
+
+val generation : 'info state -> int
+(** Completed generations so far. *)
+
+val finished : 'info state -> bool
+(** Whether {!step} would be a no-op: the generation cap is reached or
+    the run has converged (stagnation / diversity criteria).  A
+    converged state can become unfinished again if {!inject} adopts a
+    strictly better migrant (stagnation resets). *)
+
+val to_checkpoint : 'info state -> checkpoint
+(** Capture the boundary state (genomes are copies; the caller may
+    retain them).  Equal to what [on_generation] was last called with,
+    except after {!inject}, which edits the boundary state in place. *)
+
+val to_result : 'info state -> 'info result
+(** The run result as of the current boundary. *)
+
+val best_members : 'info state -> int -> 'info member list
+(** [best_members st m] returns copies of the [m] fittest members of
+    the current population, best first (fewer if the population is
+    smaller).  Genome arrays are fresh copies. *)
+
+val inject : 'info state -> 'info member list -> unit
+(** Migration intake: replace the worst [List.length migrants]
+    residents (the tail of the fitness-sorted population) with the
+    given members and re-sort.  A migrant that strictly improves on the
+    island's best-ever fitness (by the engine's [1e-15] threshold)
+    becomes the new best and resets stagnation, so migration can revive
+    a converged island.  Consumes no randomness and evaluates nothing —
+    migrants carry their fitness and ['info], which is sound exactly
+    because evaluation is pure and genome-determined. *)
+
 val run :
   ?config:config ->
   ?strategy:'info eval_strategy ->

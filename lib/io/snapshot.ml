@@ -2,7 +2,12 @@ module Engine = Mm_ga.Engine
 module Synthesis = Mm_cosynth.Synthesis
 module Experiment = Mm_cosynth.Experiment
 
-let format_version = 1
+(* Version 2 added the island-model [islands] payload field (PR 8); a
+   single-engine state still writes the version-1 [engine] field shape,
+   and version-1 snapshots are accepted on read. *)
+let format_version = 2
+
+let min_format_version = 1
 
 type payload =
   | Synth of Synthesis.run_state
@@ -19,8 +24,8 @@ let error_to_string = function
   | Malformed message -> "malformed snapshot: " ^ message
   | Version_mismatch { found } ->
     Printf.sprintf
-      "snapshot format version %d is not supported (this build reads version %d)"
-      found format_version
+      "snapshot format version %d is not supported (this build reads versions %d-%d)"
+      found min_format_version format_version
   | Spec_mismatch { found; expected } ->
     Printf.sprintf
       "snapshot was taken against a different specification (fingerprint %s, \
@@ -84,7 +89,17 @@ let synth_to_sexp (state : Synthesis.run_state) =
      ]
     @ match state.engine with
       | None -> []
-      | Some ck -> [ Sexp.field "engine" (engine_fields ck) ])
+      | Some (Synthesis.Single ck) -> [ Sexp.field "engine" (engine_fields ck) ]
+      | Some (Synthesis.Sharded ck) ->
+        (* Version-2 field: the ring permutation plus one (island ...)
+           section per member, in island index order. *)
+        [
+          Sexp.field "islands"
+            (Sexp.field "ring" [ sexp_ints ck.Mm_ga.Islands.ring ]
+            :: List.map
+                 (fun eck -> Sexp.field "island" (engine_fields eck))
+                 (Array.to_list ck.Mm_ga.Islands.members));
+        ])
 
 let run_to_sexp (s : Experiment.run_summary) =
   Sexp.List
@@ -170,6 +185,20 @@ let restart_of_sexp s : Synthesis.restart_summary =
     r_history = List.map Sexp.as_float (Sexp.assoc "history" fields);
   }
 
+let islands_of_fields fields : Mm_ga.Islands.checkpoint =
+  {
+    Mm_ga.Islands.ring = as_ints (one "ring" fields);
+    members =
+      Array.of_list (List.map engine_of_fields (Sexp.assoc_all "island" fields));
+  }
+
+let engine_state_of_fields fields : Synthesis.engine_state option =
+  match (Sexp.assoc_opt "engine" fields, Sexp.assoc_opt "islands" fields) with
+  | Some _, Some _ -> failwith "snapshot carries both engine and islands state"
+  | Some e, None -> Some (Synthesis.Single (engine_of_fields e))
+  | None, Some i -> Some (Synthesis.Sharded (islands_of_fields i))
+  | None, None -> None
+
 let synth_of_fields fields : Synthesis.run_state =
   {
     Synthesis.seed = Sexp.as_int (one "seed" fields);
@@ -177,7 +206,7 @@ let synth_of_fields fields : Synthesis.run_state =
     next_restart = Sexp.as_int (one "next-restart" fields);
     outer_rng = as_int64 (one "outer-rng" fields);
     completed = List.map restart_of_sexp (Sexp.assoc "completed" fields);
-    engine = Option.map engine_of_fields (Sexp.assoc_opt "engine" fields);
+    engine = engine_state_of_fields fields;
   }
 
 let run_of_sexp s : Experiment.run_summary =
@@ -217,7 +246,8 @@ let of_string ~spec text =
          payload shape arbitrarily, so nothing past the header is
          decoded for a version this build does not understand. *)
       let version = Sexp.as_int (one "version" fields) in
-      if version <> format_version then Error (Version_mismatch { found = version })
+      if version < min_format_version || version > format_version then
+        Error (Version_mismatch { found = version })
       else
         let found = Sexp.as_atom (one "spec" fields) in
         let expected = fingerprint spec in

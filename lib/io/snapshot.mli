@@ -16,16 +16,26 @@
     Format (S-expression, human-readable):
     {v
     (mmsyn-snapshot
-      (version 1)
+      (version 2)
       (spec fnv1a64:<16 hex digits>)
       (payload (synth ...) | (compare ...)))
     v}
+
+    An in-flight single-engine restart is stored as the [(engine ...)]
+    field of the synth payload; an in-flight island-model restart
+    (version 2) as [(islands (ring ...) (island ...) ...)] — the ring
+    permutation plus one engine section per island, in island index
+    order.  Version-1 snapshots (no [islands] field) are still read.
 
     PRNG states are 64-bit words and appear as decimal atoms; floats are
     printed with {!Sexp.float}, which round-trips bit-exactly. *)
 
 val format_version : int
-(** The version this build writes and reads (currently 1). *)
+(** The version this build writes (currently 2); reads back to
+    {!min_format_version}. *)
+
+val min_format_version : int
+(** The oldest format version this build still reads (currently 1). *)
 
 type payload =
   | Synth of Mm_cosynth.Synthesis.run_state

@@ -18,10 +18,26 @@
 
 type 'v t
 
-val create : capacity:int -> 'v t
-(** [create ~capacity] makes an empty cache holding at most [capacity]
-    entries; beyond that the least-recently-used entry is evicted.
-    Raises [Invalid_argument] if [capacity < 1]. *)
+val create :
+  ?probe_window:int -> ?min_hit_rate:float -> capacity:int -> unit -> 'v t
+(** [create ~capacity ()] makes an empty cache holding at most
+    [capacity] entries; beyond that the least-recently-used entry is
+    evicted.  Raises [Invalid_argument] if [capacity < 1].
+
+    [probe_window] (default 0 = never) enables the {e adaptive bypass}:
+    after that many lookups, if the hit rate is below [min_hit_rate]
+    (default 0.1), the cache self-disables for the rest of its life —
+    every later {!find} returns [None] without hashing (counted in
+    {!bypassed_lookups} and the [memo/bypassed] metric) and every later
+    {!add} is a no-op.  A bypassed lookup is indistinguishable from a
+    miss, so on a workload whose values are pure functions of the key
+    the bypass can never change results, only remove cache overhead
+    from low-hit workloads.  The decision is taken once; {!reset_stats}
+    does not re-arm it. *)
+
+val adaptive : capacity:int -> 'v t
+(** {!create} with the recommended bypass tuning for GA evaluation
+    caches: a 1024-lookup probe window and a 10 % minimum hit rate. *)
 
 val find : ?pin:bool -> 'v t -> int array -> 'v option
 (** Lookup; counts a hit or a miss and refreshes the entry's recency.
@@ -77,6 +93,14 @@ val misses : 'v t -> int
 
 val evictions : 'v t -> int
 (** Number of entries dropped by the LRU bound. *)
+
+val bypassed : 'v t -> bool
+(** Whether the adaptive bypass has triggered (see {!create}). *)
+
+val bypassed_lookups : 'v t -> int
+(** Lookups short-circuited after the bypass triggered; these are not
+    counted as hits or misses, so {!hit_rate} freezes at its
+    probe-window value. *)
 
 val hit_rate : 'v t -> float
 (** [hits / (hits + misses)]; 0 when no lookup happened yet. *)

@@ -22,13 +22,16 @@ module Metrics = Mm_obs.Metrics
 
 (* Pool utilisation metrics (recorded only when metrics are enabled):
    batches/items dispatched, summed domain busy time inside batch
-   closures, and summed worker wait time between batches.  The fault
-   counters mirror the per-pool [stats] so a whole process's pool
+   closures, and the two idle components — queue wait (workers parked
+   between batches, i.e. dispatch cost) and barrier wait (the owner
+   blocked on stragglers at the end of a batch, i.e. imbalance).  The
+   fault counters mirror the per-pool [stats] so a whole process's pool
    trouble is visible in metrics.json. *)
 let m_batches = Metrics.counter "pool/batches"
 let m_items = Metrics.counter "pool/items"
 let m_busy_us = Metrics.counter "pool/busy_us"
-let m_wait_us = Metrics.counter "pool/wait_us"
+let m_queue_wait_us = Metrics.counter "pool/queue_wait_us"
+let m_barrier_wait_us = Metrics.counter "pool/barrier_wait_us"
 let m_retries = Metrics.counter "pool/retries"
 let m_timeouts = Metrics.counter "pool/timeouts"
 let m_respawns = Metrics.counter "pool/respawns"
@@ -71,9 +74,24 @@ type t = {
   n_retries : int Atomic.t;  (* bumped from worker domains *)
   mutable n_timeouts : int;
   mutable n_respawns : int;
+  queue_wait_us : int Atomic.t;  (* worker park time, bumped from workers *)
+  mutable barrier_wait_us : int;  (* owner time blocked on stragglers *)
+  mutable est_item_us : float;  (* EWMA per-item cost; 0.0 = no batch seen *)
 }
 
-type stats = { retries : int; timeouts : int; respawns : int; degraded : bool }
+type stats = {
+  retries : int;
+  timeouts : int;
+  respawns : int;
+  degraded : bool;
+  queue_wait_seconds : float;
+  barrier_wait_seconds : float;
+}
+
+(* Auto-tuned chunking aims each cursor fetch at roughly this much
+   estimated work: cheap items get coarse chunks (the fetch amortises),
+   expensive items fall back to fine-grained stealing for balance. *)
+let chunk_target_us = 200.0
 
 let max_domains = 64
 
@@ -85,14 +103,17 @@ let worker pool ~era ~epoch0 ~exited () =
   let seen = ref epoch0 in
   let running = ref true in
   while !running do
-    let record_wait = Control.metrics_on () in
-    let wait_t0 = if record_wait then Clock.now_us () else 0.0 in
+    (* Queue wait is measured unconditionally (two clock reads per
+       batch) so [stats] can always report it; the metrics counter
+       stays gated as before. *)
+    let wait_t0 = Clock.now_us () in
     Mutex.lock pool.mutex;
     while (not pool.closed) && pool.era = era && pool.epoch = !seen do
       Condition.wait pool.work_ready pool.mutex
     done;
-    if record_wait then
-      Metrics.incr ~by:(int_of_float (Clock.now_us () -. wait_t0)) m_wait_us;
+    let waited = int_of_float (Clock.now_us () -. wait_t0) in
+    ignore (Atomic.fetch_and_add pool.queue_wait_us waited);
+    if Control.metrics_on () then Metrics.incr ~by:waited m_queue_wait_us;
     if pool.closed || pool.era <> era then begin
       Mutex.unlock pool.mutex;
       running := false
@@ -156,6 +177,9 @@ let create ?domains ?(config = default_config) () =
       n_retries = Atomic.make 0;
       n_timeouts = 0;
       n_respawns = 0;
+      queue_wait_us = Atomic.make 0;
+      barrier_wait_us = 0;
+      est_item_us = 0.0;
     }
   in
   pool.workers <- Array.init (size - 1) (fun _ -> spawn_worker pool);
@@ -171,6 +195,8 @@ let stats pool =
       timeouts = pool.n_timeouts;
       respawns = pool.n_respawns;
       degraded = pool.degraded;
+      queue_wait_seconds = float_of_int (Atomic.get pool.queue_wait_us) *. 1e-6;
+      barrier_wait_seconds = float_of_int pool.barrier_wait_us *. 1e-6;
     }
   in
   Mutex.unlock pool.mutex;
@@ -237,10 +263,19 @@ let map pool f input =
           let bt = Printexc.get_raw_backtrace () in
           ignore (Atomic.compare_and_set failure None (Some (e, bt)))
     in
-    (* A few chunks per domain: coarse enough that the atomic cursor is
-       cold, fine enough that the batch does not end on one domain's
-       straggler chunk. *)
-    let chunk = max 1 (n / ((n_workers + 1) * 4)) in
+    (* Chunk granularity: the first batch of a pool falls back to the
+       fixed few-chunks-per-domain heuristic; once a batch has been
+       measured, chunks are sized so each cursor fetch covers roughly
+       [chunk_target_us] of estimated work — cheap items get coarse
+       chunks (amortising cursor contention), expensive items stay
+       fine-grained for balance.  Capped so every domain can still grab
+       at least one chunk. *)
+    let chunk =
+      if pool.est_item_us > 0.0 then
+        let by_cost = int_of_float (ceil (chunk_target_us /. pool.est_item_us)) in
+        max 1 (min by_cost (max 1 (n / (n_workers + 1))))
+      else max 1 (n / ((n_workers + 1) * 4))
+    in
     let run () =
       let running = ref true in
       while !running do
@@ -252,17 +287,20 @@ let map pool f input =
           done
       done
     in
-    let run =
-      (* Each domain's time inside the batch closure, summed: against the
-         batch wall time this gives the pool's effective utilisation. *)
-      if not (Control.metrics_on ()) then run
-      else
-        fun () ->
-          let t0 = Clock.now_us () in
-          Fun.protect
-            ~finally:(fun () ->
-              Metrics.incr ~by:(int_of_float (Clock.now_us () -. t0)) m_busy_us)
-            run
+    (* Each domain's time inside the batch closure, summed: against the
+       batch wall time this gives the pool's effective utilisation, and
+       (divided by the item count) it feeds the chunk-size estimate for
+       the next batch.  Measured unconditionally — two clock reads per
+       domain per batch — with the metrics counter gated as before. *)
+    let batch_busy_us = Atomic.make 0 in
+    let run () =
+      let t0 = Clock.now_us () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = int_of_float (Clock.now_us () -. t0) in
+          ignore (Atomic.fetch_and_add batch_busy_us dt);
+          if Control.metrics_on () then Metrics.incr ~by:dt m_busy_us)
+        run
     in
     Metrics.incr m_batches;
     Metrics.incr ~by:n m_items;
@@ -282,6 +320,11 @@ let map pool f input =
         Condition.broadcast pool.work_ready;
         Mutex.unlock pool.mutex;
         run ();
+        (* Everything from here until [pending] drains is barrier wait:
+           the owner has finished its share and is blocked on straggler
+           chunks (imbalance), as opposed to the workers' queue wait
+           between batches (dispatch cost). *)
+        let barrier_t0 = Clock.now_us () in
         Mutex.lock pool.mutex;
         if pool.cfg.timeout <= 0.0 then
           while pool.pending > 0 do
@@ -303,6 +346,18 @@ let map pool f input =
           done
         end;
         pool.job <- None;
+        let barrier_us = int_of_float (Clock.now_us () -. barrier_t0) in
+        pool.barrier_wait_us <- pool.barrier_wait_us + barrier_us;
+        if Control.metrics_on () then Metrics.incr ~by:barrier_us m_barrier_wait_us;
+        (* Feed the chunk-size estimate: EWMA of measured per-item cost,
+           so one anomalous batch cannot wreck the tuning. *)
+        let busy = Atomic.get batch_busy_us in
+        if busy > 0 then begin
+          let per_item = float_of_int busy /. float_of_int n in
+          pool.est_item_us <-
+            (if pool.est_item_us > 0.0 then (pool.est_item_us +. per_item) /. 2.0
+             else per_item)
+        end;
         Mutex.unlock pool.mutex;
         (* After an abandon the hung workers' chunks are unfinished (and
            a zombie may still be filling slots behind us, which is

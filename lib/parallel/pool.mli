@@ -7,7 +7,10 @@
     is handed out in chunks through a shared atomic cursor, so uneven
     per-element cost (e.g. the smart phone's 162-position genomes next
     to mul-scale ones) self-balances instead of being pinned to a static
-    partition.
+    partition.  Chunk granularity is auto-tuned: the pool keeps an EWMA
+    of measured per-item cost and sizes each batch's chunks to a fixed
+    work target, so cheap items get coarse chunks (amortising cursor
+    contention) and expensive items stay fine-grained for balance.
 
     Threading model: one {e owner}.  A pool is driven from the domain
     that created it; {!map} is not reentrant and must not be called from
@@ -76,6 +79,14 @@ type stats = {
   timeouts : int;  (** Batches abandoned on the wall-clock timeout. *)
   respawns : int;  (** Workers replaced after abandons. *)
   degraded : bool;  (** Whether the pool has fallen back to serial. *)
+  queue_wait_seconds : float;
+      (** Summed time workers spent parked between batches — the
+          dispatch (fan-out/fan-in) cost of driving the pool. *)
+  barrier_wait_seconds : float;
+      (** Summed time the owner spent blocked on straggler chunks after
+          finishing its own share — load imbalance within batches.  The
+          old conflated [pool_wait_seconds] was the sum of both; keeping
+          them apart is what makes dispatch-overhead work measurable. *)
 }
 
 val clamp_jobs : ?allow_oversubscribe:bool -> int -> int

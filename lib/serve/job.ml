@@ -40,6 +40,9 @@ type options = {
   restarts : int;
   dvs : bool;
   uniform : bool;
+  islands : int;
+  migration_interval : int;
+  migration_count : int;
 }
 
 let default_options =
@@ -50,6 +53,9 @@ let default_options =
     restarts = 2;
     dvs = false;
     uniform = false;
+    islands = 1;
+    migration_interval = Mm_ga.Islands.default_topology.Mm_ga.Islands.migration_interval;
+    migration_count = Mm_ga.Islands.default_topology.Mm_ga.Islands.migration_count;
   }
 
 type outcome = {
@@ -124,6 +130,16 @@ let options_to_fields o =
     Sexp.field "dvs" [ Sexp.atom (string_of_bool o.dvs) ];
     Sexp.field "uniform" [ Sexp.atom (string_of_bool o.uniform) ];
   ]
+  (* Island fields are only written when active, so single-engine job
+     files keep their pre-island shape (and older daemons' files decode
+     unchanged via the defaults below). *)
+  @ (if o.islands > 1 then
+       [
+         Sexp.field "islands" [ Sexp.int o.islands ];
+         Sexp.field "migration-interval" [ Sexp.int o.migration_interval ];
+         Sexp.field "migration-count" [ Sexp.int o.migration_count ];
+       ]
+     else [])
 
 let to_sexp t =
   Sexp.List
@@ -178,6 +194,21 @@ let options_of_fields o =
     restarts = Sexp.as_int (one "restarts" o);
     dvs = as_bool (one "dvs" o);
     uniform = as_bool (one "uniform" o);
+    islands =
+      (match Sexp.assoc_opt "islands" o with
+      | Some [ v ] -> Sexp.as_int v
+      | Some _ -> failwith "islands: expected exactly one value"
+      | None -> default_options.islands);
+    migration_interval =
+      (match Sexp.assoc_opt "migration-interval" o with
+      | Some [ v ] -> Sexp.as_int v
+      | Some _ -> failwith "migration-interval: expected exactly one value"
+      | None -> default_options.migration_interval);
+    migration_count =
+      (match Sexp.assoc_opt "migration-count" o with
+      | Some [ v ] -> Sexp.as_int v
+      | Some _ -> failwith "migration-count: expected exactly one value"
+      | None -> default_options.migration_count);
   }
 
 let of_sexp sexp =

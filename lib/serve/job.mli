@@ -45,11 +45,19 @@ type options = {
   restarts : int;
   dvs : bool;
   uniform : bool;  (** Optimise with uniform mode weights (baseline arm). *)
+  islands : int;
+      (** GA islands per restart (default 1: single population).  With
+          [> 1] the job runs the island-model GA (see
+          {!Mm_ga.Islands}). *)
+  migration_interval : int;  (** Generations between migration epochs. *)
+  migration_count : int;  (** Members each island exports per epoch. *)
 }
 (** The trajectory-relevant knobs a client may set at submission; they
     are persisted with the job so a restarted daemon rebuilds the exact
     same {!Mm_cosynth.Synthesis.config} (and hence fingerprint) for
-    resume. *)
+    resume.  The island fields are written only when [islands > 1], so
+    single-engine job files keep their pre-island on-disk shape; absent
+    fields decode to the defaults. *)
 
 val default_options : options
 

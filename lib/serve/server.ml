@@ -38,6 +38,9 @@ let synthesis_config (options : Job.options) =
     (* Parallel evaluation comes from the shared pool the server passes
        to [Synthesis.run]; a per-job pool would defeat the bound. *)
     jobs = 1;
+    islands = options.Job.islands;
+    migration_interval = options.Job.migration_interval;
+    migration_count = options.Job.migration_count;
   }
 
 (* --- connections -------------------------------------------------------- *)

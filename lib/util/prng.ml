@@ -21,6 +21,16 @@ let copy t = { state = t.state }
 let state t = t.state
 let of_state state = { state }
 
+(* Weyl-sequence stream derivation: child [i]'s state is the parent's
+   current word pushed [i] steps along an independent odd-constant
+   sequence and remixed.  Stream 0 is the parent's own state verbatim
+   (so a 1-stream consumer is bit-identical to using the parent
+   directly), and the parent is never advanced. *)
+let stream t i =
+  if i = 0 then { state = t.state }
+  else
+    { state = mix64 (Int64.add t.state (Int64.mul (Int64.of_int i) 0xD1B54A32D192ED03L)) }
+
 (* Rejection-free bounded draw: take the top bits scaled into [0,bound).
    The scaling bias is < 2^-53 for any bound below 2^53, far below
    anything observable in synthesis workloads. *)

@@ -24,6 +24,16 @@ val copy : t -> t
 (** [copy t] duplicates the current state; both generators then produce
     the same future stream. *)
 
+val stream : t -> int -> t
+(** [stream t i] derives the [i]-th child stream from [t]'s current
+    state {e without advancing} [t]: unlike {!split}, repeated calls
+    with the same index give the same child.  [stream t 0] is {!copy},
+    so a consumer of exactly one stream is bit-identical to using [t]
+    directly; distinct indices give statistically independent streams.
+    This is how the island model gives each of its N islands a
+    reproducible generator derived from the run seed and the island
+    index alone. *)
+
 val state : t -> int64
 (** The generator's raw internal state.  Together with {!of_state} this
     is what lets a checkpoint capture a run's randomness exactly: a

@@ -29,8 +29,10 @@ trap cleanup EXIT
 
 # The job the crash lands on: big enough that the first checkpoint
 # always precedes completion, with a seed so both phases share one
-# trajectory.
-SYNTH_FLAGS=(--generations 60 --population 40 --seed 3)
+# trajectory.  It runs the island-model GA so the crash/recovery path
+# exercises per-island snapshot state, not just the single engine.
+SYNTH_FLAGS=(--generations 60 --population 40 --seed 3
+             --islands 3 --migration-every 5 --migrants 2)
 
 "$MMSYNTH" export mul6 > "$WORK/mul6.mms"
 "$MMSYNTH" export mul3 > "$WORK/mul3.mms"

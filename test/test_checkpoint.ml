@@ -226,6 +226,115 @@ let prop_resume_random_seed =
       = bits resumed.Synthesis.eval.Fitness.true_power
       && straight.Synthesis.genome = resumed.Synthesis.genome)
 
+(* --- Islands level --------------------------------------------------------------- *)
+
+module Islands = Mm_ga.Islands
+
+let island_topology = { Islands.islands = 3; migration_interval = 4; migration_count = 2 }
+
+let test_islands_resume_every_epoch () =
+  (* An archipelago interrupted at ANY migration-epoch boundary and
+     resumed from its checkpoint must reproduce the uninterrupted run
+     bit for bit — including the ring, which rides in the checkpoint. *)
+  let straight =
+    Islands.run ~config:engine_config ~topology:island_topology
+      ~rng:(Prng.create ~seed:7) synthetic_problem
+  in
+  let checkpoints = ref [] in
+  ignore
+    (Islands.run ~config:engine_config ~topology:island_topology
+       ~on_epoch:(fun ck -> checkpoints := ck :: !checkpoints)
+       ~rng:(Prng.create ~seed:7) synthetic_problem);
+  let checkpoints = List.rev !checkpoints in
+  Alcotest.(check bool) "epoch checkpoints captured" true (List.length checkpoints > 1);
+  List.iteri
+    (fun i ck ->
+      let resumed =
+        (* The caller rng is superseded by the checkpointed streams. *)
+        Islands.run ~config:engine_config ~topology:island_topology ~resume:ck
+          ~rng:(Prng.create ~seed:999) synthetic_problem
+      in
+      Alcotest.check fitness_bits
+        (Printf.sprintf "fitness after resume at epoch %d" (i + 1))
+        (bits straight.Islands.best.Engine.best_fitness)
+        (bits resumed.Islands.best.Engine.best_fitness);
+      Alcotest.(check (array int))
+        (Printf.sprintf "genome after resume at epoch %d" (i + 1))
+        straight.Islands.best.Engine.best_genome
+        resumed.Islands.best.Engine.best_genome;
+      Array.iteri
+        (fun j (r : unit Engine.result) ->
+          Alcotest.(check (list (float 0.0)))
+            (Printf.sprintf "island %d history after resume at epoch %d" j (i + 1))
+            r.Engine.history
+            resumed.Islands.per_island.(j).Engine.history)
+        straight.Islands.per_island)
+    checkpoints
+
+let test_islands_rejects_mismatched_checkpoint () =
+  let checkpoints = ref [] in
+  ignore
+    (Islands.run ~config:engine_config ~topology:island_topology
+       ~on_epoch:(fun ck -> checkpoints := ck :: !checkpoints)
+       ~rng:(Prng.create ~seed:7) synthetic_problem);
+  let ck = List.hd !checkpoints in
+  let wrong_count = { island_topology with Islands.islands = 2 } in
+  match
+    Islands.run ~config:engine_config ~topology:wrong_count ~resume:ck
+      ~rng:(Prng.create ~seed:7) synthetic_problem
+  with
+  | _ -> Alcotest.fail "island count mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+let island_config ~jobs =
+  {
+    (tiny_config ~dvs:false) with
+    Synthesis.jobs;
+    islands = 3;
+    migration_interval = 3;
+    migration_count = 1;
+  }
+
+let test_synthesis_islands_resume_every_checkpoint () =
+  (* Synthesis-level kill/resume with the island model: every captured
+     state (between restarts and at every within-restart epoch
+     boundary) resumes bit-identically, and the resumed trajectory is
+     invariant across --jobs (serial fallback included). *)
+  let config = island_config ~jobs:1 in
+  let straight = Synthesis.run ~config ~spec ~seed:5 () in
+  let _, states = run_capturing ~config ~seed:5 in
+  Alcotest.(check bool) "in-flight island states captured" true
+    (List.exists
+       (fun st ->
+         match st.Synthesis.engine with
+         | Some (Synthesis.Sharded _) -> true
+         | _ -> false)
+       states);
+  List.iteri
+    (fun i st ->
+      List.iter
+        (fun jobs ->
+          let resumed =
+            Synthesis.run ~config:(island_config ~jobs) ~resume:st ~spec ~seed:5 ()
+          in
+          check_same_result (Printf.sprintf "state %d, jobs %d" i jobs) straight
+            resumed)
+        [ 1; 2 ])
+    states;
+  (* The fingerprint pins the variant: an islands run cannot resume a
+     single-engine snapshot. *)
+  let single = tiny_config ~dvs:false in
+  let _, single_states = run_capturing ~config:single ~seed:5 in
+  match Synthesis.run ~config ~resume:(List.hd single_states) ~spec ~seed:5 () with
+  | _ -> Alcotest.fail "single-engine snapshot accepted by an islands run"
+  | exception Invalid_argument _ -> ()
+
+let test_synthesis_islands_jobs_invariant () =
+  (* Whole runs agree across job counts under the island model. *)
+  let serial = Synthesis.run ~config:(island_config ~jobs:1) ~spec ~seed:11 () in
+  let pooled = Synthesis.run ~config:(island_config ~jobs:2) ~spec ~seed:11 () in
+  check_same_result "islands across jobs" serial pooled
+
 (* --- Experiment level ----------------------------------------------------------- *)
 
 let test_experiment_resume_every_run () =
@@ -284,6 +393,17 @@ let () =
           Alcotest.test_case "rejects mismatched state" `Quick
             test_synthesis_rejects_mismatched_state;
           QCheck_alcotest.to_alcotest prop_resume_random_seed;
+        ] );
+      ( "islands",
+        [
+          Alcotest.test_case "resume at every epoch boundary" `Quick
+            test_islands_resume_every_epoch;
+          Alcotest.test_case "rejects mismatched checkpoints" `Quick
+            test_islands_rejects_mismatched_checkpoint;
+          Alcotest.test_case "synthesis resume every checkpoint" `Quick
+            test_synthesis_islands_resume_every_checkpoint;
+          Alcotest.test_case "synthesis jobs invariant" `Quick
+            test_synthesis_islands_jobs_invariant;
         ] );
       ( "experiment",
         [

@@ -264,8 +264,8 @@ let strategies_equal_check pool ~seed ~n ~alphabet =
   let run strategy = Engine.run ~config ~strategy ~rng:(Prng.create ~seed) problem in
   let serial = run Engine.Serial in
   let pooled = run (Engine.Pooled pool) in
-  let cached = run (Engine.Cached (Memo.create ~capacity:256)) in
-  let both = run (Engine.Cached_pooled (pool, Memo.create ~capacity:256)) in
+  let cached = run (Engine.Cached (Memo.create ~capacity:256 ())) in
+  let both = run (Engine.Cached_pooled (pool, Memo.create ~capacity:256 ())) in
   let same label (other : unit Engine.result) =
     Alcotest.(check (array int))
       (label ^ " genome") serial.Engine.best_genome other.Engine.best_genome;
@@ -310,8 +310,8 @@ let prop_strategies_agree =
             && serial.Engine.history = other.Engine.history
           in
           agree (run (Engine.Pooled pool))
-          && agree (run (Engine.Cached (Memo.create ~capacity:128)))
-          && agree (run (Engine.Cached_pooled (pool, Memo.create ~capacity:128)))))
+          && agree (run (Engine.Cached (Memo.create ~capacity:128 ())))
+          && agree (run (Engine.Cached_pooled (pool, Memo.create ~capacity:128 ())))))
 
 let test_cached_counts_elite_hits () =
   (* Elites are re-submitted every generation; with a cache they must be
@@ -319,7 +319,7 @@ let test_cached_counts_elite_hits () =
      submitted genome. *)
   let problem = strategy_problem ~n:10 ~alphabet:4 in
   let config = { Engine.default_config with max_generations = 20 } in
-  let cache = Memo.create ~capacity:1024 in
+  let cache = Memo.create ~capacity:1024 () in
   let result =
     Engine.run ~config ~strategy:(Engine.Cached cache) ~rng:(Prng.create ~seed:21)
       problem
@@ -352,7 +352,7 @@ let test_impure_problem_degrades_to_serial () =
     }
   in
   let config = { Engine.default_config with max_generations = 15 } in
-  let cache = Memo.create ~capacity:1024 in
+  let cache = Memo.create ~capacity:1024 () in
   let result =
     Engine.run ~config ~strategy:(Engine.Cached cache) ~rng:(Prng.create ~seed:3)
       problem
@@ -528,7 +528,7 @@ let test_engine_delta_identical_trajectory () =
     with_delta.Engine.history;
   let cached =
     Engine.run ~config ~delta
-      ~strategy:(Engine.Cached (Memo.create ~capacity:512))
+      ~strategy:(Engine.Cached (Memo.create ~capacity:512 ()))
       ~rng:(Prng.create ~seed:31) problem
   in
   Alcotest.(check (array int)) "cached genome" plain.Engine.best_genome
@@ -629,6 +629,103 @@ let test_nsga2_deterministic () =
   Alcotest.(check int) "same front size" (List.length a.Nsga2.front) (List.length b.Nsga2.front);
   Alcotest.(check int) "same evaluations" a.Nsga2.evaluations b.Nsga2.evaluations
 
+(* --- Islands ----------------------------------------------------------------- *)
+
+module Islands = Mm_ga.Islands
+
+let islands_same label (a : unit Engine.result) (b : unit Engine.result) =
+  Alcotest.(check (array int)) (label ^ " genome") a.Engine.best_genome b.Engine.best_genome;
+  Alcotest.(check int)
+    (label ^ " fitness bits")
+    0
+    (Int64.compare
+       (Int64.bits_of_float a.Engine.best_fitness)
+       (Int64.bits_of_float b.Engine.best_fitness));
+  Alcotest.(check int) (label ^ " generations") a.Engine.generations b.Engine.generations;
+  Alcotest.(check (list (float 0.0))) (label ^ " history") a.Engine.history b.Engine.history
+
+let test_islands_one_is_engine () =
+  (* One island is the single-population engine, bit for bit: stream 0
+     of the run seed is the seed's own state. *)
+  let problem = strategy_problem ~n:18 ~alphabet:4 in
+  let config = { Engine.default_config with max_generations = 40 } in
+  let single = Engine.run ~config ~rng:(Prng.create ~seed:11) problem in
+  let island =
+    Islands.run ~config
+      ~topology:{ Islands.islands = 1; migration_interval = 8; migration_count = 2 }
+      ~rng:(Prng.create ~seed:11) problem
+  in
+  islands_same "islands=1" single island.Islands.best;
+  Alcotest.(check int) "evaluations" single.Engine.evaluations island.Islands.evaluations
+
+let test_islands_jobs_invariant () =
+  (* The archipelago trajectory is a function of (seed, topology,
+     problem): serial fallback, a 2-domain pool and a 4-domain pool
+     (islands round-robin across 2 domains — the oversubscribed path)
+     must agree bit for bit. *)
+  let problem = strategy_problem ~n:20 ~alphabet:5 in
+  let config = { Engine.default_config with max_generations = 48 } in
+  let topology = { Islands.islands = 3; migration_interval = 6; migration_count = 2 } in
+  let run ?pool () =
+    Islands.run ~config ~topology ?pool ~rng:(Prng.create ~seed:23) problem
+  in
+  let serial = run () in
+  let pooled2 = with_pool ~domains:2 (fun pool -> run ~pool ()) in
+  let pooled4 = with_pool ~domains:4 (fun pool -> run ~pool ()) in
+  islands_same "pool 2" serial.Islands.best pooled2.Islands.best;
+  islands_same "pool 4" serial.Islands.best pooled4.Islands.best;
+  Array.iteri
+    (fun i r ->
+      islands_same
+        (Printf.sprintf "island %d pool 2" i)
+        r pooled2.Islands.per_island.(i);
+      islands_same
+        (Printf.sprintf "island %d pool 4" i)
+        r pooled4.Islands.per_island.(i))
+    serial.Islands.per_island
+
+let test_islands_private_caches_invariant () =
+  (* Private memo caches are a pure wall-clock optimisation. *)
+  let problem = strategy_problem ~n:14 ~alphabet:4 in
+  let config = { Engine.default_config with max_generations = 36 } in
+  let topology = { Islands.islands = 2; migration_interval = 5; migration_count = 1 } in
+  let run cache_capacity =
+    Islands.run ~config ~topology ~cache_capacity ~rng:(Prng.create ~seed:31) problem
+  in
+  let plain = run 0 and cached = run 256 in
+  islands_same "cached" plain.Islands.best cached.Islands.best;
+  Alcotest.(check int) "cache accounts every evaluation" plain.Islands.evaluations
+    (cached.Islands.evaluations + cached.Islands.cache_hits)
+
+(* Property: migration is deterministic under seed replay — two runs
+   with the same seed and topology agree bit for bit, across random
+   island counts, intervals and export sizes, with and without a pool. *)
+let prop_islands_seed_replay =
+  QCheck.Test.make ~name:"island migration deterministic under seed replay" ~count:10
+    QCheck.(
+      quad small_int (int_range 1 4) (int_range 1 7) (int_range 0 3))
+    (fun (seed, islands, migration_interval, migration_count) ->
+      let problem = strategy_problem ~n:10 ~alphabet:3 in
+      let config = { Engine.default_config with max_generations = 20 } in
+      let topology = { Islands.islands; migration_interval; migration_count } in
+      let run ?pool () =
+        Islands.run ~config ~topology ?pool ~rng:(Prng.create ~seed) problem
+      in
+      let a = run () and b = run () in
+      let pooled = with_pool ~domains:3 (fun pool -> run ~pool ()) in
+      let agree (x : unit Islands.result) (y : unit Islands.result) =
+        x.Islands.best.Engine.best_genome = y.Islands.best.Engine.best_genome
+        && Int64.bits_of_float x.Islands.best.Engine.best_fitness
+           = Int64.bits_of_float y.Islands.best.Engine.best_fitness
+        && x.Islands.generations = y.Islands.generations
+        && x.Islands.evaluations = y.Islands.evaluations
+        && Array.for_all2
+             (fun (p : unit Engine.result) (q : unit Engine.result) ->
+               p.Engine.history = q.Engine.history)
+             x.Islands.per_island y.Islands.per_island
+      in
+      agree a b && agree a pooled)
+
 let () =
   Alcotest.run "mm_ga"
     [
@@ -676,6 +773,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_delta_matches_full;
           Alcotest.test_case "engine trajectory unchanged" `Quick
             test_engine_delta_identical_trajectory;
+        ] );
+      ( "islands",
+        [
+          Alcotest.test_case "one island is the engine" `Quick test_islands_one_is_engine;
+          Alcotest.test_case "identical across pools and serial" `Quick
+            test_islands_jobs_invariant;
+          Alcotest.test_case "private caches invariant" `Quick
+            test_islands_private_caches_invariant;
+          QCheck_alcotest.to_alcotest prop_islands_seed_replay;
         ] );
       ( "nsga2",
         [

@@ -184,7 +184,7 @@ let test_pool_degrades_to_serial () =
 (* --- Memo -------------------------------------------------------------------- *)
 
 let test_memo_hit_and_miss_accounting () =
-  let cache = Memo.create ~capacity:8 in
+  let cache = Memo.create ~capacity:8 () in
   Alcotest.(check (option int)) "cold miss" None (Memo.find cache [| 1; 2; 3 |]);
   Memo.add cache [| 1; 2; 3 |] 42;
   Alcotest.(check (option int)) "hit" (Some 42) (Memo.find cache [| 1; 2; 3 |]);
@@ -194,7 +194,7 @@ let test_memo_hit_and_miss_accounting () =
   Alcotest.(check (float 1e-9)) "hit rate" (1.0 /. 3.0) (Memo.hit_rate cache)
 
 let test_memo_lru_eviction () =
-  let cache = Memo.create ~capacity:3 in
+  let cache = Memo.create ~capacity:3 () in
   Memo.add cache [| 1 |] 1;
   Memo.add cache [| 2 |] 2;
   Memo.add cache [| 3 |] 3;
@@ -208,7 +208,7 @@ let test_memo_lru_eviction () =
   Alcotest.(check int) "eviction counted" 1 (Memo.evictions cache)
 
 let test_memo_eviction_order_is_recency () =
-  let cache = Memo.create ~capacity:2 in
+  let cache = Memo.create ~capacity:2 () in
   Memo.add cache [| 1 |] 1;
   Memo.add cache [| 2 |] 2;
   Memo.add cache [| 3 |] 3;
@@ -220,7 +220,7 @@ let test_memo_eviction_order_is_recency () =
     (Memo.mem cache [| 3 |] && Memo.mem cache [| 4 |])
 
 let test_memo_overwrite_no_eviction () =
-  let cache = Memo.create ~capacity:2 in
+  let cache = Memo.create ~capacity:2 () in
   Memo.add cache [| 1 |] 1;
   Memo.add cache [| 2 |] 2;
   Memo.add cache [| 1 |] 10;
@@ -229,7 +229,7 @@ let test_memo_overwrite_no_eviction () =
   Alcotest.(check (option int)) "overwritten" (Some 10) (Memo.find cache [| 1 |])
 
 let test_memo_does_not_alias_keys () =
-  let cache = Memo.create ~capacity:4 in
+  let cache = Memo.create ~capacity:4 () in
   let key = [| 1; 2; 3 |] in
   Memo.add cache key 7;
   key.(0) <- 99;
@@ -238,12 +238,12 @@ let test_memo_does_not_alias_keys () =
     (Memo.find cache [| 1; 2; 3 |])
 
 let test_memo_capacity_one () =
-  let cache = Memo.create ~capacity:1 in
+  let cache = Memo.create ~capacity:1 () in
   Memo.add cache [| 1 |] 1;
   Memo.add cache [| 2 |] 2;
   Alcotest.(check int) "one entry" 1 (Memo.length cache);
   Alcotest.(check (option int)) "latest wins" (Some 2) (Memo.find cache [| 2 |]);
-  match Memo.create ~capacity:0 with
+  match Memo.create ~capacity:0 () with
   | _ -> Alcotest.fail "capacity 0 accepted"
   | exception Invalid_argument _ -> ()
 
@@ -251,7 +251,7 @@ let test_memo_reset_stats () =
   (* reset_stats zeroes the traffic counters but keeps the contents: the
      experiment harness shares one cache across an arm's runs and resets
      between them so each run's hit rate is its own. *)
-  let cache = Memo.create ~capacity:2 in
+  let cache = Memo.create ~capacity:2 () in
   Memo.add cache [| 1 |] 1;
   ignore (Memo.find cache [| 1 |]);
   ignore (Memo.find cache [| 9 |]);
@@ -268,7 +268,7 @@ let test_memo_reset_stats () =
   Alcotest.(check (option int)) "cached value kept" (Some 3) (Memo.find cache [| 3 |])
 
 let test_memo_clear () =
-  let cache = Memo.create ~capacity:4 in
+  let cache = Memo.create ~capacity:4 () in
   Memo.add cache [| 1 |] 1;
   ignore (Memo.find cache [| 1 |]);
   Memo.clear cache;
@@ -277,7 +277,7 @@ let test_memo_clear () =
   Alcotest.(check (option int)) "gone" None (Memo.find cache [| 1 |])
 
 let test_memo_pinned_entry_survives_eviction () =
-  let cache = Memo.create ~capacity:2 in
+  let cache = Memo.create ~capacity:2 () in
   Memo.add ~pin:true cache [| 1 |] 1;
   Memo.add cache [| 2 |] 2;
   Memo.add cache [| 3 |] 3;
@@ -294,7 +294,7 @@ let test_memo_pin_on_lookup () =
   (* The batch evaluator pins its working set as it looks entries up; a
      pinned hit must survive even once younger entries push it to the
      LRU position. *)
-  let cache = Memo.create ~capacity:2 in
+  let cache = Memo.create ~capacity:2 () in
   Memo.add cache [| 1 |] 1;
   Memo.add cache [| 2 |] 2;
   Alcotest.(check (option int)) "pinning hit" (Some 1) (Memo.find ~pin:true cache [| 1 |]);
@@ -308,7 +308,7 @@ let test_memo_pins_may_overflow_capacity () =
   (* With every entry pinned nothing is evictable: the cache is allowed
      to exceed its capacity until the pins are released, and unpin_all
      trims it back. *)
-  let cache = Memo.create ~capacity:2 in
+  let cache = Memo.create ~capacity:2 () in
   Memo.add ~pin:true cache [| 1 |] 1;
   Memo.add ~pin:true cache [| 2 |] 2;
   Memo.add ~pin:true cache [| 3 |] 3;
@@ -318,6 +318,57 @@ let test_memo_pins_may_overflow_capacity () =
   Alcotest.(check int) "trimmed back to capacity" 2 (Memo.length cache);
   Alcotest.(check bool) "newest kept after trim" true (Memo.mem cache [| 3 |])
 
+let test_memo_bypass_on_poor_hit_rate () =
+  (* Probe window 4, min hit rate 50%: all-miss traffic must trip the
+     bypass exactly when hits + misses reach the window. *)
+  let cache = Memo.create ~probe_window:4 ~min_hit_rate:0.5 ~capacity:8 () in
+  for i = 1 to 3 do
+    ignore (Memo.find cache [| i |]);
+    Memo.add cache [| i |] i
+  done;
+  Alcotest.(check bool) "still probing" false (Memo.bypassed cache);
+  ignore (Memo.find cache [| 99 |]);
+  Alcotest.(check bool) "bypassed after the probe window" true (Memo.bypassed cache);
+  (* A bypassed cache answers nothing, stores nothing, and counts the
+     traffic it waved through. *)
+  Alcotest.(check (option int)) "hit suppressed" None (Memo.find cache [| 1 |]);
+  Memo.add cache [| 42 |] 42;
+  Alcotest.(check bool) "add is a no-op" false (Memo.mem cache [| 42 |]);
+  Alcotest.(check int) "bypassed lookups counted" 1 (Memo.bypassed_lookups cache);
+  Alcotest.(check int) "misses frozen at the window" 4 (Memo.misses cache);
+  (* reset_stats does not re-arm the probe. *)
+  Memo.reset_stats cache;
+  Alcotest.(check bool) "stays bypassed after reset_stats" true (Memo.bypassed cache)
+
+let test_memo_bypass_not_tripped_by_good_traffic () =
+  let cache = Memo.create ~probe_window:4 ~min_hit_rate:0.5 ~capacity:8 () in
+  ignore (Memo.find cache [| 1 |]);
+  Memo.add cache [| 1 |] 1;
+  for _ = 1 to 3 do ignore (Memo.find cache [| 1 |]) done;
+  Alcotest.(check bool) "hit rate above threshold: keeps caching" false
+    (Memo.bypassed cache);
+  Alcotest.(check (option int)) "still answering" (Some 1) (Memo.find cache [| 1 |]);
+  (* The default create has no probe window: never bypasses. *)
+  let plain = Memo.create ~capacity:2 () in
+  for i = 1 to 50 do ignore (Memo.find plain [| i |]) done;
+  Alcotest.(check bool) "probe_window 0 never bypasses" false (Memo.bypassed plain)
+
+let test_pool_wait_split_stats () =
+  (* The conflated wait metric is gone: queue wait (parked between
+     batches) and barrier wait (owner idle at the batch barrier) are
+     reported separately and are both non-negative. *)
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  for _ = 1 to 5 do
+    ignore (Pool.map pool (fun x -> x * x) (Array.init 64 Fun.id))
+  done;
+  let stats = Pool.stats pool in
+  Alcotest.(check bool) "queue wait non-negative" true
+    (stats.Pool.queue_wait_seconds >= 0.0);
+  Alcotest.(check bool) "barrier wait non-negative" true
+    (stats.Pool.barrier_wait_seconds >= 0.0);
+  Alcotest.(check bool) "not degraded" false stats.Pool.degraded
+
 (* Property: a capacity-c cache behaves like its unbounded reference on
    the most recent <= c distinct keys. *)
 let prop_memo_model =
@@ -325,7 +376,7 @@ let prop_memo_model =
     QCheck.(list (pair (int_range 0 9) small_int))
     (fun operations ->
       let capacity = 4 in
-      let cache = Memo.create ~capacity in
+      let cache = Memo.create ~capacity () in
       (* Model: association list, most recent first. *)
       let model = ref [] in
       List.for_all
@@ -360,6 +411,7 @@ let () =
           Alcotest.test_case "all elements raise" `Quick test_pool_all_elements_raise;
           Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
           Alcotest.test_case "non-uniform cost" `Quick test_pool_nonuniform_cost;
+          Alcotest.test_case "wait split stats" `Quick test_pool_wait_split_stats;
         ] );
       ( "pool fault tolerance",
         [
@@ -386,6 +438,10 @@ let () =
           Alcotest.test_case "pin on lookup" `Quick test_memo_pin_on_lookup;
           Alcotest.test_case "pins may overflow capacity" `Quick
             test_memo_pins_may_overflow_capacity;
+          Alcotest.test_case "bypass on poor hit rate" `Quick
+            test_memo_bypass_on_poor_hit_rate;
+          Alcotest.test_case "bypass not tripped by good traffic" `Quick
+            test_memo_bypass_not_tripped_by_good_traffic;
           QCheck_alcotest.to_alcotest prop_memo_model;
         ] );
     ]

@@ -119,10 +119,28 @@ let test_framing_oversized_sticky () =
 let options_gen =
   QCheck.Gen.(
     map
-      (fun (seed, generations, population, (restarts, dvs, uniform)) ->
-        { Job.seed; generations; population; restarts; dvs; uniform })
-      (quad (0 -- 10_000) (1 -- 500) (2 -- 200)
-         (triple (1 -- 6) bool bool)))
+      (fun ((seed, generations, population, (restarts, dvs, uniform)),
+            (islands, migration_interval, migration_count)) ->
+        {
+          Job.seed;
+          generations;
+          population;
+          restarts;
+          dvs;
+          uniform;
+          islands;
+          (* Only meaningful — and only persisted — with islands > 1;
+             a single-engine job carries the defaults. *)
+          migration_interval =
+            (if islands > 1 then migration_interval
+             else Job.default_options.Job.migration_interval);
+          migration_count =
+            (if islands > 1 then migration_count
+             else Job.default_options.Job.migration_count);
+        })
+      (pair
+         (quad (0 -- 10_000) (1 -- 500) (2 -- 200) (triple (1 -- 6) bool bool))
+         (triple (1 -- 4) (1 -- 16) (0 -- 4))))
 
 let id_gen = QCheck.Gen.(map (Printf.sprintf "job-%04d") (0 -- 9999))
 

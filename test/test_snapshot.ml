@@ -29,6 +29,16 @@ let engine_eq (a : Engine.checkpoint) (b : Engine.checkpoint) =
   && a.cache_hits = b.cache_hits
   && a.rng_state = b.rng_state
 
+let engine_state_eq (a : Synthesis.engine_state) (b : Synthesis.engine_state) =
+  match (a, b) with
+  | Synthesis.Single a, Synthesis.Single b -> engine_eq a b
+  | Synthesis.Sharded a, Synthesis.Sharded b ->
+    a.Mm_ga.Islands.ring = b.Mm_ga.Islands.ring
+    && Array.length a.members = Array.length b.members
+    && Array.for_all2 engine_eq a.members b.members
+  | Synthesis.Single _, Synthesis.Sharded _
+  | Synthesis.Sharded _, Synthesis.Single _ -> false
+
 let restart_eq (a : Synthesis.restart_summary) (b : Synthesis.restart_summary) =
   a.Synthesis.r_genome = b.Synthesis.r_genome
   && feq a.r_fitness b.r_fitness
@@ -44,7 +54,7 @@ let run_state_eq (a : Synthesis.run_state) (b : Synthesis.run_state) =
   && List.length a.completed = List.length b.completed
   && List.for_all2 restart_eq a.completed b.completed
   && a.outer_rng = b.outer_rng
-  && Option.equal engine_eq a.engine b.engine
+  && Option.equal engine_state_eq a.engine b.engine
 
 let run_summary_eq (a : Experiment.run_summary) (b : Experiment.run_summary) =
   a.Experiment.genome = b.Experiment.genome
@@ -118,6 +128,20 @@ let restart_gen =
         (triple genome_gen float_gen (int_range 0 500))
         (triple (int_range 0 100_000) (int_range 0 100_000) flist_gen))
 
+(* A Sharded state as Islands would checkpoint it: the ring is a
+   permutation of the island indices. *)
+let islands_gen =
+  Gen.(
+    map
+      (fun members ->
+        let n = Array.length members in
+        let ring = Array.init n (fun i -> (i + 1) mod n) in
+        Synthesis.Sharded { Mm_ga.Islands.ring; members })
+      (array_size (int_range 1 4) engine_gen))
+
+let engine_state_gen =
+  Gen.oneof [ Gen.map (fun e -> Synthesis.Single e) engine_gen; islands_gen ]
+
 let run_state_gen =
   Gen.map
     (fun ((seed, fingerprint, next_restart), (completed, outer_rng, engine)) ->
@@ -125,7 +149,8 @@ let run_state_gen =
     Gen.(
       pair
         (triple int string_printable (int_range 0 4))
-        (triple (list_size (int_range 0 3) restart_gen) int64_gen (option engine_gen)))
+        (triple (list_size (int_range 0 3) restart_gen) int64_gen
+           (option engine_state_gen)))
 
 let run_summary_gen =
   Gen.map
@@ -242,13 +267,21 @@ let sample_doc () =
 
 let test_version_mismatch () =
   let doc = sample_doc () in
-  let future = replace ~needle:"(version 1)" ~by:"(version 999)" doc in
+  let future = replace ~needle:"(version 2)" ~by:"(version 999)" doc in
   check_error "future version"
     (function
       | Snapshot.Version_mismatch { found } ->
         Alcotest.(check int) "reported version" 999 found
       | e -> Alcotest.fail (Snapshot.error_to_string e))
     (Snapshot.of_string ~spec future)
+
+let test_version_1_accepted () =
+  (* A version-1 document (no islands field existed) must still load. *)
+  let doc = replace ~needle:"(version 2)" ~by:"(version 1)" (sample_doc ()) in
+  match Snapshot.of_string ~spec doc with
+  | Ok (Snapshot.Compare st) -> Alcotest.(check int) "seed survives" 7 st.Experiment.seed
+  | Ok (Snapshot.Synth _) -> Alcotest.fail "decoded the wrong payload kind"
+  | Error e -> Alcotest.fail (Snapshot.error_to_string e)
 
 let test_spec_mismatch () =
   check_error "wrong specification"
@@ -280,9 +313,9 @@ let test_corrupted_documents () =
   expect_malformed "atom at toplevel" "hello";
   expect_malformed "wrong magic" ("(mmsyn-wrong" ^ String.sub doc 15 (String.length doc - 15));
   expect_malformed "version not a number"
-    (replace ~needle:"(version 1)" ~by:"(version one)" doc);
+    (replace ~needle:"(version 2)" ~by:"(version one)" doc);
   expect_malformed "missing payload"
-    (Printf.sprintf "(mmsyn-snapshot (version 1) (spec %s))" (Snapshot.fingerprint spec))
+    (Printf.sprintf "(mmsyn-snapshot (version 2) (spec %s))" (Snapshot.fingerprint spec))
 
 (* No byte string may crash the decoder: every input maps to Ok or a
    typed Error. *)
@@ -319,6 +352,7 @@ let () =
       ( "rejection",
         [
           Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "version 1 accepted" `Quick test_version_1_accepted;
           Alcotest.test_case "spec mismatch" `Quick test_spec_mismatch;
           Alcotest.test_case "corrupted documents" `Quick test_corrupted_documents;
           QCheck_alcotest.to_alcotest prop_decoder_total;
