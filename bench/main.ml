@@ -17,6 +17,7 @@
      eval     compiled evaluation kernels before/after (BENCH_eval_kernel.json)
      soak     checkpoint/kill/resume recovery overhead (BENCH_soak.json)
      serve    mmsynthd throughput and latency percentiles (BENCH_serve.json)
+     fleet    fleet Monte Carlo devices/second + bit-invariance (BENCH_fleet.json)
      kernels  Bechamel timings of the inner kernels *)
 
 module Table = Mm_util.Table
@@ -200,6 +201,7 @@ let proposed_power ~ga ~dvs ~use_improvements ~spec ~seeds =
       islands = Synthesis.default_config.Synthesis.islands;
       migration_interval = Synthesis.default_config.Synthesis.migration_interval;
       migration_count = Synthesis.default_config.Synthesis.migration_count;
+      robust = Synthesis.default_config.Synthesis.robust;
     }
   in
   let powers =
@@ -346,6 +348,7 @@ let ablation_scheduler_policy options =
             islands = Synthesis.default_config.Synthesis.islands;
             migration_interval = Synthesis.default_config.Synthesis.migration_interval;
             migration_count = Synthesis.default_config.Synthesis.migration_count;
+            robust = Synthesis.default_config.Synthesis.robust;
           }
         in
         let powers =
@@ -1443,6 +1446,90 @@ let serve options =
   close_out oc;
   Format.printf "wrote %s@." json_path
 
+(* --- Fleet Monte Carlo throughput ----------------------------------------------- *)
+
+(* Devices/second of the fleet engine across domain counts and batch
+   sizes, plus an in-bench check of its central claim: the full JSON
+   report (and so every percentile bit) is identical at any jobs/batch
+   combination.  Written to BENCH_fleet.json. *)
+let fleet options =
+  Format.printf "@.== Fleet Monte Carlo: devices/second and bit-invariance ==@.";
+  let spec = Smartphone.spec () in
+  let config = { Synthesis.default_config with Synthesis.ga = ga_config options } in
+  let result = Synthesis.run ~config ~spec ~seed:1 () in
+  let omsm = Spec.omsm spec in
+  let mode_powers = result.Synthesis.eval.Fitness.mode_powers in
+  let devices = if options.quick then 20_000 else 100_000 in
+  let horizon = 1_000.0 in
+  let run ~jobs ~batch =
+    let pool =
+      if jobs > 1 then Some (Mm_parallel.Pool.create ~domains:jobs ()) else None
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Mm_parallel.Pool.shutdown pool)
+      (fun () ->
+        let started = Unix.gettimeofday () in
+        let fleet =
+          Mm_energy.Fleet_sim.run ?pool ~batch ~horizon ~devices ~omsm ~mode_powers
+            ~seed:7 ()
+        in
+        (fleet, Unix.gettimeofday () -. started))
+  in
+  let cores = Domain.recommended_domain_count () in
+  let job_counts = List.sort_uniq compare [ 1; min 2 cores; min 4 cores; min 8 cores ] in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "%d devices, horizon %.0f s, smartphone best design" devices
+           horizon)
+      ~columns:[ "jobs"; "batch"; "wall (s)"; "devices/s" ]
+  in
+  let reference = ref None in
+  let rows = ref [] in
+  let measure ~jobs ~batch =
+    let fleet, wall = run ~jobs ~batch in
+    let json = Mm_energy.Fleet_sim.to_json fleet in
+    (match !reference with
+    | None -> reference := Some json
+    | Some r ->
+      if not (String.equal r json) then begin
+        Printf.eprintf "fleet: report at jobs=%d batch=%d differs from jobs=1\n%!" jobs
+          batch;
+        exit 1
+      end);
+    let rate = float_of_int devices /. wall in
+    Table.add_row t
+      [
+        string_of_int jobs; string_of_int batch; Printf.sprintf "%.2f" wall;
+        Printf.sprintf "%.0f" rate;
+      ];
+    rows := (jobs, batch, wall, rate) :: !rows
+  in
+  List.iter (fun jobs -> measure ~jobs ~batch:4096) job_counts;
+  List.iter (fun batch -> measure ~jobs:(min 4 cores) ~batch) [ 256; 1024; 16384 ];
+  Table.print t;
+  Format.printf "reports identical across every jobs/batch combination@.";
+  let json_path = "BENCH_fleet.json" in
+  let oc = open_out json_path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"experiment\": \"fleet\",\n";
+  p "  \"quick\": %b,\n" options.quick;
+  p "  \"devices\": %d,\n" devices;
+  p "  \"horizon_s\": %.1f,\n" horizon;
+  p "  \"bit_identical\": true,\n";
+  let rows = List.rev !rows in
+  let n_rows = List.length rows in
+  List.iteri
+    (fun i (jobs, batch, wall, rate) ->
+      p "  \"jobs%d_batch%d_wall_s\": %.3f,\n" jobs batch wall;
+      p "  \"jobs%d_batch%d_devices_per_s\": %.0f%s\n" jobs batch rate
+        (if i = n_rows - 1 then "" else ","))
+    rows;
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s@." json_path
+
 (* --- Driver -------------------------------------------------------------------- *)
 
 let () =
@@ -1460,7 +1547,7 @@ let () =
     if selected = [] then
       [
         "table1"; "table2"; "table3"; "ablation"; "parallel"; "eval"; "soak";
-        "serve"; "kernels";
+        "serve"; "fleet"; "kernels";
       ]
     else selected
   in
@@ -1477,11 +1564,12 @@ let () =
       | "eval" -> eval_kernel options
       | "soak" -> soak options
       | "serve" -> serve options
+      | "fleet" -> fleet options
       | "kernels" -> kernels options
       | other ->
         Format.printf
           "unknown experiment %S (expected \
-           table1|table2|table3|ablation|parallel|eval|soak|serve|kernels)@."
+           table1|table2|table3|ablation|parallel|eval|soak|serve|fleet|kernels)@."
           other;
         exit 1)
     selected;

@@ -8,7 +8,9 @@
      mmsynth anneal <benchmark> [options]    simulated-annealing baseline
      mmsynth pareto <benchmark> [options]    power/area trade-off sweep
      mmsynth gantt <benchmark> [options]     synthesise and chart a mode
+     mmsynth fleet <benchmark> <report>      Monte Carlo a device fleet
      mmsynth export <benchmark>              print the spec as S-expressions
+     mmsynth export-json <benchmark>         task-network JSON of a synthesis
      mmsynth dot <benchmark> --mode N        dump a mode's task graph
 
    Benchmarks: "smartphone", "motivational", "mul1".."mul12",
@@ -304,6 +306,150 @@ let log_level_arg =
     & info [ "log-level" ] ~docv:"LEVEL"
         ~doc:"Diagnostic verbosity on stderr: quiet, error, warn, info or debug.")
 
+(* --- fleet simulation and robust-usage arguments ----------------------------- *)
+
+(* Spelling shared by --usage and --robust: point, dirichlet:<c> or
+   jitter:<sigma> (mixtures are library-only — they need named profile
+   tables that have no one-line spelling). *)
+let usage_model_conv =
+  let parse s =
+    let module F = Mm_energy.Fleet_sim in
+    if s = "point" then Ok F.Point
+    else
+      match prefixed ~prefix:"dirichlet:" s with
+      | Some c -> (
+        match float_of_string_opt c with
+        | Some c when c > 0.0 && Float.is_finite c ->
+          Ok (F.Dirichlet { concentration = c })
+        | Some _ | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "Dirichlet concentration must be a positive number: %S" c)))
+      | None -> (
+        match prefixed ~prefix:"jitter:" s with
+        | Some sigma -> (
+          match float_of_string_opt sigma with
+          | Some v when v >= 0.0 && Float.is_finite v -> Ok (F.Holding_jitter { sigma = v })
+          | Some _ | None ->
+            Error
+              (`Msg (Printf.sprintf "jitter sigma must be a non-negative number: %S" sigma)))
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown usage model %S (expected point, dirichlet:<c> or \
+                   jitter:<sigma>)"
+                  s)))
+  in
+  let print ppf model =
+    Format.pp_print_string ppf (Mm_energy.Fleet_sim.model_to_string model)
+  in
+  Arg.conv (parse, print)
+
+let usage_arg =
+  Arg.(
+    value
+    & opt usage_model_conv Mm_energy.Fleet_sim.Point
+    & info [ "usage" ] ~docv:"MODEL"
+        ~doc:
+          "Per-device usage model for the fleet simulation: $(b,point) (every device \
+           follows the published Ψ), $(b,dirichlet:<c>) (per-device Ψ ~ \
+           Dirichlet(c·Ψ)) or $(b,jitter:<sigma>) (log-normal holding-time \
+           factors).")
+
+let devices_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "devices" ] ~docv:"N" ~doc:"Fleet size for the Monte Carlo simulation.")
+
+let batch_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Devices per pool work item. Affects wall-clock only; every report bit is \
+           identical at any batch size.")
+
+let fleet_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fleet-seed" ] ~docv:"SEED"
+        ~doc:"Fleet simulation seed (default: synthesis seed + 1).")
+
+let fleet_horizon_arg =
+  Arg.(
+    value & opt float 10_000.0
+    & info [ "fleet-horizon" ] ~docv:"T"
+        ~doc:"Simulated operational time per device (seconds).")
+
+let fleet_flag =
+  Arg.(
+    value & flag
+    & info [ "fleet" ]
+        ~doc:
+          "After the report, Monte Carlo a device fleet against the winning \
+           implementation and print the battery-life distribution (see $(b,--devices), \
+           $(b,--usage), $(b,--fleet-horizon), $(b,--fleet-seed), $(b,--batch)).")
+
+let robust_arg =
+  Arg.(
+    value
+    & opt (some usage_model_conv) None
+    & info [ "robust" ] ~docv:"MODEL"
+        ~doc:
+          "Optimise for a usage-uncertainty model instead of the point Ψ: fitness \
+           scores each candidate against $(b,--robust-samples) Ψ draws from MODEL \
+           ($(b,dirichlet:<c>) or $(b,jitter:<sigma>); $(b,point) is a no-op that \
+           keeps the stock fitness bit-for-bit).")
+
+let robust_samples_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "robust-samples" ] ~docv:"N"
+        ~doc:"Ψ draws per fitness evaluation under $(b,--robust).")
+
+let robust_objective_conv =
+  let parse s =
+    if s = "mean" then Ok Fitness.Expected_lifetime
+    else
+      match prefixed ~prefix:"p" s with
+      | Some pct -> (
+        match float_of_string_opt pct with
+        | Some p when p > 0.0 && p <= 100.0 -> Ok (Fitness.Percentile (p /. 100.0))
+        | Some _ | None ->
+          Error (`Msg (Printf.sprintf "percentile must be in (0, 100]: %S" s)))
+      | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown robust objective %S (expected mean or p<q>)" s))
+  in
+  let print ppf = function
+    | Fitness.Expected_lifetime -> Format.pp_print_string ppf "mean"
+    | Fitness.Percentile q -> Format.fprintf ppf "p%g" (q *. 100.0)
+  in
+  Arg.conv (parse, print)
+
+let robust_objective_arg =
+  Arg.(
+    value
+    & opt robust_objective_conv Fitness.Expected_lifetime
+    & info [ "robust-objective" ] ~docv:"OBJ"
+        ~doc:
+          "What $(b,--robust) optimises across the Ψ draws: $(b,mean) (power \
+           equivalent to the expected battery lifetime) or $(b,p<q>) (worst-case \
+           q-th lifetime percentile, e.g. $(b,p10)).")
+
+let robust_of ~robust ~robust_samples ~robust_objective =
+  Option.map
+    (fun model ->
+      {
+        Synthesis.model;
+        samples = robust_samples;
+        objective = robust_objective;
+        battery = Mm_energy.Battery.phone_cell;
+      })
+    robust
+
 (* Flip the observability switches requested on the command line, run the
    subcommand body, then flush the sinks and write the metrics file.
    Unwritable paths surface as ordinary CLI errors, not crashes.  Shared
@@ -338,14 +484,16 @@ let with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level f =
 let config_of ?(jobs = 1) ?(no_eval_cache = false) ?(audit = false)
     ?(islands = Synthesis.default_config.Synthesis.islands)
     ?(migration_interval = Synthesis.default_config.Synthesis.migration_interval)
-    ?(migration_count = Synthesis.default_config.Synthesis.migration_count) ~dvs
-    ~uniform ~generations ~population () =
+    ?(migration_count = Synthesis.default_config.Synthesis.migration_count)
+    ?(robust = Synthesis.default_config.Synthesis.robust) ~dvs ~uniform ~generations
+    ~population () =
   {
     Synthesis.default_config with
     audit;
     islands;
     migration_interval;
     migration_count;
+    robust;
     fitness =
       {
         Fitness.default_config with
@@ -362,6 +510,34 @@ let config_of ?(jobs = 1) ?(no_eval_cache = false) ?(audit = false)
     jobs;
     eval_cache = (if no_eval_cache then 0 else Synthesis.default_eval_cache);
   }
+
+(* Synthesis done: Monte Carlo the device fleet against the winning
+   implementation, print the distribution, optionally persist the JSON
+   report.  The fleet's own domains come from --jobs; percentiles are
+   bit-identical at any job count. *)
+let run_fleet ?report_path ~jobs ~devices ~batch ~usage ~horizon ~fleet_seed spec
+    (result : Synthesis.result) =
+  let omsm = Spec.omsm spec in
+  let mode_powers = result.Synthesis.eval.Fitness.mode_powers in
+  let pool =
+    if jobs > 1 then Some (Mm_parallel.Pool.create ~domains:jobs ()) else None
+  in
+  let fleet =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Mm_parallel.Pool.shutdown pool)
+      (fun () ->
+        Mm_energy.Fleet_sim.run ?pool ~batch ~model:usage ~horizon ~devices ~omsm
+          ~mode_powers ~seed:fleet_seed ())
+  in
+  Report.print_fleet fleet;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Mm_energy.Fleet_sim.to_json fleet);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "fleet report written to %s@." path)
+    report_path
 
 (* --- show ------------------------------------------------------------------- *)
 
@@ -514,7 +690,8 @@ let with_kill_switch ~kill_after save =
       if !written >= n then Unix.kill (Unix.getpid ()) Sys.sigkill
 
 let synth name force audit seed dvs uniform generations population jobs islands
-    migration_every migrants allow_oversubscribe no_eval_cache checkpoint
+    migration_every migrants allow_oversubscribe no_eval_cache robust robust_samples
+    robust_objective fleet devices usage batch fleet_seed fleet_horizon checkpoint
     checkpoint_every resume kill_after trace trace_jsonl trace_fine metrics
     log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
@@ -522,7 +699,9 @@ let synth name force audit seed dvs uniform generations population jobs islands
   let jobs = effective_jobs ~allow_oversubscribe jobs in
   let config =
     config_of ~jobs ~no_eval_cache ~audit ~islands ~migration_interval:migration_every
-      ~migration_count:migrants ~dvs ~uniform ~generations ~population ()
+      ~migration_count:migrants
+      ~robust:(robust_of ~robust ~robust_samples ~robust_objective)
+      ~dvs ~uniform ~generations ~population ()
   in
   let* resume =
     match resume with
@@ -552,6 +731,18 @@ let synth name force audit seed dvs uniform generations population jobs islands
   match Synthesis.run ~config ?checkpoint ?resume ~spec ~seed () with
   | result -> (
     Report.print_result spec result;
+    let* () =
+      if not fleet then Ok ()
+      else
+        match
+          run_fleet ~jobs ~devices ~batch ~usage ~horizon:fleet_horizon
+            ~fleet_seed:(Option.value fleet_seed ~default:(seed + 1))
+            spec result
+        with
+        | () -> Ok ()
+        | exception Invalid_argument message -> Error (`Msg message)
+        | exception Sys_error message -> Error (`Msg message)
+    in
     match result.Synthesis.audit with
     | Some report when not report.Audit.clean ->
       Error
@@ -568,7 +759,9 @@ let synth_cmd =
         (const synth $ benchmark_arg $ force_arg $ audit_arg $ seed_arg $ dvs_arg
        $ uniform_arg $ generations_arg $ population_arg $ jobs_arg $ islands_arg
        $ migration_every_arg $ migrants_arg
-       $ allow_oversubscribe_arg $ no_eval_cache_arg $ checkpoint_arg
+       $ allow_oversubscribe_arg $ no_eval_cache_arg $ robust_arg
+       $ robust_samples_arg $ robust_objective_arg $ fleet_flag $ devices_arg
+       $ usage_arg $ batch_arg $ fleet_seed_arg $ fleet_horizon_arg $ checkpoint_arg
        $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ trace_arg
        $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg $ log_level_arg))
   in
@@ -580,8 +773,10 @@ let synth_cmd =
 (* --- compare ------------------------------------------------------------------ *)
 
 let compare_cmd_impl name force audit seed dvs runs generations population jobs
-    islands migration_every migrants allow_oversubscribe no_eval_cache checkpoint
-    resume kill_after trace trace_jsonl trace_fine metrics log_level =
+    islands migration_every migrants allow_oversubscribe no_eval_cache robust
+    robust_samples robust_objective fleet devices usage batch fleet_seed
+    fleet_horizon checkpoint resume kill_after trace trace_jsonl trace_fine metrics
+    log_level =
   with_obs ~trace ~trace_jsonl ~trace_fine ~metrics ~log_level @@ fun () ->
   let* spec = spec_of_benchmark ~force name in
   let jobs = effective_jobs ~allow_oversubscribe jobs in
@@ -622,6 +817,7 @@ let compare_cmd_impl name force audit seed dvs runs generations population jobs
   let* c =
     match Experiment.compare ~ga ~dvs ~jobs ~eval_cache ~audit ~islands
             ~migration_interval:migration_every ~migration_count:migrants
+            ~robust:(robust_of ~robust ~robust_samples ~robust_objective)
             ?checkpoint ?resume ~spec ~runs ~seed ()
     with
     | c -> Ok c
@@ -636,6 +832,26 @@ let compare_cmd_impl name force audit seed dvs runs generations population jobs
   pp_arm "without probabilities (baseline)" c.Experiment.without_probabilities;
   pp_arm "with probabilities    (proposed)" c.Experiment.with_probabilities;
   Format.printf "reduction: %.2f%%@." c.Experiment.reduction_percent;
+  (* Both arms' best designs fleet-simulate under the SAME usage draws
+     (one --fleet-seed), so the distributions differ only by design. *)
+  let* () =
+    if not fleet then Ok ()
+    else begin
+      let fleet_seed = Option.value fleet_seed ~default:(seed + 1) in
+      let simulate label (arm : Experiment.arm) =
+        Format.printf "fleet of %s best:@." label;
+        run_fleet ~jobs ~devices ~batch ~usage ~horizon:fleet_horizon ~fleet_seed spec
+          arm.Experiment.best
+      in
+      match
+        simulate "baseline" c.Experiment.without_probabilities;
+        simulate "proposed" c.Experiment.with_probabilities
+      with
+      | () -> Ok ()
+      | exception Invalid_argument message -> Error (`Msg message)
+      | exception Sys_error message -> Error (`Msg message)
+    end
+  in
   (* Replayed (resumed) best runs carry no live audit report; only runs
      executed here can fail the command. *)
   let dirty (arm : Experiment.arm) =
@@ -654,9 +870,11 @@ let compare_cmd =
         (const compare_cmd_impl $ benchmark_arg $ force_arg $ audit_arg $ seed_arg
        $ dvs_arg $ runs_arg $ generations_arg $ population_arg $ jobs_arg
        $ islands_arg $ migration_every_arg $ migrants_arg
-       $ allow_oversubscribe_arg $ no_eval_cache_arg $ checkpoint_arg $ resume_arg
-       $ kill_after_arg $ trace_arg $ trace_jsonl_arg $ trace_fine_arg $ metrics_arg
-       $ log_level_arg))
+       $ allow_oversubscribe_arg $ no_eval_cache_arg $ robust_arg
+       $ robust_samples_arg $ robust_objective_arg $ fleet_flag $ devices_arg
+       $ usage_arg $ batch_arg $ fleet_seed_arg $ fleet_horizon_arg $ checkpoint_arg
+       $ resume_arg $ kill_after_arg $ trace_arg $ trace_jsonl_arg $ trace_fine_arg
+       $ metrics_arg $ log_level_arg))
   in
   Cmd.v
     (Cmd.info "compare"
@@ -697,6 +915,55 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Print the benchmark's full specification as S-expressions (reload \
              with file:<path>).")
+    term
+
+(* --- export-json ------------------------------------------------------------- *)
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the JSON to FILE instead of stdout.")
+
+let export_json name force seed dvs uniform generations population jobs
+    allow_oversubscribe output =
+  let* spec = spec_of_benchmark ~force name in
+  let jobs = effective_jobs ~allow_oversubscribe jobs in
+  let config = config_of ~jobs ~dvs ~uniform ~generations ~population () in
+  match Synthesis.run ~config ~spec ~seed () with
+  | result -> (
+    let json = Mm_cosynth.Export_json.to_string spec result.Synthesis.eval in
+    match output with
+    | None ->
+      print_string json;
+      print_newline ();
+      Ok ()
+    | Some path -> (
+      match
+        let oc = open_out path in
+        output_string oc json;
+        output_char oc '\n';
+        close_out oc
+      with
+      | () ->
+        Format.printf "task network written to %s@." path;
+        Ok ()
+      | exception Sys_error message -> Error (`Msg message)))
+  | exception Invalid_argument message -> Error (`Msg message)
+
+let export_json_cmd =
+  let term =
+    Term.(
+      term_result
+        (const export_json $ benchmark_arg $ force_arg $ seed_arg $ dvs_arg
+       $ uniform_arg $ generations_arg $ population_arg $ jobs_arg
+       $ allow_oversubscribe_arg $ output_arg))
+  in
+  Cmd.v
+    (Cmd.info "export-json"
+       ~doc:
+         "Synthesise and export the winning implementation as one task-network JSON \
+          object (schema mmsyn-task-network, version 1).")
     term
 
 (* --- gantt ----------------------------------------------------------------- *)
@@ -963,6 +1230,57 @@ let simulate_cmd =
           usage trace.")
     term
 
+(* --- fleet ------------------------------------------------------------------- *)
+
+let fleet_report_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"REPORT" ~doc:"Path the fleet JSON report is written to.")
+
+let fleet_cmd_impl name force seed dvs uniform generations population jobs
+    allow_oversubscribe robust robust_samples robust_objective devices usage batch
+    fleet_seed fleet_horizon report =
+  let* spec = spec_of_benchmark ~force name in
+  let jobs = effective_jobs ~allow_oversubscribe jobs in
+  let config =
+    config_of ~jobs
+      ~robust:(robust_of ~robust ~robust_samples ~robust_objective)
+      ~dvs ~uniform ~generations ~population ()
+  in
+  match Synthesis.run ~config ~spec ~seed () with
+  | result -> (
+    Format.printf "synthesised: average power %.4g mW, feasible %b@."
+      (Synthesis.average_power result *. 1e3)
+      (Fitness.feasible result.Synthesis.eval);
+    match
+      run_fleet ~report_path:report ~jobs ~devices ~batch ~usage
+        ~horizon:fleet_horizon
+        ~fleet_seed:(Option.value fleet_seed ~default:(seed + 1))
+        spec result
+    with
+    | () -> Ok ()
+    | exception Invalid_argument message -> Error (`Msg message)
+    | exception Sys_error message -> Error (`Msg message))
+  | exception Invalid_argument message -> Error (`Msg message)
+
+let fleet_cmd =
+  let term =
+    Term.(
+      term_result
+        (const fleet_cmd_impl $ benchmark_arg $ force_arg $ seed_arg $ dvs_arg
+       $ uniform_arg $ generations_arg $ population_arg $ jobs_arg
+       $ allow_oversubscribe_arg $ robust_arg $ robust_samples_arg
+       $ robust_objective_arg $ devices_arg $ usage_arg $ batch_arg $ fleet_seed_arg
+       $ fleet_horizon_arg $ fleet_report_arg))
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Synthesise, then Monte Carlo a device fleet against the result: \
+          battery-life distribution to stdout, JSON report to REPORT.")
+    term
+
 (* --- client (talk to a running mmsynthd) -------------------------------------- *)
 
 module Serve_client = Mm_serve.Client
@@ -1172,6 +1490,6 @@ let () =
        (Cmd.group ~default info
           [
             show_cmd; check_cmd; synth_cmd; compare_cmd; anneal_cmd; pareto_cmd;
-            frontier_cmd; robustness_cmd; gantt_cmd; simulate_cmd; export_cmd; dot_cmd;
-            client_cmd;
+            frontier_cmd; robustness_cmd; gantt_cmd; simulate_cmd; fleet_cmd;
+            export_cmd; export_json_cmd; dot_cmd; client_cmd;
           ]))

@@ -573,9 +573,16 @@ let check ~(config : Fitness.config) ~spec (eval : Fitness.eval) : report =
     if not (close eval.Fitness.eval_power eval_power) then
       flag Power_mismatch "eval power %g, recomputed %g" eval.Fitness.eval_power
         eval_power;
-    (* The fitness formula itself. *)
+    (* The fitness formula itself.  Under a robust objective the power
+       term is the Ψ-distribution summary, re-derived through the same
+       [Fitness.robust_power] float path the evaluation used. *)
+    let objective_power =
+      match config.Fitness.robust with
+      | None -> eval.Fitness.eval_power
+      | Some r -> Fitness.robust_power r eval.Fitness.mode_powers
+    in
     let raw =
-      eval.Fitness.eval_power *. eval.Fitness.timing_factor *. eval.Fitness.area_factor
+      objective_power *. eval.Fitness.timing_factor *. eval.Fitness.area_factor
       *. eval.Fitness.transition_factor *. eval.Fitness.routability_factor
     in
     let expected_fitness =

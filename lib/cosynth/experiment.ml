@@ -43,8 +43,8 @@ let summarize_run (r : Synthesis.result) =
   }
 
 let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islands
-    ~migration_interval ~migration_count ~weighting ~spec ~runs ~seed ~completed
-    ~on_run =
+    ~migration_interval ~migration_count ~robust ~weighting ~spec ~runs ~seed
+    ~completed ~on_run =
   if runs <= 0 then invalid_arg "Experiment.compare: runs must be positive";
   if List.length completed > runs then
     invalid_arg "Experiment.compare: snapshot holds more runs than requested";
@@ -62,6 +62,7 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islan
       islands;
       migration_interval;
       migration_count;
+      robust;
     }
   in
   (* One cache per arm, shared across its repeated runs: later runs reuse
@@ -96,12 +97,12 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islan
   done;
   let powers = List.map (fun (s, _) -> s.power) !pairs in
   let cpu = List.map (fun (s, _) -> s.cpu_seconds) !pairs in
-  let best_summary, best_result =
-    match !pairs with
+  let best_index, best_summary, best_result =
+    match List.mapi (fun i (s, r) -> (i, s, r)) !pairs with
     | [] -> assert false (* runs >= 1 *)
     | first :: rest ->
       List.fold_left
-        (fun ((bs, _) as acc) ((s, _) as cand) ->
+        (fun ((_, bs, _) as acc) ((_, s, _) as cand) ->
           if s.power < bs.power then cand else acc)
         first rest
   in
@@ -110,7 +111,12 @@ let run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islan
     | Some result -> result
     | None ->
       (* Pure evaluation: recomputing from the genome reproduces the
-         replayed run's evaluation bit-for-bit. *)
+         replayed run's evaluation bit-for-bit.  The effective config
+         re-derives any robust Ψ samples from the replayed run's own
+         seed. *)
+      let fitness =
+        Synthesis.effective_fitness_config config ~spec ~seed:(seed + best_index)
+      in
       {
         Synthesis.genome = best_summary.genome;
         eval = Fitness.evaluate fitness spec best_summary.genome;
@@ -132,7 +138,7 @@ let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
     ?(islands = Synthesis.default_config.Synthesis.islands)
     ?(migration_interval = Synthesis.default_config.Synthesis.migration_interval)
     ?(migration_count = Synthesis.default_config.Synthesis.migration_count)
-    ?checkpoint ?resume ~spec ~runs ~seed () =
+    ?(robust = None) ?checkpoint ?resume ~spec ~runs ~seed () =
   (match resume with
   | None -> ()
   | Some st ->
@@ -147,7 +153,8 @@ let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
   let proposed_done = match resume with None -> [] | Some st -> st.proposed_done in
   let without_probabilities, baseline_all =
     run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islands
-      ~migration_interval ~migration_count ~weighting:Fitness.Uniform ~spec ~runs ~seed ~completed:baseline_done
+      ~migration_interval ~migration_count ~robust ~weighting:Fitness.Uniform ~spec
+      ~runs ~seed ~completed:baseline_done
       ~on_run:
         (Option.map
            (fun save summaries ->
@@ -156,7 +163,9 @@ let compare ?(ga = Mm_ga.Engine.default_config) ?(dvs = Fitness.No_dvs)
   in
   let with_probabilities, _ =
     run_arm ~ga ~dvs ~use_improvements ~restarts ~jobs ~eval_cache ~audit ~islands
-      ~migration_interval ~migration_count ~weighting:Fitness.True_probabilities ~spec ~runs ~seed ~completed:proposed_done
+      ~migration_interval ~migration_count ~robust
+      ~weighting:Fitness.True_probabilities ~spec ~runs ~seed
+      ~completed:proposed_done
       ~on_run:
         (Option.map
            (fun save summaries ->

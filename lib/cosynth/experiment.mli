@@ -55,6 +55,7 @@ val compare :
   ?islands:int ->
   ?migration_interval:int ->
   ?migration_count:int ->
+  ?robust:Synthesis.robust_usage option ->
   ?checkpoint:(state -> unit) ->
   ?resume:state ->
   spec:Spec.t ->

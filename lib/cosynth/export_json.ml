@@ -1,0 +1,208 @@
+module Omsm = Mm_omsm.Omsm
+module Mode = Mm_omsm.Mode
+module Transition = Mm_omsm.Transition
+module Graph = Mm_taskgraph.Graph
+module Task = Mm_taskgraph.Task
+module Task_type = Mm_taskgraph.Task_type
+module Arch = Mm_arch.Architecture
+module Pe = Mm_arch.Pe
+module Cl = Mm_arch.Cl
+module Schedule = Mm_sched.Schedule
+module Scaling = Mm_dvs.Scaling
+module Power = Mm_energy.Power
+module Json = Mm_obs.Json
+
+(* Tiny writer combinators over Mm_obs.Json's primitives: every value is
+   emitted through [Json.number]/[Json.str], which is what makes the
+   export → parse → re-emit round trip byte-stable (the test-side
+   emitter reuses the same primitives). *)
+let obj b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Json.str b k;
+      Buffer.add_char b ':';
+      v b)
+    fields;
+  Buffer.add_char b '}'
+
+let arr b items =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_char b ',';
+      item b)
+    items;
+  Buffer.add_char b ']'
+
+let num f b = Json.number b f
+let str s b = Json.str b s
+let int i b = Json.int b i
+let bool v b = Json.bool b v
+let null b = Buffer.add_string b "null"
+
+let task_ref omsm mode task =
+  Printf.sprintf "%s.%s" (Mode.name (Omsm.mode omsm mode)) (Task.name task)
+
+(* Scheduling priority of each task within its mode: rank in start-time
+   order (ties broken by task id, matching the scheduler's deterministic
+   tie-break), 0 = scheduled first.  External runtimes that replay the
+   network with a priority scheduler reproduce the static order. *)
+let priorities (schedule : Schedule.t) =
+  let n = Array.length schedule.Schedule.task_slots in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let sa = schedule.Schedule.task_slots.(a).Schedule.start in
+      let sb = schedule.Schedule.task_slots.(b).Schedule.start in
+      if sa <> sb then compare sa sb else compare a b)
+    order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos task -> rank.(task) <- pos) order;
+  rank
+
+let mode_json omsm (mp : Power.mode_power) mode b =
+  let mode_rec = Omsm.mode omsm mode in
+  obj b
+    [
+      ("id", int mode);
+      ("name", str (Mode.name mode_rec));
+      ("probability", num (Mode.probability mode_rec));
+      ("period_s", num (Mode.period mode_rec));
+      ( "power_w",
+        fun b ->
+          obj b
+            [
+              ("dynamic", num mp.Power.dyn_power);
+              ("static", num mp.Power.static_power);
+              ("total", num (Power.total mp));
+            ] );
+      ("active_pes", fun b -> arr b (List.map int mp.Power.active_pes));
+      ("active_cls", fun b -> arr b (List.map int mp.Power.active_cls));
+      ("shut_down_pes", fun b -> arr b (List.map int mp.Power.shut_down_pes));
+      ("shut_down_cls", fun b -> arr b (List.map int mp.Power.shut_down_cls));
+    ]
+
+let task_json spec omsm (eval : Fitness.eval) mode rank task b =
+  let arch = Spec.arch spec in
+  let mode_rec = Omsm.mode omsm mode in
+  let tid = Task.id task in
+  let slot = eval.Fitness.schedules.(mode).Schedule.task_slots.(tid) in
+  let pe_id = Schedule.pe_of_slot slot in
+  obj b
+    ([
+       ("name", str (task_ref omsm mode task));
+       ("mode", int mode);
+       ("task", int tid);
+       ("type", str (Task_type.name (Task.ty task)));
+       ("pe", str (Pe.name (Arch.pe arch pe_id)));
+       ("pe_id", int pe_id);
+       ("period_s", num (Mode.period mode_rec));
+       ( "deadline_s",
+         match Task.deadline task with Some d -> num d | None -> null );
+       ("priority", int rank.(tid));
+       ("start_s", num slot.Schedule.start);
+       ("duration_s", num slot.Schedule.duration);
+       ("finish_s", num (Schedule.finish slot));
+     ]
+    @
+    match eval.Fitness.scalings.(mode).Scaling.stretched_finish with
+    | [||] -> []
+    | finishes -> [ ("scaled_finish_s", num finishes.(tid)) ])
+
+let connection_json spec omsm (eval : Fitness.eval) mode (edge : Graph.edge) b =
+  let arch = Spec.arch spec in
+  let graph = Mode.graph (Omsm.mode omsm mode) in
+  let schedule = eval.Fitness.schedules.(mode) in
+  let slot =
+    List.find_opt
+      (fun (s : Schedule.comm_slot) ->
+        s.Schedule.edge.Graph.src = edge.Graph.src
+        && s.Schedule.edge.Graph.dst = edge.Graph.dst)
+      schedule.Schedule.comm_slots
+  in
+  let unroutable =
+    List.exists
+      (fun (e : Graph.edge) ->
+        e.Graph.src = edge.Graph.src && e.Graph.dst = edge.Graph.dst)
+      schedule.Schedule.unroutable
+  in
+  let base =
+    [
+      ("from", str (task_ref omsm mode (Graph.task graph edge.Graph.src)));
+      ("to", str (task_ref omsm mode (Graph.task graph edge.Graph.dst)));
+      ("mode", int mode);
+      ("data", num edge.Graph.data);
+    ]
+  in
+  match slot with
+  | Some s ->
+    obj b
+      (base
+      @ [
+          ("kind", str "link");
+          ("via", str (Cl.name (Arch.cl arch s.Schedule.cl)));
+          ("cl_id", int s.Schedule.cl);
+          ("start_s", num s.Schedule.start);
+          ("duration_s", num s.Schedule.duration);
+          ("energy_j", num s.Schedule.energy);
+        ])
+  | None ->
+    obj b (base @ [ ("kind", str (if unroutable then "unroutable" else "local")) ])
+
+let transition_json (entry : Transition_time.entry) b =
+  obj b
+    [
+      ("src", int (Transition.src entry.Transition_time.transition));
+      ("dst", int (Transition.dst entry.Transition_time.transition));
+      ("max_time_s", num (Transition.max_time entry.Transition_time.transition));
+      ("time_s", num entry.Transition_time.time);
+      ("violation", num entry.Transition_time.violation);
+    ]
+
+let to_string spec (eval : Fitness.eval) =
+  let omsm = Spec.omsm spec in
+  let n_modes = Omsm.n_modes omsm in
+  if Array.length eval.Fitness.schedules <> n_modes then
+    invalid_arg "Export_json.to_string: evaluation does not match the specification";
+  let b = Buffer.create 4096 in
+  let modes = List.init n_modes (fun m -> m) in
+  obj b
+    [
+      ("format", str "mmsyn-task-network");
+      ("version", int 1);
+      ("system", str (Omsm.name omsm));
+      ("average_power_w", num eval.Fitness.true_power);
+      ("fitness", num eval.Fitness.fitness);
+      ("feasible", bool (Fitness.feasible eval));
+      ( "modes",
+        fun b ->
+          arr b
+            (List.map
+               (fun m -> mode_json omsm eval.Fitness.mode_powers.(m) m)
+               modes) );
+      ( "tasks",
+        fun b ->
+          arr b
+            (List.concat_map
+               (fun m ->
+                 let graph = Mode.graph (Omsm.mode omsm m) in
+                 let rank = priorities eval.Fitness.schedules.(m) in
+                 List.init (Graph.n_tasks graph) (fun t ->
+                     task_json spec omsm eval m rank (Graph.task graph t)))
+               modes) );
+      ( "connections",
+        fun b ->
+          arr b
+            (List.concat_map
+               (fun m ->
+                 let graph = Mode.graph (Omsm.mode omsm m) in
+                 List.map
+                   (fun edge -> connection_json spec omsm eval m edge)
+                   (Graph.edges graph))
+               modes) );
+      ( "transitions",
+        fun b -> arr b (List.map transition_json eval.Fitness.transition_times) );
+    ];
+  Buffer.contents b

@@ -1,0 +1,35 @@
+(** Task-network JSON export of a synthesised implementation.
+
+    Serialises a finished evaluation as a single JSON object in the
+    style of ProbTime's network specification — a flat task network with
+    periods, priorities and connections, annotated with the per-mode
+    power figures — so external runtimes and tooling can consume
+    synthesis results without linking against mmsyn.
+
+    Schema (version 1, one object, key order fixed):
+
+    - [format]/[version]/[system]: ["mmsyn-task-network"], [1], the OMSM
+      name;
+    - [average_power_w], [fitness], [feasible]: headline figures of the
+      evaluation;
+    - [modes]: id, name, probability, period, dynamic/static/total power
+      and the active/shut-down PE and CL id sets per mode;
+    - [tasks]: one entry per (mode, task) — globally unique
+      ["<mode>.<task>"] name, type, mapped PE, period, optional
+      deadline, scheduling [priority] (rank in start-time order within
+      the mode, 0 first), and the static-schedule [start_s]/
+      [duration_s]/[finish_s] plus [scaled_finish_s] when DVS ran;
+    - [connections]: one entry per task-graph edge — source and
+      destination task refs, data volume, and [kind]: ["local"] (same
+      PE), ["link"] (with CL name/id, transfer window and energy) or
+      ["unroutable"];
+    - [transitions]: the OMSM transition list with allowed and achieved
+      reconfiguration times.
+
+    All numbers go through {!Mm_obs.Json.number}, so equal evaluations
+    produce byte-identical exports and export → parse → re-emit is
+    stable (the round-trip property in [test_fleet.ml]). *)
+
+val to_string : Spec.t -> Fitness.eval -> string
+(** Raises [Invalid_argument] when the evaluation's shape does not match
+    the specification (wrong mode count). *)

@@ -58,11 +58,20 @@ type penalties = {
 
 let default_penalties = { timing = 20.0; area = 20.0; transition = 20.0; unroutable = 100.0 }
 
+type robust_objective = Expected_lifetime | Percentile of float
+
+type robust = {
+  psis : float array array;
+  battery : Mm_energy.Battery.t;
+  objective : robust_objective;
+}
+
 type config = {
   weighting : weighting;
   dvs : dvs;
   penalties : penalties;
   scheduler_policy : List_scheduler.policy;
+  robust : robust option;
 }
 
 let default_config =
@@ -71,7 +80,42 @@ let default_config =
     dvs = No_dvs;
     penalties = default_penalties;
     scheduler_policy = List_scheduler.Mobility_first;
+    robust = None;
   }
+
+(* The scalar a robust run minimises: a power figure summarising the
+   battery-life distribution over the Ψ samples, so it composes with the
+   multiplicative penalty factors exactly like [eval_power] does.
+   Percentile objectives need no lifetime inversion at all — lifetime is
+   strictly decreasing in power, so the q-th worst lifetime is the
+   (1−q)-th highest power; sorting powers descending keeps the selection
+   exact even for samples whose power would be non-positive. *)
+let robust_power r mode_powers =
+  let n = Array.length r.psis in
+  if n = 0 then invalid_arg "Fitness: robust Ψ sample set is empty";
+  let powers = Array.map (fun psi -> Power.average ~probabilities:psi mode_powers) r.psis in
+  match r.objective with
+  | Percentile q ->
+    if not (q > 0.0 && q <= 1.0) then
+      invalid_arg "Fitness: robust percentile must be in (0, 1]";
+    Array.sort (fun a b -> compare b a) powers;
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    powers.(max 0 (min (n - 1) rank))
+  | Expected_lifetime ->
+    let battery = r.battery in
+    let total_hours =
+      Array.fold_left
+        (fun acc p ->
+          acc
+          +.
+          if p > 0.0 then Mm_energy.Battery.lifetime_hours battery ~average_power:p
+          else Float.infinity)
+        0.0 powers
+    in
+    let mean_hours = total_hours /. float_of_int n in
+    if Float.is_finite mean_hours && mean_hours > 0.0 then
+      Mm_energy.Battery.power_for_lifetime battery ~hours:mean_hours
+    else 0.0
 
 type eval = {
   fitness : float;
@@ -243,8 +287,16 @@ let assemble config spec mapping ~alloc ~mobilities ~schedules ~scalings ~mode_p
   let area_feasible = Core_alloc.area_feasible alloc in
   let transition_feasible = Transition_time.feasible transition_times in
   let routable = unroutable_count = 0 in
+  (* Robust mode swaps the point-Ψ power for a distribution summary; the
+     penalty factors are unchanged, and [robust = None] leaves the
+     product bit-identical to the seed formula. *)
+  let objective_power =
+    match config.robust with
+    | None -> eval_power
+    | Some r -> robust_power r mode_powers
+  in
   let raw_fitness =
-    eval_power *. timing_factor *. area_factor *. transition_factor
+    objective_power *. timing_factor *. area_factor *. transition_factor
     *. routability_factor
   in
   (* Infeasible candidates must never outrank feasible ones, however small

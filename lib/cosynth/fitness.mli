@@ -31,6 +31,21 @@ type penalties = {
 
 val default_penalties : penalties
 
+type robust_objective =
+  | Expected_lifetime
+      (** Minimise the power equivalent of the mean battery life over
+          the Ψ samples. *)
+  | Percentile of float
+      (** Optimise a low lifetime percentile (e.g. [Percentile 0.1] for
+          p10 — the worst-served decile of the fleet); must be in
+          (0, 1]. *)
+
+type robust = {
+  psis : float array array;  (** Ψ samples drawn from the usage model. *)
+  battery : Mm_energy.Battery.t;
+  objective : robust_objective;
+}
+
 type config = {
   weighting : weighting;
   dvs : dvs;
@@ -40,11 +55,25 @@ type config = {
           [Mobility_first]); the ablation bench uses this to show the
           baseline-vs-proposed comparison is insensitive to the inner
           loop, supporting DESIGN.md §3's substitution argument. *)
+  robust : robust option;
+      (** When set, the fitness objective becomes {!robust_power} over
+          the Ψ samples instead of the point-Ψ [eval_power]; the penalty
+          factors and every reported [eval] field are unchanged.
+          [None] (the default) is bit-identical to the seed formula. *)
 }
 
 val default_config : config
 (** True probabilities, no DVS, default penalties, mobility-first
-    scheduling. *)
+    scheduling, no robust objective. *)
+
+val robust_power : robust -> Mm_energy.Power.mode_power array -> float
+(** The scalar a robust run minimises: Eq. 1 evaluated per Ψ sample,
+    summarised per the objective.  [Percentile q] picks the power of the
+    q-th worst lifetime (no battery inversion needed — lifetime is
+    strictly decreasing in power); [Expected_lifetime] maps the mean of
+    the per-sample lifetimes back to a power through
+    {!Mm_energy.Battery.power_for_lifetime}.  Exposed so the auditor can
+    re-derive the fitness claim with the exact same float path. *)
 
 type eval = {
   fitness : float;

@@ -70,6 +70,11 @@ let pp_result spec ppf (result : Synthesis.result) =
 let print_result spec result =
   Format.printf "%a@?" (pp_result spec) result
 
+let pp_fleet ppf fleet =
+  Format.fprintf ppf "@[<v>%a@]@." Mm_energy.Fleet_sim.pp fleet
+
+let print_fleet fleet = Format.printf "%a@?" pp_fleet fleet
+
 let pp_metrics ppf () =
   let snap = Mm_obs.Metrics.snapshot () in
   let nonzero_counters = List.filter (fun (_, v) -> v <> 0) snap.Mm_obs.Metrics.counters in

@@ -11,6 +11,13 @@ val pp_result : Spec.t -> Format.formatter -> Synthesis.result -> unit
 val print_result : Spec.t -> Synthesis.result -> unit
 (** [pp_result] to stdout. *)
 
+val pp_fleet : Format.formatter -> Mm_energy.Fleet_sim.result -> unit
+(** Fleet-simulation distribution summary: device count, mean power vs
+    the analytic Eq. 1 figure, and the battery-lifetime percentiles. *)
+
+val print_fleet : Mm_energy.Fleet_sim.result -> unit
+(** [pp_fleet] to stdout. *)
+
 val pp_metrics : Format.formatter -> unit -> unit
 (** Summary of the current {!Mm_obs.Metrics} snapshot — non-zero
     counters plus count/total/mean/max for every populated histogram.

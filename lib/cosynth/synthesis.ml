@@ -11,6 +11,13 @@ let p_run = Mm_obs.Probe.create "synthesis/run"
 let p_restart = Mm_obs.Probe.create "synthesis/restart"
 let p_checkpoint = Mm_obs.Probe.create "synthesis/checkpoint"
 
+type robust_usage = {
+  model : Mm_energy.Fleet_sim.usage_model;
+  samples : int;
+  objective : Fitness.robust_objective;
+  battery : Mm_energy.Battery.t;
+}
+
 type config = {
   fitness : Fitness.config;
   ga : Engine.config;
@@ -23,6 +30,7 @@ type config = {
   islands : int;
   migration_interval : int;
   migration_count : int;
+  robust : robust_usage option;
 }
 
 let default_eval_cache = 8192
@@ -40,7 +48,54 @@ let default_config =
     islands = 1;
     migration_interval = Islands.default_topology.Islands.migration_interval;
     migration_count = Islands.default_topology.Islands.migration_count;
+    robust = None;
   }
+
+(* A robust request with the point model samples the published Ψ
+   verbatim — structurally the seed objective — so it is bypassed
+   entirely: no Ψ sampling, no fingerprint suffix, bit-identical
+   trajectories (held by the equivalence test in test_ga.ml). *)
+let robust_active config =
+  match config.robust with
+  | Some r -> not (Mm_energy.Fleet_sim.is_point r.model)
+  | None -> false
+
+(* Child-stream index the robust Ψ samples are drawn from.  Any fixed
+   non-zero index works (stream 0 is the outer generator itself); what
+   matters is that it never changes, because resumed runs re-derive the
+   samples from (seed, index) alone. *)
+let robust_psi_stream = 7919
+
+(* Materialise the Ψ samples a robust run evaluates against.  Deriving a
+   child stream never advances the outer generator, and the samples are
+   a pure function of (seed, model): resumed runs and replayed-run
+   recomputes (Experiment) re-derive them exactly rather than carrying
+   them in snapshots. *)
+let effective_fitness_config config ~spec ~seed =
+  if not (robust_active config) then config.fitness
+  else
+    match config.robust with
+    | None -> assert false
+    | Some r ->
+      let omsm = Spec.omsm spec in
+      let n_modes = Mm_omsm.Omsm.n_modes omsm in
+      Mm_energy.Fleet_sim.validate_model ~n_modes r.model;
+      if r.samples <= 0 then
+        invalid_arg "Synthesis.run: robust sample count must be positive";
+      let base =
+        Array.init n_modes (fun i ->
+            Mm_omsm.Mode.probability (Mm_omsm.Omsm.mode omsm i))
+      in
+      let psi_rng = Prng.stream (Prng.create ~seed) robust_psi_stream in
+      let psis =
+        Array.init r.samples (fun _ ->
+            Mm_energy.Fleet_sim.sample_psi r.model ~base psi_rng)
+      in
+      {
+        config.fitness with
+        Fitness.robust =
+          Some { Fitness.psis; battery = r.battery; objective = r.objective };
+      }
 
 type cache = (float * Fitness.eval) Memo.t
 
@@ -127,6 +182,24 @@ let config_fingerprint config =
      Printf.sprintf " islands=%d:%d:%d" config.islands
        (max 1 config.migration_interval)
        (max 0 config.migration_count)
+   else "")
+  ^
+  (* Same appended-only-when-active rule for the robust objective: the
+     point model is a bypass, and every pre-robust fingerprint stays
+     valid verbatim. *)
+  (if robust_active config then
+     match config.robust with
+     | Some r ->
+       let b = r.battery in
+       Printf.sprintf " robust=%s:%d:%s:%h:%h:%h:%h"
+         (Mm_energy.Fleet_sim.model_fingerprint r.model)
+         (max 1 r.samples)
+         (match r.objective with
+         | Fitness.Expected_lifetime -> "mean"
+         | Fitness.Percentile q -> Printf.sprintf "p%h" q)
+         b.Mm_energy.Battery.capacity_ah b.Mm_energy.Battery.voltage
+         b.Mm_energy.Battery.peukert b.Mm_energy.Battery.rated_hours
+     | None -> assert false
    else "")
 
 type result = {
@@ -280,12 +353,13 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
     | None -> Prng.create ~seed
     | Some state -> Prng.of_state state.outer_rng
   in
+  let fitness_config = effective_fitness_config config ~spec ~seed in
   let problem =
     {
       Engine.gene_counts = Spec.gene_counts spec;
       evaluate =
         (fun genome ->
-          let eval = Fitness.evaluate config.fitness spec genome in
+          let eval = Fitness.evaluate fitness_config spec genome in
           (eval.Fitness.fitness, eval));
       (* The fitness pipeline is a pure function of the genome, which is
          what licenses pooling and caching at all. *)
@@ -346,7 +420,7 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
       Some
         (fun ~parent ~dirty genome ->
           let eval =
-            Fitness.evaluate_delta config.fitness spec ~parent ~dirty genome
+            Fitness.evaluate_delta fitness_config spec ~parent ~dirty genome
           in
           (eval.Fitness.fitness, eval))
     else None
@@ -586,7 +660,7 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
       (* The winning restart was replayed from a snapshot; evaluation is
          pure, so recomputing it from the genome reproduces the
          evaluation the interrupted run held, bit-for-bit. *)
-      Fitness.evaluate config.fitness spec best_summary.r_genome
+      Fitness.evaluate fitness_config spec best_summary.r_genome
   in
   let total f = List.fold_left (fun acc (s, _) -> acc + f s) 0 !summaries in
   Log.info (fun () ->
@@ -600,7 +674,7 @@ let run ?(config = default_config) ?cache ?checkpoint ?resume ?yield ?pool
      raised — the caller decides whether it is fatal. *)
   let audit =
     if config.audit then begin
-      let report = Audit.check ~config:config.fitness ~spec eval in
+      let report = Audit.check ~config:fitness_config ~spec eval in
       if not report.Audit.clean then
         Log.warn (fun () -> Format.asprintf "%a" Audit.pp_report report);
       Some report

@@ -8,6 +8,16 @@
     is a pure function of the genome and all randomness is consumed
     while breeding, before evaluation batches are dispatched. *)
 
+type robust_usage = {
+  model : Mm_energy.Fleet_sim.usage_model;
+      (** How per-device Ψ vectors deviate from the published point
+          estimate; {!Mm_energy.Fleet_sim.Point} makes the whole option
+          a no-op bypass. *)
+  samples : int;  (** Ψ samples drawn per run (> 0). *)
+  objective : Fitness.robust_objective;
+  battery : Mm_energy.Battery.t;
+}
+
 type config = {
   fitness : Fitness.config;
   ga : Mm_ga.Engine.config;
@@ -52,6 +62,14 @@ type config = {
   migration_count : int;
       (** Members each island exports per epoch (default 2); only
           meaningful with [islands > 1], fingerprinted with it. *)
+  robust : robust_usage option;
+      (** Opt-in synthesis under usage uncertainty (default [None]): the
+          run draws [samples] Ψ vectors from the usage model — from a
+          dedicated child stream of the run seed, so resumes re-derive
+          them exactly — and minimises {!Fitness.robust_power} over them
+          instead of the point-Ψ average.  A [Point] model is bypassed
+          entirely and bit-identical to [None].  Part of
+          {!config_fingerprint} exactly when active. *)
 }
 
 val default_config : config
@@ -169,6 +187,20 @@ val config_fingerprint : config -> string
     synthesis trajectory for a given seed ([jobs] and [eval_cache] are
     excluded — the evaluation strategy never perturbs results).  Stored
     in {!run_state} and checked on resume. *)
+
+val robust_active : config -> bool
+(** Whether the robust objective actually changes the trajectory: a
+    [robust] option with a [Point] model is a bypass and reports
+    [false]. *)
+
+val effective_fitness_config : config -> spec:Spec.t -> seed:int -> Fitness.config
+(** The fitness configuration {!run} actually evaluates with: when
+    {!robust_active}, [config.fitness] with the Ψ samples materialised
+    from the run seed's dedicated child stream (a pure function of seed
+    and model, so callers replaying a run's genomes — the experiment
+    harness, the auditor — reproduce the exact fitness).  Raises
+    [Invalid_argument] on a malformed model or non-positive sample
+    count. *)
 
 val run :
   ?config:config ->

@@ -24,6 +24,14 @@ let lifetime_hours t ~average_power =
 
 let lifetime_days t ~average_power = lifetime_hours t ~average_power /. 24.0
 
+let power_for_lifetime t ~hours =
+  if hours <= 0.0 || not (Float.is_finite hours) then
+    invalid_arg "Battery.power_for_lifetime: lifetime must be positive and finite";
+  let i =
+    t.capacity_ah /. (t.rated_hours *. ((hours /. t.rated_hours) ** (1.0 /. t.peukert)))
+  in
+  i *. t.voltage
+
 let extension_percent t ~from_power ~to_power =
   let before = lifetime_hours t ~average_power:from_power in
   let after = lifetime_hours t ~average_power:to_power in

@@ -34,6 +34,11 @@ val current : t -> average_power:float -> float
 val lifetime_hours : t -> average_power:float -> float
 val lifetime_days : t -> average_power:float -> float
 
+val power_for_lifetime : t -> hours:float -> float
+(** Inverse of {!lifetime_hours}: the constant average power (W) that
+    drains the battery in exactly [hours].  Raises [Invalid_argument]
+    unless [hours] is positive and finite. *)
+
 val extension_percent : t -> from_power:float -> to_power:float -> float
 (** How much longer the battery lasts after a power reduction:
     100·(t_to − t_from)/t_from. *)

@@ -37,10 +37,12 @@ let check_stochastic matrix =
         row)
     matrix
 
-let stationary ?(max_iterations = 10_000) ?(tolerance = 1e-12) matrix =
+let stationary ?(max_iterations = 10_000) ?(tolerance = 1e-12) ?(damping = 0.95)
+    matrix =
+  if not (damping > 0.0 && damping <= 1.0) then
+    invalid_arg "Usage_profile.stationary: damping must be in (0, 1]";
   check_stochastic matrix;
   let n = Array.length matrix in
-  let damping = 0.95 in
   let uniform = 1.0 /. float_of_int n in
   let pi = Array.make n uniform in
   let next = Array.make n 0.0 in

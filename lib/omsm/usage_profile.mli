@@ -27,11 +27,18 @@ val embedded_chain : n_modes:int -> observation list -> float array array
     {!Invalid} on out-of-range mode ids or non-positive counts. *)
 
 val stationary :
-  ?max_iterations:int -> ?tolerance:float -> float array array -> float array
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?damping:float ->
+  float array array ->
+  float array
 (** Power iteration on a row-stochastic matrix.  To guarantee convergence
     on periodic or reducible chains the iteration is damped (mixing with
-    the uniform distribution, factor 0.95 — the PageRank trick).  Raises
-    [Invalid_argument] on a non-square or non-stochastic matrix. *)
+    the uniform distribution — the PageRank trick); [damping] is the
+    weight kept on the chain and must lie in (0, 1], default 0.95.
+    [damping:1.0] is the plain undamped iteration (which may oscillate on
+    periodic chains).  Raises [Invalid_argument] on a non-square or
+    non-stochastic matrix, or a damping outside (0, 1]. *)
 
 val probabilities :
   n_modes:int ->

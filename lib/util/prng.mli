@@ -88,6 +88,19 @@ val sample_without_replacement : t -> int -> 'a list -> 'a list
 (** [sample_without_replacement t k xs] picks [k] distinct elements of
     [xs] (all of them when [k >= List.length xs]), in random order. *)
 
+val gamma : t -> shape:float -> float
+(** Gamma(shape, 1) draw via the Marsaglia–Tsang squeeze, with the
+    [U^(1/a)] boost for [shape < 1].  Consumes a variable number of
+    underlying draws (rejection sampling).  [shape] must be positive and
+    finite. *)
+
+val dirichlet : t -> float array -> float array
+(** [dirichlet t alpha] draws from the Dirichlet distribution with
+    concentration vector [alpha] (normalised independent gamma draws).
+    Every entry of [alpha] must be positive and finite; the result is
+    positive and sums to 1.  Raises [Invalid_argument] on an empty
+    vector. *)
+
 val dirichlet_like : t -> int -> skew:float -> float array
 (** [dirichlet_like t n ~skew] draws [n] positive weights summing to 1.
     [skew >= 1.] controls unevenness: 1 gives roughly uniform weights,

@@ -151,3 +151,12 @@ let golden_smartphone_anchor_makespan_bits =
   |]
 
 let golden_smartphone_anchor_dvs_power_bits = 0x3fba885a7b4320ecL (* 0.10364309 W *)
+
+(* MD5 of the task-network JSON export (Export_json.to_string) of the
+   same two deterministic evaluations: the motivational Fig. 2c mapping
+   and the smart phone anchor.  Every number in the export flows through
+   Mm_obs.Json.number, so these pins break on any float drift in the
+   pipeline AND on any schema change — the latter must bump the export's
+   "version" field. *)
+let golden_motivational_export_digest = "ab7d4471635d5aae1d728ea8e717264d"
+let golden_smartphone_export_digest = "47cecb247b372d6b6d207a874cb680d7"

@@ -697,6 +697,80 @@ let test_islands_private_caches_invariant () =
   Alcotest.(check int) "cache accounts every evaluation" plain.Islands.evaluations
     (cached.Islands.evaluations + cached.Islands.cache_hits)
 
+(* --- Robust (usage-uncertainty) synthesis -------------------------------------- *)
+
+module Synthesis = Mm_cosynth.Synthesis
+module Fleet_sim = Mm_energy.Fleet_sim
+
+let robust_spec () =
+  Fixtures.spec_of_graphs ~probabilities:[| 0.2; 0.8 |]
+    [ Fixtures.chain_graph (); Fixtures.fork_graph () ]
+
+let robust_ga_config robust =
+  {
+    Synthesis.default_config with
+    Synthesis.ga =
+      { Engine.default_config with max_generations = 15; population_size = 16 };
+    robust;
+  }
+
+let robust_usage model =
+  {
+    Synthesis.model;
+    samples = 8;
+    objective = Fitness.Percentile 0.25;
+    battery = Mm_energy.Battery.phone_cell;
+  }
+
+let test_robust_point_is_bypass () =
+  (* A Point model draws nothing: fitness, fingerprint and the whole
+     trajectory are bit-identical to a run with no robust config — the
+     opt-in shows up nowhere unless a spreading model is chosen. *)
+  let spec = robust_spec () in
+  let stock = robust_ga_config None in
+  let point = robust_ga_config (Some (robust_usage Fleet_sim.Point)) in
+  Alcotest.(check bool) "point model is inactive" false (Synthesis.robust_active point);
+  Alcotest.(check string) "fingerprint unchanged"
+    (Synthesis.config_fingerprint stock)
+    (Synthesis.config_fingerprint point);
+  let a = Synthesis.run ~config:stock ~spec ~seed:4 () in
+  let b = Synthesis.run ~config:point ~spec ~seed:4 () in
+  Alcotest.(check bool) "eval bit-identical" true
+    (evals_bit_identical a.Synthesis.eval b.Synthesis.eval)
+
+let test_robust_deterministic_across_jobs () =
+  (* The Ψ sample set is a pure function of the run seed (a dedicated
+     Prng stream), so robust runs replay bit-identically, serial or
+     pooled. *)
+  let spec = robust_spec () in
+  let config =
+    robust_ga_config (Some (robust_usage (Fleet_sim.Dirichlet { concentration = 40.0 })))
+  in
+  Alcotest.(check bool) "dirichlet model is active" true (Synthesis.robust_active config);
+  let serial = Synthesis.run ~config ~spec ~seed:4 () in
+  let replay = Synthesis.run ~config ~spec ~seed:4 () in
+  let pooled = Synthesis.run ~config:{ config with Synthesis.jobs = 3 } ~spec ~seed:4 () in
+  Alcotest.(check bool) "replay bit-identical" true
+    (evals_bit_identical serial.Synthesis.eval replay.Synthesis.eval);
+  Alcotest.(check bool) "pooled bit-identical" true
+    (evals_bit_identical serial.Synthesis.eval pooled.Synthesis.eval);
+  (* An active model fingerprints differently from the stock config, and
+     differently again at another sample count. *)
+  let stock_fp = Synthesis.config_fingerprint (robust_ga_config None) in
+  let active_fp = Synthesis.config_fingerprint config in
+  let more_samples =
+    Synthesis.config_fingerprint
+      {
+        config with
+        Synthesis.robust =
+          Option.map (fun r -> { r with Synthesis.samples = 16 }) config.Synthesis.robust;
+      }
+  in
+  Alcotest.(check bool) "fingerprint gains a robust suffix" false
+    (String.equal stock_fp active_fp);
+  Alcotest.(check bool) "sample count fingerprinted" false
+    (String.equal active_fp more_samples)
+
 (* Property: migration is deterministic under seed replay — two runs
    with the same seed and topology agree bit for bit, across random
    island counts, intervals and export sizes, with and without a pool. *)
@@ -782,6 +856,13 @@ let () =
           Alcotest.test_case "private caches invariant" `Quick
             test_islands_private_caches_invariant;
           QCheck_alcotest.to_alcotest prop_islands_seed_replay;
+        ] );
+      ( "robust synthesis",
+        [
+          Alcotest.test_case "point model is a bit-exact bypass" `Quick
+            test_robust_point_is_bypass;
+          Alcotest.test_case "deterministic, serial ≡ pooled" `Quick
+            test_robust_deterministic_across_jobs;
         ] );
       ( "nsga2",
         [

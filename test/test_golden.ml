@@ -69,6 +69,27 @@ let test_smartphone () =
   check_bits "anchor power under DVS" Fixtures.golden_smartphone_anchor_dvs_power_bits
     dvs.Fitness.true_power
 
+let test_export_json_pins () =
+  let digest spec eval =
+    Digest.to_hex (Digest.string (Mm_cosynth.Export_json.to_string spec eval))
+  in
+  let spec = Mm_benchgen.Motivational.spec () in
+  let fig2c =
+    Fitness.evaluate_mapping Fitness.default_config spec
+      (Mapping.of_arrays spec [| [| 0; 0; 0 |]; [| 0; 1; 1 |] |])
+  in
+  Alcotest.(check string) "motivational fig2c export"
+    Fixtures.golden_motivational_export_digest (digest spec fig2c);
+  let phone = Mm_benchgen.Smartphone.spec () in
+  let genome =
+    match Synthesis.anchors phone with
+    | g :: _ -> g
+    | [] -> Alcotest.fail "smartphone has no software anchor"
+  in
+  let anchor = Fitness.evaluate Fitness.default_config phone genome in
+  Alcotest.(check string) "smartphone anchor export"
+    Fixtures.golden_smartphone_export_digest (digest phone anchor)
+
 let () =
   Alcotest.run "golden"
     [
@@ -76,5 +97,6 @@ let () =
         [
           Alcotest.test_case "motivational (Fig. 2)" `Quick test_motivational;
           Alcotest.test_case "smartphone anchor" `Quick test_smartphone;
+          Alcotest.test_case "task-network export" `Quick test_export_json_pins;
         ] );
     ]

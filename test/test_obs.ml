@@ -15,198 +15,9 @@ module Synthesis = Mm_cosynth.Synthesis
 module Fitness = Mm_cosynth.Fitness
 module Engine = Mm_ga.Engine
 
-(* --- A miniature JSON parser ---------------------------------------------------
-
-   The library only writes JSON (see Mm_obs.Json); the reader lives
-   here, so the tests parse exactly what the sinks emit rather than
-   pattern-matching on substrings. *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Number of float
-  | String of string
-  | Array of json list
-  | Object of (string * json) list
-
-exception Bad_json of string
-
-let parse_json text =
-  let n = String.length text in
-  let pos = ref 0 in
-  let fail message = raise (Bad_json (Printf.sprintf "%s at byte %d" message !pos)) in
-  let peek () = if !pos < n then Some text.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some d when d = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %C" c)
-  in
-  let literal word value =
-    String.iter expect word;
-    value
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec chars () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some (('"' | '\\' | '/') as c) ->
-          Buffer.add_char b c;
-          advance ()
-        | Some 'n' ->
-          Buffer.add_char b '\n';
-          advance ()
-        | Some 't' ->
-          Buffer.add_char b '\t';
-          advance ()
-        | Some 'r' ->
-          Buffer.add_char b '\r';
-          advance ()
-        | Some 'b' ->
-          Buffer.add_char b '\b';
-          advance ()
-        | Some 'f' ->
-          Buffer.add_char b '\012';
-          advance ()
-        | Some 'u' ->
-          advance ();
-          let code = ref 0 in
-          for _ = 1 to 4 do
-            (match peek () with
-            | Some ('0' .. '9' as c) -> code := (!code * 16) + Char.code c - Char.code '0'
-            | Some ('a' .. 'f' as c) ->
-              code := (!code * 16) + Char.code c - Char.code 'a' + 10
-            | Some ('A' .. 'F' as c) ->
-              code := (!code * 16) + Char.code c - Char.code 'A' + 10
-            | _ -> fail "bad \\u escape");
-            advance ()
-          done;
-          (* Only the one-byte range matters here: the writer escapes
-             control characters as \u00XX and nothing else. *)
-          if !code < 0x100 then Buffer.add_char b (Char.chr !code)
-          else Buffer.add_char b '?'
-        | _ -> fail "bad escape");
-        chars ()
-      | Some c when Char.code c < 0x20 -> fail "raw control character in string"
-      | Some c ->
-        Buffer.add_char b c;
-        advance ();
-        chars ()
-    in
-    chars ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let numeric = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while match peek () with Some c when numeric c -> true | _ -> false do
-      advance ()
-    done;
-    let body = String.sub text start (!pos - start) in
-    match float_of_string_opt body with
-    | Some f -> Number f
-    | None -> fail (Printf.sprintf "bad number %S" body)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Object []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let value = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((key, value) :: acc)
-          | Some '}' ->
-            advance ();
-            List.rev ((key, value) :: acc)
-          | _ -> fail "expected ',' or '}'"
-        in
-        Object (members [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Array []
-      end
-      else begin
-        let rec elements acc =
-          let value = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (value :: acc)
-          | Some ']' ->
-            advance ();
-            List.rev (value :: acc)
-          | _ -> fail "expected ',' or ']'"
-        in
-        Array (elements [])
-      end
-    | Some '"' -> String (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> parse_number ()
-    | None -> fail "empty input"
-  in
-  let value = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing bytes";
-  value
-
-let member key = function Object fields -> List.assoc_opt key fields | _ -> None
-
-let member_exn key json =
-  match member key json with
-  | Some v -> v
-  | None -> Alcotest.fail (Printf.sprintf "missing key %S" key)
-
-let as_string = function String s -> s | _ -> Alcotest.fail "expected a string"
-
-let as_number = function Number f -> f | _ -> Alcotest.fail "expected a number"
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let jsonl_events path =
-  read_file path |> String.split_on_char '\n'
-  |> List.filter (fun line -> line <> "")
-  |> List.map parse_json
+(* The miniature JSON reader lives in Mini_json (shared with the fleet
+   and export-json tests). *)
+open Mini_json
 
 let with_defaults_restored f =
   Fun.protect
