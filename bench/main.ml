@@ -746,7 +746,7 @@ let soak options =
     let result = f () in
     (Unix.gettimeofday () -. started, result)
   in
-  let sink = Mm_io.Snapshot.synth_sink ~path ~spec ~every:1 in
+  let sink = Mm_io.Snapshot.synth_sink ~path ~spec ~every:1 () in
   let straight_seconds, straight = wall (fun () -> Synthesis.run ~config ~spec ~seed ()) in
   (* Same run with a checkpoint after every generation: the steady-state
      cost of being interruptible. *)
@@ -1322,8 +1322,8 @@ let serve options =
     Domain.spawn (fun () ->
         Server.run
           {
+            Server.default_config with
             Server.socket_path = socket;
-            tcp = None;
             state_dir = Filename.concat dir "state";
             pool_jobs = 1;
             checkpoint_every = 10;
@@ -1348,7 +1348,11 @@ let serve options =
     let spec_text = specs.(i mod Array.length specs) in
     let req =
       Protocol.Submit
-        { spec_text; options = { job_options with Job.seed = 1000 + i } }
+        {
+          spec_text;
+          options = { job_options with Job.seed = 1000 + i };
+          nonce = None;
+        }
     in
     let t0 = Unix.gettimeofday () in
     match Client.request client req with

@@ -308,12 +308,58 @@ let log_level_arg =
 
 (* --- fleet simulation and robust-usage arguments ----------------------------- *)
 
-(* Spelling shared by --usage and --robust: point, dirichlet:<c> or
-   jitter:<sigma> (mixtures are library-only — they need named profile
-   tables that have no one-line spelling). *)
+(* Spelling shared by --usage and --robust: point, dirichlet:<c>,
+   jitter:<sigma> or mixture:<name>=<weight>@<p,p,...>[;...] — one
+   named persona per ';'-separated entry, probabilities normalised on
+   use (mode-count agreement with the spec is checked at the use site
+   by Fleet_sim.validate_model). *)
 let usage_model_conv =
+  let module F = Mm_energy.Fleet_sim in
+  let parse_profile entry =
+    match String.index_opt entry '=' with
+    | None ->
+      Error
+        (Printf.sprintf "mixture entry %S: expected <name>=<weight>@<p,p,...>"
+           entry)
+    | Some eq -> (
+      let name = String.sub entry 0 eq in
+      let rest = String.sub entry (eq + 1) (String.length entry - eq - 1) in
+      if name = "" then Error (Printf.sprintf "mixture entry %S: empty persona name" entry)
+      else
+        match String.index_opt rest '@' with
+        | None ->
+          Error
+            (Printf.sprintf "mixture entry %S: missing '@<p,p,...>' probabilities"
+               entry)
+        | Some at -> (
+          let weight_text = String.sub rest 0 at in
+          let psi_text = String.sub rest (at + 1) (String.length rest - at - 1) in
+          match float_of_string_opt weight_text with
+          | Some w when w > 0.0 && Float.is_finite w -> (
+            let fields = String.split_on_char ',' psi_text in
+            let psi = List.map float_of_string_opt fields in
+            let bad p = match p with
+              | Some v -> not (v >= 0.0 && Float.is_finite v)
+              | None -> true
+            in
+            if psi = [] || List.exists bad psi then
+              Error
+                (Printf.sprintf
+                   "mixture entry %S: probabilities must be non-negative numbers"
+                   entry)
+            else
+              let psi = Array.of_list (List.map Option.get psi) in
+              if Array.for_all (fun p -> p = 0.0) psi then
+                Error
+                  (Printf.sprintf "mixture entry %S: probabilities are all zero"
+                     entry)
+              else Ok { F.name; weight = w; psi })
+          | Some _ | None ->
+            Error
+              (Printf.sprintf "mixture entry %S: weight must be a positive number"
+                 entry)))
+  in
   let parse s =
-    let module F = Mm_energy.Fleet_sim in
     if s = "point" then Ok F.Point
     else
       match prefixed ~prefix:"dirichlet:" s with
@@ -333,13 +379,30 @@ let usage_model_conv =
           | Some _ | None ->
             Error
               (`Msg (Printf.sprintf "jitter sigma must be a non-negative number: %S" sigma)))
-        | None ->
-          Error
-            (`Msg
-               (Printf.sprintf
-                  "unknown usage model %S (expected point, dirichlet:<c> or \
-                   jitter:<sigma>)"
-                  s)))
+        | None -> (
+          match prefixed ~prefix:"mixture:" s with
+          | Some body -> (
+            let entries =
+              List.filter (fun e -> e <> "") (String.split_on_char ';' body)
+            in
+            if entries = [] then
+              Error (`Msg "mixture: needs at least one <name>=<weight>@<p,...> entry")
+            else
+              let rec collect acc = function
+                | [] -> Ok (F.Mixture (List.rev acc))
+                | entry :: rest -> (
+                  match parse_profile entry with
+                  | Ok profile -> collect (profile :: acc) rest
+                  | Error message -> Error (`Msg message))
+              in
+              collect [] entries)
+          | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown usage model %S (expected point, dirichlet:<c>, \
+                     jitter:<sigma> or mixture:<name>=<weight>@<p,p,...>[;...])"
+                    s))))
   in
   let print ppf model =
     Format.pp_print_string ppf (Mm_energy.Fleet_sim.model_to_string model)
@@ -354,8 +417,10 @@ let usage_arg =
         ~doc:
           "Per-device usage model for the fleet simulation: $(b,point) (every device \
            follows the published Ψ), $(b,dirichlet:<c>) (per-device Ψ ~ \
-           Dirichlet(c·Ψ)) or $(b,jitter:<sigma>) (log-normal holding-time \
-           factors).")
+           Dirichlet(c·Ψ)), $(b,jitter:<sigma>) (log-normal holding-time \
+           factors) or $(b,mixture:name=weight@p,p,...;...) (named personas \
+           drawn by weight; probabilities are normalised and must match the \
+           spec's mode count).")
 
 let devices_arg =
   Arg.(
@@ -724,7 +789,7 @@ let synth name force audit seed dvs uniform generations population jobs islands
   let checkpoint =
     Option.map
       (fun path ->
-        let sink = Mm_io.Snapshot.synth_sink ~path ~spec ~every:checkpoint_every in
+        let sink = Mm_io.Snapshot.synth_sink ~path ~spec ~every:checkpoint_every () in
         { sink with Synthesis.save = with_kill_switch ~kill_after sink.Synthesis.save })
       checkpoint
   in
@@ -1293,17 +1358,70 @@ let socket_arg =
     & opt string "/tmp/mmsynthd.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
 
+let client_tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Reach the daemon over TCP instead of the Unix socket.")
+
+let client_auth_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "auth-token" ] ~docv:"TOKEN"
+        ~doc:
+          "Shared-secret token attached to every request (required by TCP \
+           listeners started with $(b,--auth-token)).")
+
+let client_retries_arg =
+  Arg.(
+    value
+    & opt int Serve_client.default_retry.Serve_client.attempts
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total attempts per request (1 = never retry).  Connection \
+           failures, lost replies and busy responses are retried under \
+           exponential backoff with jitter; submissions carry an \
+           idempotency nonce so a blind retry never duplicates a job.")
+
 let job_id_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB" ~doc:"Job id.")
 
-let with_client socket f =
-  match Serve_client.with_connection ~socket f with
-  | result -> result
-  | exception Unix.Unix_error (e, _, _) ->
-    Error
-      (`Msg
-        (Printf.sprintf "cannot reach mmsynthd at %s: %s" socket
-           (Unix.error_message e)))
+let endpoint_of socket tcp =
+  match tcp with
+  | None -> Ok (Serve_client.Unix_socket socket)
+  | Some spec -> (
+    match String.rindex_opt spec ':' with
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      match
+        int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+      with
+      | Some port -> Ok (Serve_client.Tcp (host, port))
+      | None -> Error (`Msg ("invalid port in --tcp " ^ spec)))
+    | None -> Error (`Msg ("expected HOST:PORT in --tcp " ^ spec)))
+
+let endpoint_to_string = function
+  | Serve_client.Unix_socket path -> path
+  | Serve_client.Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let with_client socket tcp auth retries f =
+  let* endpoint = endpoint_of socket tcp in
+  let retry =
+    { Serve_client.default_retry with Serve_client.attempts = max 1 retries }
+  in
+  let c = Serve_client.create ?auth ~retry endpoint in
+  Fun.protect
+    ~finally:(fun () -> Serve_client.close c)
+    (fun () ->
+      match f c with
+      | Ok _ as ok -> ok
+      | Error (`Msg message) ->
+        Error
+          (`Msg
+            (Printf.sprintf "mmsynthd at %s: %s" (endpoint_to_string endpoint)
+               message)))
 
 let print_view (v : Serve_protocol.job_view) =
   let part name = function
@@ -1323,10 +1441,17 @@ let unexpected response =
       (match response with
       | Serve_protocol.Error_response { code; message } ->
         Printf.sprintf "daemon refused: %s: %s" code message
+      | Serve_protocol.Busy { active; limit } ->
+        Printf.sprintf
+          "daemon busy (%d/%d jobs active) and retries exhausted — try again \
+           later or raise --retries"
+          active limit
+      | Serve_protocol.Unauthorized ->
+        "unauthorized: this listener requires --auth-token"
       | _ -> "unexpected response from the daemon"))
 
-let client_submit socket file seed dvs uniform generations population restarts
-    islands migration_every migrants watch =
+let client_submit socket tcp auth retries file seed dvs uniform generations
+    population restarts islands migration_every migrants watch =
   let* spec_text =
     try Ok (Mm_io.Codec.read_file file) with Sys_error m -> Error (`Msg m)
   in
@@ -1343,8 +1468,12 @@ let client_submit socket file seed dvs uniform generations population restarts
       migration_count = migrants;
     }
   in
-  with_client socket @@ fun c ->
-  match Serve_client.request c (Serve_protocol.Submit { spec_text; options }) with
+  (* The nonce makes a blindly retried submit idempotent: if the first
+     attempt was admitted but its reply lost, the daemon answers the
+     retry with the same job instead of a duplicate. *)
+  let nonce = Some (Serve_client.fresh_nonce ()) in
+  with_client socket tcp auth retries @@ fun c ->
+  match Serve_client.rpc c (Serve_protocol.Submit { spec_text; options; nonce }) with
   | Error message -> Error (`Msg message)
   | Ok (Serve_protocol.Rejected diags) ->
     List.iter
@@ -1356,7 +1485,8 @@ let client_submit socket file seed dvs uniform generations population restarts
     if not watch then Ok ()
     else begin
       match
-        Serve_client.watch c view.Serve_protocol.v_id ~on_event:print_endline
+        Serve_client.watch_resilient c view.Serve_protocol.v_id
+          ~on_event:print_endline
       with
       | Error message -> Error (`Msg message)
       | Ok final ->
@@ -1365,57 +1495,56 @@ let client_submit socket file seed dvs uniform generations population restarts
     end
   | Ok other -> unexpected other
 
-let client_status socket id =
-  with_client socket @@ fun c ->
-  match Serve_client.request c (Serve_protocol.Status id) with
+let client_status socket tcp auth retries id =
+  with_client socket tcp auth retries @@ fun c ->
+  match Serve_client.rpc c (Serve_protocol.Status id) with
   | Error message -> Error (`Msg message)
   | Ok (Serve_protocol.Job_info view) ->
     print_view view;
     Ok ()
   | Ok other -> unexpected other
 
-let client_cancel socket id =
-  with_client socket @@ fun c ->
-  match Serve_client.request c (Serve_protocol.Cancel id) with
+let client_cancel socket tcp auth retries id =
+  with_client socket tcp auth retries @@ fun c ->
+  match Serve_client.rpc c (Serve_protocol.Cancel id) with
   | Error message -> Error (`Msg message)
   | Ok Serve_protocol.Done ->
     Printf.printf "%s: cancellation requested\n" id;
     Ok ()
   | Ok other -> unexpected other
 
-let client_list socket =
-  with_client socket @@ fun c ->
-  match Serve_client.request c Serve_protocol.List_jobs with
+let client_list socket tcp auth retries =
+  with_client socket tcp auth retries @@ fun c ->
+  match Serve_client.rpc c Serve_protocol.List_jobs with
   | Error message -> Error (`Msg message)
   | Ok (Serve_protocol.Jobs views) ->
     List.iter print_view views;
     Ok ()
   | Ok other -> unexpected other
 
-let client_watch socket id =
-  with_client socket @@ fun c ->
-  match Serve_client.watch c id ~on_event:print_endline with
+let client_watch socket tcp auth retries id =
+  with_client socket tcp auth retries @@ fun c ->
+  match Serve_client.watch_resilient c id ~on_event:print_endline with
   | Error message -> Error (`Msg message)
   | Ok final ->
     print_view final;
     Ok ()
 
-let client_ping socket =
-  with_client socket @@ fun c ->
-  match Serve_client.request c Serve_protocol.Ping with
+let client_ping socket tcp auth retries =
+  with_client socket tcp auth retries @@ fun c ->
+  match Serve_client.rpc c Serve_protocol.Ping with
   | Ok Serve_protocol.Pong ->
     print_endline "pong";
     Ok ()
   | Ok other -> unexpected other
   | Error message -> Error (`Msg message)
 
-let client_shutdown socket =
-  with_client socket @@ fun c ->
-  match Serve_client.request c Serve_protocol.Shutdown with
-  | Ok Serve_protocol.Done ->
+let client_shutdown socket tcp auth retries =
+  with_client socket tcp auth retries @@ fun c ->
+  match Serve_client.shutdown c with
+  | Ok () ->
     print_endline "daemon stopping (in-flight jobs stay checkpointed)";
     Ok ()
-  | Ok other -> unexpected other
   | Error message -> Error (`Msg message)
 
 let client_cmd =
@@ -1439,41 +1568,60 @@ let client_cmd =
       (Cmd.info "submit" ~doc:"Validate and enqueue a specification.")
       Term.(
         term_result
-          (const client_submit $ socket_arg $ spec_file_arg $ seed_arg $ dvs_arg
+          (const client_submit $ socket_arg $ client_tcp_arg $ client_auth_arg
+         $ client_retries_arg $ spec_file_arg $ seed_arg $ dvs_arg
          $ uniform_arg $ generations_arg $ population_arg $ restarts_arg
          $ islands_arg $ migration_every_arg $ migrants_arg $ watch_flag))
   in
   let status =
     Cmd.v
       (Cmd.info "status" ~doc:"Show one job.")
-      Term.(term_result (const client_status $ socket_arg $ job_id_arg))
+      Term.(
+        term_result
+          (const client_status $ socket_arg $ client_tcp_arg $ client_auth_arg
+         $ client_retries_arg $ job_id_arg))
   in
   let cancel =
     Cmd.v
       (Cmd.info "cancel" ~doc:"Cancel a queued or running job.")
-      Term.(term_result (const client_cancel $ socket_arg $ job_id_arg))
+      Term.(
+        term_result
+          (const client_cancel $ socket_arg $ client_tcp_arg $ client_auth_arg
+         $ client_retries_arg $ job_id_arg))
   in
   let list =
     Cmd.v
       (Cmd.info "list" ~doc:"List every job the daemon knows.")
-      Term.(term_result (const client_list $ socket_arg))
+      Term.(
+        term_result
+          (const client_list $ socket_arg $ client_tcp_arg $ client_auth_arg
+         $ client_retries_arg))
   in
   let watch =
     Cmd.v
       (Cmd.info "watch"
          ~doc:"Stream a job's JSONL progress events until it finishes.")
-      Term.(term_result (const client_watch $ socket_arg $ job_id_arg))
+      Term.(
+        term_result
+          (const client_watch $ socket_arg $ client_tcp_arg $ client_auth_arg
+         $ client_retries_arg $ job_id_arg))
   in
   let ping =
     Cmd.v
       (Cmd.info "ping" ~doc:"Check the daemon is alive.")
-      Term.(term_result (const client_ping $ socket_arg))
+      Term.(
+        term_result
+          (const client_ping $ socket_arg $ client_tcp_arg $ client_auth_arg
+         $ client_retries_arg))
   in
   let shutdown =
     Cmd.v
       (Cmd.info "shutdown"
          ~doc:"Stop the daemon, leaving in-flight jobs checkpointed on disk.")
-      Term.(term_result (const client_shutdown $ socket_arg))
+      Term.(
+        term_result
+          (const client_shutdown $ socket_arg $ client_tcp_arg $ client_auth_arg
+         $ client_retries_arg))
   in
   Cmd.group
     (Cmd.info "client" ~doc:"Talk to a running mmsynthd.")

@@ -3,6 +3,7 @@
    Mm_serve.Server. *)
 
 open Cmdliner
+module Fault = Mm_fault.Fault
 module Pool = Mm_parallel.Pool
 module Server = Mm_serve.Server
 
@@ -47,6 +48,44 @@ let checkpoint_every_arg =
     & info [ "checkpoint-every" ] ~docv:"N"
         ~doc:"Snapshot every running job's state every N GA generations.")
 
+let keep_checkpoints_arg =
+  Arg.(
+    value
+    & opt int Server.default_keep_checkpoints
+    & info [ "keep-checkpoints" ] ~docv:"K"
+        ~doc:
+          "Rotated checkpoint generations kept per job (checkpoint.snap, \
+           checkpoint.snap.1, ...).  With K >= 2 a corrupted newest \
+           checkpoint is quarantined at restart and recovery falls back to \
+           the previous generation instead of rerunning from scratch.")
+
+let max_jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-jobs" ] ~docv:"N"
+        ~doc:
+          "Refuse new submissions (with a typed, retryable busy response) \
+           while N jobs are already queued or running.  0 = unbounded.")
+
+let read_deadline_arg =
+  Arg.(
+    value
+    & opt float Server.default_read_deadline
+    & info [ "read-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Drop a connection that stalls mid-frame for this long (0 = \
+           never).  Idle clients between requests are never dropped.")
+
+let auth_token_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "auth-token" ] ~docv:"TOKEN"
+        ~doc:
+          "Require every TCP request to carry this shared-secret token \
+           (compared in constant time).  Unix-socket clients are never \
+           challenged: the socket file's permissions are their credential.")
+
 let tcp_arg =
   Arg.(
     value
@@ -54,7 +93,32 @@ let tcp_arg =
     & info [ "tcp" ] ~docv:"HOST:PORT"
         ~doc:"Additionally listen on a TCP address, e.g. 127.0.0.1:7433.")
 
-let serve socket state_dir jobs allow_oversubscribe checkpoint_every tcp =
+let chaos_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "Arm deterministic fault injection seeded by SEED: worker crashes, \
+           torn checkpoint writes, dropped accepts, garbage frames and \
+           scheduler stalls fire on replayable per-site schedules.  The same \
+           seed and plan reproduce the same fault sequence bit for bit.  \
+           Testing only.")
+
+let chaos_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Override the default fault plan: \
+           site:probability[:limit[:delay]] entries separated by ';', e.g. \
+           'pool.worker_raise:0.1:5;server.accept_drop:0.25'.  Only \
+           meaningful with $(b,--chaos-seed).")
+
+let serve socket state_dir jobs allow_oversubscribe checkpoint_every
+    keep_checkpoints max_jobs read_deadline auth_token tcp chaos_seed chaos_plan
+    =
   let tcp =
     match tcp with
     | None -> Ok None
@@ -67,9 +131,28 @@ let serve socket state_dir jobs allow_oversubscribe checkpoint_every tcp =
         | None -> Error (`Msg ("invalid port in --tcp " ^ spec)))
       | None -> Error (`Msg ("expected HOST:PORT in --tcp " ^ spec)))
   in
-  match tcp with
-  | Error _ as e -> e
-  | Ok tcp ->
+  let chaos =
+    match chaos_seed with
+    | None -> (
+      match chaos_plan with
+      | None -> Ok None
+      | Some _ -> Error (`Msg "--chaos-plan requires --chaos-seed"))
+    | Some seed -> (
+      let text = Option.value chaos_plan ~default:Fault.default_plan in
+      match Fault.plan_of_string text with
+      | Ok plan -> Ok (Some (seed, plan))
+      | Error message -> Error (`Msg ("invalid --chaos-plan: " ^ message)))
+  in
+  match (tcp, chaos) with
+  | (Error _ as e), _ -> e
+  | _, (Error _ as e) -> e
+  | Ok tcp, Ok chaos ->
+    (match chaos with
+    | None -> ()
+    | Some (seed, plan) ->
+      Fault.arm ~seed plan;
+      Printf.eprintf "mmsynthd: chaos armed (seed %d, plan %s)\n%!" seed
+        (Fault.plan_to_string plan));
     let pool_jobs = Pool.clamp_jobs ~allow_oversubscribe jobs in
     if pool_jobs <> jobs then
       Printf.eprintf
@@ -85,7 +168,11 @@ let serve socket state_dir jobs allow_oversubscribe checkpoint_every tcp =
         tcp;
         state_dir;
         pool_jobs;
-        checkpoint_every = checkpoint_every;
+        checkpoint_every;
+        keep_checkpoints;
+        max_jobs;
+        read_deadline;
+        auth_token;
       };
     Ok ()
 
@@ -94,7 +181,9 @@ let () =
     Term.(
       term_result
         (const serve $ socket_arg $ state_dir_arg $ jobs_arg
-       $ allow_oversubscribe_arg $ checkpoint_every_arg $ tcp_arg))
+       $ allow_oversubscribe_arg $ checkpoint_every_arg $ keep_checkpoints_arg
+       $ max_jobs_arg $ read_deadline_arg $ auth_token_arg $ tcp_arg
+       $ chaos_seed_arg $ chaos_plan_arg))
   in
   let info =
     Cmd.info "mmsynthd" ~version:"1.0.0"

@@ -1,0 +1,212 @@
+module Prng = Mm_util.Prng
+
+exception Injected of string
+
+type spec = { probability : float; limit : int; delay : float }
+
+(* One armed site's decision state.  The mutex serialises draws from
+   pool worker domains; a draw is two mutex ops and one SplitMix64
+   step, fine for fault-injection frequencies. *)
+type cell = {
+  mutex : Mutex.t;
+  rng : Prng.t;
+  spec : spec;
+  mutable remaining : int;  (* -1 = unlimited *)
+  mutable count : int;
+}
+
+type site = { site_name : string; mutable cell : cell option }
+
+let name s = s.site_name
+
+(* The intern table maps names to sites so arming can reach sites
+   registered anywhere in the program, and so hot paths hold the site
+   record directly (disarmed check = one immutable-field read). *)
+let intern_mutex = Mutex.create ()
+let interned : (string, site) Hashtbl.t = Hashtbl.create 16
+let is_armed = ref false
+
+let site name =
+  Mutex.lock intern_mutex;
+  let s =
+    match Hashtbl.find_opt interned name with
+    | Some s -> s
+    | None ->
+      let s = { site_name = name; cell = None } in
+      Hashtbl.add interned name s;
+      s
+  in
+  Mutex.unlock intern_mutex;
+  s
+
+(* FNV-1a 64-bit of the site name, folded to a non-negative stream
+   index: the decision stream depends on (seed, name) alone, never on
+   registration order or cross-site interleaving. *)
+let stream_index name =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    name;
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFL)
+
+(* --- plans -------------------------------------------------------------- *)
+
+type plan = (string * spec) list
+
+let spec_of_fields name fields =
+  let bad what = Error (Printf.sprintf "%s: %s" name what) in
+  let float_field what s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v -> Ok v
+    | _ -> Error (Printf.sprintf "%s: %s is not a finite number (%s)" name what s)
+  in
+  match fields with
+  | [] -> bad "missing probability"
+  | prob :: rest -> (
+    match float_field "probability" prob with
+    | Error _ as e -> e
+    | Ok probability when probability < 0.0 || probability > 1.0 ->
+      bad (Printf.sprintf "probability %g is outside [0,1]" probability)
+    | Ok probability -> (
+      let limit, rest =
+        match rest with
+        | [] -> (Ok (-1), [])
+        | l :: rest -> (
+          ( (match int_of_string_opt l with
+            | Some v when v >= -1 -> Ok v
+            | _ -> bad (Printf.sprintf "limit %s is not an integer >= -1" l)),
+            rest ))
+      in
+      match limit with
+      | Error _ as e -> e
+      | Ok limit -> (
+        match rest with
+        | [] -> Ok { probability; limit; delay = 0.0 }
+        | [ d ] -> (
+          match float_field "delay" d with
+          | Error _ as e -> e
+          | Ok delay when delay < 0.0 -> bad "delay must be non-negative"
+          | Ok delay -> Ok { probability; limit; delay })
+        | _ -> bad "too many fields (expected prob[:limit[:delay]])")))
+
+let plan_of_string text =
+  let entries =
+    String.split_on_char ';' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | entry :: rest -> (
+      match String.split_on_char ':' entry with
+      | [] | [ _ ] ->
+        Error (Printf.sprintf "%s: expected site:probability[:limit[:delay]]" entry)
+      | name :: fields -> (
+        if List.mem_assoc name acc then
+          Error (Printf.sprintf "%s: duplicate site in plan" name)
+        else
+          match spec_of_fields name fields with
+          | Error _ as e -> e
+          | Ok spec -> parse ((name, spec) :: acc) rest))
+  in
+  parse [] entries
+
+let plan_to_string plan =
+  String.concat ";"
+    (List.map
+       (fun (name, s) ->
+         if s.delay > 0.0 then
+           Printf.sprintf "%s:%g:%d:%g" name s.probability s.limit s.delay
+         else if s.limit >= 0 then
+           Printf.sprintf "%s:%g:%d" name s.probability s.limit
+         else Printf.sprintf "%s:%g" name s.probability)
+       plan)
+
+(* Every recoverable site; [registry.write_fail] is excluded on purpose
+   (it fails the affected job, which would break the chaos smoke's
+   byte-identity assertion). *)
+let default_plan =
+  String.concat ";"
+    [
+      "pool.worker_raise:0.05:20";
+      "pool.worker_stall:0.05:10:0.002";
+      "snapshot.short_write:0.25:4";
+      "snapshot.enospc:0.25:4";
+      "server.accept_drop:0.25:6";
+      "server.read_eof:0.15:6";
+      "server.garbage_frame:0.2:4";
+      "scheduler.slice_delay:0.2:10:0.002";
+    ]
+
+(* --- arming ------------------------------------------------------------- *)
+
+let arm ~seed plan =
+  Mutex.lock intern_mutex;
+  Hashtbl.iter (fun _ s -> s.cell <- None) interned;
+  let root = Prng.create ~seed in
+  List.iter
+    (fun (name, spec) ->
+      let s =
+        match Hashtbl.find_opt interned name with
+        | Some s -> s
+        | None ->
+          let s = { site_name = name; cell = None } in
+          Hashtbl.add interned name s;
+          s
+      in
+      s.cell <-
+        Some
+          {
+            mutex = Mutex.create ();
+            rng = Prng.stream root (stream_index name);
+            spec;
+            remaining = spec.limit;
+            count = 0;
+          })
+    plan;
+  is_armed := plan <> [];
+  Mutex.unlock intern_mutex
+
+let disarm () =
+  Mutex.lock intern_mutex;
+  Hashtbl.iter (fun _ s -> s.cell <- None) interned;
+  is_armed := false;
+  Mutex.unlock intern_mutex
+
+let armed () = !is_armed
+
+(* --- the hot-path check ------------------------------------------------- *)
+
+let fire s =
+  match s.cell with
+  | None -> false
+  | Some c ->
+    Mutex.lock c.mutex;
+    let hit = c.remaining <> 0 && Prng.chance c.rng c.spec.probability in
+    if hit then begin
+      c.count <- c.count + 1;
+      if c.remaining > 0 then c.remaining <- c.remaining - 1
+    end;
+    Mutex.unlock c.mutex;
+    hit
+
+let raise_if s = if fire s then raise (Injected s.site_name)
+
+let fire_delay s =
+  match s.cell with
+  | None -> 0.0
+  | Some c -> if fire s then c.spec.delay else 0.0
+
+let injected s = match s.cell with None -> 0 | Some c -> c.count
+
+let report () =
+  Mutex.lock intern_mutex;
+  let rows =
+    Hashtbl.fold
+      (fun name s acc ->
+        match s.cell with None -> acc | Some c -> (name, c.count) :: acc)
+      interned []
+  in
+  Mutex.unlock intern_mutex;
+  List.sort compare rows

@@ -1,0 +1,96 @@
+(** Deterministic, seeded fault injection.
+
+    A {e site} is a named injection point compiled into a hot path —
+    the pool's per-item apply, the snapshot writer, the daemon's accept
+    loop.  Disarmed (the default, and the only state ordinary runs ever
+    see) a site is a single branch on an immutable [None]: no
+    allocation, no lock, no draw, so the benchmark gates never move.
+
+    Arming installs a {e plan}: for each named site, a per-occurrence
+    probability, an optional injection budget and an optional stall
+    duration.  Every decision is drawn from a SplitMix64 stream derived
+    from the chaos seed and the FNV-1a hash of the site's name alone,
+    so the k-th occurrence at a site receives the same verdict for the
+    same seed {e regardless} of how calls at other sites interleave —
+    across [--jobs], across domains, across runs.  An injected failure
+    sequence is therefore replayable bit-for-bit from
+    [--chaos-seed]/[--chaos-plan].
+
+    Plans travel as strings:
+
+    {v site:probability[:limit[:delay]];site:... v}
+
+    e.g. [pool.worker_raise:0.05:20;scheduler.slice_delay:0.2:10:0.002]
+    — raise from 5% of pool items (at most 20 times) and stall 20% of
+    scheduler slices (at most 10 times) for 2ms each. *)
+
+type site
+(** An interned injection point.  Obtain one with {!site} at module
+    initialisation and keep it; the lookup is hashed, the hot-path
+    check is a field read. *)
+
+val site : string -> site
+(** [site name] interns (or retrieves) the site called [name].  Calling
+    it twice with the same name yields the same site. *)
+
+val name : site -> string
+
+exception Injected of string
+(** Raised by {!raise_if}; the payload is the site name.  Deliberately
+    a distinct exception so logs attribute the failure to chaos. *)
+
+type spec = {
+  probability : float;  (** Per-occurrence injection probability in [0,1]. *)
+  limit : int;  (** Injection budget; [-1] means unlimited. *)
+  delay : float;  (** Stall duration in seconds (delay sites only). *)
+}
+
+type plan = (string * spec) list
+
+val plan_of_string : string -> (plan, string) result
+(** Parse [site:prob[:limit[:delay]];...].  Total: every malformed
+    field (bad float, probability outside [0,1], negative delay,
+    duplicate site) becomes [Error]. *)
+
+val plan_to_string : plan -> string
+(** Inverse of {!plan_of_string} up to float formatting. *)
+
+val default_plan : string
+(** A plan exercising every {e recoverable} site — worker raises and
+    stalls, torn and failed snapshot writes, dropped connections,
+    garbage frames, scheduler stalls.  It deliberately excludes
+    [registry.write_fail], which (by design) fails the affected job
+    rather than recovering, and so would break the byte-identity
+    property the chaos smoke enforces. *)
+
+val arm : seed:int -> plan -> unit
+(** Install [plan], seeding every listed site's decision stream from
+    [seed] and the site name.  Sites absent from the plan are
+    disarmed.  Re-arming with the same seed and plan replays the exact
+    same injection sequence. *)
+
+val disarm : unit -> unit
+(** Return every site to the zero-cost disarmed state. *)
+
+val armed : unit -> bool
+
+val fire : site -> bool
+(** [fire s] decides one occurrence at [s]: [true] with the armed
+    probability while the budget lasts, always [false] when disarmed.
+    Thread-safe; each verdict consumes one draw from the site's own
+    stream. *)
+
+val raise_if : site -> unit
+(** Raise [Injected (name s)] when {!fire} says so. *)
+
+val fire_delay : site -> float
+(** The armed delay when {!fire} says so, [0.] otherwise.  The caller
+    performs the sleep (this module never blocks). *)
+
+val injected : site -> int
+(** Injections performed at [s] since it was last armed. *)
+
+val report : unit -> (string * int) list
+(** Every armed site's name and injection count, sorted by name — the
+    daemon logs this at shutdown so a chaos run's footprint is
+    visible. *)

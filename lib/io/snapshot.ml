@@ -263,17 +263,95 @@ let of_string ~spec text =
     | Failure message -> Error (Malformed message)
     | Sexp.Type_error { message; _ } -> Error (Malformed message))
 
+(* Chaos sites (no-ops unless a plan is armed): a snapshot write that
+   fails outright as the filesystem would under ENOSPC, and a torn
+   write that leaves a truncated prefix where the snapshot should be —
+   the two corruptions rotation + quarantine exist to absorb. *)
+let site_enospc = Mm_fault.Fault.site "snapshot.enospc"
+let site_short_write = Mm_fault.Fault.site "snapshot.short_write"
+
+let generation_path path i =
+  if i = 0 then path else Printf.sprintf "%s.%d" path i
+
+(* Shift the existing generations one slot older ([path] -> [path.1]
+   -> ... -> [path.(keep-1)], oldest dropped) so the write below lands
+   in a fresh slot 0.  Each step is a single [rename]: a crash at any
+   instant leaves every generation either where it was or one slot
+   older, never torn, and [load_latest] tolerates the gap. *)
+let rotate ~path ~keep =
+  if keep > 1 && Sys.file_exists path then begin
+    (try Sys.remove (generation_path path (keep - 1)) with Sys_error _ -> ());
+    for i = keep - 2 downto 1 do
+      let src = generation_path path i in
+      if Sys.file_exists src then Sys.rename src (generation_path path (i + 1))
+    done;
+    Sys.rename path (generation_path path 1)
+  end
+
 (* Write-then-rename ([Codec.write_file_atomic]): a crash mid-write
    leaves either the previous snapshot or the new one, never a torn
    file, and the pid+counter tmp names cannot collide across the
-   daemon's concurrent jobs.  A [*.tmp] orphaned by a crash is inert. *)
-let save ~path ~spec payload =
-  Codec.write_file_atomic path (to_string ~spec payload)
+   daemon's concurrent jobs.  A [*.tmp] orphaned by a crash is inert.
+   [keep] > 1 additionally rotates the previous snapshot into a
+   generation chain first, so one corrupted write never erases the
+   last good state. *)
+let save ?(keep = 1) ~path ~spec payload =
+  if Mm_fault.Fault.fire site_enospc then
+    raise (Sys_error (path ^ ": no space left on device (chaos)"));
+  let text = to_string ~spec payload in
+  rotate ~path ~keep;
+  if Mm_fault.Fault.fire site_short_write then begin
+    (* A torn write: a truncated prefix lands at the final path without
+       the atomic-rename discipline, exactly what a crashed kernel or a
+       full disk can leave behind.  Recovery must quarantine it and
+       fall back to the rotated generation behind it. *)
+    let oc = open_out_bin path in
+    output_string oc (String.sub text 0 (String.length text / 3));
+    close_out oc
+  end
+  else Codec.write_file_atomic path text
 
 let load ~path ~spec =
   match Codec.read_file path with
   | exception Sys_error message -> Error (Io_error message)
   | text -> of_string ~spec text
 
-let synth_sink ~path ~spec ~every =
-  { Synthesis.every; save = (fun state -> save ~path ~spec (Synth state)) }
+type scan = {
+  found : (payload * int) option;
+  quarantined : string list;
+}
+
+let max_scan_generations = 16
+
+let load_latest ?(max_index = max_scan_generations) ?(quarantine = false) ~path
+    ~spec () =
+  let quarantined = ref [] in
+  let rec scan i =
+    if i > max_index then None
+    else
+      let p = generation_path path i in
+      if not (Sys.file_exists p) then scan (i + 1)
+      else
+        match load ~path:p ~spec with
+        | Ok payload -> Some (payload, i)
+        | Error (Malformed _) ->
+          (* Corrupted bytes: quarantine so the poisoned file can never
+             be picked up again (and so operators can autopsy it), then
+             fall back to the next-older generation. *)
+          if quarantine then begin
+            let corrupt = p ^ ".corrupt" in
+            (try Sys.rename p corrupt with Sys_error _ -> ());
+            quarantined := corrupt :: !quarantined
+          end;
+          scan (i + 1)
+        | Error (Io_error _ | Version_mismatch _ | Spec_mismatch _) ->
+          (* Unreadable, foreign-format or foreign-spec files are left
+             untouched — they are not corruption, just not ours to
+             resume from. *)
+          scan (i + 1)
+  in
+  let found = scan 0 in
+  { found; quarantined = List.rev !quarantined }
+
+let synth_sink ?(keep = 1) ~path ~spec ~every () =
+  { Synthesis.every; save = (fun state -> save ~keep ~path ~spec (Synth state)) }

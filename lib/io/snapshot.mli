@@ -65,18 +65,54 @@ val of_string : spec:Mm_cosynth.Spec.t -> string -> (payload, error) result
 (** Decode a snapshot document, verifying its header against [spec].
     Total: every failure mode maps to an {!error}. *)
 
-val save : path:string -> spec:Mm_cosynth.Spec.t -> payload -> unit
+val save : ?keep:int -> path:string -> spec:Mm_cosynth.Spec.t -> payload -> unit
 (** Atomically write the snapshot to [path] (via
     {!Codec.write_file_atomic}).  Raises [Sys_error] when the directory
-    is not writable. *)
+    is not writable.
+
+    With [keep > 1] (default 1: the pre-rotation behaviour), the
+    previous snapshot is first rotated into a generation chain —
+    [path] becomes [path.1], [path.1] becomes [path.2], … up to
+    [path.(keep-1)], oldest dropped — each step a single atomic
+    [rename], so a corrupted newest generation never erases the last
+    good state. *)
 
 val load : path:string -> spec:Mm_cosynth.Spec.t -> (payload, error) result
 
+type scan = {
+  found : (payload * int) option;
+      (** The newest generation that decodes, with its index (0 =
+          [path] itself, [i] = [path.i]); [None] when no generation
+          does. *)
+  quarantined : string list;
+      (** Corrupt generations renamed aside during this scan (their
+          new [*.corrupt] paths), newest first. *)
+}
+
+val load_latest :
+  ?max_index:int ->
+  ?quarantine:bool ->
+  path:string ->
+  spec:Mm_cosynth.Spec.t ->
+  unit ->
+  scan
+(** Scan the generation chain [path], [path.1], … (up to [max_index],
+    default 16) for the newest snapshot that still decodes.  Missing
+    generations are skipped (rotation crash gaps are legal).  A
+    {e malformed} generation — truncated or garbage bytes — is
+    renamed to [<file>.corrupt] when [quarantine] is set, so the next
+    startup never re-reads it; version- or spec-mismatched files are
+    skipped but left untouched (they are somebody else's data, not
+    corruption).  Total: never raises on file content. *)
+
 val synth_sink :
+  ?keep:int ->
   path:string ->
   spec:Mm_cosynth.Spec.t ->
   every:int ->
+  unit ->
   Mm_cosynth.Synthesis.checkpoint_sink
 (** A {!Mm_cosynth.Synthesis.checkpoint_sink} that {!save}s a [Synth]
     snapshot to [path] every [every] generations (and after every
-    completed restart). *)
+    completed restart), rotating [keep] generations (default 1: no
+    rotation). *)

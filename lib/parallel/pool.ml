@@ -19,6 +19,15 @@
 module Clock = Mm_obs.Clock
 module Control = Mm_obs.Control
 module Metrics = Mm_obs.Metrics
+module Fault = Mm_fault.Fault
+
+(* Chaos sites (no-ops unless a plan is armed): a worker that raises on
+   its first attempt at an item — only ever injected when the pool is
+   configured to retry, so the injected failure is always recovered and
+   the map's results are unchanged — and a worker that stalls, which
+   exercises the timeout/abandon machinery without losing work. *)
+let site_worker_raise = Fault.site "pool.worker_raise"
+let site_worker_stall = Fault.site "pool.worker_stall"
 
 (* Pool utilisation metrics (recorded only when metrics are enabled):
    batches/items dispatched, summed domain busy time inside batch
@@ -208,7 +217,16 @@ let stats pool =
 let apply pool f x =
   let cfg = pool.cfg in
   let rec attempt k =
-    try f x
+    try
+      if k = 0 then begin
+        let stall = Fault.fire_delay site_worker_stall in
+        if stall > 0.0 then Unix.sleepf stall;
+        (* Raise only on the first attempt and only when the retry
+           budget can absorb it: every injected failure is recovered,
+           so a chaos run's map results are bit-identical. *)
+        if cfg.max_retries > 0 then Fault.raise_if site_worker_raise
+      end;
+      f x
     with _ when k < cfg.max_retries ->
       Atomic.incr pool.n_retries;
       Metrics.incr m_retries;

@@ -1,41 +1,183 @@
-type t = { fd : Unix.file_descr; decoder : Protocol.Framing.decoder }
+module Prng = Mm_util.Prng
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type retry = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default_retry =
+  { attempts = 6; base_delay = 0.05; max_delay = 2.0; jitter = 0.25 }
+
+let no_retry = { attempts = 1; base_delay = 0.; max_delay = 0.; jitter = 0. }
+
+(* Exponential, capped, with subtractive jitter: attempt [k] sleeps
+   somewhere in [cap_k * (1 - jitter), cap_k], so a herd of clients
+   retrying the same dead daemon spreads out instead of stampeding in
+   lockstep.  Pure in (retry, attempt, rng) — the unit tests pin it. *)
+let backoff_delay retry ~attempt ~rng =
+  let capped =
+    Float.min retry.max_delay (retry.base_delay *. (2. ** float_of_int attempt))
+  in
+  if retry.jitter <= 0. || capped <= 0. then Float.max 0. capped
+  else capped *. (1. -. (retry.jitter *. Prng.float rng 1.0))
+
+(* A process-unique submission nonce: pid + wall-clock bits + counter.
+   Uniqueness is all that matters (the daemon only ever compares for
+   equality), not unpredictability. *)
+let nonce_counter = ref 0
+
+let fresh_nonce () =
+  incr nonce_counter;
+  Printf.sprintf "n-%d-%Lx-%d" (Unix.getpid ())
+    (Int64.bits_of_float (Unix.gettimeofday ()))
+    !nonce_counter
+
+type wire = { fd : Unix.file_descr; decoder : Protocol.Framing.decoder }
+
+type t = {
+  endpoint : endpoint;
+  auth : string option;
+  retry : retry;
+  rng : Prng.t;
+  mutable wire : wire option;
+}
+
+let close_fd fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A write into a connection the daemon has already severed must surface
+   as EPIPE (caught, dropped, retried by [rpc]) rather than kill the
+   whole client process. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+    | Invalid_argument _ -> () (* no SIGPIPE on this platform *))
+
+let dial endpoint =
+  Lazy.force ignore_sigpipe;
+  match endpoint with
+  | Unix_socket socket ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | exn ->
+      close_fd fd;
+      raise exn);
+    { fd; decoder = Protocol.Framing.create () }
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0) with
+      | Not_found -> Unix.inet_addr_loopback
+    in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+    | exn ->
+      close_fd fd;
+      raise exn);
+    { fd; decoder = Protocol.Framing.create () }
+
+let create ?auth ?(retry = default_retry) endpoint =
+  {
+    endpoint;
+    auth;
+    retry;
+    (* Jitter randomness only — correctness never depends on it. *)
+    rng = Prng.create ~seed:(Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()));
+    wire = None;
+  }
 
 let connect ~socket =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | exn ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise exn);
-  { fd; decoder = Protocol.Framing.create () }
+  let t = create ~retry:no_retry (Unix_socket socket) in
+  t.wire <- Some (dial t.endpoint);
+  t
 
 let connect_tcp ~host ~port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  let addr =
-    try (Unix.gethostbyname host).Unix.h_addr_list.(0) with
-    | Not_found -> Unix.inet_addr_loopback
-  in
-  (try Unix.connect fd (Unix.ADDR_INET (addr, port)) with
-  | exn ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise exn);
-  { fd; decoder = Protocol.Framing.create () }
+  let t = create ~retry:no_retry (Tcp (host, port)) in
+  t.wire <- Some (dial t.endpoint);
+  t
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let drop t =
+  (match t.wire with Some w -> close_fd w.fd | None -> ());
+  t.wire <- None
+
+let close = drop
 
 let with_connection ~socket f =
   let t = connect ~socket in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
+(* Lazily (re)establish the connection.  [Error] rather than an
+   exception so [rpc] can treat an unreachable daemon like any other
+   retryable failure. *)
+let wire t =
+  match t.wire with
+  | Some w -> Ok w
+  | None -> (
+    match dial t.endpoint with
+    | w ->
+      t.wire <- Some w;
+      Ok w
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+(* Any receive failure — broken framing, EOF, an unparseable (garbage)
+   frame — poisons the stream, so the connection is dropped and the
+   next request redials with a fresh decoder. *)
 let receive t =
-  match Protocol.read_message t.fd t.decoder with
-  | Error err -> Error (Protocol.Framing.error_to_string err)
-  | Ok None -> Error "connection closed by the daemon"
-  | Ok (Some payload) -> Protocol.response_of_string payload
+  match t.wire with
+  | None -> Error "not connected"
+  | Some w -> (
+    match Protocol.read_message w.fd w.decoder with
+    | exception Unix.Unix_error (e, _, _) ->
+      drop t;
+      Error (Unix.error_message e)
+    | Error err ->
+      drop t;
+      Error (Protocol.Framing.error_to_string err)
+    | Ok None ->
+      drop t;
+      Error "connection closed by the daemon"
+    | Ok (Some payload) -> (
+      match Protocol.response_of_string payload with
+      | Error message ->
+        drop t;
+        Error message
+      | Ok response -> Ok response))
 
 let request t req =
-  match Protocol.write_message t.fd (Protocol.request_to_string req) with
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
-  | () -> receive t
+  match wire t with
+  | Error _ as e -> e
+  | Ok w -> (
+    match
+      Protocol.write_message w.fd (Protocol.request_to_string ?auth:t.auth req)
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      drop t;
+      Error (Unix.error_message e)
+    | () -> receive t)
+
+(* Transport failures and [Busy] are worth retrying; [Unauthorized] and
+   every application-level response are final.  A retried request may
+   re-execute server-side side effects — which is exactly why [Submit]
+   carries a nonce. *)
+let retryable = function
+  | Error _ -> true
+  | Ok (Protocol.Busy _) -> true
+  | Ok _ -> false
+
+let rpc t req =
+  let rec go attempt =
+    let result = request t req in
+    if retryable result && attempt + 1 < t.retry.attempts then begin
+      drop t;
+      let delay = backoff_delay t.retry ~attempt ~rng:t.rng in
+      if delay > 0. then Unix.sleepf delay;
+      go (attempt + 1)
+    end
+    else result
+  in
+  go 0
 
 let watch t id ~on_event =
   match request t (Protocol.Watch id) with
@@ -51,3 +193,59 @@ let watch t id ~on_event =
       | _ -> Error "unexpected response while watching"
     in
     loop first
+
+(* A watch that survives dropped connections: on failure it redials,
+   re-subscribes, and skips the replayed history prefix.  Valid because
+   the event log is append-only — the replay the daemon sends on
+   re-subscription is byte-for-byte a prefix extension of what this
+   client already delivered. *)
+let watch_resilient t id ~on_event =
+  let delivered = ref 0 in
+  let attempt = ref 0 in
+  let rec subscribe () =
+    let position = ref 0 in
+    let rec consume = function
+      | Protocol.Event line ->
+        incr position;
+        if !position > !delivered then begin
+          delivered := !position;
+          attempt := 0 (* forward progress resets the retry budget *)
+        end;
+        if !position = !delivered then on_event line;
+        next ()
+      | Protocol.Job_info view -> Ok view
+      | Protocol.Unauthorized -> Error "unauthorized"
+      | Protocol.Error_response { code; message } ->
+        Error (Printf.sprintf "%s: %s" code message)
+      | _ -> retry_or "unexpected response while watching"
+    and next () =
+      match receive t with Ok r -> consume r | Error m -> retry_or m
+    in
+    match request t (Protocol.Watch id) with
+    | Error m -> retry_or m
+    | Ok first -> consume first
+  and retry_or message =
+    if !attempt + 1 >= t.retry.attempts then Error message
+    else begin
+      drop t;
+      let delay = backoff_delay t.retry ~attempt:!attempt ~rng:t.rng in
+      incr attempt;
+      if delay > 0. then Unix.sleepf delay;
+      subscribe ()
+    end
+  in
+  subscribe ()
+
+(* Shutdown is the one request whose lost response is good news: a
+   daemon that cannot be reached afterwards did stop.  Distinguish
+   "acknowledged", "unreachable afterwards" and everything else. *)
+let shutdown t =
+  match rpc t Protocol.Shutdown with
+  | Ok Protocol.Done -> Ok ()
+  | Ok Protocol.Unauthorized -> Error "unauthorized"
+  | Ok _ -> Error "unexpected response to shutdown"
+  | Error _ -> (
+    drop t;
+    match request t Protocol.Ping with
+    | Error _ -> Ok () (* unreachable: it is down, which is what we asked *)
+    | Ok _ -> Error "daemon still answering after shutdown request")

@@ -1,27 +1,101 @@
-(** A blocking mmsynthd client: one connection, synchronous
-    request/response, and a pull-style [watch] stream.  Used by the
-    [mmsynth client] subcommands, the load-generator bench and the
-    crash-recovery smoke test. *)
+(** Blocking mmsynthd client used by [mmsynth submit/status/watch/...]
+    and the benches.
+
+    Two layers share one handle type:
+
+    - the {e eager} layer ({!connect}, {!request}, {!watch}) dials once,
+      never retries, and surfaces every transport failure as [Error] —
+      exactly what the tests and benches want when they are asserting on
+      single round-trips;
+    - the {e resilient} layer ({!create}, {!rpc}, {!watch_resilient},
+      {!shutdown}) dials lazily and, on connection failures, lost
+      frames, garbage frames or a typed {!Protocol.Busy}, redials and
+      retries under exponential backoff with jitter.  Retrying a
+      [Submit] blindly is safe only because the request carries an
+      idempotency nonce ({!fresh_nonce}) — the daemon answers a replay
+      with the already-admitted job. *)
+
+type endpoint =
+  | Unix_socket of string  (** Path of the daemon's Unix-domain socket. *)
+  | Tcp of string * int  (** Host and port of the TCP listener. *)
+
+type retry = {
+  attempts : int;  (** Total tries, first included; [1] = never retry. *)
+  base_delay : float;  (** Seconds before the second try. *)
+  max_delay : float;  (** Cap on any single sleep. *)
+  jitter : float;
+      (** Fraction of the capped delay subtracted at random, in
+          [\[0, 1\]]; [0.25] means each sleep lands in
+          [\[0.75 d, d\]]. *)
+}
+
+val default_retry : retry
+(** 6 attempts, 50 ms base doubling to a 2 s cap, 25% jitter — gives a
+    restarting daemon about 4 s to come back. *)
+
+val no_retry : retry
+(** Single attempt; what the eager constructors use. *)
+
+val backoff_delay : retry -> attempt:int -> rng:Mm_util.Prng.t -> float
+(** The sleep before retrying after failed attempt [attempt] (0-based):
+    [base_delay * 2^attempt], capped at [max_delay], minus a random
+    jitter fraction.  Pure in its arguments — a fixed [rng] pins the
+    whole schedule, which is how the unit tests check it. *)
+
+val fresh_nonce : unit -> string
+(** A process-unique submission nonce (pid + wall clock + counter).
+    Unique is all it needs to be — the daemon only compares for
+    equality. *)
 
 type t
 
+val create : ?auth:string -> ?retry:retry -> endpoint -> t
+(** A lazy handle: nothing is dialled until the first request.  [auth]
+    is attached to every request envelope (required by TCP listeners
+    started with [--auth-token]); [retry] defaults to
+    {!default_retry}. *)
+
 val connect : socket:string -> t
-(** Connect to the daemon's Unix-domain socket.  Raises
-    [Unix.Unix_error] when the daemon is not there. *)
+(** Dial a Unix-domain socket eagerly, raising [Unix.Unix_error] when
+    the daemon is not there; the handle never retries. *)
 
 val connect_tcp : host:string -> port:int -> t
+(** Like {!connect} over TCP. *)
 
 val close : t -> unit
 
 val with_connection : socket:string -> (t -> 'a) -> 'a
+(** {!connect}, run, always {!close}. *)
 
 val request : t -> Protocol.request -> (Protocol.response, string) result
-(** Send one request and wait for its response.  [Error] on protocol
-    violations or a dropped connection — never an exception for wire
-    content. *)
+(** One request, one response, no retries (the connection is dialled
+    first if the handle is lazy or was dropped).  Any transport or
+    parse failure drops the connection — the next call redials with a
+    fresh frame decoder — and returns [Error]. *)
+
+val rpc : t -> Protocol.request -> (Protocol.response, string) result
+(** {!request} under the handle's retry policy: transport failures and
+    {!Protocol.Busy} are retried with backoff; any other response (and
+    {!Protocol.Unauthorized} in particular) is final.  Returns the last
+    failure when the budget runs out. *)
 
 val watch :
   t -> string -> on_event:(string -> unit) -> (Protocol.job_view, string) result
-(** Subscribe to a job: [on_event] receives every JSONL line (replayed
-    history first, then live), and the call returns with the job's
-    final view once it reaches a terminal state. *)
+(** Subscribe to a job's event stream and block until it reaches a
+    terminal state; [on_event] sees every JSONL line (replayed history
+    first, then live).  Single-shot: a dropped connection mid-stream is
+    an [Error]. *)
+
+val watch_resilient :
+  t -> string -> on_event:(string -> unit) -> (Protocol.job_view, string) result
+(** {!watch} that survives dropped connections: it redials,
+    re-subscribes and skips the replayed prefix so [on_event] sees each
+    line exactly once (sound because the daemon's event log is
+    append-only and replayed from the start).  Progress resets the
+    retry budget; [attempts] consecutive failures without one new event
+    give up. *)
+
+val shutdown : t -> (unit, string) result
+(** Request daemon shutdown and confirm it took.  A daemon that cannot
+    be reached after the request counts as success — the likeliest
+    reason the reply never arrived is that it stopped. *)

@@ -71,6 +71,7 @@ type t = {
   seq : int;
   options : options;
   spec_fingerprint : string;
+  nonce : string option;
   mutable state : state;
   mutable restart : int;
   mutable generation : int;
@@ -83,12 +84,13 @@ type t = {
   mutable finished_at : float option;
 }
 
-let create ~seq ~options ~spec_fingerprint ~now =
+let create ?nonce ~seq ~options ~spec_fingerprint ~now () =
   {
     id = Printf.sprintf "job-%04d" seq;
     seq;
     options;
     spec_fingerprint;
+    nonce;
     state = Queued;
     restart = 0;
     generation = 0;
@@ -150,6 +152,11 @@ let to_sexp t =
        Sexp.field "state" [ Sexp.atom (state_to_string t.state) ];
        Sexp.field "spec" [ Sexp.atom t.spec_fingerprint ];
        Sexp.field "options" (options_to_fields t.options);
+     ]
+    @ (match t.nonce with
+      | None -> []
+      | Some n -> [ Sexp.field "nonce" [ Sexp.atom n ] ])
+    @ [
        Sexp.field "restart" [ Sexp.int t.restart ];
        Sexp.field "generation" [ Sexp.int t.generation ];
        Sexp.field "submitted-at" [ Sexp.float t.submitted_at ];
@@ -250,6 +257,7 @@ let of_sexp sexp =
         seq = Sexp.as_int (one "seq" fields);
         options;
         spec_fingerprint = Sexp.as_atom (one "spec" fields);
+        nonce = opt "nonce" Sexp.as_atom;
         state;
         restart = Sexp.as_int (one "restart" fields);
         generation = Sexp.as_int (one "generation" fields);

@@ -81,6 +81,9 @@ type t = {
   seq : int;  (** Submission order, the scheduler's admission order. *)
   options : options;
   spec_fingerprint : string;  (** {!Mm_io.Snapshot.fingerprint} of the spec. *)
+  nonce : string option;
+      (** The submission's idempotency key, persisted so a restarted
+          daemon still recognises a client's retry of an old submit. *)
   mutable state : state;
   mutable restart : int;  (** Restart index last reported by the run. *)
   mutable generation : int;  (** Generations completed in that restart. *)
@@ -93,7 +96,14 @@ type t = {
   mutable finished_at : float option;
 }
 
-val create : seq:int -> options:options -> spec_fingerprint:string -> now:float -> t
+val create :
+  ?nonce:string ->
+  seq:int ->
+  options:options ->
+  spec_fingerprint:string ->
+  now:float ->
+  unit ->
+  t
 
 val transition : t -> state -> (unit, string) result
 (** Move the job to a new state; [Error] (with an unchanged job) when

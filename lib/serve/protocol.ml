@@ -36,7 +36,11 @@ let view (job : Job.t) =
   }
 
 type request =
-  | Submit of { spec_text : string; options : Job.options }
+  | Submit of {
+      spec_text : string;
+      options : Job.options;
+      nonce : string option;
+    }
   | Status of string
   | Cancel of string
   | List_jobs
@@ -76,6 +80,8 @@ let diag_to_string d =
 type response =
   | Accepted of job_view
   | Rejected of diag list
+  | Busy of { active : int; limit : int }
+  | Unauthorized
   | Job_info of job_view
   | Jobs of job_view list
   | Event of string
@@ -183,12 +189,16 @@ let diag_of_sexp sexp =
   }
 
 let request_to_sexp = function
-  | Submit { spec_text; options } ->
+  | Submit { spec_text; options; nonce } ->
     Sexp.field "submit"
-      [
-        Sexp.field "options" (Job.options_to_fields options);
-        Sexp.field "spec" [ Sexp.atom spec_text ];
-      ]
+      ([
+         Sexp.field "options" (Job.options_to_fields options);
+         Sexp.field "spec" [ Sexp.atom spec_text ];
+       ]
+      @
+      match nonce with
+      | None -> []
+      | Some n -> [ Sexp.field "nonce" [ Sexp.atom n ] ])
   | Status id -> Sexp.field "status" [ Sexp.atom id ]
   | Cancel id -> Sexp.field "cancel" [ Sexp.atom id ]
   | List_jobs -> Sexp.List [ Sexp.atom "list" ]
@@ -197,14 +207,18 @@ let request_to_sexp = function
   | Shutdown -> Sexp.List [ Sexp.atom "shutdown" ]
 
 let request_of_sexp = function
-  | Sexp.List [ Sexp.Atom "submit"; Sexp.List (Sexp.Atom "options" :: o); spec ]
-    ->
+  | Sexp.List (Sexp.Atom "submit" :: fields) ->
     let spec_text =
-      match spec with
-      | Sexp.List [ Sexp.Atom "spec"; Sexp.Atom text ] -> text
+      match one "spec" fields with
+      | Sexp.Atom text -> text
       | _ -> failwith "submit: expected (spec \"...\")"
     in
-    Submit { spec_text; options = Job.options_of_fields o }
+    Submit
+      {
+        spec_text;
+        options = Job.options_of_fields (Sexp.assoc "options" fields);
+        nonce = opt_one "nonce" fields Sexp.as_atom;
+      }
   | Sexp.List [ Sexp.Atom "status"; Sexp.Atom id ] -> Status id
   | Sexp.List [ Sexp.Atom "cancel"; Sexp.Atom id ] -> Cancel id
   | Sexp.List [ Sexp.Atom "list" ] -> List_jobs
@@ -216,6 +230,13 @@ let request_of_sexp = function
 let response_to_sexp = function
   | Accepted v -> Sexp.field "accepted" [ view_to_sexp v ]
   | Rejected diags -> Sexp.field "rejected" (List.map diag_to_sexp diags)
+  | Busy { active; limit } ->
+    Sexp.field "busy"
+      [
+        Sexp.field "active" [ Sexp.int active ];
+        Sexp.field "limit" [ Sexp.int limit ];
+      ]
+  | Unauthorized -> Sexp.List [ Sexp.atom "unauthorized" ]
   | Job_info v -> Sexp.field "job-info" [ view_to_sexp v ]
   | Jobs views -> Sexp.field "jobs" (List.map view_to_sexp views)
   | Event line -> Sexp.field "event" [ Sexp.atom line ]
@@ -232,6 +253,13 @@ let response_of_sexp = function
   | Sexp.List [ Sexp.Atom "accepted"; v ] -> Accepted (view_of_sexp v)
   | Sexp.List (Sexp.Atom "rejected" :: diags) ->
     Rejected (List.map diag_of_sexp diags)
+  | Sexp.List (Sexp.Atom "busy" :: fields) ->
+    Busy
+      {
+        active = Sexp.as_int (one "active" fields);
+        limit = Sexp.as_int (one "limit" fields);
+      }
+  | Sexp.List [ Sexp.Atom "unauthorized" ] -> Unauthorized
   | Sexp.List [ Sexp.Atom "job-info"; v ] -> Job_info (view_of_sexp v)
   | Sexp.List (Sexp.Atom "jobs" :: views) -> Jobs (List.map view_of_sexp views)
   | Sexp.List [ Sexp.Atom "event"; Sexp.Atom line ] -> Event line
@@ -247,27 +275,33 @@ let response_of_sexp = function
 
 (* --- envelope ---------------------------------------------------------- *)
 
-let envelope kind body =
+let envelope ?auth kind body =
   Sexp.to_string
     (Sexp.List
-       [
-         Sexp.atom "mmsynth-rpc";
-         Sexp.field "version" [ Sexp.int version ];
-         Sexp.field kind [ body ];
-       ])
+       ([
+          Sexp.atom "mmsynth-rpc";
+          Sexp.field "version" [ Sexp.int version ];
+        ]
+       @ (match auth with
+         | None -> []
+         | Some token -> [ Sexp.field "auth" [ Sexp.atom token ] ])
+       @ [ Sexp.field kind [ body ] ]))
 
+(* Field-based so an envelope may or may not carry an [auth] field;
+   pre-auth peers' frames (version + body only) parse unchanged. *)
 let open_envelope kind payload =
   match Sexp.parse_one payload with
-  | Sexp.List
-      [
-        Sexp.Atom "mmsynth-rpc";
-        Sexp.List [ Sexp.Atom "version"; Sexp.Atom v ];
-        Sexp.List [ Sexp.Atom k; body ];
-      ] ->
+  | Sexp.List (Sexp.Atom "mmsynth-rpc" :: fields) ->
+    let v = Sexp.as_atom (one "version" fields) in
     if v <> string_of_int version then
       failwith (Printf.sprintf "unsupported protocol version %s" v);
-    if k <> kind then failwith (Printf.sprintf "expected a %s envelope" kind);
-    body
+    let auth = opt_one "auth" fields Sexp.as_atom in
+    let body =
+      match Sexp.assoc_opt kind fields with
+      | Some [ body ] -> body
+      | Some _ | None -> failwith (Printf.sprintf "expected a %s envelope" kind)
+    in
+    (body, auth)
   | _ -> failwith "not an mmsynth-rpc envelope"
 
 let total decode payload =
@@ -278,15 +312,33 @@ let total decode payload =
     Error (Printf.sprintf "%d:%d: %s" line column message)
   | exception Sexp.Type_error { message; _ } -> Error message
 
-let request_to_string r = envelope "request" (request_to_sexp r)
+let request_to_string ?auth r = envelope ?auth "request" (request_to_sexp r)
+
+let request_of_string_auth payload =
+  total
+    (fun p ->
+      let body, auth = open_envelope "request" p in
+      (request_of_sexp body, auth))
+    payload
 
 let request_of_string payload =
-  total (fun p -> request_of_sexp (open_envelope "request" p)) payload
+  Result.map fst (request_of_string_auth payload)
 
 let response_to_string r = envelope "response" (response_to_sexp r)
 
 let response_of_string payload =
-  total (fun p -> response_of_sexp (open_envelope "response" p)) payload
+  total (fun p -> response_of_sexp (fst (open_envelope "response" p))) payload
+
+(* Constant-time token equality: the accumulated XOR admits no
+   early-exit on the first differing byte.  The length check itself
+   may exit early — leaking the token's length is acceptable, its
+   bytes are not. *)
+let token_equal a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0
 
 (* --- framing ----------------------------------------------------------- *)
 

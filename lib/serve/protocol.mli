@@ -44,7 +44,15 @@ type job_view = {
 val view : Job.t -> job_view
 
 type request =
-  | Submit of { spec_text : string; options : Job.options }
+  | Submit of {
+      spec_text : string;
+      options : Job.options;
+      nonce : string option;
+          (** Client-chosen idempotency key: resubmitting the same
+              nonce returns the already-admitted job instead of
+              creating a duplicate, so a client that never saw the
+              response to its first attempt can retry blindly. *)
+    }
   | Status of string
   | Cancel of string
   | List_jobs
@@ -67,6 +75,13 @@ val diag_to_string : diag -> string
 type response =
   | Accepted of job_view
   | Rejected of diag list  (** Validation refused admission. *)
+  | Busy of { active : int; limit : int }
+      (** Admission refused: [active] non-terminal jobs already meet
+          the daemon's [--max-jobs] bound of [limit].  Retryable —
+          clients back off and resubmit. *)
+  | Unauthorized
+      (** The TCP listener requires a shared-secret token and this
+          request's envelope carried none, or the wrong one. *)
   | Job_info of job_view
   | Jobs of job_view list
   | Event of string  (** One JSONL progress line. *)
@@ -78,14 +93,28 @@ type response =
 
 val version : int
 
-val request_to_string : request -> string
+val request_to_string : ?auth:string -> request -> string
+(** [auth] adds a shared-secret token field to the envelope (the TCP
+    listener may demand one); omitted, the envelope is byte-identical
+    to the pre-auth wire format. *)
+
 val request_of_string : string -> (request, string) result
+
+val request_of_string_auth : string -> (request * string option, string) result
+(** Like {!request_of_string} but also surfaces the envelope's auth
+    token, for listeners that enforce one. *)
+
 val response_to_string : response -> string
 val response_of_string : string -> (response, string) result
 (** Total codecs between payload bytes and messages: any parse failure,
     wrong envelope, unsupported version or unknown body becomes
     [Error].  [of_string (to_string m)] round-trips every [m]
     bit-exactly (floats go through {!Mm_io.Sexp.float}). *)
+
+val token_equal : string -> string -> bool
+(** Constant-time string equality for auth tokens: comparison time is
+    independent of where the first differing byte falls (length is
+    still observable). *)
 
 module Framing : sig
   type error =
@@ -106,6 +135,11 @@ module Framing : sig
 
   val feed : decoder -> string -> unit
   (** Append raw bytes received from the peer. *)
+
+  val pending : decoder -> int
+  (** Bytes buffered but not yet returned by {!next} — nonzero between
+      frames means the peer stopped mid-frame (what the server's read
+      deadline looks for). *)
 
   val next : decoder -> (string option, error) result
   (** Extract the next complete payload: [Ok None] when more bytes are

@@ -3,6 +3,13 @@ module Snapshot = Mm_io.Snapshot
 module Sexp = Mm_io.Sexp
 module Json = Mm_obs.Json
 module Synthesis = Mm_cosynth.Synthesis
+module Fault = Mm_fault.Fault
+
+(* Chaos site (a no-op unless armed): a metadata write that fails as a
+   full or read-only filesystem would.  The server maps the resulting
+   [Sys_error] to a failed job with a diagnostic — never a daemon
+   teardown. *)
+let site_write_fail = Fault.site "registry.write_fail"
 
 type entry = {
   job : Job.t;
@@ -15,6 +22,7 @@ type t = {
   state_dir : string;
   jobs_dir : string;
   table : (string, entry) Hashtbl.t;
+  nonces : (string, string) Hashtbl.t;  (** Submission nonce -> job id. *)
   mutable ordered : entry list;  (** Submission order, newest last. *)
   mutable next_seq : int;
   mutable on_event : (Job.t -> string -> unit) option;
@@ -37,6 +45,7 @@ let create ~state_dir =
     state_dir;
     jobs_dir;
     table = Hashtbl.create 64;
+    nonces = Hashtbl.create 64;
     ordered = [];
     next_seq = 1;
     on_event = None;
@@ -54,9 +63,21 @@ let result_path t entry = Filename.concat (job_dir t entry) "result.sexp"
 let find t id = Hashtbl.find_opt t.table id
 let entries t = t.ordered
 
+let find_by_nonce t nonce =
+  match Hashtbl.find_opt t.nonces nonce with
+  | None -> None
+  | Some id -> Hashtbl.find_opt t.table id
+
+let remember_nonce t (job : Job.t) =
+  match job.Job.nonce with
+  | None -> ()
+  | Some nonce -> Hashtbl.replace t.nonces nonce job.Job.id
+
 let persist_meta t entry =
-  Codec.write_file_atomic (meta_path t entry)
-    (Sexp.to_string (Job.to_sexp entry.job) ^ "\n")
+  let path = meta_path t entry in
+  if Fault.fire site_write_fail then
+    raise (Sys_error (path ^ ": write failed (chaos)"));
+  Codec.write_file_atomic path (Sexp.to_string (Job.to_sexp entry.job) ^ "\n")
 
 (* --- events ------------------------------------------------------------ *)
 
@@ -85,7 +106,7 @@ let state_event t entry ~now ?(extra = fun (_ : Buffer.t) -> ()) () =
 
 (* --- admission --------------------------------------------------------- *)
 
-let submit t ~spec_text ~options ~now =
+let submit ?nonce t ~spec_text ~options ~now =
   match Codec.check_string spec_text with
   | spec_opt, diags
     when Mm_cosynth.Validate.has_errors diags || Option.is_none spec_opt ->
@@ -94,14 +115,15 @@ let submit t ~spec_text ~options ~now =
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
     let job =
-      Job.create ~seq ~options ~spec_fingerprint:(Snapshot.fingerprint spec)
-        ~now
+      Job.create ?nonce ~seq ~options
+        ~spec_fingerprint:(Snapshot.fingerprint spec) ~now ()
     in
     let entry = { job; spec; spec_text; resume = None } in
     mkdir_p (job_dir t entry);
     Codec.write_file (spec_path t entry) spec_text;
     persist_meta t entry;
     Hashtbl.replace t.table job.Job.id entry;
+    remember_nonce t job;
     t.ordered <- t.ordered @ [ entry ];
     state_event t entry ~now ();
     Ok entry
@@ -129,6 +151,7 @@ let load_entry t ~id =
   | exception Sys_error message -> Error message
   | exception Sexp.Parse_error { line; column; message } ->
     Error (Printf.sprintf "job.sexp %d:%d: %s" line column message)
+  | exception exn -> Error (Printexc.to_string exn)
 
 let rehydrate t =
   let ids =
@@ -139,14 +162,26 @@ let rehydrate t =
   let loaded =
     List.filter_map
       (fun id ->
-        match load_entry t ~id with
-        | Ok entry -> Some entry
-        | Error message ->
-          (* A directory we cannot interpret is preserved on disk but
-             reported failed: silently dropping work would be worse. *)
-          prerr_endline
-            (Printf.sprintf "mmsynthd: %s: unrecoverable (%s)" id message);
-          None)
+        let meta = Filename.concat (Filename.concat t.jobs_dir id) "job.sexp" in
+        if
+          (not (Sys.file_exists meta)) && Sys.file_exists (meta ^ ".corrupt")
+        then
+          (* Quarantined on an earlier startup: stays skipped, quietly. *)
+          None
+        else
+          match load_entry t ~id with
+          | Ok entry -> Some entry
+          | Error message ->
+            (* One poisoned directory must not fail the whole startup:
+               quarantine its metadata (preserved for autopsy, renamed
+               so it is never re-read) and move on. *)
+            (try
+               if Sys.file_exists meta then Sys.rename meta (meta ^ ".corrupt")
+             with Sys_error _ -> ());
+            prerr_endline
+              (Printf.sprintf "mmsynthd: %s: metadata quarantined (%s)" id
+                 message);
+            None)
       ids
   in
   let loaded =
@@ -155,6 +190,7 @@ let rehydrate t =
   List.iter
     (fun entry ->
       Hashtbl.replace t.table entry.job.Job.id entry;
+      remember_nonce t entry.job;
       t.next_seq <- max t.next_seq (entry.job.Job.seq + 1))
     loaded;
   t.ordered <- loaded;
@@ -162,9 +198,28 @@ let rehydrate t =
     (fun entry ->
       (not (Job.terminal entry.job.Job.state))
       && begin
-           (match Snapshot.load ~path:(checkpoint_path t entry) ~spec:entry.spec with
-           | Ok (Snapshot.Synth state) -> entry.resume <- Some state
-           | Ok (Snapshot.Compare _) | Error _ -> entry.resume <- None);
+           (* The newest checkpoint generation that still decodes wins;
+              corrupt ones are renamed [*.corrupt] so the fallback is
+              permanent, not retried every startup. *)
+           let scan =
+             Snapshot.load_latest ~quarantine:true
+               ~path:(checkpoint_path t entry) ~spec:entry.spec ()
+           in
+           List.iter
+             (fun corrupt ->
+               prerr_endline
+                 (Printf.sprintf "mmsynthd: %s: corrupt checkpoint quarantined as %s"
+                    entry.job.Job.id (Filename.basename corrupt)))
+             scan.Snapshot.quarantined;
+           (match scan.Snapshot.found with
+           | Some (Snapshot.Synth state, index) ->
+             entry.resume <- Some state;
+             if index > 0 then
+               prerr_endline
+                 (Printf.sprintf
+                    "mmsynthd: %s: resuming from rotated checkpoint generation %d"
+                    entry.job.Job.id index)
+           | Some (Snapshot.Compare _, _) | None -> entry.resume <- None);
            true
          end)
     loaded

@@ -40,6 +40,7 @@ val set_on_event : t -> (Job.t -> string -> unit) -> unit
     feed behind [watch]. *)
 
 val submit :
+  ?nonce:string ->
   t ->
   spec_text:string ->
   options:Job.options ->
@@ -47,16 +48,29 @@ val submit :
   (entry, Mm_cosynth.Validate.diag list) result
 (** Validate and admit a submission.  [Error] carries every diagnostic
     (warnings included) when any has error severity; admission with
-    warnings succeeds, as [mmsynth check] would. *)
+    warnings succeeds, as [mmsynth check] would.  [nonce] is the
+    client's idempotency key, remembered (and persisted) so a retried
+    submit can be answered with the existing job — the server checks
+    {!find_by_nonce} before admitting. *)
 
 val rehydrate : t -> entry list
 (** Reload all job directories into the table and return the
     non-terminal entries in submission order, each with
-    [entry.resume] populated from its [checkpoint.snap] when one
-    exists.  A directory whose metadata or spec no longer loads is
-    marked [Failed] rather than dropped. *)
+    [entry.resume] populated from the newest {e decodable} generation
+    of its [checkpoint.snap] chain ({!Mm_io.Snapshot.load_latest}).
+    Corrupt checkpoint generations are quarantined as [*.corrupt] and
+    resume falls back to the next older one.  A directory whose
+    [job.sexp] no longer loads has it quarantined as
+    [job.sexp.corrupt] (and is skipped quietly on later startups)
+    instead of poisoning the whole recovery. *)
 
 val find : t -> string -> entry option
+
+val find_by_nonce : t -> string -> entry option
+(** The job admitted under this submission nonce, if any — the
+    server's idempotent-submit lookup.  Survives daemon restarts (the
+    nonce is persisted in [job.sexp]). *)
+
 val entries : t -> entry list
 (** All known jobs, submission order. *)
 

@@ -29,10 +29,39 @@ type config = {
           scheduler domain.  Callers clamp with
           {!Mm_parallel.Pool.clamp_jobs}. *)
   checkpoint_every : int;  (** Snapshot cadence in GA generations. *)
+  keep_checkpoints : int;
+      (** Snapshot generations rotated per job ({!Mm_io.Snapshot.save}'s
+          [keep]); [1] keeps only the newest, >= 2 lets recovery fall
+          back past a corrupted write. *)
+  max_jobs : int;
+      (** Admission bound: submissions past this many non-terminal jobs
+          receive a typed {!Protocol.Busy} instead of queueing without
+          bound.  [0] = unbounded. *)
+  read_deadline : float;
+      (** Seconds a connection may sit idle {e mid-frame} before it is
+          dropped ([0.] = never).  Clients idle between requests are
+          never dropped. *)
+  auth_token : string option;
+      (** Shared secret every TCP request must carry in its envelope
+          (verified in constant time; wrong or missing tokens get a
+          typed {!Protocol.Unauthorized}).  Unix-socket clients are
+          never challenged: the socket file's permissions are their
+          credential. *)
 }
+
+val default_config : config
+(** The CLI defaults: Unix socket only, 3 rotated checkpoint
+    generations, 30 s mid-frame read deadline, no admission bound, no
+    auth. *)
 
 val default_checkpoint_every : int
 (** 5, like the CLI's [--checkpoint-every] default. *)
+
+val default_keep_checkpoints : int
+(** 3: survives one corrupt generation with one still behind it. *)
+
+val default_read_deadline : float
+(** 30 seconds. *)
 
 val synthesis_config : Job.options -> Mm_cosynth.Synthesis.config
 (** The per-job synthesis configuration a daemon derives from submitted

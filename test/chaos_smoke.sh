@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# Deterministic chaos smoke for mmsynthd.
+#
+# Phase A runs a fault-free reference job to completion.  Phase B
+# replays the same job under several --chaos-seed values (the default
+# fault plan: dropped accepts, severed connections, garbage frames,
+# torn and failing checkpoint writes, scheduler stalls) and requires
+# every run's result.sexp to be byte-identical to the reference — the
+# resilient client retries around the injected transport faults, and
+# the injected storage faults must never reach the result.  One seed is
+# additionally SIGKILLed mid-run and recovered on the same state
+# directory.  Phase C corrupts the newest checkpoint generation behind
+# a killed daemon's back and requires the restart to quarantine it
+# (checkpoint.snap.corrupt), resume from the previous rotated
+# generation and still match the reference.  Phase D checks the TCP
+# auth boundary end to end: tokenless and wrong-token requests are
+# refused, the right token and the Unix socket are served.
+#
+# CHAOS_TAMPER=1 deliberately breaks the quarantine path (a directory
+# squats on the .corrupt destination, so the rename can never land) and
+# the script MUST then exit non-zero — CI runs this mode expecting
+# failure, proving the phase C assertion has teeth.
+#
+# Run from the repository root; binaries must already be built
+# (`dune build bin`).  Exits non-zero on the first failed assertion.
+set -euo pipefail
+
+BIN=_build/default/bin
+MMSYNTH="$BIN/mmsynth.exe"
+MMSYNTHD="$BIN/mmsynthd.exe"
+[ -x "$MMSYNTH" ] && [ -x "$MMSYNTHD" ] || {
+  echo "chaos_smoke: build bin/ first (dune build bin)"; exit 1; }
+
+TAMPER=${CHAOS_TAMPER:-0}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/chaos-smoke.XXXXXX")
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Big enough that checkpoints always precede completion; the island GA
+# exercises the per-island snapshot state on every recovery.
+SYNTH_FLAGS=(--generations 60 --population 40 --seed 3
+             --islands 3 --migration-every 5 --migrants 2)
+
+"$MMSYNTH" export mul6 > "$WORK/mul6.mms"
+
+start_daemon() { # state_dir [extra daemon flags...] -> sets DPID
+  local state=$1; shift
+  rm -f "$SOCK" # a SIGKILLed daemon leaves its socket file behind
+  "$MMSYNTHD" --socket "$SOCK" --state-dir "$state" --checkpoint-every 3 "$@" &
+  DPID=$!
+  for _ in $(seq 1 250); do
+    [ -S "$SOCK" ] && return 0
+    kill -0 "$DPID" 2>/dev/null || { echo "daemon died on startup"; exit 1; }
+    sleep 0.02
+  done
+  echo "daemon socket never appeared"; exit 1
+}
+
+shutdown_daemon() {
+  "$MMSYNTH" client shutdown --socket "$SOCK"
+  wait "$DPID" || true
+  DPID=""
+}
+
+kill_after() { # path: SIGKILL the daemon once this file exists
+  for _ in $(seq 1 750); do
+    [ -f "$1" ] && break
+    sleep 0.02
+  done
+  [ -f "$1" ] || { echo "chaos_smoke: $1 never appeared"; exit 1; }
+  kill -9 "$DPID"
+  wait "$DPID" 2>/dev/null || true
+  DPID=""
+}
+
+# --- phase A: fault-free reference run ---------------------------------------
+SOCK="$WORK/ref.sock"
+start_daemon "$WORK/state-ref"
+"$MMSYNTH" client submit "$WORK/mul6.mms" --socket "$SOCK" \
+  "${SYNTH_FLAGS[@]}" --watch > /dev/null
+shutdown_daemon
+REF="$WORK/state-ref/jobs/job-0001/result.sexp"
+[ -f "$REF" ] || { echo "reference run left no result.sexp"; exit 1; }
+echo "chaos_smoke: reference result recorded"
+
+if [ "$TAMPER" != "1" ]; then
+  # --- phase B: the headline property ----------------------------------------
+  # Any run that completes under a chaos plan must produce a result
+  # byte-identical to the fault-free run: injected faults may slow the
+  # service down, never change what it computes.
+  for seed in 11 23 47; do
+    SOCK="$WORK/chaos-$seed.sock"
+    start_daemon "$WORK/state-$seed" --chaos-seed "$seed"
+    "$MMSYNTH" client submit "$WORK/mul6.mms" --socket "$SOCK" \
+      "${SYNTH_FLAGS[@]}" --watch > /dev/null
+    shutdown_daemon
+    diff "$REF" "$WORK/state-$seed/jobs/job-0001/result.sexp" || {
+      echo "chaos seed $seed diverged from the reference"; exit 1; }
+    echo "chaos_smoke: seed $seed bit-identical under injected faults"
+  done
+
+  # One seed also takes a kill -9 mid-run: chaos faults before the
+  # crash (possibly including a torn newest checkpoint) plus chaos
+  # faults after the restart must still recover to the same bytes.
+  SOCK="$WORK/chaoskill.sock"
+  start_daemon "$WORK/state-chaoskill" --chaos-seed 5
+  "$MMSYNTH" client submit "$WORK/mul6.mms" --socket "$SOCK" "${SYNTH_FLAGS[@]}"
+  kill_after "$WORK/state-chaoskill/jobs/job-0001/checkpoint.snap"
+  grep -q completed "$WORK/state-chaoskill/jobs/job-0001/job.sexp" && {
+    echo "kill landed after completion; nothing was recovered"; exit 1; }
+  start_daemon "$WORK/state-chaoskill" --chaos-seed 5
+  "$MMSYNTH" client watch job-0001 --socket "$SOCK" > /dev/null
+  shutdown_daemon
+  diff "$REF" "$WORK/state-chaoskill/jobs/job-0001/result.sexp" || {
+    echo "chaos + SIGKILL recovery diverged from the reference"; exit 1; }
+  echo "chaos_smoke: SIGKILL under chaos recovered bit-identically"
+fi
+
+# --- phase C: corrupt-checkpoint quarantine ----------------------------------
+# Kill the daemon once two checkpoint generations exist, scribble over
+# the newest one, restart: recovery must quarantine the poisoned file
+# as checkpoint.snap.corrupt, fall back to the previous rotated
+# generation and still reproduce the reference bytes.
+SOCK="$WORK/corrupt.sock"
+start_daemon "$WORK/state-corrupt"
+"$MMSYNTH" client submit "$WORK/mul6.mms" --socket "$SOCK" "${SYNTH_FLAGS[@]}"
+CKPT="$WORK/state-corrupt/jobs/job-0001/checkpoint.snap"
+kill_after "$CKPT.1"
+grep -q completed "$WORK/state-corrupt/jobs/job-0001/job.sexp" && {
+  echo "kill landed after completion; nothing was recovered"; exit 1; }
+printf '(((' > "$CKPT" # unparsable bytes where the newest snapshot was
+if [ "$TAMPER" = "1" ]; then
+  # Break the quarantine: with a directory squatting on the .corrupt
+  # destination the rename cannot land, and the assertion below must
+  # catch it.  A green run in this mode means the smoke proves nothing.
+  mkdir "$CKPT.corrupt"
+fi
+start_daemon "$WORK/state-corrupt"
+"$MMSYNTH" client watch job-0001 --socket "$SOCK" > /dev/null
+shutdown_daemon
+[ -f "$CKPT.corrupt" ] || {
+  echo "corrupted checkpoint was not quarantined"; exit 1; }
+diff "$REF" "$WORK/state-corrupt/jobs/job-0001/result.sexp" || {
+  echo "fallback-generation recovery diverged from the reference"; exit 1; }
+echo "chaos_smoke: corrupted checkpoint quarantined, fallback bit-identical"
+
+# --- phase D: TCP auth boundary ----------------------------------------------
+SOCK="$WORK/auth.sock"
+PORT=$((20000 + RANDOM % 20000))
+start_daemon "$WORK/state-auth" --tcp "127.0.0.1:$PORT" --auth-token sekrit
+"$MMSYNTH" client ping --tcp "127.0.0.1:$PORT" --retries 1 2>/dev/null && {
+  echo "tokenless TCP request was served"; exit 1; }
+"$MMSYNTH" client ping --tcp "127.0.0.1:$PORT" --auth-token wrong \
+  --retries 1 2>/dev/null && {
+  echo "wrong-token TCP request was served"; exit 1; }
+"$MMSYNTH" client ping --tcp "127.0.0.1:$PORT" --auth-token sekrit \
+  | grep -q pong || { echo "right-token TCP ping failed"; exit 1; }
+"$MMSYNTH" client ping --socket "$SOCK" | grep -q pong || {
+  echo "unix-socket client was challenged"; exit 1; }
+shutdown_daemon
+echo "chaos_smoke: TCP auth enforced, unix socket unchallenged"
+
+echo "chaos_smoke: OK"

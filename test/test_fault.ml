@@ -1,0 +1,187 @@
+(* Mm_fault: plan codec totality, seeded determinism and budget
+   enforcement.  The determinism properties are what the chaos smoke
+   leans on: the same seed and plan must replay the same injection
+   sequence no matter how sites interleave. *)
+
+module Fault = Mm_fault.Fault
+
+(* --- plan codec --------------------------------------------------------- *)
+
+let check_parse_err name text =
+  match Fault.plan_of_string text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: %S parsed" name text
+
+let test_plan_errors () =
+  check_parse_err "no probability" "a.site";
+  check_parse_err "bad probability" "a.site:nan";
+  check_parse_err "probability > 1" "a.site:1.5";
+  check_parse_err "negative probability" "a.site:-0.1";
+  check_parse_err "bad limit" "a.site:0.5:x";
+  check_parse_err "limit < -1" "a.site:0.5:-2";
+  check_parse_err "negative delay" "a.site:0.5:3:-0.1";
+  check_parse_err "too many fields" "a.site:0.5:3:0.1:9";
+  check_parse_err "duplicate site" "a.site:0.5;a.site:0.2";
+  (match Fault.plan_of_string "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty plan must parse to []");
+  match Fault.plan_of_string " a:0.5 ; b:1:3 ;" with
+  | Ok [ ("a", _); ("b", _) ] -> ()
+  | _ -> Alcotest.fail "whitespace and trailing ';' must be tolerated"
+
+let test_default_plan () =
+  match Fault.plan_of_string Fault.default_plan with
+  | Error e -> Alcotest.failf "default plan does not parse: %s" e
+  | Ok plan ->
+    Alcotest.(check bool) "non-empty" true (plan <> []);
+    (* write_fail fails the affected job instead of recovering, so the
+       byte-identity smoke would break if the default plan included it. *)
+    Alcotest.(check bool) "registry.write_fail excluded" false
+      (List.mem_assoc "registry.write_fail" plan)
+
+(* Plans built from decimal-exact parameters round-trip bit-exactly
+   through the string spelling. *)
+let plan_gen =
+  QCheck.Gen.(
+    let spec_gen =
+      map3
+        (fun p limit d ->
+          {
+            Fault.probability = float_of_int p /. 100.0;
+            limit;
+            delay = (if d = 0 then 0.0 else float_of_int d /. 1000.0);
+          })
+        (0 -- 100) (-1 -- 20) (0 -- 10)
+    in
+    let site_gen i = Printf.sprintf "site%c.p%d" (Char.chr (97 + (i mod 8))) i in
+    map
+      (fun specs -> List.mapi (fun i spec -> (site_gen i, spec)) specs)
+      (list_size (0 -- 6) spec_gen))
+
+let prop_plan_roundtrip =
+  QCheck.Test.make ~name:"plan round-trip" ~count:300
+    (QCheck.make ~print:Fault.plan_to_string plan_gen)
+    (fun plan -> Fault.plan_of_string (Fault.plan_to_string plan) = Ok plan)
+
+(* --- determinism -------------------------------------------------------- *)
+
+let verdicts site n = List.init n (fun _ -> Fault.fire site)
+
+let coin = { Fault.probability = 0.5; limit = -1; delay = 0.0 }
+
+(* The per-site decision stream depends on (seed, site name) alone:
+   drawing A and B interleaved or back-to-back yields identical per-site
+   sequences. *)
+let prop_interleaving_independent =
+  QCheck.Test.make ~name:"verdicts independent of interleaving" ~count:50
+    QCheck.(make Gen.(0 -- 1_000_000))
+    (fun seed ->
+      let a = Fault.site "test.determinism_a" in
+      let b = Fault.site "test.determinism_b" in
+      let plan = [ (Fault.name a, coin); (Fault.name b, coin) ] in
+      Fault.arm ~seed plan;
+      let interleaved =
+        List.init 64 (fun _ -> (Fault.fire a, Fault.fire b))
+      in
+      let a1 = List.map fst interleaved and b1 = List.map snd interleaved in
+      Fault.arm ~seed plan;
+      let a2 = verdicts a 64 in
+      let b2 = verdicts b 64 in
+      Fault.disarm ();
+      a1 = a2 && b1 = b2)
+
+let test_seed_changes_sequence () =
+  let s = Fault.site "test.seed_sensitivity" in
+  let plan = [ (Fault.name s, coin) ] in
+  Fault.arm ~seed:1 plan;
+  let one = verdicts s 128 in
+  Fault.arm ~seed:2 plan;
+  let two = verdicts s 128 in
+  Fault.disarm ();
+  Alcotest.(check bool) "different seeds, different verdicts" false (one = two)
+
+(* --- budgets and edges --------------------------------------------------- *)
+
+let test_budget () =
+  let s = Fault.site "test.budget" in
+  Fault.arm ~seed:7
+    [ (Fault.name s, { Fault.probability = 1.0; limit = 5; delay = 0.0 }) ];
+  let fired = List.length (List.filter Fun.id (verdicts s 50)) in
+  Alcotest.(check int) "exactly the budget" 5 fired;
+  Alcotest.(check int) "injected counts them" 5 (Fault.injected s);
+  Fault.disarm ()
+
+let test_probability_edges () =
+  let s = Fault.site "test.edges" in
+  Fault.arm ~seed:7
+    [ (Fault.name s, { Fault.probability = 0.0; limit = -1; delay = 0.0 }) ];
+  Alcotest.(check bool) "p=0 never fires" false
+    (List.exists Fun.id (verdicts s 100));
+  Fault.arm ~seed:7
+    [ (Fault.name s, { Fault.probability = 1.0; limit = -1; delay = 0.0 }) ];
+  Alcotest.(check bool) "p=1 always fires" true
+    (List.for_all Fun.id (verdicts s 100));
+  Fault.disarm ()
+
+let test_disarmed_is_inert () =
+  Fault.disarm ();
+  let s = Fault.site "test.disarmed" in
+  Alcotest.(check bool) "not armed" false (Fault.armed ());
+  Alcotest.(check bool) "never fires" false
+    (List.exists Fun.id (verdicts s 100));
+  Alcotest.(check (float 0.0)) "no delay" 0.0 (Fault.fire_delay s);
+  Alcotest.(check int) "no injections" 0 (Fault.injected s);
+  (try Fault.raise_if s
+   with Fault.Injected _ -> Alcotest.fail "disarmed raise_if raised");
+  Alcotest.(check (list (pair string int))) "empty report" [] (Fault.report ())
+
+let test_delay_and_report () =
+  let s = Fault.site "test.delay" in
+  Fault.arm ~seed:3
+    [ (Fault.name s, { Fault.probability = 1.0; limit = 2; delay = 0.004 }) ];
+  Alcotest.(check bool) "armed" true (Fault.armed ());
+  Alcotest.(check (float 0.0)) "first delay" 0.004 (Fault.fire_delay s);
+  Alcotest.(check (float 0.0)) "second delay" 0.004 (Fault.fire_delay s);
+  Alcotest.(check (float 0.0)) "budget exhausted" 0.0 (Fault.fire_delay s);
+  Alcotest.(check (list (pair string int)))
+    "report shows the site" [ ("test.delay", 2) ] (Fault.report ());
+  (* Arming a fresh plan resets counts and disarms unlisted sites. *)
+  Fault.arm ~seed:3 [ ("test.other", coin) ];
+  Alcotest.(check int) "re-arm resets" 0 (Fault.injected s);
+  Alcotest.(check (float 0.0)) "unlisted site disarmed" 0.0 (Fault.fire_delay s);
+  Fault.disarm ()
+
+let test_raise_if () =
+  let s = Fault.site "test.raises" in
+  Fault.arm ~seed:11
+    [ (Fault.name s, { Fault.probability = 1.0; limit = 1; delay = 0.0 }) ];
+  (match Fault.raise_if s with
+  | () -> Alcotest.fail "armed p=1 raise_if did not raise"
+  | exception Fault.Injected name ->
+    Alcotest.(check string) "payload is the site name" "test.raises" name);
+  Fault.raise_if s (* budget spent: must not raise *);
+  Fault.disarm ()
+
+let () =
+  Alcotest.run "mm_fault"
+    [
+      ( "plan codec",
+        [
+          Alcotest.test_case "malformed plans rejected" `Quick test_plan_errors;
+          Alcotest.test_case "default plan" `Quick test_default_plan;
+          QCheck_alcotest.to_alcotest prop_plan_roundtrip;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_interleaving_independent;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_sequence;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "injection budget" `Quick test_budget;
+          Alcotest.test_case "probability edges" `Quick test_probability_edges;
+          Alcotest.test_case "disarmed is inert" `Quick test_disarmed_is_inert;
+          Alcotest.test_case "delay and report" `Quick test_delay_and_report;
+          Alcotest.test_case "raise_if" `Quick test_raise_if;
+        ] );
+    ]

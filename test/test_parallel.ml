@@ -129,6 +129,46 @@ let test_pool_retry_budget_exhausted () =
   Alcotest.(check (array int)) "usable after exhausted retries" [| 2; 3 |]
     (Pool.map pool succ [| 1; 2 |])
 
+(* Chaos injection at the pool's own site: armed worker raises are
+   indistinguishable from flaky jobs, so a retry budget absorbs every
+   one of them and the batch result matches the serial oracle exactly. *)
+let test_pool_absorbs_injected_faults () =
+  let module Fault = Mm_fault.Fault in
+  Fault.arm ~seed:77
+    [
+      ("pool.worker_raise", { Fault.probability = 0.3; limit = -1; delay = 0.0 });
+      ("pool.worker_stall", { Fault.probability = 0.1; limit = 4; delay = 0.001 });
+    ];
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let config = { Pool.default_config with max_retries = 3; backoff = 1e-5 } in
+  let pool = Pool.create ~domains:4 ~config () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let input = Array.init 200 Fun.id in
+  Alcotest.(check (array int))
+    "matches the serial oracle under injection"
+    (Array.map (fun x -> x * x) input)
+    (Pool.map pool (fun x -> x * x) input);
+  let site = Fault.site "pool.worker_raise" in
+  Alcotest.(check bool) "faults actually fired" true (Fault.injected site > 0);
+  Alcotest.(check bool) "each injection retried" true
+    ((Pool.stats pool).Pool.retries >= Fault.injected site)
+
+(* Injected raises with NO retry budget must not fire at all — the
+   injection site is compiled to respect [max_retries], so chaos never
+   turns a configuration that cannot recover into one that fails. *)
+let test_pool_injection_respects_budget () =
+  let module Fault = Mm_fault.Fault in
+  Fault.arm ~seed:77
+    [
+      ("pool.worker_raise", { Fault.probability = 1.0; limit = -1; delay = 0.0 });
+    ];
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check (array int))
+    "no injection without a retry budget" [| 1; 4; 9 |]
+    (Pool.map pool (fun x -> x * x) [| 1; 2; 3 |])
+
 (* A job that hangs on every domain but the owner: the owner finishes
    its share, the timeout fires, the stragglers are abandoned and the
    owner completes the batch serially.  The owner's copy is slowed just
@@ -422,6 +462,10 @@ let () =
           Alcotest.test_case "timeout abandons stragglers" `Quick
             test_pool_timeout_abandons_stragglers;
           Alcotest.test_case "degrades to serial" `Quick test_pool_degrades_to_serial;
+          Alcotest.test_case "absorbs injected faults" `Quick
+            test_pool_absorbs_injected_faults;
+          Alcotest.test_case "injection respects the retry budget" `Quick
+            test_pool_injection_respects_budget;
         ] );
       ( "memo",
         [

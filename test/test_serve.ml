@@ -149,9 +149,11 @@ let request_gen =
     frequency
       [
         ( 3,
-          map2
-            (fun spec_text options -> Protocol.Submit { spec_text; options })
-            (string_size (0 -- 300)) options_gen );
+          map3
+            (fun spec_text options nonce ->
+              Protocol.Submit { spec_text; options; nonce })
+            (string_size (0 -- 300)) options_gen
+            (opt (map (Printf.sprintf "nonce-%04d") (0 -- 9999))) );
         (1, map (fun id -> Protocol.Status id) id_gen);
         (1, map (fun id -> Protocol.Cancel id) id_gen);
         (1, map (fun id -> Protocol.Watch id) id_gen);
@@ -350,9 +352,9 @@ let test_legality_matrix () =
           all_states)
     all_states
 
-let fresh_job ?(seq = 7) () =
-  Job.create ~seq ~options:Job.default_options ~spec_fingerprint:"sha-test"
-    ~now:1234.5
+let fresh_job ?nonce ?(seq = 7) () =
+  Job.create ?nonce ~seq ~options:Job.default_options
+    ~spec_fingerprint:"sha-test" ~now:1234.5 ()
 
 let test_transition () =
   let j = fresh_job () in
@@ -643,7 +645,7 @@ let test_crash_resume_bit_identical () =
   let sink0 =
     Snapshot.synth_sink
       ~path:(Registry.checkpoint_path registry entry)
-      ~spec:entry.Registry.spec ~every:3
+      ~spec:entry.Registry.spec ~every:3 ()
   in
   let sink =
     {
@@ -693,6 +695,363 @@ let test_crash_resume_bit_identical () =
   Alcotest.(check bool) "bit-identical power" true
     (feq (Synthesis.average_power resumed) (Synthesis.average_power direct))
 
+(* --- client backoff ----------------------------------------------------------- *)
+
+module Prng = Mm_util.Prng
+module Fault = Mm_fault.Fault
+
+let test_backoff_schedule () =
+  (* Without jitter the schedule is exactly exponential, capped. *)
+  let flat =
+    { Client.attempts = 8; base_delay = 0.05; max_delay = 2.0; jitter = 0.0 }
+  in
+  let rng = Prng.create ~seed:1 in
+  List.iteri
+    (fun attempt expected ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "attempt %d" attempt)
+        expected
+        (Client.backoff_delay flat ~attempt ~rng))
+    [ 0.05; 0.1; 0.2; 0.4; 0.8; 1.6; 2.0; 2.0 ];
+  (* Jitter only ever subtracts, bounded by the jitter fraction. *)
+  let jittered = { flat with Client.jitter = 0.25 } in
+  let rng = Prng.create ~seed:7 in
+  for attempt = 0 to 20 do
+    let cap = Float.min 2.0 (0.05 *. (2. ** float_of_int attempt)) in
+    let d = Client.backoff_delay jittered ~attempt ~rng in
+    if not (d <= cap && d >= 0.75 *. cap) then
+      Alcotest.failf "attempt %d: %g outside [%g, %g]" attempt d (0.75 *. cap) cap
+  done;
+  (* Pure in the rng: the same seed replays the same schedule. *)
+  let schedule seed =
+    let rng = Prng.create ~seed in
+    List.init 10 (fun attempt -> Client.backoff_delay jittered ~attempt ~rng)
+  in
+  Alcotest.(check bool) "deterministic given the rng" true
+    (schedule 99 = schedule 99)
+
+(* --- submission nonces --------------------------------------------------------- *)
+
+let test_registry_nonce_idempotence () =
+  let dir = temp_dir "serve-nonce" in
+  let registry = Registry.create ~state_dir:dir in
+  let entry =
+    match
+      Registry.submit ~nonce:"n-test-1" registry ~spec_text
+        ~options:small_options ~now:100.
+    with
+    | Ok e -> e
+    | Error _ -> Alcotest.fail "valid spec rejected"
+  in
+  (match Registry.find_by_nonce registry "n-test-1" with
+  | Some e ->
+    Alcotest.(check string) "nonce resolves to the admitted job"
+      entry.Registry.job.Job.id e.Registry.job.Job.id
+  | None -> Alcotest.fail "nonce not remembered");
+  Alcotest.(check bool) "unknown nonce misses" true
+    (Registry.find_by_nonce registry "n-other" = None);
+  (* The nonce is persisted in job.sexp: a restarted daemon still
+     answers a replayed submit with the old job. *)
+  let registry2 = Registry.create ~state_dir:dir in
+  ignore (Registry.rehydrate registry2);
+  match Registry.find_by_nonce registry2 "n-test-1" with
+  | Some e ->
+    Alcotest.(check string) "nonce survives restart" entry.Registry.job.Job.id
+      e.Registry.job.Job.id
+  | None -> Alcotest.fail "nonce lost across restart"
+
+(* --- corrupt-state quarantine --------------------------------------------------- *)
+
+let test_rehydrate_quarantines_metadata () =
+  let dir = temp_dir "serve-badmeta" in
+  let registry = Registry.create ~state_dir:dir in
+  ignore (submit_ok registry ());
+  ignore (submit_ok registry ());
+  let bad_meta =
+    Filename.concat (Filename.concat (Filename.concat dir "jobs") "job-0001")
+      "job.sexp"
+  in
+  let oc = open_out_bin bad_meta in
+  output_string oc "(job (id job-0001) truncated ga";
+  close_out oc;
+  (* The poisoned directory is quarantined, not fatal to recovery. *)
+  let registry2 = Registry.create ~state_dir:dir in
+  let live = Registry.rehydrate registry2 in
+  Alcotest.(check int) "one live entry" 1 (List.length live);
+  Alcotest.(check int) "one entry total" 1 (List.length (Registry.entries registry2));
+  Alcotest.(check bool) "metadata renamed aside" true
+    (Sys.file_exists (bad_meta ^ ".corrupt"));
+  Alcotest.(check bool) "original gone" false (Sys.file_exists bad_meta);
+  (* Later startups skip the quarantined directory quietly. *)
+  let registry3 = Registry.create ~state_dir:dir in
+  let live = Registry.rehydrate registry3 in
+  Alcotest.(check int) "still one live entry" 1 (List.length live)
+
+(* The crash-recovery contract under a corrupted newest checkpoint: with
+   rotation the previous generation still resumes, the bad file is
+   quarantined, and the resumed result matches the uninterrupted run bit
+   for bit (resuming from an older checkpoint replays the same
+   trajectory). *)
+let test_corrupt_checkpoint_falls_back () =
+  let dir = temp_dir "serve-corrupt-ckpt" in
+  let options =
+    { Job.default_options with seed = 3; generations = 60; population = 24; restarts = 2 }
+  in
+  let config = Server.synthesis_config options in
+  let registry = Registry.create ~state_dir:dir in
+  let entry =
+    match Registry.submit registry ~spec_text ~options ~now:200. with
+    | Ok e -> e
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  Registry.mark_running registry entry ~now:201.;
+  let checkpoint_path = Registry.checkpoint_path registry entry in
+  let sink0 =
+    Snapshot.synth_sink ~keep:3 ~path:checkpoint_path ~spec:entry.Registry.spec
+      ~every:3 ()
+  in
+  let saves = ref 0 in
+  let sink =
+    {
+      sink0 with
+      Synthesis.save =
+        (fun state ->
+          sink0.Synthesis.save state;
+          incr saves;
+          Registry.checkpointed registry entry ~now:202.);
+    }
+  in
+  let yields = ref 0 in
+  (try
+     ignore
+       (Synthesis.run ~config ~checkpoint:sink
+          ~yield:(fun progress ->
+            Registry.record_progress registry entry progress ~now:203.;
+            incr yields;
+            if !yields >= 8 then raise Exit)
+          ~spec:entry.Registry.spec ~seed:options.Job.seed ())
+   with Exit -> ());
+  Alcotest.(check bool) "rotated a second generation" true
+    (!saves >= 2 && Sys.file_exists (checkpoint_path ^ ".1"));
+  (* The crash also tore the newest checkpoint. *)
+  let oc = open_out_bin checkpoint_path in
+  output_string oc "(mmsyn-snapshot (version 2) torn mid-wri";
+  close_out oc;
+  let registry2 = Registry.create ~state_dir:dir in
+  let e2 =
+    match Registry.rehydrate registry2 with
+    | [ e ] -> e
+    | live -> Alcotest.failf "expected 1 live entry, got %d" (List.length live)
+  in
+  let resume =
+    match e2.Registry.resume with
+    | Some state -> state
+    | None -> Alcotest.fail "no fallback checkpoint resumed"
+  in
+  Alcotest.(check bool) "torn file quarantined" true
+    (Sys.file_exists (checkpoint_path ^ ".corrupt"));
+  Alcotest.(check bool) "torn file no longer scanned" false
+    (Sys.file_exists checkpoint_path);
+  Registry.mark_running registry2 e2 ~now:300.;
+  let resumed =
+    Synthesis.run ~config ~resume ~spec:e2.Registry.spec ~seed:options.Job.seed ()
+  in
+  let direct =
+    Synthesis.run ~config ~spec:entry.Registry.spec ~seed:options.Job.seed ()
+  in
+  Alcotest.(check bool) "same genome" true
+    (resumed.Synthesis.genome = direct.Synthesis.genome);
+  Alcotest.(check bool) "bit-identical power" true
+    (feq (Synthesis.average_power resumed) (Synthesis.average_power direct))
+
+(* --- auth, admission bounds and idempotent submit over real sockets ------------ *)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> Alcotest.fail "no port"
+  in
+  Unix.close fd;
+  port
+
+let wait_for_socket socket =
+  let rec go n =
+    if Sys.file_exists socket then ()
+    else if n = 0 then Alcotest.fail "daemon socket never appeared"
+    else (
+      Unix.sleepf 0.02;
+      go (n - 1))
+  in
+  go 250
+
+let test_server_auth_and_busy () =
+  let dir = temp_dir "serve-auth" in
+  let socket = Filename.concat dir "d.sock" in
+  let port = free_port () in
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.run
+          {
+            Server.default_config with
+            Server.socket_path = socket;
+            tcp = Some ("127.0.0.1", port);
+            state_dir = Filename.concat dir "state";
+            checkpoint_every = 2;
+            max_jobs = 1;
+            auth_token = Some "sekrit";
+          })
+  in
+  wait_for_socket socket;
+  let unix_client = Client.connect ~socket in
+  Fun.protect
+    ~finally:(fun () -> Client.close unix_client)
+    (fun () ->
+      (* Unix-socket clients are never challenged, token or not. *)
+      (match Client.request unix_client Protocol.Ping with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "unix ping unchallenged");
+      (* TCP without (or with a wrong) token gets a typed refusal. *)
+      let tcp_request ?auth req =
+        let t = Client.create ?auth ~retry:Client.no_retry (Client.Tcp ("127.0.0.1", port)) in
+        Fun.protect
+          ~finally:(fun () -> Client.close t)
+          (fun () -> Client.request t req)
+      in
+      (match tcp_request Protocol.Ping with
+      | Ok Protocol.Unauthorized -> ()
+      | r ->
+        Alcotest.failf "tokenless tcp ping: %s"
+          (match r with Ok _ -> "unexpected response" | Error e -> e));
+      (match tcp_request ~auth:"wrong" Protocol.Ping with
+      | Ok Protocol.Unauthorized -> ()
+      | _ -> Alcotest.fail "wrong token accepted");
+      (match tcp_request ~auth:"sekrit" Protocol.Ping with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "right token refused");
+      (* Admission bound: one slow job fills the daemon; the second
+         submission is refused with a typed Busy carrying the numbers. *)
+      let slow_options =
+        { Job.default_options with seed = 5; generations = 100_000; population = 16; restarts = 1 }
+      in
+      let submit ?nonce options =
+        Client.request unix_client
+          (Protocol.Submit { spec_text; options; nonce })
+      in
+      let first_id =
+        match submit ~nonce:"busy-nonce" slow_options with
+        | Ok (Protocol.Accepted view) -> view.Protocol.v_id
+        | _ -> Alcotest.fail "first submit refused"
+      in
+      (match submit { slow_options with Job.seed = 6 } with
+      | Ok (Protocol.Busy { active = 1; limit = 1 }) -> ()
+      | _ -> Alcotest.fail "second submit not refused as busy");
+      (* An idempotent replay bypasses the bound: same nonce, same job,
+         no duplicate. *)
+      (match submit ~nonce:"busy-nonce" slow_options with
+      | Ok (Protocol.Accepted view) ->
+        Alcotest.(check string) "replayed submit returns the same job"
+          first_id view.Protocol.v_id
+      | _ -> Alcotest.fail "nonce replay refused");
+      (match Client.request unix_client Protocol.List_jobs with
+      | Ok (Protocol.Jobs [ _ ]) -> ()
+      | _ -> Alcotest.fail "replay duplicated the job");
+      (* Cancelling frees the admission slot. *)
+      (match Client.request unix_client (Protocol.Cancel first_id) with
+      | Ok Protocol.Done -> ()
+      | _ -> Alcotest.fail "cancel");
+      (match submit { small_options with Job.generations = 3 } with
+      | Ok (Protocol.Accepted _) -> ()
+      | _ -> Alcotest.fail "slot not freed after cancel");
+      match Client.request unix_client Protocol.Shutdown with
+      | Ok Protocol.Done -> ()
+      | _ -> Alcotest.fail "shutdown");
+  Domain.join daemon
+
+(* --- chaos end to end ----------------------------------------------------------- *)
+
+(* The headline robustness property: under the full default fault plan —
+   worker crashes, torn and failed checkpoint writes, dropped accepts,
+   EOFs, garbage frames, scheduler stalls — a resilient client still
+   drives a job to completion, exactly one job is admitted (the nonce
+   absorbs blind retries), and the result equals the fault-free run bit
+   for bit. *)
+let test_chaos_end_to_end () =
+  let dir = temp_dir "serve-chaos" in
+  let socket = Filename.concat dir "d.sock" in
+  let plan =
+    match Fault.plan_of_string Fault.default_plan with
+    | Ok plan -> plan
+    | Error e -> Alcotest.failf "default plan: %s" e
+  in
+  Fault.arm ~seed:2024 plan;
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.run
+          {
+            Server.default_config with
+            Server.socket_path = socket;
+            state_dir = Filename.concat dir "state";
+            checkpoint_every = 2;
+          })
+  in
+  wait_for_socket socket;
+  let client = Client.create (Client.Unix_socket socket) in
+  let options =
+    { Job.default_options with seed = 11; generations = 25; population = 12; restarts = 1 }
+  in
+  let final =
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        let id =
+          match
+            Client.rpc client
+              (Protocol.Submit
+                 {
+                   spec_text;
+                   options;
+                   nonce = Some (Client.fresh_nonce ());
+                 })
+          with
+          | Ok (Protocol.Accepted view) -> view.Protocol.v_id
+          | Ok _ -> Alcotest.fail "chaos submit: unexpected response"
+          | Error e -> Alcotest.failf "chaos submit: %s" e
+        in
+        let final =
+          match Client.watch_resilient client id ~on_event:(fun _ -> ()) with
+          | Ok view -> view
+          | Error e -> Alcotest.failf "chaos watch: %s" e
+        in
+        (match Client.rpc client Protocol.List_jobs with
+        | Ok (Protocol.Jobs [ _ ]) -> ()
+        | Ok (Protocol.Jobs views) ->
+          Alcotest.failf "retries duplicated the job: %d admitted"
+            (List.length views)
+        | _ -> Alcotest.fail "chaos list");
+        (match Client.shutdown client with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "chaos shutdown: %s" e);
+        final)
+  in
+  Domain.join daemon;
+  Fault.disarm ();
+  Alcotest.(check bool) "completed under chaos" true
+    (final.Protocol.v_state = Job.Completed);
+  let direct =
+    Synthesis.run
+      ~config:(Server.synthesis_config options)
+      ~spec ~seed:options.Job.seed ()
+  in
+  match final.Protocol.v_power with
+  | Some power ->
+    Alcotest.(check bool) "bit-identical to the fault-free run" true
+      (feq power (Synthesis.average_power direct))
+  | None -> Alcotest.fail "no power reported"
+
 (* --- end to end over a real socket ------------------------------------------- *)
 
 let test_server_end_to_end () =
@@ -702,8 +1061,8 @@ let test_server_end_to_end () =
     Domain.spawn (fun () ->
         Server.run
           {
+            Server.default_config with
             Server.socket_path = socket;
-            tcp = None;
             state_dir = Filename.concat dir "state";
             pool_jobs = 1;
             checkpoint_every = 2;
@@ -728,7 +1087,7 @@ let test_server_end_to_end () =
       (match
          Client.request client
            (Protocol.Submit
-              { spec_text = invalid_spec_text; options = Job.default_options })
+              { spec_text = invalid_spec_text; options = Job.default_options; nonce = None })
        with
       | Ok (Protocol.Rejected diags) ->
         Alcotest.(check bool) "MM code on the wire" true
@@ -747,7 +1106,7 @@ let test_server_end_to_end () =
       in
       let id =
         match
-          Client.request client (Protocol.Submit { spec_text; options })
+          Client.request client (Protocol.Submit { spec_text; options; nonce = None })
         with
         | Ok (Protocol.Accepted view) ->
           Alcotest.(check bool) "admitted queued" true
@@ -854,15 +1213,27 @@ let () =
             test_registry_admission;
           Alcotest.test_case "lifecycle and rehydrate" `Quick
             test_registry_lifecycle_and_rehydrate;
+          Alcotest.test_case "submission nonces are idempotent" `Quick
+            test_registry_nonce_idempotence;
+          Alcotest.test_case "corrupt metadata quarantined" `Quick
+            test_rehydrate_quarantines_metadata;
         ] );
+      ( "client retry",
+        [ Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule ] );
       ( "crash recovery",
         [
           Alcotest.test_case "abandon, rehydrate, resume bit-identical" `Quick
             test_crash_resume_bit_identical;
+          Alcotest.test_case "corrupt checkpoint falls back a generation" `Quick
+            test_corrupt_checkpoint_falls_back;
         ] );
       ( "server",
         [
           Alcotest.test_case "end to end over a unix socket" `Quick
             test_server_end_to_end;
+          Alcotest.test_case "auth, busy and idempotent submit" `Quick
+            test_server_auth_and_busy;
+          Alcotest.test_case "chaos run is bit-identical" `Quick
+            test_chaos_end_to_end;
         ] );
     ]

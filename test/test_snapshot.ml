@@ -332,6 +332,171 @@ let test_load_missing_file () =
       | e -> Alcotest.fail (Snapshot.error_to_string e))
     (Snapshot.load ~path:"/nonexistent/dir/snapshot.snap" ~spec)
 
+(* --- rotation and quarantine --------------------------------------------------- *)
+
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rmtree path =
+  if Sys.is_directory path then (
+    Array.iter (fun f -> rmtree (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path)
+  else Sys.remove path
+
+let marked seed =
+  Snapshot.Compare
+    { Experiment.seed; runs = 1; baseline_done = []; proposed_done = [] }
+
+let seed_of = function
+  | Snapshot.Compare st -> st.Experiment.seed
+  | Snapshot.Synth _ -> Alcotest.fail "expected a Compare payload"
+
+let write_garbage path =
+  let oc = open_out_bin path in
+  output_string oc "(mmsyn-snapshot (version 2) truncated garb";
+  close_out oc
+
+let test_rotation_chain () =
+  let dir = temp_dir "mmsyn_rotate" in
+  Fun.protect ~finally:(fun () -> rmtree dir) @@ fun () ->
+  let path = Filename.concat dir "c.snap" in
+  List.iter (fun s -> Snapshot.save ~keep:3 ~path ~spec (marked s)) [ 1; 2; 3; 4 ];
+  let gen i p = match Snapshot.load ~path:p ~spec with
+    | Ok payload -> Alcotest.(check int) (Printf.sprintf "generation %d" i) i (seed_of payload)
+    | Error e -> Alcotest.fail (Snapshot.error_to_string e)
+  in
+  gen 4 path;
+  gen 3 (path ^ ".1");
+  gen 2 (path ^ ".2");
+  (* keep = 3: the oldest generation fell off the end. *)
+  Alcotest.(check bool) "oldest dropped" false (Sys.file_exists (path ^ ".3"));
+  match (Snapshot.load_latest ~path ~spec ()).Snapshot.found with
+  | Some (payload, 0) -> Alcotest.(check int) "latest wins" 4 (seed_of payload)
+  | _ -> Alcotest.fail "load_latest must find generation 0"
+
+let test_keep_one_no_rotation () =
+  let dir = temp_dir "mmsyn_keep1" in
+  Fun.protect ~finally:(fun () -> rmtree dir) @@ fun () ->
+  let path = Filename.concat dir "c.snap" in
+  Snapshot.save ~path ~spec (marked 1);
+  Snapshot.save ~path ~spec (marked 2);
+  Alcotest.(check bool) "no .1 sibling" false (Sys.file_exists (path ^ ".1"))
+
+let test_quarantine_falls_back () =
+  let dir = temp_dir "mmsyn_quarantine" in
+  Fun.protect ~finally:(fun () -> rmtree dir) @@ fun () ->
+  let path = Filename.concat dir "c.snap" in
+  List.iter (fun s -> Snapshot.save ~keep:3 ~path ~spec (marked s)) [ 1; 2; 3 ];
+  write_garbage path;
+  (* Without quarantine: fall back, touch nothing. *)
+  let scan = Snapshot.load_latest ~path ~spec () in
+  (match scan.Snapshot.found with
+  | Some (payload, 1) -> Alcotest.(check int) "fell back one generation" 2 (seed_of payload)
+  | _ -> Alcotest.fail "expected the previous generation");
+  Alcotest.(check (list string)) "nothing quarantined" [] scan.Snapshot.quarantined;
+  Alcotest.(check bool) "corrupt file untouched" true (Sys.file_exists path);
+  (* With quarantine: the corrupt newest is renamed aside. *)
+  let scan = Snapshot.load_latest ~quarantine:true ~path ~spec () in
+  (match scan.Snapshot.found with
+  | Some (payload, 1) -> Alcotest.(check int) "still generation 2" 2 (seed_of payload)
+  | _ -> Alcotest.fail "expected the previous generation");
+  Alcotest.(check (list string)) "renamed aside" [ path ^ ".corrupt" ]
+    scan.Snapshot.quarantined;
+  Alcotest.(check bool) "corrupt moved" false (Sys.file_exists path);
+  Alcotest.(check bool) "quarantine file exists" true
+    (Sys.file_exists (path ^ ".corrupt"));
+  (* The next scan is clean: nothing left to quarantine. *)
+  let scan = Snapshot.load_latest ~quarantine:true ~path ~spec () in
+  (match scan.Snapshot.found with
+  | Some (payload, 1) -> Alcotest.(check int) "stable result" 2 (seed_of payload)
+  | _ -> Alcotest.fail "expected the previous generation");
+  Alcotest.(check (list string)) "idempotent" [] scan.Snapshot.quarantined
+
+let test_mismatch_not_quarantined () =
+  (* A version/spec mismatch is somebody else's data, not corruption:
+     skipped but never renamed. *)
+  let dir = temp_dir "mmsyn_mismatch" in
+  Fun.protect ~finally:(fun () -> rmtree dir) @@ fun () ->
+  let path = Filename.concat dir "c.snap" in
+  Snapshot.save ~path:(path ^ ".1") ~spec (marked 7);
+  Snapshot.save ~path ~spec:other_spec (marked 9);
+  let scan = Snapshot.load_latest ~quarantine:true ~path ~spec () in
+  (match scan.Snapshot.found with
+  | Some (payload, 1) -> Alcotest.(check int) "skipped to ours" 7 (seed_of payload)
+  | _ -> Alcotest.fail "expected generation 1");
+  Alcotest.(check (list string)) "mismatch not quarantined" []
+    scan.Snapshot.quarantined;
+  Alcotest.(check bool) "file left in place" true (Sys.file_exists path)
+
+let test_gap_and_exhaustion () =
+  let dir = temp_dir "mmsyn_gap" in
+  Fun.protect ~finally:(fun () -> rmtree dir) @@ fun () ->
+  let path = Filename.concat dir "c.snap" in
+  (* A crash between rotation renames can leave a gap at generation 0. *)
+  Snapshot.save ~path:(path ^ ".2") ~spec (marked 5);
+  (match (Snapshot.load_latest ~path ~spec ()).Snapshot.found with
+  | Some (payload, 2) -> Alcotest.(check int) "gap skipped" 5 (seed_of payload)
+  | _ -> Alcotest.fail "expected generation 2");
+  (* Every generation corrupt: found = None, all quarantined. *)
+  write_garbage path;
+  write_garbage (path ^ ".1");
+  write_garbage (path ^ ".2");
+  let scan = Snapshot.load_latest ~quarantine:true ~path ~spec () in
+  Alcotest.(check bool) "nothing decodable" true (scan.Snapshot.found = None);
+  Alcotest.(check (list string)) "all quarantined"
+    [ path ^ ".corrupt"; path ^ ".1.corrupt"; path ^ ".2.corrupt" ]
+    scan.Snapshot.quarantined
+
+(* Armed fault sites inside [save]: a torn (short) write must land
+   AFTER rotation so the previous good generation survives; an injected
+   ENOSPC must raise BEFORE rotation so it destroys nothing. *)
+let test_short_write_preserves_previous_generation () =
+  let module Fault = Mm_fault.Fault in
+  let dir = temp_dir "mmsyn_shortwrite" in
+  Fun.protect ~finally:(fun () -> rmtree dir; Fault.disarm ()) @@ fun () ->
+  let path = Filename.concat dir "c.snap" in
+  Snapshot.save ~keep:3 ~path ~spec (marked 1);
+  Fault.arm ~seed:5
+    [
+      ( "snapshot.short_write",
+        { Fault.probability = 1.0; limit = 1; delay = 0.0 } );
+    ];
+  Snapshot.save ~keep:3 ~path ~spec (marked 2);
+  Fault.disarm ();
+  (* Generation 0 is torn, generation 1 is the previous good save. *)
+  (match Snapshot.load ~path ~spec with
+  | Error (Snapshot.Malformed _) -> ()
+  | _ -> Alcotest.fail "newest generation should be torn");
+  let scan = Snapshot.load_latest ~quarantine:true ~path ~spec () in
+  (match scan.Snapshot.found with
+  | Some (payload, 1) ->
+    Alcotest.(check int) "previous generation intact" 1 (seed_of payload)
+  | _ -> Alcotest.fail "previous generation lost");
+  Alcotest.(check (list string)) "torn write quarantined" [ path ^ ".corrupt" ]
+    scan.Snapshot.quarantined
+
+let test_enospc_raises_before_rotation () =
+  let module Fault = Mm_fault.Fault in
+  let dir = temp_dir "mmsyn_enospc" in
+  Fun.protect ~finally:(fun () -> rmtree dir; Fault.disarm ()) @@ fun () ->
+  let path = Filename.concat dir "c.snap" in
+  Snapshot.save ~keep:3 ~path ~spec (marked 1);
+  Fault.arm ~seed:5
+    [ ("snapshot.enospc", { Fault.probability = 1.0; limit = 1; delay = 0.0 }) ];
+  (match Snapshot.save ~keep:3 ~path ~spec (marked 2) with
+  | () -> Alcotest.fail "injected ENOSPC did not raise"
+  | exception Sys_error _ -> ());
+  Fault.disarm ();
+  (* Nothing rotated, nothing torn: the old snapshot still loads. *)
+  (match Snapshot.load ~path ~spec with
+  | Ok payload -> Alcotest.(check int) "old state untouched" 1 (seed_of payload)
+  | Error e -> Alcotest.fail (Snapshot.error_to_string e));
+  Alcotest.(check bool) "no spurious rotation" false
+    (Sys.file_exists (path ^ ".1"))
+
 let test_fingerprint_stability () =
   (* Equal specifications fingerprint equally; different ones don't.
      Loading depends on this being stable across processes, so it must
@@ -357,6 +522,19 @@ let () =
           Alcotest.test_case "corrupted documents" `Quick test_corrupted_documents;
           QCheck_alcotest.to_alcotest prop_decoder_total;
           Alcotest.test_case "missing file" `Quick test_load_missing_file;
+        ] );
+      ( "rotation",
+        [
+          Alcotest.test_case "generation chain" `Quick test_rotation_chain;
+          Alcotest.test_case "keep=1 rotates nothing" `Quick test_keep_one_no_rotation;
+          Alcotest.test_case "quarantine falls back" `Quick test_quarantine_falls_back;
+          Alcotest.test_case "mismatch is not corruption" `Quick
+            test_mismatch_not_quarantined;
+          Alcotest.test_case "gaps and exhaustion" `Quick test_gap_and_exhaustion;
+          Alcotest.test_case "torn write spares the previous generation" `Quick
+            test_short_write_preserves_previous_generation;
+          Alcotest.test_case "injected ENOSPC destroys nothing" `Quick
+            test_enospc_raises_before_rotation;
         ] );
       ( "fingerprint",
         [ Alcotest.test_case "stability" `Quick test_fingerprint_stability ] );
